@@ -1,0 +1,219 @@
+//! Orchestration of the wrapper transformation.
+
+use crate::generate::{add_accessors, generate_wrapper};
+use crate::rewrite::{rewrite_body, WrapPlan};
+use rafda_classmodel::{verify_universe, ClassId, ClassKind, ClassOrigin, ClassUniverse};
+use rafda_transform::analyze;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a wrapper run was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WrapperError {
+    /// The universe already contains generated artefacts.
+    AlreadyTransformed,
+    /// The rewritten universe failed verification (engine bug).
+    VerifyFailed(String),
+}
+
+impl fmt::Display for WrapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WrapperError::AlreadyTransformed => {
+                write!(f, "universe already contains generated artefacts")
+            }
+            WrapperError::VerifyFailed(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WrapperError {}
+
+/// Summary of a wrapper transformation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WrapperReport {
+    /// Classes that received a wrapper.
+    pub wrapped: usize,
+    /// Accessor methods added to original classes.
+    pub accessors_added: usize,
+    /// Forwarding methods generated on wrappers.
+    pub forwarders: usize,
+}
+
+/// The result of a wrapper transformation.
+#[derive(Debug, Clone)]
+pub struct WrapperOutcome {
+    /// Summary statistics of the run.
+    pub report: WrapperReport,
+    /// Wrapper class per wrapped class.
+    pub wrappers: HashMap<ClassId, ClassId>,
+}
+
+/// The Section 3 baseline transformer: wraps every transformable class.
+#[derive(Debug, Clone, Default)]
+pub struct WrapperTransformer;
+
+impl WrapperTransformer {
+    /// Create the transformer.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Run the wrapper transformation over every transformable class.
+    ///
+    /// # Errors
+    /// See [`WrapperError`].
+    pub fn run(self, universe: &mut ClassUniverse) -> Result<WrapperOutcome, WrapperError> {
+        if universe
+            .iter()
+            .any(|(_, c)| matches!(c.origin, ClassOrigin::Generated { .. }))
+        {
+            return Err(WrapperError::AlreadyTransformed);
+        }
+        let analysis = analyze(universe);
+        let targets: Vec<ClassId> = universe
+            .iter()
+            .filter(|(id, c)| {
+                matches!(c.origin, ClassOrigin::Original)
+                    && c.kind == ClassKind::Class
+                    && !c.is_special
+                    && !c.is_abstract
+                    && analysis.is_transformable(*id)
+            })
+            .map(|(id, _)| id)
+            .collect();
+
+        // Remember the original method counts so the generated accessors are
+        // not themselves rewritten.
+        let original_method_count: HashMap<ClassId, usize> = targets
+            .iter()
+            .map(|&id| (id, universe.class(id).methods.len()))
+            .collect();
+
+        let mut plan = WrapPlan {
+            getters: HashMap::new(),
+            setters: HashMap::new(),
+            wrappers: HashMap::new(),
+        };
+        let mut report = WrapperReport::default();
+
+        for &id in &targets {
+            let accessors = add_accessors(universe, id);
+            report.accessors_added += accessors.getters.len() + accessors.setters.len();
+            for (i, &g) in accessors.getters.iter().enumerate() {
+                plan.getters.insert((id, i as u16), g);
+            }
+            for (i, &s) in accessors.setters.iter().enumerate() {
+                plan.setters.insert((id, i as u16), s);
+            }
+        }
+        for &id in &targets {
+            let (wrapper, ctor) = generate_wrapper(universe, id);
+            report.forwarders += universe.class(wrapper).methods.len() - 1;
+            plan.wrappers.insert(id, (wrapper, ctor));
+            report.wrapped += 1;
+        }
+
+        // Rewrite original bodies (not the freshly added accessors, not the
+        // wrappers).
+        for &id in &targets {
+            let limit = original_method_count[&id];
+            let bodies: Vec<(usize, rafda_classmodel::MethodBody)> = universe
+                .class(id)
+                .methods
+                .iter()
+                .take(limit)
+                .enumerate()
+                .filter_map(|(i, m)| m.body.as_ref().map(|b| (i, rewrite_body(&plan, b))))
+                .collect();
+            for (i, body) in bodies {
+                universe.class_mut(id).methods[i].body = Some(body);
+            }
+        }
+        // Non-target transformable code (e.g. drivers calling into wrapped
+        // classes) also needs its sites rewritten.
+        let others: Vec<ClassId> = universe
+            .iter()
+            .filter(|(id, c)| {
+                matches!(c.origin, ClassOrigin::Original)
+                    && analysis.is_transformable(*id)
+                    && !targets.contains(id)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        for id in others {
+            let bodies: Vec<(usize, rafda_classmodel::MethodBody)> = universe
+                .class(id)
+                .methods
+                .iter()
+                .enumerate()
+                .filter_map(|(i, m)| m.body.as_ref().map(|b| (i, rewrite_body(&plan, b))))
+                .collect();
+            for (i, body) in bodies {
+                universe.class_mut(id).methods[i].body = Some(body);
+            }
+        }
+
+        verify_universe(universe).map_err(|e| WrapperError::VerifyFailed(e.to_string()))?;
+        Ok(WrapperOutcome {
+            report,
+            wrappers: plan
+                .wrappers
+                .into_iter()
+                .map(|(k, (w, _))| (k, w))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rafda_classmodel::sample;
+
+    #[test]
+    fn wraps_figure2_classes() {
+        let mut u = ClassUniverse::new();
+        let ids = sample::build_figure2(&mut u);
+        let outcome = WrapperTransformer::new().run(&mut u).unwrap();
+        assert_eq!(outcome.report.wrapped, 3);
+        assert!(outcome.wrappers.contains_key(&ids.x));
+        assert!(u.by_name("X_Wrapper").is_some());
+        assert!(u.by_name("Y_Wrapper").is_some());
+        verify_universe(&u).unwrap();
+    }
+
+    #[test]
+    fn statics_are_left_alone() {
+        // The wrapper approach "does not offer solutions to any of the
+        // current limitations": X.p stays a plain static method.
+        let mut u = ClassUniverse::new();
+        let ids = sample::build_figure2(&mut u);
+        WrapperTransformer::new().run(&mut u).unwrap();
+        let x = u.class(ids.x);
+        let p = &x.methods[x.method_index("p").unwrap() as usize];
+        assert!(p.is_static);
+        assert_eq!(x.static_fields.len(), 1);
+    }
+
+    #[test]
+    fn double_run_rejected() {
+        let mut u = ClassUniverse::new();
+        sample::build_figure2(&mut u);
+        WrapperTransformer::new().run(&mut u).unwrap();
+        assert_eq!(
+            WrapperTransformer::new().run(&mut u).unwrap_err(),
+            WrapperError::AlreadyTransformed
+        );
+    }
+
+    #[test]
+    fn special_classes_not_wrapped() {
+        let mut u = ClassUniverse::new();
+        sample::build_figure2(&mut u);
+        sample::build_throwables(&mut u);
+        let outcome = WrapperTransformer::new().run(&mut u).unwrap();
+        assert_eq!(outcome.report.wrapped, 3);
+        assert!(u.by_name("Throwable_Wrapper").is_none());
+    }
+}

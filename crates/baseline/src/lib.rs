@@ -1,0 +1,37 @@
+//! # rafda-baseline
+//!
+//! The **wrapper-per-object** alternative the paper evaluates and rejects
+//! (Section 3):
+//!
+//! > "An alternative approach to this problem is to generate wrappers for
+//! > every class […] Wrappers act as proxies to local objects, by
+//! > encapsulating an object and intercepting all access requests to that
+//! > object. There is a wrapper per instantiated object and all references
+//! > to that object are altered to refer to the wrapper. Although much
+//! > simpler in terms of implementation, this introduces significantly
+//! > greater overhead and does not offer solutions to any of the current
+//! > limitations."
+//!
+//! This crate implements that approach faithfully so experiment E4 can
+//! measure the "significantly greater overhead" claim:
+//!
+//! * every transformable class `A` gains direct property accessors
+//!   (interception is impossible for raw field access, in both approaches);
+//! * a delegating `A_Wrapper` class is generated per class, holding the
+//!   wrapped `A` and forwarding every method and accessor;
+//! * every `new A(…)` site is rewritten to allocate the `A` **and** its
+//!   wrapper (one extra object per instance);
+//! * every field access site is rewritten to an accessor call, which on a
+//!   wrapped receiver costs **two** extra stack frames (wrapper delegate +
+//!   accessor) where the RAFDA transformation costs one.
+//!
+//! Statics are left untouched — the wrapper approach has no story for them,
+//! which is one of the "current limitations" the quote refers to.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod generate;
+pub mod rewrite;
+
+pub use engine::{WrapperError, WrapperOutcome, WrapperReport, WrapperTransformer};

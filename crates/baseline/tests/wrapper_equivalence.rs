@@ -1,0 +1,102 @@
+//! The wrapped program must behave like the original (on workloads that do
+//! not rely on object identity, which the paper notes wrappers break), and
+//! its overhead must exceed the original's — the data behind the paper's
+//! "significantly greater overhead" judgement (E4 measures the full
+//! three-way comparison against the RAFDA transformation).
+
+use rafda_baseline::WrapperTransformer;
+use rafda_classmodel::ClassUniverse;
+use rafda_corpus::{generate_app, AppSpec, ObserverHooks};
+use rafda_vm::{Value, Vm};
+use std::sync::Arc;
+
+fn build(seed: u64) -> (ClassUniverse, rafda_vm::ObserverIds) {
+    let mut u = ClassUniverse::new();
+    let obs = Vm::install_observer(&mut u);
+    generate_app(
+        &mut u,
+        ObserverHooks {
+            class: obs.class,
+            emit: obs.emit,
+        },
+        &AppSpec {
+            inheritance: false,
+            arrays: false,
+            classes: 5,
+            int_fields: 2,
+            statics: true,
+            seed,
+        },
+    );
+    (u, obs)
+}
+
+fn run(u: ClassUniverse, obs: &rafda_vm::ObserverIds, seed: i32) -> (rafda_vm::Trace, u64, u64) {
+    let vm = Vm::new(Arc::new(u));
+    vm.bind_observer(obs);
+    let trace = vm.run_observed("Driver", "main", vec![Value::Int(seed)]);
+    let stats = vm.stats();
+    (trace, stats.steps, stats.heap.objects_allocated)
+}
+
+#[test]
+fn wrapped_trace_equals_original_trace() {
+    for seed in [1u64, 7, 13, 40] {
+        let (orig_u, obs) = build(seed);
+        let (orig_trace, orig_steps, orig_allocs) = run(orig_u, &obs, seed as i32);
+        assert!(!orig_trace.is_empty());
+
+        let (mut wrapped_u, obs2) = build(seed);
+        WrapperTransformer::new().run(&mut wrapped_u).unwrap();
+        let (wrapped_trace, wrapped_steps, wrapped_allocs) = run(wrapped_u, &obs2, seed as i32);
+
+        assert_eq!(orig_trace, wrapped_trace, "seed {seed}");
+        assert!(
+            wrapped_steps > orig_steps,
+            "wrapper must cost more: {wrapped_steps} vs {orig_steps}"
+        );
+        assert!(
+            wrapped_allocs >= orig_allocs * 2 - 2,
+            "one wrapper per object: {wrapped_allocs} vs {orig_allocs}"
+        );
+    }
+}
+
+#[test]
+fn wrapper_overhead_is_substantial_on_call_heavy_workload() {
+    let seed = 3u64;
+    let spec = AppSpec {
+        inheritance: false,
+        arrays: false,
+        classes: 10,
+        int_fields: 1,
+        statics: false,
+        seed,
+    };
+    let build_spec = |wrap: bool| {
+        let mut u = ClassUniverse::new();
+        let obs = Vm::install_observer(&mut u);
+        generate_app(
+            &mut u,
+            ObserverHooks {
+                class: obs.class,
+                emit: obs.emit,
+            },
+            &spec,
+        );
+        if wrap {
+            WrapperTransformer::new().run(&mut u).unwrap();
+        }
+        (u, obs)
+    };
+    let (u, obs) = build_spec(false);
+    let (t1, s1, _) = run(u, &obs, seed as i32);
+    let (u, obs) = build_spec(true);
+    let (t2, s2, _) = run(u, &obs, seed as i32);
+    assert_eq!(t1, t2);
+    let overhead = s2 as f64 / s1 as f64;
+    assert!(
+        overhead > 1.5,
+        "expected significant wrapper overhead, got {overhead:.2}x"
+    );
+}

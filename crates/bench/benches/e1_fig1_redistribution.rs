@@ -1,0 +1,142 @@
+//! **E1 — Figure 1 redistribution**: cost of calls before and after the
+//! shared instance `C` is replaced in place by a proxy `Cp`, and the cost
+//! of the boundary change itself.
+//!
+//! The paper asserts interchangeability; this bench quantifies it: a local
+//! call is interpreter-only, a remote call adds marshalling + simulated LAN
+//! + protocol stack, and a migrate/pull round-trip is a handful of RPCs.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rafda::{AffinityConfig, LocalPolicy, NodeId, Value};
+use rafda_bench::{deployed_counter, figure1_app};
+
+fn summary_table() {
+    println!("\n=== E1: Figure 1 redistribution (simulated time) ===");
+    println!(
+        "{:<28} | {:>14} | {:>10}",
+        "phase", "per-call time", "messages"
+    );
+    let (cluster, c) = deployed_counter(2, Box::new(LocalPolicy::default()));
+    let net = cluster.network();
+    let calls = 100;
+
+    let t0 = net.now();
+    for _ in 0..calls {
+        cluster
+            .call_method(NodeId(0), c.clone(), "tick", vec![])
+            .unwrap();
+    }
+    let local_time = (net.now() - t0).as_ns() / calls;
+    let local_msgs = net.stats().messages;
+    println!(
+        "{:<28} | {:>12}ns | {:>10}",
+        "local (C on node 0)", local_time, local_msgs
+    );
+
+    let h = c.as_ref_handle().unwrap();
+    let t0 = net.now();
+    cluster.migrate(NodeId(0), h, NodeId(1)).unwrap();
+    println!(
+        "{:<28} | {:>12}ns | {:>10}",
+        "migrate C -> node 1",
+        (net.now() - t0).as_ns(),
+        net.stats().messages - local_msgs
+    );
+
+    let m0 = net.stats().messages;
+    let t0 = net.now();
+    for _ in 0..calls {
+        cluster
+            .call_method(NodeId(0), c.clone(), "tick", vec![])
+            .unwrap();
+    }
+    let remote_time = (net.now() - t0).as_ns() / calls;
+    println!(
+        "{:<28} | {:>12}ns | {:>10}",
+        "remote (through proxy Cp)",
+        remote_time,
+        net.stats().messages - m0
+    );
+    println!(
+        "remote/local simulated-cost ratio: {:.0}x\n",
+        remote_time as f64 / local_time.max(1) as f64
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    summary_table();
+    let mut group = c.benchmark_group("e1_fig1");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+
+    // Wall-clock cost of a local interpreted call.
+    {
+        let (cluster, counter) = deployed_counter(1, Box::new(LocalPolicy::default()));
+        group.bench_function("local_call", |b| {
+            b.iter(|| {
+                cluster
+                    .call_method(NodeId(0), counter.clone(), "tick", vec![])
+                    .unwrap()
+            })
+        });
+    }
+    // Wall-clock cost of a remote call (full marshal/transmit/dispatch).
+    {
+        let (cluster, counter) = deployed_counter(2, Box::new(LocalPolicy::default()));
+        let h = counter.as_ref_handle().unwrap();
+        cluster.migrate(NodeId(0), h, NodeId(1)).unwrap();
+        group.bench_function("remote_call_rmi", |b| {
+            b.iter(|| {
+                cluster
+                    .call_method(NodeId(0), counter.clone(), "tick", vec![])
+                    .unwrap()
+            })
+        });
+    }
+    // Boundary change round-trip: migrate out + pull back.
+    {
+        let (cluster, counter) = deployed_counter(2, Box::new(LocalPolicy::default()));
+        let h = counter.as_ref_handle().unwrap();
+        group.bench_function("migrate_and_pull_roundtrip", |b| {
+            b.iter(|| {
+                cluster.migrate(NodeId(0), h, NodeId(1)).unwrap();
+                cluster.pull_local(NodeId(0), h).unwrap();
+            })
+        });
+    }
+    // End-to-end scenario as the integration tests run it.
+    group.bench_function("full_scenario", |b| {
+        b.iter(|| {
+            let cluster = figure1_app()
+                .transform(&["RMI"])
+                .unwrap()
+                .deploy(2, 42, Box::new(LocalPolicy::default()));
+            let c = cluster.new_instance(NodeId(0), "C", 0, vec![]).unwrap();
+            for _ in 0..4 {
+                cluster
+                    .call_method(NodeId(0), c.clone(), "tick", vec![])
+                    .unwrap();
+            }
+            let h = c.as_ref_handle().unwrap();
+            cluster.migrate(NodeId(0), h, NodeId(1)).unwrap();
+            for _ in 0..4 {
+                cluster
+                    .call_method(NodeId(0), c.clone(), "tick", vec![])
+                    .unwrap();
+            }
+            cluster.adapt(&AffinityConfig::default());
+            cluster
+                .call_method(NodeId(0), c.clone(), "tick", vec![])
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    // Keep Value in the public surface of the bench for clarity.
+    let _ = Value::Int(0);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

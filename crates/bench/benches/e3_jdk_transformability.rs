@@ -1,0 +1,97 @@
+//! **E3 — the Section 2.4 statistic**: "About 40% of the 8,200 classes and
+//! interfaces in JDK 1.4.1 cannot be transformed."
+//!
+//! Regenerates the headline number over the JDK-shaped corpus, the
+//! per-reason breakdown, and the sensitivity sweeps (E3b) the paper hints
+//! at ("This percentage would increase if the user code contains native
+//! methods which refer to a JDK class"). Criterion then times the analysis
+//! itself at increasing corpus scale.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rafda::corpus::{generate_jdk, JdkProfile};
+use rafda::transform::analyze;
+use rafda::ClassUniverse;
+
+fn fraction(profile: &JdkProfile) -> (f64, usize) {
+    let mut u = ClassUniverse::new();
+    generate_jdk(&mut u, profile);
+    let r = analyze(&u);
+    (r.non_transformable_fraction(), r.total)
+}
+
+fn summary_table() {
+    println!("\n=== E3: transformability of a JDK-1.4.1-shaped corpus ===");
+    let profile = JdkProfile::jdk_1_4_1();
+    let mut u = ClassUniverse::new();
+    generate_jdk(&mut u, &profile);
+    let report = analyze(&u);
+    println!("{report}");
+    println!(
+        "paper:    ~40.0% of 8,200\nmeasured: {:>5.1}% of {}\n",
+        100.0 * report.non_transformable_fraction(),
+        report.total
+    );
+
+    println!("--- E3b: sensitivity to native-method density ---");
+    println!("{:>12} | {:>18}", "native scale", "non-transformable");
+    for scale in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0] {
+        let (f, _) = fraction(&JdkProfile::scaled(2000).with_native_scale(scale));
+        println!("{:>11}x | {:>17.1}%", scale, 100.0 * f);
+    }
+    println!("\n--- E3b: sensitivity to reference-graph density ---");
+    println!("{:>12} | {:>18}", "refs/class", "non-transformable");
+    for refs in [0.2, 0.4, 0.55, 0.8, 1.2, 2.0] {
+        let (f, _) = fraction(&JdkProfile::scaled(2000).with_refs_per_class(refs));
+        println!("{:>12} | {:>17.1}%", refs, 100.0 * f);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    summary_table();
+    let mut group = c.benchmark_group("e3_transformability");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for size in [1_000usize, 4_000, 8_200] {
+        let profile = JdkProfile::scaled(size);
+        let mut u = ClassUniverse::new();
+        generate_jdk(&mut u, &profile);
+        group.bench_with_input(BenchmarkId::new("analyze", size), &u, |b, u| {
+            b.iter(|| analyze(u).non_transformable_count())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("generate", size),
+            &profile,
+            |b, profile| {
+                b.iter(|| {
+                    let mut u = ClassUniverse::new();
+                    generate_jdk(&mut u, profile);
+                    u.len()
+                })
+            },
+        );
+    }
+    // Full transformation throughput (family generation + rewriting) at a
+    // moderate corpus scale.
+    {
+        let profile = JdkProfile::scaled(400);
+        group.bench_function("transform_400_classes", |b| {
+            b.iter(|| {
+                let mut u = ClassUniverse::new();
+                generate_jdk(&mut u, &profile);
+                rafda::transform::Transformer::new()
+                    .protocols(&["RMI"])
+                    .run(&mut u)
+                    .unwrap()
+                    .report
+                    .generated_classes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

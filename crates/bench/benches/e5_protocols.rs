@@ -1,0 +1,106 @@
+//! **E5 — protocol interchangeability**: "various proxies implementing the
+//! interface for a class provide alternative remote versions, e.g.
+//! SOAP-based, RMI-based, CORBA-based" (Section 1).
+//!
+//! The same transformed application runs over each proxy family; behaviour
+//! is identical (the integration tests check that), while wire size,
+//! protocol-stack overhead and per-call latency differ — the trade-off the
+//! flexibility exists to exploit.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rafda::{NodeId, StaticPolicy, Value};
+use rafda_bench::figure1_app;
+
+fn deploy(protocol: &str) -> (rafda::Cluster, Value) {
+    let policy = StaticPolicy::new().default_protocol(protocol);
+    let cluster = figure1_app()
+        .transform(&["RMI", "SOAP", "CORBA"])
+        .unwrap()
+        .deploy(2, 42, Box::new(policy));
+    let c = cluster.new_instance(NodeId(0), "C", 0, vec![]).unwrap();
+    let h = c.as_ref_handle().unwrap();
+    cluster.migrate(NodeId(0), h, NodeId(1)).unwrap();
+    (cluster, c)
+}
+
+fn summary_table() {
+    println!("\n=== E5: proxy protocol comparison (100 remote calls each) ===");
+    println!(
+        "{:<8} | {:>12} | {:>14} | {:>16}",
+        "protocol", "bytes/call", "sim time/call", "stack overhead"
+    );
+    for protocol in ["RMI", "CORBA", "SOAP"] {
+        let (cluster, c) = deploy(protocol);
+        let net = cluster.network();
+        net.reset_stats();
+        let t0 = net.now();
+        let calls = 100;
+        for _ in 0..calls {
+            cluster
+                .call_method(NodeId(0), c.clone(), "tick", vec![])
+                .unwrap();
+        }
+        let stats = net.stats();
+        let overhead = rafda::wire::ProtocolKind::from_name(protocol)
+            .unwrap()
+            .codec()
+            .overhead_ns();
+        println!(
+            "{:<8} | {:>12} | {:>12}ns | {:>14}ns",
+            protocol,
+            stats.bytes / calls,
+            (net.now() - t0).as_ns() / calls,
+            overhead * 2
+        );
+    }
+    println!("expected shape: SOAP ≫ CORBA ≳ RMI in both size and latency\n");
+}
+
+fn bench(c: &mut Criterion) {
+    summary_table();
+    let mut group = c.benchmark_group("e5_protocols");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for protocol in ["RMI", "CORBA", "SOAP"] {
+        let (cluster, counter) = deploy(protocol);
+        group.bench_with_input(
+            BenchmarkId::new("remote_call", protocol),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    cluster
+                        .call_method(NodeId(0), counter.clone(), "tick", vec![])
+                        .unwrap()
+                })
+            },
+        );
+    }
+    // Codec-only micro-benchmarks (encode+decode round trip).
+    for kind in rafda::wire::ProtocolKind::ALL {
+        let codec = kind.codec();
+        let req = rafda::wire::Request::Call {
+            object: 42,
+            method: "tick@7".to_owned(),
+            args: vec![
+                rafda::wire::WireValue::Long(123),
+                rafda::wire::WireValue::Str("payload".to_owned()),
+            ],
+        };
+        group.bench_with_input(
+            BenchmarkId::new("codec_roundtrip", kind.name()),
+            &req,
+            |b, req| {
+                b.iter(|| {
+                    let bytes = codec.encode_request(req);
+                    codec.decode_request(&bytes).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! **E6 — dynamic boundary adaptation**: "The distributed program can adapt
+//! to its environment by dynamically altering its distribution boundaries"
+//! (Section 1); "a complete mechanism for dynamic distribution
+//! reconfiguration" (Section 4).
+//!
+//! A workload whose affinity shifts between nodes; the affinity loop
+//! migrates hot objects toward their dominant caller. Reported: cross-node
+//! traffic per phase and the cost/latency of adaptation itself.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rafda::{AffinityConfig, NodeId, Placement, StaticPolicy, Value};
+use rafda_bench::figure1_app;
+
+fn deploy_pool(pool: usize) -> (rafda::Cluster, Vec<Value>) {
+    let policy = StaticPolicy::new().place("C", Placement::Node(NodeId(0)));
+    let cluster = figure1_app()
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(2, 42, Box::new(policy));
+    let objects = (0..pool)
+        .map(|_| cluster.new_instance(NodeId(1), "C", 0, vec![]).unwrap())
+        .collect();
+    (cluster, objects)
+}
+
+fn drive(cluster: &rafda::Cluster, node: NodeId, objects: &[Value], rounds: usize) -> u64 {
+    let before = cluster.network().stats().messages;
+    for _ in 0..rounds {
+        for o in objects {
+            cluster.call_method(node, o.clone(), "tick", vec![]).unwrap();
+        }
+    }
+    cluster.network().stats().messages - before
+}
+
+fn summary_table() {
+    println!("\n=== E6: adaptive boundary reconfiguration ===");
+    println!(
+        "{:<34} | {:>10} | {:>12}",
+        "phase", "messages", "sim elapsed"
+    );
+    let (cluster, objects) = deploy_pool(8);
+    let net = cluster.network();
+
+    let t0 = net.now();
+    let m = drive(&cluster, NodeId(1), &objects, 20);
+    println!(
+        "{:<34} | {:>10} | {:>12}",
+        "1: node 1 drives remote pool",
+        m,
+        format!("{}", net.now() - t0)
+    );
+
+    let t0 = net.now();
+    let events = cluster.adapt(&AffinityConfig::default());
+    println!(
+        "{:<34} | {:>10} | {:>12}",
+        format!("2: adapt ({} migrations)", events.len()),
+        net.stats().messages,
+        format!("{}", net.now() - t0)
+    );
+
+    let t0 = net.now();
+    let m = drive(&cluster, NodeId(1), &objects, 20);
+    println!(
+        "{:<34} | {:>10} | {:>12}",
+        "3: same workload after adapt",
+        m,
+        format!("{}", net.now() - t0)
+    );
+    println!("expected shape: phase 3 traffic collapses to ~0\n");
+}
+
+fn bench(c: &mut Criterion) {
+    summary_table();
+    let mut group = c.benchmark_group("e6_adaptation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("workload_before_adapt", |b| {
+        let (cluster, objects) = deploy_pool(4);
+        b.iter(|| drive(&cluster, NodeId(1), &objects, 2))
+    });
+    group.bench_function("workload_after_adapt", |b| {
+        let (cluster, objects) = deploy_pool(4);
+        drive(&cluster, NodeId(1), &objects, 8);
+        cluster.adapt(&AffinityConfig::default());
+        b.iter(|| drive(&cluster, NodeId(1), &objects, 2))
+    });
+    group.bench_function("adapt_pass_8_objects", |b| {
+        b.iter_with_setup(
+            || {
+                let (cluster, objects) = deploy_pool(8);
+                drive(&cluster, NodeId(1), &objects, 4);
+                cluster
+            },
+            |cluster| cluster.adapt(&AffinityConfig::default()).len(),
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

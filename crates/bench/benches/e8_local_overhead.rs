@@ -1,0 +1,195 @@
+//! **E8 — local cost of the transformation itself** (Section 2.1's
+//! property/interface indirection): what does the transformed program pay
+//! when *nothing* is remote?
+//!
+//! Per call-site kind, compares interpreter steps of the original construct
+//! against the rewritten one: field get/set (direct vs property accessor),
+//! construction (`new` vs `make`+`init$k`), static access (direct vs
+//! `discover()` + accessor), plus Criterion wall-clock groups.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rafda::classmodel::builder::{ClassBuilder, MethodBuilder};
+use rafda::classmodel::{ClassKind, Field};
+use rafda::{Application, Ty, Value, Vm};
+
+/// Build a microbench app: class `Cell { int v; }` and a `Bench` driver
+/// with one static method per site kind, each looping `n` times.
+fn micro_app() -> Application {
+    let mut app = Application::new();
+    let u = app.universe_mut();
+    let cell = u.declare("Cell", ClassKind::Class);
+    {
+        let mut cb = ClassBuilder::new(u, cell);
+        let v = cb.field(Field::new("v", Ty::Int));
+        let mut k_field = Field::new("K", Ty::Int);
+        k_field.visibility = rafda::classmodel::Visibility::Public;
+        let k = cb.static_field(k_field);
+        let mut mb = MethodBuilder::new(2);
+        mb.load_this().load_local(1).put_field(cell, v).ret();
+        cb.ctor(u, vec![Ty::Int], Some(mb.finish()));
+        let mut mb = MethodBuilder::new(1);
+        mb.load_this().get_field(cell, v).ret_value();
+        cb.method(u, "value", vec![], Ty::Int, Some(mb.finish()));
+        let mut mb = MethodBuilder::new(0);
+        mb.const_int(7).put_static(cell, k).ret();
+        cb.clinit(u, mb.finish());
+        cb.finish(u);
+    }
+    // class Bench with per-site loops.
+    let bench = u.declare("Bench", ClassKind::Class);
+    {
+        let mut cb = ClassBuilder::new(u, bench);
+        let cell_v = 0u16;
+        // static int field_get(int n) { Cell c = new Cell(1); int s = 0;
+        //   while (n > 0) { s = s + c.v; n = n - 1; } return s; }
+        let mut mb = MethodBuilder::new(1);
+        let c = mb.alloc_local();
+        let s = mb.alloc_local();
+        mb.const_int(1).new_init(cell, 0, 1).store_local(c);
+        mb.const_int(0).store_local(s);
+        let top = mb.label();
+        let done = mb.label();
+        mb.bind(top);
+        mb.load_local(0).const_int(0).cmp(rafda::classmodel::CmpOp::Gt);
+        mb.jump_if_not(done);
+        mb.load_local(s);
+        mb.load_local(c).get_field(cell, cell_v);
+        mb.add().store_local(s);
+        mb.load_local(0).const_int(1).sub().store_local(0);
+        mb.jump(top);
+        mb.bind(done);
+        mb.load_local(s).ret_value();
+        cb.static_method(u, "field_get", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+
+        // static int field_set(int n) { Cell c = new Cell(1);
+        //   while (n > 0) { c.v = n; n = n - 1; } return c.v; }
+        let mut mb = MethodBuilder::new(1);
+        let c = mb.alloc_local();
+        mb.const_int(1).new_init(cell, 0, 1).store_local(c);
+        let top = mb.label();
+        let done = mb.label();
+        mb.bind(top);
+        mb.load_local(0).const_int(0).cmp(rafda::classmodel::CmpOp::Gt);
+        mb.jump_if_not(done);
+        mb.load_local(c).load_local(0).put_field(cell, cell_v);
+        mb.load_local(0).const_int(1).sub().store_local(0);
+        mb.jump(top);
+        mb.bind(done);
+        mb.load_local(c).get_field(cell, cell_v).ret_value();
+        cb.static_method(u, "field_set", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+
+        // static int construct(int n) { int s=0; while (n>0) { s = s + new Cell(n).value(); n=n-1; } return s; }
+        let value_sig = u.sig("value", vec![]);
+        let mut mb = MethodBuilder::new(1);
+        let s = mb.alloc_local();
+        mb.const_int(0).store_local(s);
+        let top = mb.label();
+        let done = mb.label();
+        mb.bind(top);
+        mb.load_local(0).const_int(0).cmp(rafda::classmodel::CmpOp::Gt);
+        mb.jump_if_not(done);
+        mb.load_local(s);
+        mb.load_local(0).new_init(cell, 0, 1);
+        mb.invoke(value_sig, 0);
+        mb.add().store_local(s);
+        mb.load_local(0).const_int(1).sub().store_local(0);
+        mb.jump(top);
+        mb.bind(done);
+        mb.load_local(s).ret_value();
+        cb.static_method(u, "construct", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+
+        // static int static_get(int n) { int s=0; while(n>0){ s=s+Cell.K; n=n-1; } return s; }
+        let mut mb = MethodBuilder::new(1);
+        let s = mb.alloc_local();
+        mb.const_int(0).store_local(s);
+        let top = mb.label();
+        let done = mb.label();
+        mb.bind(top);
+        mb.load_local(0).const_int(0).cmp(rafda::classmodel::CmpOp::Gt);
+        mb.jump_if_not(done);
+        mb.load_local(s);
+        mb.get_static(cell, 0);
+        mb.add().store_local(s);
+        mb.load_local(0).const_int(1).sub().store_local(0);
+        mb.jump(top);
+        mb.bind(done);
+        mb.load_local(s).ret_value();
+        cb.static_method(u, "static_get", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+    }
+    app
+}
+
+const SITES: [&str; 4] = ["field_get", "field_set", "construct", "static_get"];
+const N: i32 = 200;
+
+fn original_steps(site: &str) -> u64 {
+    let app = micro_app();
+    let vm = Vm::new(std::sync::Arc::new(app.universe().clone()));
+    vm.call_static_by_name("Bench", site, vec![Value::Int(N)])
+        .unwrap();
+    vm.stats().steps
+}
+
+fn rafda_steps(site: &str) -> u64 {
+    let rt = micro_app().transform(&["RMI"]).unwrap().deploy_local();
+    rt.call_static("Bench", site, vec![Value::Int(N)]).unwrap();
+    rt.vm().stats().steps
+}
+
+fn summary_table() {
+    println!("\n=== E8: local overhead of the transformation, per site kind ===");
+    println!(
+        "{:<12} | {:>14} | {:>14} | {:>9}",
+        "site", "original steps", "RAFDA steps", "overhead"
+    );
+    for site in SITES {
+        let orig = original_steps(site);
+        let rafda = rafda_steps(site);
+        println!(
+            "{:<12} | {:>14} | {:>14} | {:>8.2}x",
+            site,
+            orig,
+            rafda,
+            rafda as f64 / orig as f64
+        );
+    }
+    println!("(loop/driver instructions included, so per-access overhead is higher)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    summary_table();
+    let mut group = c.benchmark_group("e8_local_overhead");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    // Original program wall-clock.
+    {
+        let app = micro_app();
+        let universe = std::sync::Arc::new(app.universe().clone());
+        for site in SITES {
+            let vm = Vm::new(universe.clone());
+            group.bench_function(format!("original/{site}"), move |b| {
+                b.iter(|| {
+                    vm.call_static_by_name("Bench", site, vec![Value::Int(N)])
+                        .unwrap()
+                })
+            });
+        }
+    }
+    // Transformed-local wall-clock.
+    {
+        let rt = micro_app().transform(&["RMI"]).unwrap().deploy_local();
+        for site in SITES {
+            let rt = rt.clone();
+            group.bench_function(format!("rafda_local/{site}"), move |b| {
+                b.iter(|| rt.call_static("Bench", site, vec![Value::Int(N)]).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! # rafda-bench
+//!
+//! Shared fixtures for the benchmark harness. One Criterion bench binary
+//! exists per experiment of `DESIGN.md`'s index (E1, E3, E4, E5, E6, E8);
+//! each prints the paper-style table it regenerates before running its
+//! timing groups, so `cargo bench` output doubles as the experiment record
+//! (collected into `EXPERIMENTS.md`).
+
+#![warn(missing_docs)]
+
+use rafda::classmodel::builder::{ClassBuilder, MethodBuilder};
+use rafda::classmodel::{ClassKind, Field};
+use rafda::corpus::{generate_app, AppSpec, ObserverHooks};
+use rafda::{Application, Cluster, DistributionPolicy, NodeId, Ty, Value};
+
+/// Build the Figure 1 counter application (`C` with `tick`, holders `A`
+/// and `B`).
+pub fn figure1_app() -> Application {
+    let mut app = Application::new();
+    let u = app.universe_mut();
+    let c = u.declare("C", ClassKind::Class);
+    {
+        let mut cb = ClassBuilder::new(u, c);
+        let count = cb.field(Field::new("count", Ty::Int));
+        let mut mb = MethodBuilder::new(1);
+        mb.ret();
+        cb.ctor(u, vec![], Some(mb.finish()));
+        let mut mb = MethodBuilder::new(1);
+        mb.load_this();
+        mb.load_this().get_field(c, count);
+        mb.const_int(1).add();
+        mb.put_field(c, count);
+        mb.load_this().get_field(c, count);
+        mb.ret_value();
+        cb.method(u, "tick", vec![], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+    }
+    app
+}
+
+/// Build a generated chain application with the given spec.
+pub fn chain_app(spec: &AppSpec) -> Application {
+    let mut app = Application::new();
+    let obs = app.observer();
+    generate_app(
+        app.universe_mut(),
+        ObserverHooks {
+            class: obs.class,
+            emit: obs.emit,
+        },
+        spec,
+    );
+    app
+}
+
+/// Deploy the Figure 1 app over `nodes` nodes with the given policy and
+/// return `(cluster, counter value reference)`.
+pub fn deployed_counter(
+    nodes: u32,
+    policy: Box<dyn DistributionPolicy>,
+) -> (Cluster, Value) {
+    let cluster = figure1_app()
+        .transform(&["RMI", "SOAP", "CORBA"])
+        .map(|t| t.deploy(nodes, 42, policy))
+        .expect("figure1 transforms");
+    let c = cluster
+        .new_instance(NodeId(0), "C", 0, vec![])
+        .expect("counter created");
+    (cluster, c)
+}
+
+/// Format a ratio as `x.yz×`.
+pub fn ratio(base: u64, other: u64) -> String {
+    format!("{:.2}x", other as f64 / base.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rafda::LocalPolicy;
+
+    #[test]
+    fn fixtures_build_and_run() {
+        let (cluster, c) = deployed_counter(2, Box::new(LocalPolicy::default()));
+        assert_eq!(
+            cluster
+                .call_method(NodeId(0), c, "tick", vec![])
+                .unwrap(),
+            Value::Int(1)
+        );
+        let app = chain_app(&AppSpec::default());
+        assert!(app.universe().by_name("Driver").is_some());
+        assert_eq!(ratio(10, 25), "2.50x");
+    }
+}

@@ -1,0 +1,279 @@
+//! The stack-based mini-bytecode instruction set.
+//!
+//! The RAFDA paper performs its transformations "at the bytecode level"
+//! (Section 1) using BCEL. This module defines the analogous instruction
+//! stream: a verified stack machine with locals, field access, three call
+//! kinds, object/array allocation, branching, arithmetic and exceptions.
+//!
+//! The transformation engine rewrites these instructions in place, e.g.
+//! [`Insn::GetField`] becomes an [`Insn::Invoke`] of the generated property
+//! getter, and [`Insn::NewInit`] becomes calls to the generated object
+//! factory's `make`/`init` pair.
+
+use crate::ty::Ty;
+use crate::universe::{ClassId, SigId};
+
+/// A constant operand pushed by [`Insn::Const`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// The `null` reference.
+    Null,
+    /// A boolean constant.
+    Bool(bool),
+    /// A 32-bit integer constant.
+    Int(i32),
+    /// A 64-bit integer constant.
+    Long(i64),
+    /// A 32-bit float constant.
+    Float(f32),
+    /// A 64-bit float constant.
+    Double(f64),
+    /// A string constant.
+    Str(String),
+}
+
+impl Const {
+    /// The static type of the constant ([`Ty::Object`] is approximated as a
+    /// null-typed bottom reference and handled specially by the verifier).
+    pub fn ty(&self) -> Option<Ty> {
+        match self {
+            Const::Null => None,
+            Const::Bool(_) => Some(Ty::Bool),
+            Const::Int(_) => Some(Ty::Int),
+            Const::Long(_) => Some(Ty::Long),
+            Const::Float(_) => Some(Ty::Float),
+            Const::Double(_) => Some(Ty::Double),
+            Const::Str(_) => Some(Ty::Str),
+        }
+    }
+}
+
+/// A reference to a field declared by `owner`.
+///
+/// `index` selects within the owner's *declared* instance or static field
+/// list (depending on the instruction using the reference); inherited fields
+/// are addressed through the declaring superclass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldRef {
+    /// The class that declares the field.
+    pub owner: ClassId,
+    /// Index into the owner's declared (instance or static) fields.
+    pub index: u16,
+}
+
+/// Binary arithmetic / logic operators (operate on two stack operands of the
+/// same numeric type, or on strings for `Add`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition (wrapping for integers; concatenation for strings).
+    Add,
+    /// Subtraction (wrapping).
+    Sub,
+    /// Multiplication (wrapping).
+    Mul,
+    /// Division (traps on integer division by zero).
+    Div,
+    /// Remainder (traps on integer division by zero).
+    Rem,
+    /// Bitwise/logical AND.
+    And,
+    /// Bitwise/logical OR.
+    Or,
+    /// Bitwise/logical XOR.
+    Xor,
+    /// Left shift.
+    Shl,
+    /// Right shift.
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation (wrapping for integers).
+    Neg,
+    /// Logical/bitwise complement.
+    Not,
+    /// Numeric conversion to the named primitive type
+    /// (`"int"`, `"long"`, `"float"`, `"double"`, `"string"`).
+    Convert(&'static str),
+}
+
+/// Comparison operators; push a `Bool`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal (defined for all same-kind values and null/reference mixes).
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than (numeric and string ordering).
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// One instruction of the stack machine.
+///
+/// Stack effects are written `[..., a, b] -> [..., r]` with the top of the
+/// stack on the right.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Insn {
+    /// `[] -> [c]` — push a constant.
+    Const(Const),
+    /// `[] -> [v]` — push local `n` (for instance methods local 0 is `this`).
+    LoadLocal(u16),
+    /// `[v] -> []` — pop into local `n`.
+    StoreLocal(u16),
+    /// `[obj] -> [v]` — read instance field.
+    GetField(FieldRef),
+    /// `[obj, v] -> []` — write instance field.
+    PutField(FieldRef),
+    /// `[] -> [v]` — read static field.
+    GetStatic(FieldRef),
+    /// `[v] -> []` — write static field.
+    PutStatic(FieldRef),
+    /// `[a0..a(n-1)] -> [obj]` — allocate an instance of `class` and run its
+    /// `ctor`-th constructor with the popped arguments. Equivalent to JVM
+    /// `new` + `dup` + `invokespecial <init>`.
+    NewInit {
+        /// The class to instantiate.
+        class: ClassId,
+        /// Constructor ordinal within the class's `ctors` list.
+        ctor: u16,
+        /// Number of constructor arguments popped.
+        argc: u8,
+    },
+    /// `[recv, a0..a(n-1)] -> [r?]` — virtual/interface call, dispatched on
+    /// the runtime class of `recv` by signature.
+    Invoke {
+        /// The interned call signature (dispatch key).
+        sig: SigId,
+        /// Number of arguments popped (excluding the receiver).
+        argc: u8,
+    },
+    /// `[a0..a(n-1)] -> [r?]` — static call on `class`.
+    InvokeStatic {
+        /// The class whose static method is called (resolution walks up).
+        class: ClassId,
+        /// The interned call signature.
+        sig: SigId,
+        /// Number of arguments popped.
+        argc: u8,
+    },
+    /// `[] -> ⊥` — return from a `void` method.
+    Return,
+    /// `[v] -> ⊥` — return `v`.
+    ReturnValue,
+    /// `[exc] -> ⊥` — throw; unwinds to the nearest matching handler.
+    Throw,
+    /// `-> pc` — unconditional branch to instruction index.
+    Jump(u32),
+    /// `[b] -> []` — branch if `b` is true.
+    JumpIf(u32),
+    /// `[b] -> []` — branch if `b` is false.
+    JumpIfNot(u32),
+    /// `[a, b] -> [r]`.
+    BinOp(BinOp),
+    /// `[a] -> [r]`.
+    UnOp(UnOp),
+    /// `[a, b] -> [bool]`.
+    Cmp(CmpOp),
+    /// `[len] -> [arr]` — allocate an array with `len` default elements.
+    NewArray(Ty),
+    /// `[arr, idx] -> [v]`.
+    ArrayGet,
+    /// `[arr, idx, v] -> []`.
+    ArraySet,
+    /// `[arr] -> [len]`.
+    ArrayLen,
+    /// `[v] -> [v, v]`.
+    Dup,
+    /// `[v] -> []`.
+    Pop,
+    /// `[a, b] -> [b, a]`.
+    Swap,
+    /// `[obj] -> [bool]` — runtime subtype test.
+    InstanceOf(ClassId),
+    /// `[obj] -> [obj]` — runtime checked cast; throws on failure.
+    CheckCast(ClassId),
+}
+
+impl Insn {
+    /// Number of operands popped / pushed, `None` when it terminates the
+    /// basic block (returns/throw). Used by the verifier.
+    pub fn stack_delta(&self) -> Option<(u32, u32)> {
+        Some(match self {
+            Insn::Const(_) | Insn::LoadLocal(_) | Insn::GetStatic(_) => (0, 1),
+            Insn::StoreLocal(_) | Insn::PutStatic(_) | Insn::Pop | Insn::JumpIf(_)
+            | Insn::JumpIfNot(_) => (1, 0),
+            Insn::GetField(_) => (1, 1),
+            Insn::PutField(_) => (2, 0),
+            Insn::NewInit { argc, .. } => (u32::from(*argc), 1),
+            Insn::Invoke { argc, .. } => (u32::from(*argc) + 1, 1),
+            Insn::InvokeStatic { argc, .. } => (u32::from(*argc), 1),
+            Insn::Return | Insn::ReturnValue | Insn::Throw => return None,
+            Insn::Jump(_) => (0, 0),
+            Insn::BinOp(_) | Insn::Cmp(_) => (2, 1),
+            Insn::UnOp(_) | Insn::InstanceOf(_) | Insn::CheckCast(_) => (1, 1),
+            Insn::NewArray(_) => (1, 1),
+            Insn::ArrayGet => (2, 1),
+            Insn::ArraySet => (3, 0),
+            Insn::ArrayLen => (1, 1),
+            Insn::Dup => (1, 2),
+            Insn::Swap => (2, 2),
+        })
+    }
+
+    /// Branch targets of this instruction, if any.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Insn::Jump(t) | Insn::JumpIf(t) | Insn::JumpIfNot(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Whether control always transfers (no fall-through).
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Insn::Return | Insn::ReturnValue | Insn::Throw | Insn::Jump(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_deltas_match_documentation() {
+        assert_eq!(Insn::Const(Const::Int(1)).stack_delta(), Some((0, 1)));
+        assert_eq!(Insn::PutField(FieldRef { owner: ClassId(0), index: 0 }).stack_delta(), Some((2, 0)));
+        assert_eq!(
+            Insn::Invoke { sig: SigId(0), argc: 2 }.stack_delta(),
+            Some((3, 1))
+        );
+        assert_eq!(Insn::Throw.stack_delta(), None);
+        assert_eq!(Insn::ArraySet.stack_delta(), Some((3, 0)));
+    }
+
+    #[test]
+    fn terminators_and_targets() {
+        assert!(Insn::Jump(3).is_terminator());
+        assert!(!Insn::JumpIf(3).is_terminator());
+        assert_eq!(Insn::JumpIfNot(9).branch_target(), Some(9));
+        assert_eq!(Insn::Pop.branch_target(), None);
+        assert!(Insn::ReturnValue.is_terminator());
+    }
+
+    #[test]
+    fn const_types() {
+        assert_eq!(Const::Int(3).ty(), Some(Ty::Int));
+        assert_eq!(Const::Null.ty(), None);
+        assert_eq!(Const::Str("a".into()).ty(), Some(Ty::Str));
+    }
+}

@@ -1,0 +1,158 @@
+//! The type lattice of the class model.
+//!
+//! Mirrors the Java type system closely enough for the paper's
+//! transformations: primitives, a built-in string type, reference types
+//! naming a class or interface, and (mono-dimensional, possibly nested)
+//! array types.
+
+use crate::universe::ClassId;
+use std::fmt;
+
+/// A type in the class model.
+///
+/// `Str` is modelled as a built-in value type rather than a class; the
+/// paper's transformations never substitute `java.lang.String` (it is one of
+/// the JVM-special classes), so nothing is lost and marshalling becomes
+/// simpler.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// The `void` pseudo-type; only valid as a method return type.
+    Void,
+    /// `boolean`.
+    Bool,
+    /// 32-bit signed integer (`int`; also stands in for `byte`/`short`/`char`).
+    Int,
+    /// 64-bit signed integer (`long`).
+    Long,
+    /// 32-bit IEEE-754 (`float`).
+    Float,
+    /// 64-bit IEEE-754 (`double`).
+    Double,
+    /// Built-in immutable string.
+    Str,
+    /// Reference to an instance of the named class or interface.
+    Object(ClassId),
+    /// Array with the given element type.
+    Array(Box<Ty>),
+}
+
+impl Ty {
+    /// Whether values of this type are object references (affected by the
+    /// interface-rewriting transformation).
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Ty::Object(_) | Ty::Array(_))
+    }
+
+    /// Whether this is a primitive (non-reference, non-void) type.
+    pub fn is_primitive(&self) -> bool {
+        matches!(
+            self,
+            Ty::Bool | Ty::Int | Ty::Long | Ty::Float | Ty::Double | Ty::Str
+        )
+    }
+
+    /// The class referenced by this type, if any — looking through arrays.
+    ///
+    /// This is the notion of "reference to a class" used by the
+    /// non-transformability propagation rule of Section 2.4: a field of type
+    /// `C[][]` references `C`.
+    pub fn referenced_class(&self) -> Option<ClassId> {
+        match self {
+            Ty::Object(c) => Some(*c),
+            Ty::Array(e) => e.referenced_class(),
+            _ => None,
+        }
+    }
+
+    /// Build an array type with this element type.
+    pub fn array_of(self) -> Ty {
+        Ty::Array(Box::new(self))
+    }
+
+    /// A short JVM-style descriptor, used for signature interning and debug
+    /// output (e.g. `I`, `J`, `LX;`, `[I`).
+    pub fn descriptor(&self, name_of: &dyn Fn(ClassId) -> String) -> String {
+        match self {
+            Ty::Void => "V".to_owned(),
+            Ty::Bool => "Z".to_owned(),
+            Ty::Int => "I".to_owned(),
+            Ty::Long => "J".to_owned(),
+            Ty::Float => "F".to_owned(),
+            Ty::Double => "D".to_owned(),
+            Ty::Str => "T".to_owned(),
+            Ty::Object(c) => format!("L{};", name_of(*c)),
+            Ty::Array(e) => format!("[{}", e.descriptor(name_of)),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Void => write!(f, "void"),
+            Ty::Bool => write!(f, "boolean"),
+            Ty::Int => write!(f, "int"),
+            Ty::Long => write!(f, "long"),
+            Ty::Float => write!(f, "float"),
+            Ty::Double => write!(f, "double"),
+            Ty::Str => write!(f, "String"),
+            Ty::Object(c) => write!(f, "#{}", c.0),
+            Ty::Array(e) => write!(f, "{}[]", e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_class_looks_through_arrays() {
+        let c = ClassId(7);
+        let t = Ty::Object(c).array_of().array_of();
+        assert_eq!(t.referenced_class(), Some(c));
+        assert_eq!(Ty::Int.referenced_class(), None);
+        assert_eq!(Ty::Int.array_of().referenced_class(), None);
+    }
+
+    #[test]
+    fn reference_and_primitive_partition() {
+        assert!(Ty::Object(ClassId(0)).is_reference());
+        assert!(Ty::Int.array_of().is_reference());
+        assert!(!Ty::Int.is_reference());
+        assert!(Ty::Str.is_primitive());
+        assert!(!Ty::Void.is_primitive());
+        assert!(!Ty::Object(ClassId(0)).is_primitive());
+    }
+
+    #[test]
+    fn descriptors_are_distinct() {
+        let name = |c: ClassId| format!("C{}", c.0);
+        let ds: Vec<String> = [
+            Ty::Void,
+            Ty::Bool,
+            Ty::Int,
+            Ty::Long,
+            Ty::Float,
+            Ty::Double,
+            Ty::Str,
+            Ty::Object(ClassId(1)),
+            Ty::Object(ClassId(2)),
+            Ty::Int.array_of(),
+            Ty::Int.array_of().array_of(),
+        ]
+        .iter()
+        .map(|t| t.descriptor(&name))
+        .collect();
+        let mut uniq = ds.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), ds.len());
+    }
+
+    #[test]
+    fn display_is_java_like() {
+        assert_eq!(Ty::Int.array_of().to_string(), "int[]");
+        assert_eq!(Ty::Str.to_string(), "String");
+    }
+}

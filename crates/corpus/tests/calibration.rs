@@ -1,0 +1,82 @@
+//! Experiment E3 calibration: the transformability analysis over the
+//! JDK-1.4.1-shaped corpus must reproduce the paper's headline statistic —
+//! "About 40% of the 8,200 classes and interfaces in JDK 1.4.1 cannot be
+//! transformed" (Section 2.4).
+
+use rafda_corpus::JdkProfile;
+
+#[test]
+fn full_corpus_reproduces_the_40_percent_statistic() {
+    let profile = JdkProfile::jdk_1_4_1();
+    let total = profile.total_classes() + profile.hub_classes;
+    assert!((8_100..=8_350).contains(&total), "corpus size {total}");
+    let mut u = rafda_classmodel::ClassUniverse::new();
+    rafda_corpus::generate_jdk(&mut u, &profile);
+    let report = rafda_transform::analyze(&u);
+    let frac = report.non_transformable_fraction();
+    assert!(
+        (0.35..=0.47).contains(&frac),
+        "expected ≈40% non-transformable, got {:.1}%",
+        frac * 100.0
+    );
+    // All four reasons must actually occur.
+    let (native, special, referenced, subclass) = report.reason_breakdown();
+    assert!(native > 100, "native seeds: {native}");
+    assert!(special > 50, "special seeds: {special}");
+    assert!(referenced > 500, "referenced propagation: {referenced}");
+    assert!(subclass > 100, "subclass propagation: {subclass}");
+}
+
+#[test]
+fn native_density_increases_non_transformability() {
+    // Section 2.4: "This percentage would increase if the user code
+    // contains native methods which refer to a JDK class."
+    let frac_at = |scale: f64| {
+        let profile = JdkProfile::scaled(2000).with_native_scale(scale);
+        let mut u = rafda_classmodel::ClassUniverse::new();
+        rafda_corpus::generate_jdk(&mut u, &profile);
+        rafda_transform::analyze(&u).non_transformable_fraction()
+    };
+    let low = frac_at(0.25);
+    let mid = frac_at(1.0);
+    let high = frac_at(3.0);
+    assert!(low < mid && mid < high, "low={low:.3} mid={mid:.3} high={high:.3}");
+}
+
+#[test]
+fn transforming_the_transformable_corpus_subset_succeeds() {
+    // The engine must be able to run over a corpus-scale universe: every
+    // transformable class gets a family, and the result verifies.
+    let profile = JdkProfile::scaled(400);
+    let mut u = rafda_classmodel::ClassUniverse::new();
+    rafda_corpus::generate_jdk(&mut u, &profile);
+    let outcome = rafda_transform::Transformer::new()
+        .protocols(&["RMI"])
+        .run(&mut u)
+        .expect("corpus transforms");
+    assert!(outcome.report.substitutable_count > 50);
+    assert!(outcome.report.generated_classes >= outcome.report.substitutable_count * 3);
+    rafda_classmodel::verify_universe(&u).expect("transformed corpus verifies");
+}
+
+#[test]
+fn per_package_breakdown_shows_platform_vs_library_split() {
+    let profile = JdkProfile::scaled(2000);
+    let mut u = rafda_classmodel::ClassUniverse::new();
+    rafda_corpus::generate_jdk(&mut u, &profile);
+    let report = rafda_transform::analyze(&u);
+    let rows = rafda_corpus::breakdown_by_package(&u, |id| report.is_transformable(id));
+    // Every package appears, totals add up.
+    // Hubs are named java_lang_HubN, so they fold into java_lang.
+    assert_eq!(rows.len(), 12, "{rows:?}");
+    let total: usize = rows.iter().map(|(_, t, _)| t).sum();
+    assert_eq!(total, report.total);
+    let frac = |name: &str| {
+        let (_, t, nt) = rows.iter().find(|(p, _, _)| p == name).unwrap();
+        *nt as f64 / *t as f64
+    };
+    // Native-heavy platform packages are far more poisoned than the pure
+    // bytecode libraries — the real-JDK shape.
+    assert!(frac("java_lang") > frac("javax_swing"), "{rows:?}");
+    assert!(frac("java_io") > frac("org_omg"), "{rows:?}");
+}

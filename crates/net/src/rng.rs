@@ -1,0 +1,78 @@
+//! A tiny deterministic PRNG (SplitMix64).
+//!
+//! The network needs reproducible jitter and drop decisions that are stable
+//! across library versions, so we use the well-known SplitMix64 generator
+//! rather than an external dependency whose stream might change.
+
+/// SplitMix64 state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded construction; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut r = SplitMix64::new(123);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(r.next_below(17) < 17);
+        }
+    }
+}

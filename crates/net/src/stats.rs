@@ -1,0 +1,116 @@
+//! Per-link and aggregate traffic statistics.
+//!
+//! The adaptive distribution policy (experiment E6) reads these counters to
+//! find "chatty" remote pairs and re-draw the distribution boundary around
+//! them.
+
+use crate::{NodeId, SimTime};
+use std::collections::HashMap;
+
+/// Counters for one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Payload bytes delivered.
+    pub bytes: u64,
+    /// Total simulated transmission time.
+    pub time_ns: u64,
+}
+
+impl LinkStats {
+    /// Mean latency per message.
+    pub fn mean_latency(&self) -> SimTime {
+        self.time_ns
+            .checked_div(self.messages)
+            .map(SimTime::from_ns)
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages delivered (all links).
+    pub messages: u64,
+    /// Bytes delivered (all links).
+    pub bytes: u64,
+    /// Failed transmissions (drops, partitions, crashes).
+    pub failures: u64,
+    links: HashMap<(NodeId, NodeId), LinkStats>,
+}
+
+impl NetStats {
+    /// Record a successful delivery.
+    pub(crate) fn record(&mut self, from: NodeId, to: NodeId, bytes: usize, cost_ns: u64) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        let link = self.links.entry((from, to)).or_default();
+        link.messages += 1;
+        link.bytes += bytes as u64;
+        link.time_ns += cost_ns;
+    }
+
+    /// Counters for the directed link `(from, to)`.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkStats {
+        self.links.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Iterate all directed links with traffic.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId, LinkStats)> + '_ {
+        self.links.iter().map(|(&(f, t), &s)| (f, t, s))
+    }
+
+    /// Total bytes exchanged between a pair (both directions).
+    pub fn pair_bytes(&self, a: NodeId, b: NodeId) -> u64 {
+        self.link(a, b).bytes + self.link(b, a).bytes
+    }
+
+    /// The directed link with the most traffic, if any.
+    pub fn busiest_link(&self) -> Option<(NodeId, NodeId, LinkStats)> {
+        self.links()
+            .max_by_key(|(_, _, s)| s.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_link_and_total() {
+        let mut s = NetStats::default();
+        s.record(NodeId(0), NodeId(1), 100, 10);
+        s.record(NodeId(0), NodeId(1), 50, 20);
+        s.record(NodeId(1), NodeId(0), 25, 5);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 175);
+        assert_eq!(s.link(NodeId(0), NodeId(1)).messages, 2);
+        assert_eq!(s.link(NodeId(0), NodeId(1)).bytes, 150);
+        assert_eq!(s.pair_bytes(NodeId(0), NodeId(1)), 175);
+        assert_eq!(s.pair_bytes(NodeId(1), NodeId(0)), 175);
+    }
+
+    #[test]
+    fn mean_latency_handles_zero() {
+        assert_eq!(LinkStats::default().mean_latency(), SimTime::ZERO);
+        let mut s = NetStats::default();
+        s.record(NodeId(0), NodeId(1), 1, 30);
+        s.record(NodeId(0), NodeId(1), 1, 10);
+        assert_eq!(
+            s.link(NodeId(0), NodeId(1)).mean_latency(),
+            SimTime::from_ns(20)
+        );
+    }
+
+    #[test]
+    fn busiest_link_found() {
+        let mut s = NetStats::default();
+        assert!(s.busiest_link().is_none());
+        s.record(NodeId(0), NodeId(1), 10, 1);
+        s.record(NodeId(2), NodeId(1), 500, 1);
+        let (f, t, l) = s.busiest_link().unwrap();
+        assert_eq!((f, t), (NodeId(2), NodeId(1)));
+        assert_eq!(l.bytes, 500);
+    }
+}

@@ -1,0 +1,505 @@
+//! # rafda-policy
+//!
+//! Distribution policy: *where* objects and class singletons live, and
+//! *which protocol* their proxies speak.
+//!
+//! The paper isolates all distribution decisions in two factory methods:
+//! "The object creation method, `make`, selects which of the
+//! implementations is to be used based on some policy" and "the only
+//! potentially implementation-aware methods" (Sections 2.3). This crate is
+//! that policy:
+//!
+//! * [`DistributionPolicy`] — the decision interface the runtime's factory
+//!   hooks consult;
+//! * [`StaticPolicy`] — a declarative rule table (with a text format, see
+//!   [`StaticPolicy::parse`]) assigning instance placement, statics
+//!   placement and protocol per class;
+//! * [`AffinityConfig`] — parameters of the adaptive boundary-moving loop
+//!   ("the distributed program can adapt to its environment by dynamically
+//!   altering its distribution boundaries", Section 1), executed by
+//!   `rafda-runtime`.
+
+#![warn(missing_docs)]
+
+use rafda_net::NodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Where new instances of a class are placed by `make()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// On the node executing `make()` (a local, non-remote object).
+    Creator,
+    /// Always on the given node (remote for everyone else).
+    Node(NodeId),
+}
+
+/// The decision interface consulted by the runtime's `make`/`discover`
+/// hooks and proxy materialisation.
+pub trait DistributionPolicy {
+    /// The node on which `make()` executed at `creating_node` should place a
+    /// new instance of `class`.
+    fn instance_node(&self, class: &str, creating_node: NodeId) -> NodeId;
+
+    /// The node owning the singleton that implements `class`'s static
+    /// members.
+    fn statics_node(&self, class: &str) -> NodeId;
+
+    /// The proxy protocol used for remote references to `class`
+    /// (`"RMI"`, `"SOAP"`, `"CORBA"`).
+    fn protocol(&self, class: &str) -> String;
+}
+
+/// Everything-local policy: instances at their creator, all singletons on
+/// node 0, one fixed protocol. The "local version of the transformed
+/// application" of the paper's Section 4 corresponds to this policy on a
+/// one-node cluster.
+#[derive(Debug, Clone)]
+pub struct LocalPolicy {
+    protocol: String,
+}
+
+impl LocalPolicy {
+    /// Local policy with the given proxy protocol (still needed when
+    /// migration later makes objects remote).
+    pub fn new(protocol: &str) -> Self {
+        LocalPolicy {
+            protocol: protocol.to_owned(),
+        }
+    }
+}
+
+impl Default for LocalPolicy {
+    fn default() -> Self {
+        LocalPolicy::new("RMI")
+    }
+}
+
+impl DistributionPolicy for LocalPolicy {
+    fn instance_node(&self, _class: &str, creating_node: NodeId) -> NodeId {
+        creating_node
+    }
+
+    fn statics_node(&self, _class: &str) -> NodeId {
+        NodeId(0)
+    }
+
+    fn protocol(&self, _class: &str) -> String {
+        self.protocol.clone()
+    }
+}
+
+/// A declarative per-class rule table.
+///
+/// # Example
+///
+/// ```
+/// use rafda_policy::{DistributionPolicy, StaticPolicy};
+/// use rafda_net::NodeId;
+///
+/// let policy = StaticPolicy::parse(
+///     "default protocol RMI\n\
+///      default statics node0\n\
+///      class C place node2\n\
+///      class C protocol SOAP\n\
+///      class X statics node1\n",
+/// ).unwrap();
+/// assert_eq!(policy.instance_node("C", NodeId(0)), NodeId(2));
+/// assert_eq!(policy.instance_node("D", NodeId(3)), NodeId(3));
+/// assert_eq!(policy.statics_node("X"), NodeId(1));
+/// assert_eq!(policy.protocol("C"), "SOAP");
+/// assert_eq!(policy.protocol("D"), "RMI");
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticPolicy {
+    default_protocol: String,
+    default_statics: NodeId,
+    default_placement: Placement,
+    instance_rules: HashMap<String, Placement>,
+    statics_rules: HashMap<String, NodeId>,
+    protocol_rules: HashMap<String, String>,
+}
+
+impl Default for StaticPolicy {
+    fn default() -> Self {
+        StaticPolicy {
+            default_protocol: "RMI".to_owned(),
+            default_statics: NodeId(0),
+            default_placement: Placement::Creator,
+            instance_rules: HashMap::new(),
+            statics_rules: HashMap::new(),
+            protocol_rules: HashMap::new(),
+        }
+    }
+}
+
+/// A policy-text parse failure with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyParseError {
+    /// 1-based line number of the offending directive.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+impl StaticPolicy {
+    /// A policy with library defaults (creator placement, statics on node 0,
+    /// RMI proxies).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the default protocol.
+    pub fn default_protocol(mut self, protocol: &str) -> Self {
+        self.default_protocol = protocol.to_owned();
+        self
+    }
+
+    /// Set the default statics owner.
+    pub fn default_statics(mut self, node: NodeId) -> Self {
+        self.default_statics = node;
+        self
+    }
+
+    /// Set the default instance placement.
+    pub fn default_placement(mut self, placement: Placement) -> Self {
+        self.default_placement = placement;
+        self
+    }
+
+    /// Place instances of `class`.
+    pub fn place(mut self, class: &str, placement: Placement) -> Self {
+        self.instance_rules.insert(class.to_owned(), placement);
+        self
+    }
+
+    /// Place the statics singleton of `class`.
+    pub fn statics(mut self, class: &str, node: NodeId) -> Self {
+        self.statics_rules.insert(class.to_owned(), node);
+        self
+    }
+
+    /// Select the proxy protocol for `class`.
+    pub fn with_protocol(mut self, class: &str, protocol: &str) -> Self {
+        self.protocol_rules
+            .insert(class.to_owned(), protocol.to_owned());
+        self
+    }
+
+    /// Parse the policy text format:
+    ///
+    /// ```text
+    /// # comments and blank lines are ignored
+    /// default protocol RMI|SOAP|CORBA
+    /// default statics node<N>
+    /// default place creator|node<N>
+    /// class <Name> place creator|node<N>
+    /// class <Name> statics node<N>
+    /// class <Name> protocol RMI|SOAP|CORBA
+    /// ```
+    ///
+    /// # Errors
+    /// [`PolicyParseError`] with the offending line.
+    pub fn parse(text: &str) -> Result<Self, PolicyParseError> {
+        let mut policy = StaticPolicy::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: &str| PolicyParseError {
+                line: i + 1,
+                message: message.to_owned(),
+            };
+            let words: Vec<&str> = line.split_whitespace().collect();
+            match words.as_slice() {
+                ["default", "protocol", p] => policy.default_protocol = (*p).to_owned(),
+                ["default", "statics", n] => {
+                    policy.default_statics = parse_node(n).ok_or_else(|| err("bad node"))?;
+                }
+                ["default", "place", w] => {
+                    policy.default_placement =
+                        parse_placement(w).ok_or_else(|| err("bad placement"))?;
+                }
+                ["class", name, "place", w] => {
+                    let p = parse_placement(w).ok_or_else(|| err("bad placement"))?;
+                    policy.instance_rules.insert((*name).to_owned(), p);
+                }
+                ["class", name, "statics", n] => {
+                    let node = parse_node(n).ok_or_else(|| err("bad node"))?;
+                    policy.statics_rules.insert((*name).to_owned(), node);
+                }
+                ["class", name, "protocol", p] => {
+                    policy
+                        .protocol_rules
+                        .insert((*name).to_owned(), (*p).to_owned());
+                }
+                _ => return Err(err("unrecognised directive")),
+            }
+        }
+        Ok(policy)
+    }
+}
+
+impl StaticPolicy {
+    /// Render the policy back to the text format accepted by
+    /// [`StaticPolicy::parse`] (rules sorted for determinism):
+    /// `parse(p.to_text())` reproduces `p`.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "default protocol {}", self.default_protocol);
+        let _ = writeln!(out, "default statics node{}", self.default_statics.0);
+        match self.default_placement {
+            Placement::Creator => out.push_str("default place creator\n"),
+            Placement::Node(n) => {
+                let _ = writeln!(out, "default place node{}", n.0);
+            }
+        }
+        let mut rules: Vec<String> = Vec::new();
+        for (class, placement) in &self.instance_rules {
+            rules.push(match placement {
+                Placement::Creator => format!("class {class} place creator"),
+                Placement::Node(n) => format!("class {class} place node{}", n.0),
+            });
+        }
+        for (class, node) in &self.statics_rules {
+            rules.push(format!("class {class} statics node{}", node.0));
+        }
+        for (class, protocol) in &self.protocol_rules {
+            rules.push(format!("class {class} protocol {protocol}"));
+        }
+        rules.sort();
+        for r in rules {
+            out.push_str(&r);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn parse_node(word: &str) -> Option<NodeId> {
+    word.strip_prefix("node")?.parse().ok().map(NodeId)
+}
+
+fn parse_placement(word: &str) -> Option<Placement> {
+    if word == "creator" {
+        Some(Placement::Creator)
+    } else {
+        parse_node(word).map(Placement::Node)
+    }
+}
+
+impl DistributionPolicy for StaticPolicy {
+    fn instance_node(&self, class: &str, creating_node: NodeId) -> NodeId {
+        match self
+            .instance_rules
+            .get(class)
+            .copied()
+            .unwrap_or(self.default_placement)
+        {
+            Placement::Creator => creating_node,
+            Placement::Node(n) => n,
+        }
+    }
+
+    fn statics_node(&self, class: &str) -> NodeId {
+        self.statics_rules
+            .get(class)
+            .copied()
+            .unwrap_or(self.default_statics)
+    }
+
+    fn protocol(&self, class: &str) -> String {
+        self.protocol_rules
+            .get(class)
+            .cloned()
+            .unwrap_or_else(|| self.default_protocol.clone())
+    }
+}
+
+/// Load-spreading policy: each `make()` places the new instance on the
+/// next node round-robin, regardless of where the creator runs — the
+/// classic "scale out a stateless pool" deployment. Statics stay on a fixed
+/// owner.
+///
+/// # Example
+///
+/// ```
+/// use rafda_policy::{DistributionPolicy, RoundRobinPolicy};
+/// use rafda_net::NodeId;
+///
+/// let p = RoundRobinPolicy::new(3, "RMI");
+/// let first = p.instance_node("Worker", NodeId(0));
+/// let second = p.instance_node("Worker", NodeId(0));
+/// let third = p.instance_node("Worker", NodeId(0));
+/// let fourth = p.instance_node("Worker", NodeId(0));
+/// assert_ne!(first, second);
+/// assert_eq!(first, fourth); // wraps around three nodes
+/// ```
+#[derive(Debug)]
+pub struct RoundRobinPolicy {
+    nodes: u32,
+    protocol: String,
+    statics_owner: NodeId,
+    next: std::cell::Cell<u32>,
+}
+
+impl RoundRobinPolicy {
+    /// Spread instances over `nodes` nodes, proxying with `protocol`.
+    pub fn new(nodes: u32, protocol: &str) -> Self {
+        RoundRobinPolicy {
+            nodes: nodes.max(1),
+            protocol: protocol.to_owned(),
+            statics_owner: NodeId(0),
+            next: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Choose the statics owner (default node 0).
+    pub fn statics_owner(mut self, node: NodeId) -> Self {
+        self.statics_owner = node;
+        self
+    }
+}
+
+impl DistributionPolicy for RoundRobinPolicy {
+    fn instance_node(&self, _class: &str, _creating_node: NodeId) -> NodeId {
+        let n = self.next.get();
+        self.next.set((n + 1) % self.nodes);
+        NodeId(n)
+    }
+
+    fn statics_node(&self, _class: &str) -> NodeId {
+        self.statics_owner
+    }
+
+    fn protocol(&self, _class: &str) -> String {
+        self.protocol.clone()
+    }
+}
+
+/// Parameters of the adaptive affinity loop run by the runtime's
+/// `Cluster::adapt`: an exported object is migrated to its dominant caller
+/// when it has seen at least `min_calls` calls and the dominant remote
+/// caller accounts for at least `min_fraction` of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffinityConfig {
+    /// Minimum observed calls before considering migration.
+    pub min_calls: u64,
+    /// Minimum fraction of calls from the dominant remote caller.
+    pub min_fraction: f64,
+}
+
+impl Default for AffinityConfig {
+    fn default() -> Self {
+        AffinityConfig {
+            min_calls: 16,
+            min_fraction: 0.6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_policy_keeps_everything_at_creator() {
+        let p = LocalPolicy::default();
+        assert_eq!(p.instance_node("C", NodeId(3)), NodeId(3));
+        assert_eq!(p.statics_node("C"), NodeId(0));
+        assert_eq!(p.protocol("C"), "RMI");
+    }
+
+    #[test]
+    fn builder_rules_override_defaults() {
+        let p = StaticPolicy::new()
+            .default_protocol("CORBA")
+            .default_statics(NodeId(2))
+            .place("C", Placement::Node(NodeId(1)))
+            .statics("C", NodeId(1))
+            .with_protocol("C", "SOAP");
+        assert_eq!(p.instance_node("C", NodeId(0)), NodeId(1));
+        assert_eq!(p.instance_node("Other", NodeId(5)), NodeId(5));
+        assert_eq!(p.statics_node("C"), NodeId(1));
+        assert_eq!(p.statics_node("Other"), NodeId(2));
+        assert_eq!(p.protocol("C"), "SOAP");
+        assert_eq!(p.protocol("Other"), "CORBA");
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let p = StaticPolicy::parse(
+            "# policy\n\
+             default protocol CORBA\n\
+             default statics node3\n\
+             default place node1\n\
+             \n\
+             class A place creator\n\
+             class B statics node2\n\
+             class B protocol SOAP\n",
+        )
+        .unwrap();
+        assert_eq!(p.instance_node("A", NodeId(9)), NodeId(9));
+        assert_eq!(p.instance_node("Z", NodeId(9)), NodeId(1));
+        assert_eq!(p.statics_node("B"), NodeId(2));
+        assert_eq!(p.statics_node("A"), NodeId(3));
+        assert_eq!(p.protocol("B"), "SOAP");
+        assert_eq!(p.protocol("A"), "CORBA");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = StaticPolicy::parse("default protocol RMI\nclass A dance node1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+        let err = StaticPolicy::parse("class A place nodeX\n").unwrap_err();
+        assert_eq!(err.message, "bad placement");
+    }
+
+    #[test]
+    fn to_text_parse_roundtrip() {
+        let p = StaticPolicy::new()
+            .default_protocol("SOAP")
+            .default_statics(NodeId(3))
+            .default_placement(Placement::Node(NodeId(1)))
+            .place("A", Placement::Creator)
+            .place("B", Placement::Node(NodeId(2)))
+            .statics("B", NodeId(2))
+            .with_protocol("C", "CORBA");
+        let text = p.to_text();
+        let q = StaticPolicy::parse(&text).unwrap();
+        for class in ["A", "B", "C", "Unlisted"] {
+            for node in [NodeId(0), NodeId(5)] {
+                assert_eq!(p.instance_node(class, node), q.instance_node(class, node));
+            }
+            assert_eq!(p.statics_node(class), q.statics_node(class));
+            assert_eq!(p.protocol(class), q.protocol(class));
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_keeps_statics_fixed() {
+        let p = RoundRobinPolicy::new(2, "SOAP").statics_owner(NodeId(1));
+        let seq: Vec<NodeId> = (0..4).map(|_| p.instance_node("C", NodeId(9))).collect();
+        assert_eq!(seq, vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)]);
+        assert_eq!(p.statics_node("C"), NodeId(1));
+        assert_eq!(p.protocol("C"), "SOAP");
+    }
+
+    #[test]
+    fn affinity_defaults_are_sane() {
+        let c = AffinityConfig::default();
+        assert!(c.min_calls > 0);
+        assert!(c.min_fraction > 0.5 && c.min_fraction <= 1.0);
+    }
+}

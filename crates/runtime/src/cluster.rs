@@ -1,0 +1,1316 @@
+//! The distributed runtime proper: nodes, registries, factory & proxy
+//! hooks, RPC dispatch, migration and adaptation.
+
+use crate::error::RuntimeError;
+use crate::marshal;
+use rafda_classmodel::{ClassId, ClassUniverse, SigId};
+use rafda_net::{Network, NodeId};
+use rafda_policy::{AffinityConfig, DistributionPolicy};
+use rafda_transform::TransformPlan;
+use rafda_vm::{Handle, Trace, TraceEvent, Value, Vm, VmError};
+use rafda_wire::{Protocol, ProtocolKind, Reply, Request, WireValue};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::{Rc, Weak};
+use std::sync::Arc;
+
+/// Which half of an artefact family a generated class belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Side {
+    /// Instance members (`_O_` family).
+    Obj,
+    /// Static members (`_C_` family).
+    Cls,
+}
+
+/// What the runtime knows about a generated implementation class.
+#[derive(Debug, Clone)]
+pub(crate) struct GenInfo {
+    pub base: ClassId,
+    pub side: Side,
+    /// `Some(protocol)` for proxy classes, `None` for `*_Local`.
+    pub proto: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SingletonState {
+    InProgress(Handle),
+    Ready(Handle),
+}
+
+impl SingletonState {
+    fn handle(self) -> Handle {
+        match self {
+            SingletonState::InProgress(h) | SingletonState::Ready(h) => h,
+        }
+    }
+}
+
+/// Per-node registry state.
+#[derive(Debug, Default)]
+pub(crate) struct NodeState {
+    exports: HashMap<u64, Handle>,
+    export_ids: HashMap<Handle, u64>,
+    next_oid: u64,
+    imports: HashMap<(u32, u64), Handle>,
+    singletons: HashMap<ClassId, SingletonState>,
+    /// Per-exported-object incoming call counts by caller node.
+    call_counts: HashMap<u64, HashMap<u32, u64>>,
+    /// Host-pinned GC roots (references held outside the simulation, e.g.
+    /// by embedding Rust code).
+    pins: std::collections::HashSet<Handle>,
+}
+
+/// Aggregate runtime statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Remote method invocations served.
+    pub rpc_calls: u64,
+    /// Remote creations served.
+    pub rpc_creates: u64,
+    /// Remote singleton discoveries served.
+    pub rpc_discovers: u64,
+    /// State fetches served (migration).
+    pub rpc_fetches: u64,
+    /// State installs served (migration).
+    pub rpc_installs: u64,
+    /// Forward swaps served (boundary pulls).
+    pub rpc_forwards: u64,
+    /// Objects migrated (including adaptation).
+    pub migrations: u64,
+    /// Objects pulled local.
+    pub pulls: u64,
+    /// Requests answered with a fault.
+    pub faults: u64,
+}
+
+/// A per-node registry summary returned by [`Cluster::describe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSummary {
+    /// The node described.
+    pub node: NodeId,
+    /// Objects this node exports to others.
+    pub exports: usize,
+    /// Remote objects this node holds proxies for.
+    pub imports: usize,
+    /// Class singletons resolved on this node (local or proxied).
+    pub singletons: Vec<String>,
+    /// Live heap entries.
+    pub live_objects: usize,
+}
+
+impl fmt::Display for NodeSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} exports, {} imports, {} live objects, singletons: [{}]",
+            self.node,
+            self.exports,
+            self.imports,
+            self.live_objects,
+            self.singletons.join(", ")
+        )
+    }
+}
+
+/// A reference to an object exported by a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteRef {
+    /// The exporting node.
+    pub node: NodeId,
+    /// The export id on that node.
+    pub oid: u64,
+}
+
+/// One boundary change performed by [`Cluster::adapt`] or
+/// [`Cluster::migrate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationEvent {
+    /// The original class of the migrated object.
+    pub class: String,
+    /// The node the object left.
+    pub from: NodeId,
+    /// The node it moved to.
+    pub to: NodeId,
+    /// The object's new export on the destination.
+    pub target: RemoteRef,
+}
+
+impl fmt::Display for MigrationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "migrated {} from {} to {} (now {}#{})",
+            self.class, self.from, self.to, self.target.node, self.target.oid
+        )
+    }
+}
+
+/// Maximum nested (re-entrant) RPC depth across the whole cluster — a
+/// distributed call chain deeper than this is almost certainly unbounded
+/// mutual recursion, and each level consumes host stack.
+const MAX_RPC_DEPTH: u32 = 64;
+
+pub(crate) struct Shared {
+    pub universe: Arc<ClassUniverse>,
+    pub plan: TransformPlan,
+    pub net: Network,
+    pub vms: Vec<Vm>,
+    pub protocols: HashMap<String, Box<dyn Protocol>>,
+    pub policy: Box<dyn DistributionPolicy>,
+    pub nodes: RefCell<Vec<NodeState>>,
+    pub trace: RefCell<Trace>,
+    pub stats: RefCell<RuntimeStats>,
+    pub gen_info: HashMap<ClassId, GenInfo>,
+    pub rpc_depth: std::cell::Cell<u32>,
+}
+
+/// A simulated cluster running one transformed application.
+///
+/// Cheap to clone; all clones share the same state.
+#[derive(Clone)]
+pub struct Cluster {
+    shared: Rc<Shared>,
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.shared.vms.len())
+            .field("families", &self.shared.plan.families.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Deploy a transformed universe over `nodes` simulated nodes.
+    ///
+    /// Protocol codecs are instantiated for every protocol the plan
+    /// generated proxies for.
+    pub fn new(
+        universe: ClassUniverse,
+        plan: TransformPlan,
+        nodes: u32,
+        seed: u64,
+        policy: Box<dyn DistributionPolicy>,
+    ) -> Self {
+        let universe = Arc::new(universe);
+        let net = Network::new(nodes, seed);
+        let vms: Vec<Vm> = (0..nodes).map(|_| Vm::new(universe.clone())).collect();
+        let mut protocols: HashMap<String, Box<dyn Protocol>> = HashMap::new();
+        for p in &plan.protocols {
+            if let Some(kind) = ProtocolKind::from_name(p) {
+                protocols.insert(p.clone(), kind.codec());
+            }
+        }
+        let mut gen_info = HashMap::new();
+        for family in plan.families.values() {
+            gen_info.insert(
+                family.obj_local,
+                GenInfo {
+                    base: family.base,
+                    side: Side::Obj,
+                    proto: None,
+                },
+            );
+            for (p, c) in &family.obj_proxies {
+                gen_info.insert(
+                    *c,
+                    GenInfo {
+                        base: family.base,
+                        side: Side::Obj,
+                        proto: Some(p.clone()),
+                    },
+                );
+            }
+            if let Some(cl) = family.cls_local {
+                gen_info.insert(
+                    cl,
+                    GenInfo {
+                        base: family.base,
+                        side: Side::Cls,
+                        proto: None,
+                    },
+                );
+            }
+            for (p, c) in &family.cls_proxies {
+                gen_info.insert(
+                    *c,
+                    GenInfo {
+                        base: family.base,
+                        side: Side::Cls,
+                        proto: Some(p.clone()),
+                    },
+                );
+            }
+        }
+        let shared = Rc::new(Shared {
+            universe,
+            plan,
+            net,
+            vms,
+            protocols,
+            policy,
+            nodes: RefCell::new((0..nodes).map(|_| NodeState::default()).collect()),
+            trace: RefCell::new(Trace::new()),
+            stats: RefCell::new(RuntimeStats::default()),
+            gen_info,
+            rpc_depth: std::cell::Cell::new(0),
+        });
+        let cluster = Cluster { shared };
+        cluster.install_hooks();
+        cluster
+    }
+
+    pub(crate) fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    /// The shared class universe.
+    pub fn universe(&self) -> &Arc<ClassUniverse> {
+        &self.shared.universe
+    }
+
+    /// The transformation plan this cluster was deployed from.
+    pub fn plan(&self) -> &TransformPlan {
+        &self.shared.plan
+    }
+
+    /// The simulated network (clock, traffic stats, fault injection).
+    pub fn network(&self) -> Network {
+        self.shared.net.clone()
+    }
+
+    /// The VM of one node.
+    pub fn vm(&self, node: NodeId) -> Vm {
+        self.shared.vms[node.0 as usize].clone()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.shared.vms.len() as u32
+    }
+
+    /// Runtime statistics snapshot.
+    pub fn stats(&self) -> RuntimeStats {
+        *self.shared.stats.borrow()
+    }
+
+    /// Number of objects node `n` currently exports.
+    pub fn export_count(&self, n: NodeId) -> usize {
+        self.shared.nodes.borrow()[n.0 as usize].exports.len()
+    }
+
+    /// Per-node registry summary (for diagnostics and examples).
+    pub fn describe(&self) -> Vec<NodeSummary> {
+        let nodes = self.shared.nodes.borrow();
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(i, state)| {
+                let singletons = state
+                    .singletons
+                    .keys()
+                    .map(|&base| self.shared.universe.class(base).name.clone())
+                    .collect::<Vec<_>>();
+                NodeSummary {
+                    node: NodeId(i as u32),
+                    exports: state.exports.len(),
+                    imports: state.imports.len(),
+                    singletons,
+                    live_objects: self.shared.vms[i].stats().heap.live as usize,
+                }
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Hook installation
+    // ------------------------------------------------------------------
+
+    fn install_hooks(&self) {
+        let families: Vec<ClassId> = self.shared.plan.families.keys().copied().collect();
+        for node_index in 0..self.shared.vms.len() {
+            let node = NodeId(node_index as u32);
+            let vm = &self.shared.vms[node_index];
+            for &base in &families {
+                let family = self.shared.plan.families[&base].clone();
+                // make()
+                let weak = Rc::downgrade(&self.shared);
+                vm.register_native(family.obj_factory, family.make_sig, move |_vm, _args| {
+                    let shared = upgrade(&weak)?;
+                    make_value(&shared, node, base)
+                });
+                // discover()
+                if let (Some(cls_factory), Some(discover_sig)) =
+                    (family.cls_factory, family.discover_sig)
+                {
+                    let weak = Rc::downgrade(&self.shared);
+                    vm.register_native(cls_factory, discover_sig, move |_vm, _args| {
+                        let shared = upgrade(&weak)?;
+                        discover_value(&shared, node, base)
+                    });
+                }
+                // Proxy methods.
+                for (_proto, proxy) in family.obj_proxies.iter().chain(family.cls_proxies.iter())
+                {
+                    self.install_proxy_hooks(node, *proxy);
+                }
+            }
+        }
+    }
+
+    fn install_proxy_hooks(&self, node: NodeId, proxy: ClassId) {
+        let vm = &self.shared.vms[node.0 as usize];
+        let methods: Vec<(String, SigId)> = self
+            .shared
+            .universe
+            .class(proxy)
+            .methods
+            .iter()
+            .filter(|m| m.is_native)
+            .map(|m| (m.name.clone(), m.sig))
+            .collect();
+        for (name, sig) in methods {
+            let weak = Rc::downgrade(&self.shared);
+            vm.register_native(proxy, sig, move |_vm, args| {
+                let shared = upgrade(&weak)?;
+                proxy_call(&shared, node, &name, sig, args)
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Entry points
+    // ------------------------------------------------------------------
+
+    /// Call a static method of the original program on `node`. For a
+    /// substitutable class this goes through `discover()` and the singleton
+    /// (possibly remotely); otherwise it is a plain static call.
+    ///
+    /// # Errors
+    /// Any [`RuntimeError`], including in-model exceptions and network
+    /// failures.
+    pub fn call_static(
+        &self,
+        node: NodeId,
+        class: &str,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, RuntimeError> {
+        let shared = &self.shared;
+        let id = shared
+            .universe
+            .by_name(class)
+            .ok_or_else(|| RuntimeError::Bad(format!("unknown class {class}")))?;
+        let vm = &shared.vms[node.0 as usize];
+        if shared.plan.is_substitutable(id) {
+            let singleton = discover_value(shared, node, id)?;
+            Ok(vm.call_virtual_by_name(singleton, method, args)?)
+        } else {
+            Ok(vm.call_static_by_name(class, method, args)?)
+        }
+    }
+
+    /// Create an instance of original class `class` on `node` via the
+    /// generated factory (`make` + `init$k`), returning the interface-typed
+    /// reference (a local object or a proxy, decided by policy).
+    ///
+    /// # Errors
+    /// Any [`RuntimeError`].
+    pub fn new_instance(
+        &self,
+        node: NodeId,
+        class: &str,
+        ctor: u16,
+        args: Vec<Value>,
+    ) -> Result<Value, RuntimeError> {
+        let shared = &self.shared;
+        let id = shared
+            .universe
+            .by_name(class)
+            .ok_or_else(|| RuntimeError::Bad(format!("unknown class {class}")))?;
+        let vm = &shared.vms[node.0 as usize];
+        match shared.plan.family(id) {
+            Some(family) => {
+                let that = vm.call_static(family.obj_factory, family.make_sig, vec![])?;
+                let init_sig = *family
+                    .init_sigs
+                    .get(ctor as usize)
+                    .ok_or_else(|| RuntimeError::Bad(format!("no ctor {ctor} on {class}")))?;
+                let mut all = vec![that.clone()];
+                all.extend(args);
+                vm.call_static(family.obj_factory, init_sig, all)?;
+                Ok(that)
+            }
+            None => Ok(vm.new_instance(id, ctor, args)?),
+        }
+    }
+
+    /// Invoke `method` on a receiver (local object or proxy) on `node`.
+    ///
+    /// # Errors
+    /// Any [`RuntimeError`].
+    pub fn call_method(
+        &self,
+        node: NodeId,
+        recv: Value,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, RuntimeError> {
+        Ok(self.shared.vms[node.0 as usize].call_virtual_by_name(recv, method, args)?)
+    }
+
+    /// Bind the `Observer` built-in on every node to a **cluster-wide**
+    /// trace, so distributed runs produce one comparable event stream.
+    pub fn bind_observer(&self, ids: &rafda_vm::vm::ObserverIds) {
+        for vm in &self.shared.vms {
+            let weak = Rc::downgrade(&self.shared);
+            vm.register_native(ids.class, ids.emit, move |_vm, args| {
+                let shared = upgrade(&weak)?;
+                let v = match args {
+                    [Value::Long(v)] => *v,
+                    [Value::Int(v)] => i64::from(*v),
+                    _ => return Err(VmError::type_error("Observer.emit expects long")),
+                };
+                shared.trace.borrow_mut().push(TraceEvent::Emit(v));
+                Ok(Value::Null)
+            });
+            let weak = Rc::downgrade(&self.shared);
+            vm.register_native(ids.class, ids.emit_str, move |_vm, args| {
+                let shared = upgrade(&weak)?;
+                match args {
+                    [Value::Str(s)] => {
+                        shared
+                            .trace
+                            .borrow_mut()
+                            .push(TraceEvent::EmitStr(s.to_string()));
+                        Ok(Value::Null)
+                    }
+                    _ => Err(VmError::type_error("Observer.emit_str expects String")),
+                }
+            });
+            let weak = Rc::downgrade(&self.shared);
+            vm.register_native(ids.class, ids.emit_double, move |_vm, args| {
+                let shared = upgrade(&weak)?;
+                match args {
+                    [Value::Double(d)] => {
+                        shared
+                            .trace
+                            .borrow_mut()
+                            .push(TraceEvent::EmitDouble(d.to_bits()));
+                        Ok(Value::Null)
+                    }
+                    _ => Err(VmError::type_error("Observer.emit_double expects double")),
+                }
+            });
+        }
+    }
+
+    /// Run an entry point and return the cluster-wide observation trace,
+    /// with uncaught exceptions and network failures appended as terminal
+    /// events (the comparison format of the equivalence experiments).
+    pub fn run_observed(
+        &self,
+        node: NodeId,
+        class: &str,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Trace {
+        *self.shared.trace.borrow_mut() = Trace::new();
+        let result = self.call_static(node, class, method, args);
+        match result {
+            Ok(_) => {}
+            Err(RuntimeError::Vm(VmError::Exception(h))) => {
+                let name = self.shared.vms[node.0 as usize]
+                    .class_of(h)
+                    .map(|c| self.shared.universe.class(c).name.clone())
+                    .unwrap_or_else(|| "<stale>".to_owned());
+                self.shared
+                    .trace
+                    .borrow_mut()
+                    .push(TraceEvent::UncaughtException(name));
+            }
+            Err(e) if e.is_network() => {
+                self.shared
+                    .trace
+                    .borrow_mut()
+                    .push(TraceEvent::NetworkFailure(e.to_string()));
+            }
+            Err(other) => {
+                self.shared
+                    .trace
+                    .borrow_mut()
+                    .push(TraceEvent::EmitStr(format!("<error: {other}>")));
+            }
+        }
+        std::mem::take(&mut self.shared.trace.borrow_mut())
+    }
+
+    /// Where the object behind a reference held on `node` actually lives:
+    /// `node` itself for local objects, the proxy's target for proxies.
+    pub fn location_of(&self, node: NodeId, value: &Value) -> Option<NodeId> {
+        let h = value.as_ref_handle()?;
+        let vm = &self.shared.vms[node.0 as usize];
+        let class = vm.class_of(h)?;
+        match self.shared.gen_info.get(&class) {
+            Some(info) if info.proto.is_some() => {
+                let (target, _) = read_proxy_state(vm, h)?;
+                Some(NodeId(target))
+            }
+            _ => Some(node),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Boundary changes
+    // ------------------------------------------------------------------
+
+    /// Move a live object to another node. The local instance is rewritten
+    /// **in place** into a proxy, so every existing reference on `from`
+    /// transparently becomes remote (Figure 1: `C` → `Cp`).
+    ///
+    /// # Errors
+    /// [`RuntimeError`] if the handle is not a live `*_Local` object or the
+    /// transfer fails.
+    pub fn migrate(
+        &self,
+        from: NodeId,
+        object: Handle,
+        to: NodeId,
+    ) -> Result<MigrationEvent, RuntimeError> {
+        let shared = &self.shared;
+        if from == to {
+            return Err(RuntimeError::Bad("migration to the same node".into()));
+        }
+        let vm = &shared.vms[from.0 as usize];
+        let (class, fields) = vm
+            .read_object(object)
+            .ok_or_else(|| RuntimeError::Bad("stale handle".into()))?;
+        let info = shared
+            .gen_info
+            .get(&class)
+            .ok_or_else(|| RuntimeError::Bad("only transformed objects can migrate".into()))?
+            .clone();
+        if info.proto.is_some() {
+            return Err(RuntimeError::Bad(
+                "object is already remote (a proxy); migrate it from its owner".into(),
+            ));
+        }
+        let base_name = shared.universe.class(info.base).name.clone();
+        let proto = shared.policy.protocol(&base_name);
+        let mut wire_fields = Vec::with_capacity(fields.len());
+        for f in &fields {
+            wire_fields.push(
+                marshal::value_to_wire(shared, from, f).map_err(RuntimeError::Marshal)?,
+            );
+        }
+        let state = WireValue::ObjectState {
+            class: shared.universe.class(class).name.clone(),
+            fields: wire_fields,
+        };
+        let source_oid = export(shared, from, object);
+        let reply = rpc(
+            shared,
+            from,
+            to,
+            &proto,
+            &Request::Install {
+                state,
+                source: Some((from.0, source_oid)),
+            },
+        )
+        .map_err(RuntimeError::Vm)?;
+        let target = match reply {
+            Reply::Value(WireValue::Remote { node, object, .. }) => RemoteRef {
+                node: NodeId(node),
+                oid: object,
+            },
+            Reply::Fault(m) => return Err(RuntimeError::Bad(m)),
+            other => return Err(RuntimeError::Bad(format!("unexpected reply {other:?}"))),
+        };
+        let proxy_class = proxy_class_for(shared, info.base, info.side, &proto)
+            .ok_or_else(|| RuntimeError::Bad(format!("no {proto} proxy for {base_name}")))?;
+        vm.replace_object(
+            object,
+            proxy_class,
+            vec![Value::Int(target.node.0 as i32), Value::Long(target.oid as i64)],
+        );
+        {
+            let mut nodes = shared.nodes.borrow_mut();
+            nodes[from.0 as usize]
+                .imports
+                .insert((target.node.0, target.oid), object);
+        }
+        shared.stats.borrow_mut().migrations += 1;
+        Ok(MigrationEvent {
+            class: base_name,
+            from,
+            to,
+            target,
+        })
+    }
+
+    /// Pull a remote object local: fetch its state from the owner, rewrite
+    /// the local proxy in place into the real object, and leave a
+    /// forwarding proxy at the previous owner.
+    ///
+    /// # Errors
+    /// [`RuntimeError`] if the handle is not a proxy or the transfer fails.
+    pub fn pull_local(&self, node: NodeId, proxy: Handle) -> Result<MigrationEvent, RuntimeError> {
+        let shared = &self.shared;
+        let vm = &shared.vms[node.0 as usize];
+        let class = vm
+            .class_of(proxy)
+            .ok_or_else(|| RuntimeError::Bad("stale handle".into()))?;
+        let info = shared
+            .gen_info
+            .get(&class)
+            .cloned()
+            .filter(|i| i.proto.is_some())
+            .ok_or_else(|| RuntimeError::Bad("pull_local needs a proxy".into()))?;
+        let proto = info.proto.clone().expect("filtered");
+        let (owner_raw, oid) =
+            read_proxy_state(vm, proxy).ok_or_else(|| RuntimeError::Bad("stale proxy".into()))?;
+        let owner = NodeId(owner_raw);
+        // Fetch the state.
+        let reply = rpc(shared, node, owner, &proto, &Request::Fetch { object: oid })
+            .map_err(RuntimeError::Vm)?;
+        let (class_name, wire_fields) = match reply {
+            Reply::Value(WireValue::ObjectState { class, fields }) => (class, fields),
+            Reply::Fault(m) => return Err(RuntimeError::Bad(m)),
+            other => return Err(RuntimeError::Bad(format!("unexpected reply {other:?}"))),
+        };
+        let local_class = shared
+            .universe
+            .by_name(&class_name)
+            .ok_or_else(|| RuntimeError::Bad(format!("unknown class {class_name}")))?;
+        let mut fields = Vec::with_capacity(wire_fields.len());
+        for wf in &wire_fields {
+            fields.push(marshal::wire_to_value(shared, node, wf).map_err(RuntimeError::Marshal)?);
+        }
+        vm.replace_object(proxy, local_class, fields);
+        let my_oid = export(shared, node, proxy);
+        // Owner-side swap: the old object becomes a forwarding proxy here.
+        let reply = rpc(
+            shared,
+            node,
+            owner,
+            &proto,
+            &Request::Forward {
+                object: oid,
+                to_node: node.0,
+                to_object: my_oid,
+            },
+        )
+        .map_err(RuntimeError::Vm)?;
+        if let Reply::Fault(m) = reply {
+            return Err(RuntimeError::Bad(m));
+        }
+        shared.stats.borrow_mut().pulls += 1;
+        Ok(MigrationEvent {
+            class: shared.universe.class(info.base).name.clone(),
+            from: owner,
+            to: node,
+            target: RemoteRef { node, oid: my_oid },
+        })
+    }
+
+    /// One round of the adaptive affinity loop: every exported object whose
+    /// incoming calls are dominated by a single remote node (per `config`)
+    /// is migrated to that node. Returns the boundary changes made.
+    pub fn adapt(&self, config: &AffinityConfig) -> Vec<MigrationEvent> {
+        let shared = &self.shared;
+        // Snapshot candidates without holding the borrow across migrations.
+        let mut candidates: Vec<(NodeId, u64, Handle, NodeId)> = Vec::new();
+        {
+            let nodes = shared.nodes.borrow();
+            for (n, state) in nodes.iter().enumerate() {
+                for (&oid, counts) in &state.call_counts {
+                    let total: u64 = counts.values().sum();
+                    if total < config.min_calls {
+                        continue;
+                    }
+                    let Some((&caller, &count)) =
+                        counts.iter().max_by_key(|(_, &c)| c)
+                    else {
+                        continue;
+                    };
+                    if caller == n as u32 {
+                        continue;
+                    }
+                    if (count as f64) / (total as f64) < config.min_fraction {
+                        continue;
+                    }
+                    let Some(&h) = state.exports.get(&oid) else {
+                        continue;
+                    };
+                    candidates.push((NodeId(n as u32), oid, h, NodeId(caller)));
+                }
+            }
+        }
+        let mut events = Vec::new();
+        for (owner, oid, handle, target) in candidates {
+            // Only migrate objects still locally implemented.
+            let vm = &shared.vms[owner.0 as usize];
+            let Some(class) = vm.class_of(handle) else {
+                continue;
+            };
+            match shared.gen_info.get(&class) {
+                Some(info) if info.proto.is_none() => {}
+                _ => continue,
+            }
+            if let Ok(event) = self.migrate(owner, handle, target) {
+                shared.nodes.borrow_mut()[owner.0 as usize]
+                    .call_counts
+                    .remove(&oid);
+                events.push(event);
+            }
+        }
+        events
+    }
+
+    /// Pin a host-held reference as a GC root on `node`. References
+    /// returned by [`Cluster::new_instance`] or [`Cluster::call_method`]
+    /// are invisible to the collector unless pinned (or reachable from an
+    /// export, import, singleton or static).
+    pub fn pin(&self, node: NodeId, value: &Value) {
+        if let Some(h) = value.as_ref_handle() {
+            self.shared.nodes.borrow_mut()[node.0 as usize].pins.insert(h);
+        }
+    }
+
+    /// Remove a pin added by [`Cluster::pin`].
+    pub fn unpin(&self, node: NodeId, value: &Value) {
+        if let Some(h) = value.as_ref_handle() {
+            self.shared.nodes.borrow_mut()[node.0 as usize]
+                .pins
+                .remove(&h);
+        }
+    }
+
+    /// Garbage-collect every node: reachable roots are each node's exported
+    /// objects, materialised proxy imports, resolved singletons and host
+    /// pins (plus statics, handled by the VM). Returns entries freed per
+    /// node.
+    ///
+    /// Collection is only safe between top-level calls (the synchronous
+    /// runtime guarantees no frame is suspended once a call returns).
+    pub fn gc(&self) -> Vec<usize> {
+        let mut freed = Vec::with_capacity(self.shared.vms.len());
+        for (i, vm) in self.shared.vms.iter().enumerate() {
+            let roots: Vec<Handle> = {
+                let nodes = self.shared.nodes.borrow();
+                let state = &nodes[i];
+                state
+                    .exports
+                    .values()
+                    .chain(state.imports.values())
+                    .chain(state.pins.iter())
+                    .copied()
+                    .chain(state.singletons.values().map(|s| s.handle()))
+                    .collect()
+            };
+            freed.push(vm.gc(&roots));
+        }
+        freed
+    }
+
+    /// Clear the per-object call statistics used by [`Cluster::adapt`].
+    pub fn reset_call_stats(&self) {
+        for state in self.shared.nodes.borrow_mut().iter_mut() {
+            state.call_counts.clear();
+        }
+    }
+}
+
+fn upgrade(weak: &Weak<Shared>) -> Result<Rc<Shared>, VmError> {
+    weak.upgrade()
+        .ok_or_else(|| VmError::Native("cluster torn down".into()))
+}
+
+// ----------------------------------------------------------------------
+// Registry helpers (short borrows only)
+// ----------------------------------------------------------------------
+
+pub(crate) fn export(shared: &Shared, node: NodeId, h: Handle) -> u64 {
+    let mut nodes = shared.nodes.borrow_mut();
+    let state = &mut nodes[node.0 as usize];
+    if let Some(&oid) = state.export_ids.get(&h) {
+        return oid;
+    }
+    state.next_oid += 1;
+    let oid = state.next_oid;
+    state.exports.insert(oid, h);
+    state.export_ids.insert(h, oid);
+    oid
+}
+
+pub(crate) fn lookup_export(shared: &Shared, node: NodeId, oid: u64) -> Option<Handle> {
+    shared.nodes.borrow()[node.0 as usize].exports.get(&oid).copied()
+}
+
+pub(crate) fn cached_import(shared: &Shared, node: NodeId, owner: u32, oid: u64) -> Option<Handle> {
+    shared.nodes.borrow()[node.0 as usize]
+        .imports
+        .get(&(owner, oid))
+        .copied()
+}
+
+pub(crate) fn cache_import(shared: &Shared, node: NodeId, owner: u32, oid: u64, h: Handle) {
+    shared.nodes.borrow_mut()[node.0 as usize]
+        .imports
+        .insert((owner, oid), h);
+}
+
+pub(crate) fn proxy_class_for(
+    shared: &Shared,
+    base: ClassId,
+    side: Side,
+    proto: &str,
+) -> Option<ClassId> {
+    let family = shared.plan.family(base)?;
+    let list = match side {
+        Side::Obj => &family.obj_proxies,
+        Side::Cls => &family.cls_proxies,
+    };
+    list.iter().find(|(p, _)| p == proto).map(|(_, c)| *c)
+}
+
+pub(crate) fn read_proxy_state(vm: &Vm, h: Handle) -> Option<(u32, u64)> {
+    let (_, fields) = vm.read_object(h)?;
+    match (fields.first(), fields.get(1)) {
+        (Some(Value::Int(node)), Some(Value::Long(oid))) => Some((*node as u32, *oid as u64)),
+        _ => None,
+    }
+}
+
+/// Allocate an object of `class` with JVM-default field values.
+pub(crate) fn default_instance(shared: &Shared, node: NodeId, class: ClassId) -> Handle {
+    let defaults: Vec<Value> = shared
+        .universe
+        .field_layout(class)
+        .iter()
+        .map(|&(owner, idx)| {
+            Value::default_for(&shared.universe.class(owner).fields[idx as usize].ty)
+        })
+        .collect();
+    shared.vms[node.0 as usize].alloc_raw(class, defaults)
+}
+
+// ----------------------------------------------------------------------
+// Factory hook implementations
+// ----------------------------------------------------------------------
+
+/// `A_O_Factory.make()` on `node`: policy decides where the instance lives.
+pub(crate) fn make_value(shared: &Shared, node: NodeId, base: ClassId) -> Result<Value, VmError> {
+    let base_name = shared.universe.class(base).name.clone();
+    let target = shared.policy.instance_node(&base_name, node);
+    let family = shared.plan.family(base).expect("substitutable").clone();
+    if target == node {
+        // `new` triggers class initialisation, as in the JVM.
+        if family.has_statics {
+            discover_value(shared, node, base)?;
+        }
+        let h = default_instance(shared, node, family.obj_local);
+        Ok(Value::Ref(h))
+    } else {
+        let proto = shared.policy.protocol(&base_name);
+        let reply = rpc(
+            shared,
+            node,
+            target,
+            &proto,
+            &Request::Create {
+                class: base_name.clone(),
+                ctor: 0,
+                args: vec![],
+            },
+        )?;
+        match reply {
+            Reply::Value(wv) => marshal::wire_to_value(shared, node, &wv).map_err(VmError::Native),
+            Reply::Fault(m) => Err(VmError::Native(m)),
+            Reply::Exception { .. } => Err(VmError::Native("exception during create".into())),
+        }
+    }
+}
+
+/// `A_C_Factory.discover()` on `node`: per-node singleton, local or remote
+/// per policy, with JVM-style in-progress semantics.
+pub(crate) fn discover_value(
+    shared: &Shared,
+    node: NodeId,
+    base: ClassId,
+) -> Result<Value, VmError> {
+    if let Some(state) = shared.nodes.borrow()[node.0 as usize].singletons.get(&base) {
+        return Ok(Value::Ref(state.handle()));
+    }
+    let base_name = shared.universe.class(base).name.clone();
+    let family = shared.plan.family(base).expect("substitutable").clone();
+    let owner = shared.policy.statics_node(&base_name);
+    if owner == node {
+        let cls_local = family.cls_local.expect("has statics");
+        let h = default_instance(shared, node, cls_local);
+        shared.nodes.borrow_mut()[node.0 as usize]
+            .singletons
+            .insert(base, SingletonState::InProgress(h));
+        if let (Some(cls_factory), Some(clinit_sig)) = (family.cls_factory, family.clinit_sig) {
+            shared.vms[node.0 as usize].call_static(cls_factory, clinit_sig, vec![Value::Ref(h)])?;
+        }
+        shared.nodes.borrow_mut()[node.0 as usize]
+            .singletons
+            .insert(base, SingletonState::Ready(h));
+        Ok(Value::Ref(h))
+    } else {
+        let proto = shared.policy.protocol(&base_name);
+        let reply = rpc(
+            shared,
+            node,
+            owner,
+            &proto,
+            &Request::Discover {
+                class: base_name.clone(),
+            },
+        )?;
+        let value = match reply {
+            Reply::Value(wv) => {
+                marshal::wire_to_value(shared, node, &wv).map_err(VmError::Native)?
+            }
+            Reply::Fault(m) => return Err(VmError::Native(m)),
+            Reply::Exception { .. } => {
+                return Err(VmError::Native("exception during discover".into()))
+            }
+        };
+        if let Value::Ref(h) = value {
+            shared.nodes.borrow_mut()[node.0 as usize]
+                .singletons
+                .insert(base, SingletonState::Ready(h));
+        }
+        Ok(value)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Proxy call path
+// ----------------------------------------------------------------------
+
+/// A proxy method invoked on `node`: marshal, ship, execute remotely,
+/// unmarshal (or re-throw).
+fn proxy_call(
+    shared: &Shared,
+    node: NodeId,
+    method_name: &str,
+    sig: SigId,
+    args: &[Value],
+) -> Result<Value, VmError> {
+    let vm = &shared.vms[node.0 as usize];
+    let recv = args
+        .first()
+        .and_then(Value::as_ref_handle)
+        .ok_or_else(|| VmError::type_error("proxy call without receiver"))?;
+    let class = vm
+        .class_of(recv)
+        .ok_or_else(|| VmError::Native("stale proxy".into()))?;
+    let info = shared.gen_info.get(&class).cloned().ok_or_else(|| {
+        VmError::Native(format!(
+            "no proxy info for {}",
+            shared.universe.class(class).name
+        ))
+    })?;
+    let proto = info.proto.clone().expect("hooked on a proxy");
+    let (target, oid) =
+        read_proxy_state(vm, recv).ok_or_else(|| VmError::Native("stale proxy".into()))?;
+    let mut wire_args = Vec::with_capacity(args.len().saturating_sub(1));
+    for a in &args[1..] {
+        wire_args.push(marshal::value_to_wire(shared, node, a).map_err(VmError::Native)?);
+    }
+    let req = Request::Call {
+        object: oid,
+        method: format!("{method_name}@{}", sig.0),
+        args: wire_args,
+    };
+    let reply = rpc(shared, node, NodeId(target), &proto, &req)?;
+    match reply {
+        Reply::Value(wv) => marshal::wire_to_value(shared, node, &wv).map_err(VmError::Native),
+        Reply::Exception { class, fields } => {
+            let exc_class = shared
+                .universe
+                .by_name(&class)
+                .ok_or_else(|| VmError::Native(format!("unknown exception class {class}")))?;
+            let mut values = Vec::with_capacity(fields.len());
+            for f in &fields {
+                values.push(marshal::wire_to_value(shared, node, f).map_err(VmError::Native)?);
+            }
+            let h = vm.alloc_raw(exc_class, values);
+            Err(VmError::Exception(h))
+        }
+        Reply::Fault(m) => Err(VmError::Native(m)),
+    }
+}
+
+/// Perform one request/reply exchange, running the full encode → transmit →
+/// decode → handle → encode → transmit → decode pipeline and charging the
+/// protocol-stack overhead to the simulated clock.
+pub(crate) fn rpc(
+    shared: &Shared,
+    from: NodeId,
+    to: NodeId,
+    proto: &str,
+    req: &Request,
+) -> Result<Reply, VmError> {
+    let codec = shared
+        .protocols
+        .get(proto)
+        .ok_or_else(|| VmError::Native(format!("no codec for protocol {proto}")))?;
+    if shared.rpc_depth.get() >= MAX_RPC_DEPTH {
+        return Err(VmError::Native(
+            "rpc depth limit exceeded (unbounded distributed recursion?)".into(),
+        ));
+    }
+    shared.rpc_depth.set(shared.rpc_depth.get() + 1);
+    let result = rpc_inner(shared, from, to, codec.as_ref(), req);
+    shared.rpc_depth.set(shared.rpc_depth.get() - 1);
+    result
+}
+
+fn rpc_inner(
+    shared: &Shared,
+    from: NodeId,
+    to: NodeId,
+    codec: &dyn Protocol,
+    req: &Request,
+) -> Result<Reply, VmError> {
+    let bytes = codec.encode_request(req);
+    shared
+        .net
+        .transmit(from, to, bytes.len())
+        .map_err(|e| VmError::Native(e.to_string()))?;
+    let decoded = codec
+        .decode_request(&bytes)
+        .map_err(|e| VmError::Native(e.to_string()))?;
+    let reply = handle_request(shared, to, from, decoded);
+    let reply_bytes = codec.encode_reply(&reply);
+    shared
+        .net
+        .transmit(to, from, reply_bytes.len())
+        .map_err(|e| VmError::Native(e.to_string()))?;
+    shared.net.advance(2 * codec.overhead_ns());
+    codec
+        .decode_reply(&reply_bytes)
+        .map_err(|e| VmError::Native(e.to_string()))
+}
+
+// ----------------------------------------------------------------------
+// Server side
+// ----------------------------------------------------------------------
+
+/// Execute a request on `node` (the server side of the RPC).
+pub(crate) fn handle_request(
+    shared: &Shared,
+    node: NodeId,
+    caller: NodeId,
+    req: Request,
+) -> Reply {
+    let reply = dispatch_request(shared, node, caller, req);
+    if matches!(reply, Reply::Fault(_)) {
+        shared.stats.borrow_mut().faults += 1;
+    }
+    reply
+}
+
+fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request) -> Reply {
+    let vm = &shared.vms[node.0 as usize];
+    match req {
+        Request::Call {
+            object,
+            method,
+            args,
+        } => {
+            shared.stats.borrow_mut().rpc_calls += 1;
+            let Some(h) = lookup_export(shared, node, object) else {
+                return Reply::Fault(format!("unknown object {object} on {node}"));
+            };
+            {
+                let mut nodes = shared.nodes.borrow_mut();
+                *nodes[node.0 as usize]
+                    .call_counts
+                    .entry(object)
+                    .or_default()
+                    .entry(caller.0)
+                    .or_default() += 1;
+            }
+            let Some(sig) = parse_method(&method) else {
+                return Reply::Fault(format!("malformed method {method}"));
+            };
+            let mut values = Vec::with_capacity(args.len());
+            for a in &args {
+                match marshal::wire_to_value(shared, node, a) {
+                    Ok(v) => values.push(v),
+                    Err(m) => return Reply::Fault(m),
+                }
+            }
+            match vm.call_virtual(Value::Ref(h), sig, values) {
+                Ok(v) => match marshal::value_to_wire(shared, node, &v) {
+                    Ok(wv) => Reply::Value(wv),
+                    Err(m) => Reply::Fault(m),
+                },
+                Err(VmError::Exception(exc)) => exception_reply(shared, node, exc),
+                Err(other) => Reply::Fault(other.to_string()),
+            }
+        }
+        Request::Create { class, .. } => {
+            shared.stats.borrow_mut().rpc_creates += 1;
+            let Some(base) = shared.universe.by_name(&class) else {
+                return Reply::Fault(format!("unknown class {class}"));
+            };
+            let Some(family) = shared.plan.family(base).cloned() else {
+                return Reply::Fault(format!("{class} is not substitutable"));
+            };
+            if family.has_statics {
+                if let Err(e) = discover_value(shared, node, base) {
+                    return Reply::Fault(e.to_string());
+                }
+            }
+            let h = default_instance(shared, node, family.obj_local);
+            let oid = export(shared, node, h);
+            Reply::Value(WireValue::Remote {
+                node: node.0,
+                object: oid,
+                class: shared.universe.class(family.obj_local).name.clone(),
+            })
+        }
+        Request::Discover { class } => {
+            shared.stats.borrow_mut().rpc_discovers += 1;
+            let Some(base) = shared.universe.by_name(&class) else {
+                return Reply::Fault(format!("unknown class {class}"));
+            };
+            match discover_value(shared, node, base) {
+                Ok(Value::Ref(h)) => {
+                    let oid = export(shared, node, h);
+                    let rt_class = vm.class_of(h).expect("live singleton");
+                    Reply::Value(WireValue::Remote {
+                        node: node.0,
+                        object: oid,
+                        class: shared.universe.class(rt_class).name.clone(),
+                    })
+                }
+                Ok(other) => Reply::Fault(format!("discover returned {other}")),
+                Err(VmError::Exception(exc)) => exception_reply(shared, node, exc),
+                Err(e) => Reply::Fault(e.to_string()),
+            }
+        }
+        Request::Fetch { object } => {
+            shared.stats.borrow_mut().rpc_fetches += 1;
+            let Some(h) = lookup_export(shared, node, object) else {
+                return Reply::Fault(format!("unknown object {object} on {node}"));
+            };
+            let Some((class, fields)) = vm.read_object(h) else {
+                return Reply::Fault("stale export".into());
+            };
+            let mut wire_fields = Vec::with_capacity(fields.len());
+            for f in &fields {
+                match marshal::value_to_wire(shared, node, f) {
+                    Ok(wv) => wire_fields.push(wv),
+                    Err(m) => return Reply::Fault(m),
+                }
+            }
+            Reply::Value(WireValue::ObjectState {
+                class: shared.universe.class(class).name.clone(),
+                fields: wire_fields,
+            })
+        }
+        Request::Install { state, source } => {
+            shared.stats.borrow_mut().rpc_installs += 1;
+            let WireValue::ObjectState { class, fields } = state else {
+                return Reply::Fault("install needs object state".into());
+            };
+            let Some(class_id) = shared.universe.by_name(&class) else {
+                return Reply::Fault(format!("unknown class {class}"));
+            };
+            let mut values = Vec::with_capacity(fields.len());
+            for f in &fields {
+                match marshal::wire_to_value(shared, node, f) {
+                    Ok(v) => values.push(v),
+                    Err(m) => return Reply::Fault(m),
+                }
+            }
+            // If this node already holds a proxy for the migrating object,
+            // rewrite it in place — existing local references then see the
+            // object as local, with no double hop through the old owner.
+            let existing =
+                source.and_then(|(n, o)| cached_import(shared, node, n, o));
+            let h = match existing {
+                Some(ph) if vm.class_of(ph).is_some() => {
+                    vm.replace_object(ph, class_id, values);
+                    ph
+                }
+                _ => vm.alloc_raw(class_id, values),
+            };
+            let oid = export(shared, node, h);
+            Reply::Value(WireValue::Remote {
+                node: node.0,
+                object: oid,
+                class,
+            })
+        }
+        Request::Forward {
+            object,
+            to_node,
+            to_object,
+        } => {
+            shared.stats.borrow_mut().rpc_forwards += 1;
+            let Some(h) = lookup_export(shared, node, object) else {
+                return Reply::Fault(format!("unknown object {object} on {node}"));
+            };
+            let Some(class) = vm.class_of(h) else {
+                return Reply::Fault("stale export".into());
+            };
+            let Some(info) = shared.gen_info.get(&class).cloned() else {
+                return Reply::Fault("cannot forward untransformed object".into());
+            };
+            let base_name = shared.universe.class(info.base).name.clone();
+            let proto = shared.policy.protocol(&base_name);
+            let Some(proxy_class) = proxy_class_for(shared, info.base, info.side, &proto) else {
+                return Reply::Fault(format!("no {proto} proxy for {base_name}"));
+            };
+            vm.replace_object(
+                h,
+                proxy_class,
+                vec![Value::Int(to_node as i32), Value::Long(to_object as i64)],
+            );
+            cache_import(shared, node, to_node, to_object, h);
+            Reply::Value(WireValue::Null)
+        }
+    }
+}
+
+fn exception_reply(shared: &Shared, node: NodeId, exc: Handle) -> Reply {
+    let vm = &shared.vms[node.0 as usize];
+    let Some((class, fields)) = vm.read_object(exc) else {
+        return Reply::Fault("stale exception".into());
+    };
+    let mut wire_fields = Vec::with_capacity(fields.len());
+    for f in &fields {
+        match marshal::value_to_wire(shared, node, f) {
+            Ok(wv) => wire_fields.push(wv),
+            Err(m) => return Reply::Fault(m),
+        }
+    }
+    Reply::Exception {
+        class: shared.universe.class(class).name.clone(),
+        fields: wire_fields,
+    }
+}
+
+/// Methods travel as `name@sigid`; both sides share the interned signature
+/// table (the same transformed program is deployed on every node).
+fn parse_method(method: &str) -> Option<SigId> {
+    let (_, id) = method.rsplit_once('@')?;
+    id.parse::<u32>().ok().map(SigId)
+}
+
+/// Mark that a class is any generated implementation or proxy.
+pub(crate) fn gen_info(shared: &Shared, class: ClassId) -> Option<&GenInfo> {
+    shared.gen_info.get(&class)
+}

@@ -1,0 +1,69 @@
+//! Runtime errors.
+
+use rafda_vm::VmError;
+use std::fmt;
+
+/// Why a runtime operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The interpreter raised an error (including in-model exceptions and
+    /// network failures surfaced through proxies).
+    Vm(VmError),
+    /// A network transmission failed outside any VM context.
+    Net(String),
+    /// Marshalling failed.
+    Marshal(String),
+    /// A malformed or unsatisfiable request (unknown class, missing export,
+    /// protocol without a generated proxy family, …).
+    Bad(String),
+}
+
+impl RuntimeError {
+    /// Whether the failure is attributable to the network (the "modulo
+    /// network failure" clause of the paper).
+    pub fn is_network(&self) -> bool {
+        match self {
+            RuntimeError::Net(_) => true,
+            RuntimeError::Vm(e) => e.is_network(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Vm(e) => write!(f, "{e}"),
+            RuntimeError::Net(m) => write!(f, "{m}"),
+            RuntimeError::Marshal(m) => write!(f, "marshal error: {m}"),
+            RuntimeError::Bad(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<VmError> for RuntimeError {
+    fn from(e: VmError) -> Self {
+        RuntimeError::Vm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_classification() {
+        assert!(RuntimeError::Net("network: partition".into()).is_network());
+        assert!(RuntimeError::Vm(VmError::Native("network: drop".into())).is_network());
+        assert!(!RuntimeError::Bad("nope".into()).is_network());
+        assert!(!RuntimeError::Marshal("depth".into()).is_network());
+    }
+
+    #[test]
+    fn display_passthrough() {
+        let e = RuntimeError::from(VmError::Native("network: x".into()));
+        assert!(e.to_string().contains("network"));
+    }
+}

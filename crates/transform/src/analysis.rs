@@ -1,0 +1,340 @@
+//! Transformability analysis (paper Section 2.4).
+//!
+//! > "It is not practical to inspect or transform code in native methods.
+//! > Also, some system classes and interfaces have special semantics in the
+//! > JVM […] these special classes and interfaces are not transformed. […]
+//! > the super-class of a non-transformable class cannot be transformed.
+//! > […] This prevents transformation of classes and interfaces referenced
+//! > by a non-transformable class."
+//!
+//! The analysis seeds the non-transformable set with classes that declare
+//! native methods or have special semantics, then propagates to a fixpoint:
+//!
+//! * **referenced-by rule** — every class referenced by a non-transformable
+//!   class (in field types, method signatures, superclass or implemented
+//!   interfaces) is non-transformable; since the superclass is a reference,
+//!   this subsumes the paper's super-class rule;
+//! * **subclass rule** — a class whose superclass is non-transformable is
+//!   itself non-transformable. (The paper does not state this rule; it is
+//!   required for soundness of the proxy hierarchy, because the remote proxy
+//!   of a subclass cannot carry the untransformed superclass state. Our
+//!   model has no universal `Object` root, so this rule does not poison the
+//!   whole universe the way it would in real Java.)
+//!
+//! The paper reports that about **40 % of the 8,200 classes and interfaces
+//! of JDK 1.4.1** are non-transformable under these rules; experiment E3
+//! reproduces that statistic on a synthetic corpus with JDK-like shape.
+
+use rafda_classmodel::{ClassId, ClassOrigin, ClassUniverse};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a class cannot be transformed (the *first* reason discovered wins,
+/// seed reasons over propagated ones).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NonTransformableReason {
+    /// Declares at least one `native` method.
+    NativeMethod,
+    /// Has special JVM semantics (`Throwable` hierarchy, `Object`,
+    /// `String`, `Class`, …).
+    SpecialSemantics,
+    /// Referenced (field/signature/superclass/interface) by the
+    /// non-transformable class given.
+    ReferencedByNonTransformable(ClassId),
+    /// Its superclass is non-transformable.
+    SubclassOfNonTransformable(ClassId),
+}
+
+impl NonTransformableReason {
+    /// A short label for reporting tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NonTransformableReason::NativeMethod => "native method",
+            NonTransformableReason::SpecialSemantics => "special semantics",
+            NonTransformableReason::ReferencedByNonTransformable(_) => "referenced by NT",
+            NonTransformableReason::SubclassOfNonTransformable(_) => "subclass of NT",
+        }
+    }
+}
+
+/// The result of the transformability analysis.
+#[derive(Debug, Clone, Default)]
+pub struct TransformabilityReport {
+    /// Classes analysed (original classes and interfaces only).
+    pub total: usize,
+    /// Non-transformable classes with the reason.
+    pub non_transformable: HashMap<ClassId, NonTransformableReason>,
+}
+
+impl TransformabilityReport {
+    /// Whether `class` can be transformed.
+    pub fn is_transformable(&self, class: ClassId) -> bool {
+        !self.non_transformable.contains_key(&class)
+    }
+
+    /// Number of non-transformable classes.
+    pub fn non_transformable_count(&self) -> usize {
+        self.non_transformable.len()
+    }
+
+    /// Fraction of classes that are non-transformable, in `[0, 1]`.
+    pub fn non_transformable_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.non_transformable.len() as f64 / self.total as f64
+        }
+    }
+
+    /// Per-reason counts: `(native, special, referenced, subclass)`.
+    pub fn reason_breakdown(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for reason in self.non_transformable.values() {
+            match reason {
+                NonTransformableReason::NativeMethod => counts.0 += 1,
+                NonTransformableReason::SpecialSemantics => counts.1 += 1,
+                NonTransformableReason::ReferencedByNonTransformable(_) => counts.2 += 1,
+                NonTransformableReason::SubclassOfNonTransformable(_) => counts.3 += 1,
+            }
+        }
+        counts
+    }
+}
+
+impl fmt::Display for TransformabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (native, special, referenced, subclass) = self.reason_breakdown();
+        writeln!(f, "classes analysed:        {:6}", self.total)?;
+        writeln!(
+            f,
+            "non-transformable:       {:6} ({:.1}%)",
+            self.non_transformable_count(),
+            100.0 * self.non_transformable_fraction()
+        )?;
+        writeln!(f, "  native method:         {native:6}")?;
+        writeln!(f, "  special semantics:     {special:6}")?;
+        writeln!(f, "  referenced by NT:      {referenced:6}")?;
+        writeln!(f, "  subclass of NT:        {subclass:6}")
+    }
+}
+
+/// Run the transformability analysis over all *original* classes of the
+/// universe (generated artefacts are skipped — they are never candidates).
+pub fn analyze(universe: &ClassUniverse) -> TransformabilityReport {
+    let originals: Vec<ClassId> = universe
+        .iter()
+        .filter(|(_, c)| matches!(c.origin, ClassOrigin::Original))
+        .map(|(id, _)| id)
+        .collect();
+    let mut report = TransformabilityReport {
+        total: originals.len(),
+        non_transformable: HashMap::new(),
+    };
+
+    // Seed.
+    let mut work: Vec<ClassId> = Vec::new();
+    for &id in &originals {
+        let c = universe.class(id);
+        let reason = if c.is_special {
+            Some(NonTransformableReason::SpecialSemantics)
+        } else if c.has_native_method() {
+            Some(NonTransformableReason::NativeMethod)
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            report.non_transformable.insert(id, reason);
+            work.push(id);
+        }
+    }
+
+    // Subclass index for the subclass rule.
+    let mut subclasses: HashMap<ClassId, Vec<ClassId>> = HashMap::new();
+    for &id in &originals {
+        if let Some(sup) = universe.class(id).superclass {
+            subclasses.entry(sup).or_default().push(id);
+        }
+    }
+
+    // Fixpoint.
+    while let Some(nt) = work.pop() {
+        // Referenced-by rule (includes superclass and interfaces).
+        for referenced in universe.referenced_classes(nt) {
+            if matches!(universe.class(referenced).origin, ClassOrigin::Original)
+                && !report.non_transformable.contains_key(&referenced)
+            {
+                report.non_transformable.insert(
+                    referenced,
+                    NonTransformableReason::ReferencedByNonTransformable(nt),
+                );
+                work.push(referenced);
+            }
+        }
+        // Subclass rule.
+        if let Some(subs) = subclasses.get(&nt) {
+            for &sub in subs {
+                if let std::collections::hash_map::Entry::Vacant(e) = report.non_transformable.entry(sub) {
+                    e.insert(NonTransformableReason::SubclassOfNonTransformable(nt));
+                    work.push(sub);
+                }
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rafda_classmodel::builder::{ClassBuilder, MethodBuilder};
+    use rafda_classmodel::{sample, ClassKind, Field, Ty};
+
+    #[test]
+    fn clean_program_is_fully_transformable() {
+        let mut u = ClassUniverse::new();
+        let ids = sample::build_figure2(&mut u);
+        let report = analyze(&u);
+        assert_eq!(report.total, 3);
+        assert_eq!(report.non_transformable_count(), 0);
+        assert!(report.is_transformable(ids.x));
+        assert_eq!(report.non_transformable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn native_method_poisons_class() {
+        let mut u = ClassUniverse::new();
+        let mut cb = ClassBuilder::declare(&mut u, "Nat", ClassKind::Class);
+        cb.native_method(&mut u, "n", vec![], Ty::Void);
+        let mut mb = MethodBuilder::new(1);
+        mb.ret();
+        cb.ctor(&mut u, vec![], Some(mb.finish()));
+        let id = cb.finish(&mut u);
+        let report = analyze(&u);
+        assert_eq!(
+            report.non_transformable.get(&id),
+            Some(&NonTransformableReason::NativeMethod)
+        );
+    }
+
+    #[test]
+    fn special_classes_are_non_transformable() {
+        let mut u = ClassUniverse::new();
+        let (t, e) = sample::build_throwables(&mut u);
+        let report = analyze(&u);
+        assert!(!report.is_transformable(t));
+        assert!(!report.is_transformable(e));
+        assert_eq!(
+            report.non_transformable.get(&e),
+            Some(&NonTransformableReason::SpecialSemantics)
+        );
+    }
+
+    #[test]
+    fn referenced_by_nt_propagates_transitively() {
+        // Nat (native) has a field of type A; A has a field of type B.
+        // A is poisoned directly, B transitively (via A's own poisoning? no:
+        // B is only poisoned if referenced by an NT class — A becomes NT, so
+        // B becomes NT too).
+        let mut u = ClassUniverse::new();
+        let a = u.declare("A", ClassKind::Class);
+        let b = u.declare("B", ClassKind::Class);
+        {
+            let mut cb = ClassBuilder::new(&u, a);
+            cb.field(Field::new("b", Ty::Object(b)));
+            let mut mb = MethodBuilder::new(1);
+            mb.ret();
+            cb.ctor(&mut u, vec![], Some(mb.finish()));
+            cb.finish(&mut u);
+        }
+        {
+            let mut cb = ClassBuilder::new(&u, b);
+            let mut mb = MethodBuilder::new(1);
+            mb.ret();
+            cb.ctor(&mut u, vec![], Some(mb.finish()));
+            cb.finish(&mut u);
+        }
+        let mut cb = ClassBuilder::declare(&mut u, "Nat", ClassKind::Class);
+        cb.field(Field::new("a", Ty::Object(a)));
+        cb.native_method(&mut u, "n", vec![], Ty::Void);
+        let mut mb = MethodBuilder::new(1);
+        mb.ret();
+        cb.ctor(&mut u, vec![], Some(mb.finish()));
+        let nat = cb.finish(&mut u);
+
+        let report = analyze(&u);
+        assert_eq!(report.non_transformable_count(), 3);
+        assert_eq!(
+            report.non_transformable.get(&a),
+            Some(&NonTransformableReason::ReferencedByNonTransformable(nat))
+        );
+        assert_eq!(
+            report.non_transformable.get(&b),
+            Some(&NonTransformableReason::ReferencedByNonTransformable(a))
+        );
+    }
+
+    #[test]
+    fn superclass_of_nt_is_nt_via_reference_rule() {
+        // Sup <- Nat(native): Sup is referenced by Nat (superclass edge).
+        let mut u = ClassUniverse::new();
+        let sup = u.declare("Sup", ClassKind::Class);
+        {
+            let mut cb = ClassBuilder::new(&u, sup);
+            let mut mb = MethodBuilder::new(1);
+            mb.ret();
+            cb.ctor(&mut u, vec![], Some(mb.finish()));
+            cb.finish(&mut u);
+        }
+        let mut cb = ClassBuilder::declare(&mut u, "Nat", ClassKind::Class);
+        cb.superclass(sup);
+        cb.native_method(&mut u, "n", vec![], Ty::Void);
+        let mut mb = MethodBuilder::new(1);
+        mb.ret();
+        cb.ctor(&mut u, vec![], Some(mb.finish()));
+        cb.finish(&mut u);
+
+        let report = analyze(&u);
+        assert!(!report.is_transformable(sup));
+        assert!(matches!(
+            report.non_transformable.get(&sup),
+            Some(NonTransformableReason::ReferencedByNonTransformable(_))
+        ));
+    }
+
+    #[test]
+    fn subclass_of_nt_is_nt() {
+        let mut u = ClassUniverse::new();
+        let mut cb = ClassBuilder::declare(&mut u, "Nat", ClassKind::Class);
+        cb.native_method(&mut u, "n", vec![], Ty::Void);
+        let mut mb = MethodBuilder::new(1);
+        mb.ret();
+        cb.ctor(&mut u, vec![], Some(mb.finish()));
+        let nat = cb.finish(&mut u);
+
+        let mut cb = ClassBuilder::declare(&mut u, "Child", ClassKind::Class);
+        cb.superclass(nat);
+        let mut mb = MethodBuilder::new(1);
+        mb.ret();
+        cb.ctor(&mut u, vec![], Some(mb.finish()));
+        let child = cb.finish(&mut u);
+
+        let report = analyze(&u);
+        assert_eq!(
+            report.non_transformable.get(&child),
+            Some(&NonTransformableReason::SubclassOfNonTransformable(nat))
+        );
+    }
+
+    #[test]
+    fn breakdown_and_display() {
+        let mut u = ClassUniverse::new();
+        sample::build_throwables(&mut u);
+        let report = analyze(&u);
+        let (native, special, referenced, subclass) = report.reason_breakdown();
+        assert_eq!(native + special + referenced + subclass, 2);
+        let s = report.to_string();
+        assert!(s.contains("non-transformable"));
+        assert!(s.contains("special semantics"));
+    }
+}

@@ -1,0 +1,874 @@
+//! Generation of the artefact family (paper Figures 3, 4, 5).
+
+use crate::plan::{Family, TransformPlan};
+use crate::rewrite::{rewrite_body, BodyCtx};
+use rafda_classmodel::{
+    Class, ClassId, ClassKind, ClassOrigin, ClassUniverse, Field, GenKind, Insn, Method,
+    MethodBody, SigId, Ty, Visibility,
+};
+
+fn method(
+    name: impl Into<String>,
+    sig: SigId,
+    params: Vec<Ty>,
+    ret: Ty,
+    is_static: bool,
+    is_native: bool,
+    body: Option<MethodBody>,
+) -> Method {
+    Method {
+        name: name.into(),
+        sig,
+        params,
+        ret,
+        visibility: Visibility::Public,
+        is_static,
+        is_native,
+        body,
+    }
+}
+
+fn simple_body(code: Vec<Insn>, max_locals: u16) -> MethodBody {
+    MethodBody {
+        max_locals,
+        code,
+        handlers: Vec::new(),
+    }
+}
+
+/// Generate every family in the plan, defining the classes declared by the
+/// planning pass.
+pub fn generate_families(universe: &mut ClassUniverse, plan: &TransformPlan) {
+    // Deterministic order.
+    let mut bases: Vec<ClassId> = plan.families.keys().copied().collect();
+    bases.sort();
+    for base in bases {
+        let family = plan.families[&base].clone();
+        gen_obj_interface(universe, plan, &family);
+        gen_obj_local(universe, plan, &family);
+        gen_obj_proxies(universe, plan, &family);
+        gen_obj_factory(universe, plan, &family);
+        if family.has_statics {
+            gen_cls_interface(universe, plan, &family);
+            gen_cls_local(universe, plan, &family);
+            gen_cls_proxies(universe, plan, &family);
+            gen_cls_factory(universe, plan, &family);
+        }
+    }
+}
+
+/// Instance members that belong to the extracted interface: every non-ctor,
+/// non-static method of the original class.
+fn interface_methods(universe: &ClassUniverse, base: ClassId) -> Vec<u16> {
+    universe
+        .class(base)
+        .methods
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| !m.is_static && !m.is_ctor())
+        .map(|(i, _)| i as u16)
+        .collect()
+}
+
+/// Static members exposed on the class interface: every static, non-clinit
+/// method.
+fn static_methods(universe: &ClassUniverse, base: ClassId) -> Vec<u16> {
+    universe
+        .class(base)
+        .methods
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.is_static && !m.is_clinit())
+        .map(|(i, _)| i as u16)
+        .collect()
+}
+
+/// `A_O_Int` (Figure 3): property accessors for every attribute plus every
+/// instance method, all with interface-rewritten signatures.
+fn gen_obj_interface(universe: &mut ClassUniverse, plan: &TransformPlan, family: &Family) {
+    let base = universe.class(family.base).clone();
+    let mut methods = Vec::new();
+    for (i, f) in base.fields.iter().enumerate() {
+        let rty = plan.rewrite_ty(&f.ty);
+        methods.push(method(
+            crate::naming::getter(&f.name),
+            family.getters[i],
+            vec![],
+            rty.clone(),
+            false,
+            false,
+            None,
+        ));
+        methods.push(method(
+            crate::naming::setter(&f.name),
+            family.setters[i],
+            vec![rty],
+            Ty::Void,
+            false,
+            false,
+            None,
+        ));
+    }
+    for &mi in &interface_methods(universe, family.base) {
+        let m = &base.methods[mi as usize];
+        let sig = plan.method_sigs[&(family.base, mi)];
+        methods.push(method(
+            m.name.clone(),
+            sig,
+            m.params.iter().map(|t| plan.rewrite_ty(t)).collect(),
+            plan.rewrite_ty(&m.ret),
+            false,
+            false,
+            None,
+        ));
+    }
+    // Interface inheritance mirrors the class hierarchy.
+    let supers = base
+        .superclass
+        .and_then(|s| plan.family(s))
+        .map(|f| vec![f.obj_int])
+        .unwrap_or_default();
+    universe.define(
+        family.obj_int,
+        Class {
+            name: universe.class(family.obj_int).name.clone(),
+            kind: ClassKind::Interface,
+            superclass: None,
+            interfaces: supers,
+            fields: vec![],
+            static_fields: vec![],
+            methods,
+            ctors: vec![],
+            clinit: None,
+            is_special: false,
+            is_abstract: true,
+            origin: ClassOrigin::Generated {
+                from: family.base,
+                kind: GenKind::ObjInterface,
+            },
+        },
+    );
+}
+
+/// `A_O_Local` (Figure 3): fields become private properties with accessors;
+/// original methods are installed with rewritten bodies; a default
+/// parameter-less constructor replaces the originals (whose logic moved to
+/// the factory).
+fn gen_obj_local(universe: &mut ClassUniverse, plan: &TransformPlan, family: &Family) {
+    let base = universe.class(family.base).clone();
+    let me = family.obj_local;
+    let mut fields = Vec::new();
+    for f in &base.fields {
+        fields.push(Field {
+            name: f.name.clone(),
+            ty: plan.rewrite_ty(&f.ty),
+            visibility: Visibility::Private,
+            is_final: false,
+        });
+    }
+    let mut methods = Vec::new();
+    // Default parameter-less constructor.
+    let ctor_name = "<init>$0";
+    let ctor_sig = universe.sig(ctor_name, vec![]);
+    methods.push(method(
+        ctor_name,
+        ctor_sig,
+        vec![],
+        Ty::Void,
+        false,
+        false,
+        Some(simple_body(vec![Insn::Return], 1)),
+    ));
+    // Accessors (the only remaining direct field access).
+    for (i, f) in base.fields.iter().enumerate() {
+        let rty = plan.rewrite_ty(&f.ty);
+        methods.push(method(
+            crate::naming::getter(&f.name),
+            family.getters[i],
+            vec![],
+            rty.clone(),
+            false,
+            false,
+            Some(simple_body(
+                vec![
+                    Insn::LoadLocal(0),
+                    Insn::GetField(rafda_classmodel::FieldRef {
+                        owner: me,
+                        index: i as u16,
+                    }),
+                    Insn::ReturnValue,
+                ],
+                1,
+            )),
+        ));
+        methods.push(method(
+            crate::naming::setter(&f.name),
+            family.setters[i],
+            vec![rty],
+            Ty::Void,
+            false,
+            false,
+            Some(simple_body(
+                vec![
+                    Insn::LoadLocal(0),
+                    Insn::LoadLocal(1),
+                    Insn::PutField(rafda_classmodel::FieldRef {
+                        owner: me,
+                        index: i as u16,
+                    }),
+                    Insn::Return,
+                ],
+                2,
+            )),
+        ));
+    }
+    // Original instance methods with rewritten bodies.
+    for &mi in &interface_methods(universe, family.base) {
+        let m = &base.methods[mi as usize];
+        let body = m
+            .body
+            .as_ref()
+            .map(|b| rewrite_body(universe, plan, BodyCtx::instance(family.base), b));
+        methods.push(method(
+            m.name.clone(),
+            plan.method_sigs[&(family.base, mi)],
+            m.params.iter().map(|t| plan.rewrite_ty(t)).collect(),
+            plan.rewrite_ty(&m.ret),
+            false,
+            false,
+            body,
+        ));
+    }
+    let superclass = base
+        .superclass
+        .map(|s| plan.family(s).expect("superclass is substitutable").obj_local);
+    let mut interfaces = vec![family.obj_int];
+    interfaces.extend(base.interfaces.iter().copied());
+    let ctors = vec![0];
+    universe.define(
+        me,
+        Class {
+            name: universe.class(me).name.clone(),
+            kind: ClassKind::Class,
+            superclass,
+            interfaces,
+            fields,
+            static_fields: vec![],
+            methods,
+            ctors,
+            clinit: None,
+            is_special: false,
+            is_abstract: base.is_abstract,
+            origin: ClassOrigin::Generated {
+                from: family.base,
+                kind: GenKind::ObjLocal,
+            },
+        },
+    );
+}
+
+/// Proxy state: every root proxy class declares `__node` (Int) and `__oid`
+/// (Long) at field offsets 0 and 1; subclass proxies inherit them.
+pub const PROXY_NODE_FIELD: usize = 0;
+/// See [`PROXY_NODE_FIELD`].
+pub const PROXY_OID_FIELD: usize = 1;
+
+fn proxy_state_fields() -> Vec<Field> {
+    vec![
+        Field {
+            name: "__node".to_owned(),
+            ty: Ty::Int,
+            visibility: Visibility::Private,
+            is_final: false,
+        },
+        Field {
+            name: "__oid".to_owned(),
+            ty: Ty::Long,
+            visibility: Visibility::Private,
+            is_final: false,
+        },
+    ]
+}
+
+/// `A_O_Proxy_<P>` (Figure 3): implements the interface with `native`
+/// methods whose hooks (installed by the runtime) marshal the call over
+/// protocol `P`.
+fn gen_obj_proxies(universe: &mut ClassUniverse, plan: &TransformPlan, family: &Family) {
+    let base = universe.class(family.base).clone();
+    for (pi, (proto, me)) in family.obj_proxies.iter().enumerate() {
+        let me = *me;
+        // Chain proxies along the class hierarchy so inherited members
+        // resolve to the superclass proxy's hooks.
+        let super_proxy = base
+            .superclass
+            .map(|s| plan.family(s).expect("substitutable super").obj_proxies[pi].1);
+        let fields = if super_proxy.is_some() {
+            vec![]
+        } else {
+            proxy_state_fields()
+        };
+        let mut methods = Vec::new();
+        let ctor_sig = universe.sig("<init>$0", vec![]);
+        methods.push(method(
+            "<init>$0",
+            ctor_sig,
+            vec![],
+            Ty::Void,
+            false,
+            false,
+            Some(simple_body(vec![Insn::Return], 1)),
+        ));
+        for (i, f) in base.fields.iter().enumerate() {
+            let rty = plan.rewrite_ty(&f.ty);
+            methods.push(method(
+                crate::naming::getter(&f.name),
+                family.getters[i],
+                vec![],
+                rty.clone(),
+                false,
+                true,
+                None,
+            ));
+            methods.push(method(
+                crate::naming::setter(&f.name),
+                family.setters[i],
+                vec![rty],
+                Ty::Void,
+                false,
+                true,
+                None,
+            ));
+        }
+        for &mi in &interface_methods(universe, family.base) {
+            let m = &base.methods[mi as usize];
+            methods.push(method(
+                m.name.clone(),
+                plan.method_sigs[&(family.base, mi)],
+                m.params.iter().map(|t| plan.rewrite_ty(t)).collect(),
+                plan.rewrite_ty(&m.ret),
+                false,
+                true,
+                None,
+            ));
+        }
+        universe.define(
+            me,
+            Class {
+                name: universe.class(me).name.clone(),
+                kind: ClassKind::Class,
+                superclass: super_proxy,
+                interfaces: vec![family.obj_int],
+                fields,
+                static_fields: vec![],
+                methods,
+                ctors: vec![0],
+                clinit: None,
+                is_special: false,
+                is_abstract: false,
+                origin: ClassOrigin::Generated {
+                    from: family.base,
+                    kind: GenKind::ObjProxy(proto.clone()),
+                },
+            },
+        );
+    }
+}
+
+/// `A_O_Factory` (Figure 5): `native make()` (the policy decision point)
+/// plus one generated `init$k(that, …)` per original constructor.
+fn gen_obj_factory(universe: &mut ClassUniverse, plan: &TransformPlan, family: &Family) {
+    let base = universe.class(family.base).clone();
+    let mut methods = Vec::new();
+    methods.push(method(
+        crate::naming::MAKE,
+        family.make_sig,
+        vec![],
+        Ty::Object(family.obj_int),
+        true,
+        true,
+        None,
+    ));
+    for (k, &ci) in base.ctors.iter().enumerate() {
+        let ctor = &base.methods[ci as usize];
+        let body = ctor
+            .body
+            .as_ref()
+            .map(|b| rewrite_body(universe, plan, BodyCtx::instance(family.base), b));
+        let mut params = vec![Ty::Object(family.obj_int)];
+        params.extend(ctor.params.iter().map(|t| plan.rewrite_ty(t)));
+        methods.push(method(
+            crate::naming::init_method(k),
+            family.init_sigs[k],
+            params,
+            Ty::Void,
+            true,
+            false,
+            body,
+        ));
+    }
+    universe.define(
+        family.obj_factory,
+        Class {
+            name: universe.class(family.obj_factory).name.clone(),
+            kind: ClassKind::Class,
+            superclass: None,
+            interfaces: vec![],
+            fields: vec![],
+            static_fields: vec![],
+            methods,
+            ctors: vec![],
+            clinit: None,
+            is_special: false,
+            is_abstract: false,
+            origin: ClassOrigin::Generated {
+                from: family.base,
+                kind: GenKind::ObjFactory,
+            },
+        },
+    );
+}
+
+/// `A_C_Int` (Figure 4): accessors for the (de-staticised) static fields and
+/// the former static methods as instance members.
+fn gen_cls_interface(universe: &mut ClassUniverse, plan: &TransformPlan, family: &Family) {
+    let base = universe.class(family.base).clone();
+    let mut methods = Vec::new();
+    for (i, f) in base.static_fields.iter().enumerate() {
+        let rty = plan.rewrite_ty(&f.ty);
+        methods.push(method(
+            crate::naming::getter(&f.name),
+            family.static_getters[i],
+            vec![],
+            rty.clone(),
+            false,
+            false,
+            None,
+        ));
+        methods.push(method(
+            crate::naming::setter(&f.name),
+            family.static_setters[i],
+            vec![rty],
+            Ty::Void,
+            false,
+            false,
+            None,
+        ));
+    }
+    for &mi in &static_methods(universe, family.base) {
+        let m = &base.methods[mi as usize];
+        methods.push(method(
+            m.name.clone(),
+            plan.method_sigs[&(family.base, mi)],
+            m.params.iter().map(|t| plan.rewrite_ty(t)).collect(),
+            plan.rewrite_ty(&m.ret),
+            false,
+            false,
+            None,
+        ));
+    }
+    let me = family.cls_int.expect("statics planned");
+    universe.define(
+        me,
+        Class {
+            name: universe.class(me).name.clone(),
+            kind: ClassKind::Interface,
+            superclass: None,
+            interfaces: vec![],
+            fields: vec![],
+            static_fields: vec![],
+            methods,
+            ctors: vec![],
+            clinit: None,
+            is_special: false,
+            is_abstract: true,
+            origin: ClassOrigin::Generated {
+                from: family.base,
+                kind: GenKind::ClassInterface,
+            },
+        },
+    );
+}
+
+/// `A_C_Local` (Figure 4): the singleton implementation — former static
+/// fields become instance properties, former static methods become instance
+/// methods whose bodies short-circuit own-static access through `this`.
+fn gen_cls_local(universe: &mut ClassUniverse, plan: &TransformPlan, family: &Family) {
+    let base = universe.class(family.base).clone();
+    let me = family.cls_local.expect("statics planned");
+    let mut fields = Vec::new();
+    for f in &base.static_fields {
+        fields.push(Field {
+            name: f.name.clone(),
+            ty: plan.rewrite_ty(&f.ty),
+            visibility: Visibility::Private,
+            is_final: false,
+        });
+    }
+    let mut methods = Vec::new();
+    let ctor_sig = universe.sig("<init>$0", vec![]);
+    methods.push(method(
+        "<init>$0",
+        ctor_sig,
+        vec![],
+        Ty::Void,
+        false,
+        false,
+        Some(simple_body(vec![Insn::Return], 1)),
+    ));
+    for (i, f) in base.static_fields.iter().enumerate() {
+        let rty = plan.rewrite_ty(&f.ty);
+        methods.push(method(
+            crate::naming::getter(&f.name),
+            family.static_getters[i],
+            vec![],
+            rty.clone(),
+            false,
+            false,
+            Some(simple_body(
+                vec![
+                    Insn::LoadLocal(0),
+                    Insn::GetField(rafda_classmodel::FieldRef {
+                        owner: me,
+                        index: i as u16,
+                    }),
+                    Insn::ReturnValue,
+                ],
+                1,
+            )),
+        ));
+        methods.push(method(
+            crate::naming::setter(&f.name),
+            family.static_setters[i],
+            vec![rty],
+            Ty::Void,
+            false,
+            false,
+            Some(simple_body(
+                vec![
+                    Insn::LoadLocal(0),
+                    Insn::LoadLocal(1),
+                    Insn::PutField(rafda_classmodel::FieldRef {
+                        owner: me,
+                        index: i as u16,
+                    }),
+                    Insn::Return,
+                ],
+                2,
+            )),
+        ));
+    }
+    for &mi in &static_methods(universe, family.base) {
+        let m = &base.methods[mi as usize];
+        let body = m
+            .body
+            .as_ref()
+            .map(|b| rewrite_body(universe, plan, BodyCtx::former_static(family.base), b));
+        methods.push(method(
+            m.name.clone(),
+            plan.method_sigs[&(family.base, mi)],
+            m.params.iter().map(|t| plan.rewrite_ty(t)).collect(),
+            plan.rewrite_ty(&m.ret),
+            false,
+            false,
+            body,
+        ));
+    }
+    universe.define(
+        me,
+        Class {
+            name: universe.class(me).name.clone(),
+            kind: ClassKind::Class,
+            superclass: None,
+            interfaces: vec![family.cls_int.expect("statics planned")],
+            fields,
+            static_fields: vec![],
+            methods,
+            ctors: vec![0],
+            clinit: None,
+            is_special: false,
+            is_abstract: false,
+            origin: ClassOrigin::Generated {
+                from: family.base,
+                kind: GenKind::ClassLocal,
+            },
+        },
+    );
+}
+
+/// `A_C_Proxy_<P>` (Figure 4): remote singleton proxy, all members native.
+fn gen_cls_proxies(universe: &mut ClassUniverse, plan: &TransformPlan, family: &Family) {
+    let base = universe.class(family.base).clone();
+    for (proto, me) in &family.cls_proxies {
+        let me = *me;
+        let mut methods = Vec::new();
+        let ctor_sig = universe.sig("<init>$0", vec![]);
+        methods.push(method(
+            "<init>$0",
+            ctor_sig,
+            vec![],
+            Ty::Void,
+            false,
+            false,
+            Some(simple_body(vec![Insn::Return], 1)),
+        ));
+        for (i, f) in base.static_fields.iter().enumerate() {
+            let rty = plan.rewrite_ty(&f.ty);
+            methods.push(method(
+                crate::naming::getter(&f.name),
+                family.static_getters[i],
+                vec![],
+                rty.clone(),
+                false,
+                true,
+                None,
+            ));
+            methods.push(method(
+                crate::naming::setter(&f.name),
+                family.static_setters[i],
+                vec![rty],
+                Ty::Void,
+                false,
+                true,
+                None,
+            ));
+        }
+        for &mi in &static_methods(universe, family.base) {
+            let m = &base.methods[mi as usize];
+            methods.push(method(
+                m.name.clone(),
+                plan.method_sigs[&(family.base, mi)],
+                m.params.iter().map(|t| plan.rewrite_ty(t)).collect(),
+                plan.rewrite_ty(&m.ret),
+                false,
+                true,
+                None,
+            ));
+        }
+        universe.define(
+            me,
+            Class {
+                name: universe.class(me).name.clone(),
+                kind: ClassKind::Class,
+                superclass: None,
+                interfaces: vec![family.cls_int.expect("statics planned")],
+                fields: proxy_state_fields(),
+                static_fields: vec![],
+                methods,
+                ctors: vec![0],
+                clinit: None,
+                is_special: false,
+                is_abstract: false,
+                origin: ClassOrigin::Generated {
+                    from: family.base,
+                    kind: GenKind::ClassProxy(proto.clone()),
+                },
+            },
+        );
+    }
+}
+
+/// `A_C_Factory` (Figure 5): `native discover()` plus the translated
+/// `clinit(that)` mirroring the original static initialiser.
+fn gen_cls_factory(universe: &mut ClassUniverse, plan: &TransformPlan, family: &Family) {
+    let base = universe.class(family.base).clone();
+    let cls_int = family.cls_int.expect("statics planned");
+    let mut methods = Vec::new();
+    methods.push(method(
+        crate::naming::DISCOVER,
+        family.discover_sig.expect("planned"),
+        vec![],
+        Ty::Object(cls_int),
+        true,
+        true,
+        None,
+    ));
+    if let Some(ci) = base.clinit {
+        let body = base.methods[ci as usize]
+            .body
+            .as_ref()
+            .map(|b| rewrite_body(universe, plan, BodyCtx::former_static(family.base), b));
+        methods.push(method(
+            crate::naming::CLINIT,
+            family.clinit_sig.expect("planned"),
+            vec![Ty::Object(cls_int)],
+            Ty::Void,
+            true,
+            false,
+            body,
+        ));
+    }
+    let me = family.cls_factory.expect("statics planned");
+    universe.define(
+        me,
+        Class {
+            name: universe.class(me).name.clone(),
+            kind: ClassKind::Class,
+            superclass: None,
+            interfaces: vec![],
+            fields: vec![],
+            static_fields: vec![],
+            methods,
+            ctors: vec![],
+            clinit: None,
+            is_special: false,
+            is_abstract: false,
+            origin: ClassOrigin::Generated {
+                from: family.base,
+                kind: GenKind::ClassFactory,
+            },
+        },
+    );
+}
+
+/// Rewrite a transformable but non-substitutable class **in place**: its
+/// types and call sites must use the extracted interfaces of the
+/// substitutable classes it references ("Every reference to a substitutable
+/// class must then be transformed to use the extracted interface",
+/// Section 1).
+pub fn rewrite_in_place(universe: &mut ClassUniverse, plan: &TransformPlan, class: ClassId) {
+    let original = universe.class(class).clone();
+    let mut updated = original.clone();
+    for f in updated.fields.iter_mut().chain(updated.static_fields.iter_mut()) {
+        f.ty = plan.rewrite_ty(&f.ty);
+    }
+    for (idx, m) in updated.methods.iter_mut().enumerate() {
+        m.sig = plan.method_sigs[&(class, idx as u16)];
+        m.params = m.params.iter().map(|t| plan.rewrite_ty(t)).collect();
+        m.ret = plan.rewrite_ty(&m.ret);
+        if let Some(body) = &m.body {
+            // Static methods stay static here (no receiver shift); own-static
+            // access still goes through discover only for *substitutable*
+            // classes, which `class` is not — so plain instance context.
+            m.body = Some(rewrite_body(
+                universe,
+                plan,
+                BodyCtx::instance(class),
+                body,
+            ));
+        }
+    }
+    universe.define(class, updated);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::plan::build_plan;
+    use rafda_classmodel::{sample, verify_universe};
+
+    fn generated_figure2() -> (ClassUniverse, TransformPlan, sample::SampleIds) {
+        let mut u = ClassUniverse::new();
+        let ids = sample::build_figure2(&mut u);
+        let report = analyze(&u);
+        let plan = build_plan(
+            &mut u,
+            &report,
+            &[ids.x, ids.y, ids.z],
+            &["SOAP".to_owned(), "RMI".to_owned()],
+        );
+        generate_families(&mut u, &plan);
+        (u, plan, ids)
+    }
+
+    #[test]
+    fn generated_universe_verifies() {
+        let (u, _, _) = generated_figure2();
+        verify_universe(&u).unwrap();
+    }
+
+    #[test]
+    fn x_o_int_matches_figure3_surface() {
+        let (u, plan, ids) = generated_figure2();
+        let fx = plan.family(ids.x).unwrap();
+        let c = u.class(fx.obj_int);
+        assert_eq!(c.kind, ClassKind::Interface);
+        let names: Vec<&str> = c.methods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["get_y", "set_y", "m"]);
+        // get_y returns Y_O_Int.
+        let fy = plan.family(ids.y).unwrap();
+        assert_eq!(c.methods[0].ret, Ty::Object(fy.obj_int));
+        assert_eq!(c.methods[1].params, vec![Ty::Object(fy.obj_int)]);
+    }
+
+    #[test]
+    fn x_o_local_implements_interface_with_accessor_bodies() {
+        let (u, plan, ids) = generated_figure2();
+        let fx = plan.family(ids.x).unwrap();
+        let c = u.class(fx.obj_local);
+        assert!(c.interfaces.contains(&fx.obj_int));
+        assert_eq!(c.ctors.len(), 1);
+        assert!(c.methods[c.ctors[0] as usize].params.is_empty());
+        let m = &c.methods[c.method_index("m").unwrap() as usize];
+        let body = m.body.as_ref().unwrap();
+        // m uses interface calls only (get_y then n), no direct GetField.
+        assert!(body
+            .code
+            .iter()
+            .all(|i| !matches!(i, Insn::GetField(fr) if fr.owner != fx.obj_local)));
+        assert!(u.is_subtype(fx.obj_local, fx.obj_int));
+    }
+
+    #[test]
+    fn proxies_are_native_and_chain_to_interface() {
+        let (u, plan, ids) = generated_figure2();
+        let fx = plan.family(ids.x).unwrap();
+        for (proto, p) in &fx.obj_proxies {
+            let c = u.class(*p);
+            assert!(c.name.contains(proto));
+            assert!(u.is_subtype(*p, fx.obj_int));
+            assert_eq!(c.fields.len(), 2, "__node/__oid");
+            assert_eq!(c.fields[PROXY_NODE_FIELD].name, "__node");
+            assert_eq!(c.fields[PROXY_OID_FIELD].name, "__oid");
+            for m in &c.methods {
+                if !m.is_ctor() {
+                    assert!(m.is_native, "{} must be native", m.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factories_match_figure5() {
+        let (u, plan, ids) = generated_figure2();
+        let fx = plan.family(ids.x).unwrap();
+        let of = u.class(fx.obj_factory);
+        let make = &of.methods[of.method_index("make").unwrap() as usize];
+        assert!(make.is_native && make.is_static);
+        assert_eq!(make.ret, Ty::Object(fx.obj_int));
+        let init = &of.methods[of.method_index("init$0").unwrap() as usize];
+        assert!(init.is_static && !init.is_native);
+        assert!(init.body.is_some());
+
+        let cf = u.class(fx.cls_factory.unwrap());
+        let discover = &cf.methods[cf.method_index("discover").unwrap() as usize];
+        assert!(discover.is_native && discover.is_static);
+        let clinit = &cf.methods[cf.method_index("clinit").unwrap() as usize];
+        assert!(clinit.body.is_some());
+    }
+
+    #[test]
+    fn cls_local_p_matches_figure4() {
+        let (u, plan, ids) = generated_figure2();
+        let fx = plan.family(ids.x).unwrap();
+        let c = u.class(fx.cls_local.unwrap());
+        // Members: ctor, get_z, set_z, p.
+        let names: Vec<&str> = c.methods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["<init>$0", "get_z", "set_z", "p"]);
+        let p = &c.methods[3];
+        assert!(!p.is_static, "p was made non-static");
+        let body = p.body.as_ref().unwrap();
+        // p's body: load this, invoke get_z, load i, invoke q, return.
+        assert_eq!(body.code[0], Insn::LoadLocal(0));
+        assert!(matches!(body.code[1], Insn::Invoke { .. }));
+    }
+
+    #[test]
+    fn y_family_exposes_static_k() {
+        let (u, plan, ids) = generated_figure2();
+        let fy = plan.family(ids.y).unwrap();
+        let ci = u.class(fy.cls_int.unwrap());
+        assert!(ci.method_index("get_K").is_some());
+        assert!(ci.method_index("set_K").is_some());
+    }
+}

@@ -1,0 +1,123 @@
+//! Naming conventions for generated artefacts, exactly as in the paper:
+//! for a class `A` the family is `A_O_Int`, `A_O_Local`, `A_O_Proxy_<P>`,
+//! `A_C_Int`, `A_C_Local`, `A_C_Proxy_<P>`, `A_O_Factory`, `A_C_Factory`;
+//! each attribute `f` becomes a property with accessors `get_f`/`set_f`.
+
+/// `A_O_Int` — instance-members interface.
+pub fn obj_interface(class: &str) -> String {
+    format!("{class}_O_Int")
+}
+
+/// `A_O_Local` — non-remote instance implementation.
+pub fn obj_local(class: &str) -> String {
+    format!("{class}_O_Local")
+}
+
+/// `A_O_Proxy_<P>` — remote instance proxy for protocol `P`.
+pub fn obj_proxy(class: &str, protocol: &str) -> String {
+    format!("{class}_O_Proxy_{protocol}")
+}
+
+/// `A_C_Int` — static-members interface.
+pub fn class_interface(class: &str) -> String {
+    format!("{class}_C_Int")
+}
+
+/// `A_C_Local` — non-remote singleton implementation of the static members.
+pub fn class_local(class: &str) -> String {
+    format!("{class}_C_Local")
+}
+
+/// `A_C_Proxy_<P>` — remote static proxy for protocol `P`.
+pub fn class_proxy(class: &str, protocol: &str) -> String {
+    format!("{class}_C_Proxy_{protocol}")
+}
+
+/// `A_O_Factory` — object factory (`make` + `init_k`).
+pub fn obj_factory(class: &str) -> String {
+    format!("{class}_O_Factory")
+}
+
+/// `A_C_Factory` — class factory (`discover` + `clinit`).
+pub fn class_factory(class: &str) -> String {
+    format!("{class}_C_Factory")
+}
+
+/// Property getter name for attribute `f`.
+pub fn getter(field: &str) -> String {
+    format!("get_{field}")
+}
+
+/// Property setter name for attribute `f`.
+pub fn setter(field: &str) -> String {
+    format!("set_{field}")
+}
+
+/// Factory initialisation method for constructor ordinal `k` (`init` in the
+/// paper, disambiguated per constructor).
+pub fn init_method(ctor: usize) -> String {
+    format!("init${ctor}")
+}
+
+/// The object-creation method (paper: `make`).
+pub const MAKE: &str = "make";
+
+/// The class-discovery method (paper: `discover`).
+pub const DISCOVER: &str = "discover";
+
+/// The translated static-initialiser method on the class factory
+/// (paper: `clinit`).
+pub const CLINIT: &str = "clinit";
+
+/// The original class name of a generated artefact, if the name matches a
+/// generated pattern.
+pub fn base_of(generated: &str) -> Option<&str> {
+    for marker in ["_O_Int", "_O_Local", "_C_Int", "_C_Local", "_O_Factory", "_C_Factory"] {
+        if let Some(base) = generated.strip_suffix(marker) {
+            return Some(base);
+        }
+    }
+    for marker in ["_O_Proxy_", "_C_Proxy_"] {
+        if let Some(pos) = generated.find(marker) {
+            return Some(&generated[..pos]);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(obj_interface("X"), "X_O_Int");
+        assert_eq!(obj_local("X"), "X_O_Local");
+        assert_eq!(obj_proxy("X", "SOAP"), "X_O_Proxy_SOAP");
+        assert_eq!(class_interface("X"), "X_C_Int");
+        assert_eq!(class_local("X"), "X_C_Local");
+        assert_eq!(class_proxy("X", "RMI"), "X_C_Proxy_RMI");
+        assert_eq!(obj_factory("X"), "X_O_Factory");
+        assert_eq!(class_factory("X"), "X_C_Factory");
+        assert_eq!(getter("y"), "get_y");
+        assert_eq!(setter("y"), "set_y");
+    }
+
+    #[test]
+    fn base_of_inverts_generation() {
+        for name in [
+            "X_O_Int",
+            "X_O_Local",
+            "X_O_Proxy_SOAP",
+            "X_C_Int",
+            "X_C_Local",
+            "X_C_Proxy_RMI",
+            "X_O_Factory",
+            "X_C_Factory",
+        ] {
+            assert_eq!(base_of(name), Some("X"), "{name}");
+        }
+        assert_eq!(base_of("X"), None);
+        assert_eq!(base_of("Observer"), None);
+    }
+}

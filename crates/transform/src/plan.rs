@@ -1,0 +1,383 @@
+//! Planning pass: declare every generated class and pre-intern every
+//! signature the rewriter and generators will need.
+//!
+//! Generation is two-phase because the artefact family is mutually
+//! recursive: `X_O_Int.get_y()` returns `Y_O_Int`, so all interfaces must be
+//! *declared* (ids reserved) before any member types can be computed.
+
+use crate::analysis::TransformabilityReport;
+use crate::naming;
+use rafda_classmodel::{ClassId, ClassKind, ClassUniverse, SigId, Ty};
+use std::collections::{HashMap, HashSet};
+
+/// The generated artefact family of one substitutable class `A`.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// The original class.
+    pub base: ClassId,
+    /// `A_O_Int`.
+    pub obj_int: ClassId,
+    /// `A_O_Local`.
+    pub obj_local: ClassId,
+    /// `A_O_Proxy_<P>` per protocol, in protocol order.
+    pub obj_proxies: Vec<(String, ClassId)>,
+    /// `A_O_Factory`.
+    pub obj_factory: ClassId,
+    /// Whether `A` has static members (and hence a `_C_` family).
+    pub has_statics: bool,
+    /// `A_C_Int`.
+    pub cls_int: Option<ClassId>,
+    /// `A_C_Local`.
+    pub cls_local: Option<ClassId>,
+    /// `A_C_Proxy_<P>` per protocol.
+    pub cls_proxies: Vec<(String, ClassId)>,
+    /// `A_C_Factory`.
+    pub cls_factory: Option<ClassId>,
+    /// Property getter signatures per declared instance field.
+    pub getters: Vec<SigId>,
+    /// Property setter signatures per declared instance field.
+    pub setters: Vec<SigId>,
+    /// Property getter signatures per declared static field.
+    pub static_getters: Vec<SigId>,
+    /// Property setter signatures per declared static field.
+    pub static_setters: Vec<SigId>,
+    /// `make()` signature.
+    pub make_sig: SigId,
+    /// `init$k(that, …)` signature per constructor ordinal.
+    pub init_sigs: Vec<SigId>,
+    /// `discover()` signature (present iff `has_statics`).
+    pub discover_sig: Option<SigId>,
+    /// `clinit(that)` signature (present iff the original has `<clinit>`).
+    pub clinit_sig: Option<SigId>,
+}
+
+/// The full transformation plan.
+#[derive(Debug, Clone, Default)]
+pub struct TransformPlan {
+    /// Families keyed by the original (substitutable) class.
+    pub families: HashMap<ClassId, Family>,
+    /// All transformable original classes (substitutable or not): their
+    /// bodies and signatures are rewritten.
+    pub transformable: HashSet<ClassId>,
+    /// Map from every pre-existing signature to its type-rewritten version
+    /// (identity when no substitutable class appears in the parameters).
+    pub sig_map: HashMap<SigId, SigId>,
+    /// Rewritten *instance-ised* signature of each method, keyed by
+    /// `(declaring class, method index)`. For static methods this is the
+    /// signature they carry after being made non-static.
+    pub method_sigs: HashMap<(ClassId, u16), SigId>,
+    /// Protocols proxies are generated for.
+    pub protocols: Vec<String>,
+}
+
+impl TransformPlan {
+    /// The family generated for `base`, if it was substitutable.
+    pub fn family(&self, base: ClassId) -> Option<&Family> {
+        self.families.get(&base)
+    }
+
+    /// Whether `class` is substitutable.
+    pub fn is_substitutable(&self, class: ClassId) -> bool {
+        self.families.contains_key(&class)
+    }
+
+    /// Rewrite a type: references to substitutable classes become references
+    /// to the extracted instance interface.
+    pub fn rewrite_ty(&self, ty: &Ty) -> Ty {
+        match ty {
+            Ty::Object(c) => match self.families.get(c) {
+                Some(f) => Ty::Object(f.obj_int),
+                None => ty.clone(),
+            },
+            Ty::Array(e) => Ty::Array(Box::new(self.rewrite_ty(e))),
+            other => other.clone(),
+        }
+    }
+
+    /// Rewrite a signature id (identity for unknown sigs).
+    pub fn rewrite_sig(&self, sig: SigId) -> SigId {
+        self.sig_map.get(&sig).copied().unwrap_or(sig)
+    }
+}
+
+/// Build the plan: declare all generated classes and intern all signatures.
+///
+/// `substitutable` must contain only transformable, non-interface original
+/// classes and be closed under (transformable) superclasses — validated by
+/// the engine before calling this.
+pub fn build_plan(
+    universe: &mut ClassUniverse,
+    report: &TransformabilityReport,
+    substitutable: &[ClassId],
+    protocols: &[String],
+) -> TransformPlan {
+    let mut plan = TransformPlan {
+        protocols: protocols.to_vec(),
+        ..Default::default()
+    };
+    for (id, _) in universe.iter() {
+        if report.is_transformable(id) {
+            plan.transformable.insert(id);
+        }
+    }
+
+    // Phase 1: declare every generated class so ids exist for typing.
+    let mut decls: Vec<(ClassId, Family)> = Vec::new();
+    for &base in substitutable {
+        let name = universe.class(base).name.clone();
+        let has_statics = {
+            let c = universe.class(base);
+            !c.static_fields.is_empty()
+                || c.clinit.is_some()
+                || c.methods.iter().any(|m| m.is_static && !m.is_clinit())
+        };
+        let obj_int = universe.declare(&naming::obj_interface(&name), ClassKind::Interface);
+        let obj_local = universe.declare(&naming::obj_local(&name), ClassKind::Class);
+        let obj_proxies = protocols
+            .iter()
+            .map(|p| {
+                (
+                    p.clone(),
+                    universe.declare(&naming::obj_proxy(&name, p), ClassKind::Class),
+                )
+            })
+            .collect();
+        let obj_factory = universe.declare(&naming::obj_factory(&name), ClassKind::Class);
+        let (cls_int, cls_local, cls_proxies, cls_factory) = if has_statics {
+            let ci = universe.declare(&naming::class_interface(&name), ClassKind::Interface);
+            let cl = universe.declare(&naming::class_local(&name), ClassKind::Class);
+            let cp = protocols
+                .iter()
+                .map(|p| {
+                    (
+                        p.clone(),
+                        universe.declare(&naming::class_proxy(&name, p), ClassKind::Class),
+                    )
+                })
+                .collect();
+            let cf = universe.declare(&naming::class_factory(&name), ClassKind::Class);
+            (Some(ci), Some(cl), cp, Some(cf))
+        } else {
+            (None, None, Vec::new(), None)
+        };
+        decls.push((
+            base,
+            Family {
+                base,
+                obj_int,
+                obj_local,
+                obj_proxies,
+                obj_factory,
+                has_statics,
+                cls_int,
+                cls_local,
+                cls_proxies,
+                cls_factory,
+                getters: Vec::new(),
+                setters: Vec::new(),
+                static_getters: Vec::new(),
+                static_setters: Vec::new(),
+                make_sig: SigId(0),
+                init_sigs: Vec::new(),
+                discover_sig: None,
+                clinit_sig: None,
+            },
+        ));
+    }
+    for (base, family) in decls {
+        plan.families.insert(base, family);
+    }
+
+    // Phase 2: rewrite all pre-existing signatures.
+    let pre_existing = universe.sig_count();
+    for raw in 0..pre_existing as u32 {
+        let sig = SigId(raw);
+        let info = universe.sig_info(sig).clone();
+        let new_params: Vec<Ty> = info.params.iter().map(|t| plan.rewrite_ty(t)).collect();
+        let new_sig = if new_params == info.params {
+            sig
+        } else {
+            universe.sig(&info.name, new_params)
+        };
+        plan.sig_map.insert(sig, new_sig);
+    }
+
+    // Phase 3: per-method rewritten signatures for every transformable class.
+    let transformable: Vec<ClassId> = plan.transformable.iter().copied().collect();
+    for class in transformable {
+        let count = universe.class(class).methods.len();
+        for idx in 0..count {
+            let sig = universe.class(class).methods[idx].sig;
+            let new_sig = plan.rewrite_sig(sig);
+            plan.method_sigs.insert((class, idx as u16), new_sig);
+        }
+    }
+
+    // Phase 4: family member signatures.
+    let bases: Vec<ClassId> = plan.families.keys().copied().collect();
+    let make_sig = universe.sig(naming::MAKE, vec![]);
+    let discover_sig = universe.sig(naming::DISCOVER, vec![]);
+    for base in bases {
+        type FieldList = Vec<(String, Ty)>;
+        let (fields, static_fields, ctor_params, has_clinit): (
+            FieldList,
+            FieldList,
+            Vec<Vec<Ty>>,
+            bool,
+        ) = {
+            let c = universe.class(base);
+            (
+                c.fields.iter().map(|f| (f.name.clone(), f.ty.clone())).collect(),
+                c.static_fields
+                    .iter()
+                    .map(|f| (f.name.clone(), f.ty.clone()))
+                    .collect(),
+                c.ctors
+                    .iter()
+                    .map(|&mi| c.methods[mi as usize].params.clone())
+                    .collect(),
+                c.clinit.is_some(),
+            )
+        };
+        let obj_int_ty = Ty::Object(plan.families[&base].obj_int);
+        let cls_int_ty = plan.families[&base].cls_int.map(Ty::Object);
+
+        let mut getters = Vec::new();
+        let mut setters = Vec::new();
+        for (fname, fty) in &fields {
+            let rty = plan.rewrite_ty(fty);
+            getters.push(universe.sig(&naming::getter(fname), vec![]));
+            setters.push(universe.sig(&naming::setter(fname), vec![rty]));
+        }
+        let mut static_getters = Vec::new();
+        let mut static_setters = Vec::new();
+        for (fname, fty) in &static_fields {
+            let rty = plan.rewrite_ty(fty);
+            static_getters.push(universe.sig(&naming::getter(fname), vec![]));
+            static_setters.push(universe.sig(&naming::setter(fname), vec![rty]));
+        }
+        let mut init_sigs = Vec::new();
+        for (k, params) in ctor_params.iter().enumerate() {
+            let mut ps = vec![obj_int_ty.clone()];
+            ps.extend(params.iter().map(|t| plan.rewrite_ty(t)));
+            init_sigs.push(universe.sig(&naming::init_method(k), ps));
+        }
+        let clinit_sig = if has_clinit {
+            Some(universe.sig(naming::CLINIT, vec![cls_int_ty.clone().expect("clinit implies statics")]))
+        } else {
+            None
+        };
+
+        let family = plan.families.get_mut(&base).expect("planned");
+        family.getters = getters;
+        family.setters = setters;
+        family.static_getters = static_getters;
+        family.static_setters = static_setters;
+        family.make_sig = make_sig;
+        family.init_sigs = init_sigs;
+        family.discover_sig = family.has_statics.then_some(discover_sig);
+        family.clinit_sig = clinit_sig;
+    }
+
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use rafda_classmodel::sample;
+
+    fn plan_figure2() -> (ClassUniverse, TransformPlan, sample::SampleIds) {
+        let mut u = ClassUniverse::new();
+        let ids = sample::build_figure2(&mut u);
+        let report = analyze(&u);
+        let subs = vec![ids.x, ids.y, ids.z];
+        let plan = build_plan(
+            &mut u,
+            &report,
+            &subs,
+            &["SOAP".to_owned(), "RMI".to_owned()],
+        );
+        (u, plan, ids)
+    }
+
+    #[test]
+    fn declares_full_family_for_x() {
+        let (u, plan, ids) = plan_figure2();
+        let fx = plan.family(ids.x).unwrap();
+        assert_eq!(u.class(fx.obj_int).name, "X_O_Int");
+        assert_eq!(u.class(fx.obj_local).name, "X_O_Local");
+        assert_eq!(u.class(fx.obj_factory).name, "X_O_Factory");
+        assert_eq!(fx.obj_proxies.len(), 2);
+        assert!(fx.has_statics);
+        assert_eq!(u.class(fx.cls_int.unwrap()).name, "X_C_Int");
+        assert_eq!(u.class(fx.cls_factory.unwrap()).name, "X_C_Factory");
+        assert!(fx.clinit_sig.is_some());
+    }
+
+    #[test]
+    fn z_has_no_static_family() {
+        let (_u, plan, ids) = plan_figure2();
+        let fz = plan.family(ids.z).unwrap();
+        assert!(!fz.has_statics);
+        assert!(fz.cls_int.is_none());
+        assert!(fz.cls_factory.is_none());
+        assert!(fz.cls_proxies.is_empty());
+        // Y has a static field K, so it gets a static family.
+        let fy = plan.family(ids.y).unwrap();
+        assert!(fy.has_statics);
+        assert_eq!(fy.static_getters.len(), 1);
+    }
+
+    #[test]
+    fn rewrite_ty_maps_substitutable_references() {
+        let (_u, plan, ids) = plan_figure2();
+        let fy = plan.family(ids.y).unwrap();
+        assert_eq!(plan.rewrite_ty(&Ty::Object(ids.y)), Ty::Object(fy.obj_int));
+        assert_eq!(
+            plan.rewrite_ty(&Ty::Object(ids.y).array_of()),
+            Ty::Object(fy.obj_int).array_of()
+        );
+        assert_eq!(plan.rewrite_ty(&Ty::Int), Ty::Int);
+    }
+
+    #[test]
+    fn sig_map_rewrites_object_params_only() {
+        let mut u = ClassUniverse::new();
+        let ids = sample::build_figure2(&mut u);
+        let n_sig = u.sig("n", vec![Ty::Long]);
+        let takes_y = u.sig("t", vec![Ty::Object(ids.y)]);
+        let report = analyze(&u);
+        let plan = build_plan(&mut u, &report, &[ids.x, ids.y, ids.z], &["RMI".to_owned()]);
+        assert_eq!(plan.rewrite_sig(n_sig), n_sig);
+        let rewritten = plan.rewrite_sig(takes_y);
+        assert_ne!(rewritten, takes_y);
+        let info = u.sig_info(rewritten);
+        let fy = plan.family(ids.y).unwrap();
+        assert_eq!(info.params, vec![Ty::Object(fy.obj_int)]);
+    }
+
+    #[test]
+    fn init_sigs_take_interface_receiver_first() {
+        let (u, plan, ids) = plan_figure2();
+        let fx = plan.family(ids.x).unwrap();
+        assert_eq!(fx.init_sigs.len(), 1);
+        let info = u.sig_info(fx.init_sigs[0]);
+        assert_eq!(info.name, "init$0");
+        let fy = plan.family(ids.y).unwrap();
+        assert_eq!(
+            info.params,
+            vec![Ty::Object(fx.obj_int), Ty::Object(fy.obj_int)]
+        );
+    }
+
+    #[test]
+    fn make_and_discover_sigs_are_shared() {
+        let (_u, plan, ids) = plan_figure2();
+        let fx = plan.family(ids.x).unwrap();
+        let fy = plan.family(ids.y).unwrap();
+        assert_eq!(fx.make_sig, fy.make_sig);
+        assert_eq!(fx.discover_sig, fy.discover_sig);
+    }
+}

@@ -1,0 +1,115 @@
+//! Interpreter errors: in-model exceptions, traps and resource limits.
+
+use crate::heap::Handle;
+use std::fmt;
+
+/// A trap: a condition the verified program can still hit at runtime.
+/// Traps are not catchable by in-model handlers (unlike [`VmError::Exception`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Dereference of `null` (field access, call, array op).
+    NullDeref,
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Array index out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// The array's length.
+        len: usize,
+    },
+    /// Negative array length.
+    NegativeArrayLen,
+    /// `CheckCast` failure.
+    ClassCast,
+    /// Operand of the wrong kind for the instruction.
+    TypeError(String),
+    /// Virtual dispatch found no method (e.g. abstract without override).
+    UnresolvedMethod(String),
+    /// A `native` method had no registered hook.
+    NoNativeHook(String),
+    /// Call depth exceeded the configured maximum.
+    StackOverflow,
+    /// The step budget was exhausted.
+    OutOfFuel,
+    /// A stale or freed heap handle was used.
+    StaleHandle,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::NullDeref => write!(f, "null dereference"),
+            Trap::DivByZero => write!(f, "division by zero"),
+            Trap::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            Trap::NegativeArrayLen => write!(f, "negative array length"),
+            Trap::ClassCast => write!(f, "class cast failure"),
+            Trap::TypeError(m) => write!(f, "type error: {m}"),
+            Trap::UnresolvedMethod(m) => write!(f, "unresolved method: {m}"),
+            Trap::NoNativeHook(m) => write!(f, "no native hook registered for {m}"),
+            Trap::StackOverflow => write!(f, "call depth limit exceeded"),
+            Trap::OutOfFuel => write!(f, "interpreter fuel exhausted"),
+            Trap::StaleHandle => write!(f, "stale heap handle"),
+        }
+    }
+}
+
+/// Any reason execution did not produce a value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// An in-model exception object was thrown and not caught (catchable by
+    /// `TryHandler`s during unwinding).
+    Exception(Handle),
+    /// An uncatchable trap.
+    Trap(Trap),
+    /// Failure reported by a native hook (e.g. a simulated network failure
+    /// surfacing through a proxy — the paper's "modulo network failure").
+    Native(String),
+}
+
+impl VmError {
+    /// Shorthand for a [`Trap::TypeError`].
+    pub fn type_error(msg: impl Into<String>) -> Self {
+        VmError::Trap(Trap::TypeError(msg.into()))
+    }
+
+    /// Whether this error is a network failure surfaced by a proxy hook.
+    pub fn is_network(&self) -> bool {
+        matches!(self, VmError::Native(m) if m.contains("network"))
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Exception(h) => write!(f, "uncaught exception @{h}"),
+            VmError::Trap(t) => write!(f, "trap: {t}"),
+            VmError::Native(m) => write!(f, "native error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(VmError::Trap(Trap::DivByZero).to_string(), "trap: division by zero");
+        assert!(VmError::type_error("int vs long").to_string().contains("int vs long"));
+        let t = Trap::IndexOutOfBounds { index: 5, len: 3 };
+        assert!(t.to_string().contains("5"));
+        assert!(t.to_string().contains("3"));
+    }
+
+    #[test]
+    fn network_detection() {
+        assert!(VmError::Native("network: partition".into()).is_network());
+        assert!(!VmError::Native("marshal failure".into()).is_network());
+        assert!(!VmError::Trap(Trap::NullDeref).is_network());
+    }
+}

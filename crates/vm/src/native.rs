@@ -1,0 +1,91 @@
+//! Native-method hooks.
+//!
+//! `native` methods in the class model have no bytecode body; when the
+//! interpreter reaches one it looks up a Rust closure registered for the
+//! *(declaring class, signature)* pair. The distributed runtime implements
+//! proxy methods this way: a proxy class's methods are all `native`, and the
+//! registered hook marshals the call over the simulated network.
+//!
+//! Hooks receive the calling [`Vm`] handle and may re-enter the
+//! interpreter (e.g. a remote callback executing locally).
+
+use crate::error::VmError;
+use crate::value::Value;
+use crate::vm::Vm;
+use rafda_classmodel::{ClassId, SigId};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A native-method implementation. For instance methods `args[0]` is the
+/// receiver; for static methods `args` are just the parameters.
+pub type NativeFn = Rc<dyn Fn(&Vm, &[Value]) -> Result<Value, VmError>>;
+
+/// Registry of native hooks, keyed by declaring class and method signature.
+#[derive(Default)]
+pub struct NativeRegistry {
+    hooks: HashMap<(ClassId, SigId), NativeFn>,
+}
+
+impl std::fmt::Debug for NativeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeRegistry")
+            .field("hooks", &self.hooks.len())
+            .finish()
+    }
+}
+
+impl NativeRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) the hook for `(class, sig)`.
+    pub fn register(
+        &mut self,
+        class: ClassId,
+        sig: SigId,
+        hook: impl Fn(&Vm, &[Value]) -> Result<Value, VmError> + 'static,
+    ) {
+        self.hooks.insert((class, sig), Rc::new(hook));
+    }
+
+    /// Look up the hook for `(class, sig)`.
+    pub fn get(&self, class: ClassId, sig: SigId) -> Option<NativeFn> {
+        self.hooks.get(&(class, sig)).cloned()
+    }
+
+    /// Number of registered hooks.
+    pub fn len(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// Whether no hooks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.hooks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = NativeRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(ClassId(1), SigId(2), |_vm, _args| Ok(Value::Int(1)));
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get(ClassId(1), SigId(2)).is_some());
+        assert!(reg.get(ClassId(1), SigId(3)).is_none());
+        assert!(reg.get(ClassId(2), SigId(2)).is_none());
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut reg = NativeRegistry::new();
+        reg.register(ClassId(1), SigId(2), |_, _| Ok(Value::Int(1)));
+        reg.register(ClassId(1), SigId(2), |_, _| Ok(Value::Int(2)));
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -1,0 +1,555 @@
+use super::*;
+use rafda_classmodel::builder::{ClassBuilder, MethodBuilder};
+use rafda_classmodel::sample;
+
+fn vm_with(build: impl FnOnce(&mut ClassUniverse)) -> Vm {
+    let mut u = ClassUniverse::new();
+    build(&mut u);
+    rafda_classmodel::verify_universe(&u).expect("test universe verifies");
+    Vm::new(Arc::new(u))
+}
+
+fn figure2_vm() -> Vm {
+    vm_with(|u| {
+        sample::build_figure2(u);
+    })
+}
+
+#[test]
+fn figure2_instance_path() {
+    // new X(new Y(3)).m(4) == 3 + 4
+    let vm = figure2_vm();
+    let u = vm.universe().clone();
+    let y = u.by_name("Y").unwrap();
+    let x = u.by_name("X").unwrap();
+    let yobj = vm.new_instance(y, 0, vec![Value::Int(3)]).unwrap();
+    let xobj = vm.new_instance(x, 0, vec![yobj]).unwrap();
+    let r = vm
+        .call_virtual_by_name(xobj, "m", vec![Value::Long(4)])
+        .unwrap();
+    assert_eq!(r, Value::Int(7));
+}
+
+#[test]
+fn figure2_static_path_initialises_classes_in_order() {
+    // X.p(6) forces X.<clinit>, which reads Y.K (forcing Y.<clinit>) and
+    // constructs Z. 6 * 7 = 42.
+    let vm = figure2_vm();
+    let r = vm
+        .call_static_by_name("X", "p", vec![Value::Int(6)])
+        .unwrap();
+    assert_eq!(r, Value::Int(42));
+    // Second call must not re-run <clinit>.
+    let allocs_before = vm.stats().heap.objects_allocated;
+    let r2 = vm
+        .call_static_by_name("X", "p", vec![Value::Int(1)])
+        .unwrap();
+    assert_eq!(r2, Value::Int(7));
+    assert_eq!(vm.stats().heap.objects_allocated, allocs_before);
+}
+
+#[test]
+fn arithmetic_and_branching() {
+    let vm = vm_with(|u| {
+        let mut cb = ClassBuilder::declare(u, "Calc", rafda_classmodel::ClassKind::Class);
+        // static int abs(int a) { return a < 0 ? -a : a; }
+        let mut mb = MethodBuilder::new(1);
+        mb.load_local(0).const_int(0).cmp(CmpOp::Lt);
+        let neg = mb.label();
+        mb.jump_if(neg);
+        mb.load_local(0).ret_value();
+        mb.bind(neg);
+        mb.load_local(0).unop(UnOp::Neg).ret_value();
+        cb.static_method(u, "abs", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+    });
+    assert_eq!(
+        vm.call_static_by_name("Calc", "abs", vec![Value::Int(-5)]),
+        Ok(Value::Int(5))
+    );
+    assert_eq!(
+        vm.call_static_by_name("Calc", "abs", vec![Value::Int(11)]),
+        Ok(Value::Int(11))
+    );
+}
+
+#[test]
+fn loops_terminate_and_accumulate() {
+    let vm = vm_with(|u| {
+        let mut cb = ClassBuilder::declare(u, "Loop", rafda_classmodel::ClassKind::Class);
+        // static long sum(int n) { long s=0; while(n>0){ s+=n; n--; } return s; }
+        let mut mb = MethodBuilder::new(1);
+        let s = mb.alloc_local();
+        mb.const_long(0).store_local(s);
+        let top = mb.label();
+        let done = mb.label();
+        mb.bind(top);
+        mb.load_local(0).const_int(0).cmp(CmpOp::Gt);
+        mb.jump_if_not(done);
+        mb.load_local(s);
+        mb.load_local(0).unop(UnOp::Convert("long"));
+        mb.add().store_local(s);
+        mb.load_local(0).const_int(1).sub().store_local(0);
+        mb.jump(top);
+        mb.bind(done);
+        mb.load_local(s).ret_value();
+        cb.static_method(u, "sum", vec![Ty::Int], Ty::Long, Some(mb.finish()));
+        cb.finish(u);
+    });
+    assert_eq!(
+        vm.call_static_by_name("Loop", "sum", vec![Value::Int(100)]),
+        Ok(Value::Long(5050))
+    );
+}
+
+#[test]
+fn virtual_dispatch_uses_runtime_class() {
+    let vm = vm_with(|u| {
+        let a = u.declare("A", rafda_classmodel::ClassKind::Class);
+        let b = u.declare("B", rafda_classmodel::ClassKind::Class);
+        {
+            let mut cb = ClassBuilder::new(u, a);
+            let mut mb = MethodBuilder::new(1);
+            mb.ret();
+            cb.ctor(u, vec![], Some(mb.finish()));
+            let mut mb = MethodBuilder::new(1);
+            mb.const_int(1).ret_value();
+            cb.method(u, "tag", vec![], Ty::Int, Some(mb.finish()));
+            cb.finish(u);
+        }
+        {
+            let mut cb = ClassBuilder::new(u, b);
+            cb.superclass(a);
+            let mut mb = MethodBuilder::new(1);
+            mb.ret();
+            cb.ctor(u, vec![], Some(mb.finish()));
+            let mut mb = MethodBuilder::new(1);
+            mb.const_int(2).ret_value();
+            cb.method(u, "tag", vec![], Ty::Int, Some(mb.finish()));
+            cb.finish(u);
+        }
+    });
+    let u = vm.universe().clone();
+    let a = u.by_name("A").unwrap();
+    let b = u.by_name("B").unwrap();
+    let ao = vm.new_instance(a, 0, vec![]).unwrap();
+    let bo = vm.new_instance(b, 0, vec![]).unwrap();
+    assert_eq!(vm.call_virtual_by_name(ao, "tag", vec![]), Ok(Value::Int(1)));
+    assert_eq!(vm.call_virtual_by_name(bo, "tag", vec![]), Ok(Value::Int(2)));
+}
+
+#[test]
+fn inherited_method_found_through_superclass() {
+    let vm = vm_with(|u| {
+        let a = u.declare("A", rafda_classmodel::ClassKind::Class);
+        let b = u.declare("B", rafda_classmodel::ClassKind::Class);
+        {
+            let mut cb = ClassBuilder::new(u, a);
+            let mut mb = MethodBuilder::new(1);
+            mb.ret();
+            cb.ctor(u, vec![], Some(mb.finish()));
+            let mut mb = MethodBuilder::new(1);
+            mb.const_int(41).const_int(1).add().ret_value();
+            cb.method(u, "forty_two", vec![], Ty::Int, Some(mb.finish()));
+            cb.finish(u);
+        }
+        {
+            let mut cb = ClassBuilder::new(u, b);
+            cb.superclass(a);
+            let mut mb = MethodBuilder::new(1);
+            mb.ret();
+            cb.ctor(u, vec![], Some(mb.finish()));
+            cb.finish(u);
+        }
+    });
+    let b = vm.universe().by_name("B").unwrap();
+    let bo = vm.new_instance(b, 0, vec![]).unwrap();
+    assert_eq!(
+        vm.call_virtual_by_name(bo, "forty_two", vec![]),
+        Ok(Value::Int(42))
+    );
+}
+
+#[test]
+fn exceptions_unwind_to_matching_handler() {
+    let vm = vm_with(|u| {
+        let (_t, e) = sample::build_throwables(u);
+        let mut cb = ClassBuilder::declare(u, "Try", rafda_classmodel::ClassKind::Class);
+        let code_sig = u.sig("code", vec![]);
+        // static int f(int x) {
+        //   try { if (x > 0) throw new AppError(x); return 0; }
+        //   catch (AppError err) { return err.code() + 100; }
+        // }
+        let mut mb = MethodBuilder::new(1);
+        let no_throw = mb.label();
+        mb.load_local(0).const_int(0).cmp(CmpOp::Gt); // 0..2
+        mb.jump_if_not(no_throw); // 3
+        mb.load_local(0); // 4
+        mb.new_init(e, 0, 1); // 5
+        mb.throw(); // 6
+        mb.bind(no_throw);
+        mb.const_int(0).ret_value(); // 7,8
+        let handler_pc = mb.pc(); // 9
+        mb.invoke(code_sig, 0); // handler: [err] -> [code]
+        mb.const_int(100).add().ret_value();
+        mb.handler(0, handler_pc, handler_pc, Some(e));
+        cb.static_method(u, "f", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+    });
+    assert_eq!(
+        vm.call_static_by_name("Try", "f", vec![Value::Int(0)]),
+        Ok(Value::Int(0))
+    );
+    assert_eq!(
+        vm.call_static_by_name("Try", "f", vec![Value::Int(5)]),
+        Ok(Value::Int(105))
+    );
+}
+
+#[test]
+fn uncaught_exception_propagates_across_frames() {
+    let vm = vm_with(|u| {
+        let (_t, e) = sample::build_throwables(u);
+        let mut cb = ClassBuilder::declare(u, "Boom", rafda_classmodel::ClassKind::Class);
+        let mut mb = MethodBuilder::new(0);
+        mb.const_int(9).new_init(e, 0, 1).throw();
+        cb.static_method(u, "inner", vec![], Ty::Void, Some(mb.finish()));
+        let inner_sig = u.sig("inner", vec![]);
+        let me = cb.id();
+        let mut mb = MethodBuilder::new(0);
+        mb.invoke_static(me, inner_sig, 0).pop().ret();
+        cb.static_method(u, "outer", vec![], Ty::Void, Some(mb.finish()));
+        cb.finish(u);
+    });
+    let err = vm.call_static_by_name("Boom", "outer", vec![]).unwrap_err();
+    let VmError::Exception(h) = err else {
+        panic!("expected exception, got {err:?}");
+    };
+    let class = vm.class_of(h).unwrap();
+    assert_eq!(vm.universe().class(class).name, "AppError");
+}
+
+#[test]
+fn handler_catch_type_is_respected() {
+    // A handler for Throwable catches AppError; a handler for an unrelated
+    // class does not.
+    let vm = vm_with(|u| {
+        let (t, e) = sample::build_throwables(u);
+        let other = u.declare("Other", rafda_classmodel::ClassKind::Class);
+        {
+            let mut cb = ClassBuilder::new(u, other);
+            cb.special();
+            let mut mb = MethodBuilder::new(1);
+            mb.ret();
+            cb.ctor(u, vec![], Some(mb.finish()));
+            cb.finish(u);
+        }
+        let mut cb = ClassBuilder::declare(u, "Sel", rafda_classmodel::ClassKind::Class);
+        // catches Throwable -> returns 1
+        let mut mb = MethodBuilder::new(0);
+        mb.const_int(1).new_init(e, 0, 1).throw(); // 0..2
+        mb.pop(); // 3 handler
+        mb.const_int(1).ret_value();
+        mb.handler(0, 3, 3, Some(t));
+        cb.static_method(u, "caught", vec![], Ty::Int, Some(mb.finish()));
+        // handler for Other -> uncaught
+        let mut mb = MethodBuilder::new(0);
+        mb.const_int(1).new_init(e, 0, 1).throw();
+        mb.pop();
+        mb.const_int(1).ret_value();
+        mb.handler(0, 3, 3, Some(other));
+        cb.static_method(u, "missed", vec![], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+    });
+    assert_eq!(
+        vm.call_static_by_name("Sel", "caught", vec![]),
+        Ok(Value::Int(1))
+    );
+    assert!(matches!(
+        vm.call_static_by_name("Sel", "missed", vec![]),
+        Err(VmError::Exception(_))
+    ));
+}
+
+#[test]
+fn native_hooks_dispatch_and_reenter() {
+    let vm = vm_with(|u| {
+        let mut cb = ClassBuilder::declare(u, "Nat", rafda_classmodel::ClassKind::Class);
+        let sig = u.sig("twice_of_plain", vec![Ty::Int]);
+        cb.add_method(rafda_classmodel::Method {
+            name: "twice_of_plain".into(),
+            sig,
+            params: vec![Ty::Int],
+            ret: Ty::Int,
+            visibility: Visibility::Public,
+            is_static: true,
+            is_native: true,
+            body: None,
+        });
+        let mut mb = MethodBuilder::new(1);
+        mb.load_local(0).const_int(1).add().ret_value();
+        cb.static_method(u, "plain", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+    });
+    let u = vm.universe().clone();
+    let nat = u.by_name("Nat").unwrap();
+    let sig = u.class(nat).methods[0].sig;
+    // The hook re-enters the interpreter: twice_of_plain(x) = 2 * plain(x).
+    vm.register_native(nat, sig, move |vm, args| {
+        let x = args[0].clone();
+        let r = vm.call_static_by_name("Nat", "plain", vec![x])?;
+        let v = r.as_int().unwrap();
+        Ok(Value::Int(v * 2))
+    });
+    assert_eq!(
+        vm.call_static_by_name("Nat", "twice_of_plain", vec![Value::Int(10)]),
+        Ok(Value::Int(22))
+    );
+    assert_eq!(vm.stats().native_calls, 1);
+}
+
+#[test]
+fn missing_native_hook_is_a_trap() {
+    let vm = vm_with(|u| {
+        let mut cb = ClassBuilder::declare(u, "Nat", rafda_classmodel::ClassKind::Class);
+        cb.native_method(u, "orphan", vec![], Ty::Void);
+        let mut mb = MethodBuilder::new(1);
+        mb.ret();
+        cb.ctor(u, vec![], Some(mb.finish()));
+        cb.finish(u);
+    });
+    let nat = vm.universe().by_name("Nat").unwrap();
+    let o = vm.new_instance(nat, 0, vec![]).unwrap();
+    let err = vm.call_virtual_by_name(o, "orphan", vec![]).unwrap_err();
+    assert!(matches!(err, VmError::Trap(Trap::NoNativeHook(_))));
+}
+
+#[test]
+fn observer_records_trace() {
+    let mut u = ClassUniverse::new();
+    let ids = Vm::install_observer(&mut u);
+    let mut cb = ClassBuilder::declare(&mut u, "Main", rafda_classmodel::ClassKind::Class);
+    let mut mb = MethodBuilder::new(0);
+    mb.const_long(7)
+        .invoke_static(ids.class, ids.emit, 1)
+        .pop();
+    mb.const_str("done")
+        .invoke_static(ids.class, ids.emit_str, 1)
+        .pop();
+    mb.ret();
+    cb.static_method(&mut u, "main", vec![], Ty::Void, Some(mb.finish()));
+    cb.finish(&mut u);
+    rafda_classmodel::verify_universe(&u).unwrap();
+
+    let vm = Vm::new(Arc::new(u));
+    vm.bind_observer(&ids);
+    let trace = vm.run_observed("Main", "main", vec![]);
+    assert_eq!(
+        trace.events(),
+        &[
+            TraceEvent::Emit(7),
+            TraceEvent::EmitStr("done".to_owned())
+        ]
+    );
+}
+
+#[test]
+fn fuel_limit_stops_infinite_loop() {
+    let vm = vm_with(|u| {
+        let mut cb = ClassBuilder::declare(u, "Spin", rafda_classmodel::ClassKind::Class);
+        let mut mb = MethodBuilder::new(0);
+        let top = mb.label();
+        mb.bind(top);
+        mb.jump(top);
+        cb.static_method(u, "spin", vec![], Ty::Void, Some(mb.finish()));
+        cb.finish(u);
+    });
+    vm.set_fuel(Some(10_000));
+    let err = vm.call_static_by_name("Spin", "spin", vec![]).unwrap_err();
+    assert_eq!(err, VmError::Trap(Trap::OutOfFuel));
+}
+
+#[test]
+fn depth_limit_stops_unbounded_recursion() {
+    let vm = vm_with(|u| {
+        let mut cb = ClassBuilder::declare(u, "Rec", rafda_classmodel::ClassKind::Class);
+        let sig = u.sig("r", vec![]);
+        let me = cb.id();
+        let mut mb = MethodBuilder::new(0);
+        mb.invoke_static(me, sig, 0).pop().ret();
+        cb.static_method(u, "r", vec![], Ty::Void, Some(mb.finish()));
+        cb.finish(u);
+    });
+    vm.set_max_depth(64);
+    let err = vm.call_static_by_name("Rec", "r", vec![]).unwrap_err();
+    assert_eq!(err, VmError::Trap(Trap::StackOverflow));
+}
+
+#[test]
+fn arrays_allocate_index_and_bound_check() {
+    let vm = vm_with(|u| {
+        let mut cb = ClassBuilder::declare(u, "Arr", rafda_classmodel::ClassKind::Class);
+        // static int get(int n, int i) { int[] a = new int[n]; a[0]=5; return a[i] + a.length; }
+        let mut mb = MethodBuilder::new(2);
+        let a = mb.alloc_local();
+        mb.load_local(0).new_array(Ty::Int).store_local(a);
+        mb.load_local(a).const_int(0).const_int(5).array_set();
+        mb.load_local(a).load_local(1).array_get();
+        mb.load_local(a).array_len();
+        mb.add().ret_value();
+        cb.static_method(u, "get", vec![Ty::Int, Ty::Int], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+    });
+    assert_eq!(
+        vm.call_static_by_name("Arr", "get", vec![Value::Int(3), Value::Int(0)]),
+        Ok(Value::Int(8))
+    );
+    assert_eq!(
+        vm.call_static_by_name("Arr", "get", vec![Value::Int(3), Value::Int(1)]),
+        Ok(Value::Int(3))
+    );
+    let err = vm
+        .call_static_by_name("Arr", "get", vec![Value::Int(3), Value::Int(7)])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        VmError::Trap(Trap::IndexOutOfBounds { index: 7, len: 3 })
+    ));
+}
+
+#[test]
+fn division_by_zero_and_null_deref_trap() {
+    let vm = figure2_vm();
+    let x = vm.universe().by_name("X").unwrap();
+    // new X(null).m(1) -> null deref on y.n(j)
+    let xo = vm.new_instance(x, 0, vec![Value::Null]).unwrap();
+    let err = vm
+        .call_virtual_by_name(xo, "m", vec![Value::Long(1)])
+        .unwrap_err();
+    assert_eq!(err, VmError::Trap(Trap::NullDeref));
+
+    assert_eq!(
+        bin_op(BinOp::Div, Value::Int(1), Value::Int(0)),
+        Err(VmError::Trap(Trap::DivByZero))
+    );
+    assert_eq!(
+        bin_op(BinOp::Rem, Value::Long(1), Value::Long(0)),
+        Err(VmError::Trap(Trap::DivByZero))
+    );
+}
+
+#[test]
+fn instanceof_and_checkcast() {
+    let vm = vm_with(|u| {
+        sample::build_throwables(u);
+    });
+    let u = vm.universe().clone();
+    let t = u.by_name("Throwable").unwrap();
+    let e = u.by_name("AppError").unwrap();
+    let eo = vm.new_instance(e, 0, vec![Value::Int(1)]).unwrap();
+    let h = eo.as_ref_handle().unwrap();
+    // Drive instanceof/checkcast through the step interface indirectly:
+    assert!(u.is_subtype(vm.class_of(h).unwrap(), t));
+    // CheckCast failure surfaces as ClassCast: cast a Throwable-only object
+    // to AppError.
+    let to = vm.new_instance(t, 0, vec![]).unwrap();
+    let th = to.as_ref_handle().unwrap();
+    assert!(!u.is_subtype(vm.class_of(th).unwrap(), e));
+}
+
+#[test]
+fn in_place_swap_changes_dispatch_for_existing_references() {
+    // The core RAFDA primitive: replace a live object with another
+    // implementation; an existing reference now dispatches differently.
+    let vm = vm_with(|u| {
+        let iface = u.declare("I", rafda_classmodel::ClassKind::Interface);
+        let sig = u.sig("v", vec![]);
+        u.class_mut(iface).methods.push(rafda_classmodel::Method {
+            name: "v".into(),
+            sig,
+            params: vec![],
+            ret: Ty::Int,
+            visibility: Visibility::Public,
+            is_static: false,
+            is_native: false,
+            body: None,
+        });
+        for (name, k) in [("Impl1", 1), ("Impl2", 2)] {
+            let id = u.declare(name, rafda_classmodel::ClassKind::Class);
+            let mut cb = ClassBuilder::new(u, id);
+            cb.implements(iface);
+            let mut mb = MethodBuilder::new(1);
+            mb.ret();
+            cb.ctor(u, vec![], Some(mb.finish()));
+            let mut mb = MethodBuilder::new(1);
+            mb.const_int(k).ret_value();
+            cb.method(u, "v", vec![], Ty::Int, Some(mb.finish()));
+            cb.finish(u);
+        }
+    });
+    let u = vm.universe().clone();
+    let i1 = u.by_name("Impl1").unwrap();
+    let i2 = u.by_name("Impl2").unwrap();
+    let obj = vm.new_instance(i1, 0, vec![]).unwrap();
+    let h = obj.as_ref_handle().unwrap();
+    assert_eq!(vm.call_virtual_by_name(obj.clone(), "v", vec![]), Ok(Value::Int(1)));
+    assert!(vm.replace_object(h, i2, vec![]));
+    assert_eq!(vm.call_virtual_by_name(obj, "v", vec![]), Ok(Value::Int(2)));
+    assert_eq!(vm.stats().heap.replacements, 1);
+}
+
+#[test]
+fn string_concat_and_comparison() {
+    assert_eq!(
+        bin_op(BinOp::Add, Value::str("foo"), Value::str("bar")),
+        Ok(Value::str("foobar"))
+    );
+    assert_eq!(
+        cmp_op(CmpOp::Lt, Value::str("a"), Value::str("b")),
+        Ok(true)
+    );
+    assert_eq!(
+        cmp_op(CmpOp::Eq, Value::str("a"), Value::str("a")),
+        Ok(true)
+    );
+}
+
+#[test]
+fn conversions_cover_numeric_lattice() {
+    assert_eq!(convert("long", Value::Int(-3)), Ok(Value::Long(-3)));
+    assert_eq!(convert("int", Value::Long(1 << 40)), Ok(Value::Int(0)));
+    assert_eq!(convert("double", Value::Int(2)), Ok(Value::Double(2.0)));
+    assert_eq!(convert("int", Value::Double(3.9)), Ok(Value::Int(3)));
+    assert!(convert("int", Value::str("x")).is_err());
+}
+
+#[test]
+fn stats_count_steps_and_calls() {
+    let vm = figure2_vm();
+    vm.reset_stats();
+    let _ = vm.call_static_by_name("X", "p", vec![Value::Int(6)]);
+    let s = vm.stats();
+    assert!(s.steps > 5, "steps = {}", s.steps);
+    assert!(s.calls >= 3, "calls = {}", s.calls); // p, clinits, q…
+}
+
+#[test]
+fn nan_ordering_is_false_like_java() {
+    assert_eq!(
+        cmp_op(CmpOp::Lt, Value::Double(f64::NAN), Value::Double(1.0)),
+        Ok(false)
+    );
+    assert_eq!(
+        cmp_op(CmpOp::Ge, Value::Double(f64::NAN), Value::Double(1.0)),
+        Ok(false)
+    );
+}
+
+#[test]
+fn get_set_static_field_api() {
+    let vm = figure2_vm();
+    let y = vm.universe().by_name("Y").unwrap();
+    assert_eq!(vm.get_static_field(y, 0), Ok(Value::Int(7)));
+    vm.set_static_field(y, 0, Value::Int(9)).unwrap();
+    assert_eq!(vm.get_static_field(y, 0), Ok(Value::Int(9)));
+}

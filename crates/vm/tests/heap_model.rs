@@ -1,0 +1,108 @@
+//! Model-based property test of the heap: a random sequence of
+//! alloc/free/replace/write operations is applied both to the real heap and
+//! to a naive model; observations must agree, and stale handles must never
+//! resurrect.
+
+use proptest::prelude::*;
+use rafda_classmodel::ClassId;
+use rafda_vm::{Heap, HeapEntry, Value};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { class: u32, fields: u8 },
+    Free { slot: usize },
+    Replace { slot: usize, class: u32 },
+    Write { slot: usize, offset: u8, value: i32 },
+    Read { slot: usize, offset: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..8, 0u8..6).prop_map(|(class, fields)| Op::Alloc { class, fields }),
+        (0usize..24).prop_map(|slot| Op::Free { slot }),
+        (0usize..24, 0u32..8).prop_map(|(slot, class)| Op::Replace { slot, class }),
+        (0usize..24, 0u8..6, any::<i32>())
+            .prop_map(|(slot, offset, value)| Op::Write { slot, offset, value }),
+        (0usize..24, 0u8..6).prop_map(|(slot, offset)| Op::Read { slot, offset }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heap_agrees_with_model(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let mut heap = Heap::new();
+        // model: slot index -> live (class, fields); handles created in order.
+        let mut handles = Vec::new();
+        let mut model: HashMap<usize, (u32, Vec<i32>)> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { class, fields } => {
+                    let data = vec![Value::Int(0); fields as usize];
+                    let h = heap.alloc_object(ClassId(class), data);
+                    model.insert(handles.len(), (class, vec![0; fields as usize]));
+                    handles.push(h);
+                }
+                Op::Free { slot } => {
+                    if slot < handles.len() {
+                        let was_live = model.remove(&slot).is_some();
+                        prop_assert_eq!(heap.free(handles[slot]), was_live);
+                    }
+                }
+                Op::Replace { slot, class } => {
+                    if slot < handles.len() {
+                        let live = model.contains_key(&slot);
+                        let out = heap.replace_object(handles[slot], ClassId(class), vec![]);
+                        prop_assert_eq!(out.is_some(), live);
+                        if live {
+                            model.insert(slot, (class, vec![]));
+                        }
+                    }
+                }
+                Op::Write { slot, offset, value } => {
+                    if slot < handles.len() {
+                        let ok_model = model
+                            .get_mut(&slot)
+                            .and_then(|(_, f)| f.get_mut(offset as usize))
+                            .map(|cell| *cell = value)
+                            .is_some();
+                        let ok_heap =
+                            heap.set_field(handles[slot], offset as usize, Value::Int(value));
+                        prop_assert_eq!(ok_heap, ok_model);
+                    }
+                }
+                Op::Read { slot, offset } => {
+                    if slot < handles.len() {
+                        let expect = model
+                            .get(&slot)
+                            .and_then(|(_, f)| f.get(offset as usize))
+                            .copied();
+                        let got = heap
+                            .field(handles[slot], offset as usize)
+                            .and_then(|v| v.as_int());
+                        prop_assert_eq!(got, expect);
+                    }
+                }
+            }
+            // Global invariants.
+            prop_assert_eq!(heap.live(), model.len());
+            for (slot, (class, _)) in &model {
+                match heap.get(handles[*slot]) {
+                    Some(HeapEntry::Object { class: c, .. }) => {
+                        prop_assert_eq!(*c, ClassId(*class));
+                    }
+                    other => prop_assert!(false, "live slot {} missing: {:?}", slot, other),
+                }
+            }
+        }
+        // Freed handles stay dead forever.
+        for (slot, h) in handles.iter().enumerate() {
+            if !model.contains_key(&slot) {
+                prop_assert!(heap.get(*h).is_none());
+            }
+        }
+    }
+}

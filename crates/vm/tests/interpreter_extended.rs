@@ -1,0 +1,289 @@
+//! Extended interpreter coverage: a differential property test compiling
+//! random expression trees to bytecode and comparing the VM's result with a
+//! direct Rust evaluation, plus instruction-level tests for the runtime
+//! type operations the unit suite exercises only indirectly.
+
+use proptest::prelude::*;
+use rafda_classmodel::builder::{ClassBuilder, MethodBuilder};
+use rafda_classmodel::{sample, BinOp, ClassKind, ClassUniverse, CmpOp, Ty, UnOp};
+use rafda_vm::{Value, Vm, VmError};
+use std::sync::Arc;
+
+// ----------------------------------------------------------------------
+// Differential testing of arithmetic + control flow
+// ----------------------------------------------------------------------
+
+/// A little expression language over i64 with a branching select node.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(i64),
+    Param, // the single i64 parameter
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+    /// `if a < b { c } else { d }`
+    SelectLt(Box<Expr>, Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, p: i64) -> i64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Param => p,
+            Expr::Add(a, b) => a.eval(p).wrapping_add(b.eval(p)),
+            Expr::Sub(a, b) => a.eval(p).wrapping_sub(b.eval(p)),
+            Expr::Mul(a, b) => a.eval(p).wrapping_mul(b.eval(p)),
+            Expr::Xor(a, b) => a.eval(p) ^ b.eval(p),
+            Expr::Neg(a) => a.eval(p).wrapping_neg(),
+            Expr::SelectLt(a, b, c, d) => {
+                if a.eval(p) < b.eval(p) {
+                    c.eval(p)
+                } else {
+                    d.eval(p)
+                }
+            }
+        }
+    }
+
+    fn compile(&self, mb: &mut MethodBuilder) {
+        match self {
+            Expr::Const(v) => {
+                mb.const_long(*v);
+            }
+            Expr::Param => {
+                mb.load_local(0);
+            }
+            Expr::Add(a, b) => {
+                a.compile(mb);
+                b.compile(mb);
+                mb.binop(BinOp::Add);
+            }
+            Expr::Sub(a, b) => {
+                a.compile(mb);
+                b.compile(mb);
+                mb.binop(BinOp::Sub);
+            }
+            Expr::Mul(a, b) => {
+                a.compile(mb);
+                b.compile(mb);
+                mb.binop(BinOp::Mul);
+            }
+            Expr::Xor(a, b) => {
+                a.compile(mb);
+                b.compile(mb);
+                mb.binop(BinOp::Xor);
+            }
+            Expr::Neg(a) => {
+                a.compile(mb);
+                mb.unop(UnOp::Neg);
+            }
+            Expr::SelectLt(a, b, c, d) => {
+                a.compile(mb);
+                b.compile(mb);
+                mb.cmp(CmpOp::Lt);
+                let else_branch = mb.label();
+                let join = mb.label();
+                mb.jump_if_not(else_branch);
+                c.compile(mb);
+                // Stash the then-value so both paths join at equal depth
+                // through a local (keeps the verifier's depth merge happy
+                // regardless of subtree shapes).
+                let tmp = mb.alloc_local();
+                mb.store_local(tmp);
+                mb.jump(join);
+                mb.bind(else_branch);
+                d.compile(mb);
+                mb.store_local(tmp);
+                mb.bind(join);
+                mb.load_local(tmp);
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Expr::Const),
+        Just(Expr::Param),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(a.into(), b.into())),
+            inner.clone().prop_map(|a| Expr::Neg(a.into())),
+            (inner.clone(), inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c, d)| Expr::SelectLt(a.into(), b.into(), c.into(), d.into())),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn vm_matches_direct_evaluation(expr in arb_expr(), p in -10_000i64..10_000) {
+        let mut u = ClassUniverse::new();
+        let mut cb = ClassBuilder::declare(&mut u, "E", ClassKind::Class);
+        let mut mb = MethodBuilder::new(1);
+        expr.compile(&mut mb);
+        mb.ret_value();
+        cb.static_method(&mut u, "eval", vec![Ty::Long], Ty::Long, Some(mb.finish()));
+        cb.finish(&mut u);
+        rafda_classmodel::verify_universe(&u).expect("compiled expression verifies");
+
+        let vm = Vm::new(Arc::new(u));
+        let got = vm.call_static_by_name("E", "eval", vec![Value::Long(p)]).unwrap();
+        prop_assert_eq!(got, Value::Long(expr.eval(p)));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Runtime type operations through the interpreter
+// ----------------------------------------------------------------------
+
+fn build_type_ops() -> (Vm, ClassUniverse) {
+    let mut u = ClassUniverse::new();
+    let (t, e) = sample::build_throwables(&mut u);
+    let mut cb = ClassBuilder::declare(&mut u, "Ops", ClassKind::Class);
+    // static boolean is_app_error(Throwable x) { return x instanceof AppError; }
+    let mut mb = MethodBuilder::new(1);
+    mb.load_local(0);
+    mb.emit(rafda_classmodel::Insn::InstanceOf(e));
+    mb.ret_value();
+    cb.static_method(
+        &mut u,
+        "is_app_error",
+        vec![Ty::Object(t)],
+        Ty::Bool,
+        Some(mb.finish()),
+    );
+    // static int cast_code(Throwable x) { return ((AppError) x).code(); }
+    let code_sig = u.sig("code", vec![]);
+    let mut mb = MethodBuilder::new(1);
+    mb.load_local(0);
+    mb.emit(rafda_classmodel::Insn::CheckCast(e));
+    mb.invoke(code_sig, 0);
+    mb.ret_value();
+    cb.static_method(
+        &mut u,
+        "cast_code",
+        vec![Ty::Object(t)],
+        Ty::Int,
+        Some(mb.finish()),
+    );
+    cb.finish(&mut u);
+    rafda_classmodel::verify_universe(&u).unwrap();
+    let vm = Vm::new(Arc::new(u.clone()));
+    (vm, u)
+}
+
+#[test]
+fn instanceof_through_interpreter() {
+    let (vm, u) = build_type_ops();
+    let t = u.by_name("Throwable").unwrap();
+    let e = u.by_name("AppError").unwrap();
+    let plain = vm.new_instance(t, 0, vec![]).unwrap();
+    let app = vm.new_instance(e, 0, vec![Value::Int(1)]).unwrap();
+    assert_eq!(
+        vm.call_static_by_name("Ops", "is_app_error", vec![plain.clone()]),
+        Ok(Value::Bool(false))
+    );
+    assert_eq!(
+        vm.call_static_by_name("Ops", "is_app_error", vec![app]),
+        Ok(Value::Bool(true))
+    );
+    // null instanceof X is false.
+    assert_eq!(
+        vm.call_static_by_name("Ops", "is_app_error", vec![Value::Null]),
+        Ok(Value::Bool(false))
+    );
+    drop(plain);
+}
+
+#[test]
+fn checkcast_through_interpreter() {
+    let (vm, u) = build_type_ops();
+    let t = u.by_name("Throwable").unwrap();
+    let e = u.by_name("AppError").unwrap();
+    let app = vm.new_instance(e, 0, vec![Value::Int(9)]).unwrap();
+    assert_eq!(
+        vm.call_static_by_name("Ops", "cast_code", vec![app]),
+        Ok(Value::Int(9))
+    );
+    // Failed cast traps.
+    let plain = vm.new_instance(t, 0, vec![]).unwrap();
+    let err = vm
+        .call_static_by_name("Ops", "cast_code", vec![plain])
+        .unwrap_err();
+    assert_eq!(err, VmError::Trap(rafda_vm::Trap::ClassCast));
+    // Cast of null passes the cast, then traps on the call — like Java's
+    // NPE after a succeeding null cast.
+    let err = vm
+        .call_static_by_name("Ops", "cast_code", vec![Value::Null])
+        .unwrap_err();
+    assert_eq!(err, VmError::Trap(rafda_vm::Trap::NullDeref));
+}
+
+#[test]
+fn nested_exception_handlers_unwind_innermost_first() {
+    let mut u = ClassUniverse::new();
+    let (_t, e) = sample::build_throwables(&mut u);
+    let mut cb = ClassBuilder::declare(&mut u, "Nest", ClassKind::Class);
+    // static int f() {
+    //   try {
+    //     try { throw new AppError(1); } catch (AppError a) { throw new AppError(2); }
+    //   } catch (AppError b) { return b.code(); }
+    // }
+    let code_sig = u.sig("code", vec![]);
+    let mut mb = MethodBuilder::new(0);
+    mb.const_int(1).new_init(e, 0, 1).throw(); // 0..2 inner try
+    let inner_handler = mb.pc(); // 3
+    mb.pop(); // discard caught
+    mb.const_int(2).new_init(e, 0, 1).throw(); // 4..6 rethrow
+    let outer_handler = mb.pc(); // 7
+    mb.invoke(code_sig, 0);
+    mb.ret_value();
+    mb.handler(0, 3, inner_handler, Some(e));
+    mb.handler(0, outer_handler, outer_handler, Some(e));
+    cb.static_method(&mut u, "f", vec![], Ty::Int, Some(mb.finish()));
+    cb.finish(&mut u);
+    rafda_classmodel::verify_universe(&u).unwrap();
+    let vm = Vm::new(Arc::new(u));
+    assert_eq!(
+        vm.call_static_by_name("Nest", "f", vec![]),
+        Ok(Value::Int(2))
+    );
+}
+
+#[test]
+fn swap_and_dup_sequences() {
+    let mut u = ClassUniverse::new();
+    let mut cb = ClassBuilder::declare(&mut u, "S", ClassKind::Class);
+    // static long f(long a, long b) { return (b - a) + (b - a); }  via dup
+    let mut mb = MethodBuilder::new(2);
+    mb.load_local(0); // a
+    mb.load_local(1); // a b
+    mb.swap(); // b a
+    mb.binop(BinOp::Sub); // b-a
+    mb.dup(); // (b-a) (b-a)
+    mb.binop(BinOp::Add);
+    mb.ret_value();
+    cb.static_method(
+        &mut u,
+        "f",
+        vec![Ty::Long, Ty::Long],
+        Ty::Long,
+        Some(mb.finish()),
+    );
+    cb.finish(&mut u);
+    rafda_classmodel::verify_universe(&u).unwrap();
+    let vm = Vm::new(Arc::new(u));
+    assert_eq!(
+        vm.call_static_by_name("S", "f", vec![Value::Long(3), Value::Long(10)]),
+        Ok(Value::Long(14))
+    );
+}

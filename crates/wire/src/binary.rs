@@ -1,0 +1,287 @@
+//! Shared binary reader/writer with optional CDR-style alignment.
+
+use crate::WireError;
+
+/// A little-endian byte writer. When `align` is true, multi-byte primitives
+/// are aligned to their natural boundary relative to the start of the
+/// buffer, as in CORBA CDR.
+#[derive(Debug)]
+pub struct BinWriter {
+    buf: Vec<u8>,
+    align: bool,
+}
+
+impl BinWriter {
+    /// Unaligned (RMI-style) writer.
+    pub fn new() -> Self {
+        BinWriter {
+            buf: Vec::with_capacity(64),
+            align: false,
+        }
+    }
+
+    /// CDR-aligned writer.
+    pub fn aligned() -> Self {
+        BinWriter {
+            buf: Vec::with_capacity(64),
+            align: true,
+        }
+    }
+
+    fn pad_to(&mut self, n: usize) {
+        if self.align {
+            while !self.buf.len().is_multiple_of(n) {
+                self.buf.push(0);
+            }
+        }
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Write a little-endian `u16` (aligned in CDR mode).
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.pad_to(2);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Write a little-endian `u32` (aligned in CDR mode).
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.pad_to(4);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Write a little-endian `u64` (aligned in CDR mode).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.pad_to(8);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Write a little-endian `i32`.
+    pub fn i32(&mut self, v: i32) -> &mut Self {
+        self.u32(v as u32)
+    }
+
+    /// Write a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Write an `f32` as its IEEE-754 bits.
+    pub fn f32(&mut self, v: f32) -> &mut Self {
+        self.u32(v.to_bits())
+    }
+
+    /// Write an `f64` as its IEEE-754 bits.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Length-prefixed UTF-8 string (u32 length).
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Raw bytes, no length prefix.
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Finish and take the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Default for BinWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The matching reader.
+#[derive(Debug)]
+pub struct BinReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    align: bool,
+}
+
+impl<'a> BinReader<'a> {
+    /// Unaligned reader.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BinReader {
+            buf,
+            pos: 0,
+            align: false,
+        }
+    }
+
+    /// CDR-aligned reader.
+    pub fn aligned(buf: &'a [u8]) -> Self {
+        BinReader {
+            buf,
+            pos: 0,
+            align: true,
+        }
+    }
+
+    fn skip_pad(&mut self, n: usize) {
+        if self.align {
+            while !self.pos.is_multiple_of(n) {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::new(format!(
+                "truncated: need {n} bytes at {}",
+                self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16` (skipping CDR padding).
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        self.skip_pad(2);
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32` (skipping CDR padding).
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        self.skip_pad(4);
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64` (skipping CDR padding).
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        self.skip_pad(8);
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i32`.
+    pub fn i32(&mut self) -> Result<i32, WireError> {
+        Ok(self.u32()? as i32)
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Read an `f32` from its IEEE-754 bits.
+    pub fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Read an `f64` from its IEEE-754 bits.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a u32-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::new("invalid utf-8"))
+    }
+
+    /// Expect exact magic bytes.
+    pub fn expect(&mut self, magic: &[u8]) -> Result<(), WireError> {
+        let got = self.take(magic.len())?;
+        if got != magic {
+            return Err(WireError::new(format!(
+                "bad magic: expected {magic:?}, got {got:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether all input was consumed (ignoring trailing alignment pad).
+    pub fn at_end(&self) -> bool {
+        self.buf[self.pos..].iter().all(|&b| b == 0) || self.pos >= self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unaligned_roundtrip() {
+        let mut w = BinWriter::new();
+        w.u8(7).u16(300).u32(70_000).u64(1 << 40).i32(-5).i64(-6);
+        w.f32(1.5).f64(-2.25).string("héllo");
+        let buf = w.finish();
+        let mut r = BinReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.i32().unwrap(), -5);
+        assert_eq!(r.i64().unwrap(), -6);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.f64().unwrap(), -2.25);
+        assert_eq!(r.string().unwrap(), "héllo");
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn aligned_writer_pads_and_reader_skips() {
+        let mut w = BinWriter::aligned();
+        w.u8(1).u32(2).u8(3).u64(4);
+        let buf = w.finish();
+        // u8 at 0, pad to 4, u32 at 4..8, u8 at 8, pad to 16, u64 at 16..24
+        assert_eq!(buf.len(), 24);
+        let mut r = BinReader::aligned(&buf);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert_eq!(r.u32().unwrap(), 2);
+        assert_eq!(r.u8().unwrap(), 3);
+        assert_eq!(r.u64().unwrap(), 4);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let buf = vec![1, 2];
+        let mut r = BinReader::new(&buf);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let buf = b"GIOP".to_vec();
+        let mut r = BinReader::new(&buf);
+        assert!(r.expect(b"JRMI").is_err());
+        let mut r2 = BinReader::new(&buf);
+        assert!(r2.expect(b"GIOP").is_ok());
+    }
+}

@@ -1,0 +1,396 @@
+//! # rafda-wire
+//!
+//! Wire protocols for remote proxy calls.
+//!
+//! The paper's proxies come in protocol families: "various proxies
+//! implementing the interface for a class provide alternative remote
+//! versions, e.g. SOAP-based, RMI-based, CORBA-based" (Section 1), and the
+//! whole point of the interface extraction is that these are
+//! **interchangeable**. This crate provides three codecs with the cost
+//! signatures of those families:
+//!
+//! | Codec | Modelled after | Shape |
+//! |---|---|---|
+//! | [`RmiCodec`] | Java RMI / JRMP | compact tagged binary |
+//! | [`SoapCodec`] | SOAP 1.1 over HTTP | verbose self-describing XML text |
+//! | [`CorbaCodec`] | CORBA GIOP/CDR | aligned binary, 4-byte padded |
+//!
+//! All three encode the same location-independent model: [`WireValue`],
+//! [`Request`] and [`Reply`]. Object references travel as
+//! [`WireValue::Remote`] descriptors; primitive data, strings and arrays
+//! travel by value; object *state* (for migration and exception
+//! propagation) travels as [`WireValue::ObjectState`].
+//!
+//! Every codec round-trips exactly (`decode(encode(x)) == x`), which the
+//! property-based tests verify; the encoded **size** and the per-call
+//! processing overhead differ, which experiment E5 measures.
+
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod corba;
+pub mod rmi;
+pub mod soap;
+
+pub use corba::CorbaCodec;
+pub use rmi::RmiCodec;
+pub use soap::SoapCodec;
+
+use std::fmt;
+
+/// A location-independent value as it travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireValue {
+    /// The `null` reference.
+    Null,
+    /// A boolean, by value.
+    Bool(bool),
+    /// A 32-bit integer, by value.
+    Int(i32),
+    /// A 64-bit integer, by value.
+    Long(i64),
+    /// A 32-bit float, by value (bit-exact).
+    Float(f32),
+    /// A 64-bit float, by value (bit-exact).
+    Double(f64),
+    /// A string, by value.
+    Str(String),
+    /// A reference to an object exported by `node` under id `object`,
+    /// whose original (base) class is named `class`. The receiving runtime
+    /// materialises a proxy of the matching proxy family for it (or unwraps
+    /// it to the local object if `node` is the receiver itself).
+    Remote {
+        /// The exporting node.
+        node: u32,
+        /// The export id on that node.
+        object: u64,
+        /// Name of the object's implementation class (picks the proxy
+        /// family at the receiver).
+        class: String,
+    },
+    /// An array passed by value.
+    Array(Vec<WireValue>),
+    /// A by-value snapshot of an object's state (migration & exceptions).
+    ObjectState {
+        /// The object's class name.
+        class: String,
+        /// Flattened field slots.
+        fields: Vec<WireValue>,
+    },
+}
+
+/// A request sent to a remote node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Invoke `method` on the exported object `object`.
+    Call {
+        /// Export id of the receiver on the serving node.
+        object: u64,
+        /// Method descriptor (`name@sigid`).
+        method: String,
+        /// Marshalled arguments.
+        args: Vec<WireValue>,
+    },
+    /// Create an instance of `class` remotely (factory `make` + `init_k`).
+    Create {
+        /// Original class name.
+        class: String,
+        /// Constructor ordinal (0 for the factory default path).
+        ctor: u16,
+        /// Marshalled constructor arguments.
+        args: Vec<WireValue>,
+    },
+    /// Discover the node's singleton for `class` (factory `discover`).
+    Discover {
+        /// Original class name.
+        class: String,
+    },
+    /// Fetch the state of exported object `object` (migration).
+    Fetch {
+        /// Export id on the serving node.
+        object: u64,
+    },
+    /// Install `state` as a new exported object (migration target side).
+    /// `source` carries the object's previous home `(node, object)` so the
+    /// receiver can rewrite an existing proxy for it in place instead of
+    /// allocating a duplicate.
+    Install {
+        /// The object state to materialise (an [`WireValue::ObjectState`]).
+        state: WireValue,
+        /// The object's previous home, letting the receiver rewrite an
+        /// existing proxy in place instead of allocating a duplicate.
+        source: Option<(u32, u64)>,
+    },
+    /// Replace the exported object `object` with a forwarding proxy to its
+    /// new home `(to_node, to_object)` — the owner-side half of a boundary
+    /// pull (the reverse of Figure 1's swap).
+    Forward {
+        /// Export id of the object being moved away.
+        object: u64,
+        /// The node it now lives on.
+        to_node: u32,
+        /// Its export id there.
+        to_object: u64,
+    },
+}
+
+/// A reply to a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Normal completion with a (possibly `Null`) result.
+    Value(WireValue),
+    /// The remote method threw an in-model exception; carries the exception
+    /// class and field state so the caller can re-throw an equivalent
+    /// object.
+    Exception {
+        /// The exception's class name.
+        class: String,
+        /// Its field slots, by value.
+        fields: Vec<WireValue>,
+    },
+    /// An infrastructure failure (unknown object, marshalling error, …).
+    Fault(String),
+}
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        WireError(msg.into())
+    }
+}
+
+/// A wire protocol: encodes and decodes [`Request`]s and [`Reply`]s.
+///
+/// Implementations must round-trip exactly. `overhead_ns` models the
+/// protocol-stack processing cost charged per message in addition to the
+/// transmission cost (e.g. XML parsing for SOAP).
+pub trait Protocol {
+    /// Short protocol name, used in generated proxy class names
+    /// (`A_O_Proxy_SOAP` etc.).
+    fn name(&self) -> &'static str;
+
+    /// Encode a request.
+    fn encode_request(&self, req: &Request) -> Vec<u8>;
+
+    /// Decode a request.
+    ///
+    /// # Errors
+    /// [`WireError`] on malformed input.
+    fn decode_request(&self, bytes: &[u8]) -> Result<Request, WireError>;
+
+    /// Encode a reply.
+    fn encode_reply(&self, reply: &Reply) -> Vec<u8>;
+
+    /// Decode a reply.
+    ///
+    /// # Errors
+    /// [`WireError`] on malformed input.
+    fn decode_reply(&self, bytes: &[u8]) -> Result<Reply, WireError>;
+
+    /// Per-message protocol-stack processing cost (simulated nanoseconds).
+    fn overhead_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// The built-in protocol families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtocolKind {
+    /// Compact tagged binary with a JRMP-style header.
+    Rmi,
+    /// Verbose self-describing XML text.
+    Soap,
+    /// GIOP/CDR-style aligned binary.
+    Corba,
+}
+
+impl ProtocolKind {
+    /// All built-in protocols.
+    pub const ALL: [ProtocolKind; 3] = [ProtocolKind::Rmi, ProtocolKind::Soap, ProtocolKind::Corba];
+
+    /// Instantiate the codec.
+    pub fn codec(self) -> Box<dyn Protocol> {
+        match self {
+            ProtocolKind::Rmi => Box::new(RmiCodec::new()),
+            ProtocolKind::Soap => Box::new(SoapCodec::new()),
+            ProtocolKind::Corba => Box::new(CorbaCodec::new()),
+        }
+    }
+
+    /// The protocol's short name (as used in proxy class names).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Rmi => "RMI",
+            ProtocolKind::Soap => "SOAP",
+            ProtocolKind::Corba => "CORBA",
+        }
+    }
+
+    /// Parse from the short name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "RMI" => Some(ProtocolKind::Rmi),
+            "SOAP" => Some(ProtocolKind::Soap),
+            "CORBA" => Some(ProtocolKind::Corba),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testdata {
+    use super::*;
+
+    /// A representative set of values hitting every constructor and nesting.
+    pub fn sample_values() -> Vec<WireValue> {
+        vec![
+            WireValue::Null,
+            WireValue::Bool(true),
+            WireValue::Bool(false),
+            WireValue::Int(-42),
+            WireValue::Int(i32::MAX),
+            WireValue::Long(1 << 50),
+            WireValue::Float(1.5),
+            WireValue::Double(-0.125),
+            WireValue::Str(String::new()),
+            WireValue::Str("hello world".to_owned()),
+            WireValue::Str("escapes <&>\"' and unicode ☃".to_owned()),
+            WireValue::Remote { node: 3, object: 99, class: "C".to_owned() },
+            WireValue::Array(vec![
+                WireValue::Int(1),
+                WireValue::Null,
+                WireValue::Array(vec![WireValue::Str("nested".into())]),
+            ]),
+            WireValue::ObjectState {
+                class: "X_O_Local".to_owned(),
+                fields: vec![
+                    WireValue::Remote { node: 0, object: 1, class: "Y".to_owned() },
+                    WireValue::Int(7),
+                ],
+            },
+        ]
+    }
+
+    pub fn sample_requests() -> Vec<Request> {
+        let mut out = vec![
+            Request::Discover { class: "X_C_Int".into() },
+            Request::Fetch { object: 17 },
+            Request::Create {
+                class: "X".into(),
+                ctor: 2,
+                args: sample_values(),
+            },
+            Request::Install {
+                state: WireValue::ObjectState {
+                    class: "C_O_Local".into(),
+                    fields: vec![WireValue::Long(1)],
+                },
+                source: None,
+            },
+        ];
+        out.push(Request::Install {
+            state: WireValue::ObjectState {
+                class: "D_O_Local".into(),
+                fields: vec![],
+            },
+            source: Some((2, 9)),
+        });
+        out.push(Request::Forward {
+            object: 3,
+            to_node: 1,
+            to_object: 44,
+        });
+        out.push(Request::Call {
+            object: 5,
+            method: "get_y".into(),
+            args: vec![],
+        });
+        out.push(Request::Call {
+            object: u64::MAX,
+            method: "m".into(),
+            args: sample_values(),
+        });
+        out
+    }
+
+    pub fn sample_replies() -> Vec<Reply> {
+        let mut out: Vec<Reply> = sample_values().into_iter().map(Reply::Value).collect();
+        out.push(Reply::Exception {
+            class: "AppError".into(),
+            fields: vec![WireValue::Int(3)],
+        });
+        out.push(Reply::Fault("unknown object 9".into()));
+        out
+    }
+
+    /// Assert a protocol round-trips all samples.
+    pub fn assert_roundtrips(p: &dyn Protocol) {
+        for req in sample_requests() {
+            let bytes = p.encode_request(&req);
+            let back = p
+                .decode_request(&bytes)
+                .unwrap_or_else(|e| panic!("{}: {e} for {req:?}", p.name()));
+            assert_eq!(back, req, "{} request roundtrip", p.name());
+        }
+        for reply in sample_replies() {
+            let bytes = p.encode_reply(&reply);
+            let back = p
+                .decode_reply(&bytes)
+                .unwrap_or_else(|e| panic!("{}: {e} for {reply:?}", p.name()));
+            assert_eq!(back, reply, "{} reply roundtrip", p.name());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_kinds_resolve_names() {
+        for k in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::from_name(k.name()), Some(k));
+            assert_eq!(k.codec().name(), k.name());
+        }
+        assert_eq!(ProtocolKind::from_name("XMLRPC"), None);
+    }
+
+    #[test]
+    fn soap_is_much_larger_than_binary_protocols() {
+        let req = Request::Call {
+            object: 5,
+            method: "set_y".into(),
+            args: vec![WireValue::Remote { node: 1, object: 2, class: "Y".to_owned() }],
+        };
+        let rmi = RmiCodec::new().encode_request(&req).len();
+        let soap = SoapCodec::new().encode_request(&req).len();
+        let corba = CorbaCodec::new().encode_request(&req).len();
+        assert!(soap > 3 * rmi, "soap={soap} rmi={rmi}");
+        assert!(soap > 2 * corba, "soap={soap} corba={corba}");
+    }
+
+    #[test]
+    fn soap_has_highest_processing_overhead() {
+        let rmi = RmiCodec::new().overhead_ns();
+        let soap = SoapCodec::new().overhead_ns();
+        let corba = CorbaCodec::new().overhead_ns();
+        assert!(soap > corba && corba >= rmi);
+    }
+}

@@ -1,0 +1,116 @@
+//! Known-answer tests: exact byte / text snapshots of each codec, so the
+//! wire formats cannot drift silently (two nodes of different builds must
+//! interoperate).
+
+use rafda_wire::{CorbaCodec, Protocol, Reply, Request, RmiCodec, SoapCodec, WireValue};
+
+fn call_request() -> Request {
+    Request::Call {
+        object: 5,
+        method: "tick@7".to_owned(),
+        args: vec![WireValue::Long(258), WireValue::Bool(true)],
+    }
+}
+
+#[test]
+fn rmi_request_bytes_are_stable() {
+    let bytes = RmiCodec::new().encode_request(&call_request());
+    let expected: Vec<u8> = vec![
+        b'J', b'R', b'M', b'I', // magic
+        2,    // version
+        0,    // R_CALL
+        5, 0, 0, 0, 0, 0, 0, 0, // object id u64 LE
+        6, 0, 0, 0, // method length u32
+        b't', b'i', b'c', b'k', b'@', b'7', // method
+        2, 0, 0, 0, // argc
+        3, // T_LONG
+        2, 1, 0, 0, 0, 0, 0, 0, // 258 LE
+        1, // T_BOOL
+        1, // true
+    ];
+    assert_eq!(bytes, expected);
+}
+
+#[test]
+fn rmi_reply_bytes_are_stable() {
+    let bytes = RmiCodec::new().encode_reply(&Reply::Value(WireValue::Int(-1)));
+    let expected: Vec<u8> = vec![
+        b'J', b'R', b'M', b'I',
+        2, // version
+        0, // P_VALUE
+        2, // T_INT
+        0xFF, 0xFF, 0xFF, 0xFF,
+    ];
+    assert_eq!(bytes, expected);
+}
+
+#[test]
+fn corba_header_and_alignment_are_stable() {
+    let bytes = CorbaCodec::new().encode_request(&Request::Fetch { object: 1 });
+    // "GIOP" + version 1.2 + tag R_FETCH(3) at offset 6, pad to 8, u64.
+    assert_eq!(&bytes[..6], b"GIOP\x01\x02");
+    assert_eq!(bytes[6], 3);
+    assert_eq!(bytes[7], 0, "alignment pad");
+    assert_eq!(&bytes[8..16], &1u64.to_le_bytes());
+    assert_eq!(bytes.len(), 16);
+}
+
+#[test]
+fn soap_request_text_is_stable() {
+    let xml = String::from_utf8(SoapCodec::new().encode_request(&Request::Discover {
+        class: "X".to_owned(),
+    }))
+    .unwrap();
+    assert_eq!(
+        xml,
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+         <soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\" \
+         xmlns:rafda=\"http://rafda.dcs.st-and.ac.uk/ns/2003\">\n\
+         <soap:Body><rafda:discover class=\"X\"/></soap:Body>\n\
+         </soap:Envelope>\n"
+    );
+}
+
+#[test]
+fn soap_value_markup_is_stable() {
+    let xml = String::from_utf8(
+        SoapCodec::new().encode_reply(&Reply::Value(WireValue::Array(vec![
+            WireValue::Int(1),
+            WireValue::Str("a<b".to_owned()),
+            WireValue::Remote {
+                node: 2,
+                object: 9,
+                class: "C_O_Local".to_owned(),
+            },
+        ]))),
+    )
+    .unwrap();
+    assert!(xml.contains(
+        "<rafda:result><v t=\"array\"><v t=\"int\">1</v><v t=\"string\">a&lt;b</v>\
+         <v t=\"ref\" node=\"2\" object=\"9\" class=\"C_O_Local\"/></v></rafda:result>"
+    ), "{xml}");
+}
+
+#[test]
+fn cross_codec_frames_are_rejected() {
+    let rmi_frame = RmiCodec::new().encode_request(&call_request());
+    let soap_frame = SoapCodec::new().encode_request(&call_request());
+    let corba_frame = CorbaCodec::new().encode_request(&call_request());
+    assert!(CorbaCodec::new().decode_request(&rmi_frame).is_err());
+    assert!(RmiCodec::new().decode_request(&corba_frame).is_err());
+    assert!(RmiCodec::new().decode_request(&soap_frame).is_err());
+    assert!(SoapCodec::new().decode_request(&rmi_frame).is_err());
+}
+
+#[test]
+fn empty_and_min_size_frames() {
+    for codec in [
+        Box::new(RmiCodec::new()) as Box<dyn Protocol>,
+        Box::new(CorbaCodec::new()),
+        Box::new(SoapCodec::new()),
+    ] {
+        assert!(codec.decode_request(&[]).is_err());
+        assert!(codec.decode_reply(&[]).is_err());
+        assert!(codec.decode_request(&[0u8; 3]).is_err());
+    }
+}

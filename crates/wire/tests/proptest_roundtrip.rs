@@ -1,0 +1,167 @@
+//! Property-based round-trip tests: every codec must decode exactly what it
+//! encoded, for arbitrary nested values — the invariant the paper's proxy
+//! interchangeability rests on.
+
+use proptest::prelude::*;
+use rafda_wire::{CorbaCodec, Protocol, Reply, Request, RmiCodec, SoapCodec, WireValue};
+
+fn arb_wire_value() -> impl Strategy<Value = WireValue> {
+    let leaf = prop_oneof![
+        Just(WireValue::Null),
+        any::<bool>().prop_map(WireValue::Bool),
+        any::<i32>().prop_map(WireValue::Int),
+        any::<i64>().prop_map(WireValue::Long),
+        any::<f32>().prop_map(WireValue::Float),
+        any::<f64>().prop_map(WireValue::Double),
+        ".{0,24}".prop_map(WireValue::Str),
+        (any::<u32>(), any::<u64>(), "[A-Za-z_][A-Za-z0-9_]{0,10}").prop_map(|(node, object, class)| WireValue::Remote { node, object, class }),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(WireValue::Array),
+            ("[A-Za-z_][A-Za-z0-9_]{0,12}", prop::collection::vec(inner, 0..5))
+                .prop_map(|(class, fields)| WireValue::ObjectState { class, fields }),
+        ]
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            "[a-z_][a-z0-9_]{0,16}",
+            prop::collection::vec(arb_wire_value(), 0..4)
+        )
+            .prop_map(|(object, method, args)| Request::Call {
+                object,
+                method,
+                args
+            }),
+        (
+            "[A-Z][A-Za-z0-9_]{0,16}",
+            any::<u16>(),
+            prop::collection::vec(arb_wire_value(), 0..4)
+        )
+            .prop_map(|(class, ctor, args)| Request::Create { class, ctor, args }),
+        "[A-Z][A-Za-z0-9_]{0,16}".prop_map(|class| Request::Discover { class }),
+        any::<u64>().prop_map(|object| Request::Fetch { object }),
+        (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(object, to_node, to_object)| {
+            Request::Forward {
+                object,
+                to_node,
+                to_object,
+            }
+        }),
+        (arb_wire_value(), proptest::option::of((any::<u32>(), any::<u64>()))).prop_map(
+            |(v, source)| Request::Install {
+                state: WireValue::ObjectState {
+                    class: "S".into(),
+                    fields: vec![v]
+                },
+                source,
+            }
+        ),
+    ]
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    prop_oneof![
+        arb_wire_value().prop_map(Reply::Value),
+        (
+            "[A-Z][A-Za-z0-9_]{0,16}",
+            prop::collection::vec(arb_wire_value(), 0..4)
+        )
+            .prop_map(|(class, fields)| Reply::Exception { class, fields }),
+        ".{0,40}".prop_map(Reply::Fault),
+    ]
+}
+
+fn exact_bits(a: &WireValue, b: &WireValue) -> bool {
+    use WireValue::*;
+    match (a, b) {
+        (Float(x), Float(y)) => x.to_bits() == y.to_bits(),
+        (Double(x), Double(y)) => x.to_bits() == y.to_bits(),
+        (Array(x), Array(y)) => x.len() == y.len() && x.iter().zip(y).all(|(a, b)| exact_bits(a, b)),
+        (
+            ObjectState { class: ca, fields: fa },
+            ObjectState { class: cb, fields: fb },
+        ) => ca == cb && fa.len() == fb.len() && fa.iter().zip(fb).all(|(a, b)| exact_bits(a, b)),
+        (a, b) => a == b,
+    }
+}
+
+fn reply_exact(a: &Reply, b: &Reply) -> bool {
+    match (a, b) {
+        (Reply::Value(x), Reply::Value(y)) => exact_bits(x, y),
+        (
+            Reply::Exception { class: ca, fields: fa },
+            Reply::Exception { class: cb, fields: fb },
+        ) => ca == cb && fa.len() == fb.len() && fa.iter().zip(fb).all(|(x, y)| exact_bits(x, y)),
+        (a, b) => a == b,
+    }
+}
+
+fn request_exact(a: &Request, b: &Request) -> bool {
+    match (a, b) {
+        (
+            Request::Call { object: oa, method: ma, args: aa },
+            Request::Call { object: ob, method: mb, args: ab },
+        ) => oa == ob && ma == mb && aa.len() == ab.len() && aa.iter().zip(ab).all(|(x, y)| exact_bits(x, y)),
+        (
+            Request::Create { class: ca, ctor: ta, args: aa },
+            Request::Create { class: cb, ctor: tb, args: ab },
+        ) => ca == cb && ta == tb && aa.len() == ab.len() && aa.iter().zip(ab).all(|(x, y)| exact_bits(x, y)),
+        (Request::Install { state: sa, source: ka }, Request::Install { state: sb, source: kb }) => ka == kb && exact_bits(sa, sb),
+        (a, b) => a == b,
+    }
+}
+
+fn codecs() -> Vec<Box<dyn Protocol>> {
+    vec![
+        Box::new(RmiCodec::new()),
+        Box::new(SoapCodec::new()),
+        Box::new(CorbaCodec::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn requests_roundtrip_all_codecs(req in arb_request()) {
+        for codec in codecs() {
+            let bytes = codec.encode_request(&req);
+            let back = codec.decode_request(&bytes)
+                .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
+            prop_assert!(request_exact(&back, &req), "{}: {back:?} != {req:?}", codec.name());
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip_all_codecs(reply in arb_reply()) {
+        for codec in codecs() {
+            let bytes = codec.encode_reply(&reply);
+            let back = codec.decode_reply(&bytes)
+                .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
+            prop_assert!(reply_exact(&back, &reply), "{}: {back:?} != {reply:?}", codec.name());
+        }
+    }
+
+    #[test]
+    fn soap_is_never_smaller_than_rmi(req in arb_request()) {
+        let rmi = RmiCodec::new().encode_request(&req).len();
+        let soap = SoapCodec::new().encode_request(&req).len();
+        prop_assert!(soap > rmi);
+    }
+
+    #[test]
+    fn binary_decoders_reject_random_garbage(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Must error or decode — never panic.
+        let _ = RmiCodec::new().decode_request(&bytes);
+        let _ = CorbaCodec::new().decode_request(&bytes);
+        let _ = SoapCodec::new().decode_request(&bytes);
+        let _ = RmiCodec::new().decode_reply(&bytes);
+        let _ = CorbaCodec::new().decode_reply(&bytes);
+        let _ = SoapCodec::new().decode_reply(&bytes);
+    }
+}

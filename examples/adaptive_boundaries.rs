@@ -1,0 +1,100 @@
+//! Adaptive distribution boundaries: "the distributed program can adapt to
+//! its environment by dynamically altering its distribution boundaries"
+//! (paper, Section 1).
+//!
+//! A pool of worker objects is placed on node 0, but the workload's
+//! affinity shifts: phase 1 hammers them from node 0 (fine), phase 2 from
+//! node 1 (every call crosses the LAN). The affinity loop notices and
+//! migrates the hot objects to their dominant caller; cross-node traffic
+//! collapses.
+//!
+//! Run with: `cargo run -p rafda --example adaptive_boundaries`
+
+use rafda::classmodel::builder::{ClassBuilder, MethodBuilder};
+use rafda::classmodel::{ClassKind, Field};
+use rafda::{AffinityConfig, Application, NodeId, Placement, StaticPolicy, Ty, Value};
+
+fn build() -> Application {
+    let mut app = Application::new();
+    let u = app.universe_mut();
+    let w = u.declare("Worker", ClassKind::Class);
+    let mut cb = ClassBuilder::new(u, w);
+    let acc = cb.field(Field::new("acc", Ty::Long));
+    let mut mb = MethodBuilder::new(2);
+    mb.load_this();
+    mb.load_local(1);
+    mb.unop(rafda::classmodel::UnOp::Convert("long"));
+    mb.put_field(w, acc);
+    mb.ret();
+    cb.ctor(u, vec![Ty::Int], Some(mb.finish()));
+    // long work(long d) { acc = acc + d; return acc; }
+    let mut mb = MethodBuilder::new(2);
+    mb.load_this();
+    mb.load_this().get_field(w, acc);
+    mb.load_local(1).add();
+    mb.put_field(w, acc);
+    mb.load_this().get_field(w, acc).ret_value();
+    cb.method(u, "work", vec![Ty::Long], Ty::Long, Some(mb.finish()));
+    cb.finish(u);
+    app
+}
+
+fn main() {
+    let policy = StaticPolicy::new().place("Worker", Placement::Node(NodeId(0)));
+    let cluster = build()
+        .transform(&["RMI"])
+        .expect("transformable")
+        .deploy(2, 3, Box::new(policy));
+    let net = cluster.network();
+    let n0 = NodeId(0);
+    let n1 = NodeId(1);
+
+    // Worker pool on node 0; node 1 holds proxies.
+    let workers: Vec<Value> = (0..4)
+        .map(|i| cluster.new_instance(n0, "Worker", 0, vec![Value::Int(i)]).unwrap())
+        .collect();
+    let remote_workers: Vec<Value> = (0..4)
+        .map(|i| cluster.new_instance(n1, "Worker", 0, vec![Value::Int(i + 10)]).unwrap())
+        .collect();
+    let _ = workers;
+
+    println!("== Phase 1: node 1 calls its (remote) workers 25x each ==");
+    let m0 = net.stats().messages;
+    let t0 = net.now();
+    for w in &remote_workers {
+        for d in 0..25 {
+            cluster.call_method(n1, w.clone(), "work", vec![Value::Long(d)]).unwrap();
+        }
+    }
+    println!(
+        "  cross-node messages: {}, elapsed {}",
+        net.stats().messages - m0,
+        net.now() - t0
+    );
+
+    println!("\n== Adaptation pass ==");
+    let events = cluster.adapt(&AffinityConfig::default());
+    for e in &events {
+        println!("  {e}");
+    }
+    assert!(!events.is_empty(), "the hot workers must move");
+
+    println!("\n== Phase 2: same workload after adaptation ==");
+    let m1 = net.stats().messages;
+    let t1 = net.now();
+    for w in &remote_workers {
+        for d in 0..25 {
+            cluster.call_method(n1, w.clone(), "work", vec![Value::Long(d)]).unwrap();
+        }
+    }
+    let new_msgs = net.stats().messages - m1;
+    println!(
+        "  cross-node messages: {new_msgs}, elapsed {}",
+        net.now() - t1
+    );
+    println!(
+        "\nworkers now live on {:?}",
+        cluster.location_of(n1, &remote_workers[0]).unwrap()
+    );
+    assert_eq!(new_msgs, 0, "post-adaptation calls must be local");
+}

@@ -1,0 +1,194 @@
+//! One-shot consolidated experiment report: regenerates the headline
+//! numbers of every experiment in `EXPERIMENTS.md` without the Criterion
+//! machinery (those benches measure wall-clock precisely; this reproduces
+//! the *shapes* in seconds).
+//!
+//! Run with: `cargo run -p rafda --example experiments_report --release`
+
+use rafda::baseline::WrapperTransformer;
+use rafda::corpus::{generate_app, AppSpec, JdkProfile, ObserverHooks};
+use rafda::transform::analyze;
+use rafda::{
+    AffinityConfig, Application, ClassUniverse, LocalPolicy, NodeId, Placement, StaticPolicy,
+    Value, Vm,
+};
+
+fn chain_app(spec: &AppSpec) -> Application {
+    let mut app = Application::new();
+    let obs = app.observer();
+    generate_app(
+        app.universe_mut(),
+        ObserverHooks {
+            class: obs.class,
+            emit: obs.emit,
+        },
+        spec,
+    );
+    app
+}
+
+fn e1() {
+    println!("== E1: Figure 1 redistribution ==");
+    let mut app = Application::new();
+    rafda::classmodel::sample::build_figure2(app.universe_mut());
+    let cluster = app
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(2, 42, Box::new(LocalPolicy::default()));
+    let y = cluster.new_instance(NodeId(0), "Y", 0, vec![Value::Int(3)]).unwrap();
+    let net = cluster.network();
+    let t0 = net.now();
+    for _ in 0..100 {
+        cluster.call_method(NodeId(0), y.clone(), "n", vec![Value::Long(1)]).unwrap();
+    }
+    let local = (net.now() - t0).as_ns() / 100;
+    let h = y.as_ref_handle().unwrap();
+    cluster.migrate(NodeId(0), h, NodeId(1)).unwrap();
+    let t0 = net.now();
+    for _ in 0..100 {
+        cluster.call_method(NodeId(0), y.clone(), "n", vec![Value::Long(1)]).unwrap();
+    }
+    let remote = (net.now() - t0).as_ns() / 100;
+    println!("  local call:  {local} ns (simulated)");
+    println!("  remote call: {remote} ns (simulated, via in-place proxy swap)");
+    cluster.pull_local(NodeId(0), h).unwrap();
+    println!("  boundary reversal (pull_local): ok\n");
+}
+
+fn e3() {
+    println!("== E3: JDK transformability ==");
+    let mut u = ClassUniverse::new();
+    rafda::corpus::generate_jdk(&mut u, &JdkProfile::jdk_1_4_1());
+    let report = analyze(&u);
+    println!(
+        "  paper: ~40% of 8,200   measured: {:.1}% of {}\n",
+        100.0 * report.non_transformable_fraction(),
+        report.total
+    );
+}
+
+fn e4() {
+    println!("== E4: overhead ordering ==");
+    let spec = AppSpec {
+        classes: 12,
+        int_fields: 2,
+        statics: false,
+        inheritance: false,
+        arrays: false,
+        seed: 17,
+    };
+    let run_original = || {
+        let app = chain_app(&spec);
+        let vm = Vm::new(std::sync::Arc::new(app.universe().clone()));
+        vm.bind_observer(&app.observer());
+        vm.run_observed("Driver", "main", vec![Value::Int(9)]);
+        vm.stats().steps
+    };
+    let run_rafda = || {
+        let rt = chain_app(&spec).transform(&["RMI"]).unwrap().deploy_local();
+        rt.run_observed("Driver", "main", vec![Value::Int(9)]);
+        rt.vm().stats().steps
+    };
+    let run_wrapper = || {
+        let mut app = chain_app(&spec);
+        let obs = app.observer();
+        WrapperTransformer::new().run(app.universe_mut()).unwrap();
+        let vm = Vm::new(std::sync::Arc::new(app.universe().clone()));
+        vm.bind_observer(&obs);
+        vm.run_observed("Driver", "main", vec![Value::Int(9)]);
+        vm.stats().steps
+    };
+    let (o, r, w) = (run_original(), run_rafda(), run_wrapper());
+    println!("  original: {o} steps   RAFDA: {r} ({:.2}x)   wrapper: {w} ({:.2}x)\n",
+        r as f64 / o as f64, w as f64 / o as f64);
+}
+
+fn e5() {
+    println!("== E5: protocol comparison (per remote call) ==");
+    for proto in ["RMI", "CORBA", "SOAP"] {
+        let mut app = Application::new();
+        rafda::classmodel::sample::build_figure2(app.universe_mut());
+        let policy = StaticPolicy::new()
+            .default_statics(NodeId(1))
+            .default_protocol(proto);
+        let cluster = app
+            .transform(&["RMI", "SOAP", "CORBA"])
+            .unwrap()
+            .deploy(2, 42, Box::new(policy));
+        cluster.call_static(NodeId(0), "X", "p", vec![Value::Int(6)]).unwrap();
+        let net = cluster.network();
+        net.reset_stats();
+        let t0 = net.now();
+        for _ in 0..50 {
+            cluster.call_static(NodeId(0), "X", "p", vec![Value::Int(6)]).unwrap();
+        }
+        let stats = net.stats();
+        println!(
+            "  {proto:<6} {:>5} bytes/call   {:>9} ns/call",
+            stats.bytes / stats.messages.max(1) * 2,
+            (net.now() - t0).as_ns() / 50
+        );
+    }
+    println!();
+}
+
+fn e6() {
+    println!("== E6: adaptation ==");
+    let mut app = Application::new();
+    rafda::classmodel::sample::build_figure2(app.universe_mut());
+    let policy = StaticPolicy::new().place("Y", Placement::Node(NodeId(0)));
+    let cluster = app
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(2, 42, Box::new(policy));
+    let ys: Vec<Value> = (0..4)
+        .map(|i| cluster.new_instance(NodeId(1), "Y", 0, vec![Value::Int(i)]).unwrap())
+        .collect();
+    let drive = |tag: &str| {
+        let before = cluster.network().stats().messages;
+        for y in &ys {
+            for d in 0..20 {
+                cluster.call_method(NodeId(1), y.clone(), "n", vec![Value::Long(d)]).unwrap();
+            }
+        }
+        println!("  {tag}: {} messages", cluster.network().stats().messages - before);
+    };
+    drive("before adapt");
+    let events = cluster.adapt(&AffinityConfig::default());
+    println!("  adapt: {} migrations", events.len());
+    drive("after adapt ");
+    println!();
+}
+
+fn e7() {
+    println!("== E7: equivalence spot checks ==");
+    let mut agree = 0;
+    for seed in 1..=8u64 {
+        let spec = AppSpec {
+            classes: 5,
+            int_fields: 2,
+            statics: true,
+            inheritance: seed % 2 == 0,
+            arrays: seed % 3 == 0,
+            seed,
+        };
+        let original = chain_app(&spec).run_original("Driver", "main", vec![Value::Int(4)]);
+        let rt = chain_app(&spec).transform(&["RMI"]).unwrap().deploy_local();
+        let local = rt.run_observed("Driver", "main", vec![Value::Int(4)]);
+        if original == local {
+            agree += 1;
+        }
+    }
+    println!("  {agree}/8 random programs trace-identical after transformation\n");
+}
+
+fn main() {
+    println!("RAFDA reproduction — consolidated experiment report\n");
+    e1();
+    e3();
+    e4();
+    e5();
+    e6();
+    e7();
+    println!("full precision: cargo bench --workspace (see EXPERIMENTS.md)");
+}

@@ -1,0 +1,145 @@
+//! End-to-end tests of the auction-house scenario (the middleware-style
+//! workload of `rafda::corpus::scenarios`): equivalence across deployments,
+//! placement checks, and adaptation of a chatty catalogue.
+
+use rafda::corpus::{build_auction_house, ObserverHooks};
+use rafda::{
+    AffinityConfig, Application, NodeId, Placement, StaticPolicy, Trace, Value,
+};
+
+fn build() -> Application {
+    let mut app = Application::new();
+    let obs = app.observer();
+    build_auction_house(
+        app.universe_mut(),
+        ObserverHooks {
+            class: obs.class,
+            emit: obs.emit,
+        },
+    );
+    app
+}
+
+fn original(seed: i32) -> Trace {
+    build().run_original("AuctionMain", "main", vec![Value::Int(seed)])
+}
+
+#[test]
+fn scenario_behaviour_is_seed_sensitive_and_deterministic() {
+    let a = original(100);
+    let b = original(100);
+    let c = original(101);
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+    assert_eq!(a.len(), 4, "{a}");
+}
+
+#[test]
+fn all_deployments_agree_across_seeds() {
+    for seed in [0, 50, 100, 999] {
+        let reference = original(seed);
+        let rt = build().transform(&["RMI"]).unwrap().deploy_local();
+        assert_eq!(
+            reference,
+            rt.run_observed("AuctionMain", "main", vec![Value::Int(seed)]),
+            "local, seed {seed}"
+        );
+        let policy = StaticPolicy::new()
+            .default_statics(NodeId(1))
+            .place("Item", Placement::Node(NodeId(1)))
+            .place("Auction", Placement::Node(NodeId(1)))
+            .place("Bidder", Placement::Node(NodeId(2)));
+        let cluster = build()
+            .transform(&["RMI"])
+            .unwrap()
+            .deploy(3, seed as u64 + 1, Box::new(policy));
+        assert_eq!(
+            reference,
+            cluster.run_observed(NodeId(0), "AuctionMain", "main", vec![Value::Int(seed)]),
+            "distributed, seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn audit_log_is_shared_across_all_nodes() {
+    // The audit count (static state) must reflect bids made from every
+    // node — the uniqueness-of-statics property.
+    let policy = StaticPolicy::new().default_statics(NodeId(2));
+    let cluster = build()
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(3, 3, Box::new(policy));
+    let item = cluster
+        .new_instance(NodeId(0), "Item", 0, vec![Value::str("lamp"), Value::Int(10)])
+        .unwrap();
+    // Outbid from two different nodes (the item reference is marshalled to
+    // node 1 for the second call).
+    cluster
+        .call_method(NodeId(0), item.clone(), "outbid", vec![Value::Int(20)])
+        .unwrap();
+    let count = cluster
+        .call_static(NodeId(1), "AuditLog", "count", vec![])
+        .unwrap();
+    assert_eq!(count, Value::Int(1));
+    cluster
+        .call_method(NodeId(0), item, "outbid", vec![Value::Int(30)])
+        .unwrap();
+    assert_eq!(
+        cluster
+            .call_static(NodeId(2), "AuditLog", "count", vec![])
+            .unwrap(),
+        Value::Int(2)
+    );
+}
+
+#[test]
+fn hot_catalogue_migrates_to_the_bidding_node() {
+    // Items start on node 1; a bidder on node 0 hammers them; adaptation
+    // brings the catalogue to the bidder.
+    let policy = StaticPolicy::new().place("Item", Placement::Node(NodeId(1)));
+    let cluster = build()
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(2, 3, Box::new(policy));
+    let item = cluster
+        .new_instance(NodeId(0), "Item", 0, vec![Value::str("vase"), Value::Int(1)])
+        .unwrap();
+    assert_eq!(cluster.location_of(NodeId(0), &item), Some(NodeId(1)));
+    for i in 0..20 {
+        cluster
+            .call_method(NodeId(0), item.clone(), "outbid", vec![Value::Int(2 + i)])
+            .unwrap();
+    }
+    let events = cluster.adapt(&AffinityConfig::default());
+    // The item migrates; the AuditLog singleton (whose static state was
+    // equally chatty from node 0) may legitimately migrate too.
+    assert!(
+        events.iter().any(|e| e.class == "Item" && e.to == NodeId(0)),
+        "{events:?}"
+    );
+    assert_eq!(cluster.location_of(NodeId(0), &item), Some(NodeId(0)));
+    // Price state survived the migration.
+    assert_eq!(
+        cluster
+            .call_method(NodeId(0), item, "get_price", vec![])
+            .unwrap(),
+        Value::Int(21)
+    );
+}
+
+#[test]
+fn describe_concatenates_strings_across_the_wire() {
+    let policy = StaticPolicy::new().place("Item", Placement::Node(NodeId(1)));
+    let cluster = build()
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(2, 3, Box::new(policy));
+    let item = cluster
+        .new_instance(NodeId(0), "Item", 0, vec![Value::str("rug"), Value::Int(7)])
+        .unwrap();
+    let d = cluster
+        .call_method(NodeId(0), item, "describe", vec![])
+        .unwrap();
+    assert_eq!(d, Value::str("rug@7"));
+}

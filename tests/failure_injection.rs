@@ -1,0 +1,168 @@
+//! The "modulo network failure" clause (paper Sections 1 & 4): distributing
+//! an application can introduce network failures; equivalence is required
+//! only up to those failures. These tests inject drops, partitions and
+//! crashes and check (a) failures surface as network failures — never as
+//! silent wrong answers — and (b) traces stay equivalent modulo the
+//! failure.
+
+use rafda::corpus::{generate_app, AppSpec, ObserverHooks};
+use rafda::{
+    Application, Cluster, NodeId, Placement, StaticPolicy, Trace, TraceEvent, Value,
+};
+
+fn spec() -> AppSpec {
+    AppSpec {
+        inheritance: false,
+        arrays: false,
+        classes: 6,
+        int_fields: 2,
+        statics: true,
+        seed: 77,
+    }
+}
+
+fn build_cluster() -> Cluster {
+    let mut app = Application::new();
+    let obs = app.observer();
+    generate_app(
+        app.universe_mut(),
+        ObserverHooks {
+            class: obs.class,
+            emit: obs.emit,
+        },
+        &spec(),
+    );
+    let mut policy = StaticPolicy::new().default_statics(NodeId(1));
+    for i in 0..6 {
+        policy = policy.place(&format!("C{i}"), Placement::Node(NodeId((i % 2) as u32)));
+    }
+    app.transform(&["RMI"])
+        .unwrap()
+        .deploy(2, 7, Box::new(policy))
+}
+
+fn clean_trace() -> Trace {
+    let cluster = build_cluster();
+    cluster.run_observed(NodeId(0), "Driver", "main", vec![Value::Int(4)])
+}
+
+#[test]
+fn partition_mid_workload_yields_prefix_then_network_failure() {
+    let clean = clean_trace();
+    assert!(clean.len() > 2);
+
+    let cluster = build_cluster();
+    // Run once cleanly to warm placement, then partition and run again.
+    cluster.network().fault_plan(|f| f.partition(NodeId(0), NodeId(1)));
+    let failed = cluster.run_observed(NodeId(0), "Driver", "main", vec![Value::Int(4)]);
+    // The failed run must end in a network failure…
+    assert!(
+        matches!(failed.events().last(), Some(TraceEvent::NetworkFailure(_))),
+        "{failed}"
+    );
+    // …and be equivalent to the clean run modulo that failure.
+    assert!(
+        clean.equivalent_modulo_network(&failed),
+        "clean:\n{clean}\nfailed:\n{failed}"
+    );
+    assert!(
+        failed.equivalent_modulo_network(&clean),
+        "symmetry"
+    );
+}
+
+#[test]
+fn crash_surfaces_as_network_failure() {
+    let cluster = build_cluster();
+    cluster.network().fault_plan(|f| f.crash(NodeId(1)));
+    let failed = cluster.run_observed(NodeId(0), "Driver", "main", vec![Value::Int(4)]);
+    assert!(matches!(
+        failed.events().last(),
+        Some(TraceEvent::NetworkFailure(m)) if m.contains("crashed")
+    ));
+    // Recovery restores full service.
+    cluster.network().fault_plan(|f| f.recover(NodeId(1)));
+    let after = cluster.run_observed(NodeId(0), "Driver", "main", vec![Value::Int(4)]);
+    // Statics retain their mutated values across runs, so compare only the
+    // failure-freeness, not the exact values.
+    assert!(
+        !after
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::NetworkFailure(_))),
+        "{after}"
+    );
+}
+
+#[test]
+fn message_drops_never_corrupt_results() {
+    // Under heavy loss, every run either matches the clean prefix or ends
+    // with a network failure — never a divergent value.
+    let clean = clean_trace();
+    for seed in 0..12u64 {
+        let mut app = Application::new();
+        let obs = app.observer();
+        generate_app(
+            app.universe_mut(),
+            ObserverHooks {
+                class: obs.class,
+                emit: obs.emit,
+            },
+            &spec(),
+        );
+        let mut policy = StaticPolicy::new().default_statics(NodeId(1));
+        for i in 0..6 {
+            policy = policy.place(&format!("C{i}"), Placement::Node(NodeId((i % 2) as u32)));
+        }
+        let cluster = app
+            .transform(&["RMI"])
+            .unwrap()
+            .deploy(2, seed, Box::new(policy));
+        cluster.network().fault_plan(|f| f.drop_probability = 0.10);
+        let trace = cluster.run_observed(NodeId(0), "Driver", "main", vec![Value::Int(4)]);
+        assert!(
+            clean.equivalent_modulo_network(&trace),
+            "seed {seed}: clean:\n{clean}\ngot:\n{trace}"
+        );
+    }
+}
+
+#[test]
+fn unaffected_traffic_keeps_flowing_during_partition() {
+    // A three-node cluster with a partition between 0 and 1: node 2 remains
+    // reachable from node 0.
+    let mut app = Application::new();
+    let obs = app.observer();
+    generate_app(
+        app.universe_mut(),
+        ObserverHooks {
+            class: obs.class,
+            emit: obs.emit,
+        },
+        &AppSpec {
+            inheritance: false,
+            arrays: false,
+            classes: 2,
+            int_fields: 1,
+            statics: false,
+            seed: 5,
+        },
+    );
+    let policy = StaticPolicy::new().place("C0", Placement::Node(NodeId(2)));
+    let cluster = app
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(3, 7, Box::new(policy));
+    cluster
+        .network()
+        .fault_plan(|f| f.partition(NodeId(0), NodeId(1)));
+    // C0 lives on node 2 (C1 placed at creator, i.e. node 2 as well since
+    // C0's constructor creates it there): the whole chain avoids node 1.
+    let c0 = cluster
+        .new_instance(NodeId(0), "C0", 0, vec![Value::Int(3)])
+        .unwrap();
+    let r = cluster
+        .call_method(NodeId(0), c0, "compute", vec![Value::Int(1)])
+        .unwrap();
+    assert!(matches!(r, Value::Int(_)));
+}

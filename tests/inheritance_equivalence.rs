@@ -1,0 +1,179 @@
+//! End-to-end equivalence for programs using inheritance and overriding —
+//! the interaction the paper's hybrid-wrapper investigation stumbled on
+//! ("problems with dynamic inheritance") and the transformation approach
+//! handles: `B_O_Int extends A_O_Int`, `B_O_Local extends A_O_Local`, and
+//! proxies chain along the hierarchy.
+
+use rafda::classmodel::builder::{ClassBuilder, MethodBuilder};
+use rafda::classmodel::{ClassKind, Field};
+use rafda::{Application, NodeId, Placement, StaticPolicy, Trace, Ty, Value};
+
+/// Shape hierarchy: `Shape { int scale; int area() = 0; int scaled() =
+/// scale * area() }`, `Square extends Shape { int side; area() = side² }`,
+/// `Rect extends Square { int h; area() = side * h }` — overriding two
+/// levels deep, with a superclass method (`scaled`) calling the override
+/// virtually.
+fn build() -> Application {
+    let mut app = Application::new();
+    let obs = app.observer();
+    let u = app.universe_mut();
+
+    let shape = u.declare("Shape", ClassKind::Class);
+    let square = u.declare("Square", ClassKind::Class);
+    let rect = u.declare("Rect", ClassKind::Class);
+    let area_sig = u.sig("area", vec![]);
+    {
+        let mut cb = ClassBuilder::new(u, shape);
+        let scale = cb.field(Field::new("scale", Ty::Int));
+        let mut mb = MethodBuilder::new(2);
+        mb.load_this().load_local(1).put_field(shape, scale).ret();
+        cb.ctor(u, vec![Ty::Int], Some(mb.finish()));
+        let mut mb = MethodBuilder::new(1);
+        mb.const_int(0).ret_value();
+        cb.method(u, "area", vec![], Ty::Int, Some(mb.finish()));
+        // int scaled() { return scale * this.area(); }  — virtual dispatch
+        let mut mb = MethodBuilder::new(1);
+        mb.load_this().get_field(shape, scale);
+        mb.load_this();
+        mb.invoke(area_sig, 0);
+        mb.mul().ret_value();
+        cb.method(u, "scaled", vec![], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+    }
+    {
+        let mut cb = ClassBuilder::new(u, square);
+        cb.superclass(shape);
+        let side = cb.field(Field::new("side", Ty::Int));
+        // Square(int scale, int side): no ctor chaining in the model, so
+        // set both fields directly.
+        let mut mb = MethodBuilder::new(3);
+        mb.load_this().load_local(1).put_field(shape, 0).ret();
+        let b = {
+            let mut mb2 = MethodBuilder::new(3);
+            mb2.load_this().load_local(1).put_field(shape, 0);
+            mb2.load_this().load_local(2).put_field(square, side);
+            mb2.ret();
+            mb2.finish()
+        };
+        drop(mb);
+        cb.ctor(u, vec![Ty::Int, Ty::Int], Some(b));
+        let mut mb = MethodBuilder::new(1);
+        mb.load_this().get_field(square, side);
+        mb.load_this().get_field(square, side);
+        mb.mul().ret_value();
+        cb.method(u, "area", vec![], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+    }
+    {
+        let mut cb = ClassBuilder::new(u, rect);
+        cb.superclass(square);
+        let h = cb.field(Field::new("h", Ty::Int));
+        let mut mb = MethodBuilder::new(4);
+        mb.load_this().load_local(1).put_field(shape, 0);
+        mb.load_this().load_local(2).put_field(square, 0);
+        mb.load_this().load_local(3).put_field(rect, h);
+        mb.ret();
+        cb.ctor(u, vec![Ty::Int, Ty::Int, Ty::Int], Some(mb.finish()));
+        let mut mb = MethodBuilder::new(1);
+        mb.load_this().get_field(square, 0);
+        mb.load_this().get_field(rect, h);
+        mb.mul().ret_value();
+        cb.method(u, "area", vec![], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+    }
+    // Driver: emit scaled() for one of each, dispatched through the base
+    // class method.
+    {
+        let mut cb = ClassBuilder::declare(u, "Driver", ClassKind::Class);
+        let scaled_sig = u.sig("scaled", vec![]);
+        let mut mb = MethodBuilder::new(1);
+        let emit = |mb: &mut MethodBuilder| {
+            mb.unop(rafda::classmodel::UnOp::Convert("long"));
+            mb.invoke_static(obs.class, obs.emit, 1);
+            mb.pop();
+        };
+        mb.load_local(0).new_init(shape, 0, 1);
+        mb.invoke(scaled_sig, 0);
+        emit(&mut mb);
+        mb.load_local(0).const_int(3).new_init(square, 0, 2);
+        mb.invoke(scaled_sig, 0);
+        emit(&mut mb);
+        mb.load_local(0).const_int(3).const_int(4).new_init(rect, 0, 3);
+        mb.invoke(scaled_sig, 0);
+        emit(&mut mb);
+        mb.const_int(0).ret_value();
+        cb.static_method(u, "main", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+    }
+    app
+}
+
+fn original() -> Trace {
+    build().run_original("Driver", "main", vec![Value::Int(2)])
+}
+
+#[test]
+fn original_behaviour_sanity() {
+    let t = original();
+    // scale=2: Shape.scaled = 2*0 = 0; Square(side 3) = 2*9 = 18;
+    // Rect(3x4) = 2*12 = 24.
+    assert_eq!(
+        t.events(),
+        &[
+            rafda::TraceEvent::Emit(0),
+            rafda::TraceEvent::Emit(18),
+            rafda::TraceEvent::Emit(24)
+        ]
+    );
+}
+
+#[test]
+fn transformed_local_preserves_override_dispatch() {
+    let rt = build().transform(&["RMI"]).unwrap().deploy_local();
+    let t = rt.run_observed("Driver", "main", vec![Value::Int(2)]);
+    assert_eq!(original(), t);
+}
+
+#[test]
+fn distributed_hierarchy_dispatches_remotely() {
+    // Each level of the hierarchy lives on a different node; the virtual
+    // call inside Shape.scaled() must still reach the most-derived area().
+    let policy = StaticPolicy::new()
+        .place("Shape", Placement::Node(NodeId(0)))
+        .place("Square", Placement::Node(NodeId(1)))
+        .place("Rect", Placement::Node(NodeId(2)))
+        .default_statics(NodeId(1));
+    let cluster = build()
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(3, 4, Box::new(policy));
+    let t = cluster.run_observed(NodeId(0), "Driver", "main", vec![Value::Int(2)]);
+    assert_eq!(original(), t);
+    assert!(cluster.network().stats().messages > 0);
+}
+
+#[test]
+fn subclass_proxies_inherit_base_hooks() {
+    // Calling an inherited (non-overridden) method through a subclass
+    // proxy resolves via the chained proxy hierarchy.
+    let policy = StaticPolicy::new().place("Rect", Placement::Node(NodeId(1)));
+    let cluster = build()
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(2, 4, Box::new(policy));
+    let r = cluster
+        .new_instance(NodeId(0), "Rect", 0, vec![Value::Int(2), Value::Int(3), Value::Int(4)])
+        .unwrap();
+    assert_eq!(cluster.location_of(NodeId(0), &r), Some(NodeId(1)));
+    // `scaled` is declared on Shape only; through the Rect proxy it must
+    // forward and dispatch to Rect.area remotely.
+    assert_eq!(
+        cluster.call_method(NodeId(0), r.clone(), "scaled", vec![]).unwrap(),
+        Value::Int(24)
+    );
+    // get_scale is a Shape accessor, also inherited by the proxy chain.
+    assert_eq!(
+        cluster.call_method(NodeId(0), r, "get_scale", vec![]).unwrap(),
+        Value::Int(2)
+    );
+}
