@@ -93,7 +93,7 @@ fn bench(c: &mut Criterion) {
             &req,
             |b, req| {
                 b.iter(|| {
-                    let bytes = codec.encode_request(req);
+                    let bytes = codec.encode_request(7, req);
                     codec.decode_request(&bytes).unwrap()
                 })
             },

@@ -66,9 +66,11 @@ pub use rafda_net::{NodeId, SimTime};
 pub use rafda_policy::{
     AffinityConfig, DistributionPolicy, LocalPolicy, Placement, RoundRobinPolicy, StaticPolicy,
 };
-pub use rafda_runtime::{Cluster, LocalRuntime, MigrationEvent, RuntimeError};
+pub use rafda_runtime::{
+    Cluster, LocalRuntime, MigrationEvent, RetryPolicy, RuntimeError, RuntimeStats,
+};
 pub use rafda_transform::{TransformError, Transformer};
-pub use rafda_vm::{ObserverIds, Trace, TraceEvent, Value, Vm};
+pub use rafda_vm::{NetFailure, NetFailureKind, ObserverIds, Trace, TraceEvent, Value, Vm};
 
 use rafda_transform::{TransformOutcome, TransformPlan};
 

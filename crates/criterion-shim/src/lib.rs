@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace must build with `cargo build --locked --offline`, so the
+//! benches cannot depend on the real criterion. This crate implements the
+//! subset of criterion's API the benches use — groups, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, the `criterion_group!`/
+//! `criterion_main!` macros — as a straightforward wall-clock harness:
+//! warm up briefly, time batches of iterations, print mean ns/iter.
+//!
+//! No statistics, plots, or result persistence; `cargo bench` output is a
+//! plain table. `cargo test` compiles but does not run bench targets, so
+//! tier-1 only needs this to build.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle, passed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A `group/function` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `name` parameterised by `param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to run the routine untimed before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Target total measurement time across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmark a routine.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Benchmark a routine against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (accepted by value for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp { until: self.warm_up },
+            total_ns: 0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        bencher.mode = Mode::Measure {
+            budget: self.measurement,
+            samples: self.sample_size,
+        };
+        bencher.total_ns = 0;
+        bencher.iters = 0;
+        f(&mut bencher);
+        let mean = if bencher.iters == 0 {
+            0
+        } else {
+            bencher.total_ns / bencher.iters
+        };
+        println!(
+            "  {:<40} {:>12} ns/iter ({} iters)",
+            format!("{}/{id}", self.name),
+            mean,
+            bencher.iters
+        );
+    }
+}
+
+enum Mode {
+    WarmUp { until: Duration },
+    Measure { budget: Duration, samples: usize },
+}
+
+/// Passed to every benchmark closure; call [`Bencher::iter`] with the
+/// routine to time.
+pub struct Bencher {
+    mode: Mode,
+    total_ns: u128,
+    iters: u128,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; the harness decides the iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                let start = Instant::now();
+                while start.elapsed() < until {
+                    black_box(routine());
+                }
+            }
+            Mode::Measure { budget, samples } => {
+                let per_sample = budget / samples.max(1) as u32;
+                let start = Instant::now();
+                for _ in 0..samples {
+                    let sample_start = Instant::now();
+                    let mut n = 0u128;
+                    loop {
+                        black_box(routine());
+                        n += 1;
+                        // At least one iteration per sample; batch cheap
+                        // routines so Instant overhead stays small.
+                        if n % 16 == 0 || sample_start.elapsed() >= per_sample {
+                            if sample_start.elapsed() >= per_sample {
+                                break;
+                            }
+                        }
+                    }
+                    self.total_ns += sample_start.elapsed().as_nanos();
+                    self.iters += n;
+                    if start.elapsed() >= budget {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Define a benchmark group function callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(calls > 0, "routine executed during warm-up and measurement");
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("encode", "SOAP").to_string(), "encode/SOAP");
+    }
+}

@@ -16,9 +16,32 @@ pub struct FaultPlan {
     pub drop_probability: f64,
     partitioned: HashSet<(NodeId, NodeId)>,
     crashed: HashSet<NodeId>,
+    drop_seq: HashSet<u64>,
 }
 
 impl FaultPlan {
+    /// Schedule the transmission with sequence number `seq` to be dropped.
+    ///
+    /// Sequence numbers index non-local transmission attempts, starting at
+    /// zero ([`Network::transmit_seq`](crate::Network::transmit_seq) reads
+    /// the next one to be assigned). Unlike `drop_probability` this is an
+    /// exact, deterministic schedule — tests use it to kill a specific leg
+    /// of a specific RPC, e.g. the reply of a mutating call, to exercise
+    /// at-most-once retransmission.
+    pub fn drop_message(&mut self, seq: u64) {
+        self.drop_seq.insert(seq);
+    }
+
+    /// Whether the transmission with this sequence number is scheduled to
+    /// be dropped.
+    pub fn is_drop_scheduled(&self, seq: u64) -> bool {
+        self.drop_seq.contains(&seq)
+    }
+
+    /// Clear all scheduled per-message drops.
+    pub fn clear_scheduled_drops(&mut self) {
+        self.drop_seq.clear();
+    }
     /// Sever the (bidirectional) link between `a` and `b`.
     pub fn partition(&mut self, a: NodeId, b: NodeId) {
         self.partitioned.insert(key(a, b));
@@ -56,7 +79,10 @@ impl FaultPlan {
 
     /// Whether any fault is active.
     pub fn any_active(&self) -> bool {
-        self.drop_probability > 0.0 || !self.partitioned.is_empty() || !self.crashed.is_empty()
+        self.drop_probability > 0.0
+            || !self.partitioned.is_empty()
+            || !self.crashed.is_empty()
+            || !self.drop_seq.is_empty()
     }
 }
 
@@ -90,6 +116,20 @@ mod tests {
         f.heal_all();
         assert!(!f.is_partitioned(NodeId(0), NodeId(1)));
         assert!(!f.is_partitioned(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn scheduled_drops_are_exact_and_clearable() {
+        let mut f = FaultPlan::default();
+        assert!(!f.any_active());
+        f.drop_message(3);
+        f.drop_message(7);
+        assert!(f.any_active());
+        assert!(f.is_drop_scheduled(3));
+        assert!(!f.is_drop_scheduled(4));
+        f.clear_scheduled_drops();
+        assert!(!f.is_drop_scheduled(3));
+        assert!(!f.any_active());
     }
 
     #[test]

@@ -145,6 +145,24 @@ struct NetState {
     fault: FaultPlan,
     rng: SplitMix64,
     stats: NetStats,
+    /// Sequence number of the next non-local transmission attempt.
+    seq: u64,
+    /// Fixed failure-detection charge; `None` charges the would-be link
+    /// cost of the failed message instead.
+    detection_ns: Option<u64>,
+}
+
+impl NetState {
+    /// Charge the clock for detecting a failed transmission and record it.
+    /// Failure detection is not free: a sender discovers a lost message by
+    /// timeout and a severed link by an error path, both of which take
+    /// (simulated) time — otherwise retry loops would be free and timing
+    /// under faults meaningless.
+    fn charge_failure(&mut self, err: &NetError, spec: LinkSpec, bytes: usize) {
+        let cost = self.detection_ns.unwrap_or_else(|| spec.cost_ns(bytes));
+        self.clock_ns += cost;
+        self.stats.record_failure(err, cost);
+    }
 }
 
 /// The simulated network. Cheap to clone (shared interior state).
@@ -187,6 +205,8 @@ impl Network {
                 fault: FaultPlan::default(),
                 rng: SplitMix64::new(seed),
                 stats: NetStats::default(),
+                seq: 0,
+                detection_ns: None,
             })),
         }
     }
@@ -234,14 +254,36 @@ impl Network {
         f(&mut self.state.borrow_mut().fault)
     }
 
+    /// Sequence number the next non-local transmission attempt will get.
+    /// Together with [`FaultPlan::drop_message`] this lets tests target an
+    /// exact future message (e.g. "the reply of the next RPC").
+    pub fn transmit_seq(&self) -> u64 {
+        self.state.borrow().seq
+    }
+
+    /// Fix the simulated cost of detecting a failed transmission.
+    ///
+    /// With `None` (the default) a failed transmission charges the link
+    /// cost the message would have paid — a sender waiting roughly one
+    /// delivery time before concluding loss. A fixed value models an
+    /// explicit timeout instead.
+    pub fn set_failure_detection(&self, ns: Option<u64>) {
+        self.state.borrow_mut().detection_ns = ns;
+    }
+
     /// Transmit `bytes` from `from` to `to`, charging the simulated clock
     /// and recording per-link statistics.
     ///
     /// Local delivery (`from == to`) is free and always succeeds.
     ///
+    /// Failed transmissions also cost simulated time (the detection charge,
+    /// see [`Network::set_failure_detection`]) — a retry loop over a lossy
+    /// link is therefore never free.
+    ///
     /// # Errors
     /// [`NetError`] when either node is unknown or crashed, the pair is
-    /// partitioned, or the message is dropped by loss injection.
+    /// partitioned, or the message is dropped by loss injection (random or
+    /// scheduled via [`FaultPlan::drop_message`]).
     pub fn transmit(&self, from: NodeId, to: NodeId, bytes: usize) -> Result<SimTime, NetError> {
         let mut s = self.state.borrow_mut();
         for n in [from, to] {
@@ -252,30 +294,36 @@ impl Network {
         if from == to {
             return Ok(SimTime::from_ns(s.clock_ns));
         }
-        for n in [from, to] {
-            if s.fault.is_crashed(n) {
-                s.stats.failures += 1;
-                return Err(NetError::NodeCrashed(n));
-            }
-        }
-        if s.fault.is_partitioned(from, to) {
-            s.stats.failures += 1;
-            return Err(NetError::Partitioned { from, to });
-        }
-        if s.fault.drop_probability > 0.0 {
-            let roll = s.rng.next_f64();
-            if roll < s.fault.drop_probability {
-                s.stats.failures += 1;
-                return Err(NetError::Dropped);
-            }
-        }
+        let seq = s.seq;
+        s.seq += 1;
         let spec = s
             .overrides
             .get(&(from, to))
             .copied()
             .unwrap_or(s.default_link);
+        for n in [from, to] {
+            if s.fault.is_crashed(n) {
+                let err = NetError::NodeCrashed(n);
+                s.charge_failure(&err, spec, bytes);
+                return Err(err);
+            }
+        }
+        if s.fault.is_partitioned(from, to) {
+            let err = NetError::Partitioned { from, to };
+            s.charge_failure(&err, spec, bytes);
+            return Err(err);
+        }
+        let scheduled = s.fault.is_drop_scheduled(seq);
+        let rolled = s.fault.drop_probability > 0.0 && {
+            let roll = s.rng.next_f64();
+            roll < s.fault.drop_probability
+        };
+        if scheduled || rolled {
+            s.charge_failure(&NetError::Dropped, spec, bytes);
+            return Err(NetError::Dropped);
+        }
         let jitter = if spec.jitter_ns > 0 {
-            s.rng.next_u64() % spec.jitter_ns
+            s.rng.next_below(spec.jitter_ns)
         } else {
             0
         };
@@ -377,6 +425,77 @@ mod tests {
         assert_ne!(run(1), run(2)); // overwhelmingly likely
         let oks = run(1).iter().filter(|b| **b).count();
         assert!(oks > 4 && oks < 28, "drop rate wildly off: {oks}/32");
+    }
+
+    #[test]
+    fn failed_transmissions_charge_detection_time() {
+        let net = Network::new(2, 7);
+        net.set_default_link(LinkSpec {
+            base_latency_ns: 1000,
+            per_kb_ns: 1024,
+            jitter_ns: 0,
+        });
+        net.fault_plan(|f| f.drop_probability = 1.0);
+        assert_eq!(
+            net.transmit(NodeId(0), NodeId(1), 2048),
+            Err(NetError::Dropped)
+        );
+        // Default detection charge = would-be link cost of the message.
+        assert_eq!(net.now().as_ns(), 1000 + 2048);
+        let stats = net.stats();
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.drops, 1);
+        assert_eq!(stats.failed_time_ns, 1000 + 2048);
+        assert_eq!(stats.messages, 0, "failed message not delivered");
+
+        // A configured timeout overrides the link-cost default.
+        net.set_failure_detection(Some(500));
+        net.fault_plan(|f| f.partition(NodeId(0), NodeId(1)));
+        let t0 = net.now().as_ns();
+        assert!(net.transmit(NodeId(0), NodeId(1), 9999).is_err());
+        assert_eq!(net.now().as_ns(), t0 + 500);
+        assert_eq!(net.stats().partition_failures, 1);
+    }
+
+    #[test]
+    fn failure_kinds_counted_distinctly() {
+        let net = Network::new(3, 7);
+        net.fault_plan(|f| f.crash(NodeId(2)));
+        let _ = net.transmit(NodeId(0), NodeId(2), 8);
+        net.fault_plan(|f| {
+            f.recover(NodeId(2));
+            f.partition(NodeId(0), NodeId(1));
+        });
+        let _ = net.transmit(NodeId(0), NodeId(1), 8);
+        net.fault_plan(|f| {
+            f.heal_all();
+            f.drop_probability = 1.0;
+        });
+        let _ = net.transmit(NodeId(0), NodeId(1), 8);
+        let stats = net.stats();
+        assert_eq!(stats.crash_failures, 1);
+        assert_eq!(stats.partition_failures, 1);
+        assert_eq!(stats.drops, 1);
+        assert_eq!(stats.failures, 3);
+    }
+
+    #[test]
+    fn scheduled_drop_kills_exactly_the_chosen_message() {
+        let net = Network::new(2, 7);
+        assert_eq!(net.transmit_seq(), 0);
+        net.transmit(NodeId(0), NodeId(1), 8).unwrap();
+        let target = net.transmit_seq();
+        net.fault_plan(|f| f.drop_message(target));
+        assert_eq!(
+            net.transmit(NodeId(0), NodeId(1), 8),
+            Err(NetError::Dropped)
+        );
+        // Next attempt has a new sequence number and goes through.
+        assert!(net.transmit(NodeId(0), NodeId(1), 8).is_ok());
+        assert_eq!(net.transmit_seq(), 3);
+        // Local delivery does not consume sequence numbers.
+        net.transmit(NodeId(1), NodeId(1), 8).unwrap();
+        assert_eq!(net.transmit_seq(), 3);
     }
 
     #[test]

@@ -31,8 +31,26 @@ impl SplitMix64 {
     }
 
     /// Uniform in `[0, n)`; `n` must be non-zero.
+    ///
+    /// Uses rejection sampling: a bare `next_u64() % n` over-weights the
+    /// low residues whenever `n` does not divide `2^64`, which would skew
+    /// jitter (and anything else sampled from a bound) towards small
+    /// values.
     pub fn next_below(&mut self, n: u64) -> u64 {
-        self.next_u64() % n
+        debug_assert!(n > 0, "next_below(0)");
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        // Largest multiple of n representable in u64; values at or above
+        // it would alias onto the low residues, so re-draw (at most once
+        // in expectation even for the worst-case n).
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
     }
 }
 
@@ -74,5 +92,34 @@ mod tests {
         for _ in 0..1000 {
             assert!(r.next_below(17) < 17);
         }
+    }
+
+    #[test]
+    fn below_is_deterministic_and_covers_residues() {
+        let seq = |seed| {
+            let mut r = SplitMix64::new(seed);
+            (0..64).map(|_| r.next_below(11)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(5), seq(5));
+        let mut seen = [false; 11];
+        for v in seq(5) {
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable: {seen:?}");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform_for_awkward_bounds() {
+        // 3 * 2^62 does not divide 2^64: the naive modulo would put
+        // probability 2/3 on residues < 2^62 instead of 1/3 on each third.
+        let n = 3u64 << 62;
+        let mut r = SplitMix64::new(77);
+        let trials = 30_000;
+        let low = (0..trials).filter(|_| r.next_below(n) < (1u64 << 62)).count();
+        let frac = low as f64 / f64::from(trials);
+        assert!(
+            (frac - 1.0 / 3.0).abs() < 0.02,
+            "low-third fraction {frac} (biased modulo would give ~0.667)"
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! find "chatty" remote pairs and re-draw the distribution boundary around
 //! them.
 
-use crate::{NodeId, SimTime};
+use crate::{NetError, NodeId, SimTime};
 use std::collections::HashMap;
 
 /// Counters for one directed link.
@@ -35,8 +35,16 @@ pub struct NetStats {
     pub messages: u64,
     /// Bytes delivered (all links).
     pub bytes: u64,
-    /// Failed transmissions (drops, partitions, crashes).
+    /// Failed transmissions (drops + partitions + crashes).
     pub failures: u64,
+    /// Messages lost to drop injection.
+    pub drops: u64,
+    /// Transmissions refused because the pair was partitioned.
+    pub partition_failures: u64,
+    /// Transmissions refused because an endpoint was crashed.
+    pub crash_failures: u64,
+    /// Simulated time charged to failed transmissions (detection cost).
+    pub failed_time_ns: u64,
     links: HashMap<(NodeId, NodeId), LinkStats>,
 }
 
@@ -49,6 +57,18 @@ impl NetStats {
         link.messages += 1;
         link.bytes += bytes as u64;
         link.time_ns += cost_ns;
+    }
+
+    /// Record a failed transmission and the time spent detecting it.
+    pub(crate) fn record_failure(&mut self, err: &NetError, cost_ns: u64) {
+        self.failures += 1;
+        self.failed_time_ns += cost_ns;
+        match err {
+            NetError::Dropped => self.drops += 1,
+            NetError::Partitioned { .. } => self.partition_failures += 1,
+            NetError::NodeCrashed(_) => self.crash_failures += 1,
+            NetError::NoSuchNode(_) => {}
+        }
     }
 
     /// Counters for the directed link `(from, to)`.

@@ -4,13 +4,13 @@
 use crate::error::RuntimeError;
 use crate::marshal;
 use rafda_classmodel::{ClassId, ClassUniverse, SigId};
-use rafda_net::{Network, NodeId};
+use rafda_net::{NetError, Network, NodeId};
 use rafda_policy::{AffinityConfig, DistributionPolicy};
 use rafda_transform::TransformPlan;
-use rafda_vm::{Handle, Trace, TraceEvent, Value, Vm, VmError};
+use rafda_vm::{Handle, NetFailure, NetFailureKind, Trace, TraceEvent, Value, Vm, VmError};
 use rafda_wire::{Protocol, ProtocolKind, Reply, Request, WireValue};
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::rc::{Rc, Weak};
 use std::sync::Arc;
@@ -47,6 +47,12 @@ impl SingletonState {
     }
 }
 
+/// How many served replies each node remembers for duplicate suppression.
+/// Bounded FIFO: old entries are evicted once the cache is full, which is
+/// safe because a client only retransmits while its call is still open —
+/// ids far in the past can no longer be retried.
+const REPLY_CACHE_CAP: usize = 1024;
+
 /// Per-node registry state.
 #[derive(Debug, Default)]
 pub(crate) struct NodeState {
@@ -60,6 +66,61 @@ pub(crate) struct NodeState {
     /// Host-pinned GC roots (references held outside the simulation, e.g.
     /// by embedding Rust code).
     pins: std::collections::HashSet<Handle>,
+    /// At-most-once reply cache: replies already sent, keyed by
+    /// `(caller node, message id)`. A retransmitted request is answered
+    /// from here instead of re-running the method.
+    reply_cache: HashMap<(u32, u64), Reply>,
+    /// Insertion order of `reply_cache` keys, for FIFO eviction.
+    reply_cache_order: VecDeque<(u32, u64)>,
+}
+
+/// Client-side fault tolerance for one request/reply exchange.
+///
+/// Only *transient* failures (dropped messages) are retried; partitions,
+/// crashes and bad addresses fail fast — retrying cannot help until an
+/// operator-level event heals them. Each retry charges `backoff_ns` to the
+/// **simulated** clock, so runs stay deterministic per seed and the time
+/// cost of fault tolerance is visible in the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total transmission attempts per exchange (≥ 1; 1 disables retry).
+    pub max_attempts: u32,
+    /// Simulated backoff before the first retry, in nanoseconds.
+    pub base_backoff_ns: u64,
+    /// Exponential backoff multiplier applied per further retry.
+    pub multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff_ns: 200_000,
+            multiplier: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No fault tolerance: a single attempt, any failure surfaces at once.
+    /// (The pre-retry behaviour, useful for failure-injection tests.)
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ns: 0,
+            multiplier: 1,
+        }
+    }
+
+    /// Backoff charged before retry number `retry` (1-based): exponential
+    /// in the number of failures seen so far, saturating instead of
+    /// overflowing.
+    pub fn backoff_ns(&self, retry: u32) -> u64 {
+        let exp = retry.saturating_sub(1);
+        (self.multiplier as u64)
+            .saturating_pow(exp)
+            .saturating_mul(self.base_backoff_ns)
+    }
 }
 
 /// Aggregate runtime statistics.
@@ -81,8 +142,69 @@ pub struct RuntimeStats {
     pub migrations: u64,
     /// Objects pulled local.
     pub pulls: u64,
-    /// Requests answered with a fault.
+    /// Requests answered with a fault (server-side errors; network-level
+    /// failures are counted separately in [`RuntimeStats::net_failures`]).
     pub faults: u64,
+    /// Client-side retry rounds: transmission attempts beyond each
+    /// exchange's first.
+    pub retries: u64,
+    /// Retransmitted requests that reached the server (a retry whose
+    /// request transmission succeeded).
+    pub retransmits: u64,
+    /// Retransmissions answered from the reply cache instead of re-running
+    /// the method (the at-most-once guarantee doing its job).
+    pub dedup_hits: u64,
+    /// Exchanges that exhausted the retry budget or hit a non-transient
+    /// network failure. Distinct from `faults`: the server never answered.
+    pub net_failures: u64,
+    /// Histogram of attempts used per finished exchange: bucket `i` counts
+    /// exchanges that took `i + 1` attempts (the last bucket saturates).
+    pub attempts: [u64; 8],
+}
+
+impl RuntimeStats {
+    fn record_attempts(&mut self, n: u32) {
+        let bucket = (n.saturating_sub(1) as usize).min(self.attempts.len() - 1);
+        self.attempts[bucket] += 1;
+    }
+
+    /// Total finished exchanges recorded in the attempts histogram.
+    pub fn exchanges(&self) -> u64 {
+        self.attempts.iter().sum()
+    }
+
+    /// Mean transmission attempts per finished exchange (1.0 when no
+    /// exchange ever retried; 0.0 before any exchange finished).
+    pub fn mean_attempts(&self) -> f64 {
+        let exchanges = self.exchanges();
+        if exchanges == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .attempts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        total as f64 / exchanges as f64
+    }
+}
+
+impl fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rpc exchanges (mean {:.2} attempts), {} retries, \
+             {} retransmits, {} dedup hits, {} net failures, {} faults",
+            self.exchanges(),
+            self.mean_attempts(),
+            self.retries,
+            self.retransmits,
+            self.dedup_hits,
+            self.net_failures,
+            self.faults
+        )
+    }
 }
 
 /// A per-node registry summary returned by [`Cluster::describe`].
@@ -98,17 +220,20 @@ pub struct NodeSummary {
     pub singletons: Vec<String>,
     /// Live heap entries.
     pub live_objects: usize,
+    /// Replies remembered for at-most-once duplicate suppression.
+    pub cached_replies: usize,
 }
 
 impl fmt::Display for NodeSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: {} exports, {} imports, {} live objects, singletons: [{}]",
+            "{}: {} exports, {} imports, {} live objects, {} cached replies, singletons: [{}]",
             self.node,
             self.exports,
             self.imports,
             self.live_objects,
+            self.cached_replies,
             self.singletons.join(", ")
         )
     }
@@ -163,7 +288,11 @@ pub(crate) struct Shared {
     pub trace: RefCell<Trace>,
     pub stats: RefCell<RuntimeStats>,
     pub gen_info: HashMap<ClassId, GenInfo>,
-    pub rpc_depth: std::cell::Cell<u32>,
+    pub rpc_depth: Cell<u32>,
+    pub retry: Cell<RetryPolicy>,
+    /// Cluster-wide message id counter: every request/reply exchange gets a
+    /// fresh id, reused verbatim by its retransmissions (the dedup key).
+    pub next_msg_id: Cell<u64>,
 }
 
 /// A simulated cluster running one transformed application.
@@ -256,7 +385,9 @@ impl Cluster {
             trace: RefCell::new(Trace::new()),
             stats: RefCell::new(RuntimeStats::default()),
             gen_info,
-            rpc_depth: std::cell::Cell::new(0),
+            rpc_depth: Cell::new(0),
+            retry: Cell::new(RetryPolicy::default()),
+            next_msg_id: Cell::new(1),
         });
         let cluster = Cluster { shared };
         cluster.install_hooks();
@@ -297,6 +428,16 @@ impl Cluster {
         *self.shared.stats.borrow()
     }
 
+    /// The fault-tolerance policy applied to every RPC exchange.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.shared.retry.get()
+    }
+
+    /// Replace the fault-tolerance policy (applies to subsequent RPCs).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.shared.retry.set(policy);
+    }
+
     /// Number of objects node `n` currently exports.
     pub fn export_count(&self, n: NodeId) -> usize {
         self.shared.nodes.borrow()[n.0 as usize].exports.len()
@@ -320,6 +461,7 @@ impl Cluster {
                     imports: state.imports.len(),
                     singletons,
                     live_objects: self.shared.vms[i].stats().heap.live as usize,
+                    cached_replies: state.reply_cache.len(),
                 }
             })
             .collect()
@@ -621,7 +763,7 @@ impl Cluster {
                 source: Some((from.0, source_oid)),
             },
         )
-        .map_err(RuntimeError::Vm)?;
+        .map_err(RuntimeError::from)?;
         let target = match reply {
             Reply::Value(WireValue::Remote { node, object, .. }) => RemoteRef {
                 node: NodeId(node),
@@ -676,7 +818,7 @@ impl Cluster {
         let owner = NodeId(owner_raw);
         // Fetch the state.
         let reply = rpc(shared, node, owner, &proto, &Request::Fetch { object: oid })
-            .map_err(RuntimeError::Vm)?;
+            .map_err(RuntimeError::from)?;
         let (class_name, wire_fields) = match reply {
             Reply::Value(WireValue::ObjectState { class, fields }) => (class, fields),
             Reply::Fault(m) => return Err(RuntimeError::Bad(m)),
@@ -704,7 +846,7 @@ impl Cluster {
                 to_object: my_oid,
             },
         )
-        .map_err(RuntimeError::Vm)?;
+        .map_err(RuntimeError::from)?;
         if let Reply::Fault(m) = reply {
             return Err(RuntimeError::Bad(m));
         }
@@ -1074,6 +1216,20 @@ pub(crate) fn rpc(
     result
 }
 
+/// The typed mirror of a transport error (same data, no crate dependency
+/// from the VM on the network).
+fn net_failure_kind(e: &NetError) -> NetFailureKind {
+    match e {
+        NetError::Dropped => NetFailureKind::Dropped,
+        NetError::Partitioned { from, to } => NetFailureKind::Partitioned {
+            from: from.0,
+            to: to.0,
+        },
+        NetError::NodeCrashed(n) => NetFailureKind::NodeCrashed(n.0),
+        NetError::NoSuchNode(n) => NetFailureKind::NoSuchNode(n.0),
+    }
+}
+
 fn rpc_inner(
     shared: &Shared,
     from: NodeId,
@@ -1081,24 +1237,104 @@ fn rpc_inner(
     codec: &dyn Protocol,
     req: &Request,
 ) -> Result<Reply, VmError> {
-    let bytes = codec.encode_request(req);
+    let msg_id = shared.next_msg_id.get();
+    shared.next_msg_id.set(msg_id + 1);
+    // Encode once: every retransmission sends the same frame, same id.
+    let bytes = codec.encode_request(msg_id, req);
+    let policy = shared.retry.get();
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        if attempt > 1 {
+            // Back off on the simulated clock before retransmitting, so the
+            // cost of fault tolerance is charged deterministically.
+            shared.net.advance(policy.backoff_ns(attempt - 1));
+            shared.stats.borrow_mut().retries += 1;
+        }
+        match attempt_exchange(shared, from, to, codec, msg_id, &bytes, attempt) {
+            Ok(reply) => {
+                shared.stats.borrow_mut().record_attempts(attempt);
+                return Ok(reply);
+            }
+            Err(kind) if kind.is_transient() && attempt < max_attempts => continue,
+            Err(kind) => {
+                let mut stats = shared.stats.borrow_mut();
+                stats.net_failures += 1;
+                stats.record_attempts(attempt);
+                return Err(VmError::Unreachable(NetFailure::new(kind, attempt)));
+            }
+        }
+    }
+}
+
+/// One transmission attempt of an exchange: request over the wire, serve
+/// (with duplicate suppression), reply back over the wire.
+fn attempt_exchange(
+    shared: &Shared,
+    from: NodeId,
+    to: NodeId,
+    codec: &dyn Protocol,
+    msg_id: u64,
+    bytes: &[u8],
+    attempt: u32,
+) -> Result<Reply, NetFailureKind> {
     shared
         .net
         .transmit(from, to, bytes.len())
-        .map_err(|e| VmError::Native(e.to_string()))?;
-    let decoded = codec
-        .decode_request(&bytes)
-        .map_err(|e| VmError::Native(e.to_string()))?;
-    let reply = handle_request(shared, to, from, decoded);
-    let reply_bytes = codec.encode_reply(&reply);
+        .map_err(|e| net_failure_kind(&e))?;
+    let (id, decoded) = codec
+        .decode_request(bytes)
+        .expect("own encoding must decode");
+    debug_assert_eq!(id, msg_id);
+    if attempt > 1 {
+        shared.stats.borrow_mut().retransmits += 1;
+    }
+    let reply = serve_request(shared, to, from, id, decoded);
+    let reply_bytes = codec.encode_reply(id, &reply);
     shared
         .net
         .transmit(to, from, reply_bytes.len())
-        .map_err(|e| VmError::Native(e.to_string()))?;
+        .map_err(|e| net_failure_kind(&e))?;
     shared.net.advance(2 * codec.overhead_ns());
-    codec
+    let (_, reply) = codec
         .decode_reply(&reply_bytes)
-        .map_err(|e| VmError::Native(e.to_string()))
+        .expect("own encoding must decode");
+    Ok(reply)
+}
+
+/// Serve a delivered request with at-most-once semantics: if this
+/// `(caller, message id)` was already answered, return the cached reply
+/// without re-executing — a retransmission must never apply a mutating
+/// method twice.
+fn serve_request(
+    shared: &Shared,
+    node: NodeId,
+    caller: NodeId,
+    msg_id: u64,
+    req: Request,
+) -> Reply {
+    let key = (caller.0, msg_id);
+    let cached = shared.nodes.borrow()[node.0 as usize]
+        .reply_cache
+        .get(&key)
+        .cloned();
+    if let Some(reply) = cached {
+        shared.stats.borrow_mut().dedup_hits += 1;
+        return reply;
+    }
+    let reply = handle_request(shared, node, caller, req);
+    let mut nodes = shared.nodes.borrow_mut();
+    let state = &mut nodes[node.0 as usize];
+    if state.reply_cache.insert(key, reply.clone()).is_none() {
+        state.reply_cache_order.push_back(key);
+        while state.reply_cache_order.len() > REPLY_CACHE_CAP {
+            if let Some(old) = state.reply_cache_order.pop_front() {
+                state.reply_cache.remove(&old);
+            }
+        }
+    }
+    reply
 }
 
 // ----------------------------------------------------------------------

@@ -52,7 +52,7 @@ pub mod local;
 pub mod marshal;
 pub mod persist;
 
-pub use cluster::{Cluster, MigrationEvent, NodeSummary, RemoteRef, RuntimeStats};
+pub use cluster::{Cluster, MigrationEvent, NodeSummary, RemoteRef, RetryPolicy, RuntimeStats};
 pub use error::RuntimeError;
 pub use local::LocalRuntime;
 pub use persist::{SnapObject, SnapSlot, Snapshot};

@@ -484,6 +484,9 @@ impl Vm {
             Err(VmError::Native(msg)) if msg.contains("network") => {
                 self.push_trace(TraceEvent::NetworkFailure(msg));
             }
+            Err(VmError::Unreachable(nf)) => {
+                self.push_trace(TraceEvent::NetworkFailure(nf.to_string()));
+            }
             Err(other) => {
                 self.push_trace(TraceEvent::EmitStr(format!("<error: {other}>")));
             }

@@ -8,7 +8,9 @@ use crate::binary::{BinReader, BinWriter};
 use crate::{rmi, Protocol, Reply, Request, WireError};
 
 const MAGIC: &[u8] = b"GIOP";
-const VERSION: &[u8] = &[1, 2];
+// Minor version 3 added the message id (at-most-once dedup key): an aligned
+// u64 occupying bytes 8..16 of every frame (bytes 6..8 are alignment pad).
+const VERSION: &[u8] = &[1, 3];
 
 /// The CORBA-like protocol.
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,32 +28,34 @@ impl Protocol for CorbaCodec {
         "CORBA"
     }
 
-    fn encode_request(&self, req: &Request) -> Vec<u8> {
+    fn encode_request(&self, id: u64, req: &Request) -> Vec<u8> {
         let mut w = BinWriter::aligned();
-        w.raw(MAGIC).raw(VERSION);
+        w.raw(MAGIC).raw(VERSION).u64(id);
         rmi::write_request(&mut w, req);
         w.finish()
     }
 
-    fn decode_request(&self, bytes: &[u8]) -> Result<Request, WireError> {
+    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, Request), WireError> {
         let mut r = BinReader::aligned(bytes);
         r.expect(MAGIC)?;
         r.expect(VERSION)?;
-        rmi::read_request(&mut r)
+        let id = r.u64()?;
+        Ok((id, rmi::read_request(&mut r)?))
     }
 
-    fn encode_reply(&self, reply: &Reply) -> Vec<u8> {
+    fn encode_reply(&self, id: u64, reply: &Reply) -> Vec<u8> {
         let mut w = BinWriter::aligned();
-        w.raw(MAGIC).raw(VERSION);
+        w.raw(MAGIC).raw(VERSION).u64(id);
         rmi::write_reply(&mut w, reply);
         w.finish()
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<Reply, WireError> {
+    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, Reply), WireError> {
         let mut r = BinReader::aligned(bytes);
         r.expect(MAGIC)?;
         r.expect(VERSION)?;
-        rmi::read_reply(&mut r)
+        let id = r.u64()?;
+        Ok((id, rmi::read_reply(&mut r)?))
     }
 
     /// ORB request brokering cost: ~60 µs per message.
@@ -76,15 +80,23 @@ mod tests {
         let rmi = crate::RmiCodec::new();
         let corba = CorbaCodec::new();
         for req in testdata::sample_requests() {
-            let r = rmi.encode_request(&req).len();
-            let c = corba.encode_request(&req).len();
+            let r = rmi.encode_request(9, &req).len();
+            let c = corba.encode_request(9, &req).len();
             assert!(c >= r, "corba {c} < rmi {r} for {req:?}");
         }
     }
 
     #[test]
     fn rejects_rmi_frames() {
-        let frame = crate::RmiCodec::new().encode_reply(&Reply::Value(WireValue::Int(1)));
+        let frame = crate::RmiCodec::new().encode_reply(3, &Reply::Value(WireValue::Int(1)));
         assert!(CorbaCodec::new().decode_reply(&frame).is_err());
+    }
+
+    #[test]
+    fn message_id_sits_at_aligned_offset() {
+        let bytes = CorbaCodec::new().encode_request(0x1122_3344_5566_7788, &Request::Fetch { object: 1 });
+        // 4 magic + 2 version + 2 pad, then the aligned u64 id.
+        let id = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        assert_eq!(id, 0x1122_3344_5566_7788);
     }
 }

@@ -172,6 +172,15 @@ impl WireError {
 
 /// A wire protocol: encodes and decodes [`Request`]s and [`Reply`]s.
 ///
+/// Every frame carries a caller-assigned **message id** in its header.
+/// Retransmissions of a request reuse the id, which is what lets the
+/// serving node recognise a duplicate and answer from its reply cache
+/// instead of re-executing the method (at-most-once execution); replies
+/// echo the id of the request they answer. The id is part of the frame,
+/// not of [`Request`] — all three protocol families carry it in their
+/// native header position (JRMP stream id, GIOP request id, a SOAP header
+/// element).
+///
 /// Implementations must round-trip exactly. `overhead_ns` models the
 /// protocol-stack processing cost charged per message in addition to the
 /// transmission cost (e.g. XML parsing for SOAP).
@@ -180,23 +189,23 @@ pub trait Protocol {
     /// (`A_O_Proxy_SOAP` etc.).
     fn name(&self) -> &'static str;
 
-    /// Encode a request.
-    fn encode_request(&self, req: &Request) -> Vec<u8>;
+    /// Encode a request under message id `id`.
+    fn encode_request(&self, id: u64, req: &Request) -> Vec<u8>;
 
-    /// Decode a request.
+    /// Decode a request, returning its message id and body.
     ///
     /// # Errors
     /// [`WireError`] on malformed input.
-    fn decode_request(&self, bytes: &[u8]) -> Result<Request, WireError>;
+    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, Request), WireError>;
 
-    /// Encode a reply.
-    fn encode_reply(&self, reply: &Reply) -> Vec<u8>;
+    /// Encode a reply answering the request with message id `id`.
+    fn encode_reply(&self, id: u64, reply: &Reply) -> Vec<u8>;
 
-    /// Decode a reply.
+    /// Decode a reply, returning the answered message id and body.
     ///
     /// # Errors
     /// [`WireError`] on malformed input.
-    fn decode_reply(&self, bytes: &[u8]) -> Result<Reply, WireError>;
+    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, Reply), WireError>;
 
     /// Per-message protocol-stack processing cost (simulated nanoseconds).
     fn overhead_ns(&self) -> u64 {
@@ -340,22 +349,31 @@ pub(crate) mod testdata {
         out
     }
 
-    /// Assert a protocol round-trips all samples.
+    /// Assert a protocol round-trips all samples, including message ids
+    /// at the extremes of their domain.
     pub fn assert_roundtrips(p: &dyn Protocol) {
-        for req in sample_requests() {
-            let bytes = p.encode_request(&req);
-            let back = p
+        for (i, req) in sample_requests().into_iter().enumerate() {
+            let id = sample_id(i);
+            let bytes = p.encode_request(id, &req);
+            let (back_id, back) = p
                 .decode_request(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e} for {req:?}", p.name()));
+            assert_eq!(back_id, id, "{} request id roundtrip", p.name());
             assert_eq!(back, req, "{} request roundtrip", p.name());
         }
-        for reply in sample_replies() {
-            let bytes = p.encode_reply(&reply);
-            let back = p
+        for (i, reply) in sample_replies().into_iter().enumerate() {
+            let id = sample_id(i);
+            let bytes = p.encode_reply(id, &reply);
+            let (back_id, back) = p
                 .decode_reply(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e} for {reply:?}", p.name()));
+            assert_eq!(back_id, id, "{} reply id roundtrip", p.name());
             assert_eq!(back, reply, "{} reply roundtrip", p.name());
         }
+    }
+
+    fn sample_id(i: usize) -> u64 {
+        [0, 1, 7, u64::from(u32::MAX), u64::MAX][i % 5]
     }
 }
 
@@ -379,9 +397,9 @@ mod tests {
             method: "set_y".into(),
             args: vec![WireValue::Remote { node: 1, object: 2, class: "Y".to_owned() }],
         };
-        let rmi = RmiCodec::new().encode_request(&req).len();
-        let soap = SoapCodec::new().encode_request(&req).len();
-        let corba = CorbaCodec::new().encode_request(&req).len();
+        let rmi = RmiCodec::new().encode_request(1, &req).len();
+        let soap = SoapCodec::new().encode_request(1, &req).len();
+        let corba = CorbaCodec::new().encode_request(1, &req).len();
         assert!(soap > 3 * rmi, "soap={soap} rmi={rmi}");
         assert!(soap > 2 * corba, "soap={soap} corba={corba}");
     }

@@ -4,7 +4,8 @@ use crate::binary::{BinReader, BinWriter};
 use crate::{Protocol, Reply, Request, WireError, WireValue};
 
 const MAGIC: &[u8] = b"JRMI";
-const VERSION: u8 = 2;
+// Version 3 added the message id (at-most-once dedup key) to the header.
+const VERSION: u8 = 3;
 
 // Value tags.
 const T_NULL: u8 = 0;
@@ -252,32 +253,34 @@ impl Protocol for RmiCodec {
         "RMI"
     }
 
-    fn encode_request(&self, req: &Request) -> Vec<u8> {
+    fn encode_request(&self, id: u64, req: &Request) -> Vec<u8> {
         let mut w = BinWriter::new();
-        w.raw(MAGIC).u8(VERSION);
+        w.raw(MAGIC).u8(VERSION).u64(id);
         write_request(&mut w, req);
         w.finish()
     }
 
-    fn decode_request(&self, bytes: &[u8]) -> Result<Request, WireError> {
+    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, Request), WireError> {
         let mut r = BinReader::new(bytes);
         r.expect(MAGIC)?;
         let _version = r.u8()?;
-        read_request(&mut r)
+        let id = r.u64()?;
+        Ok((id, read_request(&mut r)?))
     }
 
-    fn encode_reply(&self, reply: &Reply) -> Vec<u8> {
+    fn encode_reply(&self, id: u64, reply: &Reply) -> Vec<u8> {
         let mut w = BinWriter::new();
-        w.raw(MAGIC).u8(VERSION);
+        w.raw(MAGIC).u8(VERSION).u64(id);
         write_reply(&mut w, reply);
         w.finish()
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<Reply, WireError> {
+    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, Reply), WireError> {
         let mut r = BinReader::new(bytes);
         r.expect(MAGIC)?;
         let _version = r.u8()?;
-        read_reply(&mut r)
+        let id = r.u64()?;
+        Ok((id, read_reply(&mut r)?))
     }
 
     /// JRMP stacks were comparatively lean: ~40 µs per message.
@@ -299,7 +302,7 @@ mod tests {
     #[test]
     fn rejects_wrong_magic() {
         let codec = RmiCodec::new();
-        let mut bytes = codec.encode_request(&Request::Fetch { object: 1 });
+        let mut bytes = codec.encode_request(4, &Request::Fetch { object: 1 });
         bytes[0] = b'X';
         assert!(codec.decode_request(&bytes).is_err());
     }
@@ -307,19 +310,32 @@ mod tests {
     #[test]
     fn rejects_unknown_tags() {
         let codec = RmiCodec::new();
-        let mut bytes = codec.encode_reply(&Reply::Fault("x".into()));
-        bytes[5] = 99; // reply tag position (after 4-byte magic + version)
+        let mut bytes = codec.encode_reply(4, &Reply::Fault("x".into()));
+        bytes[13] = 99; // reply tag position (after magic + version + message id)
         assert!(codec.decode_reply(&bytes).is_err());
     }
 
     #[test]
     fn call_request_is_compact() {
         let codec = RmiCodec::new();
-        let bytes = codec.encode_request(&Request::Call {
+        let bytes = codec.encode_request(1, &Request::Call {
             object: 1,
             method: "m".into(),
             args: vec![WireValue::Long(7)],
         });
         assert!(bytes.len() < 48, "len = {}", bytes.len());
+    }
+
+    #[test]
+    fn message_id_is_independent_of_body() {
+        let codec = RmiCodec::new();
+        let req = Request::Fetch { object: 1 };
+        let a = codec.encode_request(1, &req);
+        let b = codec.encode_request(2, &req);
+        assert_ne!(a, b, "id is part of the frame");
+        let (id_a, body_a) = codec.decode_request(&a).unwrap();
+        let (id_b, body_b) = codec.decode_request(&b).unwrap();
+        assert_eq!((id_a, id_b), (1, 2));
+        assert_eq!(body_a, body_b);
     }
 }

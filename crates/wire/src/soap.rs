@@ -335,16 +335,17 @@ fn read_value(e: &Element) -> Result<WireValue, WireError> {
     })
 }
 
-fn envelope(body: &str) -> String {
+fn envelope(id: u64, body: &str) -> String {
     format!(
         "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
          <soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\" \
          xmlns:rafda=\"http://rafda.dcs.st-and.ac.uk/ns/2003\">\n\
+         <soap:Header><rafda:mid>{id}</rafda:mid></soap:Header>\n\
          <soap:Body>{body}</soap:Body>\n</soap:Envelope>\n"
     )
 }
 
-fn unwrap_envelope(xml: &str) -> Result<Element, WireError> {
+fn unwrap_envelope(xml: &str) -> Result<(u64, Element), WireError> {
     let doc = Parser::new(xml).document()?;
     if doc.name != "soap:Envelope" {
         return Err(WireError::new(format!(
@@ -352,7 +353,18 @@ fn unwrap_envelope(xml: &str) -> Result<Element, WireError> {
             doc.name
         )));
     }
-    Ok(doc.child("soap:Body")?.first_elem()?.clone())
+    // The message id rides in an optional header block; pre-id peers (no
+    // <soap:Header>) decode as id 0.
+    let id = match doc.child("soap:Header") {
+        Ok(header) => header
+            .child("rafda:mid")?
+            .text()
+            .trim()
+            .parse()
+            .map_err(|_| WireError::new("bad rafda:mid"))?,
+        Err(_) => 0,
+    };
+    Ok((id, doc.child("soap:Body")?.first_elem()?.clone()))
 }
 
 // ---------------------------------------------------------------------
@@ -375,7 +387,7 @@ impl Protocol for SoapCodec {
         "SOAP"
     }
 
-    fn encode_request(&self, req: &Request) -> Vec<u8> {
+    fn encode_request(&self, id: u64, req: &Request) -> Vec<u8> {
         let mut b = String::new();
         match req {
             Request::Call {
@@ -429,13 +441,13 @@ impl Protocol for SoapCodec {
                 );
             }
         }
-        envelope(&b).into_bytes()
+        envelope(id, &b).into_bytes()
     }
 
-    fn decode_request(&self, bytes: &[u8]) -> Result<Request, WireError> {
+    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, Request), WireError> {
         let xml = std::str::from_utf8(bytes).map_err(|_| WireError::new("invalid utf-8"))?;
-        let e = unwrap_envelope(xml)?;
-        Ok(match e.name.as_str() {
+        let (id, e) = unwrap_envelope(xml)?;
+        let req = match e.name.as_str() {
             "rafda:call" => Request::Call {
                 object: e.attr_parsed("object")?,
                 method: e.attr("method")?.to_owned(),
@@ -471,10 +483,11 @@ impl Protocol for SoapCodec {
                 to_object: e.attr_parsed("toobject")?,
             },
             name => return Err(WireError::new(format!("unknown request <{name}>"))),
-        })
+        };
+        Ok((id, req))
     }
 
-    fn encode_reply(&self, reply: &Reply) -> Vec<u8> {
+    fn encode_reply(&self, id: u64, reply: &Reply) -> Vec<u8> {
         let mut b = String::new();
         match reply {
             Reply::Value(v) => {
@@ -497,13 +510,13 @@ impl Protocol for SoapCodec {
                 b.push_str("</faultstring></soap:Fault>");
             }
         }
-        envelope(&b).into_bytes()
+        envelope(id, &b).into_bytes()
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<Reply, WireError> {
+    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, Reply), WireError> {
         let xml = std::str::from_utf8(bytes).map_err(|_| WireError::new("invalid utf-8"))?;
-        let e = unwrap_envelope(xml)?;
-        Ok(match e.name.as_str() {
+        let (id, e) = unwrap_envelope(xml)?;
+        let reply = match e.name.as_str() {
             "rafda:result" => Reply::Value(read_value(e.first_elem()?)?),
             "rafda:exception" => Reply::Exception {
                 class: e.attr("class")?.to_owned(),
@@ -511,7 +524,8 @@ impl Protocol for SoapCodec {
             },
             "soap:Fault" => Reply::Fault(e.child("faultstring")?.text()),
             name => return Err(WireError::new(format!("unknown reply <{name}>"))),
-        })
+        };
+        Ok((id, reply))
     }
 
     /// XML assembly + parse dominated 2003 SOAP stacks: ~400 µs per message.
@@ -551,8 +565,8 @@ mod tests {
     fn string_content_with_xml_metacharacters_roundtrips() {
         let codec = SoapCodec::new();
         let reply = Reply::Value(WireValue::Str("<v t=\"string\">&amp;</v>".into()));
-        let bytes = codec.encode_reply(&reply);
-        assert_eq!(codec.decode_reply(&bytes).unwrap(), reply);
+        let bytes = codec.encode_reply(11, &reply);
+        assert_eq!(codec.decode_reply(&bytes).unwrap(), (11, reply));
     }
 
     #[test]
@@ -563,8 +577,8 @@ mod tests {
             WireValue::Double(-0.0),
             WireValue::Float(f32::INFINITY),
         ] {
-            let bytes = codec.encode_reply(&Reply::Value(v.clone()));
-            let back = codec.decode_reply(&bytes).unwrap();
+            let bytes = codec.encode_reply(0, &Reply::Value(v.clone()));
+            let (_, back) = codec.decode_reply(&bytes).unwrap();
             match (back, v) {
                 (Reply::Value(WireValue::Double(a)), WireValue::Double(b)) => {
                     assert_eq!(a.to_bits(), b.to_bits());
@@ -579,10 +593,22 @@ mod tests {
 
     #[test]
     fn envelope_is_present() {
-        let bytes = SoapCodec::new().encode_request(&Request::Fetch { object: 1 });
+        let bytes = SoapCodec::new().encode_request(42, &Request::Fetch { object: 1 });
         let s = String::from_utf8(bytes).unwrap();
         assert!(s.contains("soap:Envelope"));
         assert!(s.contains("soap:Body"));
+        assert!(s.contains("<soap:Header><rafda:mid>42</rafda:mid></soap:Header>"));
         assert!(s.starts_with("<?xml"));
+    }
+
+    #[test]
+    fn headerless_envelope_decodes_as_id_zero() {
+        // A frame from a pre-id peer: no <soap:Header> at all.
+        let xml = "<?xml version=\"1.0\"?>\n\
+                   <soap:Envelope xmlns:soap=\"x\" xmlns:rafda=\"y\">\n\
+                   <soap:Body><rafda:fetch object=\"5\"/></soap:Body>\n</soap:Envelope>\n";
+        let (id, req) = SoapCodec::new().decode_request(xml.as_bytes()).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(req, Request::Fetch { object: 5 });
     }
 }

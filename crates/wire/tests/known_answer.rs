@@ -14,10 +14,11 @@ fn call_request() -> Request {
 
 #[test]
 fn rmi_request_bytes_are_stable() {
-    let bytes = RmiCodec::new().encode_request(&call_request());
+    let bytes = RmiCodec::new().encode_request(0x0102, &call_request());
     let expected: Vec<u8> = vec![
         b'J', b'R', b'M', b'I', // magic
-        2,    // version
+        3,    // version (3 = carries message id)
+        0x02, 0x01, 0, 0, 0, 0, 0, 0, // message id u64 LE
         0,    // R_CALL
         5, 0, 0, 0, 0, 0, 0, 0, // object id u64 LE
         6, 0, 0, 0, // method length u32
@@ -33,10 +34,11 @@ fn rmi_request_bytes_are_stable() {
 
 #[test]
 fn rmi_reply_bytes_are_stable() {
-    let bytes = RmiCodec::new().encode_reply(&Reply::Value(WireValue::Int(-1)));
+    let bytes = RmiCodec::new().encode_reply(7, &Reply::Value(WireValue::Int(-1)));
     let expected: Vec<u8> = vec![
         b'J', b'R', b'M', b'I',
-        2, // version
+        3, // version
+        7, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
         0, // P_VALUE
         2, // T_INT
         0xFF, 0xFF, 0xFF, 0xFF,
@@ -46,26 +48,33 @@ fn rmi_reply_bytes_are_stable() {
 
 #[test]
 fn corba_header_and_alignment_are_stable() {
-    let bytes = CorbaCodec::new().encode_request(&Request::Fetch { object: 1 });
-    // "GIOP" + version 1.2 + tag R_FETCH(3) at offset 6, pad to 8, u64.
-    assert_eq!(&bytes[..6], b"GIOP\x01\x02");
-    assert_eq!(bytes[6], 3);
-    assert_eq!(bytes[7], 0, "alignment pad");
-    assert_eq!(&bytes[8..16], &1u64.to_le_bytes());
-    assert_eq!(bytes.len(), 16);
+    let bytes = CorbaCodec::new().encode_request(7, &Request::Fetch { object: 1 });
+    // "GIOP" + version 1.3, pad to 8, message id u64, tag R_FETCH(3) at 16,
+    // pad to 24, object u64.
+    assert_eq!(&bytes[..6], b"GIOP\x01\x03");
+    assert_eq!(&bytes[6..8], &[0, 0], "alignment pad before id");
+    assert_eq!(&bytes[8..16], &7u64.to_le_bytes());
+    assert_eq!(bytes[16], 3);
+    assert_eq!(&bytes[17..24], &[0; 7], "alignment pad before object");
+    assert_eq!(&bytes[24..32], &1u64.to_le_bytes());
+    assert_eq!(bytes.len(), 32);
 }
 
 #[test]
 fn soap_request_text_is_stable() {
-    let xml = String::from_utf8(SoapCodec::new().encode_request(&Request::Discover {
-        class: "X".to_owned(),
-    }))
+    let xml = String::from_utf8(SoapCodec::new().encode_request(
+        12,
+        &Request::Discover {
+            class: "X".to_owned(),
+        },
+    ))
     .unwrap();
     assert_eq!(
         xml,
         "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
          <soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\" \
          xmlns:rafda=\"http://rafda.dcs.st-and.ac.uk/ns/2003\">\n\
+         <soap:Header><rafda:mid>12</rafda:mid></soap:Header>\n\
          <soap:Body><rafda:discover class=\"X\"/></soap:Body>\n\
          </soap:Envelope>\n"
     );
@@ -74,15 +83,18 @@ fn soap_request_text_is_stable() {
 #[test]
 fn soap_value_markup_is_stable() {
     let xml = String::from_utf8(
-        SoapCodec::new().encode_reply(&Reply::Value(WireValue::Array(vec![
-            WireValue::Int(1),
-            WireValue::Str("a<b".to_owned()),
-            WireValue::Remote {
-                node: 2,
-                object: 9,
-                class: "C_O_Local".to_owned(),
-            },
-        ]))),
+        SoapCodec::new().encode_reply(
+            0,
+            &Reply::Value(WireValue::Array(vec![
+                WireValue::Int(1),
+                WireValue::Str("a<b".to_owned()),
+                WireValue::Remote {
+                    node: 2,
+                    object: 9,
+                    class: "C_O_Local".to_owned(),
+                },
+            ])),
+        ),
     )
     .unwrap();
     assert!(xml.contains(
@@ -92,10 +104,29 @@ fn soap_value_markup_is_stable() {
 }
 
 #[test]
+fn message_ids_roundtrip_through_every_codec() {
+    for codec in [
+        Box::new(RmiCodec::new()) as Box<dyn Protocol>,
+        Box::new(CorbaCodec::new()),
+        Box::new(SoapCodec::new()),
+    ] {
+        for id in [0u64, 1, 255, 1 << 32, u64::MAX] {
+            let req = codec.encode_request(id, &call_request());
+            let (back, body) = codec.decode_request(&req).unwrap();
+            assert_eq!(back, id, "{} request id", codec.name());
+            assert_eq!(body, call_request());
+            let rep = codec.encode_reply(id, &Reply::Fault("f".to_owned()));
+            let (back, _) = codec.decode_reply(&rep).unwrap();
+            assert_eq!(back, id, "{} reply id", codec.name());
+        }
+    }
+}
+
+#[test]
 fn cross_codec_frames_are_rejected() {
-    let rmi_frame = RmiCodec::new().encode_request(&call_request());
-    let soap_frame = SoapCodec::new().encode_request(&call_request());
-    let corba_frame = CorbaCodec::new().encode_request(&call_request());
+    let rmi_frame = RmiCodec::new().encode_request(1, &call_request());
+    let soap_frame = SoapCodec::new().encode_request(1, &call_request());
+    let corba_frame = CorbaCodec::new().encode_request(1, &call_request());
     assert!(CorbaCodec::new().decode_request(&rmi_frame).is_err());
     assert!(RmiCodec::new().decode_request(&corba_frame).is_err());
     assert!(RmiCodec::new().decode_request(&soap_frame).is_err());

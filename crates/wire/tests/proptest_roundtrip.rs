@@ -128,29 +128,31 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
-    fn requests_roundtrip_all_codecs(req in arb_request()) {
+    fn requests_roundtrip_all_codecs(id in any::<u64>(), req in arb_request()) {
         for codec in codecs() {
-            let bytes = codec.encode_request(&req);
-            let back = codec.decode_request(&bytes)
+            let bytes = codec.encode_request(id, &req);
+            let (back_id, back) = codec.decode_request(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
+            prop_assert_eq!(back_id, id, "{} lost the message id", codec.name());
             prop_assert!(request_exact(&back, &req), "{}: {back:?} != {req:?}", codec.name());
         }
     }
 
     #[test]
-    fn replies_roundtrip_all_codecs(reply in arb_reply()) {
+    fn replies_roundtrip_all_codecs(id in any::<u64>(), reply in arb_reply()) {
         for codec in codecs() {
-            let bytes = codec.encode_reply(&reply);
-            let back = codec.decode_reply(&bytes)
+            let bytes = codec.encode_reply(id, &reply);
+            let (back_id, back) = codec.decode_reply(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
+            prop_assert_eq!(back_id, id, "{} lost the message id", codec.name());
             prop_assert!(reply_exact(&back, &reply), "{}: {back:?} != {reply:?}", codec.name());
         }
     }
 
     #[test]
     fn soap_is_never_smaller_than_rmi(req in arb_request()) {
-        let rmi = RmiCodec::new().encode_request(&req).len();
-        let soap = SoapCodec::new().encode_request(&req).len();
+        let rmi = RmiCodec::new().encode_request(1, &req).len();
+        let soap = SoapCodec::new().encode_request(1, &req).len();
         prop_assert!(soap > rmi);
     }
 

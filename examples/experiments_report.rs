@@ -182,6 +182,45 @@ fn e7() {
     println!("  {agree}/8 random programs trace-identical after transformation\n");
 }
 
+fn e7_retry() {
+    println!("== E7b: fault tolerance — drop rate vs. retry effort ==");
+    let spec = AppSpec {
+        classes: 6,
+        int_fields: 2,
+        statics: true,
+        inheritance: false,
+        arrays: false,
+        seed: 77,
+    };
+    let deploy = || {
+        let mut policy = StaticPolicy::new().default_statics(NodeId(1));
+        for i in 0..6 {
+            policy = policy.place(&format!("C{i}"), Placement::Node(NodeId((i % 2) as u32)));
+        }
+        chain_app(&spec)
+            .transform(&["RMI"])
+            .unwrap()
+            .deploy(2, 7, Box::new(policy))
+    };
+    let clean = deploy().run_observed(NodeId(0), "Driver", "main", vec![Value::Int(4)]);
+    println!("  drop    mean att.  retries  dedup  identical trace");
+    for drop in [0.0, 0.05, 0.10, 0.20] {
+        let cluster = deploy();
+        cluster.network().fault_plan(|f| f.drop_probability = drop);
+        let trace = cluster.run_observed(NodeId(0), "Driver", "main", vec![Value::Int(4)]);
+        let stats = cluster.stats();
+        println!(
+            "  {:>4.0}%   {:>9.2}  {:>7}  {:>5}  {}",
+            drop * 100.0,
+            stats.mean_attempts(),
+            stats.retries,
+            stats.dedup_hits,
+            if trace == clean { "yes" } else { "NO" },
+        );
+    }
+    println!();
+}
+
 fn main() {
     println!("RAFDA reproduction — consolidated experiment report\n");
     e1();
@@ -190,5 +229,6 @@ fn main() {
     e5();
     e6();
     e7();
+    e7_retry();
     println!("full precision: cargo bench --workspace (see EXPERIMENTS.md)");
 }

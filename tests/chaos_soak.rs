@@ -134,4 +134,96 @@ proptest! {
             prop_assert_eq!(r, Value::Int(oracle[idx]), "final counter {}", idx);
         }
     }
+
+    /// Fault-tolerant chaos: the same op schedule run fault-free and under
+    /// a 10% message drop rate must produce byte-identical observable
+    /// results — the retry/at-most-once machinery absorbs every loss
+    /// without ever double-applying a mutation.
+    #[test]
+    fn drop_chaos_matches_fault_free_run_exactly(
+        ops in prop::collection::vec(arb_op(), 1..40),
+        seed in 0u64..500,
+    ) {
+        let run = |drop: f64| -> (Vec<i32>, rafda::RuntimeStats) {
+            let cluster = counter_app()
+                .transform(&["RMI"])
+                .unwrap()
+                .deploy(NODES, seed, Box::new(rafda::LocalPolicy::default()));
+            // A larger budget than the default keeps the chance of an
+            // exhausted retry astronomically small even across many cases.
+            cluster.set_retry_policy(rafda::RetryPolicy {
+                max_attempts: 10,
+                ..rafda::RetryPolicy::default()
+            });
+            cluster.network().fault_plan(|f| f.drop_probability = drop);
+            let counters: Vec<Value> = (0..POOL)
+                .map(|i| {
+                    cluster
+                        .new_instance(NodeId((i % NODES as usize) as u32), "Counter", 0, vec![])
+                        .unwrap()
+                })
+                .collect();
+            let home: Vec<NodeId> =
+                (0..POOL).map(|i| NodeId((i % NODES as usize) as u32)).collect();
+            let mut results = Vec::new();
+            for op in &ops {
+                match *op {
+                    Op::Call { idx, delta } => {
+                        let r = cluster
+                            .call_method(
+                                home[idx],
+                                counters[idx].clone(),
+                                "add",
+                                vec![Value::Int(i32::from(delta))],
+                            )
+                            .unwrap();
+                        match r {
+                            Value::Int(v) => results.push(v),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                    Op::Migrate { idx, node } => {
+                        let h = counters[idx].as_ref_handle().unwrap();
+                        let loc = cluster.location_of(home[idx], &counters[idx]).unwrap();
+                        if loc != NodeId(u32::from(node)) {
+                            if loc == home[idx] {
+                                cluster.migrate(home[idx], h, NodeId(u32::from(node))).unwrap();
+                            } else {
+                                cluster.pull_local(home[idx], h).unwrap();
+                            }
+                        }
+                    }
+                    Op::Pull { idx } => {
+                        let h = counters[idx].as_ref_handle().unwrap();
+                        let loc = cluster.location_of(home[idx], &counters[idx]).unwrap();
+                        if loc != home[idx] {
+                            cluster.pull_local(home[idx], h).unwrap();
+                        }
+                    }
+                    Op::Adapt => {
+                        cluster.adapt(&AffinityConfig {
+                            min_calls: 4,
+                            min_fraction: 0.5,
+                        });
+                    }
+                }
+            }
+            for idx in 0..POOL {
+                let r = cluster
+                    .call_method(home[idx], counters[idx].clone(), "add", vec![Value::Int(0)])
+                    .unwrap();
+                match r {
+                    Value::Int(v) => results.push(v),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            (results, cluster.stats())
+        };
+        let (clean, clean_stats) = run(0.0);
+        let (chaotic, chaos_stats) = run(0.10);
+        prop_assert_eq!(&clean, &chaotic, "drops changed an observable value");
+        prop_assert_eq!(clean_stats.retries, 0);
+        prop_assert_eq!(clean_stats.dedup_hits, 0);
+        prop_assert_eq!(chaos_stats.net_failures, 0, "an exchange exhausted its budget");
+    }
 }
