@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, tests, formatting, lints. Everything runs offline
+# against the committed Cargo.lock — no network, no new dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, locked, offline) =="
+cargo build --release --locked --offline
+
+echo "== tests =="
+cargo test -q
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy -- -D warnings
+
+echo "CI OK"

@@ -24,13 +24,7 @@ fn simple(code: Vec<Insn>, max_locals: u16) -> MethodBody {
     }
 }
 
-fn public_method(
-    name: String,
-    sig: SigId,
-    params: Vec<Ty>,
-    ret: Ty,
-    body: MethodBody,
-) -> Method {
+fn public_method(name: String, sig: SigId, params: Vec<Ty>, ret: Ty, body: MethodBody) -> Method {
     Method {
         name,
         sig,

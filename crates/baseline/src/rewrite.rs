@@ -117,7 +117,13 @@ mod tests {
             handlers: vec![],
         };
         let out = rewrite_body(&plan(), &body);
-        assert_eq!(out.code[1], Insn::Invoke { sig: SigId(10), argc: 0 });
+        assert_eq!(
+            out.code[1],
+            Insn::Invoke {
+                sig: SigId(10),
+                argc: 0
+            }
+        );
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //! call is interpreter-only, a remote call adds marshalling + simulated LAN
 //! + protocol stack, and a migrate/pull round-trip is a handful of RPCs.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rafda::{AffinityConfig, LocalPolicy, NodeId, Value};
 use rafda_bench::{deployed_counter, figure1_app};
+use std::time::Duration;
 
 fn summary_table() {
     println!("\n=== E1: Figure 1 redistribution (simulated time) ===");
@@ -109,10 +109,11 @@ fn bench(c: &mut Criterion) {
     // End-to-end scenario as the integration tests run it.
     group.bench_function("full_scenario", |b| {
         b.iter(|| {
-            let cluster = figure1_app()
-                .transform(&["RMI"])
-                .unwrap()
-                .deploy(2, 42, Box::new(LocalPolicy::default()));
+            let cluster = figure1_app().transform(&["RMI"]).unwrap().deploy(
+                2,
+                42,
+                Box::new(LocalPolicy::default()),
+            );
             let c = cluster.new_instance(NodeId(0), "C", 0, vec![]).unwrap();
             for _ in 0..4 {
                 cluster

@@ -7,11 +7,11 @@
 //! methods which refer to a JDK class"). Criterion then times the analysis
 //! itself at increasing corpus scale.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rafda::corpus::{generate_jdk, JdkProfile};
 use rafda::transform::analyze;
 use rafda::ClassUniverse;
+use std::time::Duration;
 
 fn fraction(profile: &JdkProfile) -> (f64, usize) {
     let mut u = ClassUniverse::new();

@@ -6,12 +6,12 @@
 //! RAFDA-transformed program running locally, and (c) the wrapper-per-object
 //! program, in interpreter steps (machine-independent) and wall-clock.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rafda::baseline::WrapperTransformer;
 use rafda::corpus::{build_auction_house, AppSpec, ObserverHooks};
 use rafda::{Application, Value, Vm};
 use rafda_bench::{chain_app, ratio};
+use std::time::Duration;
 
 fn auction_app() -> Application {
     let mut app = Application::new();

@@ -7,10 +7,10 @@
 //! protocol-stack overhead and per-call latency differ — the trade-off the
 //! flexibility exists to exploit.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rafda::{NodeId, StaticPolicy, Value};
 use rafda_bench::figure1_app;
+use std::time::Duration;
 
 fn deploy(protocol: &str) -> (rafda::Cluster, Value) {
     let policy = StaticPolicy::new().default_protocol(protocol);
@@ -65,17 +65,13 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for protocol in ["RMI", "CORBA", "SOAP"] {
         let (cluster, counter) = deploy(protocol);
-        group.bench_with_input(
-            BenchmarkId::new("remote_call", protocol),
-            &(),
-            |b, ()| {
-                b.iter(|| {
-                    cluster
-                        .call_method(NodeId(0), counter.clone(), "tick", vec![])
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("remote_call", protocol), &(), |b, ()| {
+            b.iter(|| {
+                cluster
+                    .call_method(NodeId(0), counter.clone(), "tick", vec![])
+                    .unwrap()
+            })
+        });
     }
     // Codec-only micro-benchmarks (encode+decode round trip).
     for kind in rafda::wire::ProtocolKind::ALL {
@@ -93,7 +89,7 @@ fn bench(c: &mut Criterion) {
             &req,
             |b, req| {
                 b.iter(|| {
-                    let bytes = codec.encode_request(7, req);
+                    let bytes = codec.encode_request(7, rafda::wire::TraceContext::NONE, req);
                     codec.decode_request(&bytes).unwrap()
                 })
             },

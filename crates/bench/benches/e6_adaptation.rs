@@ -7,10 +7,10 @@
 //! migrates hot objects toward their dominant caller. Reported: cross-node
 //! traffic per phase and the cost/latency of adaptation itself.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rafda::{AffinityConfig, NodeId, Placement, StaticPolicy, Value};
 use rafda_bench::figure1_app;
+use std::time::Duration;
 
 fn deploy_pool(pool: usize) -> (rafda::Cluster, Vec<Value>) {
     let policy = StaticPolicy::new().place("C", Placement::Node(NodeId(0)));
@@ -28,7 +28,9 @@ fn drive(cluster: &rafda::Cluster, node: NodeId, objects: &[Value], rounds: usiz
     let before = cluster.network().stats().messages;
     for _ in 0..rounds {
         for o in objects {
-            cluster.call_method(node, o.clone(), "tick", vec![]).unwrap();
+            cluster
+                .call_method(node, o.clone(), "tick", vec![])
+                .unwrap();
         }
     }
     cluster.network().stats().messages - before

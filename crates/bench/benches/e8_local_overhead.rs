@@ -7,11 +7,11 @@
 //! construction (`new` vs `make`+`init$k`), static access (direct vs
 //! `discover()` + accessor), plus Criterion wall-clock groups.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rafda::classmodel::builder::{ClassBuilder, MethodBuilder};
 use rafda::classmodel::{ClassKind, Field};
 use rafda::{Application, Ty, Value, Vm};
+use std::time::Duration;
 
 /// Build a microbench app: class `Cell { int v; }` and a `Bench` driver
 /// with one static method per site kind, each looping `n` times.
@@ -51,7 +51,9 @@ fn micro_app() -> Application {
         let top = mb.label();
         let done = mb.label();
         mb.bind(top);
-        mb.load_local(0).const_int(0).cmp(rafda::classmodel::CmpOp::Gt);
+        mb.load_local(0)
+            .const_int(0)
+            .cmp(rafda::classmodel::CmpOp::Gt);
         mb.jump_if_not(done);
         mb.load_local(s);
         mb.load_local(c).get_field(cell, cell_v);
@@ -70,7 +72,9 @@ fn micro_app() -> Application {
         let top = mb.label();
         let done = mb.label();
         mb.bind(top);
-        mb.load_local(0).const_int(0).cmp(rafda::classmodel::CmpOp::Gt);
+        mb.load_local(0)
+            .const_int(0)
+            .cmp(rafda::classmodel::CmpOp::Gt);
         mb.jump_if_not(done);
         mb.load_local(c).load_local(0).put_field(cell, cell_v);
         mb.load_local(0).const_int(1).sub().store_local(0);
@@ -87,7 +91,9 @@ fn micro_app() -> Application {
         let top = mb.label();
         let done = mb.label();
         mb.bind(top);
-        mb.load_local(0).const_int(0).cmp(rafda::classmodel::CmpOp::Gt);
+        mb.load_local(0)
+            .const_int(0)
+            .cmp(rafda::classmodel::CmpOp::Gt);
         mb.jump_if_not(done);
         mb.load_local(s);
         mb.load_local(0).new_init(cell, 0, 1);
@@ -106,7 +112,9 @@ fn micro_app() -> Application {
         let top = mb.label();
         let done = mb.label();
         mb.bind(top);
-        mb.load_local(0).const_int(0).cmp(rafda::classmodel::CmpOp::Gt);
+        mb.load_local(0)
+            .const_int(0)
+            .cmp(rafda::classmodel::CmpOp::Gt);
         mb.jump_if_not(done);
         mb.load_local(s);
         mb.get_static(cell, 0);

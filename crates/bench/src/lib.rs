@@ -55,10 +55,7 @@ pub fn chain_app(spec: &AppSpec) -> Application {
 
 /// Deploy the Figure 1 app over `nodes` nodes with the given policy and
 /// return `(cluster, counter value reference)`.
-pub fn deployed_counter(
-    nodes: u32,
-    policy: Box<dyn DistributionPolicy>,
-) -> (Cluster, Value) {
+pub fn deployed_counter(nodes: u32, policy: Box<dyn DistributionPolicy>) -> (Cluster, Value) {
     let cluster = figure1_app()
         .transform(&["RMI", "SOAP", "CORBA"])
         .map(|t| t.deploy(nodes, 42, policy))
@@ -83,9 +80,7 @@ mod tests {
     fn fixtures_build_and_run() {
         let (cluster, c) = deployed_counter(2, Box::new(LocalPolicy::default()));
         assert_eq!(
-            cluster
-                .call_method(NodeId(0), c, "tick", vec![])
-                .unwrap(),
+            cluster.call_method(NodeId(0), c, "tick", vec![]).unwrap(),
             Value::Int(1)
         );
         let app = chain_app(&AppSpec::default());

@@ -208,7 +208,10 @@ impl Insn {
     pub fn stack_delta(&self) -> Option<(u32, u32)> {
         Some(match self {
             Insn::Const(_) | Insn::LoadLocal(_) | Insn::GetStatic(_) => (0, 1),
-            Insn::StoreLocal(_) | Insn::PutStatic(_) | Insn::Pop | Insn::JumpIf(_)
+            Insn::StoreLocal(_)
+            | Insn::PutStatic(_)
+            | Insn::Pop
+            | Insn::JumpIf(_)
             | Insn::JumpIfNot(_) => (1, 0),
             Insn::GetField(_) => (1, 1),
             Insn::PutField(_) => (2, 0),
@@ -252,9 +255,20 @@ mod tests {
     #[test]
     fn stack_deltas_match_documentation() {
         assert_eq!(Insn::Const(Const::Int(1)).stack_delta(), Some((0, 1)));
-        assert_eq!(Insn::PutField(FieldRef { owner: ClassId(0), index: 0 }).stack_delta(), Some((2, 0)));
         assert_eq!(
-            Insn::Invoke { sig: SigId(0), argc: 2 }.stack_delta(),
+            Insn::PutField(FieldRef {
+                owner: ClassId(0),
+                index: 0
+            })
+            .stack_delta(),
+            Some((2, 0))
+        );
+        assert_eq!(
+            Insn::Invoke {
+                sig: SigId(0),
+                argc: 2
+            }
+            .stack_delta(),
             Some((3, 1))
         );
         assert_eq!(Insn::Throw.stack_delta(), None);

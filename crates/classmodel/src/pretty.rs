@@ -148,10 +148,7 @@ pub fn disassemble(universe: &ClassUniverse, id: ClassId) -> String {
 pub fn dump_universe(universe: &ClassUniverse, generated_only: bool) -> String {
     let mut out = String::new();
     for (id, class) in universe.iter() {
-        let generated = matches!(
-            class.origin,
-            crate::class::ClassOrigin::Generated { .. }
-        );
+        let generated = matches!(class.origin, crate::class::ClassOrigin::Generated { .. });
         if generated_only && !generated {
             continue;
         }

@@ -199,19 +199,24 @@ fn verify_body(
         let insn = &body.code[pcu];
         // Structural operand checks.
         match insn {
-            Insn::LoadLocal(i) | Insn::StoreLocal(i)
-                if *i >= body.max_locals => {
-                    return Err(err(cname, method, Some(pc), "local index out of range"));
-                }
+            Insn::LoadLocal(i) | Insn::StoreLocal(i) if *i >= body.max_locals => {
+                return Err(err(cname, method, Some(pc), "local index out of range"));
+            }
             Insn::GetField(fr) | Insn::PutField(fr)
-                if fr.index as usize >= universe.class(fr.owner).fields.len() => {
-                    return Err(err(cname, method, Some(pc), "field index out of range"));
-                }
+                if fr.index as usize >= universe.class(fr.owner).fields.len() =>
+            {
+                return Err(err(cname, method, Some(pc), "field index out of range"));
+            }
             Insn::GetStatic(fr) | Insn::PutStatic(fr)
-                if fr.index as usize >= universe.class(fr.owner).static_fields.len() => {
-                    return Err(err(cname, method, Some(pc), "static field out of range"));
-                }
-            Insn::NewInit { class: c, ctor, argc } => {
+                if fr.index as usize >= universe.class(fr.owner).static_fields.len() =>
+            {
+                return Err(err(cname, method, Some(pc), "static field out of range"));
+            }
+            Insn::NewInit {
+                class: c,
+                ctor,
+                argc,
+            } => {
                 let target = universe.class(*c);
                 let Some(&mi) = target.ctors.get(*ctor as usize) else {
                     return Err(err(cname, method, Some(pc), "ctor ordinal out of range"));
@@ -229,31 +234,34 @@ fn verify_body(
                     ));
                 }
             }
-            Insn::InvokeStatic { class: c, sig, argc } => {
-                match universe.resolve_static(*c, *sig) {
-                    None => {
-                        return Err(err(
-                            cname,
-                            method,
-                            Some(pc),
-                            format!(
-                                "unresolved static call {}::{}",
-                                universe.class(*c).name,
-                                universe.sig_info(*sig).name
-                            ),
-                        ))
-                    }
-                    Some((oc, mi)) => {
-                        if universe.method(oc, mi).params.len() != *argc as usize {
-                            return Err(err(cname, method, Some(pc), "static argc mismatch"));
-                        }
+            Insn::InvokeStatic {
+                class: c,
+                sig,
+                argc,
+            } => match universe.resolve_static(*c, *sig) {
+                None => {
+                    return Err(err(
+                        cname,
+                        method,
+                        Some(pc),
+                        format!(
+                            "unresolved static call {}::{}",
+                            universe.class(*c).name,
+                            universe.sig_info(*sig).name
+                        ),
+                    ))
+                }
+                Some((oc, mi)) => {
+                    if universe.method(oc, mi).params.len() != *argc as usize {
+                        return Err(err(cname, method, Some(pc), "static argc mismatch"));
                     }
                 }
-            }
+            },
             Insn::Invoke { sig, argc }
-                if universe.sig_info(*sig).params.len() != *argc as usize => {
-                    return Err(err(cname, method, Some(pc), "virtual argc mismatch"));
-                }
+                if universe.sig_info(*sig).params.len() != *argc as usize =>
+            {
+                return Err(err(cname, method, Some(pc), "virtual argc mismatch"));
+            }
             _ => {}
         }
 
@@ -359,7 +367,10 @@ mod tests {
             cb.method(u, "bad", vec![], Ty::Void, Some(mb.finish()));
         });
         let e = verify_class(&u, id).unwrap_err();
-        assert!(e.message.contains("mismatch") || e.message.contains("underflow"), "{e}");
+        assert!(
+            e.message.contains("mismatch") || e.message.contains("underflow"),
+            "{e}"
+        );
     }
 
     #[test]

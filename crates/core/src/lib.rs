@@ -22,6 +22,7 @@
 //! | [`net`] | deterministic simulated LAN with failure injection |
 //! | [`wire`] | RMI-, SOAP- and CORBA-like protocol codecs |
 //! | [`policy`] | distribution policy (placement, protocols, adaptation) |
+//! | [`telemetry`] | causal tracing: spans on the simulated clock, histograms, Chrome export |
 //! | [`runtime`] | distributed runtime: factories, proxies, migration, adaptation |
 //! | [`baseline`] | the wrapper-per-object alternative (Section 3) |
 //! | [`corpus`] | JDK-shaped corpus + executable workload generators |
@@ -57,6 +58,7 @@ pub use rafda_corpus as corpus;
 pub use rafda_net as net;
 pub use rafda_policy as policy;
 pub use rafda_runtime as runtime;
+pub use rafda_telemetry as telemetry;
 pub use rafda_transform as transform;
 pub use rafda_vm as vm;
 pub use rafda_wire as wire;
@@ -68,6 +70,9 @@ pub use rafda_policy::{
 };
 pub use rafda_runtime::{
     Cluster, LocalRuntime, MigrationEvent, RetryPolicy, RuntimeError, RuntimeStats,
+};
+pub use rafda_telemetry::{
+    LatencyHistogram, LinkSummary, MethodKey, Span, SpanLog, SpanOutcome, TraceContext,
 };
 pub use rafda_transform::{TransformError, Transformer};
 pub use rafda_vm::{NetFailure, NetFailureKind, ObserverIds, Trace, TraceEvent, Value, Vm};
@@ -193,12 +198,7 @@ impl TransformedApplication {
 
     /// Deploy over a simulated cluster with the given placement policy.
     /// The observer is bound cluster-wide automatically.
-    pub fn deploy(
-        self,
-        nodes: u32,
-        seed: u64,
-        policy: Box<dyn DistributionPolicy>,
-    ) -> Cluster {
+    pub fn deploy(self, nodes: u32, seed: u64, policy: Box<dyn DistributionPolicy>) -> Cluster {
         let cluster = Cluster::new(self.universe, self.outcome.plan, nodes, seed, policy);
         cluster.bind_observer(&self.observer);
         cluster

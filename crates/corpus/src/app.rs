@@ -215,7 +215,13 @@ pub fn generate_app(
             }
             mb.load_local(acc);
             mb.ret_value();
-            cb.method(universe, "compute", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+            cb.method(
+                universe,
+                "compute",
+                vec![Ty::Int],
+                Ty::Int,
+                Some(mb.finish()),
+            );
         }
 
         // void mutate(int v)
@@ -228,7 +234,13 @@ pub fn generate_app(
             mb.add();
             mb.put_field(id, int_fields[0]);
             mb.ret();
-            cb.method(universe, "mutate", vec![Ty::Int], Ty::Void, Some(mb.finish()));
+            cb.method(
+                universe,
+                "mutate",
+                vec![Ty::Int],
+                Ty::Void,
+                Some(mb.finish()),
+            );
         }
 
         if let Some(tf) = total_field {
@@ -276,7 +288,13 @@ pub fn generate_app(
             mb.load_this().get_field(sub, extra);
             mb.load_local(1).sub();
             mb.ret_value();
-            cb.method(universe, "compute", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+            cb.method(
+                universe,
+                "compute",
+                vec![Ty::Int],
+                Ty::Int,
+                Some(mb.finish()),
+            );
             cb.finish(universe);
             subclasses.push((base, sub));
         }
@@ -399,7 +417,14 @@ mod tests {
         let build = |seed| {
             let mut u = ClassUniverse::new();
             let obs = observer_stub(&mut u);
-            generate_app(&mut u, obs, &AppSpec { seed, ..Default::default() });
+            generate_app(
+                &mut u,
+                obs,
+                &AppSpec {
+                    seed,
+                    ..Default::default()
+                },
+            );
             u
         };
         let a = build(7);
@@ -410,9 +435,11 @@ mod tests {
         }
         // Different seeds give different arithmetic somewhere.
         let differs = a.iter().any(|(id, class)| {
-            c.class(id).methods.iter().zip(&class.methods).any(|(x, y)| {
-                x.body.as_ref().map(|b| &b.code) != y.body.as_ref().map(|b| &b.code)
-            })
+            c.class(id)
+                .methods
+                .iter()
+                .zip(&class.methods)
+                .any(|(x, y)| x.body.as_ref().map(|b| &b.code) != y.body.as_ref().map(|b| &b.code))
         });
         assert!(differs);
     }

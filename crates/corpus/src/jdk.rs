@@ -67,18 +67,102 @@ impl JdkProfile {
     pub fn jdk_1_4_1() -> Self {
         JdkProfile {
             packages: vec![
-                PackageSpec { name: "java_lang", classes: 320, native_prob: 0.34, special_prob: 0.22, interface_frac: 0.12, ref_weight: 10.0 },
-                PackageSpec { name: "java_io", classes: 340, native_prob: 0.28, special_prob: 0.02, interface_frac: 0.10, ref_weight: 5.0 },
-                PackageSpec { name: "java_net", classes: 200, native_prob: 0.30, special_prob: 0.01, interface_frac: 0.12, ref_weight: 2.0 },
-                PackageSpec { name: "java_nio", classes: 230, native_prob: 0.26, special_prob: 0.01, interface_frac: 0.10, ref_weight: 1.5 },
-                PackageSpec { name: "java_awt", classes: 1100, native_prob: 0.18, special_prob: 0.01, interface_frac: 0.14, ref_weight: 3.0 },
-                PackageSpec { name: "sun_internal", classes: 1450, native_prob: 0.22, special_prob: 0.02, interface_frac: 0.08, ref_weight: 1.0 },
-                PackageSpec { name: "java_util", classes: 620, native_prob: 0.03, special_prob: 0.005, interface_frac: 0.18, ref_weight: 6.0 },
-                PackageSpec { name: "java_text", classes: 180, native_prob: 0.02, special_prob: 0.0, interface_frac: 0.10, ref_weight: 1.0 },
-                PackageSpec { name: "java_security", classes: 400, native_prob: 0.04, special_prob: 0.005, interface_frac: 0.16, ref_weight: 1.0 },
-                PackageSpec { name: "javax_swing", classes: 1850, native_prob: 0.015, special_prob: 0.0, interface_frac: 0.12, ref_weight: 2.0 },
-                PackageSpec { name: "org_omg", classes: 870, native_prob: 0.01, special_prob: 0.0, interface_frac: 0.30, ref_weight: 0.5 },
-                PackageSpec { name: "javax_other", classes: 644, native_prob: 0.02, special_prob: 0.0, interface_frac: 0.15, ref_weight: 0.8 },
+                PackageSpec {
+                    name: "java_lang",
+                    classes: 320,
+                    native_prob: 0.34,
+                    special_prob: 0.22,
+                    interface_frac: 0.12,
+                    ref_weight: 10.0,
+                },
+                PackageSpec {
+                    name: "java_io",
+                    classes: 340,
+                    native_prob: 0.28,
+                    special_prob: 0.02,
+                    interface_frac: 0.10,
+                    ref_weight: 5.0,
+                },
+                PackageSpec {
+                    name: "java_net",
+                    classes: 200,
+                    native_prob: 0.30,
+                    special_prob: 0.01,
+                    interface_frac: 0.12,
+                    ref_weight: 2.0,
+                },
+                PackageSpec {
+                    name: "java_nio",
+                    classes: 230,
+                    native_prob: 0.26,
+                    special_prob: 0.01,
+                    interface_frac: 0.10,
+                    ref_weight: 1.5,
+                },
+                PackageSpec {
+                    name: "java_awt",
+                    classes: 1100,
+                    native_prob: 0.18,
+                    special_prob: 0.01,
+                    interface_frac: 0.14,
+                    ref_weight: 3.0,
+                },
+                PackageSpec {
+                    name: "sun_internal",
+                    classes: 1450,
+                    native_prob: 0.22,
+                    special_prob: 0.02,
+                    interface_frac: 0.08,
+                    ref_weight: 1.0,
+                },
+                PackageSpec {
+                    name: "java_util",
+                    classes: 620,
+                    native_prob: 0.03,
+                    special_prob: 0.005,
+                    interface_frac: 0.18,
+                    ref_weight: 6.0,
+                },
+                PackageSpec {
+                    name: "java_text",
+                    classes: 180,
+                    native_prob: 0.02,
+                    special_prob: 0.0,
+                    interface_frac: 0.10,
+                    ref_weight: 1.0,
+                },
+                PackageSpec {
+                    name: "java_security",
+                    classes: 400,
+                    native_prob: 0.04,
+                    special_prob: 0.005,
+                    interface_frac: 0.16,
+                    ref_weight: 1.0,
+                },
+                PackageSpec {
+                    name: "javax_swing",
+                    classes: 1850,
+                    native_prob: 0.015,
+                    special_prob: 0.0,
+                    interface_frac: 0.12,
+                    ref_weight: 2.0,
+                },
+                PackageSpec {
+                    name: "org_omg",
+                    classes: 870,
+                    native_prob: 0.01,
+                    special_prob: 0.0,
+                    interface_frac: 0.30,
+                    ref_weight: 0.5,
+                },
+                PackageSpec {
+                    name: "javax_other",
+                    classes: 644,
+                    native_prob: 0.02,
+                    special_prob: 0.0,
+                    interface_frac: 0.15,
+                    ref_weight: 0.8,
+                },
             ],
             refs_per_class: 0.55,
             same_package_bias: 0.75,
@@ -141,8 +225,9 @@ pub fn breakdown_by_package(
     let mut rows: BTreeMap<String, (usize, usize)> = BTreeMap::new();
     for (id, class) in universe.iter() {
         let package = match class.name.rfind("_C") {
-            Some(pos) if !class.name[pos + 2..].is_empty()
-                && class.name[pos + 2..].chars().all(|c| c.is_ascii_digit()) =>
+            Some(pos)
+                if !class.name[pos + 2..].is_empty()
+                    && class.name[pos + 2..].chars().all(|c| c.is_ascii_digit()) =>
             {
                 class.name[..pos].to_owned()
             }
@@ -177,7 +262,10 @@ pub struct JdkStats {
 
 /// Generate the corpus into `universe`, returning the generated ids and
 /// statistics.
-pub fn generate_jdk(universe: &mut ClassUniverse, profile: &JdkProfile) -> (Vec<ClassId>, JdkStats) {
+pub fn generate_jdk(
+    universe: &mut ClassUniverse,
+    profile: &JdkProfile,
+) -> (Vec<ClassId>, JdkStats) {
     let mut rng = Rng::new(profile.seed);
     let mut stats = JdkStats::default();
 
@@ -356,7 +444,13 @@ pub fn generate_jdk(universe: &mut ClassUniverse, profile: &JdkProfile) -> (Vec<
                     .unwrap_or_else(|| vec![Ty::Long]);
                 let mut mb = MethodBuilder::new(2);
                 mb.const_int(k as i32).ret_value();
-                cb.method(universe, &format!("m{k}"), params, Ty::Int, Some(mb.finish()));
+                cb.method(
+                    universe,
+                    &format!("m{k}"),
+                    params,
+                    Ty::Int,
+                    Some(mb.finish()),
+                );
             }
             if native {
                 cb.native_method(universe, "nat", vec![], Ty::Void);

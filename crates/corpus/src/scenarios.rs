@@ -88,7 +88,13 @@ pub fn build_auction_house(universe: &mut ClassUniverse, observer: ObserverHooks
         mb.load_local(0).add();
         mb.put_static(audit, entries);
         mb.ret();
-        cb.static_method(universe, "record", vec![Ty::Int], Ty::Void, Some(mb.finish()));
+        cb.static_method(
+            universe,
+            "record",
+            vec![Ty::Int],
+            Ty::Void,
+            Some(mb.finish()),
+        );
         // static int count() { return entries; }
         let mut mb = MethodBuilder::new(0);
         mb.get_static(audit, entries).ret_value();
@@ -132,7 +138,13 @@ pub fn build_auction_house(universe: &mut ClassUniverse, observer: ObserverHooks
         mb.bind(reject);
         mb.load_this().get_field(item, price);
         mb.ret_value();
-        cb.method(universe, "outbid", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+        cb.method(
+            universe,
+            "outbid",
+            vec![Ty::Int],
+            Ty::Int,
+            Some(mb.finish()),
+        );
         // String describe() { return name + "@" + price; }
         let mut mb = MethodBuilder::new(1);
         mb.load_this().get_field(item, name);

@@ -40,7 +40,10 @@ fn native_density_increases_non_transformability() {
     let low = frac_at(0.25);
     let mid = frac_at(1.0);
     let high = frac_at(3.0);
-    assert!(low < mid && mid < high, "low={low:.3} mid={mid:.3} high={high:.3}");
+    assert!(
+        low < mid && mid < high,
+        "low={low:.3} mid={mid:.3} high={high:.3}"
+    );
 }
 
 #[test]

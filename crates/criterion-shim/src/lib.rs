@@ -113,7 +113,9 @@ impl BenchmarkGroup<'_> {
 
     fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
         let mut bencher = Bencher {
-            mode: Mode::WarmUp { until: self.warm_up },
+            mode: Mode::WarmUp {
+                until: self.warm_up,
+            },
             total_ns: 0,
             iters: 0,
         };
@@ -125,11 +127,7 @@ impl BenchmarkGroup<'_> {
         bencher.total_ns = 0;
         bencher.iters = 0;
         f(&mut bencher);
-        let mean = if bencher.iters == 0 {
-            0
-        } else {
-            bencher.total_ns / bencher.iters
-        };
+        let mean = bencher.total_ns.checked_div(bencher.iters).unwrap_or(0);
         println!(
             "  {:<40} {:>12} ns/iter ({} iters)",
             format!("{}/{id}", self.name),
@@ -174,15 +172,50 @@ impl Bencher {
                     loop {
                         black_box(routine());
                         n += 1;
-                        // At least one iteration per sample; batch cheap
-                        // routines so Instant overhead stays small.
-                        if n % 16 == 0 || sample_start.elapsed() >= per_sample {
-                            if sample_start.elapsed() >= per_sample {
-                                break;
-                            }
+                        // At least one iteration per sample.
+                        if sample_start.elapsed() >= per_sample {
+                            break;
                         }
                     }
                     self.total_ns += sample_start.elapsed().as_nanos();
+                    self.iters += n;
+                    if start.elapsed() >= budget {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Criterion's `iter_with_setup`: run `setup` untimed before each timed
+    /// invocation of `routine` (for routines that consume their input).
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                let start = Instant::now();
+                while start.elapsed() < until {
+                    let input = setup();
+                    black_box(routine(input));
+                }
+            }
+            Mode::Measure { budget, samples } => {
+                let per_sample = budget / samples.max(1) as u32;
+                let start = Instant::now();
+                for _ in 0..samples {
+                    let mut sample_ns = 0u128;
+                    let mut n = 0u128;
+                    while sample_ns < per_sample.as_nanos() || n == 0 {
+                        let input = setup();
+                        let timed = Instant::now();
+                        black_box(routine(input));
+                        sample_ns += timed.elapsed().as_nanos();
+                        n += 1;
+                    }
+                    self.total_ns += sample_ns;
                     self.iters += n;
                     if start.elapsed() >= budget {
                         break;
@@ -241,6 +274,9 @@ mod tests {
 
     #[test]
     fn benchmark_id_formats_as_name_slash_param() {
-        assert_eq!(BenchmarkId::new("encode", "SOAP").to_string(), "encode/SOAP");
+        assert_eq!(
+            BenchmarkId::new("encode", "SOAP").to_string(),
+            "encode/SOAP"
+        );
     }
 }

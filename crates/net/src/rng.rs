@@ -115,7 +115,9 @@ mod tests {
         let n = 3u64 << 62;
         let mut r = SplitMix64::new(77);
         let trials = 30_000;
-        let low = (0..trials).filter(|_| r.next_below(n) < (1u64 << 62)).count();
+        let low = (0..trials)
+            .filter(|_| r.next_below(n) < (1u64 << 62))
+            .count();
         let frac = low as f64 / f64::from(trials);
         assert!(
             (frac - 1.0 / 3.0).abs() < 0.02,

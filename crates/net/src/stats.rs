@@ -86,10 +86,14 @@ impl NetStats {
         self.link(a, b).bytes + self.link(b, a).bytes
     }
 
-    /// The directed link with the most traffic, if any.
+    /// The directed link with the most traffic, if any. Ties on byte count
+    /// resolve to the smallest `(from, to)` pair — `links` iterates a
+    /// `HashMap`, and without a total order equal-traffic links would win
+    /// by hash-iteration order, varying across runs.
     pub fn busiest_link(&self) -> Option<(NodeId, NodeId, LinkStats)> {
+        use std::cmp::Reverse;
         self.links()
-            .max_by_key(|(_, _, s)| s.bytes)
+            .max_by_key(|&(f, t, s)| (s.bytes, Reverse(f), Reverse(t)))
     }
 }
 
@@ -132,5 +136,28 @@ mod tests {
         let (f, t, l) = s.busiest_link().unwrap();
         assert_eq!((f, t), (NodeId(2), NodeId(1)));
         assert_eq!(l.bytes, 500);
+    }
+
+    #[test]
+    fn busiest_link_breaks_byte_ties_deterministically() {
+        // Two links with identical byte counts: the winner must be the
+        // smallest (from, to), not whichever the HashMap yields first.
+        let mut s = NetStats::default();
+        s.record(NodeId(3), NodeId(0), 500, 1);
+        s.record(NodeId(1), NodeId(2), 500, 1);
+        let (f, t, l) = s.busiest_link().unwrap();
+        assert_eq!((f, t), (NodeId(1), NodeId(2)));
+        assert_eq!(l.bytes, 500);
+        // Same data inserted in the opposite order gives the same answer.
+        let mut s2 = NetStats::default();
+        s2.record(NodeId(1), NodeId(2), 500, 1);
+        s2.record(NodeId(3), NodeId(0), 500, 1);
+        let (f2, t2, _) = s2.busiest_link().unwrap();
+        assert_eq!((f2, t2), (f, t));
+        // A same-source tie resolves on the destination.
+        let mut s3 = NetStats::default();
+        s3.record(NodeId(1), NodeId(4), 500, 1);
+        s3.record(NodeId(1), NodeId(2), 500, 1);
+        assert_eq!(s3.busiest_link().unwrap().1, NodeId(2));
     }
 }

@@ -794,9 +794,7 @@ mod tests {
     fn oneof_weights_skew_selection() {
         let strat = prop_oneof![9 => Just(1u32), 1 => Just(2u32)];
         let mut rng = crate::test_runner::TestRng::for_case("weights", 0);
-        let ones = (0..1000)
-            .filter(|_| strat.generate(&mut rng) == 1)
-            .count();
+        let ones = (0..1000).filter(|_| strat.generate(&mut rng) == 1).count();
         assert!(ones > 800, "{ones} of 1000");
     }
 

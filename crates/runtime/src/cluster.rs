@@ -6,6 +6,7 @@ use crate::marshal;
 use rafda_classmodel::{ClassId, ClassUniverse, SigId};
 use rafda_net::{NetError, Network, NodeId};
 use rafda_policy::{AffinityConfig, DistributionPolicy};
+use rafda_telemetry::{SpanLog, SpanOutcome, TraceContext};
 use rafda_transform::TransformPlan;
 use rafda_vm::{Handle, NetFailure, NetFailureKind, Trace, TraceEvent, Value, Vm, VmError};
 use rafda_wire::{Protocol, ProtocolKind, Reply, Request, WireValue};
@@ -222,14 +223,17 @@ pub struct NodeSummary {
     pub live_objects: usize,
     /// Replies remembered for at-most-once duplicate suppression.
     pub cached_replies: usize,
+    /// Whether the node is currently crashed in the fault plan.
+    pub crashed: bool,
 }
 
 impl fmt::Display for NodeSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: {} exports, {} imports, {} live objects, {} cached replies, singletons: [{}]",
+            "{}{}: {} exports, {} imports, {} live objects, {} cached replies, singletons: [{}]",
             self.node,
+            if self.crashed { " (crashed)" } else { "" },
             self.exports,
             self.imports,
             self.live_objects,
@@ -293,6 +297,10 @@ pub(crate) struct Shared {
     /// Cluster-wide message id counter: every request/reply exchange gets a
     /// fresh id, reused verbatim by its retransmissions (the dedup key).
     pub next_msg_id: Cell<u64>,
+    /// Causal span log: every RPC exchange, transmission attempt, server
+    /// dispatch, migration and boundary pull, charged to the simulated
+    /// clock. Never borrowed across a nested exchange (RPCs re-enter).
+    pub spans: RefCell<SpanLog>,
 }
 
 /// A simulated cluster running one transformed application.
@@ -388,6 +396,7 @@ impl Cluster {
             rpc_depth: Cell::new(0),
             retry: Cell::new(RetryPolicy::default()),
             next_msg_id: Cell::new(1),
+            spans: RefCell::new(SpanLog::new()),
         });
         let cluster = Cluster { shared };
         cluster.install_hooks();
@@ -428,6 +437,28 @@ impl Cluster {
         *self.shared.stats.borrow()
     }
 
+    /// Snapshot of the causal span log. Deterministic per seed: same
+    /// universe, policy and fault plan produce a byte-identical log.
+    pub fn span_log(&self) -> SpanLog {
+        self.shared.spans.borrow().clone()
+    }
+
+    /// Write the span log in Chrome trace-event JSON, loadable by
+    /// `chrome://tracing` and Perfetto (nodes become processes, traces
+    /// become tracks).
+    ///
+    /// # Errors
+    /// Any I/O error from writing `path`.
+    pub fn export_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.shared.spans.borrow().chrome_trace_json())
+    }
+
+    /// Deterministic text report over the span log: top slowest spans,
+    /// hottest methods, per-link latency percentiles.
+    pub fn telemetry_report(&self, top: usize) -> String {
+        self.shared.spans.borrow().report(top)
+    }
+
     /// The fault-tolerance policy applied to every RPC exchange.
     pub fn retry_policy(&self) -> RetryPolicy {
         self.shared.retry.get()
@@ -462,6 +493,10 @@ impl Cluster {
                     singletons,
                     live_objects: self.shared.vms[i].stats().heap.live as usize,
                     cached_replies: state.reply_cache.len(),
+                    crashed: self
+                        .shared
+                        .net
+                        .fault_plan(|f| f.is_crashed(NodeId(i as u32))),
                 }
             })
             .collect()
@@ -495,8 +530,7 @@ impl Cluster {
                     });
                 }
                 // Proxy methods.
-                for (_proto, proxy) in family.obj_proxies.iter().chain(family.cls_proxies.iter())
-                {
+                for (_proto, proxy) in family.obj_proxies.iter().chain(family.cls_proxies.iter()) {
                     self.install_proxy_hooks(node, *proxy);
                 }
             }
@@ -653,13 +687,7 @@ impl Cluster {
     /// Run an entry point and return the cluster-wide observation trace,
     /// with uncaught exceptions and network failures appended as terminal
     /// events (the comparison format of the equivalence experiments).
-    pub fn run_observed(
-        &self,
-        node: NodeId,
-        class: &str,
-        method: &str,
-        args: Vec<Value>,
-    ) -> Trace {
+    pub fn run_observed(&self, node: NodeId, class: &str, method: &str, args: Vec<Value>) -> Trace {
         *self.shared.trace.borrow_mut() = Trace::new();
         let result = self.call_static(node, class, method, args);
         match result {
@@ -723,6 +751,34 @@ impl Cluster {
         to: NodeId,
     ) -> Result<MigrationEvent, RuntimeError> {
         let shared = &self.shared;
+        let span = {
+            let mut spans = shared.spans.borrow_mut();
+            let h = spans.start_span("migrate", from.0, shared.net.now().as_ns());
+            spans.set_attr(h, "from", from.0);
+            spans.set_attr(h, "to", to.0);
+            h
+        };
+        let result = self.migrate_inner(from, object, to);
+        let mut spans = shared.spans.borrow_mut();
+        let outcome = match &result {
+            Ok(event) => {
+                spans.set_attr(span, "class", event.class.clone());
+                SpanOutcome::Ok
+            }
+            Err(e) if e.is_network() => SpanOutcome::NetFailure,
+            Err(_) => SpanOutcome::Fault,
+        };
+        spans.end_span(span, shared.net.now().as_ns(), outcome);
+        result
+    }
+
+    fn migrate_inner(
+        &self,
+        from: NodeId,
+        object: Handle,
+        to: NodeId,
+    ) -> Result<MigrationEvent, RuntimeError> {
+        let shared = &self.shared;
         if from == to {
             return Err(RuntimeError::Bad("migration to the same node".into()));
         }
@@ -744,9 +800,8 @@ impl Cluster {
         let proto = shared.policy.protocol(&base_name);
         let mut wire_fields = Vec::with_capacity(fields.len());
         for f in &fields {
-            wire_fields.push(
-                marshal::value_to_wire(shared, from, f).map_err(RuntimeError::Marshal)?,
-            );
+            wire_fields
+                .push(marshal::value_to_wire(shared, from, f).map_err(RuntimeError::Marshal)?);
         }
         let state = WireValue::ObjectState {
             class: shared.universe.class(class).name.clone(),
@@ -758,6 +813,7 @@ impl Cluster {
             from,
             to,
             &proto,
+            &base_name,
             &Request::Install {
                 state,
                 source: Some((from.0, source_oid)),
@@ -777,7 +833,10 @@ impl Cluster {
         vm.replace_object(
             object,
             proxy_class,
-            vec![Value::Int(target.node.0 as i32), Value::Long(target.oid as i64)],
+            vec![
+                Value::Int(target.node.0 as i32),
+                Value::Long(target.oid as i64),
+            ],
         );
         {
             let mut nodes = shared.nodes.borrow_mut();
@@ -802,6 +861,29 @@ impl Cluster {
     /// [`RuntimeError`] if the handle is not a proxy or the transfer fails.
     pub fn pull_local(&self, node: NodeId, proxy: Handle) -> Result<MigrationEvent, RuntimeError> {
         let shared = &self.shared;
+        let span = {
+            let mut spans = shared.spans.borrow_mut();
+            let h = spans.start_span("pull", node.0, shared.net.now().as_ns());
+            spans.set_attr(h, "to", node.0);
+            h
+        };
+        let result = self.pull_inner(node, proxy);
+        let mut spans = shared.spans.borrow_mut();
+        let outcome = match &result {
+            Ok(event) => {
+                spans.set_attr(span, "class", event.class.clone());
+                spans.set_attr(span, "from", event.from.0);
+                SpanOutcome::Ok
+            }
+            Err(e) if e.is_network() => SpanOutcome::NetFailure,
+            Err(_) => SpanOutcome::Fault,
+        };
+        spans.end_span(span, shared.net.now().as_ns(), outcome);
+        result
+    }
+
+    fn pull_inner(&self, node: NodeId, proxy: Handle) -> Result<MigrationEvent, RuntimeError> {
+        let shared = &self.shared;
         let vm = &shared.vms[node.0 as usize];
         let class = vm
             .class_of(proxy)
@@ -813,12 +895,20 @@ impl Cluster {
             .filter(|i| i.proto.is_some())
             .ok_or_else(|| RuntimeError::Bad("pull_local needs a proxy".into()))?;
         let proto = info.proto.clone().expect("filtered");
+        let base_name = shared.universe.class(info.base).name.clone();
         let (owner_raw, oid) =
             read_proxy_state(vm, proxy).ok_or_else(|| RuntimeError::Bad("stale proxy".into()))?;
         let owner = NodeId(owner_raw);
         // Fetch the state.
-        let reply = rpc(shared, node, owner, &proto, &Request::Fetch { object: oid })
-            .map_err(RuntimeError::from)?;
+        let reply = rpc(
+            shared,
+            node,
+            owner,
+            &proto,
+            &base_name,
+            &Request::Fetch { object: oid },
+        )
+        .map_err(RuntimeError::from)?;
         let (class_name, wire_fields) = match reply {
             Reply::Value(WireValue::ObjectState { class, fields }) => (class, fields),
             Reply::Fault(m) => return Err(RuntimeError::Bad(m)),
@@ -840,6 +930,7 @@ impl Cluster {
             node,
             owner,
             &proto,
+            &base_name,
             &Request::Forward {
                 object: oid,
                 to_node: node.0,
@@ -852,7 +943,7 @@ impl Cluster {
         }
         shared.stats.borrow_mut().pulls += 1;
         Ok(MigrationEvent {
-            class: shared.universe.class(info.base).name.clone(),
+            class: base_name,
             from: owner,
             to: node,
             target: RemoteRef { node, oid: my_oid },
@@ -874,9 +965,7 @@ impl Cluster {
                     if total < config.min_calls {
                         continue;
                     }
-                    let Some((&caller, &count)) =
-                        counts.iter().max_by_key(|(_, &c)| c)
-                    else {
+                    let Some((&caller, &count)) = counts.iter().max_by_key(|(_, &c)| c) else {
                         continue;
                     };
                     if caller == n as u32 {
@@ -919,7 +1008,9 @@ impl Cluster {
     /// export, import, singleton or static).
     pub fn pin(&self, node: NodeId, value: &Value) {
         if let Some(h) = value.as_ref_handle() {
-            self.shared.nodes.borrow_mut()[node.0 as usize].pins.insert(h);
+            self.shared.nodes.borrow_mut()[node.0 as usize]
+                .pins
+                .insert(h);
         }
     }
 
@@ -990,7 +1081,10 @@ pub(crate) fn export(shared: &Shared, node: NodeId, h: Handle) -> u64 {
 }
 
 pub(crate) fn lookup_export(shared: &Shared, node: NodeId, oid: u64) -> Option<Handle> {
-    shared.nodes.borrow()[node.0 as usize].exports.get(&oid).copied()
+    shared.nodes.borrow()[node.0 as usize]
+        .exports
+        .get(&oid)
+        .copied()
 }
 
 pub(crate) fn cached_import(shared: &Shared, node: NodeId, owner: u32, oid: u64) -> Option<Handle> {
@@ -1064,6 +1158,7 @@ pub(crate) fn make_value(shared: &Shared, node: NodeId, base: ClassId) -> Result
             node,
             target,
             &proto,
+            &base_name,
             &Request::Create {
                 class: base_name.clone(),
                 ctor: 0,
@@ -1098,7 +1193,11 @@ pub(crate) fn discover_value(
             .singletons
             .insert(base, SingletonState::InProgress(h));
         if let (Some(cls_factory), Some(clinit_sig)) = (family.cls_factory, family.clinit_sig) {
-            shared.vms[node.0 as usize].call_static(cls_factory, clinit_sig, vec![Value::Ref(h)])?;
+            shared.vms[node.0 as usize].call_static(
+                cls_factory,
+                clinit_sig,
+                vec![Value::Ref(h)],
+            )?;
         }
         shared.nodes.borrow_mut()[node.0 as usize]
             .singletons
@@ -1111,6 +1210,7 @@ pub(crate) fn discover_value(
             node,
             owner,
             &proto,
+            &base_name,
             &Request::Discover {
                 class: base_name.clone(),
             },
@@ -1172,7 +1272,8 @@ fn proxy_call(
         method: format!("{method_name}@{}", sig.0),
         args: wire_args,
     };
-    let reply = rpc(shared, node, NodeId(target), &proto, &req)?;
+    let base_name = shared.universe.class(info.base).name.clone();
+    let reply = rpc(shared, node, NodeId(target), &proto, &base_name, &req)?;
     match reply {
         Reply::Value(wv) => marshal::wire_to_value(shared, node, &wv).map_err(VmError::Native),
         Reply::Exception { class, fields } => {
@@ -1199,6 +1300,7 @@ pub(crate) fn rpc(
     from: NodeId,
     to: NodeId,
     proto: &str,
+    class: &str,
     req: &Request,
 ) -> Result<Reply, VmError> {
     let codec = shared
@@ -1211,9 +1313,34 @@ pub(crate) fn rpc(
         ));
     }
     shared.rpc_depth.set(shared.rpc_depth.get() + 1);
-    let result = rpc_inner(shared, from, to, codec.as_ref(), req);
+    let result = rpc_inner(shared, from, to, codec.as_ref(), class, req);
     shared.rpc_depth.set(shared.rpc_depth.get() - 1);
     result
+}
+
+/// The span name of an exchange for one request kind.
+fn req_span_name(req: &Request) -> (&'static str, &'static str) {
+    match req {
+        Request::Call { .. } => ("rpc.call", "serve.call"),
+        Request::Create { .. } => ("rpc.create", "serve.create"),
+        Request::Discover { .. } => ("rpc.discover", "serve.discover"),
+        Request::Fetch { .. } => ("rpc.fetch", "serve.fetch"),
+        Request::Install { .. } => ("rpc.install", "serve.install"),
+        Request::Forward { .. } => ("rpc.forward", "serve.forward"),
+    }
+}
+
+/// The method label recorded on an exchange span: the wire method string
+/// for calls, a pseudo-method for the runtime-internal request kinds.
+fn req_method_label(req: &Request) -> String {
+    match req {
+        Request::Call { method, .. } => method.clone(),
+        Request::Create { ctor, .. } => format!("<create:{ctor}>"),
+        Request::Discover { .. } => "<discover>".to_owned(),
+        Request::Fetch { .. } => "<fetch>".to_owned(),
+        Request::Install { .. } => "<install>".to_owned(),
+        Request::Forward { .. } => "<forward>".to_owned(),
+    }
 }
 
 /// The typed mirror of a transport error (same data, no crate dependency
@@ -1235,15 +1362,37 @@ fn rpc_inner(
     from: NodeId,
     to: NodeId,
     codec: &dyn Protocol,
+    class: &str,
     req: &Request,
 ) -> Result<Reply, VmError> {
     let msg_id = shared.next_msg_id.get();
     shared.next_msg_id.set(msg_id + 1);
+    let (exch_name, _) = req_span_name(req);
+    // The exchange span covers the whole request/reply exchange, retries
+    // included. Its context travels in the frame header — the frame is
+    // encoded once and retransmitted verbatim, so the wire cannot carry
+    // per-attempt contexts; attempts are recorded as client-local children.
+    let (exch, ctx) = {
+        let mut spans = shared.spans.borrow_mut();
+        let h = spans.start_span(exch_name, from.0, shared.net.now().as_ns());
+        spans.set_attr(h, "class", class);
+        spans.set_attr(h, "method", req_method_label(req));
+        spans.set_attr(h, "protocol", codec.name());
+        spans.set_attr(h, "from", from.0);
+        spans.set_attr(h, "to", to.0);
+        let ctx = spans.context_of(h);
+        (h, ctx)
+    };
     // Encode once: every retransmission sends the same frame, same id.
-    let bytes = codec.encode_request(msg_id, req);
+    let bytes = codec.encode_request(msg_id, ctx, req);
+    shared
+        .spans
+        .borrow_mut()
+        .set_attr(exch, "bytes_out", bytes.len());
     let policy = shared.retry.get();
     let max_attempts = policy.max_attempts.max(1);
     let mut attempt = 0u32;
+    let mut prev_attempt_span: Option<u64> = None;
     loop {
         attempt += 1;
         if attempt > 1 {
@@ -1252,16 +1401,52 @@ fn rpc_inner(
             shared.net.advance(policy.backoff_ns(attempt - 1));
             shared.stats.borrow_mut().retries += 1;
         }
+        // Each transmission attempt is a child span: retransmissions get
+        // fresh span ids within the same trace and point at the attempt
+        // they retry via `retry_of`.
+        let attempt_start = shared.net.now().as_ns();
+        let att = {
+            let mut spans = shared.spans.borrow_mut();
+            let h = spans.start_span("rpc.attempt", from.0, attempt_start);
+            spans.set_attr(h, "attempt", attempt);
+            if let Some(prev) = prev_attempt_span {
+                spans.set_retry_of(h, prev);
+            }
+            h
+        };
         match attempt_exchange(shared, from, to, codec, msg_id, &bytes, attempt) {
             Ok(reply) => {
+                let end = shared.net.now().as_ns();
                 shared.stats.borrow_mut().record_attempts(attempt);
+                let outcome = match &reply {
+                    Reply::Value(_) => SpanOutcome::Ok,
+                    Reply::Exception { .. } | Reply::Fault(_) => SpanOutcome::Fault,
+                };
+                let mut spans = shared.spans.borrow_mut();
+                spans.end_span(att, end, SpanOutcome::Ok);
+                spans.record_link(from.0, to.0, end.saturating_sub(attempt_start));
+                spans.set_attr(exch, "attempts", attempt);
+                spans.end_span(exch, end, outcome);
                 return Ok(reply);
             }
-            Err(kind) if kind.is_transient() && attempt < max_attempts => continue,
+            Err(kind) if kind.is_transient() && attempt < max_attempts => {
+                let end = shared.net.now().as_ns();
+                let mut spans = shared.spans.borrow_mut();
+                spans.end_span(att, end, SpanOutcome::NetFailure);
+                prev_attempt_span = Some(spans.span_id_of(att));
+                continue;
+            }
             Err(kind) => {
-                let mut stats = shared.stats.borrow_mut();
-                stats.net_failures += 1;
-                stats.record_attempts(attempt);
+                let end = shared.net.now().as_ns();
+                {
+                    let mut stats = shared.stats.borrow_mut();
+                    stats.net_failures += 1;
+                    stats.record_attempts(attempt);
+                }
+                let mut spans = shared.spans.borrow_mut();
+                spans.end_span(att, end, SpanOutcome::NetFailure);
+                spans.set_attr(exch, "attempts", attempt);
+                spans.end_span(exch, end, SpanOutcome::NetFailure);
                 return Err(VmError::Unreachable(NetFailure::new(kind, attempt)));
             }
         }
@@ -1283,21 +1468,21 @@ fn attempt_exchange(
         .net
         .transmit(from, to, bytes.len())
         .map_err(|e| net_failure_kind(&e))?;
-    let (id, decoded) = codec
+    let (id, wire_ctx, decoded) = codec
         .decode_request(bytes)
         .expect("own encoding must decode");
     debug_assert_eq!(id, msg_id);
     if attempt > 1 {
         shared.stats.borrow_mut().retransmits += 1;
     }
-    let reply = serve_request(shared, to, from, id, decoded);
-    let reply_bytes = codec.encode_reply(id, &reply);
+    let (reply, reply_ctx) = serve_request(shared, to, from, id, wire_ctx, decoded);
+    let reply_bytes = codec.encode_reply(id, reply_ctx, &reply);
     shared
         .net
         .transmit(to, from, reply_bytes.len())
         .map_err(|e| net_failure_kind(&e))?;
     shared.net.advance(2 * codec.overhead_ns());
-    let (_, reply) = codec
+    let (_, _, reply) = codec
         .decode_reply(&reply_bytes)
         .expect("own encoding must decode");
     Ok(reply)
@@ -1307,13 +1492,26 @@ fn attempt_exchange(
 /// `(caller, message id)` was already answered, return the cached reply
 /// without re-executing — a retransmission must never apply a mutating
 /// method twice.
+///
+/// Records a `serve.*` span whose parent comes from the wire context, which
+/// is what stitches the hops of a multi-node chain into one trace. Returns
+/// the reply and the serve span's context (sent back in the reply header).
 fn serve_request(
     shared: &Shared,
     node: NodeId,
     caller: NodeId,
     msg_id: u64,
+    ctx: TraceContext,
     req: Request,
-) -> Reply {
+) -> (Reply, TraceContext) {
+    let (_, serve_name) = req_span_name(&req);
+    let (span, reply_ctx) = {
+        let mut spans = shared.spans.borrow_mut();
+        let h = spans.start_server_span(serve_name, node.0, shared.net.now().as_ns(), ctx);
+        spans.set_attr(h, "caller", caller.0);
+        let reply_ctx = spans.context_of(h);
+        (h, reply_ctx)
+    };
     let key = (caller.0, msg_id);
     let cached = shared.nodes.borrow()[node.0 as usize]
         .reply_cache
@@ -1321,20 +1519,37 @@ fn serve_request(
         .cloned();
     if let Some(reply) = cached {
         shared.stats.borrow_mut().dedup_hits += 1;
-        return reply;
+        let mut spans = shared.spans.borrow_mut();
+        spans.set_attr(span, "cached", true);
+        spans.end_span(span, shared.net.now().as_ns(), reply_outcome(&reply));
+        return (reply, reply_ctx);
     }
     let reply = handle_request(shared, node, caller, req);
-    let mut nodes = shared.nodes.borrow_mut();
-    let state = &mut nodes[node.0 as usize];
-    if state.reply_cache.insert(key, reply.clone()).is_none() {
-        state.reply_cache_order.push_back(key);
-        while state.reply_cache_order.len() > REPLY_CACHE_CAP {
-            if let Some(old) = state.reply_cache_order.pop_front() {
-                state.reply_cache.remove(&old);
+    {
+        let mut nodes = shared.nodes.borrow_mut();
+        let state = &mut nodes[node.0 as usize];
+        if state.reply_cache.insert(key, reply.clone()).is_none() {
+            state.reply_cache_order.push_back(key);
+            while state.reply_cache_order.len() > REPLY_CACHE_CAP {
+                if let Some(old) = state.reply_cache_order.pop_front() {
+                    state.reply_cache.remove(&old);
+                }
             }
         }
     }
-    reply
+    shared
+        .spans
+        .borrow_mut()
+        .end_span(span, shared.net.now().as_ns(), reply_outcome(&reply));
+    (reply, reply_ctx)
+}
+
+/// Span outcome of a served reply.
+fn reply_outcome(reply: &Reply) -> SpanOutcome {
+    match reply {
+        Reply::Value(_) => SpanOutcome::Ok,
+        Reply::Exception { .. } | Reply::Fault(_) => SpanOutcome::Fault,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -1342,12 +1557,7 @@ fn serve_request(
 // ----------------------------------------------------------------------
 
 /// Execute a request on `node` (the server side of the RPC).
-pub(crate) fn handle_request(
-    shared: &Shared,
-    node: NodeId,
-    caller: NodeId,
-    req: Request,
-) -> Reply {
+pub(crate) fn handle_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request) -> Reply {
     let reply = dispatch_request(shared, node, caller, req);
     if matches!(reply, Reply::Fault(_)) {
         shared.stats.borrow_mut().faults += 1;
@@ -1474,8 +1684,7 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             // If this node already holds a proxy for the migrating object,
             // rewrite it in place — existing local references then see the
             // object as local, with no double hop through the old owner.
-            let existing =
-                source.and_then(|(n, o)| cached_import(shared, node, n, o));
+            let existing = source.and_then(|(n, o)| cached_import(shared, node, n, o));
             let h = match existing {
                 Some(ph) if vm.class_of(ph).is_some() => {
                     vm.replace_object(ph, class_id, values);

@@ -20,10 +20,10 @@ use crate::cluster::{
     cache_import, cached_import, export, gen_info, lookup_export, proxy_class_for,
     read_proxy_state, Shared, Side,
 };
+use rafda_classmodel::Ty;
 use rafda_net::NodeId;
 use rafda_vm::{HeapEntry, Value, Vm};
 use rafda_wire::WireValue;
-use rafda_classmodel::Ty;
 
 /// Maximum by-value object-graph depth (cycle guard).
 const MAX_DEPTH: u32 = 32;
@@ -122,7 +122,11 @@ fn logical_class_name(shared: &Shared, base: rafda_classmodel::ClassId, side: Si
 /// # Errors
 /// A human-readable message for unknown classes, missing exports or
 /// unavailable proxy protocols.
-pub(crate) fn wire_to_value(shared: &Shared, node: NodeId, wv: &WireValue) -> Result<Value, String> {
+pub(crate) fn wire_to_value(
+    shared: &Shared,
+    node: NodeId,
+    wv: &WireValue,
+) -> Result<Value, String> {
     let vm: &Vm = &shared.vms[node.0 as usize];
     Ok(match wv {
         WireValue::Null => Value::Null,

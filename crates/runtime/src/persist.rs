@@ -95,7 +95,12 @@ impl Snapshot {
 
 impl fmt::Display for Snapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "snapshot of {} objects (root #{}):", self.objects.len(), self.root)?;
+        writeln!(
+            f,
+            "snapshot of {} objects (root #{}):",
+            self.objects.len(),
+            self.root
+        )?;
         for (i, o) in self.objects.iter().enumerate() {
             writeln!(f, "  #{i}: {} ({} slots)", o.class, o.slots.len())?;
         }
@@ -254,10 +259,7 @@ pub(crate) fn restore(
     for o in &snapshot.objects {
         let h = if o.is_array {
             vm.with_heap(|heap| {
-                heap.alloc_array(
-                    rafda_classmodel::Ty::Int,
-                    vec![Value::Null; o.slots.len()],
-                )
+                heap.alloc_array(rafda_classmodel::Ty::Int, vec![Value::Null; o.slots.len()])
             })
         } else {
             let class = shared
@@ -280,18 +282,20 @@ pub(crate) fn restore(
                 SnapSlot::Double(bits) => Value::Double(f64::from_bits(*bits)),
                 SnapSlot::Str(s) => Value::str(s),
                 SnapSlot::Intern(j) => Value::Ref(handles[*j]),
-                SnapSlot::Remote { node: n, oid, class } => {
-                    crate::marshal::wire_to_value(
-                        shared,
-                        node,
-                        &rafda_wire::WireValue::Remote {
-                            node: *n,
-                            object: *oid,
-                            class: class.clone(),
-                        },
-                    )
-                    .map_err(RuntimeError::Marshal)?
-                }
+                SnapSlot::Remote {
+                    node: n,
+                    oid,
+                    class,
+                } => crate::marshal::wire_to_value(
+                    shared,
+                    node,
+                    &rafda_wire::WireValue::Remote {
+                        node: *n,
+                        object: *oid,
+                        class: class.clone(),
+                    },
+                )
+                .map_err(RuntimeError::Marshal)?,
             };
             if o.is_array {
                 vm.with_heap(|heap| {

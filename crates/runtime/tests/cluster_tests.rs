@@ -266,7 +266,9 @@ fn exceptions_propagate_across_the_wire() {
     let class = vm.class_of(h).unwrap();
     assert_eq!(cluster.universe().class(class).name, "AppError");
     // The exception's state travelled by value.
-    let code = vm.call_virtual_by_name(Value::Ref(h), "code", vec![]).unwrap();
+    let code = vm
+        .call_virtual_by_name(Value::Ref(h), "code", vec![])
+        .unwrap();
     assert_eq!(code, Value::Int(9));
 }
 
@@ -495,7 +497,9 @@ fn round_robin_policy_spreads_instances() {
     // All of them behave identically regardless of placement.
     for (i, y) in ys.into_iter().enumerate() {
         assert_eq!(
-            cluster.call_method(N0, y, "n", vec![Value::Long(10)]).unwrap(),
+            cluster
+                .call_method(N0, y, "n", vec![Value::Long(10)])
+                .unwrap(),
             Value::Int(i as i32 + 10)
         );
     }

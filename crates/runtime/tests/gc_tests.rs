@@ -33,7 +33,8 @@ fn vm_gc_frees_unreachable_keeps_reachable() {
     assert!(vm.stats().heap.live < live_before);
     // The root still works.
     assert_eq!(
-        vm.call_virtual_by_name(y2, "n", vec![Value::Long(0)]).unwrap(),
+        vm.call_virtual_by_name(y2, "n", vec![Value::Long(0)])
+            .unwrap(),
         Value::Int(42)
     );
 }
@@ -44,7 +45,8 @@ fn vm_gc_traces_through_object_graphs_and_statics() {
     let ids = sample::build_figure2(&mut u);
     let vm = Vm::new(Arc::new(u));
     // X.p forces X.<clinit>, which stores a Z into X's statics.
-    vm.call_static_by_name("X", "p", vec![Value::Int(1)]).unwrap();
+    vm.call_static_by_name("X", "p", vec![Value::Int(1)])
+        .unwrap();
     // x -> y chain rooted only at `x`.
     let y = vm.new_instance(ids.y, 0, vec![Value::Int(5)]).unwrap();
     let x = vm.new_instance(ids.x, 0, vec![y]).unwrap();
@@ -52,11 +54,13 @@ fn vm_gc_traces_through_object_graphs_and_statics() {
     assert_eq!(freed, 0, "statics-referenced Z and x->y graph are all live");
     // Everything still functions.
     assert_eq!(
-        vm.call_virtual_by_name(x, "m", vec![Value::Long(4)]).unwrap(),
+        vm.call_virtual_by_name(x, "m", vec![Value::Long(4)])
+            .unwrap(),
         Value::Int(9)
     );
     assert_eq!(
-        vm.call_static_by_name("X", "p", vec![Value::Int(2)]).unwrap(),
+        vm.call_static_by_name("X", "p", vec![Value::Int(2)])
+            .unwrap(),
         Value::Int(14)
     );
 }
@@ -83,11 +87,15 @@ fn counter_cluster() -> Cluster {
 fn cluster_gc_preserves_exports_and_proxies() {
     let cluster = counter_cluster();
     // One migrated object (export on node 1, proxy on node 0) plus litter.
-    let k = cluster.new_instance(N0, "K", 0, vec![Value::Int(9)]).unwrap();
+    let k = cluster
+        .new_instance(N0, "K", 0, vec![Value::Int(9)])
+        .unwrap();
     let h = k.as_ref_handle().unwrap();
     cluster.migrate(N0, h, N1).unwrap();
     for i in 0..8 {
-        cluster.new_instance(N0, "K", 0, vec![Value::Int(i)]).unwrap();
+        cluster
+            .new_instance(N0, "K", 0, vec![Value::Int(i)])
+            .unwrap();
     }
     let freed = cluster.gc();
     assert!(freed[0] >= 8, "node 0 litter collected: {freed:?}");
@@ -108,17 +116,23 @@ fn cluster_gc_keeps_remote_singletons_working() {
         .place("Y", Placement::Node(N1));
     let cluster = Cluster::new(u, outcome.plan, 2, 5, Box::new(policy));
     assert_eq!(
-        cluster.call_static(N0, "X", "p", vec![Value::Int(6)]).unwrap(),
+        cluster
+            .call_static(N0, "X", "p", vec![Value::Int(6)])
+            .unwrap(),
         Value::Int(42)
     );
     cluster.gc();
     // Singletons (local on node 1, proxied on node 0) survive collection.
     assert_eq!(
-        cluster.call_static(N0, "X", "p", vec![Value::Int(2)]).unwrap(),
+        cluster
+            .call_static(N0, "X", "p", vec![Value::Int(2)])
+            .unwrap(),
         Value::Int(14)
     );
     assert_eq!(
-        cluster.call_static(N1, "X", "p", vec![Value::Int(3)]).unwrap(),
+        cluster
+            .call_static(N1, "X", "p", vec![Value::Int(3)])
+            .unwrap(),
         Value::Int(21)
     );
 }
@@ -129,7 +143,11 @@ fn gc_then_chaos_keeps_working() {
     // must be pinned to survive collection.
     let cluster = counter_cluster();
     let ks: Vec<Value> = (0..4)
-        .map(|i| cluster.new_instance(N0, "K", 0, vec![Value::Int(i)]).unwrap())
+        .map(|i| {
+            cluster
+                .new_instance(N0, "K", 0, vec![Value::Int(i)])
+                .unwrap()
+        })
         .collect();
     for k in &ks {
         cluster.pin(N0, k);
@@ -158,15 +176,21 @@ fn gc_then_chaos_keeps_working() {
 #[test]
 fn unpinned_host_references_are_collected() {
     let cluster = counter_cluster();
-    let k = cluster.new_instance(N0, "K", 0, vec![Value::Int(1)]).unwrap();
-    let pinned = cluster.new_instance(N0, "K", 0, vec![Value::Int(2)]).unwrap();
+    let k = cluster
+        .new_instance(N0, "K", 0, vec![Value::Int(1)])
+        .unwrap();
+    let pinned = cluster
+        .new_instance(N0, "K", 0, vec![Value::Int(2)])
+        .unwrap();
     cluster.pin(N0, &pinned);
     let freed = cluster.gc();
     assert!(freed[0] >= 1, "{freed:?}");
     // The unpinned reference is now stale — detected, not misread.
     assert!(cluster.call_method(N0, k, "get", vec![]).is_err());
     assert_eq!(
-        cluster.call_method(N0, pinned.clone(), "get", vec![]).unwrap(),
+        cluster
+            .call_method(N0, pinned.clone(), "get", vec![])
+            .unwrap(),
         Value::Int(2)
     );
     // After unpinning, the next collection reclaims it too.

@@ -93,7 +93,9 @@ fn build_universe() -> ClassUniverse {
         mb.jump_if_not(ok);
         mb.load_local(1).new_init(app_error, 0, 1).throw();
         mb.bind(ok);
-        mb.load_local(1).unop(rafda_classmodel::UnOp::Neg).ret_value();
+        mb.load_local(1)
+            .unop(rafda_classmodel::UnOp::Neg)
+            .ret_value();
         cb.method(&mut u, "risky", vec![Ty::Int], Ty::Int, Some(mb.finish()));
 
         // int guarded(int code) {

@@ -31,9 +31,14 @@ fn build() -> Cluster {
         let sum_sig = u.sig("sum", vec![Ty::Int]);
         let mut mb = MethodBuilder::new(2);
         let base = mb.label();
-        mb.load_local(1).const_int(0).cmp(rafda_classmodel::CmpOp::Le);
+        mb.load_local(1)
+            .const_int(0)
+            .cmp(rafda_classmodel::CmpOp::Le);
         mb.jump_if(base);
-        mb.load_this().get_field(node, next).const_null().cmp(rafda_classmodel::CmpOp::Eq);
+        mb.load_this()
+            .get_field(node, next)
+            .const_null()
+            .cmp(rafda_classmodel::CmpOp::Eq);
         mb.jump_if(base);
         mb.load_this().get_field(node, v);
         mb.load_this().get_field(node, next);
@@ -58,13 +63,21 @@ fn set_next(cluster: &Cluster, node: NodeId, from: &Value, to: Value) {
 #[test]
 fn snapshot_restores_chain_with_state() {
     let cluster = build();
-    let a = cluster.new_instance(N0, "LinkNode", 0, vec![Value::Int(1)]).unwrap();
-    let b = cluster.new_instance(N0, "LinkNode", 0, vec![Value::Int(2)]).unwrap();
-    let c = cluster.new_instance(N0, "LinkNode", 0, vec![Value::Int(4)]).unwrap();
+    let a = cluster
+        .new_instance(N0, "LinkNode", 0, vec![Value::Int(1)])
+        .unwrap();
+    let b = cluster
+        .new_instance(N0, "LinkNode", 0, vec![Value::Int(2)])
+        .unwrap();
+    let c = cluster
+        .new_instance(N0, "LinkNode", 0, vec![Value::Int(4)])
+        .unwrap();
     set_next(&cluster, N0, &a, b.clone());
     set_next(&cluster, N0, &b, c);
     assert_eq!(
-        cluster.call_method(N0, a.clone(), "sum", vec![Value::Int(10)]).unwrap(),
+        cluster
+            .call_method(N0, a.clone(), "sum", vec![Value::Int(10)])
+            .unwrap(),
         Value::Int(7)
     );
 
@@ -72,14 +85,20 @@ fn snapshot_restores_chain_with_state() {
     assert_eq!(snap.len(), 3);
 
     // Mutate the original; the restored copy is unaffected (it is a copy).
-    cluster.call_method(N0, b, "set_v", vec![Value::Int(100)]).unwrap();
+    cluster
+        .call_method(N0, b, "set_v", vec![Value::Int(100)])
+        .unwrap();
     let restored = cluster.restore(N0, &snap).unwrap();
     assert_eq!(
-        cluster.call_method(N0, restored, "sum", vec![Value::Int(10)]).unwrap(),
+        cluster
+            .call_method(N0, restored, "sum", vec![Value::Int(10)])
+            .unwrap(),
         Value::Int(7)
     );
     assert_eq!(
-        cluster.call_method(N0, a, "sum", vec![Value::Int(10)]).unwrap(),
+        cluster
+            .call_method(N0, a, "sum", vec![Value::Int(10)])
+            .unwrap(),
         Value::Int(105)
     );
 }
@@ -87,26 +106,36 @@ fn snapshot_restores_chain_with_state() {
 #[test]
 fn cycles_survive_snapshot_restore() {
     let cluster = build();
-    let a = cluster.new_instance(N0, "LinkNode", 0, vec![Value::Int(1)]).unwrap();
-    let b = cluster.new_instance(N0, "LinkNode", 0, vec![Value::Int(2)]).unwrap();
+    let a = cluster
+        .new_instance(N0, "LinkNode", 0, vec![Value::Int(1)])
+        .unwrap();
+    let b = cluster
+        .new_instance(N0, "LinkNode", 0, vec![Value::Int(2)])
+        .unwrap();
     set_next(&cluster, N0, &a, b.clone());
     set_next(&cluster, N0, &b, a.clone()); // cycle a -> b -> a
-    // Budget-limited sum walks the cycle: 1+2+1+2+1 = 7 with budget 4.
+                                           // Budget-limited sum walks the cycle: 1+2+1+2+1 = 7 with budget 4.
     assert_eq!(
-        cluster.call_method(N0, a.clone(), "sum", vec![Value::Int(4)]).unwrap(),
+        cluster
+            .call_method(N0, a.clone(), "sum", vec![Value::Int(4)])
+            .unwrap(),
         Value::Int(7)
     );
     let snap = cluster.snapshot(N0, a.as_ref_handle().unwrap()).unwrap();
     assert_eq!(snap.len(), 2, "cycle must not duplicate objects");
     let restored = cluster.restore(N1, &snap).unwrap();
     assert_eq!(
-        cluster.call_method(N1, restored.clone(), "sum", vec![Value::Int(4)]).unwrap(),
+        cluster
+            .call_method(N1, restored.clone(), "sum", vec![Value::Int(4)])
+            .unwrap(),
         Value::Int(7)
     );
     // The restored cycle is closed: next.next == self shape (walk 2 gives
     // 1+2+1).
     assert_eq!(
-        cluster.call_method(N1, restored, "sum", vec![Value::Int(2)]).unwrap(),
+        cluster
+            .call_method(N1, restored, "sum", vec![Value::Int(2)])
+            .unwrap(),
         Value::Int(4)
     );
 }
@@ -115,14 +144,23 @@ fn cycles_survive_snapshot_restore() {
 fn shared_subobjects_stay_shared() {
     let cluster = build();
     // a -> c, b -> c; snapshot of an array [a, b] keeps c shared.
-    let a = cluster.new_instance(N0, "LinkNode", 0, vec![Value::Int(1)]).unwrap();
-    let b = cluster.new_instance(N0, "LinkNode", 0, vec![Value::Int(2)]).unwrap();
-    let c = cluster.new_instance(N0, "LinkNode", 0, vec![Value::Int(8)]).unwrap();
+    let a = cluster
+        .new_instance(N0, "LinkNode", 0, vec![Value::Int(1)])
+        .unwrap();
+    let b = cluster
+        .new_instance(N0, "LinkNode", 0, vec![Value::Int(2)])
+        .unwrap();
+    let c = cluster
+        .new_instance(N0, "LinkNode", 0, vec![Value::Int(8)])
+        .unwrap();
     set_next(&cluster, N0, &a, c.clone());
     set_next(&cluster, N0, &b, c);
     let vm = cluster.vm(N0);
     let arr = vm.with_heap(|h| {
-        h.alloc_array(Ty::Object(cluster.universe().by_name("LinkNode_O_Int").unwrap()), vec![a, b])
+        h.alloc_array(
+            Ty::Object(cluster.universe().by_name("LinkNode_O_Int").unwrap()),
+            vec![a, b],
+        )
     });
     let snap = cluster.snapshot(N0, arr).unwrap();
     assert_eq!(snap.len(), 4, "array + a + b + shared c");
@@ -135,9 +173,13 @@ fn shared_subobjects_stay_shared() {
         _ => panic!("array"),
     });
     let rc = cluster.call_method(N0, ra, "get_next", vec![]).unwrap();
-    cluster.call_method(N0, rc, "set_v", vec![Value::Int(50)]).unwrap();
+    cluster
+        .call_method(N0, rc, "set_v", vec![Value::Int(50)])
+        .unwrap();
     assert_eq!(
-        cluster.call_method(N0, rb, "sum", vec![Value::Int(5)]).unwrap(),
+        cluster
+            .call_method(N0, rb, "sum", vec![Value::Int(5)])
+            .unwrap(),
         Value::Int(52)
     );
 }
@@ -147,17 +189,29 @@ fn distribution_boundaries_are_reconnected() {
     let cluster = build();
     // a (node 0) -> remote (node 1 after migration); snapshot a on node 0;
     // restore: the new graph points at the SAME remote object.
-    let a = cluster.new_instance(N0, "LinkNode", 0, vec![Value::Int(1)]).unwrap();
-    let r = cluster.new_instance(N0, "LinkNode", 0, vec![Value::Int(2)]).unwrap();
+    let a = cluster
+        .new_instance(N0, "LinkNode", 0, vec![Value::Int(1)])
+        .unwrap();
+    let r = cluster
+        .new_instance(N0, "LinkNode", 0, vec![Value::Int(2)])
+        .unwrap();
     set_next(&cluster, N0, &a, r.clone());
     cluster.migrate(N0, r.as_ref_handle().unwrap(), N1).unwrap();
     let snap = cluster.snapshot(N0, a.as_ref_handle().unwrap()).unwrap();
-    assert_eq!(snap.len(), 1, "remote tail is a boundary marker, not captured");
+    assert_eq!(
+        snap.len(),
+        1,
+        "remote tail is a boundary marker, not captured"
+    );
     let restored = cluster.restore(N0, &snap).unwrap();
     // Mutate the remote object; BOTH graphs see it.
-    cluster.call_method(N0, r, "set_v", vec![Value::Int(41)]).unwrap();
+    cluster
+        .call_method(N0, r, "set_v", vec![Value::Int(41)])
+        .unwrap();
     assert_eq!(
-        cluster.call_method(N0, restored, "sum", vec![Value::Int(5)]).unwrap(),
+        cluster
+            .call_method(N0, restored, "sum", vec![Value::Int(5)])
+            .unwrap(),
         Value::Int(42)
     );
 }
@@ -165,7 +219,9 @@ fn distribution_boundaries_are_reconnected() {
 #[test]
 fn snapshotting_a_proxy_root_is_rejected() {
     let cluster = build();
-    let a = cluster.new_instance(N0, "LinkNode", 0, vec![Value::Int(1)]).unwrap();
+    let a = cluster
+        .new_instance(N0, "LinkNode", 0, vec![Value::Int(1)])
+        .unwrap();
     let h = a.as_ref_handle().unwrap();
     cluster.migrate(N0, h, N1).unwrap();
     let err = cluster.snapshot(N0, h).unwrap_err();

@@ -60,11 +60,15 @@ fn static_singleton_migrates_and_stays_coherent() {
     let cluster = build();
     // Touch the singleton from both nodes (owner = node 0).
     assert_eq!(
-        cluster.call_static(N0, "Registry", "add", vec![Value::Int(1)]).unwrap(),
+        cluster
+            .call_static(N0, "Registry", "add", vec![Value::Int(1)])
+            .unwrap(),
         Value::Int(1001)
     );
     assert_eq!(
-        cluster.call_static(N1, "Registry", "add", vec![Value::Int(2)]).unwrap(),
+        cluster
+            .call_static(N1, "Registry", "add", vec![Value::Int(2)])
+            .unwrap(),
         Value::Int(1003)
     );
     // Migrate the static state to node 1.
@@ -73,35 +77,42 @@ fn static_singleton_migrates_and_stays_coherent() {
     assert_eq!(event.class, "Registry");
     // All nodes still see ONE coherent total; node 1 is now local for it.
     assert_eq!(
-        cluster.call_static(N1, "Registry", "add", vec![Value::Int(4)]).unwrap(),
+        cluster
+            .call_static(N1, "Registry", "add", vec![Value::Int(4)])
+            .unwrap(),
         Value::Int(1007)
     );
     assert_eq!(
-        cluster.call_static(N0, "Registry", "add", vec![Value::Int(8)]).unwrap(),
+        cluster
+            .call_static(N0, "Registry", "add", vec![Value::Int(8)])
+            .unwrap(),
         Value::Int(1015)
     );
     // Node 0's path now forwards (its cached singleton handle was rewritten
     // in place into a proxy).
     let net = cluster.network();
     net.reset_stats();
-    cluster.call_static(N0, "Registry", "add", vec![Value::Int(1)]).unwrap();
+    cluster
+        .call_static(N0, "Registry", "add", vec![Value::Int(1)])
+        .unwrap();
     assert!(net.stats().link(N0, N1).messages >= 1, "{:?}", net.stats());
 }
 
 #[test]
 fn describe_reports_singleton_placement() {
     let cluster = build();
-    cluster.call_static(N0, "Registry", "add", vec![Value::Int(1)]).unwrap();
-    cluster.call_static(N1, "Registry", "add", vec![Value::Int(1)]).unwrap();
+    cluster
+        .call_static(N0, "Registry", "add", vec![Value::Int(1)])
+        .unwrap();
+    cluster
+        .call_static(N1, "Registry", "add", vec![Value::Int(1)])
+        .unwrap();
     let summary = cluster.describe();
     assert_eq!(summary.len(), 2);
     // Both nodes have resolved the Registry singleton (one locally, one as
     // a proxy).
     for s in &summary {
-        assert!(
-            s.singletons.iter().any(|c| c == "Registry"),
-            "{s}"
-        );
+        assert!(s.singletons.iter().any(|c| c == "Registry"), "{s}");
     }
     // Node 0 (the owner) exports the singleton to node 1.
     assert!(summary[0].exports >= 1);

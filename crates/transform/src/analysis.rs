@@ -173,7 +173,9 @@ pub fn analyze(universe: &ClassUniverse) -> TransformabilityReport {
         // Subclass rule.
         if let Some(subs) = subclasses.get(&nt) {
             for &sub in subs {
-                if let std::collections::hash_map::Entry::Vacant(e) = report.non_transformable.entry(sub) {
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    report.non_transformable.entry(sub)
+                {
                     e.insert(NonTransformableReason::SubclassOfNonTransformable(nt));
                     work.push(sub);
                 }

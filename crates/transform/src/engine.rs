@@ -211,7 +211,8 @@ impl Transformer {
                     .count();
                 if matches!(
                     kind,
-                    rafda_classmodel::GenKind::ObjProxy(_) | rafda_classmodel::GenKind::ClassProxy(_)
+                    rafda_classmodel::GenKind::ObjProxy(_)
+                        | rafda_classmodel::GenKind::ClassProxy(_)
                 ) {
                     report.proxy_classes += 1;
                 }
@@ -312,12 +313,14 @@ mod tests {
         // X.<clinit> now calls Z_O_Factory.make.
         let x = u.by_name("X").unwrap();
         let xc = u.class(x);
-        let clinit = xc.methods[xc.clinit.unwrap() as usize].body.as_ref().unwrap();
+        let clinit = xc.methods[xc.clinit.unwrap() as usize]
+            .body
+            .as_ref()
+            .unwrap();
         let zf = u.by_name("Z_O_Factory").unwrap();
-        assert!(clinit
-            .code
-            .iter()
-            .any(|i| matches!(i, rafda_classmodel::Insn::InvokeStatic { class, .. } if *class == zf)));
+        assert!(clinit.code.iter().any(
+            |i| matches!(i, rafda_classmodel::Insn::InvokeStatic { class, .. } if *class == zf)
+        ));
         verify_universe(&u).unwrap();
     }
 

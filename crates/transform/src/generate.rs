@@ -239,9 +239,11 @@ fn gen_obj_local(universe: &mut ClassUniverse, plan: &TransformPlan, family: &Fa
             body,
         ));
     }
-    let superclass = base
-        .superclass
-        .map(|s| plan.family(s).expect("superclass is substitutable").obj_local);
+    let superclass = base.superclass.map(|s| {
+        plan.family(s)
+            .expect("superclass is substitutable")
+            .obj_local
+    });
     let mut interfaces = vec![family.obj_int];
     interfaces.extend(base.interfaces.iter().copied());
     let ctors = vec![0];
@@ -728,7 +730,11 @@ fn gen_cls_factory(universe: &mut ClassUniverse, plan: &TransformPlan, family: &
 pub fn rewrite_in_place(universe: &mut ClassUniverse, plan: &TransformPlan, class: ClassId) {
     let original = universe.class(class).clone();
     let mut updated = original.clone();
-    for f in updated.fields.iter_mut().chain(updated.static_fields.iter_mut()) {
+    for f in updated
+        .fields
+        .iter_mut()
+        .chain(updated.static_fields.iter_mut())
+    {
         f.ty = plan.rewrite_ty(&f.ty);
     }
     for (idx, m) in updated.methods.iter_mut().enumerate() {
@@ -739,12 +745,7 @@ pub fn rewrite_in_place(universe: &mut ClassUniverse, plan: &TransformPlan, clas
             // Static methods stay static here (no receiver shift); own-static
             // access still goes through discover only for *substitutable*
             // classes, which `class` is not — so plain instance context.
-            m.body = Some(rewrite_body(
-                universe,
-                plan,
-                BodyCtx::instance(class),
-                body,
-            ));
+            m.body = Some(rewrite_body(universe, plan, BodyCtx::instance(class), body));
         }
     }
     universe.define(class, updated);

@@ -72,7 +72,14 @@ pub const CLINIT: &str = "clinit";
 /// The original class name of a generated artefact, if the name matches a
 /// generated pattern.
 pub fn base_of(generated: &str) -> Option<&str> {
-    for marker in ["_O_Int", "_O_Local", "_C_Int", "_C_Local", "_O_Factory", "_C_Factory"] {
+    for marker in [
+        "_O_Int",
+        "_O_Local",
+        "_C_Int",
+        "_C_Local",
+        "_O_Factory",
+        "_C_Factory",
+    ] {
         if let Some(base) = generated.strip_suffix(marker) {
             return Some(base);
         }

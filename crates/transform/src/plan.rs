@@ -213,8 +213,12 @@ pub fn build_plan(
         }
     }
 
-    // Phase 4: family member signatures.
-    let bases: Vec<ClassId> = plan.families.keys().copied().collect();
+    // Phase 4: family member signatures. Sorted: this loop interns fresh
+    // signature ids, and `families` is a HashMap — iterating it raw would
+    // assign accessor sig ids in a different order on every run, leaking
+    // nondeterminism into wire bytes and traces.
+    let mut bases: Vec<ClassId> = plan.families.keys().copied().collect();
+    bases.sort();
     let make_sig = universe.sig(naming::MAKE, vec![]);
     let discover_sig = universe.sig(naming::DISCOVER, vec![]);
     for base in bases {
@@ -227,7 +231,10 @@ pub fn build_plan(
         ) = {
             let c = universe.class(base);
             (
-                c.fields.iter().map(|f| (f.name.clone(), f.ty.clone())).collect(),
+                c.fields
+                    .iter()
+                    .map(|f| (f.name.clone(), f.ty.clone()))
+                    .collect(),
                 c.static_fields
                     .iter()
                     .map(|f| (f.name.clone(), f.ty.clone()))
@@ -263,7 +270,10 @@ pub fn build_plan(
             init_sigs.push(universe.sig(&naming::init_method(k), ps));
         }
         let clinit_sig = if has_clinit {
-            Some(universe.sig(naming::CLINIT, vec![cls_int_ty.clone().expect("clinit implies statics")]))
+            Some(universe.sig(
+                naming::CLINIT,
+                vec![cls_int_ty.clone().expect("clinit implies statics")],
+            ))
         } else {
             None
         };

@@ -291,7 +291,9 @@ mod tests {
         let out = rewrite_body(&u, &plan, BodyCtx::instance(ids.x), &body);
         let fx = plan.family(ids.x).unwrap();
         assert!(
-            out.code.iter().any(|i| matches!(i, Insn::Invoke { sig, .. } if *sig == fx.getters[0])),
+            out.code
+                .iter()
+                .any(|i| matches!(i, Insn::Invoke { sig, .. } if *sig == fx.getters[0])),
             "{out:?}"
         );
         assert!(
@@ -342,8 +344,14 @@ mod tests {
         assert!(out.code.iter().any(|i| matches!(i, Insn::InvokeStatic { class, sig, .. } if *class == fz.obj_factory && *sig == fz.make_sig)));
         assert!(out.code.iter().any(|i| matches!(i, Insn::InvokeStatic { class, sig, .. } if *class == fz.obj_factory && *sig == fz.init_sigs[0])));
         // that.set_z(…) via local 0
-        assert!(out.code.iter().any(|i| matches!(i, Insn::Invoke { sig, .. } if *sig == fx.static_setters[0])));
-        assert!(!out.code.iter().any(|i| matches!(i, Insn::PutStatic(_) | Insn::GetStatic(_) | Insn::NewInit { .. })));
+        assert!(out
+            .code
+            .iter()
+            .any(|i| matches!(i, Insn::Invoke { sig, .. } if *sig == fx.static_setters[0])));
+        assert!(!out.code.iter().any(|i| matches!(
+            i,
+            Insn::PutStatic(_) | Insn::GetStatic(_) | Insn::NewInit { .. }
+        )));
     }
 
     #[test]
@@ -362,7 +370,9 @@ mod tests {
         let out = rewrite_body(&u, &plan, BodyCtx::instance(ids.x), &body);
         let fx = plan.family(ids.x).unwrap();
         // arg stashed, discover pushed, arg restored, instance invoke.
-        assert!(out.code.iter().any(|i| matches!(i, Insn::InvokeStatic { class, .. } if *class == fx.cls_factory.unwrap())));
+        assert!(out.code.iter().any(
+            |i| matches!(i, Insn::InvokeStatic { class, .. } if *class == fx.cls_factory.unwrap())
+        ));
         assert!(out.code.iter().any(|i| matches!(i, Insn::StoreLocal(_))));
         assert!(out.code.iter().any(|i| matches!(i, Insn::Invoke { .. })));
         assert!(out.max_locals > body.max_locals);

@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use rafda_classmodel::builder::{ClassBuilder, MethodBuilder};
-use rafda_classmodel::{
-    sample, verify_universe, ClassKind, ClassUniverse, Field, Ty, Visibility,
-};
+use rafda_classmodel::{sample, verify_universe, ClassKind, ClassUniverse, Field, Ty, Visibility};
 use rafda_transform::{analyze, Transformer};
 
 // ----------------------------------------------------------------------

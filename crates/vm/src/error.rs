@@ -192,8 +192,13 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(VmError::Trap(Trap::DivByZero).to_string(), "trap: division by zero");
-        assert!(VmError::type_error("int vs long").to_string().contains("int vs long"));
+        assert_eq!(
+            VmError::Trap(Trap::DivByZero).to_string(),
+            "trap: division by zero"
+        );
+        assert!(VmError::type_error("int vs long")
+            .to_string()
+            .contains("int vs long"));
         let t = Trap::IndexOutOfBounds { index: 5, len: 3 };
         assert!(t.to_string().contains("5"));
         assert!(t.to_string().contains("3"));
@@ -216,7 +221,9 @@ mod tests {
         assert!(crashed.to_string().contains("crashed"));
         assert!(crashed.to_string().contains("network:"));
         let parted = NetFailure::new(NetFailureKind::Partitioned { from: 0, to: 1 }, 4);
-        assert!(parted.to_string().contains("partition between node0 and node1"));
+        assert!(parted
+            .to_string()
+            .contains("partition between node0 and node1"));
         assert!(parted.to_string().contains("after 4 attempts"));
     }
 

@@ -99,7 +99,11 @@ impl Trace {
         // The longer prefix is only acceptable if the shorter one stopped
         // because of a network failure.
         if a_cut != b_cut {
-            let shorter_failed = if a_cut < b_cut { a_cut < self.events.len() } else { b_cut < other.events.len() };
+            let shorter_failed = if a_cut < b_cut {
+                a_cut < self.events.len()
+            } else {
+                b_cut < other.events.len()
+            };
             return shorter_failed;
         }
         true
@@ -148,7 +152,11 @@ mod tests {
 
     #[test]
     fn network_failure_allows_prefix() {
-        let ok = t(&[TraceEvent::Emit(1), TraceEvent::Emit(2), TraceEvent::Emit(3)]);
+        let ok = t(&[
+            TraceEvent::Emit(1),
+            TraceEvent::Emit(2),
+            TraceEvent::Emit(3),
+        ]);
         let failed = t(&[
             TraceEvent::Emit(1),
             TraceEvent::NetworkFailure("partition".into()),
@@ -177,8 +185,44 @@ mod tests {
 
     #[test]
     fn uncaught_exception_is_observable() {
-        let a = t(&[TraceEvent::Emit(1), TraceEvent::UncaughtException("AppError".into())]);
+        let a = t(&[
+            TraceEvent::Emit(1),
+            TraceEvent::UncaughtException("AppError".into()),
+        ]);
         let b = t(&[TraceEvent::Emit(1)]);
         assert!(!a.equivalent_modulo_network(&b));
+    }
+
+    #[test]
+    fn display_golden_for_every_variant() {
+        // Golden strings: equivalence failures and logs print these, so the
+        // exact rendering is a stable contract.
+        assert_eq!(TraceEvent::Emit(-42).to_string(), "emit -42");
+        assert_eq!(
+            TraceEvent::EmitStr("a \"b\"".into()).to_string(),
+            "emit \"a \"b\"\""
+        );
+        assert_eq!(
+            TraceEvent::EmitDouble(std::f64::consts::PI.to_bits()).to_string(),
+            "emit 0x400921fb54442d18"
+        );
+        assert_eq!(
+            TraceEvent::EmitDouble(0).to_string(),
+            "emit 0x0000000000000000"
+        );
+        assert_eq!(
+            TraceEvent::UncaughtException("DivideByZero".into()).to_string(),
+            "uncaught DivideByZero"
+        );
+        assert_eq!(
+            TraceEvent::NetworkFailure("timeout after 3 attempts".into()).to_string(),
+            "network failure: timeout after 3 attempts"
+        );
+    }
+
+    #[test]
+    fn trace_display_is_one_event_per_line() {
+        let tr = t(&[TraceEvent::Emit(7), TraceEvent::EmitStr("hi".into())]);
+        assert_eq!(tr.to_string(), "emit 7\nemit \"hi\"\n");
     }
 }

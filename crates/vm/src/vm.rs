@@ -353,7 +353,12 @@ impl Vm {
     ///
     /// # Errors
     /// Any [`VmError`] raised during execution.
-    pub fn call_static(&self, class: ClassId, sig: SigId, args: Vec<Value>) -> Result<Value, VmError> {
+    pub fn call_static(
+        &self,
+        class: ClassId,
+        sig: SigId,
+        args: Vec<Value>,
+    ) -> Result<Value, VmError> {
         self.ensure_initialized(class, 0)?;
         let (owner, idx) = self.universe.resolve_static(class, sig).ok_or_else(|| {
             VmError::Trap(Trap::UnresolvedMethod(format!(
@@ -370,7 +375,12 @@ impl Vm {
     /// # Errors
     /// Any [`VmError`] raised during execution; `NullDeref` for a null
     /// receiver.
-    pub fn call_virtual(&self, recv: Value, sig: SigId, mut args: Vec<Value>) -> Result<Value, VmError> {
+    pub fn call_virtual(
+        &self,
+        recv: Value,
+        sig: SigId,
+        mut args: Vec<Value>,
+    ) -> Result<Value, VmError> {
         let h = match recv {
             Value::Ref(h) => h,
             Value::Null => return Err(VmError::Trap(Trap::NullDeref)),
@@ -381,9 +391,7 @@ impl Vm {
                 )))
             }
         };
-        let class = self
-            .class_of(h)
-            .ok_or(VmError::Trap(Trap::StaleHandle))?;
+        let class = self.class_of(h).ok_or(VmError::Trap(Trap::StaleHandle))?;
         let (owner, idx) = self.universe.resolve_virtual(class, sig).ok_or_else(|| {
             VmError::Trap(Trap::UnresolvedMethod(format!(
                 "{}::{}",
@@ -401,7 +409,12 @@ impl Vm {
     ///
     /// # Errors
     /// Any [`VmError`] raised by the constructor or class initialiser.
-    pub fn new_instance(&self, class: ClassId, ctor: u16, args: Vec<Value>) -> Result<Value, VmError> {
+    pub fn new_instance(
+        &self,
+        class: ClassId,
+        ctor: u16,
+        args: Vec<Value>,
+    ) -> Result<Value, VmError> {
         self.ensure_initialized(class, 0)?;
         self.construct(class, ctor, args, 0)
     }
@@ -433,9 +446,7 @@ impl Vm {
         method: &str,
         args: Vec<Value>,
     ) -> Result<Value, VmError> {
-        let h = recv
-            .as_ref_handle()
-            .ok_or(VmError::Trap(Trap::NullDeref))?;
+        let h = recv.as_ref_handle().ok_or(VmError::Trap(Trap::NullDeref))?;
         let class = self.class_of(h).ok_or(VmError::Trap(Trap::StaleHandle))?;
         let mut cur = Some(class);
         while let Some(c) = cur {
@@ -567,13 +578,12 @@ impl Vm {
         depth: u32,
     ) -> Result<Value, VmError> {
         let cls = self.universe.class(class);
-        let &mi = cls
-            .ctors
-            .get(ctor as usize)
-            .ok_or_else(|| VmError::Trap(Trap::UnresolvedMethod(format!(
+        let &mi = cls.ctors.get(ctor as usize).ok_or_else(|| {
+            VmError::Trap(Trap::UnresolvedMethod(format!(
                 "{}::<init>${ctor}",
                 cls.name
-            ))))?;
+            )))
+        })?;
         let defaults: Vec<Value> = self
             .universe
             .field_layout(class)
@@ -667,9 +677,7 @@ impl Vm {
                 Ok(Flow::Jump(t)) => pc = t,
                 Ok(Flow::Return(v)) => return Ok(v),
                 Err(VmError::Exception(exc)) => {
-                    let exc_class = self
-                        .class_of(exc)
-                        .ok_or(VmError::Trap(Trap::StaleHandle))?;
+                    let exc_class = self.class_of(exc).ok_or(VmError::Trap(Trap::StaleHandle))?;
                     let handler = body.handlers.iter().find(|h| {
                         h.start <= pc
                             && pc < h.end
@@ -764,13 +772,16 @@ impl Vm {
                 let recv = args.remove(0);
                 let h = ref_handle(recv)?;
                 let rt_class = self.class_of(h).ok_or(VmError::Trap(Trap::StaleHandle))?;
-                let (owner, idx) = self.universe.resolve_virtual(rt_class, *sig).ok_or_else(|| {
-                    VmError::Trap(Trap::UnresolvedMethod(format!(
-                        "{}::{}",
-                        self.universe.class(rt_class).name,
-                        self.universe.sig_info(*sig).name
-                    )))
-                })?;
+                let (owner, idx) =
+                    self.universe
+                        .resolve_virtual(rt_class, *sig)
+                        .ok_or_else(|| {
+                            VmError::Trap(Trap::UnresolvedMethod(format!(
+                                "{}::{}",
+                                self.universe.class(rt_class).name,
+                                self.universe.sig_info(*sig).name
+                            )))
+                        })?;
                 let mut all = Vec::with_capacity(args.len() + 1);
                 all.push(Value::Ref(h));
                 all.extend(args);
@@ -1038,12 +1049,7 @@ fn un_op(op: UnOp, a: Value) -> Result<Value, VmError> {
         (UnOp::Not, Int(x)) => Int(!x),
         (UnOp::Not, Long(x)) => Long(!x),
         (UnOp::Convert(target), v) => convert(target, v)?,
-        (op, v) => {
-            return Err(VmError::type_error(format!(
-                "unop {op:?} on {}",
-                v.kind()
-            )))
-        }
+        (op, v) => return Err(VmError::type_error(format!("unop {op:?} on {}", v.kind()))),
     })
 }
 

@@ -134,8 +134,14 @@ fn virtual_dispatch_uses_runtime_class() {
     let b = u.by_name("B").unwrap();
     let ao = vm.new_instance(a, 0, vec![]).unwrap();
     let bo = vm.new_instance(b, 0, vec![]).unwrap();
-    assert_eq!(vm.call_virtual_by_name(ao, "tag", vec![]), Ok(Value::Int(1)));
-    assert_eq!(vm.call_virtual_by_name(bo, "tag", vec![]), Ok(Value::Int(2)));
+    assert_eq!(
+        vm.call_virtual_by_name(ao, "tag", vec![]),
+        Ok(Value::Int(1))
+    );
+    assert_eq!(
+        vm.call_virtual_by_name(bo, "tag", vec![]),
+        Ok(Value::Int(2))
+    );
 }
 
 #[test]
@@ -330,9 +336,7 @@ fn observer_records_trace() {
     let ids = Vm::install_observer(&mut u);
     let mut cb = ClassBuilder::declare(&mut u, "Main", rafda_classmodel::ClassKind::Class);
     let mut mb = MethodBuilder::new(0);
-    mb.const_long(7)
-        .invoke_static(ids.class, ids.emit, 1)
-        .pop();
+    mb.const_long(7).invoke_static(ids.class, ids.emit, 1).pop();
     mb.const_str("done")
         .invoke_static(ids.class, ids.emit_str, 1)
         .pop();
@@ -346,10 +350,7 @@ fn observer_records_trace() {
     let trace = vm.run_observed("Main", "main", vec![]);
     assert_eq!(
         trace.events(),
-        &[
-            TraceEvent::Emit(7),
-            TraceEvent::EmitStr("done".to_owned())
-        ]
+        &[TraceEvent::Emit(7), TraceEvent::EmitStr("done".to_owned())]
     );
 }
 
@@ -492,7 +493,10 @@ fn in_place_swap_changes_dispatch_for_existing_references() {
     let i2 = u.by_name("Impl2").unwrap();
     let obj = vm.new_instance(i1, 0, vec![]).unwrap();
     let h = obj.as_ref_handle().unwrap();
-    assert_eq!(vm.call_virtual_by_name(obj.clone(), "v", vec![]), Ok(Value::Int(1)));
+    assert_eq!(
+        vm.call_virtual_by_name(obj.clone(), "v", vec![]),
+        Ok(Value::Int(1))
+    );
     assert!(vm.replace_object(h, i2, vec![]));
     assert_eq!(vm.call_virtual_by_name(obj, "v", vec![]), Ok(Value::Int(2)));
     assert_eq!(vm.stats().heap.replacements, 1);

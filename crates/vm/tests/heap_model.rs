@@ -22,8 +22,11 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (0u32..8, 0u8..6).prop_map(|(class, fields)| Op::Alloc { class, fields }),
         (0usize..24).prop_map(|slot| Op::Free { slot }),
         (0usize..24, 0u32..8).prop_map(|(slot, class)| Op::Replace { slot, class }),
-        (0usize..24, 0u8..6, any::<i32>())
-            .prop_map(|(slot, offset, value)| Op::Write { slot, offset, value }),
+        (0usize..24, 0u8..6, any::<i32>()).prop_map(|(slot, offset, value)| Op::Write {
+            slot,
+            offset,
+            value
+        }),
         (0usize..24, 0u8..6).prop_map(|(slot, offset)| Op::Read { slot, offset }),
     ]
 }

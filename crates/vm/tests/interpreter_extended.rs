@@ -104,10 +104,7 @@ impl Expr {
 }
 
 fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-1000i64..1000).prop_map(Expr::Const),
-        Just(Expr::Param),
-    ];
+    let leaf = prop_oneof![(-1000i64..1000).prop_map(Expr::Const), Just(Expr::Param),];
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),

@@ -5,12 +5,16 @@
 //! somewhat larger — the classic CDR trade-off of parse speed for padding.
 
 use crate::binary::{BinReader, BinWriter};
-use crate::{rmi, Protocol, Reply, Request, WireError};
+use crate::{rmi, Protocol, Reply, Request, TraceContext, WireError};
 
 const MAGIC: &[u8] = b"GIOP";
 // Minor version 3 added the message id (at-most-once dedup key): an aligned
 // u64 occupying bytes 8..16 of every frame (bytes 6..8 are alignment pad).
-const VERSION: &[u8] = &[1, 3];
+// Minor version 4 appended the trace context: three aligned u64s (trace,
+// span, parent span ids) at bytes 16..40. Minor-3 frames still decode, with
+// `TraceContext::NONE`.
+const MAJOR: u8 = 1;
+const MINOR: u8 = 4;
 
 /// The CORBA-like protocol.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,34 +32,48 @@ impl Protocol for CorbaCodec {
         "CORBA"
     }
 
-    fn encode_request(&self, id: u64, req: &Request) -> Vec<u8> {
+    fn encode_request(&self, id: u64, ctx: TraceContext, req: &Request) -> Vec<u8> {
         let mut w = BinWriter::aligned();
-        w.raw(MAGIC).raw(VERSION).u64(id);
+        w.raw(MAGIC).raw(&[MAJOR, MINOR]).u64(id);
+        rmi::write_ctx(&mut w, ctx);
         rmi::write_request(&mut w, req);
         w.finish()
     }
 
-    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, Request), WireError> {
+    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Request), WireError> {
         let mut r = BinReader::aligned(bytes);
         r.expect(MAGIC)?;
-        r.expect(VERSION)?;
+        r.expect(&[MAJOR])?;
+        let minor = r.u8()?;
         let id = r.u64()?;
-        Ok((id, rmi::read_request(&mut r)?))
+        let ctx = if minor >= 4 {
+            rmi::read_ctx(&mut r)?
+        } else {
+            TraceContext::NONE
+        };
+        Ok((id, ctx, rmi::read_request(&mut r)?))
     }
 
-    fn encode_reply(&self, id: u64, reply: &Reply) -> Vec<u8> {
+    fn encode_reply(&self, id: u64, ctx: TraceContext, reply: &Reply) -> Vec<u8> {
         let mut w = BinWriter::aligned();
-        w.raw(MAGIC).raw(VERSION).u64(id);
+        w.raw(MAGIC).raw(&[MAJOR, MINOR]).u64(id);
+        rmi::write_ctx(&mut w, ctx);
         rmi::write_reply(&mut w, reply);
         w.finish()
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, Reply), WireError> {
+    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Reply), WireError> {
         let mut r = BinReader::aligned(bytes);
         r.expect(MAGIC)?;
-        r.expect(VERSION)?;
+        r.expect(&[MAJOR])?;
+        let minor = r.u8()?;
         let id = r.u64()?;
-        Ok((id, rmi::read_reply(&mut r)?))
+        let ctx = if minor >= 4 {
+            rmi::read_ctx(&mut r)?
+        } else {
+            TraceContext::NONE
+        };
+        Ok((id, ctx, rmi::read_reply(&mut r)?))
     }
 
     /// ORB request brokering cost: ~60 µs per message.
@@ -80,23 +98,60 @@ mod tests {
         let rmi = crate::RmiCodec::new();
         let corba = CorbaCodec::new();
         for req in testdata::sample_requests() {
-            let r = rmi.encode_request(9, &req).len();
-            let c = corba.encode_request(9, &req).len();
+            let r = rmi.encode_request(9, TraceContext::NONE, &req).len();
+            let c = corba.encode_request(9, TraceContext::NONE, &req).len();
             assert!(c >= r, "corba {c} < rmi {r} for {req:?}");
         }
     }
 
     #[test]
     fn rejects_rmi_frames() {
-        let frame = crate::RmiCodec::new().encode_reply(3, &Reply::Value(WireValue::Int(1)));
+        let frame = crate::RmiCodec::new().encode_reply(
+            3,
+            TraceContext::NONE,
+            &Reply::Value(WireValue::Int(1)),
+        );
         assert!(CorbaCodec::new().decode_reply(&frame).is_err());
     }
 
     #[test]
-    fn message_id_sits_at_aligned_offset() {
-        let bytes = CorbaCodec::new().encode_request(0x1122_3344_5566_7788, &Request::Fetch { object: 1 });
-        // 4 magic + 2 version + 2 pad, then the aligned u64 id.
+    fn header_fields_sit_at_aligned_offsets() {
+        let ctx = TraceContext {
+            trace_id: 0xAA,
+            span_id: 0xBB,
+            parent_span_id: 0xCC,
+        };
+        let bytes = CorbaCodec::new().encode_request(
+            0x1122_3344_5566_7788,
+            ctx,
+            &Request::Fetch { object: 1 },
+        );
+        // 4 magic + 2 version + 2 pad, then the aligned u64 id, then the
+        // three aligned u64s of the trace context.
         let id = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
         assert_eq!(id, 0x1122_3344_5566_7788);
+        assert_eq!(u64::from_le_bytes(bytes[16..24].try_into().unwrap()), 0xAA);
+        assert_eq!(u64::from_le_bytes(bytes[24..32].try_into().unwrap()), 0xBB);
+        assert_eq!(u64::from_le_bytes(bytes[32..40].try_into().unwrap()), 0xCC);
+    }
+
+    #[test]
+    fn minor_3_frames_decode_with_no_trace_context() {
+        let ctx = TraceContext {
+            trace_id: 5,
+            span_id: 6,
+            parent_span_id: 1,
+        };
+        let v4 = CorbaCodec::new().encode_request(9, ctx, &Request::Fetch { object: 2 });
+        // Re-create the pre-tracing frame: minor version 3, no trace context
+        // words (drop bytes 16..40); everything after stays aligned because
+        // 24 bytes is a multiple of 8.
+        let mut v3 = v4.clone();
+        v3[5] = 3;
+        v3.drain(16..40);
+        let (id, back_ctx, req) = CorbaCodec::new().decode_request(&v3).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(back_ctx, TraceContext::NONE);
+        assert_eq!(req, Request::Fetch { object: 2 });
     }
 }

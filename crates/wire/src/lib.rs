@@ -33,6 +33,7 @@ pub mod rmi;
 pub mod soap;
 
 pub use corba::CorbaCodec;
+pub use rafda_telemetry::TraceContext;
 pub use rmi::RmiCodec;
 pub use soap::SoapCodec;
 
@@ -181,6 +182,14 @@ impl WireError {
 /// native header position (JRMP stream id, GIOP request id, a SOAP header
 /// element).
 ///
+/// Alongside the message id the header carries a [`TraceContext`] — the
+/// causal coordinates of the span the frame was sent from — so the serving
+/// node can parent its dispatch span under the caller's span even across a
+/// multi-hop proxy chain. A request's retransmissions carry the *same*
+/// context (the frame is encoded once and resent verbatim); replies carry
+/// the server span's context. Frames from pre-tracing peers decode as
+/// [`TraceContext::NONE`].
+///
 /// Implementations must round-trip exactly. `overhead_ns` models the
 /// protocol-stack processing cost charged per message in addition to the
 /// transmission cost (e.g. XML parsing for SOAP).
@@ -189,23 +198,26 @@ pub trait Protocol {
     /// (`A_O_Proxy_SOAP` etc.).
     fn name(&self) -> &'static str;
 
-    /// Encode a request under message id `id`.
-    fn encode_request(&self, id: u64, req: &Request) -> Vec<u8>;
+    /// Encode a request under message id `id`, carrying trace context
+    /// `ctx`.
+    fn encode_request(&self, id: u64, ctx: TraceContext, req: &Request) -> Vec<u8>;
 
-    /// Decode a request, returning its message id and body.
+    /// Decode a request, returning its message id, trace context and body.
     ///
     /// # Errors
     /// [`WireError`] on malformed input.
-    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, Request), WireError>;
+    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Request), WireError>;
 
-    /// Encode a reply answering the request with message id `id`.
-    fn encode_reply(&self, id: u64, reply: &Reply) -> Vec<u8>;
+    /// Encode a reply answering the request with message id `id`, carrying
+    /// the server span's trace context `ctx`.
+    fn encode_reply(&self, id: u64, ctx: TraceContext, reply: &Reply) -> Vec<u8>;
 
-    /// Decode a reply, returning the answered message id and body.
+    /// Decode a reply, returning the answered message id, trace context and
+    /// body.
     ///
     /// # Errors
     /// [`WireError`] on malformed input.
-    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, Reply), WireError>;
+    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Reply), WireError>;
 
     /// Per-message protocol-stack processing cost (simulated nanoseconds).
     fn overhead_ns(&self) -> u64 {
@@ -281,7 +293,11 @@ pub(crate) mod testdata {
             WireValue::Str(String::new()),
             WireValue::Str("hello world".to_owned()),
             WireValue::Str("escapes <&>\"' and unicode ☃".to_owned()),
-            WireValue::Remote { node: 3, object: 99, class: "C".to_owned() },
+            WireValue::Remote {
+                node: 3,
+                object: 99,
+                class: "C".to_owned(),
+            },
             WireValue::Array(vec![
                 WireValue::Int(1),
                 WireValue::Null,
@@ -290,7 +306,11 @@ pub(crate) mod testdata {
             WireValue::ObjectState {
                 class: "X_O_Local".to_owned(),
                 fields: vec![
-                    WireValue::Remote { node: 0, object: 1, class: "Y".to_owned() },
+                    WireValue::Remote {
+                        node: 0,
+                        object: 1,
+                        class: "Y".to_owned(),
+                    },
                     WireValue::Int(7),
                 ],
             },
@@ -299,7 +319,9 @@ pub(crate) mod testdata {
 
     pub fn sample_requests() -> Vec<Request> {
         let mut out = vec![
-            Request::Discover { class: "X_C_Int".into() },
+            Request::Discover {
+                class: "X_C_Int".into(),
+            },
             Request::Fetch { object: 17 },
             Request::Create {
                 class: "X".into(),
@@ -349,31 +371,56 @@ pub(crate) mod testdata {
         out
     }
 
-    /// Assert a protocol round-trips all samples, including message ids
-    /// at the extremes of their domain.
+    /// Assert a protocol round-trips all samples, including message ids and
+    /// trace contexts at the extremes of their domains.
     pub fn assert_roundtrips(p: &dyn Protocol) {
         for (i, req) in sample_requests().into_iter().enumerate() {
             let id = sample_id(i);
-            let bytes = p.encode_request(id, &req);
-            let (back_id, back) = p
+            let ctx = sample_ctx(i);
+            let bytes = p.encode_request(id, ctx, &req);
+            let (back_id, back_ctx, back) = p
                 .decode_request(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e} for {req:?}", p.name()));
             assert_eq!(back_id, id, "{} request id roundtrip", p.name());
+            assert_eq!(back_ctx, ctx, "{} request ctx roundtrip", p.name());
             assert_eq!(back, req, "{} request roundtrip", p.name());
         }
         for (i, reply) in sample_replies().into_iter().enumerate() {
             let id = sample_id(i);
-            let bytes = p.encode_reply(id, &reply);
-            let (back_id, back) = p
+            let ctx = sample_ctx(i);
+            let bytes = p.encode_reply(id, ctx, &reply);
+            let (back_id, back_ctx, back) = p
                 .decode_reply(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e} for {reply:?}", p.name()));
             assert_eq!(back_id, id, "{} reply id roundtrip", p.name());
+            assert_eq!(back_ctx, ctx, "{} reply ctx roundtrip", p.name());
             assert_eq!(back, reply, "{} reply roundtrip", p.name());
         }
     }
 
     fn sample_id(i: usize) -> u64 {
         [0, 1, 7, u64::from(u32::MAX), u64::MAX][i % 5]
+    }
+
+    fn sample_ctx(i: usize) -> TraceContext {
+        [
+            TraceContext::NONE,
+            TraceContext {
+                trace_id: 1,
+                span_id: 2,
+                parent_span_id: 0,
+            },
+            TraceContext {
+                trace_id: 9,
+                span_id: 40,
+                parent_span_id: 39,
+            },
+            TraceContext {
+                trace_id: u64::MAX,
+                span_id: u64::MAX,
+                parent_span_id: u64::MAX,
+            },
+        ][i % 4]
     }
 }
 
@@ -395,11 +442,21 @@ mod tests {
         let req = Request::Call {
             object: 5,
             method: "set_y".into(),
-            args: vec![WireValue::Remote { node: 1, object: 2, class: "Y".to_owned() }],
+            args: vec![WireValue::Remote {
+                node: 1,
+                object: 2,
+                class: "Y".to_owned(),
+            }],
         };
-        let rmi = RmiCodec::new().encode_request(1, &req).len();
-        let soap = SoapCodec::new().encode_request(1, &req).len();
-        let corba = CorbaCodec::new().encode_request(1, &req).len();
+        let rmi = RmiCodec::new()
+            .encode_request(1, TraceContext::NONE, &req)
+            .len();
+        let soap = SoapCodec::new()
+            .encode_request(1, TraceContext::NONE, &req)
+            .len();
+        let corba = CorbaCodec::new()
+            .encode_request(1, TraceContext::NONE, &req)
+            .len();
         assert!(soap > 3 * rmi, "soap={soap} rmi={rmi}");
         assert!(soap > 2 * corba, "soap={soap} corba={corba}");
     }

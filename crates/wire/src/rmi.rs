@@ -1,11 +1,25 @@
 //! RMI-like codec: compact tagged binary, JRMP-style magic header.
 
 use crate::binary::{BinReader, BinWriter};
-use crate::{Protocol, Reply, Request, WireError, WireValue};
+use crate::{Protocol, Reply, Request, TraceContext, WireError, WireValue};
 
 const MAGIC: &[u8] = b"JRMI";
 // Version 3 added the message id (at-most-once dedup key) to the header.
-const VERSION: u8 = 3;
+// Version 4 appended the trace context (trace/span/parent span ids) right
+// after it; version-3 frames still decode, with `TraceContext::NONE`.
+const VERSION: u8 = 4;
+
+pub(crate) fn write_ctx(w: &mut BinWriter, ctx: TraceContext) {
+    w.u64(ctx.trace_id).u64(ctx.span_id).u64(ctx.parent_span_id);
+}
+
+pub(crate) fn read_ctx(r: &mut BinReader<'_>) -> Result<TraceContext, WireError> {
+    Ok(TraceContext {
+        trace_id: r.u64()?,
+        span_id: r.u64()?,
+        parent_span_id: r.u64()?,
+    })
+}
 
 // Value tags.
 const T_NULL: u8 = 0;
@@ -55,7 +69,11 @@ pub(crate) fn write_value(w: &mut BinWriter, v: &WireValue) {
         WireValue::Str(s) => {
             w.u8(T_STR).string(s);
         }
-        WireValue::Remote { node, object, class } => {
+        WireValue::Remote {
+            node,
+            object,
+            class,
+        } => {
             w.u8(T_REMOTE).u32(*node).u64(*object).string(class);
         }
         WireValue::Array(items) => {
@@ -115,13 +133,19 @@ pub(crate) fn write_request(w: &mut BinWriter, req: &Request) {
             method,
             args,
         } => {
-            w.u8(R_CALL).u64(*object).string(method).u32(args.len() as u32);
+            w.u8(R_CALL)
+                .u64(*object)
+                .string(method)
+                .u32(args.len() as u32);
             for a in args {
                 write_value(w, a);
             }
         }
         Request::Create { class, ctor, args } => {
-            w.u8(R_CREATE).string(class).u16(*ctor).u32(args.len() as u32);
+            w.u8(R_CREATE)
+                .string(class)
+                .u16(*ctor)
+                .u32(args.len() as u32);
             for a in args {
                 write_value(w, a);
             }
@@ -253,34 +277,46 @@ impl Protocol for RmiCodec {
         "RMI"
     }
 
-    fn encode_request(&self, id: u64, req: &Request) -> Vec<u8> {
+    fn encode_request(&self, id: u64, ctx: TraceContext, req: &Request) -> Vec<u8> {
         let mut w = BinWriter::new();
         w.raw(MAGIC).u8(VERSION).u64(id);
+        write_ctx(&mut w, ctx);
         write_request(&mut w, req);
         w.finish()
     }
 
-    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, Request), WireError> {
+    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Request), WireError> {
         let mut r = BinReader::new(bytes);
         r.expect(MAGIC)?;
-        let _version = r.u8()?;
+        let version = r.u8()?;
         let id = r.u64()?;
-        Ok((id, read_request(&mut r)?))
+        let ctx = if version >= 4 {
+            read_ctx(&mut r)?
+        } else {
+            TraceContext::NONE
+        };
+        Ok((id, ctx, read_request(&mut r)?))
     }
 
-    fn encode_reply(&self, id: u64, reply: &Reply) -> Vec<u8> {
+    fn encode_reply(&self, id: u64, ctx: TraceContext, reply: &Reply) -> Vec<u8> {
         let mut w = BinWriter::new();
         w.raw(MAGIC).u8(VERSION).u64(id);
+        write_ctx(&mut w, ctx);
         write_reply(&mut w, reply);
         w.finish()
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, Reply), WireError> {
+    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Reply), WireError> {
         let mut r = BinReader::new(bytes);
         r.expect(MAGIC)?;
-        let _version = r.u8()?;
+        let version = r.u8()?;
         let id = r.u64()?;
-        Ok((id, read_reply(&mut r)?))
+        let ctx = if version >= 4 {
+            read_ctx(&mut r)?
+        } else {
+            TraceContext::NONE
+        };
+        Ok((id, ctx, read_reply(&mut r)?))
     }
 
     /// JRMP stacks were comparatively lean: ~40 µs per message.
@@ -302,7 +338,7 @@ mod tests {
     #[test]
     fn rejects_wrong_magic() {
         let codec = RmiCodec::new();
-        let mut bytes = codec.encode_request(4, &Request::Fetch { object: 1 });
+        let mut bytes = codec.encode_request(4, TraceContext::NONE, &Request::Fetch { object: 1 });
         bytes[0] = b'X';
         assert!(codec.decode_request(&bytes).is_err());
     }
@@ -310,32 +346,58 @@ mod tests {
     #[test]
     fn rejects_unknown_tags() {
         let codec = RmiCodec::new();
-        let mut bytes = codec.encode_reply(4, &Reply::Fault("x".into()));
-        bytes[13] = 99; // reply tag position (after magic + version + message id)
+        let mut bytes = codec.encode_reply(4, TraceContext::NONE, &Reply::Fault("x".into()));
+        // Reply tag position: magic(4) + version(1) + message id(8) + trace
+        // context(24).
+        bytes[37] = 99;
         assert!(codec.decode_reply(&bytes).is_err());
     }
 
     #[test]
     fn call_request_is_compact() {
         let codec = RmiCodec::new();
-        let bytes = codec.encode_request(1, &Request::Call {
-            object: 1,
-            method: "m".into(),
-            args: vec![WireValue::Long(7)],
-        });
-        assert!(bytes.len() < 48, "len = {}", bytes.len());
+        let bytes = codec.encode_request(
+            1,
+            TraceContext::NONE,
+            &Request::Call {
+                object: 1,
+                method: "m".into(),
+                args: vec![WireValue::Long(7)],
+            },
+        );
+        assert!(bytes.len() < 72, "len = {}", bytes.len());
     }
 
     #[test]
     fn message_id_is_independent_of_body() {
         let codec = RmiCodec::new();
         let req = Request::Fetch { object: 1 };
-        let a = codec.encode_request(1, &req);
-        let b = codec.encode_request(2, &req);
+        let a = codec.encode_request(1, TraceContext::NONE, &req);
+        let b = codec.encode_request(2, TraceContext::NONE, &req);
         assert_ne!(a, b, "id is part of the frame");
-        let (id_a, body_a) = codec.decode_request(&a).unwrap();
-        let (id_b, body_b) = codec.decode_request(&b).unwrap();
+        let (id_a, _, body_a) = codec.decode_request(&a).unwrap();
+        let (id_b, _, body_b) = codec.decode_request(&b).unwrap();
         assert_eq!((id_a, id_b), (1, 2));
         assert_eq!(body_a, body_b);
+    }
+
+    #[test]
+    fn version_3_frames_decode_with_no_trace_context() {
+        let codec = RmiCodec::new();
+        let ctx = TraceContext {
+            trace_id: 5,
+            span_id: 6,
+            parent_span_id: 1,
+        };
+        let v4 = codec.encode_request(9, ctx, &Request::Fetch { object: 2 });
+        // Re-create the pre-tracing frame: version byte 3, no trace context
+        // field (drop bytes 13..37).
+        let mut v3 = v4.clone();
+        v3[4] = 3;
+        v3.drain(13..37);
+        let (id, back_ctx, req) = codec.decode_request(&v3).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(back_ctx, TraceContext::NONE);
+        assert_eq!(req, Request::Fetch { object: 2 });
     }
 }

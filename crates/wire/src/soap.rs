@@ -6,7 +6,7 @@
 //! printed human-readably but carry a `bits` attribute so round-trips are
 //! exact.
 
-use crate::{Protocol, Reply, Request, WireError, WireValue};
+use crate::{Protocol, Reply, Request, TraceContext, WireError, WireValue};
 use std::fmt::Write as _;
 
 // ---------------------------------------------------------------------
@@ -277,8 +277,15 @@ fn write_value(out: &mut String, v: &WireValue) {
             escape(s, out);
             out.push_str("</v>");
         }
-        WireValue::Remote { node, object, class } => {
-            let _ = write!(out, "<v t=\"ref\" node=\"{node}\" object=\"{object}\" class=\"");
+        WireValue::Remote {
+            node,
+            object,
+            class,
+        } => {
+            let _ = write!(
+                out,
+                "<v t=\"ref\" node=\"{node}\" object=\"{object}\" class=\""
+            );
             escape(class, out);
             out.push_str("\"/>");
         }
@@ -335,17 +342,19 @@ fn read_value(e: &Element) -> Result<WireValue, WireError> {
     })
 }
 
-fn envelope(id: u64, body: &str) -> String {
+fn envelope(id: u64, ctx: TraceContext, body: &str) -> String {
     format!(
         "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
          <soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\" \
          xmlns:rafda=\"http://rafda.dcs.st-and.ac.uk/ns/2003\">\n\
-         <soap:Header><rafda:mid>{id}</rafda:mid></soap:Header>\n\
-         <soap:Body>{body}</soap:Body>\n</soap:Envelope>\n"
+         <soap:Header><rafda:mid>{id}</rafda:mid>\
+         <rafda:trace id=\"{}\" span=\"{}\" parent=\"{}\"/></soap:Header>\n\
+         <soap:Body>{body}</soap:Body>\n</soap:Envelope>\n",
+        ctx.trace_id, ctx.span_id, ctx.parent_span_id
     )
 }
 
-fn unwrap_envelope(xml: &str) -> Result<(u64, Element), WireError> {
+fn unwrap_envelope(xml: &str) -> Result<(u64, TraceContext, Element), WireError> {
     let doc = Parser::new(xml).document()?;
     if doc.name != "soap:Envelope" {
         return Err(WireError::new(format!(
@@ -353,18 +362,30 @@ fn unwrap_envelope(xml: &str) -> Result<(u64, Element), WireError> {
             doc.name
         )));
     }
-    // The message id rides in an optional header block; pre-id peers (no
-    // <soap:Header>) decode as id 0.
-    let id = match doc.child("soap:Header") {
-        Ok(header) => header
-            .child("rafda:mid")?
-            .text()
-            .trim()
-            .parse()
-            .map_err(|_| WireError::new("bad rafda:mid"))?,
-        Err(_) => 0,
+    // The message id and trace context ride in an optional header block;
+    // pre-id peers (no <soap:Header>) decode as id 0, pre-tracing peers (no
+    // <rafda:trace>) as `TraceContext::NONE`.
+    let (id, ctx) = match doc.child("soap:Header") {
+        Ok(header) => {
+            let id = header
+                .child("rafda:mid")?
+                .text()
+                .trim()
+                .parse()
+                .map_err(|_| WireError::new("bad rafda:mid"))?;
+            let ctx = match header.child("rafda:trace") {
+                Ok(trace) => TraceContext {
+                    trace_id: trace.attr_parsed("id")?,
+                    span_id: trace.attr_parsed("span")?,
+                    parent_span_id: trace.attr_parsed("parent")?,
+                },
+                Err(_) => TraceContext::NONE,
+            };
+            (id, ctx)
+        }
+        Err(_) => (0, TraceContext::NONE),
     };
-    Ok((id, doc.child("soap:Body")?.first_elem()?.clone()))
+    Ok((id, ctx, doc.child("soap:Body")?.first_elem()?.clone()))
 }
 
 // ---------------------------------------------------------------------
@@ -387,7 +408,7 @@ impl Protocol for SoapCodec {
         "SOAP"
     }
 
-    fn encode_request(&self, id: u64, req: &Request) -> Vec<u8> {
+    fn encode_request(&self, id: u64, ctx: TraceContext, req: &Request) -> Vec<u8> {
         let mut b = String::new();
         match req {
             Request::Call {
@@ -441,12 +462,12 @@ impl Protocol for SoapCodec {
                 );
             }
         }
-        envelope(id, &b).into_bytes()
+        envelope(id, ctx, &b).into_bytes()
     }
 
-    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, Request), WireError> {
+    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Request), WireError> {
         let xml = std::str::from_utf8(bytes).map_err(|_| WireError::new("invalid utf-8"))?;
-        let (id, e) = unwrap_envelope(xml)?;
+        let (id, ctx, e) = unwrap_envelope(xml)?;
         let req = match e.name.as_str() {
             "rafda:call" => Request::Call {
                 object: e.attr_parsed("object")?,
@@ -484,10 +505,10 @@ impl Protocol for SoapCodec {
             },
             name => return Err(WireError::new(format!("unknown request <{name}>"))),
         };
-        Ok((id, req))
+        Ok((id, ctx, req))
     }
 
-    fn encode_reply(&self, id: u64, reply: &Reply) -> Vec<u8> {
+    fn encode_reply(&self, id: u64, ctx: TraceContext, reply: &Reply) -> Vec<u8> {
         let mut b = String::new();
         match reply {
             Reply::Value(v) => {
@@ -510,12 +531,12 @@ impl Protocol for SoapCodec {
                 b.push_str("</faultstring></soap:Fault>");
             }
         }
-        envelope(id, &b).into_bytes()
+        envelope(id, ctx, &b).into_bytes()
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, Reply), WireError> {
+    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Reply), WireError> {
         let xml = std::str::from_utf8(bytes).map_err(|_| WireError::new("invalid utf-8"))?;
-        let (id, e) = unwrap_envelope(xml)?;
+        let (id, ctx, e) = unwrap_envelope(xml)?;
         let reply = match e.name.as_str() {
             "rafda:result" => Reply::Value(read_value(e.first_elem()?)?),
             "rafda:exception" => Reply::Exception {
@@ -525,7 +546,7 @@ impl Protocol for SoapCodec {
             "soap:Fault" => Reply::Fault(e.child("faultstring")?.text()),
             name => return Err(WireError::new(format!("unknown reply <{name}>"))),
         };
-        Ok((id, reply))
+        Ok((id, ctx, reply))
     }
 
     /// XML assembly + parse dominated 2003 SOAP stacks: ~400 µs per message.
@@ -546,7 +567,8 @@ mod tests {
 
     #[test]
     fn xml_parser_handles_nesting_attrs_and_entities() {
-        let xml = r#"<?xml version="1.0"?><a x="1 &amp; 2"><b/>text &lt;here&gt;<c y="z">inner</c></a>"#;
+        let xml =
+            r#"<?xml version="1.0"?><a x="1 &amp; 2"><b/>text &lt;here&gt;<c y="z">inner</c></a>"#;
         let e = Parser::new(xml).document().unwrap();
         assert_eq!(e.name, "a");
         assert_eq!(e.attr("x").unwrap(), "1 & 2");
@@ -565,8 +587,11 @@ mod tests {
     fn string_content_with_xml_metacharacters_roundtrips() {
         let codec = SoapCodec::new();
         let reply = Reply::Value(WireValue::Str("<v t=\"string\">&amp;</v>".into()));
-        let bytes = codec.encode_reply(11, &reply);
-        assert_eq!(codec.decode_reply(&bytes).unwrap(), (11, reply));
+        let bytes = codec.encode_reply(11, TraceContext::NONE, &reply);
+        assert_eq!(
+            codec.decode_reply(&bytes).unwrap(),
+            (11, TraceContext::NONE, reply)
+        );
     }
 
     #[test]
@@ -577,8 +602,8 @@ mod tests {
             WireValue::Double(-0.0),
             WireValue::Float(f32::INFINITY),
         ] {
-            let bytes = codec.encode_reply(0, &Reply::Value(v.clone()));
-            let (_, back) = codec.decode_reply(&bytes).unwrap();
+            let bytes = codec.encode_reply(0, TraceContext::NONE, &Reply::Value(v.clone()));
+            let (_, _, back) = codec.decode_reply(&bytes).unwrap();
             match (back, v) {
                 (Reply::Value(WireValue::Double(a)), WireValue::Double(b)) => {
                     assert_eq!(a.to_bits(), b.to_bits());
@@ -593,11 +618,19 @@ mod tests {
 
     #[test]
     fn envelope_is_present() {
-        let bytes = SoapCodec::new().encode_request(42, &Request::Fetch { object: 1 });
+        let ctx = TraceContext {
+            trace_id: 3,
+            span_id: 8,
+            parent_span_id: 2,
+        };
+        let bytes = SoapCodec::new().encode_request(42, ctx, &Request::Fetch { object: 1 });
         let s = String::from_utf8(bytes).unwrap();
         assert!(s.contains("soap:Envelope"));
         assert!(s.contains("soap:Body"));
-        assert!(s.contains("<soap:Header><rafda:mid>42</rafda:mid></soap:Header>"));
+        assert!(s.contains(
+            "<soap:Header><rafda:mid>42</rafda:mid>\
+             <rafda:trace id=\"3\" span=\"8\" parent=\"2\"/></soap:Header>"
+        ));
         assert!(s.starts_with("<?xml"));
     }
 
@@ -607,8 +640,23 @@ mod tests {
         let xml = "<?xml version=\"1.0\"?>\n\
                    <soap:Envelope xmlns:soap=\"x\" xmlns:rafda=\"y\">\n\
                    <soap:Body><rafda:fetch object=\"5\"/></soap:Body>\n</soap:Envelope>\n";
-        let (id, req) = SoapCodec::new().decode_request(xml.as_bytes()).unwrap();
+        let (id, ctx, req) = SoapCodec::new().decode_request(xml.as_bytes()).unwrap();
         assert_eq!(id, 0);
+        assert_eq!(ctx, TraceContext::NONE);
+        assert_eq!(req, Request::Fetch { object: 5 });
+    }
+
+    #[test]
+    fn traceless_header_decodes_as_none_context() {
+        // A frame from a message-id-era peer: header with mid but no
+        // <rafda:trace>.
+        let xml = "<?xml version=\"1.0\"?>\n\
+                   <soap:Envelope xmlns:soap=\"x\" xmlns:rafda=\"y\">\n\
+                   <soap:Header><rafda:mid>6</rafda:mid></soap:Header>\n\
+                   <soap:Body><rafda:fetch object=\"5\"/></soap:Body>\n</soap:Envelope>\n";
+        let (id, ctx, req) = SoapCodec::new().decode_request(xml.as_bytes()).unwrap();
+        assert_eq!(id, 6);
+        assert_eq!(ctx, TraceContext::NONE);
         assert_eq!(req, Request::Fetch { object: 5 });
     }
 }

@@ -2,7 +2,9 @@
 //! wire formats cannot drift silently (two nodes of different builds must
 //! interoperate).
 
-use rafda_wire::{CorbaCodec, Protocol, Reply, Request, RmiCodec, SoapCodec, WireValue};
+use rafda_wire::{
+    CorbaCodec, Protocol, Reply, Request, RmiCodec, SoapCodec, TraceContext, WireValue,
+};
 
 fn call_request() -> Request {
     Request::Call {
@@ -12,14 +14,25 @@ fn call_request() -> Request {
     }
 }
 
+fn sample_ctx() -> TraceContext {
+    TraceContext {
+        trace_id: 0x0B,
+        span_id: 0x0C,
+        parent_span_id: 0x0A,
+    }
+}
+
 #[test]
 fn rmi_request_bytes_are_stable() {
-    let bytes = RmiCodec::new().encode_request(0x0102, &call_request());
+    let bytes = RmiCodec::new().encode_request(0x0102, sample_ctx(), &call_request());
     let expected: Vec<u8> = vec![
         b'J', b'R', b'M', b'I', // magic
-        3,    // version (3 = carries message id)
+        4,    // version (3 = message id; 4 = + trace context)
         0x02, 0x01, 0, 0, 0, 0, 0, 0, // message id u64 LE
-        0,    // R_CALL
+        0x0B, 0, 0, 0, 0, 0, 0, 0, // trace id u64 LE
+        0x0C, 0, 0, 0, 0, 0, 0, 0, // span id u64 LE
+        0x0A, 0, 0, 0, 0, 0, 0, 0, // parent span id u64 LE
+        0, // R_CALL
         5, 0, 0, 0, 0, 0, 0, 0, // object id u64 LE
         6, 0, 0, 0, // method length u32
         b't', b'i', b'c', b'k', b'@', b'7', // method
@@ -34,11 +47,14 @@ fn rmi_request_bytes_are_stable() {
 
 #[test]
 fn rmi_reply_bytes_are_stable() {
-    let bytes = RmiCodec::new().encode_reply(7, &Reply::Value(WireValue::Int(-1)));
+    let bytes =
+        RmiCodec::new().encode_reply(7, TraceContext::NONE, &Reply::Value(WireValue::Int(-1)));
     let expected: Vec<u8> = vec![
-        b'J', b'R', b'M', b'I',
-        3, // version
+        b'J', b'R', b'M', b'I', 4, // version
         7, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
+        0, 0, 0, 0, 0, 0, 0, 0, // trace id (NONE)
+        0, 0, 0, 0, 0, 0, 0, 0, // span id (NONE)
+        0, 0, 0, 0, 0, 0, 0, 0, // parent span id (NONE)
         0, // P_VALUE
         2, // T_INT
         0xFF, 0xFF, 0xFF, 0xFF,
@@ -48,22 +64,26 @@ fn rmi_reply_bytes_are_stable() {
 
 #[test]
 fn corba_header_and_alignment_are_stable() {
-    let bytes = CorbaCodec::new().encode_request(7, &Request::Fetch { object: 1 });
-    // "GIOP" + version 1.3, pad to 8, message id u64, tag R_FETCH(3) at 16,
-    // pad to 24, object u64.
-    assert_eq!(&bytes[..6], b"GIOP\x01\x03");
+    let bytes = CorbaCodec::new().encode_request(7, sample_ctx(), &Request::Fetch { object: 1 });
+    // "GIOP" + version 1.4, pad to 8, message id u64, trace context (3×u64)
+    // at 16..40, tag R_FETCH(3) at 40, pad to 48, object u64.
+    assert_eq!(&bytes[..6], b"GIOP\x01\x04");
     assert_eq!(&bytes[6..8], &[0, 0], "alignment pad before id");
     assert_eq!(&bytes[8..16], &7u64.to_le_bytes());
-    assert_eq!(bytes[16], 3);
-    assert_eq!(&bytes[17..24], &[0; 7], "alignment pad before object");
-    assert_eq!(&bytes[24..32], &1u64.to_le_bytes());
-    assert_eq!(bytes.len(), 32);
+    assert_eq!(&bytes[16..24], &0x0Bu64.to_le_bytes());
+    assert_eq!(&bytes[24..32], &0x0Cu64.to_le_bytes());
+    assert_eq!(&bytes[32..40], &0x0Au64.to_le_bytes());
+    assert_eq!(bytes[40], 3);
+    assert_eq!(&bytes[41..48], &[0; 7], "alignment pad before object");
+    assert_eq!(&bytes[48..56], &1u64.to_le_bytes());
+    assert_eq!(bytes.len(), 56);
 }
 
 #[test]
 fn soap_request_text_is_stable() {
     let xml = String::from_utf8(SoapCodec::new().encode_request(
         12,
+        sample_ctx(),
         &Request::Discover {
             class: "X".to_owned(),
         },
@@ -74,7 +94,8 @@ fn soap_request_text_is_stable() {
         "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
          <soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\" \
          xmlns:rafda=\"http://rafda.dcs.st-and.ac.uk/ns/2003\">\n\
-         <soap:Header><rafda:mid>12</rafda:mid></soap:Header>\n\
+         <soap:Header><rafda:mid>12</rafda:mid>\
+         <rafda:trace id=\"11\" span=\"12\" parent=\"10\"/></soap:Header>\n\
          <soap:Body><rafda:discover class=\"X\"/></soap:Body>\n\
          </soap:Envelope>\n"
     );
@@ -82,51 +103,60 @@ fn soap_request_text_is_stable() {
 
 #[test]
 fn soap_value_markup_is_stable() {
-    let xml = String::from_utf8(
-        SoapCodec::new().encode_reply(
-            0,
-            &Reply::Value(WireValue::Array(vec![
-                WireValue::Int(1),
-                WireValue::Str("a<b".to_owned()),
-                WireValue::Remote {
-                    node: 2,
-                    object: 9,
-                    class: "C_O_Local".to_owned(),
-                },
-            ])),
-        ),
-    )
+    let xml = String::from_utf8(SoapCodec::new().encode_reply(
+        0,
+        TraceContext::NONE,
+        &Reply::Value(WireValue::Array(vec![
+            WireValue::Int(1),
+            WireValue::Str("a<b".to_owned()),
+            WireValue::Remote {
+                node: 2,
+                object: 9,
+                class: "C_O_Local".to_owned(),
+            },
+        ])),
+    ))
     .unwrap();
-    assert!(xml.contains(
-        "<rafda:result><v t=\"array\"><v t=\"int\">1</v><v t=\"string\">a&lt;b</v>\
+    assert!(
+        xml.contains(
+            "<rafda:result><v t=\"array\"><v t=\"int\">1</v><v t=\"string\">a&lt;b</v>\
          <v t=\"ref\" node=\"2\" object=\"9\" class=\"C_O_Local\"/></v></rafda:result>"
-    ), "{xml}");
+        ),
+        "{xml}"
+    );
 }
 
 #[test]
-fn message_ids_roundtrip_through_every_codec() {
+fn message_ids_and_contexts_roundtrip_through_every_codec() {
     for codec in [
         Box::new(RmiCodec::new()) as Box<dyn Protocol>,
         Box::new(CorbaCodec::new()),
         Box::new(SoapCodec::new()),
     ] {
         for id in [0u64, 1, 255, 1 << 32, u64::MAX] {
-            let req = codec.encode_request(id, &call_request());
-            let (back, body) = codec.decode_request(&req).unwrap();
+            let ctx = TraceContext {
+                trace_id: id ^ 0x5A,
+                span_id: id.wrapping_add(1),
+                parent_span_id: id / 2,
+            };
+            let req = codec.encode_request(id, ctx, &call_request());
+            let (back, back_ctx, body) = codec.decode_request(&req).unwrap();
             assert_eq!(back, id, "{} request id", codec.name());
+            assert_eq!(back_ctx, ctx, "{} request ctx", codec.name());
             assert_eq!(body, call_request());
-            let rep = codec.encode_reply(id, &Reply::Fault("f".to_owned()));
-            let (back, _) = codec.decode_reply(&rep).unwrap();
+            let rep = codec.encode_reply(id, ctx, &Reply::Fault("f".to_owned()));
+            let (back, back_ctx, _) = codec.decode_reply(&rep).unwrap();
             assert_eq!(back, id, "{} reply id", codec.name());
+            assert_eq!(back_ctx, ctx, "{} reply ctx", codec.name());
         }
     }
 }
 
 #[test]
 fn cross_codec_frames_are_rejected() {
-    let rmi_frame = RmiCodec::new().encode_request(1, &call_request());
-    let soap_frame = SoapCodec::new().encode_request(1, &call_request());
-    let corba_frame = CorbaCodec::new().encode_request(1, &call_request());
+    let rmi_frame = RmiCodec::new().encode_request(1, TraceContext::NONE, &call_request());
+    let soap_frame = SoapCodec::new().encode_request(1, TraceContext::NONE, &call_request());
+    let corba_frame = CorbaCodec::new().encode_request(1, TraceContext::NONE, &call_request());
     assert!(CorbaCodec::new().decode_request(&rmi_frame).is_err());
     assert!(RmiCodec::new().decode_request(&corba_frame).is_err());
     assert!(RmiCodec::new().decode_request(&soap_frame).is_err());

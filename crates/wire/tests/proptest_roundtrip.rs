@@ -3,7 +3,19 @@
 //! interchangeability rests on.
 
 use proptest::prelude::*;
-use rafda_wire::{CorbaCodec, Protocol, Reply, Request, RmiCodec, SoapCodec, WireValue};
+use rafda_wire::{
+    CorbaCodec, Protocol, Reply, Request, RmiCodec, SoapCodec, TraceContext, WireValue,
+};
+
+fn arb_ctx() -> impl Strategy<Value = TraceContext> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(trace_id, span_id, parent_span_id)| {
+        TraceContext {
+            trace_id,
+            span_id,
+            parent_span_id,
+        }
+    })
+}
 
 fn arb_wire_value() -> impl Strategy<Value = WireValue> {
     let leaf = prop_oneof![
@@ -14,12 +26,21 @@ fn arb_wire_value() -> impl Strategy<Value = WireValue> {
         any::<f32>().prop_map(WireValue::Float),
         any::<f64>().prop_map(WireValue::Double),
         ".{0,24}".prop_map(WireValue::Str),
-        (any::<u32>(), any::<u64>(), "[A-Za-z_][A-Za-z0-9_]{0,10}").prop_map(|(node, object, class)| WireValue::Remote { node, object, class }),
+        (any::<u32>(), any::<u64>(), "[A-Za-z_][A-Za-z0-9_]{0,10}").prop_map(
+            |(node, object, class)| WireValue::Remote {
+                node,
+                object,
+                class
+            }
+        ),
     ];
     leaf.prop_recursive(3, 24, 6, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..5).prop_map(WireValue::Array),
-            ("[A-Za-z_][A-Za-z0-9_]{0,12}", prop::collection::vec(inner, 0..5))
+            (
+                "[A-Za-z_][A-Za-z0-9_]{0,12}",
+                prop::collection::vec(inner, 0..5)
+            )
                 .prop_map(|(class, fields)| WireValue::ObjectState { class, fields }),
         ]
     })
@@ -52,15 +73,17 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 to_object,
             }
         }),
-        (arb_wire_value(), proptest::option::of((any::<u32>(), any::<u64>()))).prop_map(
-            |(v, source)| Request::Install {
+        (
+            arb_wire_value(),
+            proptest::option::of((any::<u32>(), any::<u64>()))
+        )
+            .prop_map(|(v, source)| Request::Install {
                 state: WireValue::ObjectState {
                     class: "S".into(),
                     fields: vec![v]
                 },
                 source,
-            }
-        ),
+            }),
     ]
 }
 
@@ -81,10 +104,18 @@ fn exact_bits(a: &WireValue, b: &WireValue) -> bool {
     match (a, b) {
         (Float(x), Float(y)) => x.to_bits() == y.to_bits(),
         (Double(x), Double(y)) => x.to_bits() == y.to_bits(),
-        (Array(x), Array(y)) => x.len() == y.len() && x.iter().zip(y).all(|(a, b)| exact_bits(a, b)),
+        (Array(x), Array(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| exact_bits(a, b))
+        }
         (
-            ObjectState { class: ca, fields: fa },
-            ObjectState { class: cb, fields: fb },
+            ObjectState {
+                class: ca,
+                fields: fa,
+            },
+            ObjectState {
+                class: cb,
+                fields: fb,
+            },
         ) => ca == cb && fa.len() == fb.len() && fa.iter().zip(fb).all(|(a, b)| exact_bits(a, b)),
         (a, b) => a == b,
     }
@@ -94,8 +125,14 @@ fn reply_exact(a: &Reply, b: &Reply) -> bool {
     match (a, b) {
         (Reply::Value(x), Reply::Value(y)) => exact_bits(x, y),
         (
-            Reply::Exception { class: ca, fields: fa },
-            Reply::Exception { class: cb, fields: fb },
+            Reply::Exception {
+                class: ca,
+                fields: fa,
+            },
+            Reply::Exception {
+                class: cb,
+                fields: fb,
+            },
         ) => ca == cb && fa.len() == fb.len() && fa.iter().zip(fb).all(|(x, y)| exact_bits(x, y)),
         (a, b) => a == b,
     }
@@ -104,14 +141,49 @@ fn reply_exact(a: &Reply, b: &Reply) -> bool {
 fn request_exact(a: &Request, b: &Request) -> bool {
     match (a, b) {
         (
-            Request::Call { object: oa, method: ma, args: aa },
-            Request::Call { object: ob, method: mb, args: ab },
-        ) => oa == ob && ma == mb && aa.len() == ab.len() && aa.iter().zip(ab).all(|(x, y)| exact_bits(x, y)),
+            Request::Call {
+                object: oa,
+                method: ma,
+                args: aa,
+            },
+            Request::Call {
+                object: ob,
+                method: mb,
+                args: ab,
+            },
+        ) => {
+            oa == ob
+                && ma == mb
+                && aa.len() == ab.len()
+                && aa.iter().zip(ab).all(|(x, y)| exact_bits(x, y))
+        }
         (
-            Request::Create { class: ca, ctor: ta, args: aa },
-            Request::Create { class: cb, ctor: tb, args: ab },
-        ) => ca == cb && ta == tb && aa.len() == ab.len() && aa.iter().zip(ab).all(|(x, y)| exact_bits(x, y)),
-        (Request::Install { state: sa, source: ka }, Request::Install { state: sb, source: kb }) => ka == kb && exact_bits(sa, sb),
+            Request::Create {
+                class: ca,
+                ctor: ta,
+                args: aa,
+            },
+            Request::Create {
+                class: cb,
+                ctor: tb,
+                args: ab,
+            },
+        ) => {
+            ca == cb
+                && ta == tb
+                && aa.len() == ab.len()
+                && aa.iter().zip(ab).all(|(x, y)| exact_bits(x, y))
+        }
+        (
+            Request::Install {
+                state: sa,
+                source: ka,
+            },
+            Request::Install {
+                state: sb,
+                source: kb,
+            },
+        ) => ka == kb && exact_bits(sa, sb),
         (a, b) => a == b,
     }
 }
@@ -128,31 +200,33 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
-    fn requests_roundtrip_all_codecs(id in any::<u64>(), req in arb_request()) {
+    fn requests_roundtrip_all_codecs(id in any::<u64>(), ctx in arb_ctx(), req in arb_request()) {
         for codec in codecs() {
-            let bytes = codec.encode_request(id, &req);
-            let (back_id, back) = codec.decode_request(&bytes)
+            let bytes = codec.encode_request(id, ctx, &req);
+            let (back_id, back_ctx, back) = codec.decode_request(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
             prop_assert_eq!(back_id, id, "{} lost the message id", codec.name());
+            prop_assert_eq!(back_ctx, ctx, "{} lost the trace context", codec.name());
             prop_assert!(request_exact(&back, &req), "{}: {back:?} != {req:?}", codec.name());
         }
     }
 
     #[test]
-    fn replies_roundtrip_all_codecs(id in any::<u64>(), reply in arb_reply()) {
+    fn replies_roundtrip_all_codecs(id in any::<u64>(), ctx in arb_ctx(), reply in arb_reply()) {
         for codec in codecs() {
-            let bytes = codec.encode_reply(id, &reply);
-            let (back_id, back) = codec.decode_reply(&bytes)
+            let bytes = codec.encode_reply(id, ctx, &reply);
+            let (back_id, back_ctx, back) = codec.decode_reply(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
             prop_assert_eq!(back_id, id, "{} lost the message id", codec.name());
+            prop_assert_eq!(back_ctx, ctx, "{} lost the trace context", codec.name());
             prop_assert!(reply_exact(&back, &reply), "{}: {back:?} != {reply:?}", codec.name());
         }
     }
 
     #[test]
     fn soap_is_never_smaller_than_rmi(req in arb_request()) {
-        let rmi = RmiCodec::new().encode_request(1, &req).len();
-        let soap = SoapCodec::new().encode_request(1, &req).len();
+        let rmi = RmiCodec::new().encode_request(1, TraceContext::NONE, &req).len();
+        let soap = SoapCodec::new().encode_request(1, TraceContext::NONE, &req).len();
         prop_assert!(soap > rmi);
     }
 

@@ -41,20 +41,29 @@ fn build() -> Application {
 
 fn main() {
     let policy = StaticPolicy::new().place("Worker", Placement::Node(NodeId(0)));
-    let cluster = build()
-        .transform(&["RMI"])
-        .expect("transformable")
-        .deploy(2, 3, Box::new(policy));
+    let cluster =
+        build()
+            .transform(&["RMI"])
+            .expect("transformable")
+            .deploy(2, 3, Box::new(policy));
     let net = cluster.network();
     let n0 = NodeId(0);
     let n1 = NodeId(1);
 
     // Worker pool on node 0; node 1 holds proxies.
     let workers: Vec<Value> = (0..4)
-        .map(|i| cluster.new_instance(n0, "Worker", 0, vec![Value::Int(i)]).unwrap())
+        .map(|i| {
+            cluster
+                .new_instance(n0, "Worker", 0, vec![Value::Int(i)])
+                .unwrap()
+        })
         .collect();
     let remote_workers: Vec<Value> = (0..4)
-        .map(|i| cluster.new_instance(n1, "Worker", 0, vec![Value::Int(i + 10)]).unwrap())
+        .map(|i| {
+            cluster
+                .new_instance(n1, "Worker", 0, vec![Value::Int(i + 10)])
+                .unwrap()
+        })
         .collect();
     let _ = workers;
 
@@ -63,7 +72,9 @@ fn main() {
     let t0 = net.now();
     for w in &remote_workers {
         for d in 0..25 {
-            cluster.call_method(n1, w.clone(), "work", vec![Value::Long(d)]).unwrap();
+            cluster
+                .call_method(n1, w.clone(), "work", vec![Value::Long(d)])
+                .unwrap();
         }
     }
     println!(
@@ -84,7 +95,9 @@ fn main() {
     let t1 = net.now();
     for w in &remote_workers {
         for d in 0..25 {
-            cluster.call_method(n1, w.clone(), "work", vec![Value::Long(d)]).unwrap();
+            cluster
+                .call_method(n1, w.clone(), "work", vec![Value::Long(d)])
+                .unwrap();
         }
     }
     let new_msgs = net.stats().messages - m1;

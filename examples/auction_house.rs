@@ -54,7 +54,8 @@ fn main() {
         .transform(&["RMI", "SOAP"])
         .unwrap()
         .deploy(3, 7, Box::new(policy));
-    let distributed = cluster.run_observed(NodeId(0), "AuctionMain", "main", vec![Value::Int(seed)]);
+    let distributed =
+        cluster.run_observed(NodeId(0), "AuctionMain", "main", vec![Value::Int(seed)]);
     println!("\n== 3. distributed (items on node1, bidders on node2) ==");
     print!("{distributed}");
     let stats = cluster.network().stats();

@@ -39,7 +39,10 @@ fn main() {
     );
 
     println!("== Per-package breakdown ==");
-    println!("{:>16} | {:>7} | {:>18}", "package", "classes", "non-transformable");
+    println!(
+        "{:>16} | {:>7} | {:>18}",
+        "package", "classes", "non-transformable"
+    );
     for (package, total, nt) in
         rafda::corpus::breakdown_by_package(&universe, |id| report.is_transformable(id))
     {

@@ -35,18 +35,24 @@ fn e1() {
         .transform(&["RMI"])
         .unwrap()
         .deploy(2, 42, Box::new(LocalPolicy::default()));
-    let y = cluster.new_instance(NodeId(0), "Y", 0, vec![Value::Int(3)]).unwrap();
+    let y = cluster
+        .new_instance(NodeId(0), "Y", 0, vec![Value::Int(3)])
+        .unwrap();
     let net = cluster.network();
     let t0 = net.now();
     for _ in 0..100 {
-        cluster.call_method(NodeId(0), y.clone(), "n", vec![Value::Long(1)]).unwrap();
+        cluster
+            .call_method(NodeId(0), y.clone(), "n", vec![Value::Long(1)])
+            .unwrap();
     }
     let local = (net.now() - t0).as_ns() / 100;
     let h = y.as_ref_handle().unwrap();
     cluster.migrate(NodeId(0), h, NodeId(1)).unwrap();
     let t0 = net.now();
     for _ in 0..100 {
-        cluster.call_method(NodeId(0), y.clone(), "n", vec![Value::Long(1)]).unwrap();
+        cluster
+            .call_method(NodeId(0), y.clone(), "n", vec![Value::Long(1)])
+            .unwrap();
     }
     let remote = (net.now() - t0).as_ns() / 100;
     println!("  local call:  {local} ns (simulated)");
@@ -99,8 +105,11 @@ fn e4() {
         vm.stats().steps
     };
     let (o, r, w) = (run_original(), run_rafda(), run_wrapper());
-    println!("  original: {o} steps   RAFDA: {r} ({:.2}x)   wrapper: {w} ({:.2}x)\n",
-        r as f64 / o as f64, w as f64 / o as f64);
+    println!(
+        "  original: {o} steps   RAFDA: {r} ({:.2}x)   wrapper: {w} ({:.2}x)\n",
+        r as f64 / o as f64,
+        w as f64 / o as f64
+    );
 }
 
 fn e5() {
@@ -111,16 +120,20 @@ fn e5() {
         let policy = StaticPolicy::new()
             .default_statics(NodeId(1))
             .default_protocol(proto);
-        let cluster = app
-            .transform(&["RMI", "SOAP", "CORBA"])
-            .unwrap()
-            .deploy(2, 42, Box::new(policy));
-        cluster.call_static(NodeId(0), "X", "p", vec![Value::Int(6)]).unwrap();
+        let cluster =
+            app.transform(&["RMI", "SOAP", "CORBA"])
+                .unwrap()
+                .deploy(2, 42, Box::new(policy));
+        cluster
+            .call_static(NodeId(0), "X", "p", vec![Value::Int(6)])
+            .unwrap();
         let net = cluster.network();
         net.reset_stats();
         let t0 = net.now();
         for _ in 0..50 {
-            cluster.call_static(NodeId(0), "X", "p", vec![Value::Int(6)]).unwrap();
+            cluster
+                .call_static(NodeId(0), "X", "p", vec![Value::Int(6)])
+                .unwrap();
         }
         let stats = net.stats();
         println!(
@@ -142,16 +155,25 @@ fn e6() {
         .unwrap()
         .deploy(2, 42, Box::new(policy));
     let ys: Vec<Value> = (0..4)
-        .map(|i| cluster.new_instance(NodeId(1), "Y", 0, vec![Value::Int(i)]).unwrap())
+        .map(|i| {
+            cluster
+                .new_instance(NodeId(1), "Y", 0, vec![Value::Int(i)])
+                .unwrap()
+        })
         .collect();
     let drive = |tag: &str| {
         let before = cluster.network().stats().messages;
         for y in &ys {
             for d in 0..20 {
-                cluster.call_method(NodeId(1), y.clone(), "n", vec![Value::Long(d)]).unwrap();
+                cluster
+                    .call_method(NodeId(1), y.clone(), "n", vec![Value::Long(d)])
+                    .unwrap();
             }
         }
-        println!("  {tag}: {} messages", cluster.network().stats().messages - before);
+        println!(
+            "  {tag}: {} messages",
+            cluster.network().stats().messages - before
+        );
     };
     drive("before adapt");
     let events = cluster.adapt(&AffinityConfig::default());
@@ -221,6 +243,61 @@ fn e7_retry() {
     println!();
 }
 
+fn e9() {
+    println!("== E9: causal tracing — multi-hop latency breakdown ==");
+    let mut app = Application::new();
+    rafda::classmodel::sample::build_figure2(app.universe_mut());
+    // Figure 2 over three nodes: driver on 0, X on 2, Y on 1 — every
+    // x.m() is a two-hop chain 0 -> 2 -> 1 stitched into one trace.
+    let policy = StaticPolicy::new()
+        .place("Y", Placement::Node(NodeId(1)))
+        .place("X", Placement::Node(NodeId(2)))
+        .default_statics(NodeId(0));
+    let cluster = app
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(3, 42, Box::new(policy));
+    let y = cluster
+        .new_instance(NodeId(0), "Y", 0, vec![Value::Int(3)])
+        .unwrap();
+    let x = cluster.new_instance(NodeId(0), "X", 0, vec![y]).unwrap();
+    for j in 0..20 {
+        cluster
+            .call_method(NodeId(0), x.clone(), "m", vec![Value::Long(j)])
+            .unwrap();
+    }
+    // One lossy call so the trace shows a linked retransmission.
+    let net = cluster.network();
+    let seq = net.transmit_seq();
+    net.fault_plan(|f| f.drop_message(seq));
+    cluster
+        .call_method(NodeId(0), x, "m", vec![Value::Long(99)])
+        .unwrap();
+
+    print!("{}", cluster.telemetry_report(5));
+    let log = cluster.span_log();
+    let lossy_trace = log
+        .spans()
+        .iter()
+        .rfind(|s| s.name == "rpc.call" && s.node == 0)
+        .expect("traced call")
+        .trace_id;
+    let path: Vec<String> = log
+        .critical_path(lossy_trace)
+        .iter()
+        .map(|s| format!("{}@n{}", s.name, s.node))
+        .collect();
+    println!("  critical path (lossy call): {}", path.join(" -> "));
+    let out = std::path::Path::new("target").join("e9_trace.json");
+    if cluster.export_chrome_trace(&out).is_ok() {
+        println!(
+            "  chrome trace written to {} (open in about:tracing)",
+            out.display()
+        );
+    }
+    println!();
+}
+
 fn main() {
     println!("RAFDA reproduction — consolidated experiment report\n");
     e1();
@@ -230,5 +307,6 @@ fn main() {
     e6();
     e7();
     e7_retry();
+    e9();
     println!("full precision: cargo bench --workspace (see EXPERIMENTS.md)");
 }

@@ -66,10 +66,11 @@ fn build() -> Application {
 }
 
 fn main() {
-    let cluster = build()
-        .transform(&["RMI"])
-        .expect("transformable")
-        .deploy(2, 1, Box::new(LocalPolicy::default()));
+    let cluster = build().transform(&["RMI"]).expect("transformable").deploy(
+        2,
+        1,
+        Box::new(LocalPolicy::default()),
+    );
     let n0 = NodeId(0);
     let n1 = NodeId(1);
     let net = cluster.network();
@@ -85,12 +86,16 @@ fn main() {
         .new_instance(n0, "Indexer", 0, vec![doc.clone()])
         .unwrap();
     for _ in 0..3 {
-        cluster.call_method(n0, editor.clone(), "touch", vec![]).unwrap();
+        cluster
+            .call_method(n0, editor.clone(), "touch", vec![])
+            .unwrap();
     }
     let local_msgs = net.stats().messages;
     println!(
         "  3 edits -> {}   (network messages so far: {local_msgs})",
-        cluster.call_method(n0, doc.clone(), "describe", vec![]).unwrap()
+        cluster
+            .call_method(n0, doc.clone(), "describe", vec![])
+            .unwrap()
     );
 
     println!("\n== Phase 2: migrate the document to node 1 (Figure 1, right) ==");
@@ -103,11 +108,17 @@ fn main() {
         cluster.location_of(n0, &doc).unwrap()
     );
     let t1 = net.now();
-    cluster.call_method(n0, editor.clone(), "touch", vec![]).unwrap();
-    cluster.call_method(n0, indexer.clone(), "touch", vec![]).unwrap();
+    cluster
+        .call_method(n0, editor.clone(), "touch", vec![])
+        .unwrap();
+    cluster
+        .call_method(n0, indexer.clone(), "touch", vec![])
+        .unwrap();
     println!(
         "  2 more edits through the same references -> {}",
-        cluster.call_method(n0, doc.clone(), "describe", vec![]).unwrap()
+        cluster
+            .call_method(n0, doc.clone(), "describe", vec![])
+            .unwrap()
     );
     println!(
         "  remote phase: {} messages, {} per call round-trip",
@@ -122,7 +133,9 @@ fn main() {
     cluster.call_method(n0, indexer, "touch", vec![]).unwrap();
     println!(
         "  2 edits after pulling local -> {}   (new network messages: {})",
-        cluster.call_method(n0, doc.clone(), "describe", vec![]).unwrap(),
+        cluster
+            .call_method(n0, doc.clone(), "describe", vec![])
+            .unwrap(),
         net.stats().messages - msgs
     );
     println!("\nruntime stats: {:?}", cluster.stats());

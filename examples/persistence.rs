@@ -49,32 +49,51 @@ fn build() -> Application {
 }
 
 fn main() {
-    let cluster = build()
-        .transform(&["RMI"])
-        .expect("transformable")
-        .deploy(2, 9, Box::new(LocalPolicy::default()));
+    let cluster = build().transform(&["RMI"]).expect("transformable").deploy(
+        2,
+        9,
+        Box::new(LocalPolicy::default()),
+    );
     let n0 = NodeId(0);
     let n1 = NodeId(1);
 
     // Two accounts referencing each other (a cycle).
-    let alice = cluster.new_instance(n0, "Account", 0, vec![Value::Int(100)]).unwrap();
-    let bob = cluster.new_instance(n0, "Account", 0, vec![Value::Int(50)]).unwrap();
-    cluster.call_method(n0, alice.clone(), "set_peer", vec![bob.clone()]).unwrap();
-    cluster.call_method(n0, bob.clone(), "set_peer", vec![alice.clone()]).unwrap();
-    cluster.call_method(n0, alice.clone(), "transfer", vec![Value::Int(30)]).unwrap();
+    let alice = cluster
+        .new_instance(n0, "Account", 0, vec![Value::Int(100)])
+        .unwrap();
+    let bob = cluster
+        .new_instance(n0, "Account", 0, vec![Value::Int(50)])
+        .unwrap();
+    cluster
+        .call_method(n0, alice.clone(), "set_peer", vec![bob.clone()])
+        .unwrap();
+    cluster
+        .call_method(n0, bob.clone(), "set_peer", vec![alice.clone()])
+        .unwrap();
+    cluster
+        .call_method(n0, alice.clone(), "transfer", vec![Value::Int(30)])
+        .unwrap();
     let show = |tag: &str, node: NodeId, a: &Value, b: &Value| {
-        let ba = cluster.call_method(node, a.clone(), "get_balance", vec![]).unwrap();
-        let bb = cluster.call_method(node, b.clone(), "get_balance", vec![]).unwrap();
+        let ba = cluster
+            .call_method(node, a.clone(), "get_balance", vec![])
+            .unwrap();
+        let bb = cluster
+            .call_method(node, b.clone(), "get_balance", vec![])
+            .unwrap();
         println!("{tag}: alice={ba} bob={bb}");
     };
     show("before snapshot", n0, &alice, &bob);
 
     // Checkpoint the whole graph (cycle included) …
-    let snap = cluster.snapshot(n0, alice.as_ref_handle().unwrap()).unwrap();
+    let snap = cluster
+        .snapshot(n0, alice.as_ref_handle().unwrap())
+        .unwrap();
     println!("\n{snap}");
 
     // … keep mutating the live graph …
-    cluster.call_method(n0, alice.clone(), "transfer", vec![Value::Int(70)]).unwrap();
+    cluster
+        .call_method(n0, alice.clone(), "transfer", vec![Value::Int(70)])
+        .unwrap();
     show("after more transfers", n0, &alice, &bob);
 
     // … and restore the checkpoint on the OTHER node.

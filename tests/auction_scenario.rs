@@ -3,9 +3,7 @@
 //! placement checks, and adaptation of a chatty catalogue.
 
 use rafda::corpus::{build_auction_house, ObserverHooks};
-use rafda::{
-    AffinityConfig, Application, NodeId, Placement, StaticPolicy, Trace, Value,
-};
+use rafda::{AffinityConfig, Application, NodeId, Placement, StaticPolicy, Trace, Value};
 
 fn build() -> Application {
     let mut app = Application::new();
@@ -49,10 +47,11 @@ fn all_deployments_agree_across_seeds() {
             .place("Item", Placement::Node(NodeId(1)))
             .place("Auction", Placement::Node(NodeId(1)))
             .place("Bidder", Placement::Node(NodeId(2)));
-        let cluster = build()
-            .transform(&["RMI"])
-            .unwrap()
-            .deploy(3, seed as u64 + 1, Box::new(policy));
+        let cluster =
+            build()
+                .transform(&["RMI"])
+                .unwrap()
+                .deploy(3, seed as u64 + 1, Box::new(policy));
         assert_eq!(
             reference,
             cluster.run_observed(NodeId(0), "AuctionMain", "main", vec![Value::Int(seed)]),
@@ -71,7 +70,12 @@ fn audit_log_is_shared_across_all_nodes() {
         .unwrap()
         .deploy(3, 3, Box::new(policy));
     let item = cluster
-        .new_instance(NodeId(0), "Item", 0, vec![Value::str("lamp"), Value::Int(10)])
+        .new_instance(
+            NodeId(0),
+            "Item",
+            0,
+            vec![Value::str("lamp"), Value::Int(10)],
+        )
         .unwrap();
     // Outbid from two different nodes (the item reference is marshalled to
     // node 1 for the second call).
@@ -103,7 +107,12 @@ fn hot_catalogue_migrates_to_the_bidding_node() {
         .unwrap()
         .deploy(2, 3, Box::new(policy));
     let item = cluster
-        .new_instance(NodeId(0), "Item", 0, vec![Value::str("vase"), Value::Int(1)])
+        .new_instance(
+            NodeId(0),
+            "Item",
+            0,
+            vec![Value::str("vase"), Value::Int(1)],
+        )
         .unwrap();
     assert_eq!(cluster.location_of(NodeId(0), &item), Some(NodeId(1)));
     for i in 0..20 {
@@ -115,7 +124,9 @@ fn hot_catalogue_migrates_to_the_bidding_node() {
     // The item migrates; the AuditLog singleton (whose static state was
     // equally chatty from node 0) may legitimately migrate too.
     assert!(
-        events.iter().any(|e| e.class == "Item" && e.to == NodeId(0)),
+        events
+            .iter()
+            .any(|e| e.class == "Item" && e.to == NodeId(0)),
         "{events:?}"
     );
     assert_eq!(cluster.location_of(NodeId(0), &item), Some(NodeId(0)));

@@ -56,7 +56,9 @@ fn partition_mid_workload_yields_prefix_then_network_failure() {
 
     let cluster = build_cluster();
     // Run once cleanly to warm placement, then partition and run again.
-    cluster.network().fault_plan(|f| f.partition(NodeId(0), NodeId(1)));
+    cluster
+        .network()
+        .fault_plan(|f| f.partition(NodeId(0), NodeId(1)));
     let failed = cluster.run_observed(NodeId(0), "Driver", "main", vec![Value::Int(4)]);
     // The failed run must end in a network failure…
     assert!(
@@ -68,10 +70,7 @@ fn partition_mid_workload_yields_prefix_then_network_failure() {
         clean.equivalent_modulo_network(&failed),
         "clean:\n{clean}\nfailed:\n{failed}"
     );
-    assert!(
-        failed.equivalent_modulo_network(&clean),
-        "symmetry"
-    );
+    assert!(failed.equivalent_modulo_network(&clean), "symmetry");
 }
 
 #[test]
@@ -151,7 +150,9 @@ fn counter_cluster(seed: u64) -> Cluster {
     cb.method(u, "add", vec![Ty::Int], Ty::Int, Some(mb.finish()));
     cb.finish(u);
     let policy = StaticPolicy::new().place("Counter", Placement::Node(NodeId(1)));
-    app.transform(&["RMI"]).unwrap().deploy(2, seed, Box::new(policy))
+    app.transform(&["RMI"])
+        .unwrap()
+        .deploy(2, seed, Box::new(policy))
 }
 
 #[test]
@@ -166,7 +167,10 @@ fn drops_are_retried_to_success_with_identical_results() {
     let trace = cluster.run_observed(NodeId(0), "Driver", "main", vec![Value::Int(4)]);
     assert_eq!(trace, clean, "retries must hide drops entirely");
     let stats = cluster.stats();
-    assert!(stats.retries > 0, "a 10% drop rate must trigger retries: {stats}");
+    assert!(
+        stats.retries > 0,
+        "a 10% drop rate must trigger retries: {stats}"
+    );
     assert_eq!(stats.net_failures, 0, "{stats}");
     assert!(
         stats.attempts[1..].iter().sum::<u64>() > 0,
@@ -285,7 +289,9 @@ fn exhausted_retries_surface_the_typed_failure() {
     assert!(err.to_string().contains("after 6 attempts"), "{err}");
 
     cluster.network().fault_plan(|f| f.drop_probability = 0.0);
-    cluster.network().fault_plan(|f| f.partition(NodeId(0), NodeId(1)));
+    cluster
+        .network()
+        .fault_plan(|f| f.partition(NodeId(0), NodeId(1)));
     let err = cluster
         .call_method(NodeId(0), counter, "add", vec![Value::Int(1)])
         .unwrap_err();
@@ -307,8 +313,10 @@ fn backoff_is_charged_to_the_simulated_clock() {
     assert_eq!(a.network().now(), b.network().now());
     let seq = b.network().transmit_seq();
     b.network().fault_plan(|f| f.drop_message(seq + 1));
-    a.call_method(NodeId(0), ca, "add", vec![Value::Int(1)]).unwrap();
-    b.call_method(NodeId(0), cb, "add", vec![Value::Int(1)]).unwrap();
+    a.call_method(NodeId(0), ca, "add", vec![Value::Int(1)])
+        .unwrap();
+    b.call_method(NodeId(0), cb, "add", vec![Value::Int(1)])
+        .unwrap();
     assert!(
         b.network().now() > a.network().now(),
         "retried run must cost simulated time: {:?} vs {:?}",

@@ -65,15 +65,21 @@ fn shared_instance_becomes_remote_and_back() {
     let n1 = NodeId(1);
 
     // Non-distributed phase: A and B share C on node 0.
-    let c = cluster.new_instance(n0, "C", 0, vec![Value::Int(100)]).unwrap();
+    let c = cluster
+        .new_instance(n0, "C", 0, vec![Value::Int(100)])
+        .unwrap();
     let a = cluster.new_instance(n0, "A", 0, vec![c.clone()]).unwrap();
     let b = cluster.new_instance(n0, "B", 0, vec![c.clone()]).unwrap();
     assert_eq!(
-        cluster.call_method(n0, a.clone(), "work", vec![Value::Int(1)]).unwrap(),
+        cluster
+            .call_method(n0, a.clone(), "work", vec![Value::Int(1)])
+            .unwrap(),
         Value::Int(101)
     );
     assert_eq!(
-        cluster.call_method(n0, b.clone(), "work", vec![Value::Int(2)]).unwrap(),
+        cluster
+            .call_method(n0, b.clone(), "work", vec![Value::Int(2)])
+            .unwrap(),
         Value::Int(103)
     );
     assert_eq!(cluster.network().stats().messages, 0);
@@ -87,11 +93,15 @@ fn shared_instance_becomes_remote_and_back() {
 
     // Shared state survived; A and B are untouched but now call remotely.
     assert_eq!(
-        cluster.call_method(n0, a.clone(), "work", vec![Value::Int(3)]).unwrap(),
+        cluster
+            .call_method(n0, a.clone(), "work", vec![Value::Int(3)])
+            .unwrap(),
         Value::Int(106)
     );
     assert_eq!(
-        cluster.call_method(n0, b.clone(), "work", vec![Value::Int(4)]).unwrap(),
+        cluster
+            .call_method(n0, b.clone(), "work", vec![Value::Int(4)])
+            .unwrap(),
         Value::Int(110)
     );
     let remote_msgs = cluster.network().stats().messages;
@@ -113,11 +123,15 @@ fn shared_instance_becomes_remote_and_back() {
     assert_eq!(cluster.location_of(n0, &c), Some(n0));
     let msgs_before = cluster.network().stats().messages;
     assert_eq!(
-        cluster.call_method(n0, a, "work", vec![Value::Int(5)]).unwrap(),
+        cluster
+            .call_method(n0, a, "work", vec![Value::Int(5)])
+            .unwrap(),
         Value::Int(115)
     );
     assert_eq!(
-        cluster.call_method(n0, b, "work", vec![Value::Int(5)]).unwrap(),
+        cluster
+            .call_method(n0, b, "work", vec![Value::Int(5)])
+            .unwrap(),
         Value::Int(120)
     );
     assert_eq!(cluster.network().stats().messages, msgs_before);

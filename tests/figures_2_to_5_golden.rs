@@ -74,7 +74,9 @@ fn figure3_proxies_for_each_protocol() {
         let id = u.by_name(&format!("X_O_Proxy_{proto}")).unwrap();
         let decl = pretty::declaration(&u, id);
         assert!(
-            decl.contains(&format!("public class X_O_Proxy_{proto} implements X_O_Int")),
+            decl.contains(&format!(
+                "public class X_O_Proxy_{proto} implements X_O_Int"
+            )),
             "{decl}"
         );
         // All interface methods present and native ("these methods perform
@@ -169,7 +171,10 @@ fn figure5_x_c_factory_clinit() {
     let dis = pretty::disassemble(&u, id);
     assert!(dis.contains("invoke_static Z_O_Factory::make/0"), "{dis}");
     assert!(dis.contains("invoke_static Z_O_Factory::init$0/2"), "{dis}");
-    assert!(dis.contains("invoke_static Y_C_Factory::discover/0"), "{dis}");
+    assert!(
+        dis.contains("invoke_static Y_C_Factory::discover/0"),
+        "{dis}"
+    );
     assert!(dis.contains("invoke get_K/0"), "{dis}");
     assert!(dis.contains("invoke set_z/1"), "{dis}");
 }
@@ -181,10 +186,26 @@ fn full_family_inventory_for_all_three_classes() {
     // O-local, 2 O-proxies, O-factory, C-int, C-local, 2 C-proxies,
     // C-factory); Z has no statics -> 5.
     for name in [
-        "X_O_Int", "X_O_Local", "X_O_Proxy_SOAP", "X_O_Proxy_RMI", "X_O_Factory",
-        "X_C_Int", "X_C_Local", "X_C_Proxy_SOAP", "X_C_Proxy_RMI", "X_C_Factory",
-        "Y_O_Int", "Y_O_Local", "Y_C_Int", "Y_C_Local", "Y_C_Factory",
-        "Z_O_Int", "Z_O_Local", "Z_O_Proxy_SOAP", "Z_O_Proxy_RMI", "Z_O_Factory",
+        "X_O_Int",
+        "X_O_Local",
+        "X_O_Proxy_SOAP",
+        "X_O_Proxy_RMI",
+        "X_O_Factory",
+        "X_C_Int",
+        "X_C_Local",
+        "X_C_Proxy_SOAP",
+        "X_C_Proxy_RMI",
+        "X_C_Factory",
+        "Y_O_Int",
+        "Y_O_Local",
+        "Y_C_Int",
+        "Y_C_Local",
+        "Y_C_Factory",
+        "Z_O_Int",
+        "Z_O_Local",
+        "Z_O_Proxy_SOAP",
+        "Z_O_Proxy_RMI",
+        "Z_O_Factory",
     ] {
         assert!(u.by_name(name).is_some(), "missing {name}");
     }

@@ -98,7 +98,10 @@ fn build() -> Application {
         mb.load_local(0).const_int(3).new_init(square, 0, 2);
         mb.invoke(scaled_sig, 0);
         emit(&mut mb);
-        mb.load_local(0).const_int(3).const_int(4).new_init(rect, 0, 3);
+        mb.load_local(0)
+            .const_int(3)
+            .const_int(4)
+            .new_init(rect, 0, 3);
         mb.invoke(scaled_sig, 0);
         emit(&mut mb);
         mb.const_int(0).ret_value();
@@ -162,18 +165,27 @@ fn subclass_proxies_inherit_base_hooks() {
         .unwrap()
         .deploy(2, 4, Box::new(policy));
     let r = cluster
-        .new_instance(NodeId(0), "Rect", 0, vec![Value::Int(2), Value::Int(3), Value::Int(4)])
+        .new_instance(
+            NodeId(0),
+            "Rect",
+            0,
+            vec![Value::Int(2), Value::Int(3), Value::Int(4)],
+        )
         .unwrap();
     assert_eq!(cluster.location_of(NodeId(0), &r), Some(NodeId(1)));
     // `scaled` is declared on Shape only; through the Rect proxy it must
     // forward and dispatch to Rect.area remotely.
     assert_eq!(
-        cluster.call_method(NodeId(0), r.clone(), "scaled", vec![]).unwrap(),
+        cluster
+            .call_method(NodeId(0), r.clone(), "scaled", vec![])
+            .unwrap(),
         Value::Int(24)
     );
     // get_scale is a Shape accessor, also inherited by the proxy chain.
     assert_eq!(
-        cluster.call_method(NodeId(0), r, "get_scale", vec![]).unwrap(),
+        cluster
+            .call_method(NodeId(0), r, "get_scale", vec![])
+            .unwrap(),
         Value::Int(2)
     );
 }

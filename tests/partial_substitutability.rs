@@ -50,7 +50,11 @@ fn figure1_app() -> Application {
 fn only_c_gets_a_family_but_holders_are_rewritten() {
     let app = figure1_app();
     let transformed = app
-        .transform_with(Transformer::new().protocols(&["RMI"]).substitutable_names(&["C"]))
+        .transform_with(
+            Transformer::new()
+                .protocols(&["RMI"])
+                .substitutable_names(&["C"]),
+        )
         .unwrap();
     let u = transformed.universe();
     assert!(u.by_name("C_O_Int").is_some());
@@ -67,7 +71,11 @@ fn only_c_gets_a_family_but_holders_are_rewritten() {
 #[test]
 fn figure1_works_with_only_c_substitutable() {
     let cluster = figure1_app()
-        .transform_with(Transformer::new().protocols(&["RMI"]).substitutable_names(&["C"]))
+        .transform_with(
+            Transformer::new()
+                .protocols(&["RMI"])
+                .substitutable_names(&["C"]),
+        )
         .unwrap()
         .deploy(2, 11, Box::new(LocalPolicy::default()));
     let n0 = NodeId(0);
@@ -77,18 +85,24 @@ fn figure1_works_with_only_c_substitutable() {
     let a = cluster.new_instance(n0, "A", 0, vec![c.clone()]).unwrap();
     let b = cluster.new_instance(n0, "B", 0, vec![c.clone()]).unwrap();
     assert_eq!(
-        cluster.call_method(n0, a.clone(), "work", vec![Value::Int(1)]).unwrap(),
+        cluster
+            .call_method(n0, a.clone(), "work", vec![Value::Int(1)])
+            .unwrap(),
         Value::Int(1)
     );
     // Only C can migrate — and that is all Figure 1 needs.
     let h = c.as_ref_handle().unwrap();
     cluster.migrate(n0, h, NodeId(1)).unwrap();
     assert_eq!(
-        cluster.call_method(n0, b, "work", vec![Value::Int(2)]).unwrap(),
+        cluster
+            .call_method(n0, b, "work", vec![Value::Int(2)])
+            .unwrap(),
         Value::Int(3)
     );
     assert_eq!(
-        cluster.call_method(n0, a, "work", vec![Value::Int(3)]).unwrap(),
+        cluster
+            .call_method(n0, a, "work", vec![Value::Int(3)])
+            .unwrap(),
         Value::Int(6)
     );
     assert!(cluster.network().stats().messages >= 4);

@@ -16,7 +16,9 @@ fn cluster_with_y_on_n1_x_on_n2() -> rafda::Cluster {
         .place("Y", Placement::Node(N1))
         .place("X", Placement::Node(N2))
         .default_statics(N0);
-    app.transform(&["RMI"]).unwrap().deploy(3, 5, Box::new(policy))
+    app.transform(&["RMI"])
+        .unwrap()
+        .deploy(3, 5, Box::new(policy))
 }
 
 #[test]
@@ -25,7 +27,9 @@ fn forwarded_references_point_at_the_true_home() {
     // Node 0 creates Y (lands on node 1) and passes its proxy into X's
     // constructor (X lands on node 2). Node 2 must hold a proxy directly to
     // node 1 — not to node 0's proxy.
-    let y = cluster.new_instance(N0, "Y", 0, vec![Value::Int(3)]).unwrap();
+    let y = cluster
+        .new_instance(N0, "Y", 0, vec![Value::Int(3)])
+        .unwrap();
     assert_eq!(cluster.location_of(N0, &y), Some(N1));
     let x = cluster.new_instance(N0, "X", 0, vec![y.clone()]).unwrap();
     assert_eq!(cluster.location_of(N0, &x), Some(N2));
@@ -34,7 +38,9 @@ fn forwarded_references_point_at_the_true_home() {
     net.reset_stats();
     // x.m(4) from node 0: one hop 0->2 for m, one hop 2->1 for y.n — and
     // critically NO 2->0 traffic (no chaining through node 0's proxy).
-    let r = cluster.call_method(N0, x, "m", vec![Value::Long(4)]).unwrap();
+    let r = cluster
+        .call_method(N0, x, "m", vec![Value::Long(4)])
+        .unwrap();
     assert_eq!(r, Value::Int(7));
     let stats = net.stats();
     assert!(stats.link(N0, N2).messages >= 1, "driver -> X home");
@@ -52,7 +58,9 @@ fn self_reference_passed_around_unwraps_at_home() {
     // then fetched by node 1 (Y's own home) must unwrap to the local
     // object, not to a proxy-to-self.
     let cluster = cluster_with_y_on_n1_x_on_n2();
-    let y = cluster.new_instance(N0, "Y", 0, vec![Value::Int(3)]).unwrap();
+    let y = cluster
+        .new_instance(N0, "Y", 0, vec![Value::Int(3)])
+        .unwrap();
     let x = cluster.new_instance(N0, "X", 0, vec![y]).unwrap();
     // Read X.y from node 1 via the property accessor: the returned
     // reference should be node 1's *local* Y.
@@ -70,10 +78,14 @@ fn self_reference_passed_around_unwraps_at_home() {
 #[test]
 fn migration_between_secondary_nodes_keeps_third_party_references_valid() {
     let cluster = cluster_with_y_on_n1_x_on_n2();
-    let y = cluster.new_instance(N0, "Y", 0, vec![Value::Int(3)]).unwrap();
+    let y = cluster
+        .new_instance(N0, "Y", 0, vec![Value::Int(3)])
+        .unwrap();
     let x = cluster.new_instance(N0, "X", 0, vec![y]).unwrap();
     assert_eq!(
-        cluster.call_method(N0, x.clone(), "m", vec![Value::Long(4)]).unwrap(),
+        cluster
+            .call_method(N0, x.clone(), "m", vec![Value::Long(4)])
+            .unwrap(),
         Value::Int(7)
     );
     // Move Y from node 1 to node 0 (a node that only held a proxy). X on
@@ -96,7 +108,9 @@ fn migration_between_secondary_nodes_keeps_third_party_references_valid() {
     cluster.migrate(N1, y_home_handle, N0).unwrap();
     // Still correct through the (now forwarded) path.
     assert_eq!(
-        cluster.call_method(N0, x, "m", vec![Value::Long(10)]).unwrap(),
+        cluster
+            .call_method(N0, x, "m", vec![Value::Long(10)])
+            .unwrap(),
         Value::Int(13)
     );
     assert_eq!(cluster.stats().migrations, 1);
