@@ -16,4 +16,20 @@ cargo fmt --check
 echo "== clippy =="
 cargo clippy -- -D warnings
 
+echo "== rustdoc (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --locked --offline --quiet
+
+echo "== determinism (same-seed run-twice diff) =="
+# The full experiment report (covers RPC, retries, migration, adaptation,
+# caching and telemetry) must be byte-identical across two runs of the
+# same build — any hash-order or wall-clock leak shows up as a diff here.
+run_report() {
+  cargo run -q -p rafda --example experiments_report --release > "$1"
+  cp target/e9_trace.json "$1.trace" 2>/dev/null || true
+}
+run_report target/ci_determinism_a.txt
+run_report target/ci_determinism_b.txt
+diff target/ci_determinism_a.txt target/ci_determinism_b.txt
+diff target/ci_determinism_a.txt.trace target/ci_determinism_b.txt.trace
+
 echo "CI OK"

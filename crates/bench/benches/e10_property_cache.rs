@@ -1,0 +1,114 @@
+//! **E10 — coherent proxy-side property caching**: read-mostly workloads
+//! dominated by remote `get_f` exchanges (the property indirection of
+//! Section 2.1 makes every field read an RPC once the object is remote).
+//! With the per-class `cache` policy rule on, repeated reads are served
+//! from the proxy-side cache while the owner's property version is
+//! unchanged; writes invalidate, so the workload stays coherent.
+//!
+//! Reported: remote exchanges, wire messages, simulated elapsed time and
+//! hit rate for the same workload with caching off vs on. Expected shape:
+//! with a read:write ratio of r, caching removes ~(r-1)/r of the `get_`
+//! exchanges — far past the 50% acceptance bar at r = 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rafda::{Cluster, NodeId, Placement, StaticPolicy, Value};
+use rafda_bench::figure1_app;
+use std::time::Duration;
+
+const N0: NodeId = NodeId(0);
+const N1: NodeId = NodeId(1);
+
+/// Deploy the Figure 1 counter remote to the driver, with or without the
+/// property-cache policy rule for `C`.
+fn deploy(cache: bool) -> (Cluster, Value) {
+    let policy = StaticPolicy::new()
+        .place("C", Placement::Node(N1))
+        .default_statics(N0)
+        .cache("C", cache);
+    let cluster = figure1_app()
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(2, 42, Box::new(policy));
+    let c = cluster.new_instance(N0, "C", 0, vec![]).unwrap();
+    cluster.pin(N0, &c);
+    (cluster, c)
+}
+
+/// The read-heavy phase: `rounds` rounds of one write (`tick`) followed by
+/// `reads_per_write` property reads. Returns served remote calls.
+fn drive(cluster: &Cluster, c: &Value, rounds: usize, reads_per_write: usize) -> u64 {
+    let before = cluster.stats().rpc_calls;
+    for _ in 0..rounds {
+        cluster.call_method(N0, c.clone(), "tick", vec![]).unwrap();
+        for _ in 0..reads_per_write {
+            cluster
+                .call_method(N0, c.clone(), "get_count", vec![])
+                .unwrap();
+        }
+    }
+    cluster.stats().rpc_calls - before
+}
+
+fn summary_table() {
+    println!("\n=== E10: proxy-side property caching (reads:writes = 8:1) ===");
+    println!(
+        "{:<14} | {:>14} | {:>9} | {:>12} | {:>16}",
+        "cache", "remote calls", "messages", "sim elapsed", "hits/miss/inval"
+    );
+    let mut baseline_calls = 0;
+    for cache in [false, true] {
+        let (cluster, c) = deploy(cache);
+        let t0 = cluster.network().now();
+        let m0 = cluster.network().stats().messages;
+        let calls = drive(&cluster, &c, 32, 8);
+        let s = cluster.stats();
+        println!(
+            "{:<14} | {:>14} | {:>9} | {:>12} | {:>16}",
+            if cache {
+                "on (policy)"
+            } else {
+                "off (default)"
+            },
+            calls,
+            cluster.network().stats().messages - m0,
+            format!("{}", cluster.network().now() - t0),
+            format!(
+                "{}/{}/{}",
+                s.cache_hits, s.cache_misses, s.cache_invalidations
+            ),
+        );
+        if cache {
+            let saved = 100 * (baseline_calls - calls) / baseline_calls.max(1);
+            println!("remote exchanges saved by the cache: {saved}%");
+            assert!(
+                2 * calls <= baseline_calls,
+                "acceptance: caching must at least halve remote get_ exchanges \
+                 ({calls} vs {baseline_calls})"
+            );
+        } else {
+            baseline_calls = calls;
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    summary_table();
+    let mut group = c.benchmark_group("e10_property_cache");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("read_heavy_cache_off", |b| {
+        let (cluster, cell) = deploy(false);
+        b.iter(|| drive(&cluster, &cell, 4, 8))
+    });
+    group.bench_function("read_heavy_cache_on", |b| {
+        let (cluster, cell) = deploy(true);
+        b.iter(|| drive(&cluster, &cell, 4, 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

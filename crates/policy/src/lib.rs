@@ -48,6 +48,18 @@ pub trait DistributionPolicy {
     /// The proxy protocol used for remote references to `class`
     /// (`"RMI"`, `"SOAP"`, `"CORBA"`).
     fn protocol(&self, class: &str) -> String;
+
+    /// Whether proxies for `class` may cache property (`get_f`) results.
+    ///
+    /// Caching is coherent — entries are version-tagged and dropped when
+    /// the owner's copy changes — but a cached read can still return a
+    /// value the owner mutated *locally* since the last exchange with this
+    /// proxy (the invalidation piggybacks on reply traffic rather than
+    /// being pushed). Classes whose fields are mutated outside their
+    /// accessors should therefore stay uncacheable; the default is off.
+    fn cacheable(&self, _class: &str) -> bool {
+        false
+    }
 }
 
 /// Everything-local policy: instances at their creator, all singletons on
@@ -115,9 +127,11 @@ pub struct StaticPolicy {
     default_protocol: String,
     default_statics: NodeId,
     default_placement: Placement,
+    default_cache: bool,
     instance_rules: HashMap<String, Placement>,
     statics_rules: HashMap<String, NodeId>,
     protocol_rules: HashMap<String, String>,
+    cache_rules: HashMap<String, bool>,
 }
 
 impl Default for StaticPolicy {
@@ -126,9 +140,11 @@ impl Default for StaticPolicy {
             default_protocol: "RMI".to_owned(),
             default_statics: NodeId(0),
             default_placement: Placement::Creator,
+            default_cache: false,
             instance_rules: HashMap::new(),
             statics_rules: HashMap::new(),
             protocol_rules: HashMap::new(),
+            cache_rules: HashMap::new(),
         }
     }
 }
@@ -194,6 +210,18 @@ impl StaticPolicy {
         self
     }
 
+    /// Set the default property-cache switch (off unless overridden).
+    pub fn default_cache(mut self, on: bool) -> Self {
+        self.default_cache = on;
+        self
+    }
+
+    /// Allow (or forbid) proxy-side property caching for `class`.
+    pub fn cache(mut self, class: &str, on: bool) -> Self {
+        self.cache_rules.insert(class.to_owned(), on);
+        self
+    }
+
     /// Parse the policy text format:
     ///
     /// ```text
@@ -201,9 +229,11 @@ impl StaticPolicy {
     /// default protocol RMI|SOAP|CORBA
     /// default statics node<N>
     /// default place creator|node<N>
+    /// default cache on|off
     /// class <Name> place creator|node<N>
     /// class <Name> statics node<N>
     /// class <Name> protocol RMI|SOAP|CORBA
+    /// class <Name> cache on|off
     /// ```
     ///
     /// # Errors
@@ -229,6 +259,9 @@ impl StaticPolicy {
                     policy.default_placement =
                         parse_placement(w).ok_or_else(|| err("bad placement"))?;
                 }
+                ["default", "cache", w] => {
+                    policy.default_cache = parse_switch(w).ok_or_else(|| err("bad switch"))?;
+                }
                 ["class", name, "place", w] => {
                     let p = parse_placement(w).ok_or_else(|| err("bad placement"))?;
                     policy.instance_rules.insert((*name).to_owned(), p);
@@ -241,6 +274,10 @@ impl StaticPolicy {
                     policy
                         .protocol_rules
                         .insert((*name).to_owned(), (*p).to_owned());
+                }
+                ["class", name, "cache", w] => {
+                    let on = parse_switch(w).ok_or_else(|| err("bad switch"))?;
+                    policy.cache_rules.insert((*name).to_owned(), on);
                 }
                 _ => return Err(err("unrecognised directive")),
             }
@@ -264,6 +301,9 @@ impl StaticPolicy {
                 let _ = writeln!(out, "default place node{}", n.0);
             }
         }
+        if self.default_cache {
+            out.push_str("default cache on\n");
+        }
         let mut rules: Vec<String> = Vec::new();
         for (class, placement) in &self.instance_rules {
             rules.push(match placement {
@@ -276,6 +316,12 @@ impl StaticPolicy {
         }
         for (class, protocol) in &self.protocol_rules {
             rules.push(format!("class {class} protocol {protocol}"));
+        }
+        for (class, &on) in &self.cache_rules {
+            rules.push(format!(
+                "class {class} cache {}",
+                if on { "on" } else { "off" }
+            ));
         }
         rules.sort();
         for r in rules {
@@ -295,6 +341,14 @@ fn parse_placement(word: &str) -> Option<Placement> {
         Some(Placement::Creator)
     } else {
         parse_node(word).map(Placement::Node)
+    }
+}
+
+fn parse_switch(word: &str) -> Option<bool> {
+    match word {
+        "on" => Some(true),
+        "off" => Some(false),
+        _ => None,
     }
 }
 
@@ -323,6 +377,13 @@ impl DistributionPolicy for StaticPolicy {
             .get(class)
             .cloned()
             .unwrap_or_else(|| self.default_protocol.clone())
+    }
+
+    fn cacheable(&self, class: &str) -> bool {
+        self.cache_rules
+            .get(class)
+            .copied()
+            .unwrap_or(self.default_cache)
     }
 }
 
@@ -475,7 +536,9 @@ mod tests {
             .place("A", Placement::Creator)
             .place("B", Placement::Node(NodeId(2)))
             .statics("B", NodeId(2))
-            .with_protocol("C", "CORBA");
+            .with_protocol("C", "CORBA")
+            .cache("A", true)
+            .cache("C", false);
         let text = p.to_text();
         let q = StaticPolicy::parse(&text).unwrap();
         for class in ["A", "B", "C", "Unlisted"] {
@@ -484,7 +547,32 @@ mod tests {
             }
             assert_eq!(p.statics_node(class), q.statics_node(class));
             assert_eq!(p.protocol(class), q.protocol(class));
+            assert_eq!(p.cacheable(class), q.cacheable(class));
         }
+    }
+
+    #[test]
+    fn cache_rules_parse_and_default_off() {
+        let p = StaticPolicy::parse(
+            "default cache on\n\
+             class Hot cache on\n\
+             class Cold cache off\n",
+        )
+        .unwrap();
+        assert!(p.cacheable("Hot"));
+        assert!(!p.cacheable("Cold"));
+        assert!(p.cacheable("Unlisted"), "default cache on applies");
+
+        let q = StaticPolicy::new().cache("Hot", true);
+        assert!(q.cacheable("Hot"));
+        assert!(!q.cacheable("Unlisted"), "caching is opt-in");
+        assert!(
+            !LocalPolicy::default().cacheable("Hot"),
+            "trait default is off"
+        );
+
+        let err = StaticPolicy::parse("class A cache maybe\n").unwrap_err();
+        assert_eq!(err.message, "bad switch");
     }
 
     #[test]

@@ -384,7 +384,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<V> {
         element: BoxedStrategy<V>,
         min: usize,

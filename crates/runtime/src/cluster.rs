@@ -54,6 +54,17 @@ impl SingletonState {
 /// ids far in the past can no longer be retried.
 const REPLY_CACHE_CAP: usize = 1024;
 
+/// How many property values each node's proxy-side cache holds. Bounded
+/// FIFO like the reply cache; a modest cap keeps the per-node footprint
+/// proportional to its working set of remote reads.
+const PROP_CACHE_CAP: usize = 1024;
+
+/// Version tag marking a `(node, oid)` location as permanently uncacheable:
+/// the object migrated away and the export now forwards. Reads through a
+/// forwarding chain must always go remote, otherwise a reader that never
+/// exchanges with the new owner could keep serving the pre-move value.
+const VERSION_TOMBSTONE: u64 = u64::MAX;
+
 /// Per-node registry state.
 #[derive(Debug, Default)]
 pub(crate) struct NodeState {
@@ -73,6 +84,16 @@ pub(crate) struct NodeState {
     reply_cache: HashMap<(u32, u64), Reply>,
     /// Insertion order of `reply_cache` keys, for FIFO eviction.
     reply_cache_order: VecDeque<(u32, u64)>,
+    /// Proxy-side property cache: values returned by remote `get_f` calls,
+    /// keyed `(owner node, export id, getter sig)` and tagged with the
+    /// owner's property version at reply time. An entry is served only
+    /// while its tag still equals the owner's current version. Values are
+    /// kept in wire form so each hit re-materialises exactly like a fresh
+    /// reply (arrays copy by value, references resolve via the import
+    /// cache — and hold no GC-visible handles).
+    prop_cache: HashMap<(u32, u64, SigId), (u64, WireValue)>,
+    /// Insertion order of `prop_cache` keys, for FIFO eviction.
+    prop_cache_order: VecDeque<(u32, u64, SigId)>,
 }
 
 /// Client-side fault tolerance for one request/reply exchange.
@@ -158,6 +179,15 @@ pub struct RuntimeStats {
     /// Exchanges that exhausted the retry budget or hit a non-transient
     /// network failure. Distinct from `faults`: the server never answered.
     pub net_failures: u64,
+    /// Property (`get_f`) reads answered from the proxy-side cache —
+    /// no network exchange happened at all.
+    pub cache_hits: u64,
+    /// Cacheable property reads that had to go remote (no entry, or a
+    /// stale entry that was refreshed by the exchange).
+    pub cache_misses: u64,
+    /// Cached property entries found stale — the owner's version moved
+    /// past the tag — and dropped before going remote.
+    pub cache_invalidations: u64,
     /// Histogram of attempts used per finished exchange: bucket `i` counts
     /// exchanges that took `i + 1` attempts (the last bucket saturates).
     pub attempts: [u64; 8],
@@ -196,14 +226,18 @@ impl fmt::Display for RuntimeStats {
         write!(
             f,
             "{} rpc exchanges (mean {:.2} attempts), {} retries, \
-             {} retransmits, {} dedup hits, {} net failures, {} faults",
+             {} retransmits, {} dedup hits, {} net failures, {} faults, \
+             property cache {} hits / {} misses / {} invalidations",
             self.exchanges(),
             self.mean_attempts(),
             self.retries,
             self.retransmits,
             self.dedup_hits,
             self.net_failures,
-            self.faults
+            self.faults,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_invalidations
         )
     }
 }
@@ -301,6 +335,14 @@ pub(crate) struct Shared {
     /// dispatch, migration and boundary pull, charged to the simulated
     /// clock. Never borrowed across a nested exchange (RPCs re-enter).
     pub spans: RefCell<SpanLog>,
+    /// Authoritative per-object property versions, keyed by `(owner node,
+    /// export id)`. Absent means version 0 (never mutated through the
+    /// runtime since export). Every served mutation bumps the owner's
+    /// entry; the current value piggybacks on reply frames so proxy-side
+    /// property caches can tag and later revalidate their entries.
+    /// [`VERSION_TOMBSTONE`] marks a location the object migrated away
+    /// from.
+    pub versions: RefCell<HashMap<(u32, u64), u64>>,
 }
 
 /// A simulated cluster running one transformed application.
@@ -397,6 +439,7 @@ impl Cluster {
             retry: Cell::new(RetryPolicy::default()),
             next_msg_id: Cell::new(1),
             spans: RefCell::new(SpanLog::new()),
+            versions: RefCell::new(HashMap::new()),
         });
         let cluster = Cluster { shared };
         cluster.install_hooks();
@@ -435,6 +478,21 @@ impl Cluster {
     /// Runtime statistics snapshot.
     pub fn stats(&self) -> RuntimeStats {
         *self.shared.stats.borrow()
+    }
+
+    /// Per-object incoming-call affinity recorded on `node`: `(export id,
+    /// total calls)` pairs, sorted by export id. Entries are purged
+    /// cluster-wide when their object migrates or is pulled, so the
+    /// adaptive loop never acts on traffic observed at a previous home.
+    pub fn affinity_snapshot(&self, node: NodeId) -> Vec<(u64, u64)> {
+        let nodes = self.shared.nodes.borrow();
+        let mut v: Vec<(u64, u64)> = nodes[node.0 as usize]
+            .call_counts
+            .iter()
+            .map(|(&oid, counts)| (oid, counts.values().sum()))
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     /// Snapshot of the causal span log. Deterministic per seed: same
@@ -808,7 +866,7 @@ impl Cluster {
             fields: wire_fields,
         };
         let source_oid = export(shared, from, object);
-        let reply = rpc(
+        let (reply, _) = rpc(
             shared,
             from,
             to,
@@ -844,6 +902,11 @@ impl Cluster {
                 .imports
                 .insert((target.node.0, target.oid), object);
         }
+        // The old export now forwards: no read through it may ever be
+        // cached again, and affinity data about the old home is obsolete
+        // cluster-wide.
+        tombstone_version(shared, from.0, source_oid);
+        purge_call_counts(shared, &[(from.0, source_oid), (target.node.0, target.oid)]);
         shared.stats.borrow_mut().migrations += 1;
         Ok(MigrationEvent {
             class: base_name,
@@ -900,7 +963,7 @@ impl Cluster {
             read_proxy_state(vm, proxy).ok_or_else(|| RuntimeError::Bad("stale proxy".into()))?;
         let owner = NodeId(owner_raw);
         // Fetch the state.
-        let reply = rpc(
+        let (reply, _) = rpc(
             shared,
             node,
             owner,
@@ -925,7 +988,7 @@ impl Cluster {
         vm.replace_object(proxy, local_class, fields);
         let my_oid = export(shared, node, proxy);
         // Owner-side swap: the old object becomes a forwarding proxy here.
-        let reply = rpc(
+        let (reply, _) = rpc(
             shared,
             node,
             owner,
@@ -941,6 +1004,11 @@ impl Cluster {
         if let Reply::Fault(m) = reply {
             return Err(RuntimeError::Bad(m));
         }
+        // The pulled copy is a fresh export with fresh state; the old home
+        // has been tombstoned by the Forward handler. Affinity counts that
+        // referenced either location are stale now.
+        bump_version(shared, node.0, my_oid);
+        purge_call_counts(shared, &[(owner.0, oid), (node.0, my_oid)]);
         shared.stats.borrow_mut().pulls += 1;
         Ok(MigrationEvent {
             class: base_name,
@@ -960,12 +1028,22 @@ impl Cluster {
         {
             let nodes = shared.nodes.borrow();
             for (n, state) in nodes.iter().enumerate() {
-                for (&oid, counts) in &state.call_counts {
+                // HashMap iteration order varies run to run; candidates must
+                // be discovered in a stable order or the migration sequence
+                // (and thus clocks, traces and stats) differs per run.
+                let mut oids: Vec<u64> = state.call_counts.keys().copied().collect();
+                oids.sort_unstable();
+                for oid in oids {
+                    let counts = &state.call_counts[&oid];
                     let total: u64 = counts.values().sum();
                     if total < config.min_calls {
                         continue;
                     }
-                    let Some((&caller, &count)) = counts.iter().max_by_key(|(_, &c)| c) else {
+                    // Ties on count go to the highest caller id — any fixed
+                    // rule works, it just must not depend on map order.
+                    let Some((&caller, &count)) =
+                        counts.iter().max_by_key(|&(&caller, &c)| (c, caller))
+                    else {
                         continue;
                     };
                     if caller == n as u32 {
@@ -982,7 +1060,7 @@ impl Cluster {
             }
         }
         let mut events = Vec::new();
-        for (owner, oid, handle, target) in candidates {
+        for (owner, _oid, handle, target) in candidates {
             // Only migrate objects still locally implemented.
             let vm = &shared.vms[owner.0 as usize];
             let Some(class) = vm.class_of(handle) else {
@@ -992,10 +1070,9 @@ impl Cluster {
                 Some(info) if info.proto.is_none() => {}
                 _ => continue,
             }
+            // migrate() purges the stale counts cluster-wide, so no
+            // owner-local cleanup is needed here.
             if let Ok(event) = self.migrate(owner, handle, target) {
-                shared.nodes.borrow_mut()[owner.0 as usize]
-                    .call_counts
-                    .remove(&oid);
                 events.push(event);
             }
         }
@@ -1114,6 +1191,70 @@ pub(crate) fn proxy_class_for(
     list.iter().find(|(p, _)| p == proto).map(|(_, c)| *c)
 }
 
+/// The current property version of the export `(node, oid)` (0 if never
+/// mutated).
+pub(crate) fn version_of(shared: &Shared, node: u32, oid: u64) -> u64 {
+    shared
+        .versions
+        .borrow()
+        .get(&(node, oid))
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Record a (possible) mutation of the export `(node, oid)`: any cached
+/// property read tagged with an older version becomes stale. Tombstoned
+/// locations stay tombstoned.
+pub(crate) fn bump_version(shared: &Shared, node: u32, oid: u64) {
+    let mut versions = shared.versions.borrow_mut();
+    let v = versions.entry((node, oid)).or_insert(0);
+    if *v != VERSION_TOMBSTONE {
+        *v = v.saturating_add(1).min(VERSION_TOMBSTONE - 1);
+    }
+}
+
+/// Mark the export `(node, oid)` permanently uncacheable — the object
+/// migrated away and this export now forwards.
+pub(crate) fn tombstone_version(shared: &Shared, node: u32, oid: u64) {
+    shared
+        .versions
+        .borrow_mut()
+        .insert((node, oid), VERSION_TOMBSTONE);
+}
+
+/// Drop call-count affinity data referring to a moved object, cluster-wide:
+/// the entries for its old and new locations on the nodes themselves, and
+/// any node's entry whose exported handle is a proxy pointing at either
+/// location. Without this, an `adapt` pass after a migration can act on
+/// pre-move affinity data (the counts describe calls the object received at
+/// a home it no longer has).
+pub(crate) fn purge_call_counts(shared: &Shared, locations: &[(u32, u64)]) {
+    let mut nodes = shared.nodes.borrow_mut();
+    for (i, state) in nodes.iter_mut().enumerate() {
+        let vm = &shared.vms[i];
+        let exports = &state.exports;
+        state.call_counts.retain(|&oid, _| {
+            if locations.contains(&(i as u32, oid)) {
+                return false;
+            }
+            let Some(&h) = exports.get(&oid) else {
+                return true;
+            };
+            let is_proxy = vm
+                .class_of(h)
+                .and_then(|c| shared.gen_info.get(&c))
+                .is_some_and(|info| info.proto.is_some());
+            if !is_proxy {
+                return true;
+            }
+            match read_proxy_state(vm, h) {
+                Some(loc) => !locations.contains(&loc),
+                None => true,
+            }
+        });
+    }
+}
+
 pub(crate) fn read_proxy_state(vm: &Vm, h: Handle) -> Option<(u32, u64)> {
     let (_, fields) = vm.read_object(h)?;
     match (fields.first(), fields.get(1)) {
@@ -1153,7 +1294,7 @@ pub(crate) fn make_value(shared: &Shared, node: NodeId, base: ClassId) -> Result
         Ok(Value::Ref(h))
     } else {
         let proto = shared.policy.protocol(&base_name);
-        let reply = rpc(
+        let (reply, _) = rpc(
             shared,
             node,
             target,
@@ -1205,7 +1346,7 @@ pub(crate) fn discover_value(
         Ok(Value::Ref(h))
     } else {
         let proto = shared.policy.protocol(&base_name);
-        let reply = rpc(
+        let (reply, _) = rpc(
             shared,
             node,
             owner,
@@ -1273,9 +1414,69 @@ fn proxy_call(
         args: wire_args,
     };
     let base_name = shared.universe.class(info.base).name.clone();
-    let reply = rpc(shared, node, NodeId(target), &proto, &base_name, &req)?;
+    // Property-cache fast path: a cacheable getter whose cached tag still
+    // equals the owner's current version is served locally — no exchange,
+    // no clock advance. Coherence rests on the tag check: every mutation
+    // on the owner bumps the version, so a hit can never observe a value
+    // older than the last write the owner served.
+    let is_getter = shared
+        .plan
+        .family(info.base)
+        .is_some_and(|f| match info.side {
+            Side::Obj => f.getters.contains(&sig),
+            Side::Cls => f.static_getters.contains(&sig),
+        });
+    let cache_on = is_getter && shared.policy.cacheable(&base_name);
+    let cache_key = (target, oid, sig);
+    if cache_on {
+        let current = version_of(shared, target, oid);
+        let cached = shared.nodes.borrow()[node.0 as usize]
+            .prop_cache
+            .get(&cache_key)
+            .cloned();
+        match cached {
+            Some((tag, wv)) if tag == current && current != VERSION_TOMBSTONE => {
+                shared.stats.borrow_mut().cache_hits += 1;
+                // A zero-duration exchange span keeps the read visible in
+                // traces, tagged as served from the property cache.
+                let now = shared.net.now().as_ns();
+                {
+                    let mut spans = shared.spans.borrow_mut();
+                    let h = spans.start_span("rpc.call", node.0, now);
+                    spans.set_attr(h, "class", base_name.as_str());
+                    spans.set_attr(h, "method", format!("{method_name}@{}", sig.0));
+                    spans.set_attr(h, "protocol", proto.as_str());
+                    spans.set_attr(h, "from", node.0);
+                    spans.set_attr(h, "to", target);
+                    spans.set_attr(h, "cached", true);
+                    spans.end_span(h, now, SpanOutcome::Ok);
+                }
+                return marshal::wire_to_value(shared, node, &wv).map_err(VmError::Native);
+            }
+            Some(_) => shared.stats.borrow_mut().cache_invalidations += 1,
+            None => shared.stats.borrow_mut().cache_misses += 1,
+        }
+    }
+    let (reply, obj_version) = rpc(shared, node, NodeId(target), &proto, &base_name, &req)?;
     match reply {
-        Reply::Value(wv) => marshal::wire_to_value(shared, node, &wv).map_err(VmError::Native),
+        Reply::Value(wv) => {
+            if cache_on && obj_version != VERSION_TOMBSTONE {
+                let mut nodes = shared.nodes.borrow_mut();
+                let state = &mut nodes[node.0 as usize];
+                if !state.prop_cache.contains_key(&cache_key) {
+                    if state.prop_cache_order.len() >= PROP_CACHE_CAP {
+                        if let Some(evict) = state.prop_cache_order.pop_front() {
+                            state.prop_cache.remove(&evict);
+                        }
+                    }
+                    state.prop_cache_order.push_back(cache_key);
+                }
+                state
+                    .prop_cache
+                    .insert(cache_key, (obj_version, wv.clone()));
+            }
+            marshal::wire_to_value(shared, node, &wv).map_err(VmError::Native)
+        }
         Reply::Exception { class, fields } => {
             let exc_class = shared
                 .universe
@@ -1295,6 +1496,10 @@ fn proxy_call(
 /// Perform one request/reply exchange, running the full encode → transmit →
 /// decode → handle → encode → transmit → decode pipeline and charging the
 /// protocol-stack overhead to the simulated clock.
+///
+/// Returns the reply together with the served object's property version as
+/// piggybacked on the reply frame (0 for request kinds that do not address
+/// a versioned export).
 pub(crate) fn rpc(
     shared: &Shared,
     from: NodeId,
@@ -1302,7 +1507,7 @@ pub(crate) fn rpc(
     proto: &str,
     class: &str,
     req: &Request,
-) -> Result<Reply, VmError> {
+) -> Result<(Reply, u64), VmError> {
     let codec = shared
         .protocols
         .get(proto)
@@ -1364,7 +1569,7 @@ fn rpc_inner(
     codec: &dyn Protocol,
     class: &str,
     req: &Request,
-) -> Result<Reply, VmError> {
+) -> Result<(Reply, u64), VmError> {
     let msg_id = shared.next_msg_id.get();
     shared.next_msg_id.set(msg_id + 1);
     let (exch_name, _) = req_span_name(req);
@@ -1415,7 +1620,7 @@ fn rpc_inner(
             h
         };
         match attempt_exchange(shared, from, to, codec, msg_id, &bytes, attempt) {
-            Ok(reply) => {
+            Ok((reply, obj_version)) => {
                 let end = shared.net.now().as_ns();
                 shared.stats.borrow_mut().record_attempts(attempt);
                 let outcome = match &reply {
@@ -1427,7 +1632,7 @@ fn rpc_inner(
                 spans.record_link(from.0, to.0, end.saturating_sub(attempt_start));
                 spans.set_attr(exch, "attempts", attempt);
                 spans.end_span(exch, end, outcome);
-                return Ok(reply);
+                return Ok((reply, obj_version));
             }
             Err(kind) if kind.is_transient() && attempt < max_attempts => {
                 let end = shared.net.now().as_ns();
@@ -1463,7 +1668,7 @@ fn attempt_exchange(
     msg_id: u64,
     bytes: &[u8],
     attempt: u32,
-) -> Result<Reply, NetFailureKind> {
+) -> Result<(Reply, u64), NetFailureKind> {
     shared
         .net
         .transmit(from, to, bytes.len())
@@ -1475,17 +1680,17 @@ fn attempt_exchange(
     if attempt > 1 {
         shared.stats.borrow_mut().retransmits += 1;
     }
-    let (reply, reply_ctx) = serve_request(shared, to, from, id, wire_ctx, decoded);
-    let reply_bytes = codec.encode_reply(id, reply_ctx, &reply);
+    let (reply, reply_ctx, obj_version) = serve_request(shared, to, from, id, wire_ctx, decoded);
+    let reply_bytes = codec.encode_reply(id, reply_ctx, obj_version, &reply);
     shared
         .net
         .transmit(to, from, reply_bytes.len())
         .map_err(|e| net_failure_kind(&e))?;
     shared.net.advance(2 * codec.overhead_ns());
-    let (_, _, reply) = codec
+    let (_, _, obj_version, reply) = codec
         .decode_reply(&reply_bytes)
         .expect("own encoding must decode");
-    Ok(reply)
+    Ok((reply, obj_version))
 }
 
 /// Serve a delivered request with at-most-once semantics: if this
@@ -1495,7 +1700,9 @@ fn attempt_exchange(
 ///
 /// Records a `serve.*` span whose parent comes from the wire context, which
 /// is what stitches the hops of a multi-node chain into one trace. Returns
-/// the reply and the serve span's context (sent back in the reply header).
+/// the reply, the serve span's context, and the addressed export's current
+/// property version (0 for request kinds that address no export) — both of
+/// which ride back in the reply header.
 fn serve_request(
     shared: &Shared,
     node: NodeId,
@@ -1503,7 +1710,7 @@ fn serve_request(
     msg_id: u64,
     ctx: TraceContext,
     req: Request,
-) -> (Reply, TraceContext) {
+) -> (Reply, TraceContext, u64) {
     let (_, serve_name) = req_span_name(&req);
     let (span, reply_ctx) = {
         let mut spans = shared.spans.borrow_mut();
@@ -1512,6 +1719,14 @@ fn serve_request(
         let reply_ctx = spans.context_of(h);
         (h, reply_ctx)
     };
+    // The export whose property version the reply piggybacks. Read *after*
+    // handling, so a setter's own reply already carries the bumped version.
+    let versioned_oid = match &req {
+        Request::Call { object, .. } | Request::Fetch { object } => Some(*object),
+        _ => None,
+    };
+    let version_now =
+        |shared: &Shared| versioned_oid.map_or(0, |oid| version_of(shared, node.0, oid));
     let key = (caller.0, msg_id);
     let cached = shared.nodes.borrow()[node.0 as usize]
         .reply_cache
@@ -1522,7 +1737,8 @@ fn serve_request(
         let mut spans = shared.spans.borrow_mut();
         spans.set_attr(span, "cached", true);
         spans.end_span(span, shared.net.now().as_ns(), reply_outcome(&reply));
-        return (reply, reply_ctx);
+        let obj_version = version_now(shared);
+        return (reply, reply_ctx, obj_version);
     }
     let reply = handle_request(shared, node, caller, req);
     {
@@ -1541,7 +1757,8 @@ fn serve_request(
         .spans
         .borrow_mut()
         .end_span(span, shared.net.now().as_ns(), reply_outcome(&reply));
-    (reply, reply_ctx)
+    let obj_version = version_now(shared);
+    (reply, reply_ctx, obj_version)
 }
 
 /// Span outcome of a served reply.
@@ -1589,6 +1806,21 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             let Some(sig) = parse_method(&method) else {
                 return Reply::Fault(format!("malformed method {method}"));
             };
+            // Anything other than a property getter may mutate the object
+            // (setters, init$k, arbitrary methods), so it bumps the property
+            // version and invalidates every proxy-side cached read. Objects
+            // whose class cannot be resolved bump conservatively.
+            let is_getter = vm
+                .class_of(h)
+                .and_then(|c| shared.gen_info.get(&c))
+                .and_then(|info| shared.plan.family(info.base).map(|f| (f, info.side)))
+                .is_some_and(|(f, side)| match side {
+                    Side::Obj => f.getters.contains(&sig),
+                    Side::Cls => f.static_getters.contains(&sig),
+                });
+            if !is_getter {
+                bump_version(shared, node.0, object);
+            }
             let mut values = Vec::with_capacity(args.len());
             for a in &args {
                 match marshal::wire_to_value(shared, node, a) {
@@ -1693,6 +1925,9 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
                 _ => vm.alloc_raw(class_id, values),
             };
             let oid = export(shared, node, h);
+            // Freshly installed state supersedes anything cached about a
+            // previous export under this id.
+            bump_version(shared, node.0, oid);
             Reply::Value(WireValue::Remote {
                 node: node.0,
                 object: oid,
@@ -1725,6 +1960,9 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
                 vec![Value::Int(to_node as i32), Value::Long(to_object as i64)],
             );
             cache_import(shared, node, to_node, to_object, h);
+            // The export now forwards; reads through this location must
+            // never be served from a cache again.
+            tombstone_version(shared, node.0, object);
             Reply::Value(WireValue::Null)
         }
     }

@@ -13,8 +13,11 @@ const MAGIC: &[u8] = b"GIOP";
 // Minor version 4 appended the trace context: three aligned u64s (trace,
 // span, parent span ids) at bytes 16..40. Minor-3 frames still decode, with
 // `TraceContext::NONE`.
+// Minor version 5 appended the served object's property version to *reply*
+// frames: an aligned u64 at bytes 40..48 (requests are unchanged). Minor-4
+// replies decode with version 0.
 const MAJOR: u8 = 1;
-const MINOR: u8 = 4;
+const MINOR: u8 = 5;
 
 /// The CORBA-like protocol.
 #[derive(Debug, Clone, Copy, Default)]
@@ -54,15 +57,16 @@ impl Protocol for CorbaCodec {
         Ok((id, ctx, rmi::read_request(&mut r)?))
     }
 
-    fn encode_reply(&self, id: u64, ctx: TraceContext, reply: &Reply) -> Vec<u8> {
+    fn encode_reply(&self, id: u64, ctx: TraceContext, obj_version: u64, reply: &Reply) -> Vec<u8> {
         let mut w = BinWriter::aligned();
         w.raw(MAGIC).raw(&[MAJOR, MINOR]).u64(id);
         rmi::write_ctx(&mut w, ctx);
+        w.u64(obj_version);
         rmi::write_reply(&mut w, reply);
         w.finish()
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Reply), WireError> {
+    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, u64, Reply), WireError> {
         let mut r = BinReader::aligned(bytes);
         r.expect(MAGIC)?;
         r.expect(&[MAJOR])?;
@@ -73,7 +77,8 @@ impl Protocol for CorbaCodec {
         } else {
             TraceContext::NONE
         };
-        Ok((id, ctx, rmi::read_reply(&mut r)?))
+        let obj_version = if minor >= 5 { r.u64()? } else { 0 };
+        Ok((id, ctx, obj_version, rmi::read_reply(&mut r)?))
     }
 
     /// ORB request brokering cost: ~60 µs per message.
@@ -109,6 +114,7 @@ mod tests {
         let frame = crate::RmiCodec::new().encode_reply(
             3,
             TraceContext::NONE,
+            0,
             &Reply::Value(WireValue::Int(1)),
         );
         assert!(CorbaCodec::new().decode_reply(&frame).is_err());
@@ -142,16 +148,37 @@ mod tests {
             span_id: 6,
             parent_span_id: 1,
         };
-        let v4 = CorbaCodec::new().encode_request(9, ctx, &Request::Fetch { object: 2 });
+        let v5 = CorbaCodec::new().encode_request(9, ctx, &Request::Fetch { object: 2 });
         // Re-create the pre-tracing frame: minor version 3, no trace context
         // words (drop bytes 16..40); everything after stays aligned because
         // 24 bytes is a multiple of 8.
-        let mut v3 = v4.clone();
+        let mut v3 = v5.clone();
         v3[5] = 3;
         v3.drain(16..40);
         let (id, back_ctx, req) = CorbaCodec::new().decode_request(&v3).unwrap();
         assert_eq!(id, 9);
         assert_eq!(back_ctx, TraceContext::NONE);
         assert_eq!(req, Request::Fetch { object: 2 });
+    }
+
+    #[test]
+    fn minor_4_replies_decode_with_object_version_zero() {
+        let ctx = TraceContext {
+            trace_id: 5,
+            span_id: 6,
+            parent_span_id: 1,
+        };
+        let v5 = CorbaCodec::new().encode_reply(9, ctx, 31, &Reply::Value(WireValue::Long(-8)));
+        // Re-create the pre-caching frame: minor version 4, no object
+        // version word (drop bytes 40..48); the body stays aligned because
+        // 8 bytes is a multiple of 8.
+        let mut v4 = v5.clone();
+        v4[5] = 4;
+        v4.drain(40..48);
+        let (id, back_ctx, ver, reply) = CorbaCodec::new().decode_reply(&v4).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(back_ctx, ctx);
+        assert_eq!(ver, 0, "pre-caching peers imply version 0");
+        assert_eq!(reply, Reply::Value(WireValue::Long(-8)));
     }
 }

@@ -190,6 +190,11 @@ impl WireError {
 /// the server span's context. Frames from pre-tracing peers decode as
 /// [`TraceContext::NONE`].
 ///
+/// Reply headers additionally piggyback the served object's **property
+/// version** — the counter the proxy-side property cache tags its entries
+/// with — so coherence information rides on traffic that flows anyway.
+/// Frames from pre-caching peers decode with version 0.
+///
 /// Implementations must round-trip exactly. `overhead_ns` models the
 /// protocol-stack processing cost charged per message in addition to the
 /// transmission cost (e.g. XML parsing for SOAP).
@@ -209,15 +214,18 @@ pub trait Protocol {
     fn decode_request(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Request), WireError>;
 
     /// Encode a reply answering the request with message id `id`, carrying
-    /// the server span's trace context `ctx`.
-    fn encode_reply(&self, id: u64, ctx: TraceContext, reply: &Reply) -> Vec<u8>;
+    /// the server span's trace context `ctx` and the served object's
+    /// property version `obj_version` (0 when the request did not address a
+    /// versioned object).
+    fn encode_reply(&self, id: u64, ctx: TraceContext, obj_version: u64, reply: &Reply) -> Vec<u8>;
 
-    /// Decode a reply, returning the answered message id, trace context and
-    /// body.
+    /// Decode a reply, returning the answered message id, trace context,
+    /// object property version and body. Frames from pre-caching peers
+    /// decode with version 0.
     ///
     /// # Errors
     /// [`WireError`] on malformed input.
-    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Reply), WireError>;
+    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, u64, Reply), WireError>;
 
     /// Per-message protocol-stack processing cost (simulated nanoseconds).
     fn overhead_ns(&self) -> u64 {
@@ -388,18 +396,24 @@ pub(crate) mod testdata {
         for (i, reply) in sample_replies().into_iter().enumerate() {
             let id = sample_id(i);
             let ctx = sample_ctx(i);
-            let bytes = p.encode_reply(id, ctx, &reply);
-            let (back_id, back_ctx, back) = p
+            let ver = sample_version(i);
+            let bytes = p.encode_reply(id, ctx, ver, &reply);
+            let (back_id, back_ctx, back_ver, back) = p
                 .decode_reply(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e} for {reply:?}", p.name()));
             assert_eq!(back_id, id, "{} reply id roundtrip", p.name());
             assert_eq!(back_ctx, ctx, "{} reply ctx roundtrip", p.name());
+            assert_eq!(back_ver, ver, "{} reply version roundtrip", p.name());
             assert_eq!(back, reply, "{} reply roundtrip", p.name());
         }
     }
 
     fn sample_id(i: usize) -> u64 {
         [0, 1, 7, u64::from(u32::MAX), u64::MAX][i % 5]
+    }
+
+    fn sample_version(i: usize) -> u64 {
+        [0, 1, 3, 1 << 40, u64::MAX, 42][i % 6]
     }
 
     fn sample_ctx(i: usize) -> TraceContext {

@@ -7,7 +7,10 @@ const MAGIC: &[u8] = b"JRMI";
 // Version 3 added the message id (at-most-once dedup key) to the header.
 // Version 4 appended the trace context (trace/span/parent span ids) right
 // after it; version-3 frames still decode, with `TraceContext::NONE`.
-const VERSION: u8 = 4;
+// Version 5 appended the served object's property version to *reply*
+// headers (requests are unchanged); version-4 replies decode with
+// version 0.
+const VERSION: u8 = 5;
 
 pub(crate) fn write_ctx(w: &mut BinWriter, ctx: TraceContext) {
     w.u64(ctx.trace_id).u64(ctx.span_id).u64(ctx.parent_span_id);
@@ -298,15 +301,16 @@ impl Protocol for RmiCodec {
         Ok((id, ctx, read_request(&mut r)?))
     }
 
-    fn encode_reply(&self, id: u64, ctx: TraceContext, reply: &Reply) -> Vec<u8> {
+    fn encode_reply(&self, id: u64, ctx: TraceContext, obj_version: u64, reply: &Reply) -> Vec<u8> {
         let mut w = BinWriter::new();
         w.raw(MAGIC).u8(VERSION).u64(id);
         write_ctx(&mut w, ctx);
+        w.u64(obj_version);
         write_reply(&mut w, reply);
         w.finish()
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Reply), WireError> {
+    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, u64, Reply), WireError> {
         let mut r = BinReader::new(bytes);
         r.expect(MAGIC)?;
         let version = r.u8()?;
@@ -316,7 +320,8 @@ impl Protocol for RmiCodec {
         } else {
             TraceContext::NONE
         };
-        Ok((id, ctx, read_reply(&mut r)?))
+        let obj_version = if version >= 5 { r.u64()? } else { 0 };
+        Ok((id, ctx, obj_version, read_reply(&mut r)?))
     }
 
     /// JRMP stacks were comparatively lean: ~40 µs per message.
@@ -346,10 +351,10 @@ mod tests {
     #[test]
     fn rejects_unknown_tags() {
         let codec = RmiCodec::new();
-        let mut bytes = codec.encode_reply(4, TraceContext::NONE, &Reply::Fault("x".into()));
+        let mut bytes = codec.encode_reply(4, TraceContext::NONE, 0, &Reply::Fault("x".into()));
         // Reply tag position: magic(4) + version(1) + message id(8) + trace
-        // context(24).
-        bytes[37] = 99;
+        // context(24) + object version(8).
+        bytes[45] = 99;
         assert!(codec.decode_reply(&bytes).is_err());
     }
 
@@ -389,15 +394,36 @@ mod tests {
             span_id: 6,
             parent_span_id: 1,
         };
-        let v4 = codec.encode_request(9, ctx, &Request::Fetch { object: 2 });
+        let v5 = codec.encode_request(9, ctx, &Request::Fetch { object: 2 });
         // Re-create the pre-tracing frame: version byte 3, no trace context
         // field (drop bytes 13..37).
-        let mut v3 = v4.clone();
+        let mut v3 = v5.clone();
         v3[4] = 3;
         v3.drain(13..37);
         let (id, back_ctx, req) = codec.decode_request(&v3).unwrap();
         assert_eq!(id, 9);
         assert_eq!(back_ctx, TraceContext::NONE);
         assert_eq!(req, Request::Fetch { object: 2 });
+    }
+
+    #[test]
+    fn version_4_replies_decode_with_object_version_zero() {
+        let codec = RmiCodec::new();
+        let ctx = TraceContext {
+            trace_id: 5,
+            span_id: 6,
+            parent_span_id: 1,
+        };
+        let v5 = codec.encode_reply(9, ctx, 77, &Reply::Value(WireValue::Int(3)));
+        // Re-create the pre-caching frame: version byte 4, no object
+        // version field (drop bytes 37..45).
+        let mut v4 = v5.clone();
+        v4[4] = 4;
+        v4.drain(37..45);
+        let (id, back_ctx, ver, reply) = codec.decode_reply(&v4).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(back_ctx, ctx);
+        assert_eq!(ver, 0, "pre-caching peers imply version 0");
+        assert_eq!(reply, Reply::Value(WireValue::Int(3)));
     }
 }

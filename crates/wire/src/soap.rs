@@ -342,19 +342,26 @@ fn read_value(e: &Element) -> Result<WireValue, WireError> {
     })
 }
 
-fn envelope(id: u64, ctx: TraceContext, body: &str) -> String {
+/// Build an envelope. `objver` is `Some` only for replies, which piggyback
+/// the served object's property version as a `<rafda:objver>` header
+/// element; requests never carry one.
+fn envelope(id: u64, ctx: TraceContext, objver: Option<u64>, body: &str) -> String {
+    let objver = match objver {
+        Some(v) => format!("<rafda:objver>{v}</rafda:objver>"),
+        None => String::new(),
+    };
     format!(
         "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
          <soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\" \
          xmlns:rafda=\"http://rafda.dcs.st-and.ac.uk/ns/2003\">\n\
          <soap:Header><rafda:mid>{id}</rafda:mid>\
-         <rafda:trace id=\"{}\" span=\"{}\" parent=\"{}\"/></soap:Header>\n\
+         <rafda:trace id=\"{}\" span=\"{}\" parent=\"{}\"/>{objver}</soap:Header>\n\
          <soap:Body>{body}</soap:Body>\n</soap:Envelope>\n",
         ctx.trace_id, ctx.span_id, ctx.parent_span_id
     )
 }
 
-fn unwrap_envelope(xml: &str) -> Result<(u64, TraceContext, Element), WireError> {
+fn unwrap_envelope(xml: &str) -> Result<(u64, TraceContext, u64, Element), WireError> {
     let doc = Parser::new(xml).document()?;
     if doc.name != "soap:Envelope" {
         return Err(WireError::new(format!(
@@ -362,10 +369,11 @@ fn unwrap_envelope(xml: &str) -> Result<(u64, TraceContext, Element), WireError>
             doc.name
         )));
     }
-    // The message id and trace context ride in an optional header block;
-    // pre-id peers (no <soap:Header>) decode as id 0, pre-tracing peers (no
-    // <rafda:trace>) as `TraceContext::NONE`.
-    let (id, ctx) = match doc.child("soap:Header") {
+    // The message id, trace context and object property version ride in an
+    // optional header block; pre-id peers (no <soap:Header>) decode as id 0,
+    // pre-tracing peers (no <rafda:trace>) as `TraceContext::NONE`, and
+    // pre-caching peers (no <rafda:objver>) as version 0.
+    let (id, ctx, objver) = match doc.child("soap:Header") {
         Ok(header) => {
             let id = header
                 .child("rafda:mid")?
@@ -381,11 +389,24 @@ fn unwrap_envelope(xml: &str) -> Result<(u64, TraceContext, Element), WireError>
                 },
                 Err(_) => TraceContext::NONE,
             };
-            (id, ctx)
+            let objver = match header.child("rafda:objver") {
+                Ok(v) => v
+                    .text()
+                    .trim()
+                    .parse()
+                    .map_err(|_| WireError::new("bad rafda:objver"))?,
+                Err(_) => 0,
+            };
+            (id, ctx, objver)
         }
-        Err(_) => (0, TraceContext::NONE),
+        Err(_) => (0, TraceContext::NONE, 0),
     };
-    Ok((id, ctx, doc.child("soap:Body")?.first_elem()?.clone()))
+    Ok((
+        id,
+        ctx,
+        objver,
+        doc.child("soap:Body")?.first_elem()?.clone(),
+    ))
 }
 
 // ---------------------------------------------------------------------
@@ -462,12 +483,12 @@ impl Protocol for SoapCodec {
                 );
             }
         }
-        envelope(id, ctx, &b).into_bytes()
+        envelope(id, ctx, None, &b).into_bytes()
     }
 
     fn decode_request(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Request), WireError> {
         let xml = std::str::from_utf8(bytes).map_err(|_| WireError::new("invalid utf-8"))?;
-        let (id, ctx, e) = unwrap_envelope(xml)?;
+        let (id, ctx, _, e) = unwrap_envelope(xml)?;
         let req = match e.name.as_str() {
             "rafda:call" => Request::Call {
                 object: e.attr_parsed("object")?,
@@ -508,7 +529,7 @@ impl Protocol for SoapCodec {
         Ok((id, ctx, req))
     }
 
-    fn encode_reply(&self, id: u64, ctx: TraceContext, reply: &Reply) -> Vec<u8> {
+    fn encode_reply(&self, id: u64, ctx: TraceContext, obj_version: u64, reply: &Reply) -> Vec<u8> {
         let mut b = String::new();
         match reply {
             Reply::Value(v) => {
@@ -531,12 +552,12 @@ impl Protocol for SoapCodec {
                 b.push_str("</faultstring></soap:Fault>");
             }
         }
-        envelope(id, ctx, &b).into_bytes()
+        envelope(id, ctx, Some(obj_version), &b).into_bytes()
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Reply), WireError> {
+    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, u64, Reply), WireError> {
         let xml = std::str::from_utf8(bytes).map_err(|_| WireError::new("invalid utf-8"))?;
-        let (id, ctx, e) = unwrap_envelope(xml)?;
+        let (id, ctx, obj_version, e) = unwrap_envelope(xml)?;
         let reply = match e.name.as_str() {
             "rafda:result" => Reply::Value(read_value(e.first_elem()?)?),
             "rafda:exception" => Reply::Exception {
@@ -546,7 +567,7 @@ impl Protocol for SoapCodec {
             "soap:Fault" => Reply::Fault(e.child("faultstring")?.text()),
             name => return Err(WireError::new(format!("unknown reply <{name}>"))),
         };
-        Ok((id, ctx, reply))
+        Ok((id, ctx, obj_version, reply))
     }
 
     /// XML assembly + parse dominated 2003 SOAP stacks: ~400 µs per message.
@@ -587,10 +608,10 @@ mod tests {
     fn string_content_with_xml_metacharacters_roundtrips() {
         let codec = SoapCodec::new();
         let reply = Reply::Value(WireValue::Str("<v t=\"string\">&amp;</v>".into()));
-        let bytes = codec.encode_reply(11, TraceContext::NONE, &reply);
+        let bytes = codec.encode_reply(11, TraceContext::NONE, 4, &reply);
         assert_eq!(
             codec.decode_reply(&bytes).unwrap(),
-            (11, TraceContext::NONE, reply)
+            (11, TraceContext::NONE, 4, reply)
         );
     }
 
@@ -602,8 +623,8 @@ mod tests {
             WireValue::Double(-0.0),
             WireValue::Float(f32::INFINITY),
         ] {
-            let bytes = codec.encode_reply(0, TraceContext::NONE, &Reply::Value(v.clone()));
-            let (_, _, back) = codec.decode_reply(&bytes).unwrap();
+            let bytes = codec.encode_reply(0, TraceContext::NONE, 0, &Reply::Value(v.clone()));
+            let (_, _, _, back) = codec.decode_reply(&bytes).unwrap();
             match (back, v) {
                 (Reply::Value(WireValue::Double(a)), WireValue::Double(b)) => {
                     assert_eq!(a.to_bits(), b.to_bits());
@@ -658,5 +679,35 @@ mod tests {
         assert_eq!(id, 6);
         assert_eq!(ctx, TraceContext::NONE);
         assert_eq!(req, Request::Fetch { object: 5 });
+    }
+
+    #[test]
+    fn reply_header_carries_object_version() {
+        let bytes = SoapCodec::new().encode_reply(
+            7,
+            TraceContext::NONE,
+            19,
+            &Reply::Value(WireValue::Int(1)),
+        );
+        let s = String::from_utf8(bytes.clone()).unwrap();
+        assert!(s.contains("<rafda:objver>19</rafda:objver>"), "{s}");
+        let (_, _, ver, _) = SoapCodec::new().decode_reply(&bytes).unwrap();
+        assert_eq!(ver, 19);
+    }
+
+    #[test]
+    fn objverless_reply_decodes_as_version_zero() {
+        // A reply from a pre-caching peer: header with mid + trace but no
+        // <rafda:objver>.
+        let xml = "<?xml version=\"1.0\"?>\n\
+                   <soap:Envelope xmlns:soap=\"x\" xmlns:rafda=\"y\">\n\
+                   <soap:Header><rafda:mid>6</rafda:mid>\
+                   <rafda:trace id=\"1\" span=\"2\" parent=\"0\"/></soap:Header>\n\
+                   <soap:Body><rafda:result><v t=\"int\">9</v></rafda:result></soap:Body>\n\
+                   </soap:Envelope>\n";
+        let (id, _, ver, reply) = SoapCodec::new().decode_reply(xml.as_bytes()).unwrap();
+        assert_eq!(id, 6);
+        assert_eq!(ver, 0, "pre-caching peers imply version 0");
+        assert_eq!(reply, Reply::Value(WireValue::Int(9)));
     }
 }

@@ -27,7 +27,7 @@ fn rmi_request_bytes_are_stable() {
     let bytes = RmiCodec::new().encode_request(0x0102, sample_ctx(), &call_request());
     let expected: Vec<u8> = vec![
         b'J', b'R', b'M', b'I', // magic
-        4,    // version (3 = message id; 4 = + trace context)
+        5,    // version (3 = message id; 4 = + trace context; 5 = + reply objver)
         0x02, 0x01, 0, 0, 0, 0, 0, 0, // message id u64 LE
         0x0B, 0, 0, 0, 0, 0, 0, 0, // trace id u64 LE
         0x0C, 0, 0, 0, 0, 0, 0, 0, // span id u64 LE
@@ -48,13 +48,14 @@ fn rmi_request_bytes_are_stable() {
 #[test]
 fn rmi_reply_bytes_are_stable() {
     let bytes =
-        RmiCodec::new().encode_reply(7, TraceContext::NONE, &Reply::Value(WireValue::Int(-1)));
+        RmiCodec::new().encode_reply(7, TraceContext::NONE, 9, &Reply::Value(WireValue::Int(-1)));
     let expected: Vec<u8> = vec![
-        b'J', b'R', b'M', b'I', 4, // version
+        b'J', b'R', b'M', b'I', 5, // version
         7, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
         0, 0, 0, 0, 0, 0, 0, 0, // trace id (NONE)
         0, 0, 0, 0, 0, 0, 0, 0, // span id (NONE)
         0, 0, 0, 0, 0, 0, 0, 0, // parent span id (NONE)
+        9, 0, 0, 0, 0, 0, 0, 0, // object property version u64 LE
         0, // P_VALUE
         2, // T_INT
         0xFF, 0xFF, 0xFF, 0xFF,
@@ -65,9 +66,9 @@ fn rmi_reply_bytes_are_stable() {
 #[test]
 fn corba_header_and_alignment_are_stable() {
     let bytes = CorbaCodec::new().encode_request(7, sample_ctx(), &Request::Fetch { object: 1 });
-    // "GIOP" + version 1.4, pad to 8, message id u64, trace context (3×u64)
+    // "GIOP" + version 1.5, pad to 8, message id u64, trace context (3×u64)
     // at 16..40, tag R_FETCH(3) at 40, pad to 48, object u64.
-    assert_eq!(&bytes[..6], b"GIOP\x01\x04");
+    assert_eq!(&bytes[..6], b"GIOP\x01\x05");
     assert_eq!(&bytes[6..8], &[0, 0], "alignment pad before id");
     assert_eq!(&bytes[8..16], &7u64.to_le_bytes());
     assert_eq!(&bytes[16..24], &0x0Bu64.to_le_bytes());
@@ -106,6 +107,7 @@ fn soap_value_markup_is_stable() {
     let xml = String::from_utf8(SoapCodec::new().encode_reply(
         0,
         TraceContext::NONE,
+        0,
         &Reply::Value(WireValue::Array(vec![
             WireValue::Int(1),
             WireValue::Str("a<b".to_owned()),
@@ -144,10 +146,12 @@ fn message_ids_and_contexts_roundtrip_through_every_codec() {
             assert_eq!(back, id, "{} request id", codec.name());
             assert_eq!(back_ctx, ctx, "{} request ctx", codec.name());
             assert_eq!(body, call_request());
-            let rep = codec.encode_reply(id, ctx, &Reply::Fault("f".to_owned()));
-            let (back, back_ctx, _) = codec.decode_reply(&rep).unwrap();
+            let ver = id ^ 0x33;
+            let rep = codec.encode_reply(id, ctx, ver, &Reply::Fault("f".to_owned()));
+            let (back, back_ctx, back_ver, _) = codec.decode_reply(&rep).unwrap();
             assert_eq!(back, id, "{} reply id", codec.name());
             assert_eq!(back_ctx, ctx, "{} reply ctx", codec.name());
+            assert_eq!(back_ver, ver, "{} reply object version", codec.name());
         }
     }
 }

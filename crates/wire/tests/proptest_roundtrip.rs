@@ -212,13 +212,19 @@ proptest! {
     }
 
     #[test]
-    fn replies_roundtrip_all_codecs(id in any::<u64>(), ctx in arb_ctx(), reply in arb_reply()) {
+    fn replies_roundtrip_all_codecs(
+        id in any::<u64>(),
+        ctx in arb_ctx(),
+        ver in any::<u64>(),
+        reply in arb_reply(),
+    ) {
         for codec in codecs() {
-            let bytes = codec.encode_reply(id, ctx, &reply);
-            let (back_id, back_ctx, back) = codec.decode_reply(&bytes)
+            let bytes = codec.encode_reply(id, ctx, ver, &reply);
+            let (back_id, back_ctx, back_ver, back) = codec.decode_reply(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
             prop_assert_eq!(back_id, id, "{} lost the message id", codec.name());
             prop_assert_eq!(back_ctx, ctx, "{} lost the trace context", codec.name());
+            prop_assert_eq!(back_ver, ver, "{} lost the object version", codec.name());
             prop_assert!(reply_exact(&back, &reply), "{}: {back:?} != {reply:?}", codec.name());
         }
     }

@@ -298,6 +298,53 @@ fn e9() {
     println!();
 }
 
+fn e10() {
+    println!("== E10: coherent proxy-side property caching ==");
+    let run = |cache: bool| {
+        let mut app = Application::new();
+        rafda::classmodel::sample::build_figure2(app.universe_mut());
+        let policy = StaticPolicy::new()
+            .place("Y", Placement::Node(NodeId(1)))
+            .default_statics(NodeId(0))
+            .cache("Y", cache);
+        let cluster = app
+            .transform(&["RMI"])
+            .unwrap()
+            .deploy(2, 42, Box::new(policy));
+        let y = cluster
+            .new_instance(NodeId(0), "Y", 0, vec![Value::Int(3)])
+            .unwrap();
+        cluster.pin(NodeId(0), &y);
+        let t0 = cluster.network().now();
+        for _ in 0..8 {
+            cluster
+                .call_method(NodeId(0), y.clone(), "set_base", vec![Value::Int(1)])
+                .unwrap();
+            for _ in 0..8 {
+                cluster
+                    .call_method(NodeId(0), y.clone(), "get_base", vec![])
+                    .unwrap();
+            }
+        }
+        (
+            cluster.network().stats().messages,
+            (cluster.network().now() - t0).as_ns() / 1000,
+            cluster.stats(),
+        )
+    };
+    let (m_off, us_off, _) = run(false);
+    let (m_on, us_on, stats) = run(true);
+    println!("  reads:writes 8:1   cache off: {m_off} messages, {us_off} us (simulated)");
+    println!(
+        "  cache on: {m_on} messages, {us_on} us — {} hits / {} misses / {} invalidations",
+        stats.cache_hits, stats.cache_misses, stats.cache_invalidations
+    );
+    println!(
+        "  remote exchanges removed: {}%\n",
+        100 * (m_off - m_on) / m_off.max(1)
+    );
+}
+
 fn main() {
     println!("RAFDA reproduction — consolidated experiment report\n");
     e1();
@@ -308,5 +355,6 @@ fn main() {
     e7();
     e7_retry();
     e9();
+    e10();
     println!("full precision: cargo bench --workspace (see EXPERIMENTS.md)");
 }

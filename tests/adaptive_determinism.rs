@@ -1,0 +1,133 @@
+//! `Cluster::adapt` must be deterministic per seed even when the affinity
+//! tables are tie-heavy: several migration candidates at once, and call
+//! counts where two remote callers tie for dominance. Candidate discovery
+//! iterates hash maps, so without an explicit order the migration sequence
+//! (and with it clocks, traces and stats) differed run to run.
+
+use rafda::classmodel::sample;
+use rafda::{
+    AffinityConfig, Application, Cluster, MigrationEvent, NodeId, Placement, StaticPolicy, Value,
+};
+
+const N0: NodeId = NodeId(0);
+const N1: NodeId = NodeId(1);
+const N2: NodeId = NodeId(2);
+
+/// Figure 2 spread over three nodes with property caching enabled, driven
+/// into a tie-heavy affinity state:
+///
+/// * several `Y` instances live on node 1, each called equally often by
+///   node 0 (directly) and node 2 (via its `X` holder) — a dominant-caller
+///   tie on every one of them;
+/// * the `X` instances on node 2 are called only from node 0 — several
+///   unambiguous candidates whose relative migration order is also
+///   order-sensitive.
+fn tie_heavy_scenario(seed: u64) -> (Cluster, Vec<MigrationEvent>) {
+    let mut app = Application::new();
+    sample::build_figure2(app.universe_mut());
+    let policy = StaticPolicy::new()
+        .place("Y", Placement::Node(N1))
+        .place("X", Placement::Node(N2))
+        .default_statics(N0)
+        .cache("Y", true)
+        .cache("X", true);
+    let cluster = app
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(3, seed, Box::new(policy));
+
+    for base in 0..3 {
+        let y = cluster
+            .new_instance(N0, "Y", 0, vec![Value::Int(base)])
+            .unwrap();
+        let x = cluster.new_instance(N0, "X", 0, vec![y.clone()]).unwrap();
+        cluster.pin(N0, &y);
+        cluster.pin(N0, &x);
+        // Node 0's tally on Y's export: 1 init$0 from creation, 4 direct
+        // `n` calls, and 1 remote `get_base` (the cache-filling miss; the
+        // two hits after it never reach the server). Node 2 makes 6 via
+        // `x.m` — both callers sit at exactly 6.
+        for i in 0..4 {
+            cluster
+                .call_method(N0, y.clone(), "n", vec![Value::Long(i)])
+                .unwrap();
+        }
+        for i in 0..6 {
+            cluster
+                .call_method(N0, x.clone(), "m", vec![Value::Long(i)])
+                .unwrap();
+        }
+        // Cached property reads participate in the run (and must not
+        // perturb determinism or the affinity tables).
+        for _ in 0..3 {
+            cluster
+                .call_method(N0, y.clone(), "get_base", vec![])
+                .unwrap();
+        }
+    }
+
+    let events = cluster.adapt(&AffinityConfig {
+        min_calls: 7,
+        min_fraction: 0.5,
+    });
+    (cluster, events)
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical_with_caching_enabled() {
+    let (a, events_a) = tie_heavy_scenario(42);
+    let (b, events_b) = tie_heavy_scenario(42);
+    assert_eq!(events_a, events_b, "migration sequences diverged");
+    assert_eq!(
+        format!("{}", a.stats()),
+        format!("{}", b.stats()),
+        "stats diverged"
+    );
+    assert_eq!(a.span_log(), b.span_log(), "span logs diverged");
+    assert_eq!(
+        a.span_log().chrome_trace_json(),
+        b.span_log().chrome_trace_json(),
+        "chrome export diverged"
+    );
+    assert_eq!(
+        a.telemetry_report(10),
+        b.telemetry_report(10),
+        "report diverged"
+    );
+    assert_eq!(a.network().now(), b.network().now(), "clocks diverged");
+}
+
+#[test]
+fn dominance_ties_break_toward_the_highest_caller_id() {
+    let (_, events) = tie_heavy_scenario(7);
+    let y_moves: Vec<&MigrationEvent> = events.iter().filter(|e| e.class == "Y").collect();
+    assert!(!y_moves.is_empty(), "tied Y candidates must still migrate");
+    for e in &y_moves {
+        assert_eq!(e.from, N1);
+        assert_eq!(
+            e.to, N2,
+            "a 6-vs-6 caller tie must resolve to the higher node id"
+        );
+    }
+}
+
+#[test]
+fn candidates_migrate_in_export_id_order() {
+    let (_, events) = tie_heavy_scenario(11);
+    // Within each owner node, migrations must be emitted in ascending
+    // export-id order — the stable discovery order.
+    for owner in [N1, N2] {
+        let oids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.from == owner)
+            .map(|e| e.target.oid)
+            .collect();
+        assert!(
+            events.iter().any(|e| e.from == owner),
+            "no events from {owner:?}"
+        );
+        let mut sorted = oids.clone();
+        sorted.sort_unstable();
+        assert_eq!(oids, sorted, "migration order not stable for {owner:?}");
+    }
+}

@@ -263,6 +263,33 @@ fn chrome_export_writes_loadable_trace_events() {
 }
 
 #[test]
+fn chrome_export_escapes_control_characters_in_names_and_attributes() {
+    // Golden check for the JSON string escaper: spans can carry arbitrary
+    // method strings (a hostile class name, a corrupted frame echoed into
+    // a fault message), and the export must stay parseable.
+    let mut log = SpanLog::new();
+    let h = log.start_span("rpc\u{1}call", 0, 10);
+    log.set_attr(h, "method", "tab\there\nnl\r\u{8}\u{1f}end");
+    log.set_attr(h, "class", "quote\"back\\slash");
+    log.end_span(h, 20, SpanOutcome::Ok);
+    let json = log.chrome_trace_json();
+    assert!(json.contains("\"name\":\"rpc\\u0001call\""), "{json}");
+    assert!(
+        json.contains("\"method\":\"tab\\there\\nnl\\r\\u0008\\u001fend\""),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"class\":\"quote\\\"back\\\\slash\""),
+        "{json}"
+    );
+    // No raw control byte may survive anywhere in the document.
+    assert!(
+        json.chars().all(|c| c >= ' ' || c == '\n'),
+        "raw control characters leaked into the export"
+    );
+}
+
+#[test]
 fn migration_is_traced_with_its_state_transfer() {
     let cluster = three_node_cluster(9);
     let y = cluster
