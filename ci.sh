@@ -7,8 +7,17 @@ cd "$(dirname "$0")"
 echo "== build (release, locked, offline) =="
 cargo build --release --locked --offline
 
-echo "== tests =="
+echo "== tests (wall-clock budget: ${TEST_BUDGET_SECS:=600}s) =="
+# Everything is a simulated-clock test; real time only grows if something
+# spins or deadlocks. Fail loudly rather than letting CI hang.
+test_start=$(date +%s)
 cargo test -q
+test_elapsed=$(( $(date +%s) - test_start ))
+echo "test suite took ${test_elapsed}s"
+if [ "$test_elapsed" -gt "$TEST_BUDGET_SECS" ]; then
+  echo "FAIL: test suite exceeded its ${TEST_BUDGET_SECS}s wall-clock budget" >&2
+  exit 1
+fi
 
 echo "== rustfmt =="
 cargo fmt --check
@@ -21,8 +30,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --locked --offline --quiet
 
 echo "== determinism (same-seed run-twice diff) =="
 # The full experiment report (covers RPC, retries, migration, adaptation,
-# caching and telemetry) must be byte-identical across two runs of the
-# same build — any hash-order or wall-clock leak shows up as a diff here.
+# caching, crash-stop failover and telemetry) must be byte-identical across
+# two runs of the same build — any hash-order or wall-clock leak shows up
+# as a diff here.
 run_report() {
   cargo run -q -p rafda --example experiments_report --release > "$1"
   cp target/e9_trace.json "$1.trace" 2>/dev/null || true

@@ -1,0 +1,120 @@
+//! **E11 — crash-stop failover**: the cost of k-replication and of the
+//! re-homing path itself. Every served mutating call on a replicated
+//! object ships the owner's state to its k backups synchronously, so the
+//! steady-state write cost grows with k; when the owner crashes, the next
+//! call pays one failed exchange plus a promotion round-trip and then runs
+//! at normal remote-call cost against the new home.
+//!
+//! Reported: wire messages and simulated elapsed time for a write-only
+//! workload at k = 0/1/2, and the simulated latency of the first call
+//! after an owner crash (re-home + promote) vs the typed failure the same
+//! schedule produces without replication.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rafda::{Cluster, NodeId, Placement, StaticPolicy, Value};
+use rafda_bench::figure1_app;
+use std::time::Duration;
+
+const N0: NodeId = NodeId(0);
+const N1: NodeId = NodeId(1);
+
+/// Deploy the Figure 1 counter on node 1 of three nodes, replicated k ways.
+fn deploy(k: u32) -> (Cluster, Value) {
+    let policy = StaticPolicy::new()
+        .place("C", Placement::Node(N1))
+        .default_statics(N0)
+        .replicate("C", k);
+    let cluster = figure1_app()
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(3, 42, Box::new(policy));
+    let c = cluster.new_instance(N0, "C", 0, vec![]).unwrap();
+    cluster.pin(N0, &c);
+    (cluster, c)
+}
+
+/// `rounds` mutating calls — each one triggers a replica sync per backup.
+fn drive(cluster: &Cluster, c: &Value, rounds: usize) {
+    for _ in 0..rounds {
+        cluster.call_method(N0, c.clone(), "tick", vec![]).unwrap();
+    }
+}
+
+fn summary_table() {
+    println!("\n=== E11: crash-stop failover (write-only workload, 32 calls) ===");
+    println!(
+        "{:<12} | {:>9} | {:>12} | {:>13}",
+        "replication", "messages", "sim elapsed", "replica syncs"
+    );
+    let mut baseline_messages = 0;
+    for k in [0u32, 1, 2] {
+        let (cluster, c) = deploy(k);
+        let t0 = cluster.network().now();
+        let m0 = cluster.network().stats().messages;
+        drive(&cluster, &c, 32);
+        let messages = cluster.network().stats().messages - m0;
+        println!(
+            "{:<12} | {:>9} | {:>12} | {:>13}",
+            format!("k = {k}"),
+            messages,
+            format!("{}", cluster.network().now() - t0),
+            cluster.stats().replica_syncs,
+        );
+        if k == 0 {
+            baseline_messages = messages;
+        } else {
+            assert!(
+                messages > baseline_messages,
+                "replication must cost extra messages ({messages} vs {baseline_messages})"
+            );
+        }
+    }
+
+    // The failover path itself: first call after the owner dies.
+    let (cluster, c) = deploy(1);
+    drive(&cluster, &c, 8);
+    cluster.crash(N1);
+    let t0 = cluster.network().now();
+    cluster.call_method(N0, c.clone(), "tick", vec![]).unwrap();
+    let rehome = cluster.network().now() - t0;
+    let s = cluster.stats();
+    assert_eq!(s.failovers, 1);
+    println!("first call after owner crash, k = 1: {rehome} (failed exchange + promote + retry)");
+
+    let (cluster, c) = deploy(0);
+    drive(&cluster, &c, 8);
+    cluster.crash(N1);
+    let err = cluster
+        .call_method(N0, c.clone(), "tick", vec![])
+        .unwrap_err();
+    assert!(err.net_failure().is_some());
+    println!("same schedule,            k = 0: typed failure ({err})\n");
+}
+
+fn bench(c: &mut Criterion) {
+    summary_table();
+    let mut group = c.benchmark_group("e11_failover");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+
+    for k in [0u32, 1, 2] {
+        group.bench_function(format!("steady_state_k{k}"), |b| {
+            let (cluster, cell) = deploy(k);
+            b.iter(|| drive(&cluster, &cell, 4))
+        });
+    }
+    group.bench_function("crash_and_rehome", |b| {
+        b.iter(|| {
+            let (cluster, cell) = deploy(1);
+            cluster.crash(N1);
+            cluster
+                .call_method(N0, cell.clone(), "tick", vec![])
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -60,6 +60,18 @@ pub trait DistributionPolicy {
     fn cacheable(&self, _class: &str) -> bool {
         false
     }
+
+    /// How many backup nodes keep a promotable copy of each exported
+    /// instance of `class`.
+    ///
+    /// With `k > 0` the owner synchronously ships the object's state to the
+    /// k lowest-numbered other nodes after every served mutating call, and a
+    /// caller whose owner crash-stops transparently re-homes to the
+    /// lowest-numbered live replica. The default is 0: no replication, a
+    /// crashed owner surfaces as a typed `Unreachable` error.
+    fn replicas(&self, _class: &str) -> u32 {
+        0
+    }
 }
 
 /// Everything-local policy: instances at their creator, all singletons on
@@ -128,10 +140,12 @@ pub struct StaticPolicy {
     default_statics: NodeId,
     default_placement: Placement,
     default_cache: bool,
+    default_replicate: u32,
     instance_rules: HashMap<String, Placement>,
     statics_rules: HashMap<String, NodeId>,
     protocol_rules: HashMap<String, String>,
     cache_rules: HashMap<String, bool>,
+    replicate_rules: HashMap<String, u32>,
 }
 
 impl Default for StaticPolicy {
@@ -141,10 +155,12 @@ impl Default for StaticPolicy {
             default_statics: NodeId(0),
             default_placement: Placement::Creator,
             default_cache: false,
+            default_replicate: 0,
             instance_rules: HashMap::new(),
             statics_rules: HashMap::new(),
             protocol_rules: HashMap::new(),
             cache_rules: HashMap::new(),
+            replicate_rules: HashMap::new(),
         }
     }
 }
@@ -222,6 +238,18 @@ impl StaticPolicy {
         self
     }
 
+    /// Set the default replication factor (0 unless overridden).
+    pub fn default_replicate(mut self, k: u32) -> Self {
+        self.default_replicate = k;
+        self
+    }
+
+    /// Keep promotable copies of `class` instances on `k` backup nodes.
+    pub fn replicate(mut self, class: &str, k: u32) -> Self {
+        self.replicate_rules.insert(class.to_owned(), k);
+        self
+    }
+
     /// Parse the policy text format:
     ///
     /// ```text
@@ -230,10 +258,12 @@ impl StaticPolicy {
     /// default statics node<N>
     /// default place creator|node<N>
     /// default cache on|off
+    /// default replicate <K>
     /// class <Name> place creator|node<N>
     /// class <Name> statics node<N>
     /// class <Name> protocol RMI|SOAP|CORBA
     /// class <Name> cache on|off
+    /// class <Name> replicate <K>
     /// ```
     ///
     /// # Errors
@@ -262,6 +292,10 @@ impl StaticPolicy {
                 ["default", "cache", w] => {
                     policy.default_cache = parse_switch(w).ok_or_else(|| err("bad switch"))?;
                 }
+                ["default", "replicate", k] => {
+                    policy.default_replicate =
+                        k.parse().map_err(|_| err("bad replication factor"))?;
+                }
                 ["class", name, "place", w] => {
                     let p = parse_placement(w).ok_or_else(|| err("bad placement"))?;
                     policy.instance_rules.insert((*name).to_owned(), p);
@@ -278,6 +312,10 @@ impl StaticPolicy {
                 ["class", name, "cache", w] => {
                     let on = parse_switch(w).ok_or_else(|| err("bad switch"))?;
                     policy.cache_rules.insert((*name).to_owned(), on);
+                }
+                ["class", name, "replicate", k] => {
+                    let k = k.parse().map_err(|_| err("bad replication factor"))?;
+                    policy.replicate_rules.insert((*name).to_owned(), k);
                 }
                 _ => return Err(err("unrecognised directive")),
             }
@@ -304,6 +342,9 @@ impl StaticPolicy {
         if self.default_cache {
             out.push_str("default cache on\n");
         }
+        if self.default_replicate > 0 {
+            let _ = writeln!(out, "default replicate {}", self.default_replicate);
+        }
         let mut rules: Vec<String> = Vec::new();
         for (class, placement) in &self.instance_rules {
             rules.push(match placement {
@@ -322,6 +363,9 @@ impl StaticPolicy {
                 "class {class} cache {}",
                 if on { "on" } else { "off" }
             ));
+        }
+        for (class, k) in &self.replicate_rules {
+            rules.push(format!("class {class} replicate {k}"));
         }
         rules.sort();
         for r in rules {
@@ -384,6 +428,13 @@ impl DistributionPolicy for StaticPolicy {
             .get(class)
             .copied()
             .unwrap_or(self.default_cache)
+    }
+
+    fn replicas(&self, class: &str) -> u32 {
+        self.replicate_rules
+            .get(class)
+            .copied()
+            .unwrap_or(self.default_replicate)
     }
 }
 
@@ -573,6 +624,48 @@ mod tests {
 
         let err = StaticPolicy::parse("class A cache maybe\n").unwrap_err();
         assert_eq!(err.message, "bad switch");
+    }
+
+    #[test]
+    fn replicate_rules_parse_and_default_zero() {
+        let p = StaticPolicy::parse(
+            "default replicate 1\n\
+             class Vital replicate 2\n\
+             class Cheap replicate 0\n",
+        )
+        .unwrap();
+        assert_eq!(p.replicas("Vital"), 2);
+        assert_eq!(p.replicas("Cheap"), 0);
+        assert_eq!(p.replicas("Unlisted"), 1, "default replicate 1 applies");
+
+        let q = StaticPolicy::new().replicate("Vital", 2);
+        assert_eq!(q.replicas("Vital"), 2);
+        assert_eq!(q.replicas("Unlisted"), 0, "replication is opt-in");
+        assert_eq!(
+            LocalPolicy::default().replicas("Vital"),
+            0,
+            "trait default is 0"
+        );
+
+        let err = StaticPolicy::parse("class A replicate many\n").unwrap_err();
+        assert_eq!(err.message, "bad replication factor");
+        let err = StaticPolicy::parse("default replicate -1\n").unwrap_err();
+        assert_eq!(err.message, "bad replication factor");
+    }
+
+    #[test]
+    fn replicate_rules_survive_to_text_roundtrip() {
+        let p = StaticPolicy::new()
+            .default_replicate(1)
+            .replicate("A", 2)
+            .replicate("B", 0);
+        let text = p.to_text();
+        assert!(text.contains("default replicate 1"), "{text}");
+        assert!(text.contains("class A replicate 2"), "{text}");
+        let q = StaticPolicy::parse(&text).unwrap();
+        for class in ["A", "B", "Unlisted"] {
+            assert_eq!(p.replicas(class), q.replicas(class));
+        }
     }
 
     #[test]

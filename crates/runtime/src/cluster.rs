@@ -94,6 +94,13 @@ pub(crate) struct NodeState {
     prop_cache: HashMap<(u32, u64, SigId), (u64, WireValue)>,
     /// Insertion order of `prop_cache` keys, for FIFO eviction.
     prop_cache_order: VecDeque<(u32, u64, SigId)>,
+    /// Backup copies of replicated exports owned by *other* nodes, keyed by
+    /// the primary's location `(owner node, export id)`. The value is the
+    /// owner's property version plus the object's class name and marshalled
+    /// fields, exactly as shipped by the last [`Request::ReplicaSync`]. The
+    /// state stays in wire form until a [`Request::Promote`] materialises
+    /// it — a backup that never promotes costs no heap objects.
+    replica_store: HashMap<(u32, u64), (u64, String, Vec<WireValue>)>,
 }
 
 /// Client-side fault tolerance for one request/reply exchange.
@@ -188,6 +195,15 @@ pub struct RuntimeStats {
     /// Cached property entries found stale — the owner's version moved
     /// past the tag — and dropped before going remote.
     pub cache_invalidations: u64,
+    /// Replica state syncs served: one per backup shipped after a served
+    /// mutation (or export) of a replicated object.
+    pub replica_syncs: u64,
+    /// Replica promotions served: a backup materialised its stored state
+    /// and became the new owner after the primary crashed.
+    pub promotions: u64,
+    /// Client-side failovers: calls re-homed from a crashed owner to a
+    /// (promoted) replica and retried successfully.
+    pub failovers: u64,
     /// Histogram of attempts used per finished exchange: bucket `i` counts
     /// exchanges that took `i + 1` attempts (the last bucket saturates).
     pub attempts: [u64; 8],
@@ -227,7 +243,8 @@ impl fmt::Display for RuntimeStats {
             f,
             "{} rpc exchanges (mean {:.2} attempts), {} retries, \
              {} retransmits, {} dedup hits, {} net failures, {} faults, \
-             property cache {} hits / {} misses / {} invalidations",
+             property cache {} hits / {} misses / {} invalidations, \
+             {} replica syncs / {} promotions / {} failovers",
             self.exchanges(),
             self.mean_attempts(),
             self.retries,
@@ -237,7 +254,10 @@ impl fmt::Display for RuntimeStats {
             self.faults,
             self.cache_hits,
             self.cache_misses,
-            self.cache_invalidations
+            self.cache_invalidations,
+            self.replica_syncs,
+            self.promotions,
+            self.failovers
         )
     }
 }
@@ -343,6 +363,16 @@ pub(crate) struct Shared {
     /// [`VERSION_TOMBSTONE`] marks a location the object migrated away
     /// from.
     pub versions: RefCell<HashMap<(u32, u64), u64>>,
+    /// Failover forwarding map: `(old owner, old export id)` of a promoted
+    /// object → its new home. Written by the [`Request::Promote`] handler;
+    /// followed by clients before they attempt a promotion of their own, so
+    /// a second caller re-homes to the already-promoted copy instead of
+    /// promoting a stale backup twice.
+    pub homes: RefCell<HashMap<(u32, u64), (u32, u64)>>,
+    /// Span id of the most recent exchange that ended in a network failure.
+    /// A failover span chains to it via `retry_of`, linking the re-homed
+    /// call to the exchange against the crashed owner it retries.
+    pub last_exchange_span: Cell<u64>,
 }
 
 /// A simulated cluster running one transformed application.
@@ -440,6 +470,8 @@ impl Cluster {
             next_msg_id: Cell::new(1),
             spans: RefCell::new(SpanLog::new()),
             versions: RefCell::new(HashMap::new()),
+            homes: RefCell::new(HashMap::new()),
+            last_exchange_span: Cell::new(0),
         });
         let cluster = Cluster { shared };
         cluster.install_hooks();
@@ -1009,6 +1041,7 @@ impl Cluster {
         // referenced either location are stale now.
         bump_version(shared, node.0, my_oid);
         purge_call_counts(shared, &[(owner.0, oid), (node.0, my_oid)]);
+        sync_replicas(shared, node, my_oid);
         shared.stats.borrow_mut().pulls += 1;
         Ok(MigrationEvent {
             class: base_name,
@@ -1132,6 +1165,33 @@ impl Cluster {
         for state in self.shared.nodes.borrow_mut().iter_mut() {
             state.call_counts.clear();
         }
+    }
+
+    /// Crash-stop `node`: every message to or from it fails with
+    /// [`NetFailureKind::NodeCrashed`] until [`Cluster::restart`]. The
+    /// node's memory is untouched while down (nobody can observe it), but a
+    /// restart wipes it — crash-stop nodes lose volatile state.
+    ///
+    /// Calls in flight are unaffected: the runtime is synchronous, so the
+    /// crash takes effect between top-level operations, never mid-exchange.
+    pub fn crash(&self, node: NodeId) {
+        self.shared.net.fault_plan(|f| f.crash(node));
+    }
+
+    /// Restart a crashed node with empty volatile state, as a crash-stop
+    /// process would: exports, imports, singletons, caches and backup
+    /// replica state are all gone. Only the export-id counter survives, so
+    /// ids handed out before the crash are never reused — a stale proxy
+    /// addressing a pre-crash export gets a typed fault, not a different
+    /// object. The node rejoins as a replication target at the owner's next
+    /// sync.
+    pub fn restart(&self, node: NodeId) {
+        self.shared.net.fault_plan(|f| f.recover(node));
+        let mut nodes = self.shared.nodes.borrow_mut();
+        let state = &mut nodes[node.0 as usize];
+        let next_oid = state.next_oid;
+        *state = NodeState::default();
+        state.next_oid = next_oid;
     }
 }
 
@@ -1260,6 +1320,79 @@ pub(crate) fn read_proxy_state(vm: &Vm, h: Handle) -> Option<(u32, u64)> {
     match (fields.first(), fields.get(1)) {
         (Some(Value::Int(node)), Some(Value::Long(oid))) => Some((*node as u32, *oid as u64)),
         _ => None,
+    }
+}
+
+/// The deterministic replication targets for an export owned by `owner` in
+/// a cluster of `nodes` nodes: the `k` lowest-numbered node ids other than
+/// the owner. A pure function of the topology — there is no replica
+/// registry to keep consistent or repair, and a restarted backup re-enters
+/// the target set automatically at the owner's next sync. Failover tries
+/// the same list in the same order, so every client re-homes to the same
+/// replica.
+pub(crate) fn replica_targets(k: u32, owner: u32, nodes: u32) -> Vec<u32> {
+    (0..nodes)
+        .filter(|&n| n != owner)
+        .take(k as usize)
+        .collect()
+}
+
+/// Ship the current state of export `oid` on `owner` to its replication
+/// targets, if its class is replicated by policy. Called after every served
+/// operation that may have mutated the object (and after exports that
+/// create one), so a live backup is never behind the last mutation the
+/// owner served.
+///
+/// Crashed targets are skipped outright — the fault-plan lookup stands in
+/// for the failure detector a real owner would run — and other sync
+/// failures are swallowed: replication is best-effort per sync and repaired
+/// by the next one. Only the authoritative copy is shipped; proxies and
+/// forwarding exports never sync.
+pub(crate) fn sync_replicas(shared: &Shared, owner: NodeId, oid: u64) {
+    let Some(h) = lookup_export(shared, owner, oid) else {
+        return;
+    };
+    let vm = &shared.vms[owner.0 as usize];
+    let Some(class) = vm.class_of(h) else {
+        return;
+    };
+    let Some(info) = shared.gen_info.get(&class) else {
+        return;
+    };
+    if info.proto.is_some() {
+        return;
+    }
+    let base_name = shared.universe.class(info.base).name.clone();
+    let k = shared.policy.replicas(&base_name);
+    if k == 0 {
+        return;
+    }
+    let Some((_, fields)) = vm.read_object(h) else {
+        return;
+    };
+    let mut wire_fields = Vec::with_capacity(fields.len());
+    for f in &fields {
+        match marshal::value_to_wire(shared, owner, f) {
+            Ok(wv) => wire_fields.push(wv),
+            Err(_) => return,
+        }
+    }
+    let class_name = shared.universe.class(class).name.clone();
+    let version = version_of(shared, owner.0, oid);
+    let proto = shared.policy.protocol(&base_name);
+    for t in replica_targets(k, owner.0, shared.vms.len() as u32) {
+        if shared.net.fault_plan(|f| f.is_crashed(NodeId(t))) {
+            continue;
+        }
+        let req = Request::ReplicaSync {
+            object: oid,
+            version,
+            state: WireValue::ObjectState {
+                class: class_name.clone(),
+                fields: wire_fields.clone(),
+            },
+        };
+        let _ = rpc(shared, owner, NodeId(t), &proto, &base_name, &req);
     }
 }
 
@@ -1402,17 +1535,13 @@ fn proxy_call(
         ))
     })?;
     let proto = info.proto.clone().expect("hooked on a proxy");
-    let (target, oid) =
+    let (mut target, mut oid) =
         read_proxy_state(vm, recv).ok_or_else(|| VmError::Native("stale proxy".into()))?;
     let mut wire_args = Vec::with_capacity(args.len().saturating_sub(1));
     for a in &args[1..] {
         wire_args.push(marshal::value_to_wire(shared, node, a).map_err(VmError::Native)?);
     }
-    let req = Request::Call {
-        object: oid,
-        method: format!("{method_name}@{}", sig.0),
-        args: wire_args,
-    };
+    let method = format!("{method_name}@{}", sig.0);
     let base_name = shared.universe.class(info.base).name.clone();
     // Property-cache fast path: a cacheable getter whose cached tag still
     // equals the owner's current version is served locally — no exchange,
@@ -1444,7 +1573,7 @@ fn proxy_call(
                     let mut spans = shared.spans.borrow_mut();
                     let h = spans.start_span("rpc.call", node.0, now);
                     spans.set_attr(h, "class", base_name.as_str());
-                    spans.set_attr(h, "method", format!("{method_name}@{}", sig.0));
+                    spans.set_attr(h, "method", method.clone());
                     spans.set_attr(h, "protocol", proto.as_str());
                     spans.set_attr(h, "from", node.0);
                     spans.set_attr(h, "to", target);
@@ -1457,7 +1586,47 @@ fn proxy_call(
             None => shared.stats.borrow_mut().cache_misses += 1,
         }
     }
-    let (reply, obj_version) = rpc(shared, node, NodeId(target), &proto, &base_name, &req)?;
+    let mut req = Request::Call {
+        object: oid,
+        method: method.clone(),
+        args: wire_args,
+    };
+    // Crash-stop failover: when the owner turns out to be crashed — or has
+    // restarted with amnesia and no longer knows the export — re-home the
+    // proxy to a (promoted) replica and retry. At most one hop per node:
+    // each hop either follows an already-recorded promotion forward or
+    // performs a new one, and crash states only change between top-level
+    // operations, so the loop cannot cycle.
+    let mut hops = 0u32;
+    let (reply, obj_version) = loop {
+        let outcome = rpc(shared, node, NodeId(target), &proto, &base_name, &req);
+        let rehome = match &outcome {
+            Err(VmError::Unreachable(nf)) => {
+                matches!(nf.kind, NetFailureKind::NodeCrashed(_))
+            }
+            Ok((Reply::Fault(m), _)) => m.starts_with("unknown object "),
+            _ => false,
+        };
+        if rehome && hops <= shared.vms.len() as u32 {
+            if let Some((nn, noid)) =
+                failover(shared, node, recv, class, &proto, &base_name, target, oid)
+            {
+                hops += 1;
+                (target, oid) = (nn, noid);
+                let Request::Call { method, args, .. } = req else {
+                    unreachable!("proxy calls only send Call requests")
+                };
+                req = Request::Call {
+                    object: oid,
+                    method,
+                    args,
+                };
+                continue;
+            }
+        }
+        break outcome?;
+    };
+    let cache_key = (target, oid, sig);
     match reply {
         Reply::Value(wv) => {
             if cache_on && obj_version != VERSION_TOMBSTONE {
@@ -1491,6 +1660,131 @@ fn proxy_call(
         }
         Reply::Fault(m) => Err(VmError::Native(m)),
     }
+}
+
+/// Client-side re-homing after the owner of `(target, oid)` turned out to
+/// be crashed, or restarted with amnesia. Follows the chain of recorded
+/// promotions first; only if it dead-ends on a dead (or amnesiac) location
+/// does it ask that location's replicas — lowest node id first — to promote
+/// their backup copy. On success the proxy `recv` is rewritten in place to
+/// the new home, which is also returned; `None` means no live replica could
+/// take over and the original failure stands.
+///
+/// The whole re-homing is wrapped in a `rpc.failover` span chained via
+/// `retry_of` to the exchange that failed, so traces show the causal link
+/// from the dead owner to the promoted copy.
+#[allow(clippy::too_many_arguments)]
+fn failover(
+    shared: &Shared,
+    node: NodeId,
+    recv: Handle,
+    proxy_class: ClassId,
+    proto: &str,
+    base_name: &str,
+    target: u32,
+    oid: u64,
+) -> Option<(u32, u64)> {
+    let start = shared.net.now().as_ns();
+    let span = {
+        let mut spans = shared.spans.borrow_mut();
+        let h = spans.start_span("rpc.failover", node.0, start);
+        spans.set_attr(h, "class", base_name);
+        spans.set_attr(h, "protocol", proto);
+        spans.set_attr(h, "from", node.0);
+        spans.set_attr(h, "old_home", format!("{target}#{oid}"));
+        let prior = shared.last_exchange_span.get();
+        if prior != 0 {
+            spans.set_retry_of(h, prior);
+        }
+        h
+    };
+    let home = locate_home(shared, node, proto, base_name, target, oid);
+    let end = shared.net.now().as_ns();
+    {
+        let mut spans = shared.spans.borrow_mut();
+        match home {
+            Some((nn, noid)) => {
+                spans.set_attr(span, "new_home", format!("{nn}#{noid}"));
+                spans.end_span(span, end, SpanOutcome::Ok);
+            }
+            None => spans.end_span(span, end, SpanOutcome::NetFailure),
+        }
+    }
+    let (nn, noid) = home?;
+    // When this node itself promoted the object, the backup was materialised
+    // straight into `recv` (the import rewritten in place, as with Install):
+    // `recv` already IS the object, and re-proxying it would create a proxy
+    // that points at itself.
+    if !(nn == node.0 && lookup_export(shared, node, noid) == Some(recv)) {
+        let vm = &shared.vms[node.0 as usize];
+        vm.replace_object(
+            recv,
+            proxy_class,
+            vec![Value::Int(nn as i32), Value::Long(noid as i64)],
+        );
+        // The old import entry stays: a reference to the dead location that
+        // arrives later materialises through it and lands on this re-homed
+        // proxy — the same logical object.
+        cache_import(shared, node, nn, noid, recv);
+    }
+    shared.stats.borrow_mut().failovers += 1;
+    Some((nn, noid))
+}
+
+/// Find the live home of `(target, oid)`: follow recorded promotions, then
+/// ask the terminal location's replicas to promote their backup, lowest
+/// node id first. Returns `None` when nobody can take over — the class is
+/// unreplicated, or every backup is down or lost its copy.
+fn locate_home(
+    shared: &Shared,
+    node: NodeId,
+    proto: &str,
+    base_name: &str,
+    target: u32,
+    oid: u64,
+) -> Option<(u32, u64)> {
+    let crashed = |n: u32| shared.net.fault_plan(|f| f.is_crashed(NodeId(n)));
+    // Follow the promotion chain (bounded: every hop was a distinct
+    // promotion, each to a different location).
+    let (mut tn, mut toid) = (target, oid);
+    for _ in 0..=shared.vms.len() {
+        match shared.homes.borrow().get(&(tn, toid)) {
+            Some(&(n, o)) => (tn, toid) = (n, o),
+            None => break,
+        }
+    }
+    if (tn, toid) != (target, oid) && !crashed(tn) {
+        return Some((tn, toid));
+    }
+    let k = shared.policy.replicas(base_name);
+    if k == 0 {
+        return None;
+    }
+    for c in replica_targets(k, tn, shared.vms.len() as u32) {
+        // The fault-plan lookup stands in for a failure detector: known-dead
+        // candidates are skipped instead of timed out against.
+        if crashed(c) {
+            continue;
+        }
+        let req = Request::Promote {
+            node: tn,
+            object: toid,
+        };
+        match rpc(shared, node, NodeId(c), proto, base_name, &req) {
+            Ok((
+                Reply::Value(WireValue::Remote {
+                    node: nn,
+                    object: noid,
+                    ..
+                }),
+                _,
+            )) => return Some((nn, noid)),
+            // A fault (the backup restarted and lost its copy) or a network
+            // failure both mean: try the next candidate.
+            _ => continue,
+        }
+    }
+    None
 }
 
 /// Perform one request/reply exchange, running the full encode → transmit →
@@ -1532,6 +1826,8 @@ fn req_span_name(req: &Request) -> (&'static str, &'static str) {
         Request::Fetch { .. } => ("rpc.fetch", "serve.fetch"),
         Request::Install { .. } => ("rpc.install", "serve.install"),
         Request::Forward { .. } => ("rpc.forward", "serve.forward"),
+        Request::ReplicaSync { .. } => ("rpc.replica", "serve.replica"),
+        Request::Promote { .. } => ("rpc.promote", "serve.promote"),
     }
 }
 
@@ -1545,6 +1841,8 @@ fn req_method_label(req: &Request) -> String {
         Request::Fetch { .. } => "<fetch>".to_owned(),
         Request::Install { .. } => "<install>".to_owned(),
         Request::Forward { .. } => "<forward>".to_owned(),
+        Request::ReplicaSync { .. } => "<replica>".to_owned(),
+        Request::Promote { .. } => "<promote>".to_owned(),
     }
 }
 
@@ -1632,6 +1930,7 @@ fn rpc_inner(
                 spans.record_link(from.0, to.0, end.saturating_sub(attempt_start));
                 spans.set_attr(exch, "attempts", attempt);
                 spans.end_span(exch, end, outcome);
+                shared.last_exchange_span.set(spans.span_id_of(exch));
                 return Ok((reply, obj_version));
             }
             Err(kind) if kind.is_transient() && attempt < max_attempts => {
@@ -1652,6 +1951,7 @@ fn rpc_inner(
                 spans.end_span(att, end, SpanOutcome::NetFailure);
                 spans.set_attr(exch, "attempts", attempt);
                 spans.end_span(exch, end, SpanOutcome::NetFailure);
+                shared.last_exchange_span.set(spans.span_id_of(exch));
                 return Err(VmError::Unreachable(NetFailure::new(kind, attempt)));
             }
         }
@@ -1828,14 +2128,21 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
                     Err(m) => return Reply::Fault(m),
                 }
             }
-            match vm.call_virtual(Value::Ref(h), sig, values) {
+            let reply = match vm.call_virtual(Value::Ref(h), sig, values) {
                 Ok(v) => match marshal::value_to_wire(shared, node, &v) {
                     Ok(wv) => Reply::Value(wv),
                     Err(m) => Reply::Fault(m),
                 },
                 Err(VmError::Exception(exc)) => exception_reply(shared, node, exc),
                 Err(other) => Reply::Fault(other.to_string()),
+            };
+            // Anything that may have mutated the object re-ships it to its
+            // backups before the reply leaves, so a replica promoted after
+            // a later crash holds every mutation this owner acknowledged.
+            if !is_getter {
+                sync_replicas(shared, node, object);
             }
+            reply
         }
         Request::Create { class, .. } => {
             shared.stats.borrow_mut().rpc_creates += 1;
@@ -1852,6 +2159,9 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             }
             let h = default_instance(shared, node, family.obj_local);
             let oid = export(shared, node, h);
+            // Replicate the freshly created object at once: an owner that
+            // crashes before serving any call must not take it along.
+            sync_replicas(shared, node, oid);
             Reply::Value(WireValue::Remote {
                 node: node.0,
                 object: oid,
@@ -1866,6 +2176,7 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             match discover_value(shared, node, base) {
                 Ok(Value::Ref(h)) => {
                     let oid = export(shared, node, h);
+                    sync_replicas(shared, node, oid);
                     let rt_class = vm.class_of(h).expect("live singleton");
                     Reply::Value(WireValue::Remote {
                         node: node.0,
@@ -1928,6 +2239,7 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             // Freshly installed state supersedes anything cached about a
             // previous export under this id.
             bump_version(shared, node.0, oid);
+            sync_replicas(shared, node, oid);
             Reply::Value(WireValue::Remote {
                 node: node.0,
                 object: oid,
@@ -1964,6 +2276,94 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             // never be served from a cache again.
             tombstone_version(shared, node.0, object);
             Reply::Value(WireValue::Null)
+        }
+        Request::ReplicaSync {
+            object,
+            version,
+            state,
+        } => {
+            shared.stats.borrow_mut().replica_syncs += 1;
+            let WireValue::ObjectState { class, fields } = state else {
+                return Reply::Fault("replica sync needs object state".into());
+            };
+            // The state stays in wire form until promotion: a backup that
+            // never promotes allocates nothing on its heap.
+            shared.nodes.borrow_mut()[node.0 as usize]
+                .replica_store
+                .insert((caller.0, object), (version, class, fields));
+            Reply::Value(WireValue::Null)
+        }
+        Request::Promote {
+            node: old_node,
+            object: old_object,
+        } => {
+            let key = (old_node, old_object);
+            // Idempotency: if this object was already promoted, report the
+            // recorded home instead of materialising a second copy from a
+            // (possibly stale) backup. Consulting the shared homes table
+            // stands in for the promotion registry a real system would
+            // replicate alongside the data.
+            let recorded = shared.homes.borrow().get(&key).copied();
+            if let Some((hn, hoid)) = recorded {
+                let home_vm = &shared.vms[hn as usize];
+                let class = lookup_export(shared, NodeId(hn), hoid)
+                    .and_then(|h| home_vm.class_of(h))
+                    .map(|c| shared.universe.class(c).name.clone());
+                return match class {
+                    Some(class) => Reply::Value(WireValue::Remote {
+                        node: hn,
+                        object: hoid,
+                        class,
+                    }),
+                    None => {
+                        Reply::Fault(format!("promoted copy of {old_node}#{old_object} vanished"))
+                    }
+                };
+            }
+            let entry = shared.nodes.borrow_mut()[node.0 as usize]
+                .replica_store
+                .remove(&key);
+            let Some((_, class, fields)) = entry else {
+                return Reply::Fault(format!("no replica of {old_node}#{old_object} on {node}"));
+            };
+            let Some(class_id) = shared.universe.by_name(&class) else {
+                return Reply::Fault(format!("unknown class {class}"));
+            };
+            let mut values = Vec::with_capacity(fields.len());
+            for f in &fields {
+                match marshal::wire_to_value(shared, node, f) {
+                    Ok(v) => values.push(v),
+                    Err(m) => return Reply::Fault(m),
+                }
+            }
+            // Like Install: a proxy this node already holds for the dead
+            // primary is rewritten in place, so existing local references
+            // see the promoted copy as local.
+            let existing = cached_import(shared, node, old_node, old_object);
+            let h = match existing {
+                Some(ph) if vm.class_of(ph).is_some() => {
+                    vm.replace_object(ph, class_id, values);
+                    ph
+                }
+                _ => vm.alloc_raw(class_id, values),
+            };
+            let oid = export(shared, node, h);
+            // The promoted copy supersedes anything cached about either
+            // location: bump the new home, tombstone the dead one, and drop
+            // affinity data describing traffic the object received there.
+            bump_version(shared, node.0, oid);
+            tombstone_version(shared, old_node, old_object);
+            shared.homes.borrow_mut().insert(key, (node.0, oid));
+            purge_call_counts(shared, &[key, (node.0, oid)]);
+            shared.stats.borrow_mut().promotions += 1;
+            // Re-establish the replication factor from the new home, so a
+            // second crash before the next mutation still loses nothing.
+            sync_replicas(shared, node, oid);
+            Reply::Value(WireValue::Remote {
+                node: node.0,
+                object: oid,
+                class,
+            })
         }
     }
 }

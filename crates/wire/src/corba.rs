@@ -16,8 +16,11 @@ const MAGIC: &[u8] = b"GIOP";
 // Minor version 5 appended the served object's property version to *reply*
 // frames: an aligned u64 at bytes 40..48 (requests are unchanged). Minor-4
 // replies decode with version 0.
+// Minor version 6 added the replica-sync and promote request bodies
+// (crash-stop failover); the header layout is unchanged, so minor-5 frames
+// still decode as before.
 const MAJOR: u8 = 1;
-const MINOR: u8 = 5;
+const MINOR: u8 = 6;
 
 /// The CORBA-like protocol.
 #[derive(Debug, Clone, Copy, Default)]
@@ -148,11 +151,11 @@ mod tests {
             span_id: 6,
             parent_span_id: 1,
         };
-        let v5 = CorbaCodec::new().encode_request(9, ctx, &Request::Fetch { object: 2 });
+        let v6 = CorbaCodec::new().encode_request(9, ctx, &Request::Fetch { object: 2 });
         // Re-create the pre-tracing frame: minor version 3, no trace context
         // words (drop bytes 16..40); everything after stays aligned because
         // 24 bytes is a multiple of 8.
-        let mut v3 = v5.clone();
+        let mut v3 = v6.clone();
         v3[5] = 3;
         v3.drain(16..40);
         let (id, back_ctx, req) = CorbaCodec::new().decode_request(&v3).unwrap();
@@ -162,17 +165,40 @@ mod tests {
     }
 
     #[test]
+    fn minor_5_frames_decode_unchanged() {
+        // Minor 6 only added request bodies; the header layout is identical,
+        // so a minor-5 frame is a minor-6 frame with a different version
+        // byte. Pre-failover peers must keep parsing.
+        let ctx = TraceContext {
+            trace_id: 8,
+            span_id: 2,
+            parent_span_id: 1,
+        };
+        let codec = CorbaCodec::new();
+        let mut req5 = codec.encode_request(11, ctx, &Request::Fetch { object: 2 });
+        req5[5] = 5;
+        let (id, back_ctx, req) = codec.decode_request(&req5).unwrap();
+        assert_eq!((id, back_ctx), (11, ctx));
+        assert_eq!(req, Request::Fetch { object: 2 });
+        let mut rep5 = codec.encode_reply(11, ctx, 31, &Reply::Value(WireValue::Long(-8)));
+        rep5[5] = 5;
+        let (id, back_ctx, ver, reply) = codec.decode_reply(&rep5).unwrap();
+        assert_eq!((id, back_ctx, ver), (11, ctx, 31));
+        assert_eq!(reply, Reply::Value(WireValue::Long(-8)));
+    }
+
+    #[test]
     fn minor_4_replies_decode_with_object_version_zero() {
         let ctx = TraceContext {
             trace_id: 5,
             span_id: 6,
             parent_span_id: 1,
         };
-        let v5 = CorbaCodec::new().encode_reply(9, ctx, 31, &Reply::Value(WireValue::Long(-8)));
+        let v6 = CorbaCodec::new().encode_reply(9, ctx, 31, &Reply::Value(WireValue::Long(-8)));
         // Re-create the pre-caching frame: minor version 4, no object
         // version word (drop bytes 40..48); the body stays aligned because
         // 8 bytes is a multiple of 8.
-        let mut v4 = v5.clone();
+        let mut v4 = v6.clone();
         v4[5] = 4;
         v4.drain(40..48);
         let (id, back_ctx, ver, reply) = CorbaCodec::new().decode_reply(&v4).unwrap();

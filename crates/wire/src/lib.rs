@@ -133,6 +133,27 @@ pub enum Request {
         /// Its export id there.
         to_object: u64,
     },
+    /// Ship a replicated export's current state to a backup node. Sent by
+    /// the owner after every served mutating call on a `replicate k` class;
+    /// the backup files the snapshot under the *owner's* location, ready to
+    /// be promoted if the owner crash-stops.
+    ReplicaSync {
+        /// Export id on the owning (sending) node.
+        object: u64,
+        /// The owner's property version at snapshot time.
+        version: u64,
+        /// The object state (a [`WireValue::ObjectState`]).
+        state: WireValue,
+    },
+    /// Ask the receiving node to promote its replica of the crashed owner's
+    /// export `(node, object)` to a first-class export of its own. Replied
+    /// with a [`WireValue::Remote`] naming the object's new home.
+    Promote {
+        /// The crashed owner.
+        node: u32,
+        /// The export id the owner served the object under.
+        object: u64,
+    },
 }
 
 /// A reply to a [`Request`].
@@ -365,6 +386,18 @@ pub(crate) mod testdata {
             object: u64::MAX,
             method: "m".into(),
             args: sample_values(),
+        });
+        out.push(Request::ReplicaSync {
+            object: 12,
+            version: 1 << 33,
+            state: WireValue::ObjectState {
+                class: "C_O_Local".into(),
+                fields: vec![WireValue::Int(5), WireValue::Null],
+            },
+        });
+        out.push(Request::Promote {
+            node: 2,
+            object: u64::MAX,
         });
         out
     }

@@ -10,7 +10,10 @@ const MAGIC: &[u8] = b"JRMI";
 // Version 5 appended the served object's property version to *reply*
 // headers (requests are unchanged); version-4 replies decode with
 // version 0.
-const VERSION: u8 = 5;
+// Version 6 added the replica-sync and promote request tags (crash-stop
+// failover). The header layout is unchanged, so version-5 frames still
+// decode as before.
+const VERSION: u8 = 6;
 
 pub(crate) fn write_ctx(w: &mut BinWriter, ctx: TraceContext) {
     w.u64(ctx.trace_id).u64(ctx.span_id).u64(ctx.parent_span_id);
@@ -43,6 +46,8 @@ const R_DISCOVER: u8 = 2;
 const R_FETCH: u8 = 3;
 const R_INSTALL: u8 = 4;
 const R_FORWARD: u8 = 5;
+const R_REPLICA: u8 = 6;
+const R_PROMOTE: u8 = 7;
 
 // Reply tags.
 const P_VALUE: u8 = 0;
@@ -178,6 +183,17 @@ pub(crate) fn write_request(w: &mut BinWriter, req: &Request) {
         } => {
             w.u8(R_FORWARD).u64(*object).u32(*to_node).u64(*to_object);
         }
+        Request::ReplicaSync {
+            object,
+            version,
+            state,
+        } => {
+            w.u8(R_REPLICA).u64(*object).u64(*version);
+            write_value(w, state);
+        }
+        Request::Promote { node, object } => {
+            w.u8(R_PROMOTE).u32(*node).u64(*object);
+        }
     }
 }
 
@@ -224,6 +240,15 @@ pub(crate) fn read_request(r: &mut BinReader<'_>) -> Result<Request, WireError> 
             object: r.u64()?,
             to_node: r.u32()?,
             to_object: r.u64()?,
+        },
+        R_REPLICA => Request::ReplicaSync {
+            object: r.u64()?,
+            version: r.u64()?,
+            state: read_value(r)?,
+        },
+        R_PROMOTE => Request::Promote {
+            node: r.u32()?,
+            object: r.u64()?,
         },
         tag => return Err(WireError::new(format!("unknown request tag {tag}"))),
     })
@@ -394,16 +419,47 @@ mod tests {
             span_id: 6,
             parent_span_id: 1,
         };
-        let v5 = codec.encode_request(9, ctx, &Request::Fetch { object: 2 });
+        let v6 = codec.encode_request(9, ctx, &Request::Fetch { object: 2 });
         // Re-create the pre-tracing frame: version byte 3, no trace context
         // field (drop bytes 13..37).
-        let mut v3 = v5.clone();
+        let mut v3 = v6.clone();
         v3[4] = 3;
         v3.drain(13..37);
         let (id, back_ctx, req) = codec.decode_request(&v3).unwrap();
         assert_eq!(id, 9);
         assert_eq!(back_ctx, TraceContext::NONE);
         assert_eq!(req, Request::Fetch { object: 2 });
+    }
+
+    #[test]
+    fn version_5_frames_decode_unchanged() {
+        // Version 6 only added request tags; the header layout is identical,
+        // so a version-5 frame is byte-for-byte a version-6 frame with a
+        // different version byte. Pre-failover peers must keep parsing.
+        let codec = RmiCodec::new();
+        let ctx = TraceContext {
+            trace_id: 8,
+            span_id: 2,
+            parent_span_id: 1,
+        };
+        let mut req5 = codec.encode_request(
+            11,
+            ctx,
+            &Request::Call {
+                object: 4,
+                method: "tick@0".into(),
+                args: vec![WireValue::Int(1)],
+            },
+        );
+        req5[4] = 5;
+        let (id, back_ctx, req) = codec.decode_request(&req5).unwrap();
+        assert_eq!((id, back_ctx), (11, ctx));
+        assert!(matches!(req, Request::Call { object: 4, .. }));
+        let mut rep5 = codec.encode_reply(11, ctx, 9, &Reply::Value(WireValue::Int(3)));
+        rep5[4] = 5;
+        let (id, back_ctx, ver, reply) = codec.decode_reply(&rep5).unwrap();
+        assert_eq!((id, back_ctx, ver), (11, ctx, 9));
+        assert_eq!(reply, Reply::Value(WireValue::Int(3)));
     }
 
     #[test]
@@ -414,10 +470,10 @@ mod tests {
             span_id: 6,
             parent_span_id: 1,
         };
-        let v5 = codec.encode_reply(9, ctx, 77, &Reply::Value(WireValue::Int(3)));
+        let v6 = codec.encode_reply(9, ctx, 77, &Reply::Value(WireValue::Int(3)));
         // Re-create the pre-caching frame: version byte 4, no object
         // version field (drop bytes 37..45).
-        let mut v4 = v5.clone();
+        let mut v4 = v6.clone();
         v4[4] = 4;
         v4.drain(37..45);
         let (id, back_ctx, ver, reply) = codec.decode_reply(&v4).unwrap();

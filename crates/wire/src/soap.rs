@@ -482,6 +482,21 @@ impl Protocol for SoapCodec {
                     "<rafda:forward object=\"{object}\" tonode=\"{to_node}\" toobject=\"{to_object}\"/>"
                 );
             }
+            Request::ReplicaSync {
+                object,
+                version,
+                state,
+            } => {
+                let _ = write!(
+                    b,
+                    "<rafda:replicasync object=\"{object}\" version=\"{version}\">"
+                );
+                write_value(&mut b, state);
+                b.push_str("</rafda:replicasync>");
+            }
+            Request::Promote { node, object } => {
+                let _ = write!(b, "<rafda:promote node=\"{node}\" object=\"{object}\"/>");
+            }
         }
         envelope(id, ctx, None, &b).into_bytes()
     }
@@ -523,6 +538,15 @@ impl Protocol for SoapCodec {
                 object: e.attr_parsed("object")?,
                 to_node: e.attr_parsed("tonode")?,
                 to_object: e.attr_parsed("toobject")?,
+            },
+            "rafda:replicasync" => Request::ReplicaSync {
+                object: e.attr_parsed("object")?,
+                version: e.attr_parsed("version")?,
+                state: read_value(e.first_elem()?)?,
+            },
+            "rafda:promote" => Request::Promote {
+                node: e.attr_parsed("node")?,
+                object: e.attr_parsed("object")?,
             },
             name => return Err(WireError::new(format!("unknown request <{name}>"))),
         };

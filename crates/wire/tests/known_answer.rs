@@ -27,7 +27,8 @@ fn rmi_request_bytes_are_stable() {
     let bytes = RmiCodec::new().encode_request(0x0102, sample_ctx(), &call_request());
     let expected: Vec<u8> = vec![
         b'J', b'R', b'M', b'I', // magic
-        5,    // version (3 = message id; 4 = + trace context; 5 = + reply objver)
+        6,    // version (3 = message id; 4 = + trace context; 5 = + reply
+        //   objver; 6 = + replica-sync/promote request tags)
         0x02, 0x01, 0, 0, 0, 0, 0, 0, // message id u64 LE
         0x0B, 0, 0, 0, 0, 0, 0, 0, // trace id u64 LE
         0x0C, 0, 0, 0, 0, 0, 0, 0, // span id u64 LE
@@ -50,7 +51,7 @@ fn rmi_reply_bytes_are_stable() {
     let bytes =
         RmiCodec::new().encode_reply(7, TraceContext::NONE, 9, &Reply::Value(WireValue::Int(-1)));
     let expected: Vec<u8> = vec![
-        b'J', b'R', b'M', b'I', 5, // version
+        b'J', b'R', b'M', b'I', 6, // version
         7, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
         0, 0, 0, 0, 0, 0, 0, 0, // trace id (NONE)
         0, 0, 0, 0, 0, 0, 0, 0, // span id (NONE)
@@ -66,9 +67,9 @@ fn rmi_reply_bytes_are_stable() {
 #[test]
 fn corba_header_and_alignment_are_stable() {
     let bytes = CorbaCodec::new().encode_request(7, sample_ctx(), &Request::Fetch { object: 1 });
-    // "GIOP" + version 1.5, pad to 8, message id u64, trace context (3×u64)
+    // "GIOP" + version 1.6, pad to 8, message id u64, trace context (3×u64)
     // at 16..40, tag R_FETCH(3) at 40, pad to 48, object u64.
-    assert_eq!(&bytes[..6], b"GIOP\x01\x05");
+    assert_eq!(&bytes[..6], b"GIOP\x01\x06");
     assert_eq!(&bytes[6..8], &[0, 0], "alignment pad before id");
     assert_eq!(&bytes[8..16], &7u64.to_le_bytes());
     assert_eq!(&bytes[16..24], &0x0Bu64.to_le_bytes());
@@ -78,6 +79,185 @@ fn corba_header_and_alignment_are_stable() {
     assert_eq!(&bytes[41..48], &[0; 7], "alignment pad before object");
     assert_eq!(&bytes[48..56], &1u64.to_le_bytes());
     assert_eq!(bytes.len(), 56);
+}
+
+fn replica_sync_request() -> Request {
+    Request::ReplicaSync {
+        object: 3,
+        version: 2,
+        state: WireValue::ObjectState {
+            class: "C".to_owned(),
+            fields: vec![WireValue::Int(7)],
+        },
+    }
+}
+
+#[test]
+fn rmi_replica_sync_bytes_are_stable() {
+    let bytes = RmiCodec::new().encode_request(1, TraceContext::NONE, &replica_sync_request());
+    let expected: Vec<u8> = vec![
+        b'J', b'R', b'M', b'I', 6, // version
+        1, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
+        0, 0, 0, 0, 0, 0, 0, 0, // trace id (NONE)
+        0, 0, 0, 0, 0, 0, 0, 0, // span id (NONE)
+        0, 0, 0, 0, 0, 0, 0, 0, // parent span id (NONE)
+        6, // R_REPLICA
+        3, 0, 0, 0, 0, 0, 0, 0, // object id u64 LE
+        2, 0, 0, 0, 0, 0, 0, 0, // snapshot version u64 LE
+        9, // T_STATE
+        1, 0, 0, 0,    // class name length u32
+        b'C', // class name
+        1, 0, 0, 0, // field count u32
+        2, // T_INT
+        7, 0, 0, 0, // 7 LE
+    ];
+    assert_eq!(bytes, expected);
+}
+
+#[test]
+fn rmi_promote_bytes_are_stable() {
+    let bytes = RmiCodec::new().encode_request(
+        1,
+        TraceContext::NONE,
+        &Request::Promote { node: 4, object: 9 },
+    );
+    let expected: Vec<u8> = vec![
+        b'J', b'R', b'M', b'I', 6, // version
+        1, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
+        0, 0, 0, 0, 0, 0, 0, 0, // trace id (NONE)
+        0, 0, 0, 0, 0, 0, 0, 0, // span id (NONE)
+        0, 0, 0, 0, 0, 0, 0, 0, // parent span id (NONE)
+        7, // R_PROMOTE
+        4, 0, 0, 0, // crashed node u32 LE
+        9, 0, 0, 0, 0, 0, 0, 0, // its export id u64 LE
+    ];
+    assert_eq!(bytes, expected);
+}
+
+#[test]
+fn corba_promote_alignment_is_stable() {
+    let bytes =
+        CorbaCodec::new().encode_request(7, sample_ctx(), &Request::Promote { node: 4, object: 9 });
+    // Header as for any request, then tag R_PROMOTE(7) at 40, the node u32
+    // aligned up to 44, the object u64 aligned up to 48.
+    assert_eq!(&bytes[..6], b"GIOP\x01\x06");
+    assert_eq!(bytes[40], 7);
+    assert_eq!(&bytes[41..44], &[0; 3], "alignment pad before node");
+    assert_eq!(&bytes[44..48], &4u32.to_le_bytes());
+    assert_eq!(&bytes[48..56], &9u64.to_le_bytes());
+    assert_eq!(bytes.len(), 56);
+}
+
+#[test]
+fn corba_replica_sync_roundtrips_with_known_header() {
+    let bytes = CorbaCodec::new().encode_request(7, sample_ctx(), &replica_sync_request());
+    assert_eq!(&bytes[..6], b"GIOP\x01\x06");
+    assert_eq!(bytes[40], 6, "R_REPLICA tag");
+    let (id, ctx, req) = CorbaCodec::new().decode_request(&bytes).unwrap();
+    assert_eq!((id, ctx), (7, sample_ctx()));
+    assert_eq!(req, replica_sync_request());
+}
+
+#[test]
+fn soap_replica_sync_text_is_stable() {
+    let xml = String::from_utf8(SoapCodec::new().encode_request(
+        1,
+        sample_ctx(),
+        &replica_sync_request(),
+    ))
+    .unwrap();
+    assert!(
+        xml.contains(
+            "<soap:Body><rafda:replicasync object=\"3\" version=\"2\">\
+             <v t=\"state\" class=\"C\"><v t=\"int\">7</v></v></rafda:replicasync></soap:Body>"
+        ),
+        "{xml}"
+    );
+    let (_, _, back) = SoapCodec::new().decode_request(xml.as_bytes()).unwrap();
+    assert_eq!(back, replica_sync_request());
+}
+
+#[test]
+fn soap_promote_text_is_stable() {
+    let xml = String::from_utf8(SoapCodec::new().encode_request(
+        1,
+        sample_ctx(),
+        &Request::Promote { node: 4, object: 9 },
+    ))
+    .unwrap();
+    assert!(
+        xml.contains("<soap:Body><rafda:promote node=\"4\" object=\"9\"/></soap:Body>"),
+        "{xml}"
+    );
+    let (_, _, back) = SoapCodec::new().decode_request(xml.as_bytes()).unwrap();
+    assert_eq!(back, Request::Promote { node: 4, object: 9 });
+}
+
+#[test]
+fn pre_failover_rmi_v5_frames_still_parse() {
+    // Version 6 changed no header or body layout for the pre-existing
+    // request/reply kinds, so a v5 frame differs from a v6 frame only in
+    // the version byte (index 4).
+    let codec = RmiCodec::new();
+    let mut req5 = codec.encode_request(0x0102, sample_ctx(), &call_request());
+    req5[4] = 5;
+    let (id, ctx, body) = codec.decode_request(&req5).unwrap();
+    assert_eq!((id, ctx), (0x0102, sample_ctx()));
+    assert_eq!(body, call_request());
+    let mut rep5 = codec.encode_reply(7, sample_ctx(), 9, &Reply::Value(WireValue::Int(-1)));
+    rep5[4] = 5;
+    let (id, ctx, ver, reply) = codec.decode_reply(&rep5).unwrap();
+    assert_eq!((id, ctx, ver), (7, sample_ctx(), 9));
+    assert_eq!(reply, Reply::Value(WireValue::Int(-1)));
+}
+
+#[test]
+fn pre_failover_giop_minor_5_frames_still_parse() {
+    // Same argument as for RMI: only the minor version byte (index 5)
+    // distinguishes a minor-5 frame from a minor-6 frame.
+    let codec = CorbaCodec::new();
+    let mut req5 = codec.encode_request(7, sample_ctx(), &Request::Fetch { object: 1 });
+    req5[5] = 5;
+    let (id, ctx, body) = codec.decode_request(&req5).unwrap();
+    assert_eq!((id, ctx), (7, sample_ctx()));
+    assert_eq!(body, Request::Fetch { object: 1 });
+    let mut rep5 = codec.encode_reply(7, sample_ctx(), 3, &Reply::Fault("f".to_owned()));
+    rep5[5] = 5;
+    let (id, ctx, ver, reply) = codec.decode_reply(&rep5).unwrap();
+    assert_eq!((id, ctx, ver), (7, sample_ctx(), 3));
+    assert_eq!(reply, Reply::Fault("f".to_owned()));
+}
+
+#[test]
+fn pre_failover_soap_frames_still_parse() {
+    // A verbatim PR-3-era envelope (mid + trace + objver, no failover
+    // vocabulary anywhere) must keep decoding.
+    let req = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+               <soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\" \
+               xmlns:rafda=\"http://rafda.dcs.st-and.ac.uk/ns/2003\">\n\
+               <soap:Header><rafda:mid>12</rafda:mid>\
+               <rafda:trace id=\"11\" span=\"12\" parent=\"10\"/></soap:Header>\n\
+               <soap:Body><rafda:discover class=\"X\"/></soap:Body>\n\
+               </soap:Envelope>\n";
+    let (id, ctx, body) = SoapCodec::new().decode_request(req.as_bytes()).unwrap();
+    assert_eq!((id, ctx), (12, sample_ctx()));
+    assert_eq!(
+        body,
+        Request::Discover {
+            class: "X".to_owned()
+        }
+    );
+    let rep = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+               <soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\" \
+               xmlns:rafda=\"http://rafda.dcs.st-and.ac.uk/ns/2003\">\n\
+               <soap:Header><rafda:mid>12</rafda:mid>\
+               <rafda:trace id=\"11\" span=\"12\" parent=\"10\"/>\
+               <rafda:objver>19</rafda:objver></soap:Header>\n\
+               <soap:Body><rafda:result><v t=\"int\">9</v></rafda:result></soap:Body>\n\
+               </soap:Envelope>\n";
+    let (id, ctx, ver, reply) = SoapCodec::new().decode_reply(rep.as_bytes()).unwrap();
+    assert_eq!((id, ctx, ver), (12, sample_ctx(), 19));
+    assert_eq!(reply, Reply::Value(WireValue::Int(9)));
 }
 
 #[test]

@@ -84,6 +84,17 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 },
                 source,
             }),
+        (any::<u64>(), any::<u64>(), arb_wire_value()).prop_map(|(object, version, v)| {
+            Request::ReplicaSync {
+                object,
+                version,
+                state: WireValue::ObjectState {
+                    class: "R".into(),
+                    fields: vec![v],
+                },
+            }
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(node, object)| Request::Promote { node, object }),
     ]
 }
 
@@ -184,6 +195,18 @@ fn request_exact(a: &Request, b: &Request) -> bool {
                 source: kb,
             },
         ) => ka == kb && exact_bits(sa, sb),
+        (
+            Request::ReplicaSync {
+                object: oa,
+                version: va,
+                state: sa,
+            },
+            Request::ReplicaSync {
+                object: ob,
+                version: vb,
+                state: sb,
+            },
+        ) => oa == ob && va == vb && exact_bits(sa, sb),
         (a, b) => a == b,
     }
 }

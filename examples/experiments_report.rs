@@ -6,11 +6,13 @@
 //! Run with: `cargo run -p rafda --example experiments_report --release`
 
 use rafda::baseline::WrapperTransformer;
+use rafda::classmodel::builder::{ClassBuilder, MethodBuilder};
+use rafda::classmodel::{ClassKind, Field};
 use rafda::corpus::{generate_app, AppSpec, JdkProfile, ObserverHooks};
 use rafda::transform::analyze;
 use rafda::{
-    AffinityConfig, Application, ClassUniverse, LocalPolicy, NodeId, Placement, StaticPolicy,
-    Value, Vm,
+    AffinityConfig, Application, ClassUniverse, LocalPolicy, NetFailureKind, NodeId, Placement,
+    StaticPolicy, Ty, Value, Vm,
 };
 
 fn chain_app(spec: &AppSpec) -> Application {
@@ -345,6 +347,77 @@ fn e10() {
     );
 }
 
+fn e11() {
+    println!("== E11: crash-stop failover — k-replicated exports ==");
+    // A counter whose owner we kill mid-run: 10 calls, crash, 10 more calls.
+    let run = |k: u32| {
+        let mut app = Application::new();
+        let u = app.universe_mut();
+        let c = u.declare("C", ClassKind::Class);
+        let mut cb = ClassBuilder::new(u, c);
+        let v = cb.field(Field::new("v", Ty::Int));
+        let mut mb = MethodBuilder::new(1);
+        mb.ret();
+        cb.ctor(u, vec![], Some(mb.finish()));
+        let mut mb = MethodBuilder::new(2);
+        mb.load_this();
+        mb.load_this().get_field(c, v);
+        mb.load_local(1).add();
+        mb.put_field(c, v);
+        mb.load_this().get_field(c, v).ret_value();
+        cb.method(u, "bump", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+        let policy = StaticPolicy::new()
+            .place("C", Placement::Node(NodeId(1)))
+            .default_statics(NodeId(0))
+            .replicate("C", k);
+        let cluster = app
+            .transform(&["RMI"])
+            .unwrap()
+            .deploy(3, 42, Box::new(policy));
+        let obj = cluster.new_instance(NodeId(0), "C", 0, vec![]).unwrap();
+        let mut outs = Vec::new();
+        for _ in 0..10 {
+            outs.push(cluster.call_method(NodeId(0), obj.clone(), "bump", vec![Value::Int(1)]));
+        }
+        cluster.crash(NodeId(1));
+        for _ in 0..10 {
+            outs.push(cluster.call_method(NodeId(0), obj.clone(), "bump", vec![Value::Int(1)]));
+        }
+        (outs, cluster.stats())
+    };
+
+    let (rep, rep_stats) = run(1);
+    let ok = rep.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(ok, 20, "with replicate 1 every call must survive the crash");
+    assert_eq!(
+        rep.last().unwrap().as_ref().unwrap(),
+        &Value::Int(20),
+        "no acknowledged increment may be lost or double-applied"
+    );
+    assert!(
+        rep_stats.failovers > 0,
+        "the crash must be visible: {rep_stats}"
+    );
+    println!("  schedule: 10 calls -> crash owner (node 1) -> 10 calls, client on node 0");
+    println!(
+        "  replicate 1: {ok}/20 ok, final value 20, {} failovers / {} promotions / {} replica syncs",
+        rep_stats.failovers, rep_stats.promotions, rep_stats.replica_syncs
+    );
+
+    let (bare, bare_stats) = run(0);
+    let ok = bare.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(ok, 10, "without replication the post-crash calls must fail");
+    let err = bare[10].as_ref().unwrap_err();
+    let nf = err.net_failure().expect("typed network failure");
+    assert_eq!(nf.kind, NetFailureKind::NodeCrashed(1));
+    assert_eq!(bare_stats.failovers, 0);
+    println!(
+        "  replicate 0: {ok}/20 ok, first post-crash error: {} (typed, {} attempt)\n",
+        err, nf.attempts
+    );
+}
+
 fn main() {
     println!("RAFDA reproduction — consolidated experiment report\n");
     e1();
@@ -356,5 +429,6 @@ fn main() {
     e7_retry();
     e9();
     e10();
+    e11();
     println!("full precision: cargo bench --workspace (see EXPERIMENTS.md)");
 }

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use rafda::classmodel::builder::{ClassBuilder, MethodBuilder};
 use rafda::classmodel::{ClassKind, Field};
-use rafda::{AffinityConfig, Application, LocalPolicy, NodeId, Ty, Value};
+use rafda::{AffinityConfig, Application, LocalPolicy, NodeId, Placement, StaticPolicy, Ty, Value};
 
 const POOL: usize = 4;
 const NODES: u32 = 3;
@@ -33,10 +33,9 @@ fn arb_op() -> impl Strategy<Value = Op> {
     ]
 }
 
-fn counter_app() -> Application {
-    let mut app = Application::new();
+fn counter_class(app: &mut Application, name: &str) {
     let u = app.universe_mut();
-    let c = u.declare("Counter", ClassKind::Class);
+    let c = u.declare(name, ClassKind::Class);
     let mut cb = ClassBuilder::new(u, c);
     let v = cb.field(Field::new("v", Ty::Int));
     let mut mb = MethodBuilder::new(1);
@@ -50,6 +49,48 @@ fn counter_app() -> Application {
     mb.load_this().get_field(c, v).ret_value();
     cb.method(u, "add", vec![Ty::Int], Ty::Int, Some(mb.finish()));
     cb.finish(u);
+}
+
+fn counter_app() -> Application {
+    let mut app = Application::new();
+    counter_class(&mut app, "Counter");
+    app
+}
+
+// --- crash-stop chaos (see the last property below) ---
+
+const FO_NODES: u32 = 4;
+const FO_POOL: usize = 6;
+/// The coordinator drives every call and is never crashed; it is also never
+/// a replica target (backups prefer low node ids), so every failover really
+/// crosses the wire.
+const FO_COORD: NodeId = NodeId(3);
+
+#[derive(Debug, Clone)]
+enum CrashOp {
+    /// Call counter `idx` with `delta` from the coordinator.
+    Call { idx: usize, delta: i8 },
+    /// Crash `node` (0–2), first restarting whichever node is down.
+    Crash { node: u8 },
+    /// Restart the currently-down node, if any.
+    Heal,
+}
+
+fn arb_crash_op() -> impl Strategy<Value = CrashOp> {
+    prop_oneof![
+        6 => (0usize..FO_POOL, -9i8..10).prop_map(|(idx, delta)| CrashOp::Call { idx, delta }),
+        2 => (0u8..3).prop_map(|node| CrashOp::Crash { node }),
+        1 => Just(CrashOp::Heal),
+    ]
+}
+
+/// Three structurally identical counter classes, so each can get its own
+/// placement (`C0` on node 0, `C1` on node 1, `C2` on node 2).
+fn replicated_counter_app() -> Application {
+    let mut app = Application::new();
+    for i in 0..3 {
+        counter_class(&mut app, &format!("C{i}"));
+    }
     app
 }
 
@@ -225,5 +266,123 @@ proptest! {
         prop_assert_eq!(clean_stats.retries, 0);
         prop_assert_eq!(clean_stats.dedup_hits, 0);
         prop_assert_eq!(chaos_stats.net_failures, 0, "an exchange exhausted its budget");
+    }
+
+    /// Crash-stop chaos on top of message drops: counters replicated with
+    /// k = 2 over four nodes, a coordinator (node 3) that never crashes and
+    /// a random crash/restart schedule over nodes 0–2 with at most one node
+    /// down at a time. Every call must still return exactly the oracle
+    /// value — no lost object, no lost update, no double apply — and the
+    /// same seed must reproduce the run byte-for-byte, failover counters
+    /// included.
+    #[test]
+    fn crash_stop_chaos_loses_nothing_and_stays_deterministic(
+        ops in prop::collection::vec(arb_crash_op(), 1..50),
+        seed in 0u64..500,
+    ) {
+        let run = || -> (Vec<i32>, rafda::RuntimeStats, u64) {
+            let mut policy = StaticPolicy::new().default_statics(FO_COORD);
+            for i in 0..3u32 {
+                policy = policy
+                    .place(&format!("C{i}"), Placement::Node(NodeId(i)))
+                    .replicate(&format!("C{i}"), 2);
+            }
+            let cluster = replicated_counter_app()
+                .transform(&["RMI"])
+                .unwrap()
+                .deploy(FO_NODES, seed, Box::new(policy));
+            cluster.set_retry_policy(rafda::RetryPolicy {
+                max_attempts: 10,
+                ..rafda::RetryPolicy::default()
+            });
+            cluster.network().fault_plan(|f| f.drop_probability = 0.10);
+            let counters: Vec<Value> = (0..FO_POOL)
+                .map(|i| {
+                    cluster
+                        .new_instance(FO_COORD, &format!("C{}", i % 3), 0, vec![])
+                        .unwrap()
+                })
+                .collect();
+            let mut down: Option<u32> = None;
+            let mut results = Vec::new();
+            // A restarted node starts with an empty replica store and only
+            // re-enters the sync set at the next served mutation. Touch every
+            // counter after a restart so each owner re-ships its state before
+            // any further crash — otherwise two bounce cycles with no calls
+            // in between really do lose the last copy.
+            let touch_all = |counters: &[Value]| {
+                for c in counters {
+                    cluster
+                        .call_method(FO_COORD, c.clone(), "add", vec![Value::Int(0)])
+                        .unwrap();
+                }
+            };
+            for op in &ops {
+                match *op {
+                    CrashOp::Call { idx, delta } => {
+                        let r = cluster
+                            .call_method(
+                                FO_COORD,
+                                counters[idx].clone(),
+                                "add",
+                                vec![Value::Int(i32::from(delta))],
+                            )
+                            .unwrap();
+                        match r {
+                            Value::Int(v) => results.push(v),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                    CrashOp::Crash { node } => {
+                        // Keep at most one node down: with k = 2 and both
+                        // backups live at every owner crash, some replica is
+                        // always current (restarted nodes start empty but
+                        // re-enter the sync set on the next mutation).
+                        if let Some(d) = down.take() {
+                            cluster.restart(NodeId(d));
+                            touch_all(&counters);
+                        }
+                        cluster.crash(NodeId(u32::from(node)));
+                        down = Some(u32::from(node));
+                    }
+                    CrashOp::Heal => {
+                        if let Some(d) = down.take() {
+                            cluster.restart(NodeId(d));
+                            touch_all(&counters);
+                        }
+                    }
+                }
+            }
+            // Zero lost objects: every counter must still answer, even the
+            // ones whose owner is down right now.
+            for c in &counters {
+                let r = cluster
+                    .call_method(FO_COORD, c.clone(), "add", vec![Value::Int(0)])
+                    .unwrap();
+                match r {
+                    Value::Int(v) => results.push(v),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            (results, cluster.stats(), cluster.network().now().as_ns())
+        };
+
+        // Exact oracle, computed without any cluster.
+        let mut oracle = [0i32; FO_POOL];
+        let mut expected = Vec::new();
+        for op in &ops {
+            if let CrashOp::Call { idx, delta } = *op {
+                oracle[idx] += i32::from(delta);
+                expected.push(oracle[idx]);
+            }
+        }
+        expected.extend(oracle);
+
+        let (a, a_stats, a_now) = run();
+        let (b, b_stats, b_now) = run();
+        prop_assert_eq!(&a, &expected, "a crash or drop changed an observable value");
+        prop_assert_eq!(&a, &b, "same seed, same schedule, different values");
+        prop_assert_eq!(a_stats, b_stats, "failover counters must be deterministic");
+        prop_assert_eq!(a_now, b_now, "simulated clock diverged");
     }
 }

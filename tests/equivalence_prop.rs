@@ -11,8 +11,10 @@
 //! failure-injection tests.
 
 use proptest::prelude::*;
+use rafda::classmodel::builder::{ClassBuilder, MethodBuilder};
+use rafda::classmodel::{ClassKind, Field};
 use rafda::corpus::{generate_app, AppSpec, ObserverHooks};
-use rafda::{Application, NodeId, Placement, StaticPolicy, Trace, Value};
+use rafda::{Application, NodeId, Placement, StaticPolicy, Trace, Ty, Value};
 
 fn build_app(spec: &AppSpec) -> Application {
     let mut app = Application::new();
@@ -91,6 +93,112 @@ proptest! {
             "seed={} classes={} statics={}", seed, classes, statics);
         // With round-robin placement, real distribution must occur.
         prop_assert!(messages > 0, "nothing went remote");
+    }
+}
+
+/// One event of the crash-equivalence schedule below.
+#[derive(Debug, Clone, Copy)]
+enum FoEvt {
+    /// Call the counter on node 1 with this delta.
+    CallA(i8),
+    /// Call the counter on node 2 with this delta.
+    CallB(i8),
+    /// Crash-stop and immediately restart node 1 or 2 (amnesia: the restart
+    /// wipes every export).
+    Bounce(u8),
+}
+
+fn arb_fo_evt() -> impl Strategy<Value = FoEvt> {
+    prop_oneof![
+        4 => (-9i8..10).prop_map(FoEvt::CallA),
+        4 => (-9i8..10).prop_map(FoEvt::CallB),
+        2 => (1u8..3).prop_map(FoEvt::Bounce),
+    ]
+}
+
+/// Two counter classes, `CA` and `CB`, so each gets its own placement.
+fn two_counter_app() -> Application {
+    let mut app = Application::new();
+    for name in ["CA", "CB"] {
+        let u = app.universe_mut();
+        let c = u.declare(name, ClassKind::Class);
+        let mut cb = ClassBuilder::new(u, c);
+        let v = cb.field(Field::new("v", Ty::Int));
+        let mut mb = MethodBuilder::new(1);
+        mb.ret();
+        cb.ctor(u, vec![], Some(mb.finish()));
+        let mut mb = MethodBuilder::new(2);
+        mb.load_this();
+        mb.load_this().get_field(c, v);
+        mb.load_local(1).add();
+        mb.put_field(c, v);
+        mb.load_this().get_field(c, v).ret_value();
+        cb.method(u, "add", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+    }
+    app
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Experiment **E11**'s property form: with `replicate 1`, a random
+    /// crash/restart schedule is *observationally invisible* — the sequence
+    /// of returned values is identical to the crash-free run of the same
+    /// schedule. This is the paper's equivalence claim extended across the
+    /// "modulo network failure" clause: replication discharges the modulo.
+    #[test]
+    fn crash_restart_schedule_is_invisible_with_replication(
+        evts in prop::collection::vec(arb_fo_evt(), 1..40),
+        seed in 0u64..500,
+    ) {
+        let run = |faults: bool| -> Vec<Value> {
+            let policy = StaticPolicy::new()
+                .default_statics(NodeId(0))
+                .place("CA", Placement::Node(NodeId(1)))
+                .place("CB", Placement::Node(NodeId(2)))
+                .replicate("CA", 1)
+                .replicate("CB", 1);
+            let cluster = two_counter_app()
+                .transform(&["RMI"])
+                .unwrap()
+                .deploy(3, seed, Box::new(policy));
+            let a = cluster.new_instance(NodeId(0), "CA", 0, vec![]).unwrap();
+            let b = cluster.new_instance(NodeId(0), "CB", 0, vec![]).unwrap();
+            let mut out = Vec::new();
+            for evt in &evts {
+                match *evt {
+                    FoEvt::CallA(d) => out.push(
+                        cluster
+                            .call_method(NodeId(0), a.clone(), "add", vec![Value::Int(d.into())])
+                            .unwrap(),
+                    ),
+                    FoEvt::CallB(d) => out.push(
+                        cluster
+                            .call_method(NodeId(0), b.clone(), "add", vec![Value::Int(d.into())])
+                            .unwrap(),
+                    ),
+                    FoEvt::Bounce(n) => {
+                        if faults {
+                            cluster.crash(NodeId(u32::from(n)));
+                            cluster.restart(NodeId(u32::from(n)));
+                        }
+                    }
+                }
+            }
+            // Final probes: both objects survived the whole schedule.
+            for c in [&a, &b] {
+                out.push(
+                    cluster
+                        .call_method(NodeId(0), c.clone(), "add", vec![Value::Int(0)])
+                        .unwrap(),
+                );
+            }
+            out
+        };
+        let clean = run(false);
+        let crashy = run(true);
+        prop_assert_eq!(&clean, &crashy, "a crash/restart changed an observable value");
     }
 }
 
