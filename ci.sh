@@ -19,6 +19,11 @@ if [ "$test_elapsed" -gt "$TEST_BUDGET_SECS" ]; then
   exit 1
 fi
 
+echo "== benches compile (not run) =="
+# Criterion benches are exercised manually (EXPERIMENTS.md); CI only
+# guarantees they still build against the current API.
+cargo bench --no-run --locked --offline --quiet
+
 echo "== rustfmt =="
 cargo fmt --check
 
@@ -30,7 +35,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --locked --offline --quiet
 
 echo "== determinism (same-seed run-twice diff) =="
 # The full experiment report (covers RPC, retries, migration, adaptation,
-# caching, crash-stop failover and telemetry) must be byte-identical across
+# caching, crash-stop failover, batched invocation and telemetry) must be
+# byte-identical across
 # two runs of the same build — any hash-order or wall-clock leak shows up
 # as a diff here.
 run_report() {

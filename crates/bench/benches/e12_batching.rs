@@ -1,0 +1,125 @@
+//! **E12 — batched remote invocation**: the wire-traffic saving from
+//! deferring void calls onto per-`(caller, owner)` outcall queues and
+//! flushing them as one `Request::Batch` frame at each synchronization
+//! point. A write-heavy workload (8 fire-and-forget `inc`s per `total`
+//! read) collapses 8 request/reply exchanges into one batch exchange, so
+//! both the message count and the simulated elapsed time drop sharply;
+//! with replication the owner additionally coalesces its replica
+//! shipments, so the saving grows with k.
+//!
+//! Reported: wire messages, finished exchanges, batch flushes and
+//! simulated elapsed time for the same workload with batching off vs on,
+//! at k = 0/1/2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rafda::{Cluster, NodeId, Placement, StaticPolicy, Value};
+use rafda_bench::batched_counter_app;
+use std::time::Duration;
+
+const N0: NodeId = NodeId(0);
+const N1: NodeId = NodeId(1);
+
+const ROUNDS: usize = 32;
+const WRITES_PER_ROUND: usize = 8;
+
+/// Deploy the batching counter on node 1 of three nodes, replicated k
+/// ways, with batching on or off for class `C`.
+fn deploy(k: u32, batch: bool) -> (Cluster, Value) {
+    let policy = StaticPolicy::new()
+        .place("C", Placement::Node(N1))
+        .default_statics(N0)
+        .replicate("C", k)
+        .batch("C", batch);
+    let cluster =
+        batched_counter_app()
+            .transform(&["RMI"])
+            .unwrap()
+            .deploy(3, 42, Box::new(policy));
+    let c = cluster.new_instance(N0, "C", 0, vec![]).unwrap();
+    cluster.pin(N0, &c);
+    (cluster, c)
+}
+
+/// The write-heavy workload: each round fires `WRITES_PER_ROUND` void
+/// increments and then reads the total — the read is the synchronization
+/// point that flushes the round's batch.
+fn drive(cluster: &Cluster, c: &Value, rounds: usize) -> i64 {
+    let mut last = 0;
+    for _ in 0..rounds {
+        for _ in 0..WRITES_PER_ROUND {
+            cluster
+                .call_method(N0, c.clone(), "inc", vec![Value::Int(1)])
+                .unwrap();
+        }
+        match cluster.call_method(N0, c.clone(), "total", vec![]).unwrap() {
+            Value::Int(v) => last = i64::from(v),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    last
+}
+
+fn summary_table() {
+    println!(
+        "\n=== E12: batched invocation ({ROUNDS} rounds x {WRITES_PER_ROUND} incs + 1 read) ==="
+    );
+    println!(
+        "{:<14} | {:>9} | {:>10} | {:>8} | {:>12}",
+        "configuration", "messages", "exchanges", "flushes", "sim elapsed"
+    );
+    for k in [0u32, 1, 2] {
+        let mut off_exchanges = 0;
+        for batch in [false, true] {
+            let (cluster, c) = deploy(k, batch);
+            let m0 = cluster.network().stats().messages;
+            let x0 = cluster.stats().exchanges();
+            let t0 = cluster.network().now();
+            let total = drive(&cluster, &c, ROUNDS);
+            assert_eq!(total, (ROUNDS * WRITES_PER_ROUND) as i64, "lost an inc");
+            let stats = cluster.stats();
+            let messages = cluster.network().stats().messages - m0;
+            let exchanges = stats.exchanges() - x0;
+            println!(
+                "{:<14} | {:>9} | {:>10} | {:>8} | {:>12}",
+                format!("k = {k}, {}", if batch { "batch" } else { "off" }),
+                messages,
+                exchanges,
+                stats.flushes,
+                format!("{}", cluster.network().now() - t0),
+            );
+            if batch {
+                assert!(
+                    exchanges * 10 <= off_exchanges * 6,
+                    "batching must save >= 40% of exchanges ({exchanges} vs {off_exchanges})"
+                );
+            } else {
+                off_exchanges = exchanges;
+            }
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    summary_table();
+    let mut group = c.benchmark_group("e12_batching");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+
+    for batch in [false, true] {
+        let label = if batch { "batch_on" } else { "batch_off" };
+        group.bench_function(format!("write_heavy_{label}"), |b| {
+            let (cluster, cell) = deploy(0, batch);
+            b.iter(|| drive(&cluster, &cell, 4))
+        });
+    }
+    group.bench_function("write_heavy_batch_on_k2", |b| {
+        let (cluster, cell) = deploy(2, true);
+        b.iter(|| drive(&cluster, &cell, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -66,6 +66,31 @@ pub fn deployed_counter(nodes: u32, policy: Box<dyn DistributionPolicy>) -> (Clu
     (cluster, c)
 }
 
+/// Build the E12 batching application: a counter `C` with a deferrable
+/// void `inc(int)` and a value-returning `total()` synchronization point.
+pub fn batched_counter_app() -> Application {
+    let mut app = Application::new();
+    let u = app.universe_mut();
+    let c = u.declare("C", ClassKind::Class);
+    let mut cb = ClassBuilder::new(u, c);
+    let v = cb.field(Field::new("v", Ty::Int));
+    let mut mb = MethodBuilder::new(1);
+    mb.ret();
+    cb.ctor(u, vec![], Some(mb.finish()));
+    let mut mb = MethodBuilder::new(2);
+    mb.load_this();
+    mb.load_this().get_field(c, v);
+    mb.load_local(1).add();
+    mb.put_field(c, v);
+    mb.ret();
+    cb.method(u, "inc", vec![Ty::Int], Ty::Void, Some(mb.finish()));
+    let mut mb = MethodBuilder::new(1);
+    mb.load_this().get_field(c, v).ret_value();
+    cb.method(u, "total", vec![], Ty::Int, Some(mb.finish()));
+    cb.finish(u);
+    app
+}
+
 /// Format a ratio as `x.yz×`.
 pub fn ratio(base: u64, other: u64) -> String {
     format!("{:.2}x", other as f64 / base.max(1) as f64)

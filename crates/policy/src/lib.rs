@@ -72,6 +72,21 @@ pub trait DistributionPolicy {
     fn replicas(&self, _class: &str) -> u32 {
         0
     }
+
+    /// Whether deferrable outcalls on `class` — void-returning methods and
+    /// property sets, whose results the caller never observes directly —
+    /// may be queued and shipped to the owner as one batched frame at the
+    /// next synchronization point (a value-returning call, migration,
+    /// adaptation tick, clock read or explicit flush).
+    ///
+    /// Batching preserves per-owner ordering and at-most-once execution,
+    /// but a batched operation's *exception* only surfaces at the flush
+    /// point rather than at the call site. Classes whose void methods are
+    /// used for control flow via exceptions should stay unbatched; the
+    /// default is off.
+    fn batched(&self, _class: &str) -> bool {
+        false
+    }
 }
 
 /// Everything-local policy: instances at their creator, all singletons on
@@ -141,11 +156,13 @@ pub struct StaticPolicy {
     default_placement: Placement,
     default_cache: bool,
     default_replicate: u32,
+    default_batch: bool,
     instance_rules: HashMap<String, Placement>,
     statics_rules: HashMap<String, NodeId>,
     protocol_rules: HashMap<String, String>,
     cache_rules: HashMap<String, bool>,
     replicate_rules: HashMap<String, u32>,
+    batch_rules: HashMap<String, bool>,
 }
 
 impl Default for StaticPolicy {
@@ -156,11 +173,13 @@ impl Default for StaticPolicy {
             default_placement: Placement::Creator,
             default_cache: false,
             default_replicate: 0,
+            default_batch: false,
             instance_rules: HashMap::new(),
             statics_rules: HashMap::new(),
             protocol_rules: HashMap::new(),
             cache_rules: HashMap::new(),
             replicate_rules: HashMap::new(),
+            batch_rules: HashMap::new(),
         }
     }
 }
@@ -250,6 +269,18 @@ impl StaticPolicy {
         self
     }
 
+    /// Set the default outcall-batching switch (off unless overridden).
+    pub fn default_batch(mut self, on: bool) -> Self {
+        self.default_batch = on;
+        self
+    }
+
+    /// Allow (or forbid) batching deferrable outcalls on `class`.
+    pub fn batch(mut self, class: &str, on: bool) -> Self {
+        self.batch_rules.insert(class.to_owned(), on);
+        self
+    }
+
     /// Parse the policy text format:
     ///
     /// ```text
@@ -259,11 +290,13 @@ impl StaticPolicy {
     /// default place creator|node<N>
     /// default cache on|off
     /// default replicate <K>
+    /// default batch on|off
     /// class <Name> place creator|node<N>
     /// class <Name> statics node<N>
     /// class <Name> protocol RMI|SOAP|CORBA
     /// class <Name> cache on|off
     /// class <Name> replicate <K>
+    /// class <Name> batch on|off
     /// ```
     ///
     /// # Errors
@@ -296,6 +329,9 @@ impl StaticPolicy {
                     policy.default_replicate =
                         k.parse().map_err(|_| err("bad replication factor"))?;
                 }
+                ["default", "batch", w] => {
+                    policy.default_batch = parse_switch(w).ok_or_else(|| err("bad switch"))?;
+                }
                 ["class", name, "place", w] => {
                     let p = parse_placement(w).ok_or_else(|| err("bad placement"))?;
                     policy.instance_rules.insert((*name).to_owned(), p);
@@ -316,6 +352,10 @@ impl StaticPolicy {
                 ["class", name, "replicate", k] => {
                     let k = k.parse().map_err(|_| err("bad replication factor"))?;
                     policy.replicate_rules.insert((*name).to_owned(), k);
+                }
+                ["class", name, "batch", w] => {
+                    let on = parse_switch(w).ok_or_else(|| err("bad switch"))?;
+                    policy.batch_rules.insert((*name).to_owned(), on);
                 }
                 _ => return Err(err("unrecognised directive")),
             }
@@ -345,6 +385,9 @@ impl StaticPolicy {
         if self.default_replicate > 0 {
             let _ = writeln!(out, "default replicate {}", self.default_replicate);
         }
+        if self.default_batch {
+            out.push_str("default batch on\n");
+        }
         let mut rules: Vec<String> = Vec::new();
         for (class, placement) in &self.instance_rules {
             rules.push(match placement {
@@ -366,6 +409,12 @@ impl StaticPolicy {
         }
         for (class, k) in &self.replicate_rules {
             rules.push(format!("class {class} replicate {k}"));
+        }
+        for (class, &on) in &self.batch_rules {
+            rules.push(format!(
+                "class {class} batch {}",
+                if on { "on" } else { "off" }
+            ));
         }
         rules.sort();
         for r in rules {
@@ -435,6 +484,13 @@ impl DistributionPolicy for StaticPolicy {
             .get(class)
             .copied()
             .unwrap_or(self.default_replicate)
+    }
+
+    fn batched(&self, class: &str) -> bool {
+        self.batch_rules
+            .get(class)
+            .copied()
+            .unwrap_or(self.default_batch)
     }
 }
 
@@ -666,6 +722,47 @@ mod tests {
         for class in ["A", "B", "Unlisted"] {
             assert_eq!(p.replicas(class), q.replicas(class));
         }
+    }
+
+    #[test]
+    fn batch_rules_parse_and_default_off() {
+        let p = StaticPolicy::parse(
+            "default batch on\n\
+             class Chatty batch on\n\
+             class Sync batch off\n",
+        )
+        .unwrap();
+        assert!(p.batched("Chatty"));
+        assert!(!p.batched("Sync"));
+        assert!(p.batched("Unlisted"), "default batch on applies");
+
+        let q = StaticPolicy::new().batch("Chatty", true);
+        assert!(q.batched("Chatty"));
+        assert!(!q.batched("Unlisted"), "batching is opt-in");
+        assert!(
+            !LocalPolicy::default().batched("Chatty"),
+            "trait default is off"
+        );
+
+        let err = StaticPolicy::parse("class A batch sometimes\n").unwrap_err();
+        assert_eq!(err.message, "bad switch");
+    }
+
+    #[test]
+    fn batch_rules_survive_to_text_roundtrip() {
+        let p = StaticPolicy::new()
+            .default_batch(true)
+            .batch("A", false)
+            .batch("B", true);
+        let text = p.to_text();
+        assert!(text.contains("default batch on"), "{text}");
+        assert!(text.contains("class A batch off"), "{text}");
+        let q = StaticPolicy::parse(&text).unwrap();
+        for class in ["A", "B", "Unlisted"] {
+            assert_eq!(p.batched(class), q.batched(class));
+        }
+        let plain = StaticPolicy::new().to_text();
+        assert!(!plain.contains("batch"), "default-off policy omits batch");
     }
 
     #[test]

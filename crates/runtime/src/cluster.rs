@@ -3,8 +3,8 @@
 
 use crate::error::RuntimeError;
 use crate::marshal;
-use rafda_classmodel::{ClassId, ClassUniverse, SigId};
-use rafda_net::{NetError, Network, NodeId};
+use rafda_classmodel::{ClassId, ClassUniverse, SigId, Ty};
+use rafda_net::{NetError, Network, NodeId, SimTime};
 use rafda_policy::{AffinityConfig, DistributionPolicy};
 use rafda_telemetry::{SpanLog, SpanOutcome, TraceContext};
 use rafda_transform::TransformPlan;
@@ -79,9 +79,14 @@ pub(crate) struct NodeState {
     /// by embedding Rust code).
     pins: std::collections::HashSet<Handle>,
     /// At-most-once reply cache: replies already sent, keyed by
-    /// `(caller node, message id)`. A retransmitted request is answered
-    /// from here instead of re-running the method.
-    reply_cache: HashMap<(u32, u64), Reply>,
+    /// `(caller node, message id)`, each paired with the addressed export's
+    /// property version **at serve time**. A retransmitted request is
+    /// answered from here instead of re-running the method, and it replays
+    /// the stored version too: the reply describes the state the method ran
+    /// against, and recomputing the version at retransmit time would let a
+    /// dedup hit validate a cache entry against state the original
+    /// execution never saw.
+    reply_cache: HashMap<(u32, u64), (Reply, u64)>,
     /// Insertion order of `reply_cache` keys, for FIFO eviction.
     reply_cache_order: VecDeque<(u32, u64)>,
     /// Proxy-side property cache: values returned by remote `get_f` calls,
@@ -101,6 +106,13 @@ pub(crate) struct NodeState {
     /// state stays in wire form until a [`Request::Promote`] materialises
     /// it — a backup that never promotes costs no heap objects.
     replica_store: HashMap<(u32, u64), (u64, String, Vec<WireValue>)>,
+    /// The property version each local export last shipped to its backups.
+    /// [`sync_replicas`] skips the marshalling and the per-target exchanges
+    /// outright when the version has not moved since — repeated
+    /// `Discover`/`Create` serves of an unmutated object would otherwise
+    /// re-ship identical state. Cleared cluster-wide on every restart so a
+    /// rejoining backup is re-seeded at the owner's next sync.
+    synced_versions: HashMap<u64, u64>,
 }
 
 /// Client-side fault tolerance for one request/reply exchange.
@@ -204,6 +216,13 @@ pub struct RuntimeStats {
     /// Client-side failovers: calls re-homed from a crashed owner to a
     /// (promoted) replica and retried successfully.
     pub failovers: u64,
+    /// Operations deferred onto a per-`(caller, owner)` outcall queue
+    /// instead of being sent as their own exchange (void calls on batched
+    /// classes, plus replica shipments of batched classes).
+    pub batched_ops: u64,
+    /// Outcall queues drained: each flush ships one queue as a single
+    /// [`Request::Batch`] exchange at a synchronization point.
+    pub flushes: u64,
     /// Histogram of attempts used per finished exchange: bucket `i` counts
     /// exchanges that took `i + 1` attempts (the last bucket saturates).
     pub attempts: [u64; 8],
@@ -244,7 +263,8 @@ impl fmt::Display for RuntimeStats {
             "{} rpc exchanges (mean {:.2} attempts), {} retries, \
              {} retransmits, {} dedup hits, {} net failures, {} faults, \
              property cache {} hits / {} misses / {} invalidations, \
-             {} replica syncs / {} promotions / {} failovers",
+             {} replica syncs / {} promotions / {} failovers, \
+             {} batched ops / {} flushes",
             self.exchanges(),
             self.mean_attempts(),
             self.retries,
@@ -257,7 +277,9 @@ impl fmt::Display for RuntimeStats {
             self.cache_invalidations,
             self.replica_syncs,
             self.promotions,
-            self.failovers
+            self.failovers,
+            self.batched_ops,
+            self.flushes
         )
     }
 }
@@ -373,6 +395,14 @@ pub(crate) struct Shared {
     /// A failover span chains to it via `retry_of`, linking the re-homed
     /// call to the exchange against the crashed owner it retries.
     pub last_exchange_span: Cell<u64>,
+    /// Per-`(caller node, owner node)` outcall queues of deferred
+    /// operations (batched remote invocation). Drained by
+    /// [`flush_outqueues`] at every synchronization point; permanently
+    /// empty unless the policy batches some class.
+    pub outqueues: RefCell<HashMap<(u32, u32), PendingBatch>>,
+    /// Re-entrancy guard for [`flush_outqueues`]: the flush itself performs
+    /// top-level exchanges, which are synchronization points of their own.
+    pub in_flush: Cell<bool>,
 }
 
 /// A simulated cluster running one transformed application.
@@ -472,6 +502,8 @@ impl Cluster {
             versions: RefCell::new(HashMap::new()),
             homes: RefCell::new(HashMap::new()),
             last_exchange_span: Cell::new(0),
+            outqueues: RefCell::new(HashMap::new()),
+            in_flush: Cell::new(false),
         });
         let cluster = Cluster { shared };
         cluster.install_hooks();
@@ -779,7 +811,17 @@ impl Cluster {
     /// events (the comparison format of the equivalence experiments).
     pub fn run_observed(&self, node: NodeId, class: &str, method: &str, args: Vec<Value>) -> Trace {
         *self.shared.trace.borrow_mut() = Trace::new();
-        let result = self.call_static(node, class, method, args);
+        // The end of the run is a synchronization point: operations still
+        // deferred on an outcall queue are applied before the trace is
+        // compared, exactly as a single-address-space run would have
+        // applied them inline.
+        let result =
+            self.call_static(node, class, method, args).and_then(|v| {
+                match flush_outqueues(&self.shared) {
+                    Ok(()) => Ok(v),
+                    Err(e) => Err(RuntimeError::from(e)),
+                }
+            });
         match result {
             Ok(_) => {}
             Err(RuntimeError::Vm(VmError::Exception(h))) => {
@@ -872,6 +914,11 @@ impl Cluster {
         if from == to {
             return Err(RuntimeError::Bad("migration to the same node".into()));
         }
+        // A migration is a synchronization point, and it must flush *before*
+        // the state snapshot below: a deferred call still queued against
+        // this object has to land while the object is at its old home, or
+        // the shipped state would miss it.
+        flush_outqueues(shared).map_err(RuntimeError::from)?;
         let vm = &shared.vms[from.0 as usize];
         let (class, fields) = vm
             .read_object(object)
@@ -979,6 +1026,9 @@ impl Cluster {
 
     fn pull_inner(&self, node: NodeId, proxy: Handle) -> Result<MigrationEvent, RuntimeError> {
         let shared = &self.shared;
+        // Synchronization point, before the owner snapshots state for the
+        // fetch (see [`Cluster::migrate`] for why the order matters).
+        flush_outqueues(shared).map_err(RuntimeError::from)?;
         let vm = &shared.vms[node.0 as usize];
         let class = vm
             .class_of(proxy)
@@ -1056,6 +1106,10 @@ impl Cluster {
     /// is migrated to that node. Returns the boundary changes made.
     pub fn adapt(&self, config: &AffinityConfig) -> Vec<MigrationEvent> {
         let shared = &self.shared;
+        // An adaptation tick is a synchronization point: deferred calls are
+        // traffic too, and must land (and be counted) before affinity is
+        // judged. Flush failures surface at the callers' next sync point.
+        let _ = flush_outqueues(shared);
         // Snapshot candidates without holding the borrow across migrations.
         let mut candidates: Vec<(NodeId, u64, Handle, NodeId)> = Vec::new();
         {
@@ -1175,6 +1229,12 @@ impl Cluster {
     /// Calls in flight are unaffected: the runtime is synchronous, so the
     /// crash takes effect between top-level operations, never mid-exchange.
     pub fn crash(&self, node: NodeId) {
+        // A crash is a synchronization point: operations already deferred
+        // are flushed while every party is still up, so "the owner
+        // acknowledged it" keeps meaning "a replica has it". Ops deferred
+        // *after* this point fail at their own flush, like any other call
+        // to a crashed node.
+        let _ = flush_outqueues(&self.shared);
         self.shared.net.fault_plan(|f| f.crash(node));
     }
 
@@ -1186,12 +1246,41 @@ impl Cluster {
     /// object. The node rejoins as a replication target at the owner's next
     /// sync.
     pub fn restart(&self, node: NodeId) {
+        // Synchronization point, as for [`Cluster::crash`].
+        let _ = flush_outqueues(&self.shared);
         self.shared.net.fault_plan(|f| f.recover(node));
         let mut nodes = self.shared.nodes.borrow_mut();
+        // The rejoining node holds no backups any more: every owner must
+        // re-seed it at its next sync, even if the shipped version has not
+        // moved since the last one.
+        for state in nodes.iter_mut() {
+            state.synced_versions.clear();
+        }
         let state = &mut nodes[node.0 as usize];
         let next_oid = state.next_oid;
         *state = NodeState::default();
         state.next_oid = next_oid;
+    }
+
+    /// Drain every pending batched outcall queue now — an explicit
+    /// synchronization point. A no-op unless the policy marks some class
+    /// `batch on` and deferrable operations are actually pending.
+    ///
+    /// # Errors
+    /// The first failure any flushed batch hit: a network failure shipping
+    /// a queue, a server-side fault, or an exception a deferred operation
+    /// threw when it finally ran (re-thrown here, at the synchronization
+    /// point).
+    pub fn flush(&self) -> Result<(), RuntimeError> {
+        flush_outqueues(&self.shared).map_err(RuntimeError::from)
+    }
+
+    /// Read the simulated clock. Reading the time is a synchronization
+    /// point: pending batches are flushed first, so the reading covers the
+    /// cost of every operation issued before it.
+    pub fn now(&self) -> SimTime {
+        let _ = flush_outqueues(&self.shared);
+        self.shared.net.now()
     }
 }
 
@@ -1367,6 +1456,18 @@ pub(crate) fn sync_replicas(shared: &Shared, owner: NodeId, oid: u64) {
     if k == 0 {
         return;
     }
+    // Skip the no-op sync outright: if the version has not moved since the
+    // last shipment, the backups already hold exactly this state, and
+    // marshalling plus k exchanges would buy nothing. Repeated `Discover`
+    // and `Create` serves of an unmutated singleton hit this constantly.
+    let version = version_of(shared, owner.0, oid);
+    if shared.nodes.borrow()[owner.0 as usize]
+        .synced_versions
+        .get(&oid)
+        == Some(&version)
+    {
+        return;
+    }
     let Some((_, fields)) = vm.read_object(h) else {
         return;
     };
@@ -1378,8 +1479,8 @@ pub(crate) fn sync_replicas(shared: &Shared, owner: NodeId, oid: u64) {
         }
     }
     let class_name = shared.universe.class(class).name.clone();
-    let version = version_of(shared, owner.0, oid);
     let proto = shared.policy.protocol(&base_name);
+    let batched = shared.policy.batched(&base_name);
     for t in replica_targets(k, owner.0, shared.vms.len() as u32) {
         if shared.net.fault_plan(|f| f.is_crashed(NodeId(t))) {
             continue;
@@ -1392,8 +1493,18 @@ pub(crate) fn sync_replicas(shared: &Shared, owner: NodeId, oid: u64) {
                 fields: wire_fields.clone(),
             },
         };
-        let _ = rpc(shared, owner, NodeId(t), &proto, &base_name, &req);
+        if batched {
+            // Replica shipments of a batched class are deferrable: they
+            // ride the owner's outcall queue to each backup and land at the
+            // next synchronization point.
+            enqueue_outcall(shared, owner, NodeId(t), &proto, &base_name, req);
+        } else {
+            let _ = rpc(shared, owner, NodeId(t), &proto, &base_name, &req);
+        }
     }
+    shared.nodes.borrow_mut()[owner.0 as usize]
+        .synced_versions
+        .insert(oid, version);
 }
 
 /// Allocate an object of `class` with JVM-default field values.
@@ -1443,6 +1554,7 @@ pub(crate) fn make_value(shared: &Shared, node: NodeId, base: ClassId) -> Result
             Reply::Value(wv) => marshal::wire_to_value(shared, node, &wv).map_err(VmError::Native),
             Reply::Fault(m) => Err(VmError::Native(m)),
             Reply::Exception { .. } => Err(VmError::Native("exception during create".into())),
+            Reply::Batch(_) => Err(VmError::Native("unexpected batch reply to create".into())),
         }
     }
 }
@@ -1496,6 +1608,9 @@ pub(crate) fn discover_value(
             Reply::Fault(m) => return Err(VmError::Native(m)),
             Reply::Exception { .. } => {
                 return Err(VmError::Native("exception during discover".into()))
+            }
+            Reply::Batch(_) => {
+                return Err(VmError::Native("unexpected batch reply to discover".into()))
             }
         };
         if let Value::Ref(h) = value {
@@ -1586,6 +1701,53 @@ fn proxy_call(
             None => shared.stats.borrow_mut().cache_misses += 1,
         }
     }
+    // Batched remote invocation: a void-returning call on a `batch on`
+    // class has no result to wait for, so it is deferred onto the
+    // `(caller, owner)` outcall queue instead of paying a full exchange.
+    // It ships as part of a single [`Request::Batch`] frame at the next
+    // synchronization point — and every value-returning call to any owner
+    // *is* one, so a later read always observes the deferred writes.
+    // Deferral is decided against the proxy class's own method table (the
+    // generated setters only exist there, not on the base class;
+    // signatures are interned globally, so the ids agree).
+    if shared.policy.batched(&base_name) {
+        let is_void = shared
+            .universe
+            .class(class)
+            .methods
+            .iter()
+            .find(|m| m.sig == sig)
+            .is_some_and(|m| m.ret == Ty::Void);
+        if is_void {
+            // Read-your-writes: this node's cached property reads of the
+            // object no longer reflect the queue, and the version tag
+            // cannot catch that (the owner has not served the write yet).
+            // Drop them; the next read goes remote, which flushes first.
+            {
+                let mut nodes = shared.nodes.borrow_mut();
+                let state = &mut nodes[node.0 as usize];
+                state
+                    .prop_cache
+                    .retain(|&(t, o, _), _| !(t == target && o == oid));
+                state
+                    .prop_cache_order
+                    .retain(|&(t, o, _)| !(t == target && o == oid));
+            }
+            enqueue_outcall(
+                shared,
+                node,
+                NodeId(target),
+                &proto,
+                &base_name,
+                Request::Call {
+                    object: oid,
+                    method,
+                    args: wire_args,
+                },
+            );
+            return Ok(Value::Null);
+        }
+    }
     let mut req = Request::Call {
         object: oid,
         method: method.clone(),
@@ -1659,6 +1821,7 @@ fn proxy_call(
             Err(VmError::Exception(h))
         }
         Reply::Fault(m) => Err(VmError::Native(m)),
+        Reply::Batch(_) => Err(VmError::Native("unexpected batch reply to a call".into())),
     }
 }
 
@@ -1787,6 +1950,154 @@ fn locate_home(
     None
 }
 
+// ----------------------------------------------------------------------
+// Batched remote invocation
+// ----------------------------------------------------------------------
+
+/// Operations deferred toward one owner by one caller, flushed as a single
+/// [`Request::Batch`] exchange at the next synchronization point. The
+/// protocol and class recorded at first enqueue label the flush exchange
+/// (all ops on one queue use the owner's protocol anyway).
+#[derive(Debug)]
+pub(crate) struct PendingBatch {
+    proto: String,
+    class: String,
+    ops: Vec<Request>,
+}
+
+/// Defer `op` onto the `(from, to)` outcall queue instead of performing an
+/// exchange now.
+fn enqueue_outcall(
+    shared: &Shared,
+    from: NodeId,
+    to: NodeId,
+    proto: &str,
+    class: &str,
+    op: Request,
+) {
+    let mut queues = shared.outqueues.borrow_mut();
+    let pending = queues
+        .entry((from.0, to.0))
+        .or_insert_with(|| PendingBatch {
+            proto: proto.to_owned(),
+            class: class.to_owned(),
+            ops: Vec::new(),
+        });
+    // Replica shipments supersede each other: only the newest state of an
+    // export needs to travel, so a queued sync of the same object is
+    // replaced in place (keeping its slot preserves the order of the other
+    // queued operations).
+    let sync_of = match &op {
+        Request::ReplicaSync { object, .. } => Some(*object),
+        _ => None,
+    };
+    if let Some(target_oid) = sync_of {
+        if let Some(slot) = pending
+            .ops
+            .iter_mut()
+            .find(|q| matches!(**q, Request::ReplicaSync { object, .. } if object == target_oid))
+        {
+            *slot = op;
+            shared.stats.borrow_mut().batched_ops += 1;
+            return;
+        }
+    }
+    pending.ops.push(op);
+    shared.stats.borrow_mut().batched_ops += 1;
+}
+
+/// Drain every pending outcall queue, shipping each as one
+/// [`Request::Batch`] exchange. Called at every synchronization point: any
+/// top-level exchange, fetch/migrate/pull, an adaptation tick,
+/// crash/restart, a clock read, and [`Cluster::flush`].
+///
+/// Serving a batch can enqueue follow-up operations (replica shipments of
+/// the applied calls, ops re-deferred through a forwarding proxy), so the
+/// drain loops until quiescent; queues go out in sorted key order so runs
+/// stay deterministic. After the first failure the remaining queues still
+/// drain — their operations must not be silently lost — and the first
+/// error is reported.
+///
+/// With batching off the queues are permanently empty and this returns
+/// after one emptiness check, leaving clocks, traces and telemetry
+/// byte-identical to a runtime without batching.
+pub(crate) fn flush_outqueues(shared: &Shared) -> Result<(), VmError> {
+    if shared.in_flush.get() || shared.outqueues.borrow().is_empty() {
+        return Ok(());
+    }
+    shared.in_flush.set(true);
+    let mut first_err = None;
+    loop {
+        let mut keys: Vec<(u32, u32)> = shared.outqueues.borrow().keys().copied().collect();
+        if keys.is_empty() {
+            break;
+        }
+        keys.sort_unstable();
+        for key in keys {
+            let Some(pending) = shared.outqueues.borrow_mut().remove(&key) else {
+                continue;
+            };
+            shared.stats.borrow_mut().flushes += 1;
+            let (from, to) = (NodeId(key.0), NodeId(key.1));
+            let outcome = rpc(
+                shared,
+                from,
+                to,
+                &pending.proto,
+                &pending.class,
+                &Request::Batch(pending.ops),
+            );
+            if first_err.is_none() {
+                first_err = flush_error(shared, from, outcome);
+            }
+        }
+    }
+    shared.in_flush.set(false);
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Surface the outcome of one flushed batch at the synchronization point
+/// that triggered it: network failures and faults propagate as-is, and a
+/// deferred operation that threw when it finally ran re-materialises its
+/// exception on the flushing node.
+fn flush_error(
+    shared: &Shared,
+    from: NodeId,
+    outcome: Result<(Reply, u64), VmError>,
+) -> Option<VmError> {
+    let results = match outcome {
+        Err(e) => return Some(e),
+        Ok((Reply::Batch(results), _)) => results,
+        Ok((Reply::Fault(m), _)) => return Some(VmError::Native(m)),
+        Ok(_) => return None,
+    };
+    for (_, r) in results {
+        match r {
+            Reply::Value(_) => {}
+            Reply::Exception { class, fields } => {
+                let Some(exc_class) = shared.universe.by_name(&class) else {
+                    return Some(VmError::Native(format!("unknown exception class {class}")));
+                };
+                let mut values = Vec::with_capacity(fields.len());
+                for f in &fields {
+                    match marshal::wire_to_value(shared, from, f) {
+                        Ok(v) => values.push(v),
+                        Err(m) => return Some(VmError::Native(m)),
+                    }
+                }
+                let h = shared.vms[from.0 as usize].alloc_raw(exc_class, values);
+                return Some(VmError::Exception(h));
+            }
+            Reply::Fault(m) => return Some(VmError::Native(m)),
+            Reply::Batch(_) => return Some(VmError::Native("nested batch reply".into())),
+        }
+    }
+    None
+}
+
 /// Perform one request/reply exchange, running the full encode → transmit →
 /// decode → handle → encode → transmit → decode pipeline and charging the
 /// protocol-stack overhead to the simulated clock.
@@ -1802,6 +2113,18 @@ pub(crate) fn rpc(
     class: &str,
     req: &Request,
 ) -> Result<(Reply, u64), VmError> {
+    // Every exchange is a synchronization point: pending batches drain
+    // before this request goes out, so its server observes every operation
+    // deferred before it in program order. This must hold at *any* rpc
+    // depth — application code usually runs inside a serve already (the
+    // driver's `main` is itself a remote call), so gating on depth 0 would
+    // let nested value-returning calls read state whose mutations are still
+    // queued. Re-entrancy is safe: `flush_outqueues` is a no-op while a
+    // flush is already draining (`in_flush`), and the paths that snapshot
+    // object state (migrate, pull, replica sync of batched classes) flush
+    // or enqueue explicitly before snapshotting. With batching off the
+    // queues are permanently empty and this is a single emptiness check.
+    flush_outqueues(shared)?;
     let codec = shared
         .protocols
         .get(proto)
@@ -1828,6 +2151,7 @@ fn req_span_name(req: &Request) -> (&'static str, &'static str) {
         Request::Forward { .. } => ("rpc.forward", "serve.forward"),
         Request::ReplicaSync { .. } => ("rpc.replica", "serve.replica"),
         Request::Promote { .. } => ("rpc.promote", "serve.promote"),
+        Request::Batch(..) => ("rpc.batch", "serve.batch"),
     }
 }
 
@@ -1843,6 +2167,7 @@ fn req_method_label(req: &Request) -> String {
         Request::Forward { .. } => "<forward>".to_owned(),
         Request::ReplicaSync { .. } => "<replica>".to_owned(),
         Request::Promote { .. } => "<promote>".to_owned(),
+        Request::Batch(..) => "<batch>".to_owned(),
     }
 }
 
@@ -1883,6 +2208,9 @@ fn rpc_inner(
         spans.set_attr(h, "protocol", codec.name());
         spans.set_attr(h, "from", from.0);
         spans.set_attr(h, "to", to.0);
+        if let Request::Batch(ops) = req {
+            spans.set_attr(h, "n_ops", ops.len());
+        }
         let ctx = spans.context_of(h);
         (h, ctx)
     };
@@ -1921,10 +2249,7 @@ fn rpc_inner(
             Ok((reply, obj_version)) => {
                 let end = shared.net.now().as_ns();
                 shared.stats.borrow_mut().record_attempts(attempt);
-                let outcome = match &reply {
-                    Reply::Value(_) => SpanOutcome::Ok,
-                    Reply::Exception { .. } | Reply::Fault(_) => SpanOutcome::Fault,
-                };
+                let outcome = reply_outcome(&reply);
                 let mut spans = shared.spans.borrow_mut();
                 spans.end_span(att, end, SpanOutcome::Ok);
                 spans.record_link(from.0, to.0, end.saturating_sub(attempt_start));
@@ -2016,6 +2341,9 @@ fn serve_request(
         let mut spans = shared.spans.borrow_mut();
         let h = spans.start_server_span(serve_name, node.0, shared.net.now().as_ns(), ctx);
         spans.set_attr(h, "caller", caller.0);
+        if let Request::Batch(ops) = &req {
+            spans.set_attr(h, "n_ops", ops.len());
+        }
         let reply_ctx = spans.context_of(h);
         (h, reply_ctx)
     };
@@ -2032,19 +2360,28 @@ fn serve_request(
         .reply_cache
         .get(&key)
         .cloned();
-    if let Some(reply) = cached {
+    if let Some((reply, obj_version)) = cached {
+        // A dedup hit replays the *stored* version, not the current one:
+        // the object may have moved on since the original serve, and a
+        // reply tagged with the newer version would let the client cache
+        // the old value as if it were fresh — serving a stale read until
+        // the next mutation.
         shared.stats.borrow_mut().dedup_hits += 1;
         let mut spans = shared.spans.borrow_mut();
         spans.set_attr(span, "cached", true);
         spans.end_span(span, shared.net.now().as_ns(), reply_outcome(&reply));
-        let obj_version = version_now(shared);
         return (reply, reply_ctx, obj_version);
     }
     let reply = handle_request(shared, node, caller, req);
+    let obj_version = version_now(shared);
     {
         let mut nodes = shared.nodes.borrow_mut();
         let state = &mut nodes[node.0 as usize];
-        if state.reply_cache.insert(key, reply.clone()).is_none() {
+        if state
+            .reply_cache
+            .insert(key, (reply.clone(), obj_version))
+            .is_none()
+        {
             state.reply_cache_order.push_back(key);
             while state.reply_cache_order.len() > REPLY_CACHE_CAP {
                 if let Some(old) = state.reply_cache_order.pop_front() {
@@ -2057,15 +2394,22 @@ fn serve_request(
         .spans
         .borrow_mut()
         .end_span(span, shared.net.now().as_ns(), reply_outcome(&reply));
-    let obj_version = version_now(shared);
     (reply, reply_ctx, obj_version)
 }
 
-/// Span outcome of a served reply.
+/// Span outcome of a served reply. A batch is `Ok` only if every batched
+/// operation succeeded.
 fn reply_outcome(reply: &Reply) -> SpanOutcome {
     match reply {
         Reply::Value(_) => SpanOutcome::Ok,
         Reply::Exception { .. } | Reply::Fault(_) => SpanOutcome::Fault,
+        Reply::Batch(results) => {
+            if results.iter().any(|(_, r)| !matches!(r, Reply::Value(_))) {
+                SpanOutcome::Fault
+            } else {
+                SpanOutcome::Ok
+            }
+        }
     }
 }
 
@@ -2365,6 +2709,24 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
                 class,
             })
         }
+        Request::Batch(ops) => {
+            // Apply in order under the enclosing message id: the batch was
+            // encoded once and is retransmitted verbatim, so at-most-once
+            // holds for the whole frame, and each operation's sub-reply is
+            // paired with the addressed export's version right after it ran
+            // (a later op in the same batch may move it again).
+            let mut results = Vec::with_capacity(ops.len());
+            for op in ops {
+                let versioned_oid = match &op {
+                    Request::Call { object, .. } | Request::Fetch { object } => Some(*object),
+                    _ => None,
+                };
+                let reply = handle_request(shared, node, caller, op);
+                let version = versioned_oid.map_or(0, |oid| version_of(shared, node.0, oid));
+                results.push((version, reply));
+            }
+            Reply::Batch(results)
+        }
     }
 }
 
@@ -2396,4 +2758,143 @@ fn parse_method(method: &str) -> Option<SigId> {
 /// Mark that a class is any generated implementation or proxy.
 pub(crate) fn gen_info(shared: &Shared, class: ClassId) -> Option<&GenInfo> {
     shared.gen_info.get(&class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rafda_classmodel::builder::{ClassBuilder, MethodBuilder};
+    use rafda_classmodel::{ClassKind, Field};
+    use rafda_policy::{Placement, StaticPolicy};
+    use rafda_transform::Transformer;
+
+    /// A cluster of two nodes running `class C { int v; int add(int d) }`
+    /// with all instances placed (remotely) on node 1.
+    fn deployed(policy: StaticPolicy) -> (Cluster, ClassId) {
+        let mut u = ClassUniverse::new();
+        let c = u.declare("C", ClassKind::Class);
+        {
+            let mut cb = ClassBuilder::new(&u, c);
+            let v = cb.field(Field::new("v", Ty::Int));
+            let mut mb = MethodBuilder::new(1);
+            mb.ret();
+            cb.ctor(&mut u, vec![], Some(mb.finish()));
+            let mut mb = MethodBuilder::new(2);
+            mb.load_this();
+            mb.load_this().get_field(c, v);
+            mb.load_local(1).add();
+            mb.put_field(c, v);
+            mb.load_this().get_field(c, v).ret_value();
+            cb.method(&mut u, "add", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+            cb.finish(&mut u);
+        }
+        let outcome = Transformer::new().protocols(&["RMI"]).run(&mut u).unwrap();
+        let cluster = Cluster::new(u, outcome.plan, 2, 7, Box::new(policy));
+        (cluster, c)
+    }
+
+    /// Regression for the stale-version dedup bug: a dedup hit must replay
+    /// the object version stored **at serve time**, not recompute it at
+    /// retransmit time. The single-threaded simulation cannot interleave a
+    /// foreign mutation between a dropped reply and its retransmission from
+    /// the outside, so the scenario drives `serve_request` directly —
+    /// exactly what a lossy network would deliver to the server.
+    #[test]
+    fn dedup_hit_replays_the_serve_time_version() {
+        let policy = StaticPolicy::new()
+            .place("C", Placement::Node(NodeId(1)))
+            .cache("C", true);
+        let (cluster, base) = deployed(policy);
+        let obj = cluster.new_instance(NodeId(0), "C", 0, vec![]).unwrap();
+        let shared = cluster.shared();
+        let h = obj.as_ref_handle().unwrap();
+        let (owner, oid) = read_proxy_state(&shared.vms[0], h).unwrap();
+        assert_eq!(owner, 1, "policy must place the object remotely");
+        let get_sig = shared.plan.family(base).unwrap().getters[0];
+        let add_sig = shared
+            .universe
+            .class(base)
+            .methods
+            .iter()
+            .find(|m| m.name == "add")
+            .unwrap()
+            .sig;
+        let read = Request::Call {
+            object: oid,
+            method: format!("get_v@{}", get_sig.0),
+            args: vec![],
+        };
+        // Message 900: a cacheable read is served, but the reply is lost on
+        // the way back.
+        let (r1, _, v1) = serve_request(
+            shared,
+            NodeId(1),
+            NodeId(0),
+            900,
+            TraceContext::NONE,
+            read.clone(),
+        );
+        assert!(matches!(r1, Reply::Value(_)));
+        // Before the retransmission arrives, another mutation is served and
+        // bumps the object's version.
+        let (r2, _, _) = serve_request(
+            shared,
+            NodeId(1),
+            NodeId(0),
+            901,
+            TraceContext::NONE,
+            Request::Call {
+                object: oid,
+                method: format!("add@{}", add_sig.0),
+                args: vec![WireValue::Int(5)],
+            },
+        );
+        assert!(matches!(r2, Reply::Value(_)));
+        let current = version_of(shared, 1, oid);
+        assert!(current > v1, "the mutation must bump the version");
+        // The retransmission of 900 dedups. Its reply must carry v1: tagged
+        // with `current`, the client would cache the pre-mutation value as
+        // fresh and serve the stale read until the next mutation.
+        let (r3, _, v3) =
+            serve_request(shared, NodeId(1), NodeId(0), 900, TraceContext::NONE, read);
+        assert_eq!(r3, r1, "dedup must replay the original reply");
+        assert_eq!(cluster.stats().dedup_hits, 1);
+        assert_eq!(
+            v3, v1,
+            "dedup hit must replay the serve-time version, not the current one"
+        );
+        assert_ne!(v3, current);
+    }
+
+    /// Batched invocation basics, below the integration level: void calls
+    /// on a `batch on` class defer, queued replica shipments of the same
+    /// export coalesce, and a value-returning call flushes everything in
+    /// one exchange per queue.
+    #[test]
+    fn deferred_ops_flush_at_a_value_returning_call() {
+        let policy = StaticPolicy::new()
+            .place("C", Placement::Node(NodeId(1)))
+            .batch("C", true);
+        let (cluster, base) = deployed(policy);
+        let _ = base;
+        let obj = cluster.new_instance(NodeId(0), "C", 0, vec![]).unwrap();
+        // The generated setter returns void: deferred, not sent.
+        let r = cluster
+            .call_method(NodeId(0), obj.clone(), "set_v", vec![Value::Int(4)])
+            .unwrap();
+        assert_eq!(r, Value::Null);
+        assert_eq!(cluster.shared().outqueues.borrow().len(), 1);
+        let before = cluster.stats();
+        assert_eq!(before.batched_ops, 1);
+        assert_eq!(before.flushes, 0);
+        // A value-returning call is a synchronization point: the deferred
+        // setter lands first (in order), then the read runs.
+        let v = cluster
+            .call_method(NodeId(0), obj, "get_v", vec![])
+            .unwrap();
+        assert_eq!(v, Value::Int(4), "the flushed write must be visible");
+        let after = cluster.stats();
+        assert_eq!(after.flushes, 1);
+        assert!(cluster.shared().outqueues.borrow().is_empty());
+    }
 }

@@ -19,8 +19,11 @@ const MAGIC: &[u8] = b"GIOP";
 // Minor version 6 added the replica-sync and promote request bodies
 // (crash-stop failover); the header layout is unchanged, so minor-5 frames
 // still decode as before.
+// Minor version 7 added the batch request/reply bodies (batched remote
+// invocation); again the header layout is unchanged, so minor-6 frames
+// still decode as before.
 const MAJOR: u8 = 1;
-const MINOR: u8 = 6;
+const MINOR: u8 = 7;
 
 /// The CORBA-like protocol.
 #[derive(Debug, Clone, Copy, Default)]
@@ -185,6 +188,29 @@ mod tests {
         let (id, back_ctx, ver, reply) = codec.decode_reply(&rep5).unwrap();
         assert_eq!((id, back_ctx, ver), (11, ctx, 31));
         assert_eq!(reply, Reply::Value(WireValue::Long(-8)));
+    }
+
+    #[test]
+    fn minor_6_frames_decode_unchanged() {
+        // Minor 7 only added the batch bodies; the header layout is
+        // identical, so a minor-6 frame is a minor-7 frame with a different
+        // version byte. Pre-batching peers must keep parsing.
+        let ctx = TraceContext {
+            trace_id: 3,
+            span_id: 4,
+            parent_span_id: 2,
+        };
+        let codec = CorbaCodec::new();
+        let mut req6 = codec.encode_request(17, ctx, &Request::Promote { node: 1, object: 5 });
+        req6[5] = 6;
+        let (id, back_ctx, req) = codec.decode_request(&req6).unwrap();
+        assert_eq!((id, back_ctx), (17, ctx));
+        assert_eq!(req, Request::Promote { node: 1, object: 5 });
+        let mut rep6 = codec.encode_reply(17, ctx, 3, &Reply::Value(WireValue::Int(6)));
+        rep6[5] = 6;
+        let (id, back_ctx, ver, reply) = codec.decode_reply(&rep6).unwrap();
+        assert_eq!((id, back_ctx, ver), (17, ctx, 3));
+        assert_eq!(reply, Reply::Value(WireValue::Int(6)));
     }
 
     #[test]

@@ -154,6 +154,13 @@ pub enum Request {
         /// The export id the owner served the object under.
         object: u64,
     },
+    /// A coalesced sequence of deferrable requests — void-returning calls,
+    /// property sets and replica syncs queued by a caller whose policy
+    /// marks the target classes `batch on` — applied by the serving node
+    /// **in order** and answered with a single [`Reply::Batch`]. The whole
+    /// batch rides one message id, so a retransmission is deduplicated as a
+    /// unit and the operations are never re-applied.
+    Batch(Vec<Request>),
 }
 
 /// A reply to a [`Request`].
@@ -172,6 +179,12 @@ pub enum Reply {
     },
     /// An infrastructure failure (unknown object, marshalling error, …).
     Fault(String),
+    /// The per-operation outcomes of a [`Request::Batch`], in operation
+    /// order. Each entry pairs the served object's property version *after*
+    /// that operation executed (0 when the operation did not address a
+    /// versioned object) with the operation's own reply, so coherence
+    /// information for every batched operation rides the single frame.
+    Batch(Vec<(u64, Reply)>),
 }
 
 /// Decoding failure.
@@ -399,6 +412,27 @@ pub(crate) mod testdata {
             node: 2,
             object: u64::MAX,
         });
+        out.push(Request::Batch(vec![
+            Request::Call {
+                object: 5,
+                method: "set_y@3".into(),
+                args: vec![WireValue::Int(1)],
+            },
+            Request::Call {
+                object: 5,
+                method: "poke@4".into(),
+                args: vec![],
+            },
+            Request::ReplicaSync {
+                object: 12,
+                version: 4,
+                state: WireValue::ObjectState {
+                    class: "C_O_Local".into(),
+                    fields: vec![WireValue::Int(5)],
+                },
+            },
+        ]));
+        out.push(Request::Batch(vec![]));
         out
     }
 
@@ -409,6 +443,18 @@ pub(crate) mod testdata {
             fields: vec![WireValue::Int(3)],
         });
         out.push(Reply::Fault("unknown object 9".into()));
+        out.push(Reply::Batch(vec![
+            (7, Reply::Value(WireValue::Null)),
+            (
+                u64::MAX,
+                Reply::Exception {
+                    class: "AppError".into(),
+                    fields: vec![WireValue::Str("batched".into())],
+                },
+            ),
+            (0, Reply::Fault("unknown object 3".into())),
+        ]));
+        out.push(Reply::Batch(vec![]));
         out
     }
 

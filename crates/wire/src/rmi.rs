@@ -13,7 +13,10 @@ const MAGIC: &[u8] = b"JRMI";
 // Version 6 added the replica-sync and promote request tags (crash-stop
 // failover). The header layout is unchanged, so version-5 frames still
 // decode as before.
-const VERSION: u8 = 6;
+// Version 7 added the batch request/reply tags (batched remote
+// invocation). Again the header layout is unchanged, so version-6 frames
+// still decode as before.
+const VERSION: u8 = 7;
 
 pub(crate) fn write_ctx(w: &mut BinWriter, ctx: TraceContext) {
     w.u64(ctx.trace_id).u64(ctx.span_id).u64(ctx.parent_span_id);
@@ -48,11 +51,13 @@ const R_INSTALL: u8 = 4;
 const R_FORWARD: u8 = 5;
 const R_REPLICA: u8 = 6;
 const R_PROMOTE: u8 = 7;
+const R_BATCH: u8 = 8;
 
 // Reply tags.
 const P_VALUE: u8 = 0;
 const P_EXCEPTION: u8 = 1;
 const P_FAULT: u8 = 2;
+const P_BATCH: u8 = 3;
 
 pub(crate) fn write_value(w: &mut BinWriter, v: &WireValue) {
     match v {
@@ -194,6 +199,12 @@ pub(crate) fn write_request(w: &mut BinWriter, req: &Request) {
         Request::Promote { node, object } => {
             w.u8(R_PROMOTE).u32(*node).u64(*object);
         }
+        Request::Batch(ops) => {
+            w.u8(R_BATCH).u32(ops.len() as u32);
+            for op in ops {
+                write_request(w, op);
+            }
+        }
     }
 }
 
@@ -250,6 +261,14 @@ pub(crate) fn read_request(r: &mut BinReader<'_>) -> Result<Request, WireError> 
             node: r.u32()?,
             object: r.u64()?,
         },
+        R_BATCH => {
+            let n = r.u32()? as usize;
+            let mut ops = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                ops.push(read_request(r)?);
+            }
+            Request::Batch(ops)
+        }
         tag => return Err(WireError::new(format!("unknown request tag {tag}"))),
     })
 }
@@ -269,6 +288,13 @@ pub(crate) fn write_reply(w: &mut BinWriter, reply: &Reply) {
         Reply::Fault(msg) => {
             w.u8(P_FAULT).string(msg);
         }
+        Reply::Batch(ops) => {
+            w.u8(P_BATCH).u32(ops.len() as u32);
+            for (version, reply) in ops {
+                w.u64(*version);
+                write_reply(w, reply);
+            }
+        }
     }
 }
 
@@ -285,6 +311,15 @@ pub(crate) fn read_reply(r: &mut BinReader<'_>) -> Result<Reply, WireError> {
             Reply::Exception { class, fields }
         }
         P_FAULT => Reply::Fault(r.string()?),
+        P_BATCH => {
+            let n = r.u32()? as usize;
+            let mut ops = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                let version = r.u64()?;
+                ops.push((version, read_reply(r)?));
+            }
+            Reply::Batch(ops)
+        }
         tag => return Err(WireError::new(format!("unknown reply tag {tag}"))),
     })
 }
@@ -460,6 +495,30 @@ mod tests {
         let (id, back_ctx, ver, reply) = codec.decode_reply(&rep5).unwrap();
         assert_eq!((id, back_ctx, ver), (11, ctx, 9));
         assert_eq!(reply, Reply::Value(WireValue::Int(3)));
+    }
+
+    #[test]
+    fn version_6_frames_decode_unchanged() {
+        // Version 7 only added the batch tags; the header layout is
+        // identical, so a version-6 frame is byte-for-byte a version-7
+        // frame with a different version byte. Pre-batching peers must keep
+        // parsing.
+        let codec = RmiCodec::new();
+        let ctx = TraceContext {
+            trace_id: 3,
+            span_id: 4,
+            parent_span_id: 2,
+        };
+        let mut req6 = codec.encode_request(21, ctx, &Request::Promote { node: 1, object: 5 });
+        req6[4] = 6;
+        let (id, back_ctx, req) = codec.decode_request(&req6).unwrap();
+        assert_eq!((id, back_ctx), (21, ctx));
+        assert_eq!(req, Request::Promote { node: 1, object: 5 });
+        let mut rep6 = codec.encode_reply(21, ctx, 4, &Reply::Value(WireValue::Long(8)));
+        rep6[4] = 6;
+        let (id, back_ctx, ver, reply) = codec.decode_reply(&rep6).unwrap();
+        assert_eq!((id, back_ctx, ver), (21, ctx, 4));
+        assert_eq!(reply, Reply::Value(WireValue::Long(8)));
     }
 
     #[test]

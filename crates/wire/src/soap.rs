@@ -410,6 +410,200 @@ fn unwrap_envelope(xml: &str) -> Result<(u64, TraceContext, u64, Element), WireE
 }
 
 // ---------------------------------------------------------------------
+// Request / Reply <-> XML (body elements, recursive so batches can nest)
+// ---------------------------------------------------------------------
+
+fn write_request_elem(b: &mut String, req: &Request) {
+    match req {
+        Request::Call {
+            object,
+            method,
+            args,
+        } => {
+            let _ = write!(b, "<rafda:call object=\"{object}\" method=\"");
+            escape(method, b);
+            b.push_str("\">");
+            for a in args {
+                write_value(b, a);
+            }
+            b.push_str("</rafda:call>");
+        }
+        Request::Create { class, ctor, args } => {
+            b.push_str("<rafda:create class=\"");
+            escape(class, b);
+            let _ = write!(b, "\" ctor=\"{ctor}\">");
+            for a in args {
+                write_value(b, a);
+            }
+            b.push_str("</rafda:create>");
+        }
+        Request::Discover { class } => {
+            b.push_str("<rafda:discover class=\"");
+            escape(class, b);
+            b.push_str("\"/>");
+        }
+        Request::Fetch { object } => {
+            let _ = write!(b, "<rafda:fetch object=\"{object}\"/>");
+        }
+        Request::Install { state, source } => {
+            match source {
+                Some((n, o)) => {
+                    let _ = write!(b, "<rafda:install srcnode=\"{n}\" srcobject=\"{o}\">");
+                }
+                None => b.push_str("<rafda:install>"),
+            }
+            write_value(b, state);
+            b.push_str("</rafda:install>");
+        }
+        Request::Forward {
+            object,
+            to_node,
+            to_object,
+        } => {
+            let _ = write!(
+                b,
+                "<rafda:forward object=\"{object}\" tonode=\"{to_node}\" toobject=\"{to_object}\"/>"
+            );
+        }
+        Request::ReplicaSync {
+            object,
+            version,
+            state,
+        } => {
+            let _ = write!(
+                b,
+                "<rafda:replicasync object=\"{object}\" version=\"{version}\">"
+            );
+            write_value(b, state);
+            b.push_str("</rafda:replicasync>");
+        }
+        Request::Promote { node, object } => {
+            let _ = write!(b, "<rafda:promote node=\"{node}\" object=\"{object}\"/>");
+        }
+        Request::Batch(ops) => {
+            b.push_str("<rafda:batch>");
+            for op in ops {
+                write_request_elem(b, op);
+            }
+            b.push_str("</rafda:batch>");
+        }
+    }
+}
+
+fn read_request_elem(e: &Element) -> Result<Request, WireError> {
+    Ok(match e.name.as_str() {
+        "rafda:call" => Request::Call {
+            object: e.attr_parsed("object")?,
+            method: e.attr("method")?.to_owned(),
+            args: e.elems().map(read_value).collect::<Result<_, _>>()?,
+        },
+        "rafda:create" => Request::Create {
+            class: e.attr("class")?.to_owned(),
+            ctor: e.attr_parsed("ctor")?,
+            args: e.elems().map(read_value).collect::<Result<_, _>>()?,
+        },
+        "rafda:discover" => Request::Discover {
+            class: e.attr("class")?.to_owned(),
+        },
+        "rafda:fetch" => Request::Fetch {
+            object: e.attr_parsed("object")?,
+        },
+        "rafda:install" => {
+            let source = match (e.attr("srcnode"), e.attr("srcobject")) {
+                (Ok(n), Ok(o)) => Some((
+                    n.parse().map_err(|_| WireError::new("bad srcnode"))?,
+                    o.parse().map_err(|_| WireError::new("bad srcobject"))?,
+                )),
+                _ => None,
+            };
+            Request::Install {
+                state: read_value(e.first_elem()?)?,
+                source,
+            }
+        }
+        "rafda:forward" => Request::Forward {
+            object: e.attr_parsed("object")?,
+            to_node: e.attr_parsed("tonode")?,
+            to_object: e.attr_parsed("toobject")?,
+        },
+        "rafda:replicasync" => Request::ReplicaSync {
+            object: e.attr_parsed("object")?,
+            version: e.attr_parsed("version")?,
+            state: read_value(e.first_elem()?)?,
+        },
+        "rafda:promote" => Request::Promote {
+            node: e.attr_parsed("node")?,
+            object: e.attr_parsed("object")?,
+        },
+        "rafda:batch" => {
+            Request::Batch(e.elems().map(read_request_elem).collect::<Result<_, _>>()?)
+        }
+        name => return Err(WireError::new(format!("unknown request <{name}>"))),
+    })
+}
+
+fn write_reply_elem(b: &mut String, reply: &Reply) {
+    match reply {
+        Reply::Value(v) => {
+            b.push_str("<rafda:result>");
+            write_value(b, v);
+            b.push_str("</rafda:result>");
+        }
+        Reply::Exception { class, fields } => {
+            b.push_str("<rafda:exception class=\"");
+            escape(class, b);
+            b.push_str("\">");
+            for f in fields {
+                write_value(b, f);
+            }
+            b.push_str("</rafda:exception>");
+        }
+        Reply::Fault(msg) => {
+            b.push_str("<soap:Fault><faultstring>");
+            escape(msg, b);
+            b.push_str("</faultstring></soap:Fault>");
+        }
+        Reply::Batch(ops) => {
+            b.push_str("<rafda:batchresult>");
+            for (version, reply) in ops {
+                let _ = write!(b, "<rafda:op objver=\"{version}\">");
+                write_reply_elem(b, reply);
+                b.push_str("</rafda:op>");
+            }
+            b.push_str("</rafda:batchresult>");
+        }
+    }
+}
+
+fn read_reply_elem(e: &Element) -> Result<Reply, WireError> {
+    Ok(match e.name.as_str() {
+        "rafda:result" => Reply::Value(read_value(e.first_elem()?)?),
+        "rafda:exception" => Reply::Exception {
+            class: e.attr("class")?.to_owned(),
+            fields: e.elems().map(read_value).collect::<Result<_, _>>()?,
+        },
+        "soap:Fault" => Reply::Fault(e.child("faultstring")?.text()),
+        "rafda:batchresult" => {
+            let mut ops = Vec::new();
+            for op in e.elems() {
+                if op.name != "rafda:op" {
+                    return Err(WireError::new(format!(
+                        "expected <rafda:op>, got <{}>",
+                        op.name
+                    )));
+                }
+                ops.push((
+                    op.attr_parsed("objver")?,
+                    read_reply_elem(op.first_elem()?)?,
+                ));
+            }
+            Reply::Batch(ops)
+        }
+        name => return Err(WireError::new(format!("unknown reply <{name}>"))),
+    })
+}
+
+// ---------------------------------------------------------------------
 // The codec
 // ---------------------------------------------------------------------
 
@@ -431,167 +625,26 @@ impl Protocol for SoapCodec {
 
     fn encode_request(&self, id: u64, ctx: TraceContext, req: &Request) -> Vec<u8> {
         let mut b = String::new();
-        match req {
-            Request::Call {
-                object,
-                method,
-                args,
-            } => {
-                let _ = write!(b, "<rafda:call object=\"{object}\" method=\"");
-                escape(method, &mut b);
-                b.push_str("\">");
-                for a in args {
-                    write_value(&mut b, a);
-                }
-                b.push_str("</rafda:call>");
-            }
-            Request::Create { class, ctor, args } => {
-                b.push_str("<rafda:create class=\"");
-                escape(class, &mut b);
-                let _ = write!(b, "\" ctor=\"{ctor}\">");
-                for a in args {
-                    write_value(&mut b, a);
-                }
-                b.push_str("</rafda:create>");
-            }
-            Request::Discover { class } => {
-                b.push_str("<rafda:discover class=\"");
-                escape(class, &mut b);
-                b.push_str("\"/>");
-            }
-            Request::Fetch { object } => {
-                let _ = write!(b, "<rafda:fetch object=\"{object}\"/>");
-            }
-            Request::Install { state, source } => {
-                match source {
-                    Some((n, o)) => {
-                        let _ = write!(b, "<rafda:install srcnode=\"{n}\" srcobject=\"{o}\">");
-                    }
-                    None => b.push_str("<rafda:install>"),
-                }
-                write_value(&mut b, state);
-                b.push_str("</rafda:install>");
-            }
-            Request::Forward {
-                object,
-                to_node,
-                to_object,
-            } => {
-                let _ = write!(
-                    b,
-                    "<rafda:forward object=\"{object}\" tonode=\"{to_node}\" toobject=\"{to_object}\"/>"
-                );
-            }
-            Request::ReplicaSync {
-                object,
-                version,
-                state,
-            } => {
-                let _ = write!(
-                    b,
-                    "<rafda:replicasync object=\"{object}\" version=\"{version}\">"
-                );
-                write_value(&mut b, state);
-                b.push_str("</rafda:replicasync>");
-            }
-            Request::Promote { node, object } => {
-                let _ = write!(b, "<rafda:promote node=\"{node}\" object=\"{object}\"/>");
-            }
-        }
+        write_request_elem(&mut b, req);
         envelope(id, ctx, None, &b).into_bytes()
     }
 
     fn decode_request(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Request), WireError> {
         let xml = std::str::from_utf8(bytes).map_err(|_| WireError::new("invalid utf-8"))?;
         let (id, ctx, _, e) = unwrap_envelope(xml)?;
-        let req = match e.name.as_str() {
-            "rafda:call" => Request::Call {
-                object: e.attr_parsed("object")?,
-                method: e.attr("method")?.to_owned(),
-                args: e.elems().map(read_value).collect::<Result<_, _>>()?,
-            },
-            "rafda:create" => Request::Create {
-                class: e.attr("class")?.to_owned(),
-                ctor: e.attr_parsed("ctor")?,
-                args: e.elems().map(read_value).collect::<Result<_, _>>()?,
-            },
-            "rafda:discover" => Request::Discover {
-                class: e.attr("class")?.to_owned(),
-            },
-            "rafda:fetch" => Request::Fetch {
-                object: e.attr_parsed("object")?,
-            },
-            "rafda:install" => {
-                let source = match (e.attr("srcnode"), e.attr("srcobject")) {
-                    (Ok(n), Ok(o)) => Some((
-                        n.parse().map_err(|_| WireError::new("bad srcnode"))?,
-                        o.parse().map_err(|_| WireError::new("bad srcobject"))?,
-                    )),
-                    _ => None,
-                };
-                Request::Install {
-                    state: read_value(e.first_elem()?)?,
-                    source,
-                }
-            }
-            "rafda:forward" => Request::Forward {
-                object: e.attr_parsed("object")?,
-                to_node: e.attr_parsed("tonode")?,
-                to_object: e.attr_parsed("toobject")?,
-            },
-            "rafda:replicasync" => Request::ReplicaSync {
-                object: e.attr_parsed("object")?,
-                version: e.attr_parsed("version")?,
-                state: read_value(e.first_elem()?)?,
-            },
-            "rafda:promote" => Request::Promote {
-                node: e.attr_parsed("node")?,
-                object: e.attr_parsed("object")?,
-            },
-            name => return Err(WireError::new(format!("unknown request <{name}>"))),
-        };
-        Ok((id, ctx, req))
+        Ok((id, ctx, read_request_elem(&e)?))
     }
 
     fn encode_reply(&self, id: u64, ctx: TraceContext, obj_version: u64, reply: &Reply) -> Vec<u8> {
         let mut b = String::new();
-        match reply {
-            Reply::Value(v) => {
-                b.push_str("<rafda:result>");
-                write_value(&mut b, v);
-                b.push_str("</rafda:result>");
-            }
-            Reply::Exception { class, fields } => {
-                b.push_str("<rafda:exception class=\"");
-                escape(class, &mut b);
-                b.push_str("\">");
-                for f in fields {
-                    write_value(&mut b, f);
-                }
-                b.push_str("</rafda:exception>");
-            }
-            Reply::Fault(msg) => {
-                b.push_str("<soap:Fault><faultstring>");
-                escape(msg, &mut b);
-                b.push_str("</faultstring></soap:Fault>");
-            }
-        }
+        write_reply_elem(&mut b, reply);
         envelope(id, ctx, Some(obj_version), &b).into_bytes()
     }
 
     fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, u64, Reply), WireError> {
         let xml = std::str::from_utf8(bytes).map_err(|_| WireError::new("invalid utf-8"))?;
         let (id, ctx, obj_version, e) = unwrap_envelope(xml)?;
-        let reply = match e.name.as_str() {
-            "rafda:result" => Reply::Value(read_value(e.first_elem()?)?),
-            "rafda:exception" => Reply::Exception {
-                class: e.attr("class")?.to_owned(),
-                fields: e.elems().map(read_value).collect::<Result<_, _>>()?,
-            },
-            "soap:Fault" => Reply::Fault(e.child("faultstring")?.text()),
-            name => return Err(WireError::new(format!("unknown reply <{name}>"))),
-        };
-        Ok((id, ctx, obj_version, reply))
+        Ok((id, ctx, obj_version, read_reply_elem(&e)?))
     }
 
     /// XML assembly + parse dominated 2003 SOAP stacks: ~400 µs per message.

@@ -27,8 +27,9 @@ fn rmi_request_bytes_are_stable() {
     let bytes = RmiCodec::new().encode_request(0x0102, sample_ctx(), &call_request());
     let expected: Vec<u8> = vec![
         b'J', b'R', b'M', b'I', // magic
-        6,    // version (3 = message id; 4 = + trace context; 5 = + reply
-        //   objver; 6 = + replica-sync/promote request tags)
+        7,    // version (3 = message id; 4 = + trace context; 5 = + reply
+        //   objver; 6 = + replica-sync/promote request tags; 7 = + batch
+        //   request/reply tags)
         0x02, 0x01, 0, 0, 0, 0, 0, 0, // message id u64 LE
         0x0B, 0, 0, 0, 0, 0, 0, 0, // trace id u64 LE
         0x0C, 0, 0, 0, 0, 0, 0, 0, // span id u64 LE
@@ -51,7 +52,7 @@ fn rmi_reply_bytes_are_stable() {
     let bytes =
         RmiCodec::new().encode_reply(7, TraceContext::NONE, 9, &Reply::Value(WireValue::Int(-1)));
     let expected: Vec<u8> = vec![
-        b'J', b'R', b'M', b'I', 6, // version
+        b'J', b'R', b'M', b'I', 7, // version
         7, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
         0, 0, 0, 0, 0, 0, 0, 0, // trace id (NONE)
         0, 0, 0, 0, 0, 0, 0, 0, // span id (NONE)
@@ -67,9 +68,9 @@ fn rmi_reply_bytes_are_stable() {
 #[test]
 fn corba_header_and_alignment_are_stable() {
     let bytes = CorbaCodec::new().encode_request(7, sample_ctx(), &Request::Fetch { object: 1 });
-    // "GIOP" + version 1.6, pad to 8, message id u64, trace context (3×u64)
+    // "GIOP" + version 1.7, pad to 8, message id u64, trace context (3×u64)
     // at 16..40, tag R_FETCH(3) at 40, pad to 48, object u64.
-    assert_eq!(&bytes[..6], b"GIOP\x01\x06");
+    assert_eq!(&bytes[..6], b"GIOP\x01\x07");
     assert_eq!(&bytes[6..8], &[0, 0], "alignment pad before id");
     assert_eq!(&bytes[8..16], &7u64.to_le_bytes());
     assert_eq!(&bytes[16..24], &0x0Bu64.to_le_bytes());
@@ -96,7 +97,7 @@ fn replica_sync_request() -> Request {
 fn rmi_replica_sync_bytes_are_stable() {
     let bytes = RmiCodec::new().encode_request(1, TraceContext::NONE, &replica_sync_request());
     let expected: Vec<u8> = vec![
-        b'J', b'R', b'M', b'I', 6, // version
+        b'J', b'R', b'M', b'I', 7, // version
         1, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
         0, 0, 0, 0, 0, 0, 0, 0, // trace id (NONE)
         0, 0, 0, 0, 0, 0, 0, 0, // span id (NONE)
@@ -122,7 +123,7 @@ fn rmi_promote_bytes_are_stable() {
         &Request::Promote { node: 4, object: 9 },
     );
     let expected: Vec<u8> = vec![
-        b'J', b'R', b'M', b'I', 6, // version
+        b'J', b'R', b'M', b'I', 7, // version
         1, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
         0, 0, 0, 0, 0, 0, 0, 0, // trace id (NONE)
         0, 0, 0, 0, 0, 0, 0, 0, // span id (NONE)
@@ -140,7 +141,7 @@ fn corba_promote_alignment_is_stable() {
         CorbaCodec::new().encode_request(7, sample_ctx(), &Request::Promote { node: 4, object: 9 });
     // Header as for any request, then tag R_PROMOTE(7) at 40, the node u32
     // aligned up to 44, the object u64 aligned up to 48.
-    assert_eq!(&bytes[..6], b"GIOP\x01\x06");
+    assert_eq!(&bytes[..6], b"GIOP\x01\x07");
     assert_eq!(bytes[40], 7);
     assert_eq!(&bytes[41..44], &[0; 3], "alignment pad before node");
     assert_eq!(&bytes[44..48], &4u32.to_le_bytes());
@@ -151,7 +152,7 @@ fn corba_promote_alignment_is_stable() {
 #[test]
 fn corba_replica_sync_roundtrips_with_known_header() {
     let bytes = CorbaCodec::new().encode_request(7, sample_ctx(), &replica_sync_request());
-    assert_eq!(&bytes[..6], b"GIOP\x01\x06");
+    assert_eq!(&bytes[..6], b"GIOP\x01\x07");
     assert_eq!(bytes[40], 6, "R_REPLICA tag");
     let (id, ctx, req) = CorbaCodec::new().decode_request(&bytes).unwrap();
     assert_eq!((id, ctx), (7, sample_ctx()));
@@ -358,4 +359,138 @@ fn empty_and_min_size_frames() {
         assert!(codec.decode_reply(&[]).is_err());
         assert!(codec.decode_request(&[0u8; 3]).is_err());
     }
+}
+
+fn batch_request() -> Request {
+    Request::Batch(vec![
+        Request::Call {
+            object: 3,
+            method: "set_x@2".to_owned(),
+            args: vec![WireValue::Int(9)],
+        },
+        Request::Fetch { object: 3 },
+    ])
+}
+
+#[test]
+fn rmi_batch_bytes_are_stable() {
+    let bytes = RmiCodec::new().encode_request(1, TraceContext::NONE, &batch_request());
+    let expected: Vec<u8> = vec![
+        b'J', b'R', b'M', b'I', 7, // version
+        1, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
+        0, 0, 0, 0, 0, 0, 0, 0, // trace id (NONE)
+        0, 0, 0, 0, 0, 0, 0, 0, // span id (NONE)
+        0, 0, 0, 0, 0, 0, 0, 0, // parent span id (NONE)
+        8, // R_BATCH
+        2, 0, 0, 0, // op count u32
+        0, // R_CALL
+        3, 0, 0, 0, 0, 0, 0, 0, // object id u64 LE
+        7, 0, 0, 0, // method length u32
+        b's', b'e', b't', b'_', b'x', b'@', b'2', // method
+        1, 0, 0, 0, // argc
+        2, // T_INT
+        9, 0, 0, 0, // 9 LE
+        3, // R_FETCH
+        3, 0, 0, 0, 0, 0, 0, 0, // object id u64 LE
+    ];
+    assert_eq!(bytes, expected);
+}
+
+#[test]
+fn rmi_batch_reply_bytes_are_stable() {
+    let reply = Reply::Batch(vec![
+        (4, Reply::Value(WireValue::Null)),
+        (0, Reply::Fault("x".to_owned())),
+    ]);
+    let bytes = RmiCodec::new().encode_reply(1, TraceContext::NONE, 0, &reply);
+    let expected: Vec<u8> = vec![
+        b'J', b'R', b'M', b'I', 7, // version
+        1, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
+        0, 0, 0, 0, 0, 0, 0, 0, // trace id (NONE)
+        0, 0, 0, 0, 0, 0, 0, 0, // span id (NONE)
+        0, 0, 0, 0, 0, 0, 0, 0, // parent span id (NONE)
+        0, 0, 0, 0, 0, 0, 0, 0, // outer object version (batches carry none)
+        3, // P_BATCH
+        2, 0, 0, 0, // op count u32
+        4, 0, 0, 0, 0, 0, 0, 0, // op 0 object version u64 LE
+        0, // P_VALUE
+        0, // T_NULL
+        0, 0, 0, 0, 0, 0, 0, 0, // op 1 object version u64 LE
+        2, // P_FAULT
+        1, 0, 0, 0,    // fault length u32
+        b'x', // fault text
+    ];
+    assert_eq!(bytes, expected);
+}
+
+#[test]
+fn corba_batch_roundtrips_with_known_header() {
+    let bytes = CorbaCodec::new().encode_request(7, sample_ctx(), &batch_request());
+    assert_eq!(&bytes[..6], b"GIOP\x01\x07");
+    assert_eq!(bytes[40], 8, "R_BATCH tag");
+    let (id, ctx, req) = CorbaCodec::new().decode_request(&bytes).unwrap();
+    assert_eq!((id, ctx), (7, sample_ctx()));
+    assert_eq!(req, batch_request());
+}
+
+#[test]
+fn soap_batch_text_is_stable() {
+    let xml = String::from_utf8(SoapCodec::new().encode_request(1, sample_ctx(), &batch_request()))
+        .unwrap();
+    assert!(
+        xml.contains(
+            "<soap:Body><rafda:batch>\
+             <rafda:call object=\"3\" method=\"set_x@2\"><v t=\"int\">9</v></rafda:call>\
+             <rafda:fetch object=\"3\"/>\
+             </rafda:batch></soap:Body>"
+        ),
+        "{xml}"
+    );
+    let (_, _, back) = SoapCodec::new().decode_request(xml.as_bytes()).unwrap();
+    assert_eq!(back, batch_request());
+}
+
+#[test]
+fn soap_batch_reply_text_is_stable() {
+    let reply = Reply::Batch(vec![
+        (4, Reply::Value(WireValue::Null)),
+        (0, Reply::Fault("x".to_owned())),
+    ]);
+    let xml = String::from_utf8(SoapCodec::new().encode_reply(1, sample_ctx(), 0, &reply)).unwrap();
+    assert!(
+        xml.contains(
+            "<soap:Body><rafda:batchresult>\
+             <rafda:op objver=\"4\"><rafda:result><v t=\"null\"/></rafda:result></rafda:op>\
+             <rafda:op objver=\"0\"><soap:Fault><faultstring>x</faultstring></soap:Fault></rafda:op>\
+             </rafda:batchresult></soap:Body>"
+        ),
+        "{xml}"
+    );
+    let (_, _, _, back) = SoapCodec::new().decode_reply(xml.as_bytes()).unwrap();
+    assert_eq!(back, reply);
+}
+
+#[test]
+fn pre_batching_v6_frames_still_parse() {
+    // Version 7 changed no header or body layout for the pre-existing
+    // request/reply kinds, so a v6 frame differs from a v7 frame only in
+    // the version byte (RMI index 4, GIOP minor at index 5).
+    let rmi = RmiCodec::new();
+    let mut req6 = rmi.encode_request(0x0102, sample_ctx(), &replica_sync_request());
+    req6[4] = 6;
+    let (id, ctx, body) = rmi.decode_request(&req6).unwrap();
+    assert_eq!((id, ctx), (0x0102, sample_ctx()));
+    assert_eq!(body, replica_sync_request());
+    let mut rep6 = rmi.encode_reply(7, sample_ctx(), 9, &Reply::Value(WireValue::Int(-1)));
+    rep6[4] = 6;
+    let (id, ctx, ver, reply) = rmi.decode_reply(&rep6).unwrap();
+    assert_eq!((id, ctx, ver), (7, sample_ctx(), 9));
+    assert_eq!(reply, Reply::Value(WireValue::Int(-1)));
+
+    let corba = CorbaCodec::new();
+    let mut creq6 = corba.encode_request(7, sample_ctx(), &Request::Fetch { object: 1 });
+    creq6[5] = 6;
+    let (id, ctx, body) = corba.decode_request(&creq6).unwrap();
+    assert_eq!((id, ctx), (7, sample_ctx()));
+    assert_eq!(body, Request::Fetch { object: 1 });
 }

@@ -48,6 +48,13 @@ fn arb_wire_value() -> impl Strategy<Value = WireValue> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
+        arb_simple_request(),
+        prop::collection::vec(arb_simple_request(), 0..4).prop_map(Request::Batch),
+    ]
+}
+
+fn arb_simple_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
         (
             any::<u64>(),
             "[a-z_][a-z0-9_]{0,16}",
@@ -100,6 +107,13 @@ fn arb_request() -> impl Strategy<Value = Request> {
 
 fn arb_reply() -> impl Strategy<Value = Reply> {
     prop_oneof![
+        arb_simple_reply(),
+        prop::collection::vec((any::<u64>(), arb_simple_reply()), 0..4).prop_map(Reply::Batch),
+    ]
+}
+
+fn arb_simple_reply() -> impl Strategy<Value = Reply> {
+    prop_oneof![
         arb_wire_value().prop_map(Reply::Value),
         (
             "[A-Z][A-Za-z0-9_]{0,16}",
@@ -135,6 +149,13 @@ fn exact_bits(a: &WireValue, b: &WireValue) -> bool {
 fn reply_exact(a: &Reply, b: &Reply) -> bool {
     match (a, b) {
         (Reply::Value(x), Reply::Value(y)) => exact_bits(x, y),
+        (Reply::Batch(xa), Reply::Batch(xb)) => {
+            xa.len() == xb.len()
+                && xa
+                    .iter()
+                    .zip(xb)
+                    .all(|((va, ra), (vb, rb))| va == vb && reply_exact(ra, rb))
+        }
         (
             Reply::Exception {
                 class: ca,
@@ -207,6 +228,9 @@ fn request_exact(a: &Request, b: &Request) -> bool {
                 state: sb,
             },
         ) => oa == ob && va == vb && exact_bits(sa, sb),
+        (Request::Batch(xa), Request::Batch(xb)) => {
+            xa.len() == xb.len() && xa.iter().zip(xb).all(|(x, y)| request_exact(x, y))
+        }
         (a, b) => a == b,
     }
 }
@@ -268,5 +292,77 @@ proptest! {
         let _ = RmiCodec::new().decode_reply(&bytes);
         let _ = CorbaCodec::new().decode_reply(&bytes);
         let _ = SoapCodec::new().decode_reply(&bytes);
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_not_panicked(
+        id in any::<u64>(),
+        ctx in arb_ctx(),
+        req in arb_request(),
+        reply in arb_reply(),
+        cut_seed in any::<usize>(),
+    ) {
+        // A prefix of a valid frame lost its tail in transit: every codec
+        // must report a decode error — never panic, never accept the stump.
+        // (SOAP frames end in a cosmetic newline after the root close tag,
+        // which is the one byte a parser legitimately tolerates losing.)
+        for codec in codecs() {
+            let slack = usize::from(codec.name() == "SOAP");
+            let frame = codec.encode_request(id, ctx, &req);
+            let cut = cut_seed % (frame.len() - slack);
+            prop_assert!(
+                codec.decode_request(&frame[..cut]).is_err(),
+                "{} accepted a request truncated to {cut}/{} bytes",
+                codec.name(),
+                frame.len()
+            );
+            let frame = codec.encode_reply(id, ctx, 3, &reply);
+            let cut = cut_seed % (frame.len() - slack);
+            prop_assert!(
+                codec.decode_reply(&frame[..cut]).is_err(),
+                "{} accepted a reply truncated to {cut}/{} bytes",
+                codec.name(),
+                frame.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bitflipped_frames_never_panic_and_corrupt_headers_are_rejected(
+        id in any::<u64>(),
+        ctx in arb_ctx(),
+        req in arb_request(),
+        reply in arb_reply(),
+        pos_seed in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        // A single flipped bit anywhere must never panic a decoder; a flip
+        // inside the 4-byte magic of the binary codecs must be rejected
+        // outright (the frame no longer identifies as that protocol).
+        for codec in codecs() {
+            for (frame, is_reply) in [
+                (codec.encode_request(id, ctx, &req), false),
+                (codec.encode_reply(id, ctx, 3, &reply), true),
+            ] {
+                let mut mutated = frame.clone();
+                let pos = pos_seed % mutated.len();
+                mutated[pos] ^= 1 << bit;
+                if is_reply {
+                    let _ = codec.decode_reply(&mutated);
+                } else {
+                    let _ = codec.decode_request(&mutated);
+                }
+                if codec.name() != "SOAP" {
+                    let mut magic_hit = frame;
+                    magic_hit[pos_seed % 4] ^= 1 << bit;
+                    let rejected = if is_reply {
+                        codec.decode_reply(&magic_hit).is_err()
+                    } else {
+                        codec.decode_request(&magic_hit).is_err()
+                    };
+                    prop_assert!(rejected, "{} accepted a corrupt magic", codec.name());
+                }
+            }
+        }
     }
 }

@@ -418,6 +418,76 @@ fn e11() {
     );
 }
 
+fn e12() {
+    println!("== E12: batched remote invocation — deferred void calls ==");
+    // Write-heavy workload: each round fires 8 void `inc`s then reads the
+    // total; the read is the synchronization point that flushes the batch.
+    let run = |batch: bool| {
+        let mut app = Application::new();
+        let u = app.universe_mut();
+        let c = u.declare("C", ClassKind::Class);
+        let mut cb = ClassBuilder::new(u, c);
+        let v = cb.field(Field::new("v", Ty::Int));
+        let mut mb = MethodBuilder::new(1);
+        mb.ret();
+        cb.ctor(u, vec![], Some(mb.finish()));
+        let mut mb = MethodBuilder::new(2);
+        mb.load_this();
+        mb.load_this().get_field(c, v);
+        mb.load_local(1).add();
+        mb.put_field(c, v);
+        mb.ret();
+        cb.method(u, "inc", vec![Ty::Int], Ty::Void, Some(mb.finish()));
+        let mut mb = MethodBuilder::new(1);
+        mb.load_this().get_field(c, v).ret_value();
+        cb.method(u, "total", vec![], Ty::Int, Some(mb.finish()));
+        cb.finish(u);
+        let policy = StaticPolicy::new()
+            .place("C", Placement::Node(NodeId(1)))
+            .default_statics(NodeId(0))
+            .batch("C", batch);
+        let cluster = app
+            .transform(&["RMI"])
+            .unwrap()
+            .deploy(2, 42, Box::new(policy));
+        let obj = cluster.new_instance(NodeId(0), "C", 0, vec![]).unwrap();
+        let m0 = cluster.network().stats().messages;
+        let t0 = cluster.network().now();
+        let mut total = Value::Int(0);
+        for _ in 0..16 {
+            for _ in 0..8 {
+                cluster
+                    .call_method(NodeId(0), obj.clone(), "inc", vec![Value::Int(1)])
+                    .unwrap();
+            }
+            total = cluster
+                .call_method(NodeId(0), obj.clone(), "total", vec![])
+                .unwrap();
+        }
+        assert_eq!(total, Value::Int(128), "an increment was lost");
+        (
+            cluster.network().stats().messages - m0,
+            cluster.network().now() - t0,
+            cluster.stats(),
+        )
+    };
+
+    let (off_msgs, off_t, off_stats) = run(false);
+    let (on_msgs, on_t, on_stats) = run(true);
+    assert_eq!(off_stats.batched_ops, 0, "batching off must be inert");
+    assert_eq!(off_stats.flushes, 0, "batching off must be inert");
+    assert!(
+        on_msgs * 10 <= off_msgs * 6,
+        "batching must save >= 40% of messages ({on_msgs} vs {off_msgs})"
+    );
+    println!("  workload: 16 rounds x (8 void incs + 1 total read), owner remote");
+    println!("  batch off: {off_msgs} messages, {off_t} simulated");
+    println!(
+        "  batch on:  {on_msgs} messages, {on_t} simulated ({} deferred ops in {} flushes)\n",
+        on_stats.batched_ops, on_stats.flushes
+    );
+}
+
 fn main() {
     println!("RAFDA reproduction — consolidated experiment report\n");
     e1();
@@ -430,5 +500,6 @@ fn main() {
     e9();
     e10();
     e11();
+    e12();
     println!("full precision: cargo bench --workspace (see EXPERIMENTS.md)");
 }

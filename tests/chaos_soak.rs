@@ -57,6 +57,60 @@ fn counter_app() -> Application {
     app
 }
 
+/// A counter with both a value-returning `add` (a synchronization point)
+/// and a void `inc` (deferrable under `batch on`).
+fn batched_counter_app() -> Application {
+    let mut app = Application::new();
+    let u = app.universe_mut();
+    let c = u.declare("BCounter", ClassKind::Class);
+    let mut cb = ClassBuilder::new(u, c);
+    let v = cb.field(Field::new("v", Ty::Int));
+    let mut mb = MethodBuilder::new(1);
+    mb.ret();
+    cb.ctor(u, vec![], Some(mb.finish()));
+    let mut mb = MethodBuilder::new(2);
+    mb.load_this();
+    mb.load_this().get_field(c, v);
+    mb.load_local(1).add();
+    mb.put_field(c, v);
+    mb.load_this().get_field(c, v).ret_value();
+    cb.method(u, "add", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+    let mut mb = MethodBuilder::new(2);
+    mb.load_this();
+    mb.load_this().get_field(c, v);
+    mb.load_local(1).add();
+    mb.put_field(c, v);
+    mb.ret();
+    cb.method(u, "inc", vec![Ty::Int], Ty::Void, Some(mb.finish()));
+    cb.finish(u);
+    app
+}
+
+/// One step of the batched-chaos schedule below.
+#[derive(Debug, Clone)]
+enum BatchOp {
+    /// Fire-and-forget increment — deferred when the counter is remote.
+    Inc { idx: usize, delta: i8 },
+    /// Read-modify-write returning the new value — flushes first.
+    Add { idx: usize, delta: i8 },
+    /// Migrate counter `idx` to `node` (or pull it home, as above).
+    Migrate { idx: usize, node: u8 },
+    /// Pull counter `idx` back to its home node.
+    Pull { idx: usize },
+    /// Run an adaptation pass.
+    Adapt,
+}
+
+fn arb_batch_op() -> impl Strategy<Value = BatchOp> {
+    prop_oneof![
+        5 => (0usize..POOL, -10i8..10).prop_map(|(idx, delta)| BatchOp::Inc { idx, delta }),
+        4 => (0usize..POOL, -10i8..10).prop_map(|(idx, delta)| BatchOp::Add { idx, delta }),
+        2 => (0usize..POOL, 0u8..NODES as u8).prop_map(|(idx, node)| BatchOp::Migrate { idx, node }),
+        1 => (0usize..POOL).prop_map(|idx| BatchOp::Pull { idx }),
+        1 => Just(BatchOp::Adapt),
+    ]
+}
+
 // --- crash-stop chaos (see the last property below) ---
 
 const FO_NODES: u32 = 4;
@@ -384,5 +438,133 @@ proptest! {
         prop_assert_eq!(&a, &b, "same seed, same schedule, different values");
         prop_assert_eq!(a_stats, b_stats, "failover counters must be deterministic");
         prop_assert_eq!(a_now, b_now, "simulated clock diverged");
+    }
+
+    /// Batched-invocation chaos (experiment **E12**'s safety half): the same
+    /// schedule of void increments, value-returning adds and boundary moves
+    /// must return oracle-exact values whether batching is off, on, or on
+    /// *while* 10% of frames are dropped — retransmitted batch frames must
+    /// dedup as a unit, never double-applying a deferred op.
+    #[test]
+    fn batched_boundary_chaos_matches_oracle(
+        ops in prop::collection::vec(arb_batch_op(), 1..50),
+        seed in 0u64..500,
+    ) {
+        let run = |batch: bool, drop: f64| -> (Vec<i32>, rafda::RuntimeStats) {
+            let policy = StaticPolicy::new()
+                .default_statics(NodeId(0))
+                .default_batch(batch);
+            let cluster = batched_counter_app()
+                .transform(&["RMI"])
+                .unwrap()
+                .deploy(NODES, seed, Box::new(policy));
+            cluster.set_retry_policy(rafda::RetryPolicy {
+                max_attempts: 10,
+                ..rafda::RetryPolicy::default()
+            });
+            cluster.network().fault_plan(|f| f.drop_probability = drop);
+            let counters: Vec<Value> = (0..POOL)
+                .map(|i| {
+                    cluster
+                        .new_instance(NodeId((i % NODES as usize) as u32), "BCounter", 0, vec![])
+                        .unwrap()
+                })
+                .collect();
+            let home: Vec<NodeId> =
+                (0..POOL).map(|i| NodeId((i % NODES as usize) as u32)).collect();
+            let mut results = Vec::new();
+            for op in &ops {
+                match *op {
+                    BatchOp::Inc { idx, delta } => {
+                        // Fire-and-forget: returns Null immediately when
+                        // deferred, so nothing is recorded here — the next
+                        // Add observes the accumulated effect.
+                        cluster
+                            .call_method(
+                                home[idx],
+                                counters[idx].clone(),
+                                "inc",
+                                vec![Value::Int(i32::from(delta))],
+                            )
+                            .unwrap();
+                    }
+                    BatchOp::Add { idx, delta } => {
+                        let r = cluster
+                            .call_method(
+                                home[idx],
+                                counters[idx].clone(),
+                                "add",
+                                vec![Value::Int(i32::from(delta))],
+                            )
+                            .unwrap();
+                        match r {
+                            Value::Int(v) => results.push(v),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                    BatchOp::Migrate { idx, node } => {
+                        let h = counters[idx].as_ref_handle().unwrap();
+                        let loc = cluster.location_of(home[idx], &counters[idx]).unwrap();
+                        if loc != NodeId(u32::from(node)) {
+                            if loc == home[idx] {
+                                cluster.migrate(home[idx], h, NodeId(u32::from(node))).unwrap();
+                            } else {
+                                cluster.pull_local(home[idx], h).unwrap();
+                            }
+                        }
+                    }
+                    BatchOp::Pull { idx } => {
+                        let h = counters[idx].as_ref_handle().unwrap();
+                        let loc = cluster.location_of(home[idx], &counters[idx]).unwrap();
+                        if loc != home[idx] {
+                            cluster.pull_local(home[idx], h).unwrap();
+                        }
+                    }
+                    BatchOp::Adapt => {
+                        cluster.adapt(&AffinityConfig {
+                            min_calls: 4,
+                            min_fraction: 0.5,
+                        });
+                    }
+                }
+            }
+            // Final sweep flushes every queue and checks every counter.
+            for idx in 0..POOL {
+                let r = cluster
+                    .call_method(home[idx], counters[idx].clone(), "add", vec![Value::Int(0)])
+                    .unwrap();
+                match r {
+                    Value::Int(v) => results.push(v),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            (results, cluster.stats())
+        };
+
+        // Exact oracle: program order, batching invisible.
+        let mut oracle = [0i32; POOL];
+        let mut expected = Vec::new();
+        for op in &ops {
+            match *op {
+                BatchOp::Inc { idx, delta } => oracle[idx] += i32::from(delta),
+                BatchOp::Add { idx, delta } => {
+                    oracle[idx] += i32::from(delta);
+                    expected.push(oracle[idx]);
+                }
+                _ => {}
+            }
+        }
+        expected.extend(oracle);
+
+        let (off, off_stats) = run(false, 0.0);
+        let (on, _) = run(true, 0.0);
+        let (on_chaotic, chaos_stats) = run(true, 0.10);
+        prop_assert_eq!(&off, &expected, "unbatched run diverged from the oracle");
+        prop_assert_eq!(&on, &expected, "batching changed an observable value");
+        prop_assert_eq!(&on_chaotic, &expected, "drops + batching changed a value");
+        // With batching off, the machinery must be provably inert.
+        prop_assert_eq!(off_stats.batched_ops, 0);
+        prop_assert_eq!(off_stats.flushes, 0);
+        prop_assert_eq!(chaos_stats.net_failures, 0, "an exchange exhausted its budget");
     }
 }

@@ -40,21 +40,39 @@ fn local_trace(spec: &AppSpec, arg: i32) -> Trace {
 }
 
 /// Scatter the chain classes round-robin over three nodes, statics on
-/// node 2, and vary the protocol with the seed.
-fn distributed_trace(spec: &AppSpec, arg: i32) -> (Trace, u64) {
+/// node 2, and vary the protocol with the seed. With `batch` on, every
+/// class defers its void calls (`mutate`, the generated setters, `init$k`)
+/// onto outcall queues; the classes are placed with an offset of one so the
+/// chain head — the object the driver mutates — is remote from the driver
+/// and batching actually engages.
+fn distributed_trace_with(spec: &AppSpec, arg: i32, batch: bool) -> (Trace, u64, u64) {
     let proto = ["RMI", "SOAP", "CORBA"][(spec.seed % 3) as usize];
+    let offset = usize::from(batch);
     let mut policy = StaticPolicy::new()
         .default_statics(NodeId(2))
-        .default_protocol(proto);
+        .default_protocol(proto)
+        .default_batch(batch);
     for i in 0..spec.classes {
-        policy = policy.place(&format!("C{i}"), Placement::Node(NodeId((i % 3) as u32)));
+        policy = policy.place(
+            &format!("C{i}"),
+            Placement::Node(NodeId(((i + offset) % 3) as u32)),
+        );
     }
     let cluster = build_app(spec)
         .transform(&["RMI", "SOAP", "CORBA"])
         .unwrap()
         .deploy(3, spec.seed, Box::new(policy));
     let trace = cluster.run_observed(NodeId(0), "Driver", "main", vec![Value::Int(arg)]);
-    (trace, cluster.network().stats().messages)
+    (
+        trace,
+        cluster.network().stats().messages,
+        cluster.stats().batched_ops,
+    )
+}
+
+fn distributed_trace(spec: &AppSpec, arg: i32) -> (Trace, u64) {
+    let (trace, messages, _) = distributed_trace_with(spec, arg, false);
+    (trace, messages)
 }
 
 proptest! {
@@ -93,6 +111,30 @@ proptest! {
             "seed={} classes={} statics={}", seed, classes, statics);
         // With round-robin placement, real distribution must occur.
         prop_assert!(messages > 0, "nothing went remote");
+    }
+
+    /// The tentpole's semantic claim: deferring void calls onto batch
+    /// queues and flushing them at synchronization points is invisible to
+    /// the program — every value-returning call flushes first, so the
+    /// observable trace equals the original's exactly.
+    #[test]
+    fn original_equals_distributed_with_batching(
+        seed in 1u64..500,
+        classes in 2usize..7,
+        statics in any::<bool>(),
+        inheritance in any::<bool>(),
+        arrays in any::<bool>(),
+        arg in -50i32..50,
+    ) {
+        let spec = AppSpec { classes, int_fields: 2, statics, inheritance, arrays, seed };
+        let original = original_trace(&spec, arg);
+        let (batched, messages, batched_ops) = distributed_trace_with(&spec, arg, true);
+        prop_assert_eq!(&original, &batched,
+            "seed={} classes={} statics={}", seed, classes, statics);
+        prop_assert!(messages > 0, "nothing went remote");
+        // The chain head is remote from the driver, so at least its
+        // `init$0` and `mutate` must actually have been deferred.
+        prop_assert!(batched_ops >= 2, "batching never engaged: {} ops", batched_ops);
     }
 }
 

@@ -295,6 +295,74 @@ fn failover_invalidates_cached_property_reads() {
 }
 
 #[test]
+fn unchanged_state_is_not_reshipped_to_replicas() {
+    // Read-heavy workload on a replicated static singleton: every client's
+    // first static call serves a `Discover` on the owner, and the owner
+    // used to re-ship the (unchanged) singleton state to every backup on
+    // each of those serves. The version never moved, so the shipments were
+    // pure waste; now they are skipped.
+    let mut app = Application::new();
+    let u = app.universe_mut();
+    let s = u.declare("S", ClassKind::Class);
+    let mut cb = ClassBuilder::new(u, s);
+    let v = cb.static_field(Field::new("v", Ty::Int));
+    // static int bump(int d) { v = v + d; return v; }
+    let mut mb = MethodBuilder::new(1);
+    mb.get_static(s, v);
+    mb.load_local(0);
+    mb.add();
+    mb.put_static(s, v);
+    mb.get_static(s, v);
+    mb.ret_value();
+    cb.static_method(u, "bump", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+    cb.finish(u);
+    let policy = StaticPolicy::new().default_statics(N1).replicate("S", 2);
+    let cluster = app
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(5, 21, Box::new(policy));
+
+    // Four clients, five reads each, through the generated static getter.
+    let read = |from: NodeId| cluster.call_static(from, "S", "get_v", vec![]).unwrap();
+    for &n in &[N0, N2, N3, NodeId(4)] {
+        for _ in 0..5 {
+            assert_eq!(read(n), Value::Int(0));
+        }
+    }
+    let read_only = cluster.stats().replica_syncs;
+    assert_eq!(
+        read_only,
+        2,
+        "an unmutated singleton ships once per backup, not once per \
+         discover: {}",
+        cluster.stats()
+    );
+
+    // A mutation moves the version, so the next sync ships again.
+    let bump = |from: NodeId, d: i32| {
+        cluster
+            .call_static(from, "S", "bump", vec![Value::Int(d)])
+            .unwrap()
+    };
+    assert_eq!(bump(N0, 7), Value::Int(7));
+    let after_write = cluster.stats().replica_syncs;
+    assert!(
+        after_write > read_only,
+        "a served mutation must still re-ship: {}",
+        cluster.stats()
+    );
+
+    // And the crash/promote battery is intact: the backup that was seeded
+    // exactly once (plus the post-write sync) holds every acknowledged
+    // mutation.
+    cluster.crash(N1);
+    assert_eq!(bump(N2, 1), Value::Int(8));
+    assert_eq!(read(N0), Value::Int(8));
+    let stats = cluster.stats();
+    assert_eq!(stats.promotions, 1, "{stats}");
+}
+
+#[test]
 fn same_seed_failover_runs_are_identical() {
     let run = || -> (Vec<Value>, RuntimeStats, u64) {
         let (cluster, c) = deployed(3, 1, N0, 19);
