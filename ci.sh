@@ -24,6 +24,12 @@ echo "== benches compile (not run) =="
 # guarantees they still build against the current API.
 cargo bench --no-run --locked --offline --quiet
 
+echo "== e13 wire fast-path bench (smoke) =="
+# The one bench CI *runs*: it asserts the zero-copy wire fast path stays
+# >= 2x the baseline in frames/sec on the RMI hot path. Smoke mode shrinks
+# the iteration count; the assertion is identical to the full run.
+E13_SMOKE=1 cargo bench -p rafda-bench --bench e13_wire_throughput --locked --offline --quiet
+
 echo "== rustfmt =="
 cargo fmt --check
 

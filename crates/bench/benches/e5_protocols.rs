@@ -89,7 +89,9 @@ fn bench(c: &mut Criterion) {
             &req,
             |b, req| {
                 b.iter(|| {
-                    let bytes = codec.encode_request(7, rafda::wire::TraceContext::NONE, req);
+                    let bytes = codec
+                        .encode_request(7, rafda::wire::TraceContext::NONE, req)
+                        .unwrap();
                     codec.decode_request(&bytes).unwrap()
                 })
             },

@@ -25,11 +25,13 @@
 
 #![warn(missing_docs)]
 
+pub mod bufpool;
 pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use bufpool::BufPool;
 pub use fault::FaultPlan;
 pub use stats::{LinkStats, NetStats};
 pub use time::SimTime;

@@ -4,12 +4,14 @@
 use crate::error::RuntimeError;
 use crate::marshal;
 use rafda_classmodel::{ClassId, ClassUniverse, SigId, Ty};
-use rafda_net::{NetError, Network, NodeId, SimTime};
+use rafda_net::{BufPool, NetError, Network, NodeId, SimTime};
 use rafda_policy::{AffinityConfig, DistributionPolicy};
 use rafda_telemetry::{SpanLog, SpanOutcome, TraceContext};
 use rafda_transform::TransformPlan;
 use rafda_vm::{Handle, NetFailure, NetFailureKind, Trace, TraceEvent, Value, Vm, VmError};
-use rafda_wire::{Protocol, ProtocolKind, Reply, Request, WireValue};
+use rafda_wire::{
+    FrameHeader, Protocol, ProtocolKind, Reply, Request, RequestKind, SigTable, WireValue,
+};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -226,6 +228,15 @@ pub struct RuntimeStats {
     /// Histogram of attempts used per finished exchange: bucket `i` counts
     /// exchanges that took `i + 1` attempts (the last bucket saturates).
     pub attempts: [u64; 8],
+    /// Signature-position strings sent as an interned reference instead of
+    /// inline text (summed over every directed link's table).
+    pub sig_refs: u64,
+    /// Signature-position strings defined (sent inline and interned) —
+    /// each one a table entry later frames reference.
+    pub sig_defs: u64,
+    /// Frame encodes served by a pooled buffer instead of a fresh
+    /// allocation.
+    pub wire_buf_reuses: u64,
 }
 
 impl RuntimeStats {
@@ -403,6 +414,18 @@ pub(crate) struct Shared {
     /// Re-entrancy guard for [`flush_outqueues`]: the flush itself performs
     /// top-level exchanges, which are synchronization points of their own.
     pub in_flush: Cell<bool>,
+    /// Reusable encode buffers, keyed by directed link. Checked out for
+    /// the lifetime of one frame (request frames live across every
+    /// retransmission of their exchange) and returned cleared. Never
+    /// borrowed across a serve — RPCs re-enter.
+    pub wire_bufs: RefCell<BufPool>,
+    /// Per-directed-link signature interning tables, keyed `(from node,
+    /// to node)`. The simulation runs both ends in one process, so a
+    /// single table per link serves as the encoder's and the decoder's
+    /// state: in-order frame processing plus idempotent interning keeps
+    /// the two views identical without a handshake. Never borrowed across
+    /// a serve.
+    pub sig_tables: RefCell<HashMap<(u32, u32), SigTable>>,
 }
 
 /// A simulated cluster running one transformed application.
@@ -504,6 +527,8 @@ impl Cluster {
             last_exchange_span: Cell::new(0),
             outqueues: RefCell::new(HashMap::new()),
             in_flush: Cell::new(false),
+            wire_bufs: RefCell::new(BufPool::new()),
+            sig_tables: RefCell::new(HashMap::new()),
         });
         let cluster = Cluster { shared };
         cluster.install_hooks();
@@ -539,9 +564,17 @@ impl Cluster {
         self.shared.vms.len() as u32
     }
 
-    /// Runtime statistics snapshot.
+    /// Runtime statistics snapshot. The wire-layer counters (signature
+    /// interning, buffer reuse) live in their own structures and are merged
+    /// into the snapshot here.
     pub fn stats(&self) -> RuntimeStats {
-        *self.shared.stats.borrow()
+        let mut stats = *self.shared.stats.borrow();
+        for table in self.shared.sig_tables.borrow().values() {
+            stats.sig_refs += table.refs();
+            stats.sig_defs += table.defs();
+        }
+        stats.wire_buf_reuses = self.shared.wire_bufs.borrow().reuses();
+        stats
     }
 
     /// Per-object incoming-call affinity recorded on `node`: `(export id,
@@ -2214,8 +2247,26 @@ fn rpc_inner(
         let ctx = spans.context_of(h);
         (h, ctx)
     };
-    // Encode once: every retransmission sends the same frame, same id.
-    let bytes = codec.encode_request(msg_id, ctx, req);
+    // Encode once: every retransmission sends the same frame, same id
+    // (which also makes re-interning on the decode side idempotent). The
+    // buffer comes from the link's pool and goes back when the exchange
+    // finishes; the signature table is the directed link's, so repeated
+    // method/class names shrink to 5-byte references after their first
+    // frame.
+    let mut bytes = shared.wire_bufs.borrow_mut().checkout(from, to);
+    let encoded = {
+        let mut tables = shared.sig_tables.borrow_mut();
+        let table = tables.entry((from.0, to.0)).or_default();
+        codec.encode_request_into(msg_id, ctx, req, Some(table), &mut bytes)
+    };
+    if let Err(e) = encoded {
+        shared.wire_bufs.borrow_mut().put_back(from, to, bytes);
+        let end = shared.net.now().as_ns();
+        let mut spans = shared.spans.borrow_mut();
+        spans.end_span(exch, end, SpanOutcome::Fault);
+        shared.last_exchange_span.set(spans.span_id_of(exch));
+        return Err(VmError::Native(format!("request encode failed: {e}")));
+    }
     shared
         .spans
         .borrow_mut()
@@ -2224,7 +2275,7 @@ fn rpc_inner(
     let max_attempts = policy.max_attempts.max(1);
     let mut attempt = 0u32;
     let mut prev_attempt_span: Option<u64> = None;
-    loop {
+    let result = loop {
         attempt += 1;
         if attempt > 1 {
             // Back off on the simulated clock before retransmitting, so the
@@ -2256,7 +2307,7 @@ fn rpc_inner(
                 spans.set_attr(exch, "attempts", attempt);
                 spans.end_span(exch, end, outcome);
                 shared.last_exchange_span.set(spans.span_id_of(exch));
-                return Ok((reply, obj_version));
+                break Ok((reply, obj_version));
             }
             Err(kind) if kind.is_transient() && attempt < max_attempts => {
                 let end = shared.net.now().as_ns();
@@ -2277,10 +2328,12 @@ fn rpc_inner(
                 spans.set_attr(exch, "attempts", attempt);
                 spans.end_span(exch, end, SpanOutcome::NetFailure);
                 shared.last_exchange_span.set(spans.span_id_of(exch));
-                return Err(VmError::Unreachable(NetFailure::new(kind, attempt)));
+                break Err(VmError::Unreachable(NetFailure::new(kind, attempt)));
             }
         }
-    }
+    };
+    shared.wire_bufs.borrow_mut().put_back(from, to, bytes);
+    result
 }
 
 /// One transmission attempt of an exchange: request over the wire, serve
@@ -2298,23 +2351,66 @@ fn attempt_exchange(
         .net
         .transmit(from, to, bytes.len())
         .map_err(|e| net_failure_kind(&e))?;
-    let (id, wire_ctx, decoded) = codec
-        .decode_request(bytes)
+    // Zero-copy fast path: only the header is parsed here. Whether this
+    // attempt is a dedup hit (answered from the reply cache) is decided on
+    // the borrowed header alone; the owned request tree is built inside
+    // `serve_frame` only when the request is actually invoked.
+    let header = codec
+        .decode_request_header(bytes)
         .expect("own encoding must decode");
-    debug_assert_eq!(id, msg_id);
+    debug_assert_eq!(header.msg_id, msg_id);
     if attempt > 1 {
         shared.stats.borrow_mut().retransmits += 1;
     }
-    let (reply, reply_ctx, obj_version) = serve_request(shared, to, from, id, wire_ctx, decoded);
-    let reply_bytes = codec.encode_reply(id, reply_ctx, obj_version, &reply);
-    shared
-        .net
-        .transmit(to, from, reply_bytes.len())
-        .map_err(|e| net_failure_kind(&e))?;
+    let (reply, reply_ctx, obj_version) = serve_frame(shared, to, from, &header);
+    let mut reply_bytes = shared.wire_bufs.borrow_mut().checkout(to, from);
+    let encoded = {
+        let mut tables = shared.sig_tables.borrow_mut();
+        let table = tables.entry((to.0, from.0)).or_default();
+        codec.encode_reply_into(
+            msg_id,
+            reply_ctx,
+            obj_version,
+            &reply,
+            Some(table),
+            &mut reply_bytes,
+        )
+    };
+    if let Err(e) = encoded {
+        // The reply itself cannot be framed (e.g. a >4 GiB string): answer
+        // a fault instead. The fallback is a short stateless frame, which
+        // cannot itself fail to encode.
+        let fault = Reply::Fault(format!("reply encode failed: {e}"));
+        reply_bytes.clear();
+        codec
+            .encode_reply_into(
+                msg_id,
+                reply_ctx,
+                obj_version,
+                &fault,
+                None,
+                &mut reply_bytes,
+            )
+            .expect("fault reply must encode");
+    }
+    if let Err(e) = shared.net.transmit(to, from, reply_bytes.len()) {
+        shared
+            .wire_bufs
+            .borrow_mut()
+            .put_back(to, from, reply_bytes);
+        return Err(net_failure_kind(&e));
+    }
     shared.net.advance(2 * codec.overhead_ns());
-    let (_, _, obj_version, reply) = codec
-        .decode_reply(&reply_bytes)
-        .expect("own encoding must decode");
+    let decoded = {
+        let mut tables = shared.sig_tables.borrow_mut();
+        let table = tables.entry((to.0, from.0)).or_default();
+        codec.decode_reply_with(&reply_bytes, Some(table))
+    };
+    let (_, _, obj_version, reply) = decoded.expect("own encoding must decode");
+    shared
+        .wire_bufs
+        .borrow_mut()
+        .put_back(to, from, reply_bytes);
     Ok((reply, obj_version))
 }
 
@@ -2328,6 +2424,7 @@ fn attempt_exchange(
 /// the reply, the serve span's context, and the addressed export's current
 /// property version (0 for request kinds that address no export) — both of
 /// which ride back in the reply header.
+#[cfg_attr(not(test), allow(dead_code))] // production traffic arrives as frames (`serve_frame`)
 fn serve_request(
     shared: &Shared,
     node: NodeId,
@@ -2336,25 +2433,71 @@ fn serve_request(
     ctx: TraceContext,
     req: Request,
 ) -> (Reply, TraceContext, u64) {
-    let (_, serve_name) = req_span_name(&req);
+    let kind = RequestKind::of(&req);
+    serve_core(shared, node, caller, msg_id, ctx, kind, move |_| Ok(req))
+}
+
+/// The `serve.*` span name of one request discriminant. Decodable from a
+/// borrowed frame header, so even a dedup-hit replay (which never builds
+/// the owned request) records a correctly named span.
+fn serve_span_name(kind: RequestKind) -> &'static str {
+    match kind {
+        RequestKind::Call => "serve.call",
+        RequestKind::Create => "serve.create",
+        RequestKind::Discover => "serve.discover",
+        RequestKind::Fetch => "serve.fetch",
+        RequestKind::Install => "serve.install",
+        RequestKind::Forward => "serve.forward",
+        RequestKind::ReplicaSync => "serve.replica",
+        RequestKind::Promote => "serve.promote",
+        RequestKind::Batch => "serve.batch",
+    }
+}
+
+/// Serve a delivered frame: the dedup decision is made on the borrowed
+/// header, and the owned request tree is only materialised (resolving
+/// signature references against the link's table) when the request is
+/// actually going to be invoked.
+fn serve_frame(
+    shared: &Shared,
+    node: NodeId,
+    caller: NodeId,
+    header: &FrameHeader<'_>,
+) -> (Reply, TraceContext, u64) {
+    serve_core(
+        shared,
+        node,
+        caller,
+        header.msg_id,
+        header.ctx,
+        header.kind,
+        |shared| {
+            let mut tables = shared.sig_tables.borrow_mut();
+            let table = tables.entry((caller.0, node.0)).or_default();
+            header
+                .materialise(Some(table))
+                .map_err(|e| format!("malformed request frame: {e}"))
+        },
+    )
+}
+
+fn serve_core(
+    shared: &Shared,
+    node: NodeId,
+    caller: NodeId,
+    msg_id: u64,
+    ctx: TraceContext,
+    kind: RequestKind,
+    materialise: impl FnOnce(&Shared) -> Result<Request, String>,
+) -> (Reply, TraceContext, u64) {
+    let serve_name = serve_span_name(kind);
     let (span, reply_ctx) = {
         let mut spans = shared.spans.borrow_mut();
         let h = spans.start_server_span(serve_name, node.0, shared.net.now().as_ns(), ctx);
         spans.set_attr(h, "caller", caller.0);
-        if let Request::Batch(ops) = &req {
-            spans.set_attr(h, "n_ops", ops.len());
-        }
         let reply_ctx = spans.context_of(h);
         (h, reply_ctx)
     };
-    // The export whose property version the reply piggybacks. Read *after*
-    // handling, so a setter's own reply already carries the bumped version.
-    let versioned_oid = match &req {
-        Request::Call { object, .. } | Request::Fetch { object } => Some(*object),
-        _ => None,
-    };
-    let version_now =
-        |shared: &Shared| versioned_oid.map_or(0, |oid| version_of(shared, node.0, oid));
     let key = (caller.0, msg_id);
     let cached = shared.nodes.borrow()[node.0 as usize]
         .reply_cache
@@ -2365,13 +2508,42 @@ fn serve_request(
         // the object may have moved on since the original serve, and a
         // reply tagged with the newer version would let the client cache
         // the old value as if it were fresh — serving a stale read until
-        // the next mutation.
+        // the next mutation. Note the request payload was never
+        // materialised on this path — the decision used the header alone.
         shared.stats.borrow_mut().dedup_hits += 1;
         let mut spans = shared.spans.borrow_mut();
         spans.set_attr(span, "cached", true);
         spans.end_span(span, shared.net.now().as_ns(), reply_outcome(&reply));
         return (reply, reply_ctx, obj_version);
     }
+    let req = match materialise(shared) {
+        Ok(req) => req,
+        Err(m) => {
+            // The frame identified itself well enough to route but its
+            // payload is malformed: answer a fault (not cached — a
+            // retransmission carries the same bytes and faults the same
+            // way, so caching would only occupy a dedup slot).
+            shared.stats.borrow_mut().faults += 1;
+            let reply = Reply::Fault(m);
+            shared.spans.borrow_mut().end_span(
+                span,
+                shared.net.now().as_ns(),
+                reply_outcome(&reply),
+            );
+            return (reply, reply_ctx, 0);
+        }
+    };
+    if let Request::Batch(ops) = &req {
+        shared.spans.borrow_mut().set_attr(span, "n_ops", ops.len());
+    }
+    // The export whose property version the reply piggybacks. Read *after*
+    // handling, so a setter's own reply already carries the bumped version.
+    let versioned_oid = match &req {
+        Request::Call { object, .. } | Request::Fetch { object } => Some(*object),
+        _ => None,
+    };
+    let version_now =
+        |shared: &Shared| versioned_oid.map_or(0, |oid| version_of(shared, node.0, oid));
     let reply = handle_request(shared, node, caller, req);
     let obj_version = version_now(shared);
     {
@@ -2896,5 +3068,38 @@ mod tests {
         let after = cluster.stats();
         assert_eq!(after.flushes, 1);
         assert!(cluster.shared().outqueues.borrow().is_empty());
+    }
+
+    /// The zero-copy wire path at the runtime level: a repeated call sends
+    /// fewer bytes than its first occurrence (the method signature shrank
+    /// to an interned reference), encode buffers are recycled per link, and
+    /// the merged stats expose all three wire counters.
+    #[test]
+    fn repeat_calls_intern_signatures_and_reuse_buffers() {
+        let policy = StaticPolicy::new().place("C", Placement::Node(NodeId(1)));
+        let (cluster, _) = deployed(policy);
+        let obj = cluster.new_instance(NodeId(0), "C", 0, vec![]).unwrap();
+        let net = cluster.network();
+        let t0 = net.stats().bytes;
+        cluster
+            .call_method(NodeId(0), obj.clone(), "add", vec![Value::Int(1)])
+            .unwrap();
+        let first = net.stats().bytes - t0;
+        let t1 = net.stats().bytes;
+        cluster
+            .call_method(NodeId(0), obj, "add", vec![Value::Int(1)])
+            .unwrap();
+        let second = net.stats().bytes - t1;
+        assert!(
+            second < first,
+            "an interned repeat call must be smaller on the wire: {second} >= {first}"
+        );
+        let stats = cluster.stats();
+        assert!(stats.sig_defs > 0, "first frames define signatures");
+        assert!(stats.sig_refs > 0, "repeat frames reference them");
+        assert!(
+            stats.wire_buf_reuses > 0,
+            "second exchange on a link must reuse its encode buffers"
+        );
     }
 }

@@ -5,26 +5,50 @@ use crate::WireError;
 /// A little-endian byte writer. When `align` is true, multi-byte primitives
 /// are aligned to their natural boundary relative to the start of the
 /// buffer, as in CORBA CDR.
+///
+/// Encoding is infallible byte-pushing except for one class of error:
+/// u32 length prefixes whose value does not fit in a `u32` (a >4 GiB
+/// string or element count). Such a write *poisons* the writer instead of
+/// silently truncating the length on the wire; [`BinWriter::finish`]
+/// surfaces the poison as a typed [`WireError`], so a corrupt frame is
+/// never produced.
 #[derive(Debug)]
 pub struct BinWriter {
     buf: Vec<u8>,
     align: bool,
+    poisoned: Option<WireError>,
 }
 
 impl BinWriter {
     /// Unaligned (RMI-style) writer.
     pub fn new() -> Self {
-        BinWriter {
-            buf: Vec::with_capacity(64),
-            align: false,
-        }
+        Self::reuse(Vec::with_capacity(64))
     }
 
     /// CDR-aligned writer.
     pub fn aligned() -> Self {
+        Self::reuse_aligned(Vec::with_capacity(64))
+    }
+
+    /// Unaligned writer over a recycled buffer (cleared, capacity kept).
+    /// This is the per-link buffer-pool entry point: the backing allocation
+    /// of a previous frame is reused instead of dropped.
+    pub fn reuse(mut buf: Vec<u8>) -> Self {
+        buf.clear();
         BinWriter {
-            buf: Vec::with_capacity(64),
+            buf,
+            align: false,
+            poisoned: None,
+        }
+    }
+
+    /// CDR-aligned writer over a recycled buffer (cleared, capacity kept).
+    pub fn reuse_aligned(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        BinWriter {
+            buf,
             align: true,
+            poisoned: None,
         }
     }
 
@@ -83,9 +107,27 @@ impl BinWriter {
         self.u64(v.to_bits())
     }
 
+    /// Write a `usize` as a u32 length prefix, checking the value fits.
+    /// An oversized length (a >4 GiB string or element count) poisons the
+    /// writer rather than truncating via `as u32` and emitting a frame whose
+    /// prefix disagrees with its body.
+    pub fn len_u32(&mut self, n: usize) -> &mut Self {
+        match u32::try_from(n) {
+            Ok(v) => self.u32(v),
+            Err(_) => {
+                if self.poisoned.is_none() {
+                    self.poisoned = Some(WireError::new(format!(
+                        "length {n} does not fit in a u32 prefix"
+                    )));
+                }
+                self
+            }
+        }
+    }
+
     /// Length-prefixed UTF-8 string (u32 length).
     pub fn string(&mut self, s: &str) -> &mut Self {
-        self.u32(s.len() as u32);
+        self.len_u32(s.len());
         self.buf.extend_from_slice(s.as_bytes());
         self
     }
@@ -96,9 +138,12 @@ impl BinWriter {
         self
     }
 
-    /// Finish and take the buffer.
-    pub fn finish(self) -> Vec<u8> {
-        self.buf
+    /// Finish and take the buffer, surfacing any length-prefix poison.
+    pub fn finish(self) -> Result<Vec<u8>, WireError> {
+        match self.poisoned {
+            None => Ok(self.buf),
+            Some(e) => Err(e),
+        }
     }
 
     /// Bytes written so far.
@@ -143,6 +188,20 @@ impl<'a> BinReader<'a> {
             pos: 0,
             align: true,
         }
+    }
+
+    /// Resume reading `buf` at byte offset `pos`, in the given alignment
+    /// mode. Used by the lazy-payload path: a header scan records where the
+    /// payload starts and materialisation picks up from there. Alignment
+    /// stays relative to the buffer start (CDR semantics), which is why the
+    /// full buffer is kept rather than a payload sub-slice.
+    pub fn resume(buf: &'a [u8], pos: usize, align: bool) -> Self {
+        BinReader { buf, pos, align }
+    }
+
+    /// Current byte offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
     }
 
     fn skip_pad(&mut self, n: usize) {
@@ -227,8 +286,11 @@ impl<'a> BinReader<'a> {
     }
 
     /// Whether all input was consumed (ignoring trailing alignment pad).
+    /// The bounds check must come first: `skip_pad` can legally advance
+    /// `pos` past the end of the buffer when a frame ends mid-pad, and
+    /// slicing `buf[self.pos..]` with such a `pos` would panic.
     pub fn at_end(&self) -> bool {
-        self.buf[self.pos..].iter().all(|&b| b == 0) || self.pos >= self.buf.len()
+        self.pos >= self.buf.len() || self.buf[self.pos..].iter().all(|&b| b == 0)
     }
 }
 
@@ -241,7 +303,7 @@ mod tests {
         let mut w = BinWriter::new();
         w.u8(7).u16(300).u32(70_000).u64(1 << 40).i32(-5).i64(-6);
         w.f32(1.5).f64(-2.25).string("héllo");
-        let buf = w.finish();
+        let buf = w.finish().unwrap();
         let mut r = BinReader::new(&buf);
         assert_eq!(r.u8().unwrap(), 7);
         assert_eq!(r.u16().unwrap(), 300);
@@ -259,7 +321,7 @@ mod tests {
     fn aligned_writer_pads_and_reader_skips() {
         let mut w = BinWriter::aligned();
         w.u8(1).u32(2).u8(3).u64(4);
-        let buf = w.finish();
+        let buf = w.finish().unwrap();
         // u8 at 0, pad to 4, u32 at 4..8, u8 at 8, pad to 16, u64 at 16..24
         assert_eq!(buf.len(), 24);
         let mut r = BinReader::aligned(&buf);
@@ -283,5 +345,46 @@ mod tests {
         assert!(r.expect(b"JRMI").is_err());
         let mut r2 = BinReader::new(&buf);
         assert!(r2.expect(b"GIOP").is_ok());
+    }
+
+    #[test]
+    fn oversized_length_prefix_poisons_writer() {
+        if usize::BITS <= 32 {
+            return; // the overflow cannot be constructed on 32-bit targets
+        }
+        let mut w = BinWriter::new();
+        w.u8(1).len_u32((u32::MAX as usize) + 1).u8(2);
+        let err = w.finish().unwrap_err();
+        assert!(err.0.contains("does not fit"), "unexpected error: {err:?}");
+
+        // An in-range length never poisons.
+        let mut ok = BinWriter::new();
+        ok.len_u32(u32::MAX as usize);
+        assert!(ok.finish().is_ok());
+    }
+
+    #[test]
+    fn at_end_tolerates_pad_past_buffer_end() {
+        // A CDR frame that ends mid-pad: u8 at 0, then the reader skips pad
+        // for a u32 that never comes. `skip_pad` advances pos to 4 on a
+        // 2-byte buffer; at_end must report true, not panic.
+        let buf = vec![7, 0];
+        let mut r = BinReader::aligned(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.u32().is_err());
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn reused_buffer_is_cleared_but_keeps_capacity() {
+        let mut w = BinWriter::new();
+        w.string("first frame with some length");
+        let buf = w.finish().unwrap();
+        let cap = buf.capacity();
+        let mut w2 = BinWriter::reuse(buf);
+        w2.u8(9);
+        let buf2 = w2.finish().unwrap();
+        assert_eq!(buf2, vec![9]);
+        assert!(buf2.capacity() >= cap.min(1));
     }
 }

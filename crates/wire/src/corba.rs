@@ -3,8 +3,13 @@
 //! Reuses the tag layout of the RMI codec but with natural alignment of
 //! multi-byte primitives (relative to message start), which makes messages
 //! somewhat larger — the classic CDR trade-off of parse speed for padding.
+//!
+//! The body readers are shared with the RMI codec, so the untrusted-length
+//! preallocation caps (`rmi::MAX_PREALLOC_*`) bound GIOP decoding too.
 
 use crate::binary::{BinReader, BinWriter};
+use crate::frame::FrameHeader;
+use crate::sig::SigTable;
 use crate::{rmi, Protocol, Reply, Request, TraceContext, WireError};
 
 const MAGIC: &[u8] = b"GIOP";
@@ -22,8 +27,13 @@ const MAGIC: &[u8] = b"GIOP";
 // Minor version 7 added the batch request/reply bodies (batched remote
 // invocation); again the header layout is unchanged, so minor-6 frames
 // still decode as before.
+// Minor version 8 adds signature interning (marker-prefixed signature
+// strings resolved against the link's `SigTable`), emitted only when a
+// table is supplied; the stateless encode path still emits minor-7 bytes,
+// and minor-7 frames still decode as before.
 const MAJOR: u8 = 1;
 const MINOR: u8 = 7;
+const MINOR_SIG: u8 = 8;
 
 /// The CORBA-like protocol.
 #[derive(Debug, Clone, Copy, Default)]
@@ -41,15 +51,24 @@ impl Protocol for CorbaCodec {
         "CORBA"
     }
 
-    fn encode_request(&self, id: u64, ctx: TraceContext, req: &Request) -> Vec<u8> {
-        let mut w = BinWriter::aligned();
-        w.raw(MAGIC).raw(&[MAJOR, MINOR]).u64(id);
+    fn encode_request_into(
+        &self,
+        id: u64,
+        ctx: TraceContext,
+        req: &Request,
+        mut sigs: Option<&mut SigTable>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), WireError> {
+        let mut w = BinWriter::reuse_aligned(std::mem::take(out));
+        let minor = if sigs.is_some() { MINOR_SIG } else { MINOR };
+        w.raw(MAGIC).raw(&[MAJOR, minor]).u64(id);
         rmi::write_ctx(&mut w, ctx);
-        rmi::write_request(&mut w, req);
-        w.finish()
+        rmi::write_request(&mut w, req, &mut sigs);
+        *out = w.finish()?;
+        Ok(())
     }
 
-    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Request), WireError> {
+    fn decode_request_header<'a>(&self, bytes: &'a [u8]) -> Result<FrameHeader<'a>, WireError> {
         let mut r = BinReader::aligned(bytes);
         r.expect(MAGIC)?;
         r.expect(&[MAJOR])?;
@@ -60,19 +79,33 @@ impl Protocol for CorbaCodec {
         } else {
             TraceContext::NONE
         };
-        Ok((id, ctx, rmi::read_request(&mut r)?))
+        rmi::binary_header(bytes, &mut r, id, ctx, true, minor >= 8)
     }
 
-    fn encode_reply(&self, id: u64, ctx: TraceContext, obj_version: u64, reply: &Reply) -> Vec<u8> {
-        let mut w = BinWriter::aligned();
-        w.raw(MAGIC).raw(&[MAJOR, MINOR]).u64(id);
+    fn encode_reply_into(
+        &self,
+        id: u64,
+        ctx: TraceContext,
+        obj_version: u64,
+        reply: &Reply,
+        mut sigs: Option<&mut SigTable>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), WireError> {
+        let mut w = BinWriter::reuse_aligned(std::mem::take(out));
+        let minor = if sigs.is_some() { MINOR_SIG } else { MINOR };
+        w.raw(MAGIC).raw(&[MAJOR, minor]).u64(id);
         rmi::write_ctx(&mut w, ctx);
         w.u64(obj_version);
-        rmi::write_reply(&mut w, reply);
-        w.finish()
+        rmi::write_reply(&mut w, reply, &mut sigs);
+        *out = w.finish()?;
+        Ok(())
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, u64, Reply), WireError> {
+    fn decode_reply_with(
+        &self,
+        bytes: &[u8],
+        mut sigs: Option<&mut SigTable>,
+    ) -> Result<(u64, TraceContext, u64, Reply), WireError> {
         let mut r = BinReader::aligned(bytes);
         r.expect(MAGIC)?;
         r.expect(&[MAJOR])?;
@@ -84,7 +117,8 @@ impl Protocol for CorbaCodec {
             TraceContext::NONE
         };
         let obj_version = if minor >= 5 { r.u64()? } else { 0 };
-        Ok((id, ctx, obj_version, rmi::read_reply(&mut r)?))
+        let reply = rmi::read_reply(&mut r, minor >= 8, &mut sigs)?;
+        Ok((id, ctx, obj_version, reply))
     }
 
     /// ORB request brokering cost: ~60 µs per message.
@@ -96,6 +130,7 @@ impl Protocol for CorbaCodec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::RequestKind;
     use crate::testdata;
     use crate::WireValue;
 
@@ -109,20 +144,23 @@ mod tests {
         let rmi = crate::RmiCodec::new();
         let corba = CorbaCodec::new();
         for req in testdata::sample_requests() {
-            let r = rmi.encode_request(9, TraceContext::NONE, &req).len();
-            let c = corba.encode_request(9, TraceContext::NONE, &req).len();
+            let r = rmi
+                .encode_request(9, TraceContext::NONE, &req)
+                .unwrap()
+                .len();
+            let c = corba
+                .encode_request(9, TraceContext::NONE, &req)
+                .unwrap()
+                .len();
             assert!(c >= r, "corba {c} < rmi {r} for {req:?}");
         }
     }
 
     #[test]
     fn rejects_rmi_frames() {
-        let frame = crate::RmiCodec::new().encode_reply(
-            3,
-            TraceContext::NONE,
-            0,
-            &Reply::Value(WireValue::Int(1)),
-        );
+        let frame = crate::RmiCodec::new()
+            .encode_reply(3, TraceContext::NONE, 0, &Reply::Value(WireValue::Int(1)))
+            .unwrap();
         assert!(CorbaCodec::new().decode_reply(&frame).is_err());
     }
 
@@ -133,11 +171,9 @@ mod tests {
             span_id: 0xBB,
             parent_span_id: 0xCC,
         };
-        let bytes = CorbaCodec::new().encode_request(
-            0x1122_3344_5566_7788,
-            ctx,
-            &Request::Fetch { object: 1 },
-        );
+        let bytes = CorbaCodec::new()
+            .encode_request(0x1122_3344_5566_7788, ctx, &Request::Fetch { object: 1 })
+            .unwrap();
         // 4 magic + 2 version + 2 pad, then the aligned u64 id, then the
         // three aligned u64s of the trace context.
         let id = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
@@ -154,7 +190,9 @@ mod tests {
             span_id: 6,
             parent_span_id: 1,
         };
-        let v6 = CorbaCodec::new().encode_request(9, ctx, &Request::Fetch { object: 2 });
+        let v6 = CorbaCodec::new()
+            .encode_request(9, ctx, &Request::Fetch { object: 2 })
+            .unwrap();
         // Re-create the pre-tracing frame: minor version 3, no trace context
         // words (drop bytes 16..40); everything after stays aligned because
         // 24 bytes is a multiple of 8.
@@ -178,12 +216,16 @@ mod tests {
             parent_span_id: 1,
         };
         let codec = CorbaCodec::new();
-        let mut req5 = codec.encode_request(11, ctx, &Request::Fetch { object: 2 });
+        let mut req5 = codec
+            .encode_request(11, ctx, &Request::Fetch { object: 2 })
+            .unwrap();
         req5[5] = 5;
         let (id, back_ctx, req) = codec.decode_request(&req5).unwrap();
         assert_eq!((id, back_ctx), (11, ctx));
         assert_eq!(req, Request::Fetch { object: 2 });
-        let mut rep5 = codec.encode_reply(11, ctx, 31, &Reply::Value(WireValue::Long(-8)));
+        let mut rep5 = codec
+            .encode_reply(11, ctx, 31, &Reply::Value(WireValue::Long(-8)))
+            .unwrap();
         rep5[5] = 5;
         let (id, back_ctx, ver, reply) = codec.decode_reply(&rep5).unwrap();
         assert_eq!((id, back_ctx, ver), (11, ctx, 31));
@@ -201,16 +243,67 @@ mod tests {
             parent_span_id: 2,
         };
         let codec = CorbaCodec::new();
-        let mut req6 = codec.encode_request(17, ctx, &Request::Promote { node: 1, object: 5 });
+        let mut req6 = codec
+            .encode_request(17, ctx, &Request::Promote { node: 1, object: 5 })
+            .unwrap();
         req6[5] = 6;
         let (id, back_ctx, req) = codec.decode_request(&req6).unwrap();
         assert_eq!((id, back_ctx), (17, ctx));
         assert_eq!(req, Request::Promote { node: 1, object: 5 });
-        let mut rep6 = codec.encode_reply(17, ctx, 3, &Reply::Value(WireValue::Int(6)));
+        let mut rep6 = codec
+            .encode_reply(17, ctx, 3, &Reply::Value(WireValue::Int(6)))
+            .unwrap();
         rep6[5] = 6;
         let (id, back_ctx, ver, reply) = codec.decode_reply(&rep6).unwrap();
         assert_eq!((id, back_ctx, ver), (17, ctx, 3));
         assert_eq!(reply, Reply::Value(WireValue::Int(6)));
+    }
+
+    #[test]
+    fn minor_7_frames_decode_unchanged() {
+        // Minor 8 only changed how signature strings are written, and only
+        // when a table is negotiated; stateless encode stays at minor 7 and
+        // those frames keep decoding with or without a decode-side table.
+        let codec = CorbaCodec::new();
+        let req = Request::Discover {
+            class: "Stock".into(),
+        };
+        let bytes = codec.encode_request(3, TraceContext::NONE, &req).unwrap();
+        assert_eq!(bytes[5], 7, "stateless encode stays at minor 7");
+        let mut table = SigTable::new();
+        let header = codec.decode_request_header(&bytes).unwrap();
+        assert_eq!(header.materialise(Some(&mut table)).unwrap(), req);
+        assert!(table.is_empty(), "minor-7 frames never intern");
+    }
+
+    #[test]
+    fn sigged_frames_roundtrip_aligned() {
+        let codec = CorbaCodec::new();
+        let req = Request::Create {
+            class: "StockMarket".into(),
+            ctor: 1,
+            args: vec![WireValue::ObjectState {
+                class: "Quote_O_Local".into(),
+                fields: vec![WireValue::Int(5)],
+            }],
+        };
+        let mut enc = SigTable::new();
+        let mut dec = SigTable::new();
+        let mut first = Vec::new();
+        codec
+            .encode_request_into(1, TraceContext::NONE, &req, Some(&mut enc), &mut first)
+            .unwrap();
+        assert_eq!(first[5], 8, "sigged frames are minor 8");
+        let h = codec.decode_request_header(&first).unwrap();
+        assert_eq!(h.kind, RequestKind::Create);
+        assert_eq!(h.materialise(Some(&mut dec)).unwrap(), req);
+        let mut second = Vec::new();
+        codec
+            .encode_request_into(2, TraceContext::NONE, &req, Some(&mut enc), &mut second)
+            .unwrap();
+        assert!(second.len() < first.len());
+        let h2 = codec.decode_request_header(&second).unwrap();
+        assert_eq!(h2.materialise(Some(&mut dec)).unwrap(), req);
     }
 
     #[test]
@@ -220,7 +313,9 @@ mod tests {
             span_id: 6,
             parent_span_id: 1,
         };
-        let v6 = CorbaCodec::new().encode_reply(9, ctx, 31, &Reply::Value(WireValue::Long(-8)));
+        let v6 = CorbaCodec::new()
+            .encode_reply(9, ctx, 31, &Reply::Value(WireValue::Long(-8)))
+            .unwrap();
         // Re-create the pre-caching frame: minor version 4, no object
         // version word (drop bytes 40..48); the body stays aligned because
         // 8 bytes is a multiple of 8.

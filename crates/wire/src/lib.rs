@@ -29,12 +29,16 @@
 
 pub mod binary;
 pub mod corba;
+pub mod frame;
 pub mod rmi;
+pub mod sig;
 pub mod soap;
 
 pub use corba::CorbaCodec;
+pub use frame::{FrameHeader, RequestKind};
 pub use rafda_telemetry::TraceContext;
 pub use rmi::RmiCodec;
+pub use sig::{SigEnc, SigTable};
 pub use soap::SoapCodec;
 
 use std::fmt;
@@ -232,26 +236,125 @@ impl WireError {
 /// Implementations must round-trip exactly. `overhead_ns` models the
 /// protocol-stack processing cost charged per message in addition to the
 /// transmission cost (e.g. XML parsing for SOAP).
+///
+/// The required methods form the **zero-copy fast path**: `*_into`
+/// encoders write into a caller-supplied (typically pooled) buffer and
+/// thread an optional per-link [`SigTable`] for signature interning, and
+/// `decode_request_header` parses only the frame header, deferring the
+/// owned body to [`FrameHeader::materialise`]. The provided
+/// `encode_request`/`decode_request`/`encode_reply`/`decode_reply`
+/// convenience wrappers are the stateless path: fresh buffers, no
+/// signature table, and — by construction — the pre-interning wire format
+/// (RMI v7 / GIOP 1.7), byte-identical to what earlier releases emitted.
 pub trait Protocol {
     /// Short protocol name, used in generated proxy class names
     /// (`A_O_Proxy_SOAP` etc.).
     fn name(&self) -> &'static str;
 
     /// Encode a request under message id `id`, carrying trace context
-    /// `ctx`.
-    fn encode_request(&self, id: u64, ctx: TraceContext, req: &Request) -> Vec<u8>;
-
-    /// Decode a request, returning its message id, trace context and body.
+    /// `ctx`, into `out` (cleared first; its allocation is reused). With a
+    /// [`SigTable`], signature-position strings are interned and the
+    /// sigged frame format is emitted (RMI v8 / GIOP 1.8 / SOAP
+    /// `rafda:sigref`).
     ///
     /// # Errors
-    /// [`WireError`] on malformed input.
-    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Request), WireError>;
+    /// [`WireError`] when a length prefix would not fit the wire format
+    /// (e.g. a >4 GiB string); no frame bytes are produced in that case.
+    fn encode_request_into(
+        &self,
+        id: u64,
+        ctx: TraceContext,
+        req: &Request,
+        sigs: Option<&mut SigTable>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), WireError>;
+
+    /// Parse a request frame's header — message id, trace context and
+    /// request discriminant — without building the owned body. The
+    /// returned [`FrameHeader`] borrows `bytes` and materialises the
+    /// [`Request`] on demand.
+    ///
+    /// # Errors
+    /// [`WireError`] on a malformed header.
+    fn decode_request_header<'a>(&self, bytes: &'a [u8]) -> Result<FrameHeader<'a>, WireError>;
 
     /// Encode a reply answering the request with message id `id`, carrying
     /// the server span's trace context `ctx` and the served object's
     /// property version `obj_version` (0 when the request did not address a
-    /// versioned object).
-    fn encode_reply(&self, id: u64, ctx: TraceContext, obj_version: u64, reply: &Reply) -> Vec<u8>;
+    /// versioned object), into `out` (cleared first). See
+    /// [`Protocol::encode_request_into`] for the `sigs` semantics.
+    ///
+    /// # Errors
+    /// [`WireError`] when a length prefix would not fit the wire format.
+    fn encode_reply_into(
+        &self,
+        id: u64,
+        ctx: TraceContext,
+        obj_version: u64,
+        reply: &Reply,
+        sigs: Option<&mut SigTable>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), WireError>;
+
+    /// Decode a reply, resolving signature references against (and
+    /// interning inline signatures into) the link's table when one is
+    /// supplied. Frames from pre-caching peers decode with version 0.
+    ///
+    /// # Errors
+    /// [`WireError`] on malformed input or an unresolvable signature
+    /// reference.
+    fn decode_reply_with(
+        &self,
+        bytes: &[u8],
+        sigs: Option<&mut SigTable>,
+    ) -> Result<(u64, TraceContext, u64, Reply), WireError>;
+
+    /// Encode a request into a fresh buffer with no signature table (the
+    /// stateless wire format).
+    ///
+    /// # Errors
+    /// [`WireError`] when a length prefix would not fit the wire format.
+    fn encode_request(
+        &self,
+        id: u64,
+        ctx: TraceContext,
+        req: &Request,
+    ) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::with_capacity(64);
+        self.encode_request_into(id, ctx, req, None, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decode a request, returning its message id, trace context and body.
+    /// Equivalent to header decode + immediate materialisation without a
+    /// signature table, so frames carrying signature *references* need
+    /// [`Protocol::decode_request_header`] +
+    /// [`FrameHeader::materialise`] with the link table instead.
+    ///
+    /// # Errors
+    /// [`WireError`] on malformed input.
+    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Request), WireError> {
+        let header = self.decode_request_header(bytes)?;
+        let req = header.materialise(None)?;
+        Ok((header.msg_id, header.ctx, req))
+    }
+
+    /// Encode a reply into a fresh buffer with no signature table (the
+    /// stateless wire format).
+    ///
+    /// # Errors
+    /// [`WireError`] when a length prefix would not fit the wire format.
+    fn encode_reply(
+        &self,
+        id: u64,
+        ctx: TraceContext,
+        obj_version: u64,
+        reply: &Reply,
+    ) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::with_capacity(64);
+        self.encode_reply_into(id, ctx, obj_version, reply, None, &mut out)?;
+        Ok(out)
+    }
 
     /// Decode a reply, returning the answered message id, trace context,
     /// object property version and body. Frames from pre-caching peers
@@ -259,7 +362,9 @@ pub trait Protocol {
     ///
     /// # Errors
     /// [`WireError`] on malformed input.
-    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, u64, Reply), WireError>;
+    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, u64, Reply), WireError> {
+        self.decode_reply_with(bytes, None)
+    }
 
     /// Per-message protocol-stack processing cost (simulated nanoseconds).
     fn overhead_ns(&self) -> u64 {
@@ -464,7 +569,9 @@ pub(crate) mod testdata {
         for (i, req) in sample_requests().into_iter().enumerate() {
             let id = sample_id(i);
             let ctx = sample_ctx(i);
-            let bytes = p.encode_request(id, ctx, &req);
+            let bytes = p
+                .encode_request(id, ctx, &req)
+                .unwrap_or_else(|e| panic!("{}: encode {e} for {req:?}", p.name()));
             let (back_id, back_ctx, back) = p
                 .decode_request(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e} for {req:?}", p.name()));
@@ -476,7 +583,9 @@ pub(crate) mod testdata {
             let id = sample_id(i);
             let ctx = sample_ctx(i);
             let ver = sample_version(i);
-            let bytes = p.encode_reply(id, ctx, ver, &reply);
+            let bytes = p
+                .encode_reply(id, ctx, ver, &reply)
+                .unwrap_or_else(|e| panic!("{}: encode {e} for {reply:?}", p.name()));
             let (back_id, back_ctx, back_ver, back) = p
                 .decode_reply(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e} for {reply:?}", p.name()));
@@ -543,12 +652,15 @@ mod tests {
         };
         let rmi = RmiCodec::new()
             .encode_request(1, TraceContext::NONE, &req)
+            .unwrap()
             .len();
         let soap = SoapCodec::new()
             .encode_request(1, TraceContext::NONE, &req)
+            .unwrap()
             .len();
         let corba = CorbaCodec::new()
             .encode_request(1, TraceContext::NONE, &req)
+            .unwrap()
             .len();
         assert!(soap > 3 * rmi, "soap={soap} rmi={rmi}");
         assert!(soap > 2 * corba, "soap={soap} corba={corba}");

@@ -1,6 +1,8 @@
 //! RMI-like codec: compact tagged binary, JRMP-style magic header.
 
 use crate::binary::{BinReader, BinWriter};
+use crate::frame::{FrameHeader, Payload, RequestKind};
+use crate::sig::{SigEnc, SigTable};
 use crate::{Protocol, Reply, Request, TraceContext, WireError, WireValue};
 
 const MAGIC: &[u8] = b"JRMI";
@@ -16,7 +18,26 @@ const MAGIC: &[u8] = b"JRMI";
 // Version 7 added the batch request/reply tags (batched remote
 // invocation). Again the header layout is unchanged, so version-6 frames
 // still decode as before.
+// Version 8 adds signature interning: signature-position strings (method
+// descriptors and class names, never payload `Str` values) are prefixed
+// with a marker byte — inline-and-define, or a u32 reference into the
+// link's `SigTable`. Version-8 frames are only emitted when a table is
+// supplied; the stateless encode path still emits version-7 bytes, and
+// version-7 frames still decode as before.
 const VERSION: u8 = 7;
+const VERSION_SIG: u8 = 8;
+
+// Signature markers (version >= 8 only).
+const SIG_INLINE: u8 = 0;
+const SIG_REF: u8 = 1;
+
+/// Decoder preallocation caps for untrusted length fields: a corrupt or
+/// adversarial count can claim up to `u32::MAX` elements, so
+/// `Vec::with_capacity` is clamped and the vector grows only as elements
+/// actually parse. Shared by the RMI and GIOP codecs (GIOP delegates its
+/// body to these readers).
+pub(crate) const MAX_PREALLOC_VALUES: usize = 1024;
+pub(crate) const MAX_PREALLOC_OPS: usize = 256;
 
 pub(crate) fn write_ctx(w: &mut BinWriter, ctx: TraceContext) {
     w.u64(ctx.trace_id).u64(ctx.span_id).u64(ctx.parent_span_id);
@@ -28,6 +49,58 @@ pub(crate) fn read_ctx(r: &mut BinReader<'_>) -> Result<TraceContext, WireError>
         span_id: r.u64()?,
         parent_span_id: r.u64()?,
     })
+}
+
+/// Option<&mut SigTable> threaded through the recursive writers/readers.
+/// Held by mutable reference so recursion does not consume the option.
+pub(crate) type Sigs<'t, 's> = &'t mut Option<&'s mut SigTable>;
+
+/// Write a signature-position string: plain when no table is negotiated,
+/// marker-prefixed (define-inline or reference) under version 8.
+fn write_sig(w: &mut BinWriter, s: &str, sigs: Sigs<'_, '_>) {
+    match sigs.as_deref_mut() {
+        None => {
+            w.string(s);
+        }
+        Some(t) => match t.encode_sig(s) {
+            SigEnc::Ref(id) => {
+                w.u8(SIG_REF).u32(id);
+            }
+            SigEnc::Inline => {
+                w.u8(SIG_INLINE).string(s);
+            }
+        },
+    }
+}
+
+/// Read a signature-position string. `sigged` frames (v8) carry a marker;
+/// older frames carry the plain string. Inline signatures are interned
+/// into the table (mirroring the encoder's define-on-first-use), and
+/// references are resolved from it — a reference without a table is an
+/// error, since only the table that saw the defining frame can expand it.
+fn read_sig(r: &mut BinReader<'_>, sigged: bool, sigs: Sigs<'_, '_>) -> Result<String, WireError> {
+    if !sigged {
+        return r.string();
+    }
+    match r.u8()? {
+        SIG_INLINE => {
+            let s = r.string()?;
+            if let Some(t) = sigs.as_deref_mut() {
+                t.intern(&s);
+            }
+            Ok(s)
+        }
+        SIG_REF => {
+            let id = r.u32()?;
+            match sigs.as_deref_mut() {
+                Some(t) => Ok(t.resolve(id)?.to_owned()),
+                None => Err(WireError::new(format!(
+                    "sigref {id} without a negotiated table"
+                ))),
+            }
+        }
+        m => Err(WireError::new(format!("unknown sig marker {m}"))),
+    }
 }
 
 // Value tags.
@@ -59,7 +132,22 @@ const P_EXCEPTION: u8 = 1;
 const P_FAULT: u8 = 2;
 const P_BATCH: u8 = 3;
 
-pub(crate) fn write_value(w: &mut BinWriter, v: &WireValue) {
+fn request_kind(tag: u8) -> Result<RequestKind, WireError> {
+    Ok(match tag {
+        R_CALL => RequestKind::Call,
+        R_CREATE => RequestKind::Create,
+        R_DISCOVER => RequestKind::Discover,
+        R_FETCH => RequestKind::Fetch,
+        R_INSTALL => RequestKind::Install,
+        R_FORWARD => RequestKind::Forward,
+        R_REPLICA => RequestKind::ReplicaSync,
+        R_PROMOTE => RequestKind::Promote,
+        R_BATCH => RequestKind::Batch,
+        tag => return Err(WireError::new(format!("unknown request tag {tag}"))),
+    })
+}
+
+pub(crate) fn write_value(w: &mut BinWriter, v: &WireValue, sigs: Sigs<'_, '_>) {
     match v {
         WireValue::Null => {
             w.u8(T_NULL);
@@ -87,24 +175,31 @@ pub(crate) fn write_value(w: &mut BinWriter, v: &WireValue) {
             object,
             class,
         } => {
-            w.u8(T_REMOTE).u32(*node).u64(*object).string(class);
+            w.u8(T_REMOTE).u32(*node).u64(*object);
+            write_sig(w, class, sigs);
         }
         WireValue::Array(items) => {
-            w.u8(T_ARRAY).u32(items.len() as u32);
+            w.u8(T_ARRAY).len_u32(items.len());
             for item in items {
-                write_value(w, item);
+                write_value(w, item, sigs);
             }
         }
         WireValue::ObjectState { class, fields } => {
-            w.u8(T_STATE).string(class).u32(fields.len() as u32);
+            w.u8(T_STATE);
+            write_sig(w, class, sigs);
+            w.len_u32(fields.len());
             for f in fields {
-                write_value(w, f);
+                write_value(w, f, sigs);
             }
         }
     }
 }
 
-pub(crate) fn read_value(r: &mut BinReader<'_>) -> Result<WireValue, WireError> {
+pub(crate) fn read_value(
+    r: &mut BinReader<'_>,
+    sigged: bool,
+    sigs: Sigs<'_, '_>,
+) -> Result<WireValue, WireError> {
     Ok(match r.u8()? {
         T_NULL => WireValue::Null,
         T_BOOL => WireValue::Bool(r.u8()? != 0),
@@ -116,22 +211,22 @@ pub(crate) fn read_value(r: &mut BinReader<'_>) -> Result<WireValue, WireError> 
         T_REMOTE => WireValue::Remote {
             node: r.u32()?,
             object: r.u64()?,
-            class: r.string()?,
+            class: read_sig(r, sigged, sigs)?,
         },
         T_ARRAY => {
             let n = r.u32()? as usize;
-            let mut items = Vec::with_capacity(n.min(1024));
+            let mut items = Vec::with_capacity(n.min(MAX_PREALLOC_VALUES));
             for _ in 0..n {
-                items.push(read_value(r)?);
+                items.push(read_value(r, sigged, sigs)?);
             }
             WireValue::Array(items)
         }
         T_STATE => {
-            let class = r.string()?;
+            let class = read_sig(r, sigged, sigs)?;
             let n = r.u32()? as usize;
-            let mut fields = Vec::with_capacity(n.min(1024));
+            let mut fields = Vec::with_capacity(n.min(MAX_PREALLOC_VALUES));
             for _ in 0..n {
-                fields.push(read_value(r)?);
+                fields.push(read_value(r, sigged, sigs)?);
             }
             WireValue::ObjectState { class, fields }
         }
@@ -139,32 +234,31 @@ pub(crate) fn read_value(r: &mut BinReader<'_>) -> Result<WireValue, WireError> 
     })
 }
 
-pub(crate) fn write_request(w: &mut BinWriter, req: &Request) {
+pub(crate) fn write_request(w: &mut BinWriter, req: &Request, sigs: Sigs<'_, '_>) {
     match req {
         Request::Call {
             object,
             method,
             args,
         } => {
-            w.u8(R_CALL)
-                .u64(*object)
-                .string(method)
-                .u32(args.len() as u32);
+            w.u8(R_CALL).u64(*object);
+            write_sig(w, method, sigs);
+            w.len_u32(args.len());
             for a in args {
-                write_value(w, a);
+                write_value(w, a, sigs);
             }
         }
         Request::Create { class, ctor, args } => {
-            w.u8(R_CREATE)
-                .string(class)
-                .u16(*ctor)
-                .u32(args.len() as u32);
+            w.u8(R_CREATE);
+            write_sig(w, class, sigs);
+            w.u16(*ctor).len_u32(args.len());
             for a in args {
-                write_value(w, a);
+                write_value(w, a, sigs);
             }
         }
         Request::Discover { class } => {
-            w.u8(R_DISCOVER).string(class);
+            w.u8(R_DISCOVER);
+            write_sig(w, class, sigs);
         }
         Request::Fetch { object } => {
             w.u8(R_FETCH).u64(*object);
@@ -179,7 +273,7 @@ pub(crate) fn write_request(w: &mut BinWriter, req: &Request) {
                     w.u8(0);
                 }
             }
-            write_value(w, state);
+            write_value(w, state, sigs);
         }
         Request::Forward {
             object,
@@ -194,29 +288,33 @@ pub(crate) fn write_request(w: &mut BinWriter, req: &Request) {
             state,
         } => {
             w.u8(R_REPLICA).u64(*object).u64(*version);
-            write_value(w, state);
+            write_value(w, state, sigs);
         }
         Request::Promote { node, object } => {
             w.u8(R_PROMOTE).u32(*node).u64(*object);
         }
         Request::Batch(ops) => {
-            w.u8(R_BATCH).u32(ops.len() as u32);
+            w.u8(R_BATCH).len_u32(ops.len());
             for op in ops {
-                write_request(w, op);
+                write_request(w, op, sigs);
             }
         }
     }
 }
 
-pub(crate) fn read_request(r: &mut BinReader<'_>) -> Result<Request, WireError> {
+pub(crate) fn read_request(
+    r: &mut BinReader<'_>,
+    sigged: bool,
+    sigs: Sigs<'_, '_>,
+) -> Result<Request, WireError> {
     Ok(match r.u8()? {
         R_CALL => {
             let object = r.u64()?;
-            let method = r.string()?;
+            let method = read_sig(r, sigged, sigs)?;
             let n = r.u32()? as usize;
-            let mut args = Vec::with_capacity(n.min(256));
+            let mut args = Vec::with_capacity(n.min(MAX_PREALLOC_OPS));
             for _ in 0..n {
-                args.push(read_value(r)?);
+                args.push(read_value(r, sigged, sigs)?);
             }
             Request::Call {
                 object,
@@ -225,16 +323,18 @@ pub(crate) fn read_request(r: &mut BinReader<'_>) -> Result<Request, WireError> 
             }
         }
         R_CREATE => {
-            let class = r.string()?;
+            let class = read_sig(r, sigged, sigs)?;
             let ctor = r.u16()?;
             let n = r.u32()? as usize;
-            let mut args = Vec::with_capacity(n.min(256));
+            let mut args = Vec::with_capacity(n.min(MAX_PREALLOC_OPS));
             for _ in 0..n {
-                args.push(read_value(r)?);
+                args.push(read_value(r, sigged, sigs)?);
             }
             Request::Create { class, ctor, args }
         }
-        R_DISCOVER => Request::Discover { class: r.string()? },
+        R_DISCOVER => Request::Discover {
+            class: read_sig(r, sigged, sigs)?,
+        },
         R_FETCH => Request::Fetch { object: r.u64()? },
         R_INSTALL => {
             let source = if r.u8()? != 0 {
@@ -243,7 +343,7 @@ pub(crate) fn read_request(r: &mut BinReader<'_>) -> Result<Request, WireError> 
                 None
             };
             Request::Install {
-                state: read_value(r)?,
+                state: read_value(r, sigged, sigs)?,
                 source,
             }
         }
@@ -255,7 +355,7 @@ pub(crate) fn read_request(r: &mut BinReader<'_>) -> Result<Request, WireError> 
         R_REPLICA => Request::ReplicaSync {
             object: r.u64()?,
             version: r.u64()?,
-            state: read_value(r)?,
+            state: read_value(r, sigged, sigs)?,
         },
         R_PROMOTE => Request::Promote {
             node: r.u32()?,
@@ -263,9 +363,9 @@ pub(crate) fn read_request(r: &mut BinReader<'_>) -> Result<Request, WireError> 
         },
         R_BATCH => {
             let n = r.u32()? as usize;
-            let mut ops = Vec::with_capacity(n.min(256));
+            let mut ops = Vec::with_capacity(n.min(MAX_PREALLOC_OPS));
             for _ in 0..n {
-                ops.push(read_request(r)?);
+                ops.push(read_request(r, sigged, sigs)?);
             }
             Request::Batch(ops)
         }
@@ -273,54 +373,99 @@ pub(crate) fn read_request(r: &mut BinReader<'_>) -> Result<Request, WireError> 
     })
 }
 
-pub(crate) fn write_reply(w: &mut BinWriter, reply: &Reply) {
+pub(crate) fn write_reply(w: &mut BinWriter, reply: &Reply, sigs: Sigs<'_, '_>) {
     match reply {
         Reply::Value(v) => {
             w.u8(P_VALUE);
-            write_value(w, v);
+            write_value(w, v, sigs);
         }
         Reply::Exception { class, fields } => {
-            w.u8(P_EXCEPTION).string(class).u32(fields.len() as u32);
+            w.u8(P_EXCEPTION);
+            write_sig(w, class, sigs);
+            w.len_u32(fields.len());
             for f in fields {
-                write_value(w, f);
+                write_value(w, f, sigs);
             }
         }
         Reply::Fault(msg) => {
             w.u8(P_FAULT).string(msg);
         }
         Reply::Batch(ops) => {
-            w.u8(P_BATCH).u32(ops.len() as u32);
+            w.u8(P_BATCH).len_u32(ops.len());
             for (version, reply) in ops {
                 w.u64(*version);
-                write_reply(w, reply);
+                write_reply(w, reply, sigs);
             }
         }
     }
 }
 
-pub(crate) fn read_reply(r: &mut BinReader<'_>) -> Result<Reply, WireError> {
+pub(crate) fn read_reply(
+    r: &mut BinReader<'_>,
+    sigged: bool,
+    sigs: Sigs<'_, '_>,
+) -> Result<Reply, WireError> {
     Ok(match r.u8()? {
-        P_VALUE => Reply::Value(read_value(r)?),
+        P_VALUE => Reply::Value(read_value(r, sigged, sigs)?),
         P_EXCEPTION => {
-            let class = r.string()?;
+            let class = read_sig(r, sigged, sigs)?;
             let n = r.u32()? as usize;
-            let mut fields = Vec::with_capacity(n.min(256));
+            let mut fields = Vec::with_capacity(n.min(MAX_PREALLOC_OPS));
             for _ in 0..n {
-                fields.push(read_value(r)?);
+                fields.push(read_value(r, sigged, sigs)?);
             }
             Reply::Exception { class, fields }
         }
         P_FAULT => Reply::Fault(r.string()?),
         P_BATCH => {
             let n = r.u32()? as usize;
-            let mut ops = Vec::with_capacity(n.min(256));
+            let mut ops = Vec::with_capacity(n.min(MAX_PREALLOC_OPS));
             for _ in 0..n {
                 let version = r.u64()?;
-                ops.push((version, read_reply(r)?));
+                ops.push((version, read_reply(r, sigged, sigs)?));
             }
             Reply::Batch(ops)
         }
         tag => return Err(WireError::new(format!("unknown reply tag {tag}"))),
+    })
+}
+
+/// Lazy-payload materialisation for the binary codecs: resume reading the
+/// frame at the request tag recorded by the header scan.
+pub(crate) fn materialise_binary(
+    buf: &[u8],
+    pos: usize,
+    aligned: bool,
+    sigged: bool,
+    sigs: Sigs<'_, '_>,
+) -> Result<Request, WireError> {
+    let mut r = BinReader::resume(buf, pos, aligned);
+    read_request(&mut r, sigged, sigs)
+}
+
+/// Shared request-header scan for the two binary codecs: after the
+/// codec-specific magic/version/id/ctx prefix, peek the request tag and
+/// record where the body starts without touching the payload.
+pub(crate) fn binary_header<'a>(
+    buf: &'a [u8],
+    r: &mut BinReader<'a>,
+    msg_id: u64,
+    ctx: TraceContext,
+    aligned: bool,
+    sigged: bool,
+) -> Result<FrameHeader<'a>, WireError> {
+    let pos = r.position();
+    let kind = request_kind(r.u8()?)?;
+    Ok(FrameHeader {
+        msg_id,
+        ctx,
+        kind,
+        payload: Payload::Binary {
+            buf,
+            pos,
+            aligned,
+            sigged,
+        },
     })
 }
 
@@ -340,15 +485,24 @@ impl Protocol for RmiCodec {
         "RMI"
     }
 
-    fn encode_request(&self, id: u64, ctx: TraceContext, req: &Request) -> Vec<u8> {
-        let mut w = BinWriter::new();
-        w.raw(MAGIC).u8(VERSION).u64(id);
+    fn encode_request_into(
+        &self,
+        id: u64,
+        ctx: TraceContext,
+        req: &Request,
+        mut sigs: Option<&mut SigTable>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), WireError> {
+        let mut w = BinWriter::reuse(std::mem::take(out));
+        let version = if sigs.is_some() { VERSION_SIG } else { VERSION };
+        w.raw(MAGIC).u8(version).u64(id);
         write_ctx(&mut w, ctx);
-        write_request(&mut w, req);
-        w.finish()
+        write_request(&mut w, req, &mut sigs);
+        *out = w.finish()?;
+        Ok(())
     }
 
-    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Request), WireError> {
+    fn decode_request_header<'a>(&self, bytes: &'a [u8]) -> Result<FrameHeader<'a>, WireError> {
         let mut r = BinReader::new(bytes);
         r.expect(MAGIC)?;
         let version = r.u8()?;
@@ -358,19 +512,33 @@ impl Protocol for RmiCodec {
         } else {
             TraceContext::NONE
         };
-        Ok((id, ctx, read_request(&mut r)?))
+        binary_header(bytes, &mut r, id, ctx, false, version >= 8)
     }
 
-    fn encode_reply(&self, id: u64, ctx: TraceContext, obj_version: u64, reply: &Reply) -> Vec<u8> {
-        let mut w = BinWriter::new();
-        w.raw(MAGIC).u8(VERSION).u64(id);
+    fn encode_reply_into(
+        &self,
+        id: u64,
+        ctx: TraceContext,
+        obj_version: u64,
+        reply: &Reply,
+        mut sigs: Option<&mut SigTable>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), WireError> {
+        let mut w = BinWriter::reuse(std::mem::take(out));
+        let version = if sigs.is_some() { VERSION_SIG } else { VERSION };
+        w.raw(MAGIC).u8(version).u64(id);
         write_ctx(&mut w, ctx);
         w.u64(obj_version);
-        write_reply(&mut w, reply);
-        w.finish()
+        write_reply(&mut w, reply, &mut sigs);
+        *out = w.finish()?;
+        Ok(())
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, u64, Reply), WireError> {
+    fn decode_reply_with(
+        &self,
+        bytes: &[u8],
+        mut sigs: Option<&mut SigTable>,
+    ) -> Result<(u64, TraceContext, u64, Reply), WireError> {
         let mut r = BinReader::new(bytes);
         r.expect(MAGIC)?;
         let version = r.u8()?;
@@ -381,7 +549,8 @@ impl Protocol for RmiCodec {
             TraceContext::NONE
         };
         let obj_version = if version >= 5 { r.u64()? } else { 0 };
-        Ok((id, ctx, obj_version, read_reply(&mut r)?))
+        let reply = read_reply(&mut r, version >= 8, &mut sigs)?;
+        Ok((id, ctx, obj_version, reply))
     }
 
     /// JRMP stacks were comparatively lean: ~40 µs per message.
@@ -403,7 +572,9 @@ mod tests {
     #[test]
     fn rejects_wrong_magic() {
         let codec = RmiCodec::new();
-        let mut bytes = codec.encode_request(4, TraceContext::NONE, &Request::Fetch { object: 1 });
+        let mut bytes = codec
+            .encode_request(4, TraceContext::NONE, &Request::Fetch { object: 1 })
+            .unwrap();
         bytes[0] = b'X';
         assert!(codec.decode_request(&bytes).is_err());
     }
@@ -411,7 +582,9 @@ mod tests {
     #[test]
     fn rejects_unknown_tags() {
         let codec = RmiCodec::new();
-        let mut bytes = codec.encode_reply(4, TraceContext::NONE, 0, &Reply::Fault("x".into()));
+        let mut bytes = codec
+            .encode_reply(4, TraceContext::NONE, 0, &Reply::Fault("x".into()))
+            .unwrap();
         // Reply tag position: magic(4) + version(1) + message id(8) + trace
         // context(24) + object version(8).
         bytes[45] = 99;
@@ -421,15 +594,17 @@ mod tests {
     #[test]
     fn call_request_is_compact() {
         let codec = RmiCodec::new();
-        let bytes = codec.encode_request(
-            1,
-            TraceContext::NONE,
-            &Request::Call {
-                object: 1,
-                method: "m".into(),
-                args: vec![WireValue::Long(7)],
-            },
-        );
+        let bytes = codec
+            .encode_request(
+                1,
+                TraceContext::NONE,
+                &Request::Call {
+                    object: 1,
+                    method: "m".into(),
+                    args: vec![WireValue::Long(7)],
+                },
+            )
+            .unwrap();
         assert!(bytes.len() < 72, "len = {}", bytes.len());
     }
 
@@ -437,8 +612,8 @@ mod tests {
     fn message_id_is_independent_of_body() {
         let codec = RmiCodec::new();
         let req = Request::Fetch { object: 1 };
-        let a = codec.encode_request(1, TraceContext::NONE, &req);
-        let b = codec.encode_request(2, TraceContext::NONE, &req);
+        let a = codec.encode_request(1, TraceContext::NONE, &req).unwrap();
+        let b = codec.encode_request(2, TraceContext::NONE, &req).unwrap();
         assert_ne!(a, b, "id is part of the frame");
         let (id_a, _, body_a) = codec.decode_request(&a).unwrap();
         let (id_b, _, body_b) = codec.decode_request(&b).unwrap();
@@ -454,7 +629,9 @@ mod tests {
             span_id: 6,
             parent_span_id: 1,
         };
-        let v6 = codec.encode_request(9, ctx, &Request::Fetch { object: 2 });
+        let v6 = codec
+            .encode_request(9, ctx, &Request::Fetch { object: 2 })
+            .unwrap();
         // Re-create the pre-tracing frame: version byte 3, no trace context
         // field (drop bytes 13..37).
         let mut v3 = v6.clone();
@@ -477,20 +654,24 @@ mod tests {
             span_id: 2,
             parent_span_id: 1,
         };
-        let mut req5 = codec.encode_request(
-            11,
-            ctx,
-            &Request::Call {
-                object: 4,
-                method: "tick@0".into(),
-                args: vec![WireValue::Int(1)],
-            },
-        );
+        let mut req5 = codec
+            .encode_request(
+                11,
+                ctx,
+                &Request::Call {
+                    object: 4,
+                    method: "tick@0".into(),
+                    args: vec![WireValue::Int(1)],
+                },
+            )
+            .unwrap();
         req5[4] = 5;
         let (id, back_ctx, req) = codec.decode_request(&req5).unwrap();
         assert_eq!((id, back_ctx), (11, ctx));
         assert!(matches!(req, Request::Call { object: 4, .. }));
-        let mut rep5 = codec.encode_reply(11, ctx, 9, &Reply::Value(WireValue::Int(3)));
+        let mut rep5 = codec
+            .encode_reply(11, ctx, 9, &Reply::Value(WireValue::Int(3)))
+            .unwrap();
         rep5[4] = 5;
         let (id, back_ctx, ver, reply) = codec.decode_reply(&rep5).unwrap();
         assert_eq!((id, back_ctx, ver), (11, ctx, 9));
@@ -509,16 +690,124 @@ mod tests {
             span_id: 4,
             parent_span_id: 2,
         };
-        let mut req6 = codec.encode_request(21, ctx, &Request::Promote { node: 1, object: 5 });
+        let mut req6 = codec
+            .encode_request(21, ctx, &Request::Promote { node: 1, object: 5 })
+            .unwrap();
         req6[4] = 6;
         let (id, back_ctx, req) = codec.decode_request(&req6).unwrap();
         assert_eq!((id, back_ctx), (21, ctx));
         assert_eq!(req, Request::Promote { node: 1, object: 5 });
-        let mut rep6 = codec.encode_reply(21, ctx, 4, &Reply::Value(WireValue::Long(8)));
+        let mut rep6 = codec
+            .encode_reply(21, ctx, 4, &Reply::Value(WireValue::Long(8)))
+            .unwrap();
         rep6[4] = 6;
         let (id, back_ctx, ver, reply) = codec.decode_reply(&rep6).unwrap();
         assert_eq!((id, back_ctx, ver), (21, ctx, 4));
         assert_eq!(reply, Reply::Value(WireValue::Long(8)));
+    }
+
+    #[test]
+    fn version_7_frames_decode_unchanged() {
+        // Version 8 only changed how signature strings are written, and
+        // only when a table is negotiated; a version-7 frame (today's
+        // stateless encoding) must keep decoding byte-for-byte, with or
+        // without a table on the decode side.
+        let codec = RmiCodec::new();
+        let req = Request::Call {
+            object: 4,
+            method: "tick@0".into(),
+            args: vec![WireValue::Int(1)],
+        };
+        let bytes = codec.encode_request(31, TraceContext::NONE, &req).unwrap();
+        assert_eq!(bytes[4], 7, "stateless encode stays at version 7");
+        let (_, _, back) = codec.decode_request(&bytes).unwrap();
+        assert_eq!(back, req);
+        let mut table = SigTable::new();
+        let header = codec.decode_request_header(&bytes).unwrap();
+        assert_eq!(header.materialise(Some(&mut table)).unwrap(), req);
+        assert!(
+            table.is_empty(),
+            "v7 frames never intern: the encoder did not"
+        );
+    }
+
+    #[test]
+    fn sigged_frames_roundtrip_and_shrink() {
+        let codec = RmiCodec::new();
+        let req = Request::Call {
+            object: 4,
+            method: "observe_price@17".into(),
+            args: vec![WireValue::Remote {
+                node: 1,
+                object: 9,
+                class: "StockMarket".into(),
+            }],
+        };
+        let mut enc = SigTable::new();
+        let mut dec = SigTable::new();
+        let mut first = Vec::new();
+        codec
+            .encode_request_into(1, TraceContext::NONE, &req, Some(&mut enc), &mut first)
+            .unwrap();
+        assert_eq!(first[4], 8, "sigged frames are version 8");
+        let h = codec.decode_request_header(&first).unwrap();
+        assert_eq!((h.msg_id, h.kind), (1, RequestKind::Call));
+        assert_eq!(h.materialise(Some(&mut dec)).unwrap(), req);
+        assert_eq!(dec.len(), 2, "method and class interned on decode");
+
+        let mut second = Vec::new();
+        codec
+            .encode_request_into(2, TraceContext::NONE, &req, Some(&mut enc), &mut second)
+            .unwrap();
+        assert!(
+            second.len() < first.len(),
+            "second frame refs instead of re-sending strings: {} vs {}",
+            second.len(),
+            first.len()
+        );
+        let h2 = codec.decode_request_header(&second).unwrap();
+        assert_eq!(h2.materialise(Some(&mut dec)).unwrap(), req);
+        assert_eq!((enc.defs(), enc.refs()), (2, 2));
+    }
+
+    #[test]
+    fn sigref_without_table_is_rejected_not_guessed() {
+        let codec = RmiCodec::new();
+        let mut enc = SigTable::new();
+        let req = Request::Discover {
+            class: "Stock".into(),
+        };
+        let mut define = Vec::new();
+        codec
+            .encode_request_into(1, TraceContext::NONE, &req, Some(&mut enc), &mut define)
+            .unwrap();
+        let mut reffed = Vec::new();
+        codec
+            .encode_request_into(2, TraceContext::NONE, &req, Some(&mut enc), &mut reffed)
+            .unwrap();
+        // The define frame is self-contained: stateless decode works.
+        assert_eq!(codec.decode_request(&define).unwrap().2, req);
+        // The reference frame is only meaningful against the link table.
+        let err = codec.decode_request(&reffed).unwrap_err();
+        assert!(err.0.contains("sigref"), "got: {err}");
+    }
+
+    #[test]
+    fn header_decode_matches_full_decode() {
+        let codec = RmiCodec::new();
+        for (i, req) in testdata::sample_requests().into_iter().enumerate() {
+            let ctx = TraceContext {
+                trace_id: i as u64,
+                span_id: 1,
+                parent_span_id: 0,
+            };
+            let bytes = codec.encode_request(i as u64, ctx, &req).unwrap();
+            let (id, fctx, full) = codec.decode_request(&bytes).unwrap();
+            let h = codec.decode_request_header(&bytes).unwrap();
+            assert_eq!((h.msg_id, h.ctx), (id, fctx));
+            assert_eq!(h.kind, RequestKind::of(&req));
+            assert_eq!(h.materialise(None).unwrap(), full);
+        }
     }
 
     #[test]
@@ -529,7 +818,9 @@ mod tests {
             span_id: 6,
             parent_span_id: 1,
         };
-        let v6 = codec.encode_reply(9, ctx, 77, &Reply::Value(WireValue::Int(3)));
+        let v6 = codec
+            .encode_reply(9, ctx, 77, &Reply::Value(WireValue::Int(3)))
+            .unwrap();
         // Re-create the pre-caching frame: version byte 4, no object
         // version field (drop bytes 37..45).
         let mut v4 = v6.clone();

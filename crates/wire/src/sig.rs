@@ -1,0 +1,161 @@
+//! Per-connection interned signature/class-name table.
+//!
+//! Method descriptors (`name@sigid`) and class names recur on almost every
+//! frame a link carries: the same proxy calls the same methods on the same
+//! classes over and over. Instead of re-encoding those strings per frame,
+//! each *directed* link negotiates a dictionary define-on-first-use: the
+//! first frame that carries a signature sends it inline (and both ends
+//! intern it under the next free id), every later frame sends a small
+//! integer reference (RMI v8 / GIOP 1.8 marker byte, SOAP `rafda:sigref`
+//! attribute). Because frames on a link are processed in order and
+//! interning is idempotent, encoder and decoder assign identical ids
+//! without any extra handshake traffic — a retransmitted define frame
+//! re-interns to the same id.
+//!
+//! Only signature-position strings participate (`Call.method`,
+//! `Create`/`Discover`/`Remote`/`ObjectState`/`Exception` class names);
+//! payload [`crate::WireValue::Str`] values always travel inline.
+//!
+//! The table is bounded by [`SigTable::MAX_SIGS`]: once full, both sides
+//! stop interning and fall back to inline strings, keeping encoder and
+//! decoder views identical without eviction coordination.
+
+use crate::WireError;
+use std::collections::HashMap;
+
+/// How the encoder should put a signature string on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigEnc {
+    /// The string is already interned under this id — send the reference.
+    Ref(u32),
+    /// Send the string inline (first use, or the table is full).
+    Inline,
+}
+
+/// A directed per-link signature dictionary (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct SigTable {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+    refs: u64,
+    defs: u64,
+}
+
+impl SigTable {
+    /// Entry cap. A full table degrades to inline strings on both sides.
+    pub const MAX_SIGS: usize = 4096;
+
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned signatures.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The id `s` is interned under, if any.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.ids.get(s).copied()
+    }
+
+    /// Intern `s`, returning its id: the existing id if already present,
+    /// the next free id otherwise, or `None` when the table is full (both
+    /// ends then carry the string inline forever). Idempotent, so decoding
+    /// a retransmitted define frame cannot skew the numbering.
+    pub fn intern(&mut self, s: &str) -> Option<u32> {
+        if let Some(id) = self.ids.get(s) {
+            return Some(*id);
+        }
+        if self.names.len() >= Self::MAX_SIGS {
+            return None;
+        }
+        let id = self.names.len() as u32;
+        self.ids.insert(s.to_owned(), id);
+        self.names.push(s.to_owned());
+        Some(id)
+    }
+
+    /// Resolve a wire reference back to its string.
+    ///
+    /// # Errors
+    /// [`WireError`] when `id` was never defined on this link.
+    pub fn resolve(&self, id: u32) -> Result<&str, WireError> {
+        self.names
+            .get(id as usize)
+            .map(String::as_str)
+            .ok_or_else(|| WireError::new(format!("unknown sigref {id}")))
+    }
+
+    /// Decide how to encode `s`, interning on first use and counting the
+    /// outcome (the counters feed the runtime's wire statistics).
+    pub fn encode_sig(&mut self, s: &str) -> SigEnc {
+        match self.lookup(s) {
+            Some(id) => {
+                self.refs += 1;
+                SigEnc::Ref(id)
+            }
+            None => {
+                if self.intern(s).is_some() {
+                    self.defs += 1;
+                }
+                SigEnc::Inline
+            }
+        }
+    }
+
+    /// Encode-side reference hits (signatures sent as a small id).
+    pub fn refs(&self) -> u64 {
+        self.refs
+    }
+
+    /// Encode-side defines (signatures interned and sent inline once).
+    pub fn defs(&self) -> u64 {
+        self.defs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_use_defines_then_refs() {
+        let mut t = SigTable::new();
+        assert_eq!(t.encode_sig("tick@0"), SigEnc::Inline);
+        assert_eq!(t.encode_sig("tick@0"), SigEnc::Ref(0));
+        assert_eq!(t.encode_sig("Counter"), SigEnc::Inline);
+        assert_eq!(t.encode_sig("Counter"), SigEnc::Ref(1));
+        assert_eq!((t.defs(), t.refs()), (2, 2));
+        assert_eq!(t.resolve(1).unwrap(), "Counter");
+        assert!(t.resolve(2).is_err());
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SigTable::new();
+        assert_eq!(t.intern("a"), Some(0));
+        assert_eq!(t.intern("b"), Some(1));
+        assert_eq!(t.intern("a"), Some(0), "re-interning keeps the id");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn full_table_degrades_to_inline() {
+        let mut t = SigTable::new();
+        for i in 0..SigTable::MAX_SIGS {
+            assert!(t.intern(&format!("sig{i}")).is_some());
+        }
+        assert_eq!(t.intern("overflow"), None);
+        assert_eq!(t.encode_sig("overflow"), SigEnc::Inline);
+        assert_eq!(t.encode_sig("overflow"), SigEnc::Inline, "never interned");
+        // Existing entries still resolve by reference.
+        assert_eq!(t.encode_sig("sig0"), SigEnc::Ref(0));
+    }
+}

@@ -6,6 +6,9 @@
 //! printed human-readably but carry a `bits` attribute so round-trips are
 //! exact.
 
+use crate::frame::{FrameHeader, Payload, RequestKind};
+use crate::rmi::Sigs;
+use crate::sig::{SigEnc, SigTable};
 use crate::{Protocol, Reply, Request, TraceContext, WireError, WireValue};
 use std::fmt::Write as _;
 
@@ -83,6 +86,48 @@ fn escape(s: &str, out: &mut String) {
             c => out.push(c),
         }
     }
+}
+
+/// Write a signature-position attribute (` name="value"`, leading space).
+/// With a negotiated table, a previously-seen signature is replaced by a
+/// ` rafda:sigref="N"` reference; first use stays inline and interns on
+/// both ends (define-on-first-use, mirroring the binary codecs' marker).
+fn sig_attr_out(out: &mut String, name: &str, value: &str, sigs: Sigs<'_, '_>) {
+    if let Some(t) = sigs.as_deref_mut() {
+        if let SigEnc::Ref(id) = t.encode_sig(value) {
+            let _ = write!(out, " rafda:sigref=\"{id}\"");
+            return;
+        }
+    }
+    let _ = write!(out, " {name}=\"");
+    escape(value, out);
+    out.push('"');
+}
+
+/// Read a signature-position attribute: the inline form interns (when a
+/// table is present), the `rafda:sigref` form resolves against the table.
+fn sig_attr(e: &Element, name: &str, sigs: Sigs<'_, '_>) -> Result<String, WireError> {
+    if let Ok(s) = e.attr(name) {
+        if let Some(t) = sigs.as_deref_mut() {
+            t.intern(s);
+        }
+        return Ok(s.to_owned());
+    }
+    if let Ok(id) = e.attr("rafda:sigref") {
+        let id: u32 = id
+            .parse()
+            .map_err(|_| WireError::new(format!("<{}> bad rafda:sigref", e.name)))?;
+        return match sigs.as_deref_mut() {
+            Some(t) => Ok(t.resolve(id)?.to_owned()),
+            None => Err(WireError::new(format!(
+                "sigref {id} without a negotiated table"
+            ))),
+        };
+    }
+    Err(WireError::new(format!(
+        "<{}> missing attribute {name}",
+        e.name
+    )))
 }
 
 struct Parser<'a> {
@@ -176,6 +221,9 @@ impl<'a> Parser<'a> {
     }
 
     /// Parse the next element (skipping a leading `<?xml …?>` declaration).
+    /// The decode paths now go through `scan_envelope`; the full-document
+    /// DOM parse remains for the parser's own tests.
+    #[cfg(test)]
     fn document(&mut self) -> Result<Element, WireError> {
         self.skip_ws();
         if self.input[self.pos..].starts_with(b"<?") {
@@ -254,7 +302,7 @@ impl<'a> Parser<'a> {
 // Value <-> XML
 // ---------------------------------------------------------------------
 
-fn write_value(out: &mut String, v: &WireValue) {
+fn write_value(out: &mut String, v: &WireValue, sigs: Sigs<'_, '_>) {
     match v {
         WireValue::Null => out.push_str("<v t=\"null\"/>"),
         WireValue::Bool(b) => {
@@ -282,33 +330,30 @@ fn write_value(out: &mut String, v: &WireValue) {
             object,
             class,
         } => {
-            let _ = write!(
-                out,
-                "<v t=\"ref\" node=\"{node}\" object=\"{object}\" class=\""
-            );
-            escape(class, out);
-            out.push_str("\"/>");
+            let _ = write!(out, "<v t=\"ref\" node=\"{node}\" object=\"{object}\"");
+            sig_attr_out(out, "class", class, sigs);
+            out.push_str("/>");
         }
         WireValue::Array(items) => {
             out.push_str("<v t=\"array\">");
             for item in items {
-                write_value(out, item);
+                write_value(out, item, sigs);
             }
             out.push_str("</v>");
         }
         WireValue::ObjectState { class, fields } => {
-            out.push_str("<v t=\"state\" class=\"");
-            escape(class, out);
-            out.push_str("\">");
+            out.push_str("<v t=\"state\"");
+            sig_attr_out(out, "class", class, sigs);
+            out.push('>');
             for f in fields {
-                write_value(out, f);
+                write_value(out, f, sigs);
             }
             out.push_str("</v>");
         }
     }
 }
 
-fn read_value(e: &Element) -> Result<WireValue, WireError> {
+fn read_value(e: &Element, sigs: Sigs<'_, '_>) -> Result<WireValue, WireError> {
     if e.name != "v" {
         return Err(WireError::new(format!("expected <v>, got <{}>", e.name)));
     }
@@ -331,116 +376,272 @@ fn read_value(e: &Element) -> Result<WireValue, WireError> {
         "ref" => WireValue::Remote {
             node: e.attr_parsed("node")?,
             object: e.attr_parsed("object")?,
-            class: e.attr("class")?.to_owned(),
+            class: sig_attr(e, "class", sigs)?,
         },
-        "array" => WireValue::Array(e.elems().map(read_value).collect::<Result<_, _>>()?),
+        "array" => WireValue::Array(
+            e.elems()
+                .map(|c| read_value(c, sigs))
+                .collect::<Result<_, _>>()?,
+        ),
         "state" => WireValue::ObjectState {
-            class: e.attr("class")?.to_owned(),
-            fields: e.elems().map(read_value).collect::<Result<_, _>>()?,
+            class: sig_attr(e, "class", sigs)?,
+            fields: e
+                .elems()
+                .map(|c| read_value(c, sigs))
+                .collect::<Result<_, _>>()?,
         },
         t => return Err(WireError::new(format!("unknown value type {t}"))),
     })
 }
 
-/// Build an envelope. `objver` is `Some` only for replies, which piggyback
-/// the served object's property version as a `<rafda:objver>` header
-/// element; requests never carry one.
-fn envelope(id: u64, ctx: TraceContext, objver: Option<u64>, body: &str) -> String {
-    let objver = match objver {
-        Some(v) => format!("<rafda:objver>{v}</rafda:objver>"),
-        None => String::new(),
-    };
-    format!(
+/// Write an envelope around `body` into a reusable buffer. `objver` is
+/// `Some` only for replies, which piggyback the served object's property
+/// version as a `<rafda:objver>` header element; requests never carry one.
+fn envelope_into(
+    s: &mut String,
+    id: u64,
+    ctx: TraceContext,
+    objver: Option<u64>,
+    body: impl FnOnce(&mut String),
+) {
+    let _ = write!(
+        s,
         "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
          <soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\" \
          xmlns:rafda=\"http://rafda.dcs.st-and.ac.uk/ns/2003\">\n\
          <soap:Header><rafda:mid>{id}</rafda:mid>\
-         <rafda:trace id=\"{}\" span=\"{}\" parent=\"{}\"/>{objver}</soap:Header>\n\
-         <soap:Body>{body}</soap:Body>\n</soap:Envelope>\n",
+         <rafda:trace id=\"{}\" span=\"{}\" parent=\"{}\"/>",
         ctx.trace_id, ctx.span_id, ctx.parent_span_id
-    )
+    );
+    if let Some(v) = objver {
+        let _ = write!(s, "<rafda:objver>{v}</rafda:objver>");
+    }
+    s.push_str("</soap:Header>\n<soap:Body>");
+    body(s);
+    s.push_str("</soap:Body>\n</soap:Envelope>\n");
 }
 
-fn unwrap_envelope(xml: &str) -> Result<(u64, TraceContext, u64, Element), WireError> {
-    let doc = Parser::new(xml).document()?;
-    if doc.name != "soap:Envelope" {
+/// Extract the message id, trace context and object property version from
+/// a `<soap:Header>` block. Pre-tracing peers (no `<rafda:trace>`) decode
+/// as `TraceContext::NONE`, pre-caching peers (no `<rafda:objver>`) as
+/// version 0.
+fn header_fields(header: &Element) -> Result<(u64, TraceContext, u64), WireError> {
+    let id = header
+        .child("rafda:mid")?
+        .text()
+        .trim()
+        .parse()
+        .map_err(|_| WireError::new("bad rafda:mid"))?;
+    let ctx = match header.child("rafda:trace") {
+        Ok(trace) => TraceContext {
+            trace_id: trace.attr_parsed("id")?,
+            span_id: trace.attr_parsed("span")?,
+            parent_span_id: trace.attr_parsed("parent")?,
+        },
+        Err(_) => TraceContext::NONE,
+    };
+    let objver = match header.child("rafda:objver") {
+        Ok(v) => v
+            .text()
+            .trim()
+            .parse()
+            .map_err(|_| WireError::new("bad rafda:objver"))?,
+        Err(_) => 0,
+    };
+    Ok((id, ctx, objver))
+}
+
+/// Scan an envelope without parsing its body: the `<soap:Header>` block is
+/// small and parsed as a DOM, but the `<soap:Body>` content — the bulk of
+/// the frame — is located textually and returned as an unparsed slice.
+/// This is safe because every `<` in attribute values and text content is
+/// entity-escaped, so the literal `</soap:Body>` can only be the body's
+/// own close tag. Pre-id peers (no `<soap:Header>`) decode as id 0.
+fn scan_envelope(xml: &str) -> Result<(u64, TraceContext, u64, &str), WireError> {
+    let mut p = Parser::new(xml);
+    p.skip_ws();
+    if p.input[p.pos..].starts_with(b"<?") {
+        while p.peek().is_some_and(|c| c != b'>') {
+            p.pos += 1;
+        }
+        p.eat(b'>')?;
+    }
+    p.skip_ws();
+    p.eat(b'<')?;
+    let name = p.name()?;
+    if name != "soap:Envelope" {
         return Err(WireError::new(format!(
-            "expected <soap:Envelope>, got <{}>",
-            doc.name
+            "expected <soap:Envelope>, got <{name}>"
         )));
     }
-    // The message id, trace context and object property version ride in an
-    // optional header block; pre-id peers (no <soap:Header>) decode as id 0,
-    // pre-tracing peers (no <rafda:trace>) as `TraceContext::NONE`, and
-    // pre-caching peers (no <rafda:objver>) as version 0.
-    let (id, ctx, objver) = match doc.child("soap:Header") {
-        Ok(header) => {
-            let id = header
-                .child("rafda:mid")?
-                .text()
-                .trim()
-                .parse()
-                .map_err(|_| WireError::new("bad rafda:mid"))?;
-            let ctx = match header.child("rafda:trace") {
-                Ok(trace) => TraceContext {
-                    trace_id: trace.attr_parsed("id")?,
-                    span_id: trace.attr_parsed("span")?,
-                    parent_span_id: trace.attr_parsed("parent")?,
-                },
-                Err(_) => TraceContext::NONE,
-            };
-            let objver = match header.child("rafda:objver") {
-                Ok(v) => v
-                    .text()
-                    .trim()
-                    .parse()
-                    .map_err(|_| WireError::new("bad rafda:objver"))?,
-                Err(_) => 0,
-            };
-            (id, ctx, objver)
+    // Envelope open-tag attributes (the xmlns declarations).
+    loop {
+        p.skip_ws();
+        match p.peek() {
+            Some(b'/') => {
+                return Err(WireError::new("<soap:Envelope> missing child <soap:Body>"));
+            }
+            Some(b'>') => {
+                p.pos += 1;
+                break;
+            }
+            Some(_) => {
+                let _key = p.name()?;
+                p.skip_ws();
+                p.eat(b'=')?;
+                p.skip_ws();
+                p.eat(b'"')?;
+                let _value = p.unescape_run(b"\"")?;
+                p.eat(b'"')?;
+            }
+            None => return Err(p.err("unterminated tag")),
         }
-        Err(_) => (0, TraceContext::NONE, 0),
+    }
+    // Envelope children: a small header DOM, the body slice, anything else
+    // parsed and ignored (matching the DOM path's tolerance).
+    let mut header: Option<Element> = None;
+    let mut body: Option<&str> = None;
+    loop {
+        if p.input[p.pos..].starts_with(b"</") {
+            p.pos += 2;
+            let close = p.name()?;
+            if close != "soap:Envelope" {
+                return Err(p.err(&format!("mismatched </{close}> for <soap:Envelope>")));
+            }
+            p.skip_ws();
+            p.eat(b'>')?;
+            break;
+        }
+        match p.peek() {
+            Some(b'<') => {
+                let save = p.pos;
+                p.pos += 1;
+                let cname = p.name()?;
+                if cname == "soap:Body" && body.is_none() {
+                    loop {
+                        p.skip_ws();
+                        match p.peek() {
+                            Some(b'/') => {
+                                p.pos += 1;
+                                p.eat(b'>')?;
+                                body = Some("");
+                                break;
+                            }
+                            Some(b'>') => {
+                                p.pos += 1;
+                                let start = p.pos;
+                                let off = xml[start..]
+                                    .find("</soap:Body>")
+                                    .ok_or_else(|| p.err("unterminated <soap:Body>"))?;
+                                body = Some(&xml[start..start + off]);
+                                p.pos = start + off + "</soap:Body>".len();
+                                break;
+                            }
+                            Some(_) => {
+                                let _key = p.name()?;
+                                p.skip_ws();
+                                p.eat(b'=')?;
+                                p.skip_ws();
+                                p.eat(b'"')?;
+                                let _value = p.unescape_run(b"\"")?;
+                                p.eat(b'"')?;
+                            }
+                            None => return Err(p.err("unterminated tag")),
+                        }
+                    }
+                } else {
+                    p.pos = save;
+                    let e = p.element()?;
+                    if e.name == "soap:Header" && header.is_none() {
+                        header = Some(e);
+                    }
+                }
+            }
+            Some(_) => {
+                let _ = p.unescape_run(b"<")?;
+            }
+            None => return Err(p.err("unterminated <soap:Envelope>")),
+        }
+    }
+    let body = body.ok_or_else(|| WireError::new("<soap:Envelope> missing child <soap:Body>"))?;
+    let (id, ctx, objver) = match &header {
+        Some(h) => header_fields(h)?,
+        None => (0, TraceContext::NONE, 0),
     };
-    Ok((
-        id,
-        ctx,
-        objver,
-        doc.child("soap:Body")?.first_elem()?.clone(),
-    ))
+    Ok((id, ctx, objver, body))
+}
+
+/// Parse the first element of a body slice. Leading text is skipped (raw
+/// `<` cannot occur in escaped text, so the first `<` opens an element).
+fn first_body_elem(body: &str) -> Result<Element, WireError> {
+    let i = body
+        .find('<')
+        .ok_or_else(|| WireError::new("<soap:Body> missing child element"))?;
+    let mut p = Parser::new(body);
+    p.pos = i;
+    p.element()
+}
+
+/// Peek the request discriminant from an unparsed body slice.
+fn body_kind(body: &str) -> Result<RequestKind, WireError> {
+    let i = body
+        .find('<')
+        .ok_or_else(|| WireError::new("<soap:Body> missing child element"))?;
+    let mut p = Parser::new(body);
+    p.pos = i + 1;
+    let name = p.name()?;
+    Ok(match name.as_str() {
+        "rafda:call" => RequestKind::Call,
+        "rafda:create" => RequestKind::Create,
+        "rafda:discover" => RequestKind::Discover,
+        "rafda:fetch" => RequestKind::Fetch,
+        "rafda:install" => RequestKind::Install,
+        "rafda:forward" => RequestKind::Forward,
+        "rafda:replicasync" => RequestKind::ReplicaSync,
+        "rafda:promote" => RequestKind::Promote,
+        "rafda:batch" => RequestKind::Batch,
+        name => return Err(WireError::new(format!("unknown request <{name}>"))),
+    })
+}
+
+/// Lazy-payload materialisation for the XML codec: parse the body slice
+/// recorded by the header scan into an owned [`Request`].
+pub(crate) fn materialise_body(body: &str, sigs: Sigs<'_, '_>) -> Result<Request, WireError> {
+    read_request_elem(&first_body_elem(body)?, sigs)
 }
 
 // ---------------------------------------------------------------------
 // Request / Reply <-> XML (body elements, recursive so batches can nest)
 // ---------------------------------------------------------------------
 
-fn write_request_elem(b: &mut String, req: &Request) {
+fn write_request_elem(b: &mut String, req: &Request, sigs: Sigs<'_, '_>) {
     match req {
         Request::Call {
             object,
             method,
             args,
         } => {
-            let _ = write!(b, "<rafda:call object=\"{object}\" method=\"");
-            escape(method, b);
-            b.push_str("\">");
+            let _ = write!(b, "<rafda:call object=\"{object}\"");
+            sig_attr_out(b, "method", method, sigs);
+            b.push('>');
             for a in args {
-                write_value(b, a);
+                write_value(b, a, sigs);
             }
             b.push_str("</rafda:call>");
         }
         Request::Create { class, ctor, args } => {
-            b.push_str("<rafda:create class=\"");
-            escape(class, b);
-            let _ = write!(b, "\" ctor=\"{ctor}\">");
+            b.push_str("<rafda:create");
+            sig_attr_out(b, "class", class, sigs);
+            let _ = write!(b, " ctor=\"{ctor}\">");
             for a in args {
-                write_value(b, a);
+                write_value(b, a, sigs);
             }
             b.push_str("</rafda:create>");
         }
         Request::Discover { class } => {
-            b.push_str("<rafda:discover class=\"");
-            escape(class, b);
-            b.push_str("\"/>");
+            b.push_str("<rafda:discover");
+            sig_attr_out(b, "class", class, sigs);
+            b.push_str("/>");
         }
         Request::Fetch { object } => {
             let _ = write!(b, "<rafda:fetch object=\"{object}\"/>");
@@ -452,7 +653,7 @@ fn write_request_elem(b: &mut String, req: &Request) {
                 }
                 None => b.push_str("<rafda:install>"),
             }
-            write_value(b, state);
+            write_value(b, state, sigs);
             b.push_str("</rafda:install>");
         }
         Request::Forward {
@@ -474,7 +675,7 @@ fn write_request_elem(b: &mut String, req: &Request) {
                 b,
                 "<rafda:replicasync object=\"{object}\" version=\"{version}\">"
             );
-            write_value(b, state);
+            write_value(b, state, sigs);
             b.push_str("</rafda:replicasync>");
         }
         Request::Promote { node, object } => {
@@ -483,27 +684,33 @@ fn write_request_elem(b: &mut String, req: &Request) {
         Request::Batch(ops) => {
             b.push_str("<rafda:batch>");
             for op in ops {
-                write_request_elem(b, op);
+                write_request_elem(b, op, sigs);
             }
             b.push_str("</rafda:batch>");
         }
     }
 }
 
-fn read_request_elem(e: &Element) -> Result<Request, WireError> {
+fn read_request_elem(e: &Element, sigs: Sigs<'_, '_>) -> Result<Request, WireError> {
     Ok(match e.name.as_str() {
         "rafda:call" => Request::Call {
             object: e.attr_parsed("object")?,
-            method: e.attr("method")?.to_owned(),
-            args: e.elems().map(read_value).collect::<Result<_, _>>()?,
+            method: sig_attr(e, "method", sigs)?,
+            args: e
+                .elems()
+                .map(|c| read_value(c, sigs))
+                .collect::<Result<_, _>>()?,
         },
         "rafda:create" => Request::Create {
-            class: e.attr("class")?.to_owned(),
+            class: sig_attr(e, "class", sigs)?,
             ctor: e.attr_parsed("ctor")?,
-            args: e.elems().map(read_value).collect::<Result<_, _>>()?,
+            args: e
+                .elems()
+                .map(|c| read_value(c, sigs))
+                .collect::<Result<_, _>>()?,
         },
         "rafda:discover" => Request::Discover {
-            class: e.attr("class")?.to_owned(),
+            class: sig_attr(e, "class", sigs)?,
         },
         "rafda:fetch" => Request::Fetch {
             object: e.attr_parsed("object")?,
@@ -517,7 +724,7 @@ fn read_request_elem(e: &Element) -> Result<Request, WireError> {
                 _ => None,
             };
             Request::Install {
-                state: read_value(e.first_elem()?)?,
+                state: read_value(e.first_elem()?, sigs)?,
                 source,
             }
         }
@@ -529,32 +736,34 @@ fn read_request_elem(e: &Element) -> Result<Request, WireError> {
         "rafda:replicasync" => Request::ReplicaSync {
             object: e.attr_parsed("object")?,
             version: e.attr_parsed("version")?,
-            state: read_value(e.first_elem()?)?,
+            state: read_value(e.first_elem()?, sigs)?,
         },
         "rafda:promote" => Request::Promote {
             node: e.attr_parsed("node")?,
             object: e.attr_parsed("object")?,
         },
-        "rafda:batch" => {
-            Request::Batch(e.elems().map(read_request_elem).collect::<Result<_, _>>()?)
-        }
+        "rafda:batch" => Request::Batch(
+            e.elems()
+                .map(|c| read_request_elem(c, sigs))
+                .collect::<Result<_, _>>()?,
+        ),
         name => return Err(WireError::new(format!("unknown request <{name}>"))),
     })
 }
 
-fn write_reply_elem(b: &mut String, reply: &Reply) {
+fn write_reply_elem(b: &mut String, reply: &Reply, sigs: Sigs<'_, '_>) {
     match reply {
         Reply::Value(v) => {
             b.push_str("<rafda:result>");
-            write_value(b, v);
+            write_value(b, v, sigs);
             b.push_str("</rafda:result>");
         }
         Reply::Exception { class, fields } => {
-            b.push_str("<rafda:exception class=\"");
-            escape(class, b);
-            b.push_str("\">");
+            b.push_str("<rafda:exception");
+            sig_attr_out(b, "class", class, sigs);
+            b.push('>');
             for f in fields {
-                write_value(b, f);
+                write_value(b, f, sigs);
             }
             b.push_str("</rafda:exception>");
         }
@@ -567,7 +776,7 @@ fn write_reply_elem(b: &mut String, reply: &Reply) {
             b.push_str("<rafda:batchresult>");
             for (version, reply) in ops {
                 let _ = write!(b, "<rafda:op objver=\"{version}\">");
-                write_reply_elem(b, reply);
+                write_reply_elem(b, reply, sigs);
                 b.push_str("</rafda:op>");
             }
             b.push_str("</rafda:batchresult>");
@@ -575,12 +784,15 @@ fn write_reply_elem(b: &mut String, reply: &Reply) {
     }
 }
 
-fn read_reply_elem(e: &Element) -> Result<Reply, WireError> {
+fn read_reply_elem(e: &Element, sigs: Sigs<'_, '_>) -> Result<Reply, WireError> {
     Ok(match e.name.as_str() {
-        "rafda:result" => Reply::Value(read_value(e.first_elem()?)?),
+        "rafda:result" => Reply::Value(read_value(e.first_elem()?, sigs)?),
         "rafda:exception" => Reply::Exception {
-            class: e.attr("class")?.to_owned(),
-            fields: e.elems().map(read_value).collect::<Result<_, _>>()?,
+            class: sig_attr(e, "class", sigs)?,
+            fields: e
+                .elems()
+                .map(|c| read_value(c, sigs))
+                .collect::<Result<_, _>>()?,
         },
         "soap:Fault" => Reply::Fault(e.child("faultstring")?.text()),
         "rafda:batchresult" => {
@@ -594,7 +806,7 @@ fn read_reply_elem(e: &Element) -> Result<Reply, WireError> {
                 }
                 ops.push((
                     op.attr_parsed("objver")?,
-                    read_reply_elem(op.first_elem()?)?,
+                    read_reply_elem(op.first_elem()?, sigs)?,
                 ));
             }
             Reply::Batch(ops)
@@ -618,33 +830,72 @@ impl SoapCodec {
     }
 }
 
+/// Recycle a pooled byte buffer as an empty `String` (capacity kept).
+fn take_string(out: &mut Vec<u8>) -> String {
+    let mut buf = std::mem::take(out);
+    buf.clear();
+    String::from_utf8(buf).unwrap_or_default()
+}
+
 impl Protocol for SoapCodec {
     fn name(&self) -> &'static str {
         "SOAP"
     }
 
-    fn encode_request(&self, id: u64, ctx: TraceContext, req: &Request) -> Vec<u8> {
-        let mut b = String::new();
-        write_request_elem(&mut b, req);
-        envelope(id, ctx, None, &b).into_bytes()
+    fn encode_request_into(
+        &self,
+        id: u64,
+        ctx: TraceContext,
+        req: &Request,
+        mut sigs: Option<&mut SigTable>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), WireError> {
+        let mut s = take_string(out);
+        envelope_into(&mut s, id, ctx, None, |b| {
+            write_request_elem(b, req, &mut sigs);
+        });
+        *out = s.into_bytes();
+        Ok(())
     }
 
-    fn decode_request(&self, bytes: &[u8]) -> Result<(u64, TraceContext, Request), WireError> {
+    fn decode_request_header<'a>(&self, bytes: &'a [u8]) -> Result<FrameHeader<'a>, WireError> {
         let xml = std::str::from_utf8(bytes).map_err(|_| WireError::new("invalid utf-8"))?;
-        let (id, ctx, _, e) = unwrap_envelope(xml)?;
-        Ok((id, ctx, read_request_elem(&e)?))
+        let (msg_id, ctx, _, body) = scan_envelope(xml)?;
+        let kind = body_kind(body)?;
+        Ok(FrameHeader {
+            msg_id,
+            ctx,
+            kind,
+            payload: Payload::Xml { body },
+        })
     }
 
-    fn encode_reply(&self, id: u64, ctx: TraceContext, obj_version: u64, reply: &Reply) -> Vec<u8> {
-        let mut b = String::new();
-        write_reply_elem(&mut b, reply);
-        envelope(id, ctx, Some(obj_version), &b).into_bytes()
+    fn encode_reply_into(
+        &self,
+        id: u64,
+        ctx: TraceContext,
+        obj_version: u64,
+        reply: &Reply,
+        mut sigs: Option<&mut SigTable>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), WireError> {
+        let mut s = take_string(out);
+        envelope_into(&mut s, id, ctx, Some(obj_version), |b| {
+            write_reply_elem(b, reply, &mut sigs);
+        });
+        *out = s.into_bytes();
+        Ok(())
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<(u64, TraceContext, u64, Reply), WireError> {
+    fn decode_reply_with(
+        &self,
+        bytes: &[u8],
+        mut sigs: Option<&mut SigTable>,
+    ) -> Result<(u64, TraceContext, u64, Reply), WireError> {
         let xml = std::str::from_utf8(bytes).map_err(|_| WireError::new("invalid utf-8"))?;
-        let (id, ctx, obj_version, e) = unwrap_envelope(xml)?;
-        Ok((id, ctx, obj_version, read_reply_elem(&e)?))
+        let (id, ctx, obj_version, body) = scan_envelope(xml)?;
+        let e = first_body_elem(body)?;
+        Ok((id, ctx, obj_version, read_reply_elem(&e, &mut sigs)?))
     }
 
     /// XML assembly + parse dominated 2003 SOAP stacks: ~400 µs per message.
@@ -685,7 +936,9 @@ mod tests {
     fn string_content_with_xml_metacharacters_roundtrips() {
         let codec = SoapCodec::new();
         let reply = Reply::Value(WireValue::Str("<v t=\"string\">&amp;</v>".into()));
-        let bytes = codec.encode_reply(11, TraceContext::NONE, 4, &reply);
+        let bytes = codec
+            .encode_reply(11, TraceContext::NONE, 4, &reply)
+            .unwrap();
         assert_eq!(
             codec.decode_reply(&bytes).unwrap(),
             (11, TraceContext::NONE, 4, reply)
@@ -700,7 +953,9 @@ mod tests {
             WireValue::Double(-0.0),
             WireValue::Float(f32::INFINITY),
         ] {
-            let bytes = codec.encode_reply(0, TraceContext::NONE, 0, &Reply::Value(v.clone()));
+            let bytes = codec
+                .encode_reply(0, TraceContext::NONE, 0, &Reply::Value(v.clone()))
+                .unwrap();
             let (_, _, _, back) = codec.decode_reply(&bytes).unwrap();
             match (back, v) {
                 (Reply::Value(WireValue::Double(a)), WireValue::Double(b)) => {
@@ -721,7 +976,9 @@ mod tests {
             span_id: 8,
             parent_span_id: 2,
         };
-        let bytes = SoapCodec::new().encode_request(42, ctx, &Request::Fetch { object: 1 });
+        let bytes = SoapCodec::new()
+            .encode_request(42, ctx, &Request::Fetch { object: 1 })
+            .unwrap();
         let s = String::from_utf8(bytes).unwrap();
         assert!(s.contains("soap:Envelope"));
         assert!(s.contains("soap:Body"));
@@ -760,16 +1017,74 @@ mod tests {
 
     #[test]
     fn reply_header_carries_object_version() {
-        let bytes = SoapCodec::new().encode_reply(
-            7,
-            TraceContext::NONE,
-            19,
-            &Reply::Value(WireValue::Int(1)),
-        );
+        let bytes = SoapCodec::new()
+            .encode_reply(7, TraceContext::NONE, 19, &Reply::Value(WireValue::Int(1)))
+            .unwrap();
         let s = String::from_utf8(bytes.clone()).unwrap();
         assert!(s.contains("<rafda:objver>19</rafda:objver>"), "{s}");
         let (_, _, ver, _) = SoapCodec::new().decode_reply(&bytes).unwrap();
         assert_eq!(ver, 19);
+    }
+
+    #[test]
+    fn sigref_attributes_roundtrip_and_shrink() {
+        let codec = SoapCodec::new();
+        let req = Request::Call {
+            object: 4,
+            method: "observe_price@17".into(),
+            args: vec![WireValue::Remote {
+                node: 1,
+                object: 9,
+                class: "StockMarket".into(),
+            }],
+        };
+        let mut enc = SigTable::new();
+        let mut dec = SigTable::new();
+        let mut first = Vec::new();
+        codec
+            .encode_request_into(1, TraceContext::NONE, &req, Some(&mut enc), &mut first)
+            .unwrap();
+        let text = std::str::from_utf8(&first).unwrap();
+        assert!(
+            text.contains("method=\"observe_price@17\""),
+            "first use is inline: {text}"
+        );
+        let h = codec.decode_request_header(&first).unwrap();
+        assert_eq!((h.msg_id, h.kind), (1, RequestKind::Call));
+        assert_eq!(h.materialise(Some(&mut dec)).unwrap(), req);
+
+        let mut second = Vec::new();
+        codec
+            .encode_request_into(2, TraceContext::NONE, &req, Some(&mut enc), &mut second)
+            .unwrap();
+        let text2 = std::str::from_utf8(&second).unwrap();
+        assert!(
+            text2.contains("rafda:sigref=\"0\"") && text2.contains("rafda:sigref=\"1\""),
+            "later uses are references: {text2}"
+        );
+        assert!(second.len() < first.len());
+        let h2 = codec.decode_request_header(&second).unwrap();
+        assert_eq!(h2.materialise(Some(&mut dec)).unwrap(), req);
+        // Reference frames are meaningless without the link table.
+        let err = codec.decode_request(&second).unwrap_err();
+        assert!(err.0.contains("sigref"), "got: {err}");
+    }
+
+    #[test]
+    fn header_scan_matches_full_decode() {
+        let codec = SoapCodec::new();
+        for (i, req) in testdata::sample_requests().into_iter().enumerate() {
+            let ctx = TraceContext {
+                trace_id: i as u64 + 1,
+                span_id: 2,
+                parent_span_id: 1,
+            };
+            let bytes = codec.encode_request(i as u64, ctx, &req).unwrap();
+            let (id, fctx, full) = codec.decode_request(&bytes).unwrap();
+            let h = codec.decode_request_header(&bytes).unwrap();
+            assert_eq!((h.msg_id, h.ctx), (id, fctx));
+            assert_eq!(h.materialise(None).unwrap(), full);
+        }
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Table-driven decoder error paths: every codec must turn a malformed
+//! frame into a typed [`rafda_wire::WireError`] — never a panic, never a
+//! silently-wrong value, and never an attacker-sized allocation.
+
+use rafda_wire::{
+    CorbaCodec, Protocol, Request, RmiCodec, SigTable, SoapCodec, TraceContext, WireValue,
+};
+
+fn call_request() -> Request {
+    Request::Call {
+        object: 5,
+        method: "averylongmethodname@9".to_owned(),
+        args: vec![WireValue::Long(258), WireValue::Bool(true)],
+    }
+}
+
+fn codecs() -> Vec<Box<dyn Protocol>> {
+    vec![
+        Box::new(RmiCodec::new()),
+        Box::new(CorbaCodec::new()),
+        Box::new(SoapCodec::new()),
+    ]
+}
+
+/// Byte offset of `needle` inside `hay` (the frames are small; a naive
+/// scan keeps the tests independent of each codec's header arithmetic).
+fn find(hay: &[u8], needle: &[u8]) -> usize {
+    hay.windows(needle.len())
+        .position(|w| w == needle)
+        .unwrap_or_else(|| panic!("pattern {needle:?} not found in frame"))
+}
+
+struct Case {
+    label: String,
+    codec: Box<dyn Protocol>,
+    frame: Vec<u8>,
+    /// Substring the error message must contain (empty = any error).
+    expect: &'static str,
+}
+
+/// One corrupt frame per (codec, corruption) pair; each must decode to an
+/// error whose message mentions the right cause.
+#[test]
+fn corrupt_request_frames_are_rejected_with_typed_errors() {
+    let method = b"averylongmethodname@9";
+    let mut cases = Vec::new();
+
+    for codec in codecs() {
+        let frame = codec
+            .encode_request(9, TraceContext::NONE, &call_request())
+            .unwrap();
+        let at = find(&frame, method);
+
+        // Lost the tail in transit, mid-way through a string.
+        cases.push(Case {
+            label: format!("{}: truncated mid-string", codec.name()),
+            codec,
+            frame: frame[..at + 5].to_vec(),
+            expect: "",
+        });
+    }
+
+    for codec in codecs() {
+        let frame = codec
+            .encode_request(9, TraceContext::NONE, &call_request())
+            .unwrap();
+        let at = find(&frame, method);
+
+        // A byte inside the string is not valid UTF-8 any more.
+        let mut bad_utf8 = frame;
+        bad_utf8[at] = 0xFF;
+        cases.push(Case {
+            label: format!("{}: invalid utf-8 in string", codec.name()),
+            codec,
+            frame: bad_utf8,
+            expect: "",
+        });
+    }
+
+    // The binary codecs carry explicit u32 length prefixes; a corrupt one
+    // claiming a ~4 GiB string must fail fast against the actual buffer
+    // size instead of allocating what the attacker asked for.
+    for codec in [
+        Box::new(RmiCodec::new()) as Box<dyn Protocol>,
+        Box::new(CorbaCodec::new()),
+    ] {
+        let frame = codec
+            .encode_request(9, TraceContext::NONE, &call_request())
+            .unwrap();
+        let at = find(&frame, method);
+        let mut huge = frame;
+        huge[at - 4..at].copy_from_slice(&u32::MAX.to_le_bytes());
+        cases.push(Case {
+            label: format!("{}: oversized string length prefix", codec.name()),
+            codec,
+            frame: huge,
+            expect: "",
+        });
+    }
+
+    // CDR padding that lands past the end of the buffer: the GIOP body
+    // aligns the arg count to 4 after the (odd-length) method string, so a
+    // frame cut right at the string's end forces the pad skip off the end.
+    {
+        let codec: Box<dyn Protocol> = Box::new(CorbaCodec::new());
+        let frame = codec
+            .encode_request(9, TraceContext::NONE, &call_request())
+            .unwrap();
+        let cut = find(&frame, method) + method.len();
+        cases.push(Case {
+            label: "CORBA: alignment pad past end of buffer".to_owned(),
+            codec,
+            frame: frame[..cut].to_vec(),
+            expect: "",
+        });
+    }
+
+    // A signature reference cannot be resolved without the table that saw
+    // its defining frame: a stateless decoder must say so, not guess.
+    for codec in codecs() {
+        let mut table = SigTable::new();
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        codec
+            .encode_request_into(
+                1,
+                TraceContext::NONE,
+                &call_request(),
+                Some(&mut table),
+                &mut first,
+            )
+            .unwrap();
+        codec
+            .encode_request_into(
+                2,
+                TraceContext::NONE,
+                &call_request(),
+                Some(&mut table),
+                &mut second,
+            )
+            .unwrap();
+        cases.push(Case {
+            label: format!("{}: sigref without a table", codec.name()),
+            codec,
+            frame: second,
+            expect: "sigref",
+        });
+    }
+
+    for case in cases {
+        let got = case.codec.decode_request(&case.frame);
+        let err = match got {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("{}: decoded a corrupt frame", case.label),
+        };
+        assert!(
+            err.contains(case.expect),
+            "{}: error {err:?} does not mention {:?}",
+            case.label,
+            case.expect
+        );
+    }
+}
+
+/// A reference to a signature id the table has never defined (the peer's
+/// table drifted, e.g. after a reconnect) is a typed error on every codec.
+#[test]
+fn unknown_sigref_ids_are_rejected_on_every_codec() {
+    for codec in codecs() {
+        let mut encode_table = SigTable::new();
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        codec
+            .encode_request_into(
+                1,
+                TraceContext::NONE,
+                &call_request(),
+                Some(&mut encode_table),
+                &mut first,
+            )
+            .unwrap();
+        codec
+            .encode_request_into(
+                2,
+                TraceContext::NONE,
+                &call_request(),
+                Some(&mut encode_table),
+                &mut second,
+            )
+            .unwrap();
+
+        // A *fresh* table never saw the defining frame, so every id in the
+        // second frame is unknown to it.
+        let mut fresh = SigTable::new();
+        let header = codec.decode_request_header(&second).unwrap();
+        let err = header
+            .materialise(Some(&mut fresh))
+            .expect_err(&format!("{}: resolved an undefined sigref", codec.name()));
+        assert!(
+            err.to_string().contains("sigref"),
+            "{}: error {err:?} does not mention the sigref",
+            codec.name()
+        );
+    }
+}
+
+/// The dedup fast path reads headers without materialising; a frame whose
+/// header region itself is truncated must still error cleanly.
+#[test]
+fn truncated_headers_are_rejected_by_the_header_decoder() {
+    for codec in codecs() {
+        let frame = codec
+            .encode_request(77, TraceContext::NONE, &call_request())
+            .unwrap();
+        for cut in [0, 1, 4, 8, 16, 24, 32] {
+            if cut >= frame.len() {
+                continue;
+            }
+            assert!(
+                codec.decode_request_header(&frame[..cut]).is_err(),
+                "{}: header decoder accepted a {cut}-byte stump",
+                codec.name()
+            );
+        }
+    }
+}

@@ -24,7 +24,9 @@ fn sample_ctx() -> TraceContext {
 
 #[test]
 fn rmi_request_bytes_are_stable() {
-    let bytes = RmiCodec::new().encode_request(0x0102, sample_ctx(), &call_request());
+    let bytes = RmiCodec::new()
+        .encode_request(0x0102, sample_ctx(), &call_request())
+        .unwrap();
     let expected: Vec<u8> = vec![
         b'J', b'R', b'M', b'I', // magic
         7,    // version (3 = message id; 4 = + trace context; 5 = + reply
@@ -49,8 +51,9 @@ fn rmi_request_bytes_are_stable() {
 
 #[test]
 fn rmi_reply_bytes_are_stable() {
-    let bytes =
-        RmiCodec::new().encode_reply(7, TraceContext::NONE, 9, &Reply::Value(WireValue::Int(-1)));
+    let bytes = RmiCodec::new()
+        .encode_reply(7, TraceContext::NONE, 9, &Reply::Value(WireValue::Int(-1)))
+        .unwrap();
     let expected: Vec<u8> = vec![
         b'J', b'R', b'M', b'I', 7, // version
         7, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
@@ -67,7 +70,9 @@ fn rmi_reply_bytes_are_stable() {
 
 #[test]
 fn corba_header_and_alignment_are_stable() {
-    let bytes = CorbaCodec::new().encode_request(7, sample_ctx(), &Request::Fetch { object: 1 });
+    let bytes = CorbaCodec::new()
+        .encode_request(7, sample_ctx(), &Request::Fetch { object: 1 })
+        .unwrap();
     // "GIOP" + version 1.7, pad to 8, message id u64, trace context (3×u64)
     // at 16..40, tag R_FETCH(3) at 40, pad to 48, object u64.
     assert_eq!(&bytes[..6], b"GIOP\x01\x07");
@@ -95,7 +100,9 @@ fn replica_sync_request() -> Request {
 
 #[test]
 fn rmi_replica_sync_bytes_are_stable() {
-    let bytes = RmiCodec::new().encode_request(1, TraceContext::NONE, &replica_sync_request());
+    let bytes = RmiCodec::new()
+        .encode_request(1, TraceContext::NONE, &replica_sync_request())
+        .unwrap();
     let expected: Vec<u8> = vec![
         b'J', b'R', b'M', b'I', 7, // version
         1, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
@@ -117,11 +124,13 @@ fn rmi_replica_sync_bytes_are_stable() {
 
 #[test]
 fn rmi_promote_bytes_are_stable() {
-    let bytes = RmiCodec::new().encode_request(
-        1,
-        TraceContext::NONE,
-        &Request::Promote { node: 4, object: 9 },
-    );
+    let bytes = RmiCodec::new()
+        .encode_request(
+            1,
+            TraceContext::NONE,
+            &Request::Promote { node: 4, object: 9 },
+        )
+        .unwrap();
     let expected: Vec<u8> = vec![
         b'J', b'R', b'M', b'I', 7, // version
         1, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
@@ -137,8 +146,9 @@ fn rmi_promote_bytes_are_stable() {
 
 #[test]
 fn corba_promote_alignment_is_stable() {
-    let bytes =
-        CorbaCodec::new().encode_request(7, sample_ctx(), &Request::Promote { node: 4, object: 9 });
+    let bytes = CorbaCodec::new()
+        .encode_request(7, sample_ctx(), &Request::Promote { node: 4, object: 9 })
+        .unwrap();
     // Header as for any request, then tag R_PROMOTE(7) at 40, the node u32
     // aligned up to 44, the object u64 aligned up to 48.
     assert_eq!(&bytes[..6], b"GIOP\x01\x07");
@@ -151,7 +161,9 @@ fn corba_promote_alignment_is_stable() {
 
 #[test]
 fn corba_replica_sync_roundtrips_with_known_header() {
-    let bytes = CorbaCodec::new().encode_request(7, sample_ctx(), &replica_sync_request());
+    let bytes = CorbaCodec::new()
+        .encode_request(7, sample_ctx(), &replica_sync_request())
+        .unwrap();
     assert_eq!(&bytes[..6], b"GIOP\x01\x07");
     assert_eq!(bytes[40], 6, "R_REPLICA tag");
     let (id, ctx, req) = CorbaCodec::new().decode_request(&bytes).unwrap();
@@ -161,11 +173,11 @@ fn corba_replica_sync_roundtrips_with_known_header() {
 
 #[test]
 fn soap_replica_sync_text_is_stable() {
-    let xml = String::from_utf8(SoapCodec::new().encode_request(
-        1,
-        sample_ctx(),
-        &replica_sync_request(),
-    ))
+    let xml = String::from_utf8(
+        SoapCodec::new()
+            .encode_request(1, sample_ctx(), &replica_sync_request())
+            .unwrap(),
+    )
     .unwrap();
     assert!(
         xml.contains(
@@ -180,11 +192,11 @@ fn soap_replica_sync_text_is_stable() {
 
 #[test]
 fn soap_promote_text_is_stable() {
-    let xml = String::from_utf8(SoapCodec::new().encode_request(
-        1,
-        sample_ctx(),
-        &Request::Promote { node: 4, object: 9 },
-    ))
+    let xml = String::from_utf8(
+        SoapCodec::new()
+            .encode_request(1, sample_ctx(), &Request::Promote { node: 4, object: 9 })
+            .unwrap(),
+    )
     .unwrap();
     assert!(
         xml.contains("<soap:Body><rafda:promote node=\"4\" object=\"9\"/></soap:Body>"),
@@ -200,12 +212,16 @@ fn pre_failover_rmi_v5_frames_still_parse() {
     // request/reply kinds, so a v5 frame differs from a v6 frame only in
     // the version byte (index 4).
     let codec = RmiCodec::new();
-    let mut req5 = codec.encode_request(0x0102, sample_ctx(), &call_request());
+    let mut req5 = codec
+        .encode_request(0x0102, sample_ctx(), &call_request())
+        .unwrap();
     req5[4] = 5;
     let (id, ctx, body) = codec.decode_request(&req5).unwrap();
     assert_eq!((id, ctx), (0x0102, sample_ctx()));
     assert_eq!(body, call_request());
-    let mut rep5 = codec.encode_reply(7, sample_ctx(), 9, &Reply::Value(WireValue::Int(-1)));
+    let mut rep5 = codec
+        .encode_reply(7, sample_ctx(), 9, &Reply::Value(WireValue::Int(-1)))
+        .unwrap();
     rep5[4] = 5;
     let (id, ctx, ver, reply) = codec.decode_reply(&rep5).unwrap();
     assert_eq!((id, ctx, ver), (7, sample_ctx(), 9));
@@ -217,12 +233,16 @@ fn pre_failover_giop_minor_5_frames_still_parse() {
     // Same argument as for RMI: only the minor version byte (index 5)
     // distinguishes a minor-5 frame from a minor-6 frame.
     let codec = CorbaCodec::new();
-    let mut req5 = codec.encode_request(7, sample_ctx(), &Request::Fetch { object: 1 });
+    let mut req5 = codec
+        .encode_request(7, sample_ctx(), &Request::Fetch { object: 1 })
+        .unwrap();
     req5[5] = 5;
     let (id, ctx, body) = codec.decode_request(&req5).unwrap();
     assert_eq!((id, ctx), (7, sample_ctx()));
     assert_eq!(body, Request::Fetch { object: 1 });
-    let mut rep5 = codec.encode_reply(7, sample_ctx(), 3, &Reply::Fault("f".to_owned()));
+    let mut rep5 = codec
+        .encode_reply(7, sample_ctx(), 3, &Reply::Fault("f".to_owned()))
+        .unwrap();
     rep5[5] = 5;
     let (id, ctx, ver, reply) = codec.decode_reply(&rep5).unwrap();
     assert_eq!((id, ctx, ver), (7, sample_ctx(), 3));
@@ -263,13 +283,17 @@ fn pre_failover_soap_frames_still_parse() {
 
 #[test]
 fn soap_request_text_is_stable() {
-    let xml = String::from_utf8(SoapCodec::new().encode_request(
-        12,
-        sample_ctx(),
-        &Request::Discover {
-            class: "X".to_owned(),
-        },
-    ))
+    let xml = String::from_utf8(
+        SoapCodec::new()
+            .encode_request(
+                12,
+                sample_ctx(),
+                &Request::Discover {
+                    class: "X".to_owned(),
+                },
+            )
+            .unwrap(),
+    )
     .unwrap();
     assert_eq!(
         xml,
@@ -285,20 +309,24 @@ fn soap_request_text_is_stable() {
 
 #[test]
 fn soap_value_markup_is_stable() {
-    let xml = String::from_utf8(SoapCodec::new().encode_reply(
-        0,
-        TraceContext::NONE,
-        0,
-        &Reply::Value(WireValue::Array(vec![
-            WireValue::Int(1),
-            WireValue::Str("a<b".to_owned()),
-            WireValue::Remote {
-                node: 2,
-                object: 9,
-                class: "C_O_Local".to_owned(),
-            },
-        ])),
-    ))
+    let xml = String::from_utf8(
+        SoapCodec::new()
+            .encode_reply(
+                0,
+                TraceContext::NONE,
+                0,
+                &Reply::Value(WireValue::Array(vec![
+                    WireValue::Int(1),
+                    WireValue::Str("a<b".to_owned()),
+                    WireValue::Remote {
+                        node: 2,
+                        object: 9,
+                        class: "C_O_Local".to_owned(),
+                    },
+                ])),
+            )
+            .unwrap(),
+    )
     .unwrap();
     assert!(
         xml.contains(
@@ -322,13 +350,15 @@ fn message_ids_and_contexts_roundtrip_through_every_codec() {
                 span_id: id.wrapping_add(1),
                 parent_span_id: id / 2,
             };
-            let req = codec.encode_request(id, ctx, &call_request());
+            let req = codec.encode_request(id, ctx, &call_request()).unwrap();
             let (back, back_ctx, body) = codec.decode_request(&req).unwrap();
             assert_eq!(back, id, "{} request id", codec.name());
             assert_eq!(back_ctx, ctx, "{} request ctx", codec.name());
             assert_eq!(body, call_request());
             let ver = id ^ 0x33;
-            let rep = codec.encode_reply(id, ctx, ver, &Reply::Fault("f".to_owned()));
+            let rep = codec
+                .encode_reply(id, ctx, ver, &Reply::Fault("f".to_owned()))
+                .unwrap();
             let (back, back_ctx, back_ver, _) = codec.decode_reply(&rep).unwrap();
             assert_eq!(back, id, "{} reply id", codec.name());
             assert_eq!(back_ctx, ctx, "{} reply ctx", codec.name());
@@ -339,9 +369,15 @@ fn message_ids_and_contexts_roundtrip_through_every_codec() {
 
 #[test]
 fn cross_codec_frames_are_rejected() {
-    let rmi_frame = RmiCodec::new().encode_request(1, TraceContext::NONE, &call_request());
-    let soap_frame = SoapCodec::new().encode_request(1, TraceContext::NONE, &call_request());
-    let corba_frame = CorbaCodec::new().encode_request(1, TraceContext::NONE, &call_request());
+    let rmi_frame = RmiCodec::new()
+        .encode_request(1, TraceContext::NONE, &call_request())
+        .unwrap();
+    let soap_frame = SoapCodec::new()
+        .encode_request(1, TraceContext::NONE, &call_request())
+        .unwrap();
+    let corba_frame = CorbaCodec::new()
+        .encode_request(1, TraceContext::NONE, &call_request())
+        .unwrap();
     assert!(CorbaCodec::new().decode_request(&rmi_frame).is_err());
     assert!(RmiCodec::new().decode_request(&corba_frame).is_err());
     assert!(RmiCodec::new().decode_request(&soap_frame).is_err());
@@ -374,7 +410,9 @@ fn batch_request() -> Request {
 
 #[test]
 fn rmi_batch_bytes_are_stable() {
-    let bytes = RmiCodec::new().encode_request(1, TraceContext::NONE, &batch_request());
+    let bytes = RmiCodec::new()
+        .encode_request(1, TraceContext::NONE, &batch_request())
+        .unwrap();
     let expected: Vec<u8> = vec![
         b'J', b'R', b'M', b'I', 7, // version
         1, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
@@ -402,7 +440,9 @@ fn rmi_batch_reply_bytes_are_stable() {
         (4, Reply::Value(WireValue::Null)),
         (0, Reply::Fault("x".to_owned())),
     ]);
-    let bytes = RmiCodec::new().encode_reply(1, TraceContext::NONE, 0, &reply);
+    let bytes = RmiCodec::new()
+        .encode_reply(1, TraceContext::NONE, 0, &reply)
+        .unwrap();
     let expected: Vec<u8> = vec![
         b'J', b'R', b'M', b'I', 7, // version
         1, 0, 0, 0, 0, 0, 0, 0, // message id u64 LE
@@ -425,7 +465,9 @@ fn rmi_batch_reply_bytes_are_stable() {
 
 #[test]
 fn corba_batch_roundtrips_with_known_header() {
-    let bytes = CorbaCodec::new().encode_request(7, sample_ctx(), &batch_request());
+    let bytes = CorbaCodec::new()
+        .encode_request(7, sample_ctx(), &batch_request())
+        .unwrap();
     assert_eq!(&bytes[..6], b"GIOP\x01\x07");
     assert_eq!(bytes[40], 8, "R_BATCH tag");
     let (id, ctx, req) = CorbaCodec::new().decode_request(&bytes).unwrap();
@@ -435,8 +477,12 @@ fn corba_batch_roundtrips_with_known_header() {
 
 #[test]
 fn soap_batch_text_is_stable() {
-    let xml = String::from_utf8(SoapCodec::new().encode_request(1, sample_ctx(), &batch_request()))
-        .unwrap();
+    let xml = String::from_utf8(
+        SoapCodec::new()
+            .encode_request(1, sample_ctx(), &batch_request())
+            .unwrap(),
+    )
+    .unwrap();
     assert!(
         xml.contains(
             "<soap:Body><rafda:batch>\
@@ -456,7 +502,12 @@ fn soap_batch_reply_text_is_stable() {
         (4, Reply::Value(WireValue::Null)),
         (0, Reply::Fault("x".to_owned())),
     ]);
-    let xml = String::from_utf8(SoapCodec::new().encode_reply(1, sample_ctx(), 0, &reply)).unwrap();
+    let xml = String::from_utf8(
+        SoapCodec::new()
+            .encode_reply(1, sample_ctx(), 0, &reply)
+            .unwrap(),
+    )
+    .unwrap();
     assert!(
         xml.contains(
             "<soap:Body><rafda:batchresult>\
@@ -476,19 +527,25 @@ fn pre_batching_v6_frames_still_parse() {
     // request/reply kinds, so a v6 frame differs from a v7 frame only in
     // the version byte (RMI index 4, GIOP minor at index 5).
     let rmi = RmiCodec::new();
-    let mut req6 = rmi.encode_request(0x0102, sample_ctx(), &replica_sync_request());
+    let mut req6 = rmi
+        .encode_request(0x0102, sample_ctx(), &replica_sync_request())
+        .unwrap();
     req6[4] = 6;
     let (id, ctx, body) = rmi.decode_request(&req6).unwrap();
     assert_eq!((id, ctx), (0x0102, sample_ctx()));
     assert_eq!(body, replica_sync_request());
-    let mut rep6 = rmi.encode_reply(7, sample_ctx(), 9, &Reply::Value(WireValue::Int(-1)));
+    let mut rep6 = rmi
+        .encode_reply(7, sample_ctx(), 9, &Reply::Value(WireValue::Int(-1)))
+        .unwrap();
     rep6[4] = 6;
     let (id, ctx, ver, reply) = rmi.decode_reply(&rep6).unwrap();
     assert_eq!((id, ctx, ver), (7, sample_ctx(), 9));
     assert_eq!(reply, Reply::Value(WireValue::Int(-1)));
 
     let corba = CorbaCodec::new();
-    let mut creq6 = corba.encode_request(7, sample_ctx(), &Request::Fetch { object: 1 });
+    let mut creq6 = corba
+        .encode_request(7, sample_ctx(), &Request::Fetch { object: 1 })
+        .unwrap();
     creq6[5] = 6;
     let (id, ctx, body) = corba.decode_request(&creq6).unwrap();
     assert_eq!((id, ctx), (7, sample_ctx()));

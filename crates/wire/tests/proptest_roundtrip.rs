@@ -249,7 +249,7 @@ proptest! {
     #[test]
     fn requests_roundtrip_all_codecs(id in any::<u64>(), ctx in arb_ctx(), req in arb_request()) {
         for codec in codecs() {
-            let bytes = codec.encode_request(id, ctx, &req);
+            let bytes = codec.encode_request(id, ctx, &req).unwrap();
             let (back_id, back_ctx, back) = codec.decode_request(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
             prop_assert_eq!(back_id, id, "{} lost the message id", codec.name());
@@ -266,7 +266,7 @@ proptest! {
         reply in arb_reply(),
     ) {
         for codec in codecs() {
-            let bytes = codec.encode_reply(id, ctx, ver, &reply);
+            let bytes = codec.encode_reply(id, ctx, ver, &reply).unwrap();
             let (back_id, back_ctx, back_ver, back) = codec.decode_reply(&bytes)
                 .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
             prop_assert_eq!(back_id, id, "{} lost the message id", codec.name());
@@ -278,8 +278,8 @@ proptest! {
 
     #[test]
     fn soap_is_never_smaller_than_rmi(req in arb_request()) {
-        let rmi = RmiCodec::new().encode_request(1, TraceContext::NONE, &req).len();
-        let soap = SoapCodec::new().encode_request(1, TraceContext::NONE, &req).len();
+        let rmi = RmiCodec::new().encode_request(1, TraceContext::NONE, &req).unwrap().len();
+        let soap = SoapCodec::new().encode_request(1, TraceContext::NONE, &req).unwrap().len();
         prop_assert!(soap > rmi);
     }
 
@@ -308,7 +308,7 @@ proptest! {
         // which is the one byte a parser legitimately tolerates losing.)
         for codec in codecs() {
             let slack = usize::from(codec.name() == "SOAP");
-            let frame = codec.encode_request(id, ctx, &req);
+            let frame = codec.encode_request(id, ctx, &req).unwrap();
             let cut = cut_seed % (frame.len() - slack);
             prop_assert!(
                 codec.decode_request(&frame[..cut]).is_err(),
@@ -316,7 +316,7 @@ proptest! {
                 codec.name(),
                 frame.len()
             );
-            let frame = codec.encode_reply(id, ctx, 3, &reply);
+            let frame = codec.encode_reply(id, ctx, 3, &reply).unwrap();
             let cut = cut_seed % (frame.len() - slack);
             prop_assert!(
                 codec.decode_reply(&frame[..cut]).is_err(),
@@ -341,8 +341,8 @@ proptest! {
         // outright (the frame no longer identifies as that protocol).
         for codec in codecs() {
             for (frame, is_reply) in [
-                (codec.encode_request(id, ctx, &req), false),
-                (codec.encode_reply(id, ctx, 3, &reply), true),
+                (codec.encode_request(id, ctx, &req).unwrap(), false),
+                (codec.encode_reply(id, ctx, 3, &reply).unwrap(), true),
             ] {
                 let mut mutated = frame.clone();
                 let pos = pos_seed % mutated.len();
@@ -362,6 +362,73 @@ proptest! {
                     };
                     prop_assert!(rejected, "{} accepted a corrupt magic", codec.name());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn bitflipped_frames_never_panic_the_header_decoder(
+        id in any::<u64>(),
+        ctx in arb_ctx(),
+        req in arb_request(),
+        pos_seed in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        // The zero-copy header fast path sees raw network bytes before any
+        // validation; a flipped bit must never panic it, and whenever the
+        // header *does* parse, materialising the payload must also either
+        // succeed or error — never panic.
+        for codec in codecs() {
+            let mut frame = codec.encode_request(id, ctx, &req).unwrap();
+            let pos = pos_seed % frame.len();
+            frame[pos] ^= 1 << bit;
+            if let Ok(header) = codec.decode_request_header(&frame) {
+                let _ = header.materialise(None);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_allocate_bounded_memory(
+        id in any::<u64>(),
+        ctx in arb_ctx(),
+        claimed in (1u32 << 20)..u32::MAX,
+        word_seed in any::<usize>(),
+    ) {
+        // Overwrite one aligned u32 word of the body with a huge length.
+        // Whatever field it lands on (string length, arg count, list
+        // count), the decoder must fail against the actual buffer size
+        // rather than allocating the gigabytes the frame claims. The
+        // decoders clamp `with_capacity` to fixed caps, so an accepted
+        // decode can only ever hold what the buffer really contained.
+        let req = Request::Call {
+            object: 1,
+            method: "m@1".to_owned(),
+            args: vec![WireValue::Str("payload".to_owned()); 4],
+        };
+        for codec in [
+            Box::new(RmiCodec::new()) as Box<dyn Protocol>,
+            Box::new(CorbaCodec::new()),
+        ] {
+            let mut frame = codec.encode_request(id, ctx, &req).unwrap();
+            let body = 48; // past both codecs' fixed headers
+            let words = (frame.len() - body) / 4;
+            let at = body + (word_seed % words) * 4;
+            frame[at..at + 4].copy_from_slice(&claimed.to_le_bytes());
+            match codec.decode_request(&frame) {
+                // Fail fast, or decode something the buffer really held —
+                // either way nothing panicked and nothing huge allocated.
+                Ok((_, _, back)) => {
+                    let reenc = codec.encode_request(id, ctx, &back).unwrap();
+                    prop_assert!(
+                        reenc.len() <= frame.len() + 64,
+                        "{} conjured {} bytes from a {}-byte frame",
+                        codec.name(),
+                        reenc.len(),
+                        frame.len()
+                    );
+                }
+                Err(_) => {}
             }
         }
     }

@@ -488,6 +488,63 @@ fn e12() {
     );
 }
 
+fn e13() {
+    println!("== E13: zero-copy wire fast path — signature interning & buffer reuse ==");
+    // A chatty remote counter: every call repeats the same method signature,
+    // which is exactly what per-link interning compresses. Wall-clock
+    // throughput lives in the e13 bench (it asserts >= 2x); this report
+    // prints only the deterministic wire-level counters.
+    let mut app = Application::new();
+    let u = app.universe_mut();
+    let c = u.declare("C", ClassKind::Class);
+    let mut cb = ClassBuilder::new(u, c);
+    let v = cb.field(Field::new("v", Ty::Int));
+    let mut mb = MethodBuilder::new(1);
+    mb.ret();
+    cb.ctor(u, vec![], Some(mb.finish()));
+    let mut mb = MethodBuilder::new(1);
+    mb.load_this();
+    mb.load_this().get_field(c, v);
+    mb.const_int(1).add();
+    mb.put_field(c, v);
+    mb.load_this().get_field(c, v).ret_value();
+    cb.method(u, "tick", vec![], Ty::Int, Some(mb.finish()));
+    cb.finish(u);
+    let policy = StaticPolicy::new()
+        .place("C", Placement::Node(NodeId(1)))
+        .default_statics(NodeId(0));
+    let cluster = app
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(2, 42, Box::new(policy));
+    let obj = cluster.new_instance(NodeId(0), "C", 0, vec![]).unwrap();
+    let net = cluster.network();
+    let t0 = net.stats().bytes;
+    cluster
+        .call_method(NodeId(0), obj.clone(), "tick", vec![])
+        .unwrap();
+    let first = net.stats().bytes - t0;
+    let t1 = net.stats().bytes;
+    for _ in 0..31 {
+        cluster
+            .call_method(NodeId(0), obj.clone(), "tick", vec![])
+            .unwrap();
+    }
+    let repeat = (net.stats().bytes - t1) / 31;
+    let stats = cluster.stats();
+    assert!(
+        repeat < first,
+        "interned repeat calls must be smaller on the wire ({repeat} vs {first})"
+    );
+    assert!(stats.wire_buf_reuses > 0, "encode buffers must be pooled");
+    println!("  workload: 32 identical remote calls over RMI, owner remote");
+    println!("  bytes/exchange: {first} first call, {repeat} repeat calls (interned)");
+    println!(
+        "  signature table: {} defined, {} referenced; encode buffers reused {} times\n",
+        stats.sig_defs, stats.sig_refs, stats.wire_buf_reuses
+    );
+}
+
 fn main() {
     println!("RAFDA reproduction — consolidated experiment report\n");
     e1();
@@ -501,5 +558,6 @@ fn main() {
     e10();
     e11();
     e12();
+    e13();
     println!("full precision: cargo bench --workspace (see EXPERIMENTS.md)");
 }
