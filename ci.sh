@@ -48,10 +48,22 @@ echo "== determinism (same-seed run-twice diff) =="
 run_report() {
   cargo run -q -p rafda --example experiments_report --release > "$1"
   cp target/e9_trace.json "$1.trace" 2>/dev/null || true
+  cp target/e14_metrics.prom "$1.prom" 2>/dev/null || true
+  cp target/e14_metrics.jsonl "$1.jsonl" 2>/dev/null || true
 }
 run_report target/ci_determinism_a.txt
 run_report target/ci_determinism_b.txt
 diff target/ci_determinism_a.txt target/ci_determinism_b.txt
 diff target/ci_determinism_a.txt.trace target/ci_determinism_b.txt.trace
+# The observability plane is part of the gate: the Prometheus snapshot and
+# the JSON-lines time series must also be byte-identical across runs.
+diff target/ci_determinism_a.txt.prom target/ci_determinism_b.txt.prom
+diff target/ci_determinism_a.txt.jsonl target/ci_determinism_b.txt.jsonl
+
+echo "== chaos soak, monitor-enabled smoke =="
+# The full 24-case soak already ran under `cargo test` above; this repeats
+# it at 2 cases purely to exercise the CHAOS_CASES knob the soak exposes
+# for quick local iteration (all four watchdogs stay enabled).
+CHAOS_CASES=2 cargo test -q -p rafda --test chaos_soak
 
 echo "CI OK"

@@ -69,10 +69,12 @@ pub use rafda_policy::{
     AffinityConfig, DistributionPolicy, LocalPolicy, Placement, RoundRobinPolicy, StaticPolicy,
 };
 pub use rafda_runtime::{
-    Cluster, LocalRuntime, MigrationEvent, RetryPolicy, RuntimeError, RuntimeStats,
+    declare_introspection, Cluster, LocalRuntime, MigrationEvent, RetryPolicy, RuntimeError,
+    RuntimeStats, INTROSPECTION_CLASS,
 };
 pub use rafda_telemetry::{
-    LatencyHistogram, LinkSummary, MethodKey, Span, SpanLog, SpanOutcome, TraceContext,
+    LatencyHistogram, LinkSummary, MethodKey, MetricsRegistry, Monitor, MonitorEvent, Span,
+    SpanLog, SpanOutcome, TimeSeriesRecorder, TraceContext, Violation,
 };
 pub use rafda_transform::{TransformError, Transformer};
 pub use rafda_vm::{NetFailure, NetFailureKind, ObserverIds, Trace, TraceEvent, Value, Vm};

@@ -2,11 +2,15 @@
 //! hooks, RPC dispatch, migration and adaptation.
 
 use crate::error::RuntimeError;
+use crate::introspect;
 use crate::marshal;
+use crate::obs::{Met, Obs};
 use rafda_classmodel::{ClassId, ClassUniverse, SigId, Ty};
 use rafda_net::{BufPool, NetError, Network, NodeId, SimTime};
 use rafda_policy::{AffinityConfig, DistributionPolicy};
-use rafda_telemetry::{SpanLog, SpanOutcome, TraceContext};
+use rafda_telemetry::{
+    standard_monitors, MonitorEvent, SpanLog, SpanOutcome, TraceContext, Violation,
+};
 use rafda_transform::TransformPlan;
 use rafda_vm::{Handle, NetFailure, NetFailureKind, Trace, TraceEvent, Value, Vm, VmError};
 use rafda_wire::{
@@ -108,13 +112,16 @@ pub(crate) struct NodeState {
     /// state stays in wire form until a [`Request::Promote`] materialises
     /// it — a backup that never promotes costs no heap objects.
     replica_store: HashMap<(u32, u64), (u64, String, Vec<WireValue>)>,
-    /// The property version each local export last shipped to its backups.
-    /// [`sync_replicas`] skips the marshalling and the per-target exchanges
-    /// outright when the version has not moved since — repeated
-    /// `Discover`/`Create` serves of an unmutated object would otherwise
-    /// re-ship identical state. Cleared cluster-wide on every restart so a
-    /// rejoining backup is re-seeded at the owner's next sync.
-    synced_versions: HashMap<u64, u64>,
+    /// The property version and marshalled state each local export last
+    /// shipped to its backups. [`sync_replicas`] skips the per-target
+    /// exchanges when both are unchanged — repeated `Discover`/`Create`
+    /// serves of an unmutated object would otherwise re-ship identical
+    /// state. When the *state* moved but the version did not (a local call
+    /// mutated a promoted or pulled replica without a serve in between),
+    /// the sync bumps the version itself before shipping. Cleared
+    /// cluster-wide on every restart so a rejoining backup is re-seeded at
+    /// the owner's next sync.
+    synced_versions: HashMap<u64, (u64, Vec<WireValue>)>,
 }
 
 /// Client-side fault tolerance for one request/reply exchange.
@@ -240,9 +247,63 @@ pub struct RuntimeStats {
 }
 
 impl RuntimeStats {
-    fn record_attempts(&mut self, n: u32) {
-        let bucket = (n.saturating_sub(1) as usize).min(self.attempts.len() - 1);
-        self.attempts[bucket] += 1;
+    /// Add every counter of `other` into `self` — the merge
+    /// [`Cluster::stats`] folds per-node breakdowns with.
+    pub fn merge(&mut self, other: &RuntimeStats) {
+        let RuntimeStats {
+            rpc_calls,
+            rpc_creates,
+            rpc_discovers,
+            rpc_fetches,
+            rpc_installs,
+            rpc_forwards,
+            migrations,
+            pulls,
+            faults,
+            retries,
+            retransmits,
+            dedup_hits,
+            net_failures,
+            cache_hits,
+            cache_misses,
+            cache_invalidations,
+            replica_syncs,
+            promotions,
+            failovers,
+            batched_ops,
+            flushes,
+            attempts,
+            sig_refs,
+            sig_defs,
+            wire_buf_reuses,
+        } = other;
+        self.rpc_calls += rpc_calls;
+        self.rpc_creates += rpc_creates;
+        self.rpc_discovers += rpc_discovers;
+        self.rpc_fetches += rpc_fetches;
+        self.rpc_installs += rpc_installs;
+        self.rpc_forwards += rpc_forwards;
+        self.migrations += migrations;
+        self.pulls += pulls;
+        self.faults += faults;
+        self.retries += retries;
+        self.retransmits += retransmits;
+        self.dedup_hits += dedup_hits;
+        self.net_failures += net_failures;
+        self.cache_hits += cache_hits;
+        self.cache_misses += cache_misses;
+        self.cache_invalidations += cache_invalidations;
+        self.replica_syncs += replica_syncs;
+        self.promotions += promotions;
+        self.failovers += failovers;
+        self.batched_ops += batched_ops;
+        self.flushes += flushes;
+        for (slot, c) in self.attempts.iter_mut().zip(attempts) {
+            *slot += c;
+        }
+        self.sig_refs += sig_refs;
+        self.sig_defs += sig_defs;
+        self.wire_buf_reuses += wire_buf_reuses;
     }
 
     /// Total finished exchanges recorded in the attempts histogram.
@@ -377,7 +438,16 @@ pub(crate) struct Shared {
     pub policy: Box<dyn DistributionPolicy>,
     pub nodes: RefCell<Vec<NodeState>>,
     pub trace: RefCell<Trace>,
-    pub stats: RefCell<RuntimeStats>,
+    /// The observability plane: metrics registry (the single write path
+    /// for every runtime counter, labeled per node), time-series recorder,
+    /// and the optional invariant monitors. Never borrowed across a
+    /// nested exchange.
+    pub obs: RefCell<Obs>,
+    /// Test-only fault injection: when set, the next
+    /// [`tombstone_version`] call is silently skipped — simulating a
+    /// runtime that forgot to mark a moved-away export uncacheable, the
+    /// exact bug the stale-read monitor exists to catch.
+    pub skip_next_tombstone: Cell<bool>,
     pub gen_info: HashMap<ClassId, GenInfo>,
     pub rpc_depth: Cell<u32>,
     pub retry: Cell<RetryPolicy>,
@@ -414,6 +484,13 @@ pub(crate) struct Shared {
     /// Re-entrancy guard for [`flush_outqueues`]: the flush itself performs
     /// top-level exchanges, which are synchronization points of their own.
     pub in_flush: Cell<bool>,
+    /// Whether the policy replicates any transformed class — computed once
+    /// at deployment so [`sync_dirty_replicas`] is a single boolean test
+    /// for the (common) workloads with no replication.
+    pub any_replication: bool,
+    /// Re-entrancy guard for [`sync_dirty_replicas`]: the sweep's shipments
+    /// are exchanges, and every exchange is a synchronization point.
+    pub in_replica_sweep: Cell<bool>,
     /// Reusable encode buffers, keyed by directed link. Checked out for
     /// the lifetime of one frame (request frames live across every
     /// retransmission of their exchange) and returned cleared. Never
@@ -451,12 +528,16 @@ impl Cluster {
     /// Protocol codecs are instantiated for every protocol the plan
     /// generated proxies for.
     pub fn new(
-        universe: ClassUniverse,
+        mut universe: ClassUniverse,
         plan: TransformPlan,
         nodes: u32,
         seed: u64,
         policy: Box<dyn DistributionPolicy>,
     ) -> Self {
+        // If the application registered `rafda.Introspection`, flip its
+        // generated `_O_Local` methods to native *before* the universe is
+        // frozen — deployment wires the hooks below.
+        introspect::prepare(&mut universe, &plan);
         let universe = Arc::new(universe);
         let net = Network::new(nodes, seed);
         let vms: Vec<Vm> = (0..nodes).map(|_| Vm::new(universe.clone())).collect();
@@ -507,6 +588,10 @@ impl Cluster {
                 );
             }
         }
+        let any_replication = plan
+            .families
+            .values()
+            .any(|f| policy.replicas(&universe.class(f.base).name) > 0);
         let shared = Rc::new(Shared {
             universe,
             plan,
@@ -516,7 +601,8 @@ impl Cluster {
             policy,
             nodes: RefCell::new((0..nodes).map(|_| NodeState::default()).collect()),
             trace: RefCell::new(Trace::new()),
-            stats: RefCell::new(RuntimeStats::default()),
+            obs: RefCell::new(Obs::new(nodes)),
+            skip_next_tombstone: Cell::new(false),
             gen_info,
             rpc_depth: Cell::new(0),
             retry: Cell::new(RetryPolicy::default()),
@@ -527,6 +613,8 @@ impl Cluster {
             last_exchange_span: Cell::new(0),
             outqueues: RefCell::new(HashMap::new()),
             in_flush: Cell::new(false),
+            any_replication,
+            in_replica_sweep: Cell::new(false),
             wire_bufs: RefCell::new(BufPool::new()),
             sig_tables: RefCell::new(HashMap::new()),
         });
@@ -564,17 +652,97 @@ impl Cluster {
         self.shared.vms.len() as u32
     }
 
-    /// Runtime statistics snapshot. The wire-layer counters (signature
-    /// interning, buffer reuse) live in their own structures and are merged
-    /// into the snapshot here.
+    /// Cluster-wide runtime statistics: the documented merge of every
+    /// node's [`Cluster::node_stats`] breakdown via
+    /// [`RuntimeStats::merge`]. Each counter is charged to exactly one
+    /// node, so per-node sums always equal this view.
     pub fn stats(&self) -> RuntimeStats {
-        let mut stats = *self.shared.stats.borrow();
-        for table in self.shared.sig_tables.borrow().values() {
-            stats.sig_refs += table.refs();
-            stats.sig_defs += table.defs();
+        merged_stats(&self.shared)
+    }
+
+    /// One node's runtime statistics breakdown. Counters are charged to
+    /// the node that did the work: client-side counters (retries, cache
+    /// hits, batched ops, the attempts histogram, wire encode counters) to
+    /// the caller, server-side counters (`rpc_*`, faults, dedup hits,
+    /// retransmits received, promotions) to the server.
+    pub fn node_stats(&self, node: NodeId) -> RuntimeStats {
+        node_stats_of(&self.shared, node.0)
+    }
+
+    /// The metrics registry rendered in Prometheus text exposition format,
+    /// with the wire-layer per-node counters appended. Deterministic: same
+    /// seed, same bytes.
+    pub fn prometheus_text(&self) -> String {
+        prometheus_text_of(&self.shared)
+    }
+
+    /// The metrics registry, wire-layer counters and time-series rings as
+    /// JSON lines (one object per line). Deterministic: same seed, same
+    /// bytes.
+    pub fn metrics_json(&self) -> String {
+        metrics_json_of(&self.shared)
+    }
+
+    /// Switch on the four standing invariant monitors (stale-read,
+    /// at-most-once, span-tree, replica-divergence). Monitors are pure
+    /// consumers of runtime events: enabling them never perturbs the
+    /// simulated clock or any observable behaviour.
+    pub fn enable_monitors(&self) {
+        self.shared.obs.borrow_mut().monitors = Some(standard_monitors());
+    }
+
+    /// Violations accumulated by the enabled monitors so far (empty when
+    /// monitors are off).
+    pub fn monitor_violations(&self) -> Vec<Violation> {
+        let obs = self.shared.obs.borrow();
+        match &obs.monitors {
+            Some(monitors) => monitors
+                .iter()
+                .flat_map(|m| m.violations().iter().cloned())
+                .collect(),
+            None => Vec::new(),
         }
-        stats.wire_buf_reuses = self.shared.wire_bufs.borrow().reuses();
-        stats
+    }
+
+    /// Run the quiescent-point checks and return every violation known.
+    ///
+    /// Flushes pending batches and re-ships drifted replicas first (a
+    /// quiescent point must not have deferred operations or unshipped
+    /// replicated state in flight), then hands the span log to the
+    /// monitors' structural check and probes every replica against its
+    /// primary. A clean run returns an empty vector; tests assert exactly
+    /// that, and on failure each [`Violation`] identifies the offending
+    /// span and exchange.
+    pub fn check_invariants(&self) -> Vec<Violation> {
+        let shared = &self.shared;
+        let _ = flush_outqueues(shared);
+        sync_dirty_replicas(shared);
+        if shared.obs.borrow().monitors.is_none() {
+            return Vec::new();
+        }
+        let log = shared.spans.borrow().clone();
+        {
+            let mut obs = shared.obs.borrow_mut();
+            if let Some(monitors) = obs.monitors.as_mut() {
+                for m in monitors.iter_mut() {
+                    m.check_span_log(&log);
+                }
+            }
+        }
+        for probe in collect_replica_probes(shared) {
+            shared.obs.borrow_mut().emit(&probe);
+        }
+        self.monitor_violations()
+    }
+
+    /// Test-only fault injection: silently skip the next
+    /// [`tombstone_version`] call, simulating a runtime that forgot to
+    /// mark a moved-away export uncacheable. Exists so the stale-read
+    /// monitor's canary test can prove the watchdog catches the bug it was
+    /// built for; never use outside tests.
+    #[doc(hidden)]
+    pub fn debug_skip_next_tombstone(&self) {
+        self.shared.skip_next_tombstone.set(true);
     }
 
     /// Per-object incoming-call affinity recorded on `node`: `(export id,
@@ -688,6 +856,54 @@ impl Cluster {
                 for (_proto, proxy) in family.obj_proxies.iter().chain(family.cls_proxies.iter()) {
                     self.install_proxy_hooks(node, *proxy);
                 }
+            }
+        }
+        self.install_introspection_hooks();
+    }
+
+    /// Wire the native halves of `rafda.Introspection`'s `refresh` and
+    /// `node_stats` methods on every node (no-op when the class was never
+    /// declared). The getters stay ordinary generated accessors — remote
+    /// reads of the snapshot fields travel the normal RMI path and are
+    /// counted like any other property read.
+    fn install_introspection_hooks(&self) {
+        let Some(base) = self
+            .shared
+            .universe
+            .by_name(introspect::INTROSPECTION_CLASS)
+        else {
+            return;
+        };
+        let Some(family) = self.shared.plan.family(base) else {
+            return;
+        };
+        let local = family.obj_local;
+        let sig_of = |name: &str| {
+            self.shared
+                .universe
+                .class(local)
+                .methods
+                .iter()
+                .find(|m| m.name == name)
+                .map(|m| m.sig)
+        };
+        let (refresh_sig, node_stats_sig) = (sig_of("refresh"), sig_of("node_stats"));
+        for node_index in 0..self.shared.vms.len() {
+            let node = NodeId(node_index as u32);
+            let vm = &self.shared.vms[node_index];
+            if let Some(sig) = refresh_sig {
+                let weak = Rc::downgrade(&self.shared);
+                vm.register_native(local, sig, move |_vm, args| {
+                    let shared = upgrade(&weak)?;
+                    introspect::refresh_native(&shared, node, args)
+                });
+            }
+            if let Some(sig) = node_stats_sig {
+                let weak = Rc::downgrade(&self.shared);
+                vm.register_native(local, sig, move |_vm, args| {
+                    let shared = upgrade(&weak)?;
+                    introspect::node_stats_native(&shared, args)
+                });
             }
         }
     }
@@ -1019,7 +1235,7 @@ impl Cluster {
         // cluster-wide.
         tombstone_version(shared, from.0, source_oid);
         purge_call_counts(shared, &[(from.0, source_oid), (target.node.0, target.oid)]);
-        shared.stats.borrow_mut().migrations += 1;
+        bump(shared, from.0, Met::Migrations);
         Ok(MigrationEvent {
             class: base_name,
             from,
@@ -1125,7 +1341,7 @@ impl Cluster {
         bump_version(shared, node.0, my_oid);
         purge_call_counts(shared, &[(owner.0, oid), (node.0, my_oid)]);
         sync_replicas(shared, node, my_oid);
-        shared.stats.borrow_mut().pulls += 1;
+        bump(shared, node.0, Met::Pulls);
         Ok(MigrationEvent {
             class: base_name,
             from: owner,
@@ -1398,6 +1614,12 @@ pub(crate) fn bump_version(shared: &Shared, node: u32, oid: u64) {
 /// Mark the export `(node, oid)` permanently uncacheable — the object
 /// migrated away and this export now forwards.
 pub(crate) fn tombstone_version(shared: &Shared, node: u32, oid: u64) {
+    if shared.skip_next_tombstone.replace(false) {
+        // Test-only injected fault (`Cluster::debug_skip_next_tombstone`):
+        // the runtime "forgets" to poison the moved-away location, which
+        // is exactly the coherence bug the stale-read monitor detects.
+        return;
+    }
     shared
         .versions
         .borrow_mut()
@@ -1489,18 +1711,6 @@ pub(crate) fn sync_replicas(shared: &Shared, owner: NodeId, oid: u64) {
     if k == 0 {
         return;
     }
-    // Skip the no-op sync outright: if the version has not moved since the
-    // last shipment, the backups already hold exactly this state, and
-    // marshalling plus k exchanges would buy nothing. Repeated `Discover`
-    // and `Create` serves of an unmutated singleton hit this constantly.
-    let version = version_of(shared, owner.0, oid);
-    if shared.nodes.borrow()[owner.0 as usize]
-        .synced_versions
-        .get(&oid)
-        == Some(&version)
-    {
-        return;
-    }
     let Some((_, fields)) = vm.read_object(h) else {
         return;
     };
@@ -1511,9 +1721,40 @@ pub(crate) fn sync_replicas(shared: &Shared, owner: NodeId, oid: u64) {
             Err(_) => return,
         }
     }
+    // Skip the no-op sync outright: if neither the version nor the state
+    // has moved since the last shipment, the backups already hold exactly
+    // this state and k exchanges would buy nothing. Repeated `Discover`
+    // and `Create` serves of an unmutated singleton hit this constantly.
+    //
+    // State drift at an *unchanged* version means the object was mutated
+    // outside the serve path — a promoted or pulled replica living in the
+    // caller's own VM takes plain local calls that never bump the version.
+    // Bump it here before shipping: the backups must not hold two
+    // different states under one version tag, and stale property-cache
+    // entries tagged with the old version must stop validating.
+    let version = version_of(shared, owner.0, oid);
+    let prior = shared.nodes.borrow()[owner.0 as usize]
+        .synced_versions
+        .get(&oid)
+        .cloned();
+    let version = match prior {
+        Some((v, ref shipped)) if v == version && *shipped == wire_fields => return,
+        Some((v, _)) if v == version => {
+            bump_version(shared, owner.0, oid);
+            version_of(shared, owner.0, oid)
+        }
+        _ => version,
+    };
     let class_name = shared.universe.class(class).name.clone();
     let proto = shared.policy.protocol(&base_name);
     let batched = shared.policy.batched(&base_name);
+    // Record the shipment *before* the exchanges below: each one is a
+    // top-level rpc, which runs the dirty-replica sweep, which would see an
+    // unrecorded (or stale-recorded) entry for this very object and ship it
+    // a second time.
+    shared.nodes.borrow_mut()[owner.0 as usize]
+        .synced_versions
+        .insert(oid, (version, wire_fields.clone()));
     for t in replica_targets(k, owner.0, shared.vms.len() as u32) {
         if shared.net.fault_plan(|f| f.is_crashed(NodeId(t))) {
             continue;
@@ -1535,9 +1776,44 @@ pub(crate) fn sync_replicas(shared: &Shared, owner: NodeId, oid: u64) {
             let _ = rpc(shared, owner, NodeId(t), &proto, &base_name, &req);
         }
     }
-    shared.nodes.borrow_mut()[owner.0 as usize]
-        .synced_versions
-        .insert(oid, version);
+}
+
+/// Re-ship every replicated export whose live state drifted from its last
+/// shipment — the dirty-replica sweep run at synchronization points.
+///
+/// Mutations served over the wire trigger [`sync_replicas`] inline, but a
+/// promoted (or pulled) object lives in its caller's VM and takes plain
+/// local calls the runtime never sees. The sweep closes that gap: at every
+/// top-level exchange and at quiescent points, each node's replicated
+/// exports are offered to [`sync_replicas`], which ships (and
+/// version-bumps) exactly those whose state moved and no-ops on the rest.
+/// Gated on `any_replication` so workloads without a `replicate` policy pay
+/// one boolean test, and guarded against re-entry because the shipments are
+/// themselves exchanges.
+pub(crate) fn sync_dirty_replicas(shared: &Shared) {
+    if !shared.any_replication || shared.in_replica_sweep.get() {
+        return;
+    }
+    shared.in_replica_sweep.set(true);
+    let targets: Vec<(u32, u64)> = {
+        let nodes = shared.nodes.borrow();
+        let mut t: Vec<(u32, u64)> = nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(n, st)| st.exports.keys().map(move |&oid| (n as u32, oid)))
+            .collect();
+        t.sort_unstable();
+        t
+    };
+    for (n, oid) in targets {
+        // A crashed owner cannot ship; its backups are exactly what the
+        // failover machinery is for.
+        if shared.net.fault_plan(|f| f.is_crashed(NodeId(n))) {
+            continue;
+        }
+        sync_replicas(shared, NodeId(n), oid);
+    }
+    shared.in_replica_sweep.set(false);
 }
 
 /// Allocate an object of `class` with JVM-default field values.
@@ -1713,11 +1989,11 @@ fn proxy_call(
             .cloned();
         match cached {
             Some((tag, wv)) if tag == current && current != VERSION_TOMBSTONE => {
-                shared.stats.borrow_mut().cache_hits += 1;
+                bump(shared, node.0, Met::CacheHits);
                 // A zero-duration exchange span keeps the read visible in
                 // traces, tagged as served from the property cache.
                 let now = shared.net.now().as_ns();
-                {
+                let ctx = {
                     let mut spans = shared.spans.borrow_mut();
                     let h = spans.start_span("rpc.call", node.0, now);
                     spans.set_attr(h, "class", base_name.as_str());
@@ -1727,11 +2003,32 @@ fn proxy_call(
                     spans.set_attr(h, "to", target);
                     spans.set_attr(h, "cached", true);
                     spans.end_span(h, now, SpanOutcome::Ok);
+                    spans.context_of(h)
+                };
+                if monitors_on(shared) {
+                    // A hit is a stale read when the authoritative object
+                    // has moved: the export now forwards, or a promotion
+                    // re-homed it. A merely *missing* export (restart
+                    // amnesia) is legitimate — the version survived, the
+                    // state did not move.
+                    let forwards = lookup_export(shared, NodeId(target), oid)
+                        .and_then(|h| shared.vms[target as usize].class_of(h))
+                        .and_then(|c| shared.gen_info.get(&c))
+                        .is_some_and(|i| i.proto.is_some());
+                    let promoted = shared.homes.borrow().contains_key(&(target, oid));
+                    shared.obs.borrow_mut().emit(&MonitorEvent::CacheHit {
+                        node: node.0,
+                        owner: target,
+                        oid,
+                        stale_location: forwards || promoted,
+                        span_id: ctx.span_id,
+                        trace_id: ctx.trace_id,
+                    });
                 }
                 return marshal::wire_to_value(shared, node, &wv).map_err(VmError::Native);
             }
-            Some(_) => shared.stats.borrow_mut().cache_invalidations += 1,
-            None => shared.stats.borrow_mut().cache_misses += 1,
+            Some(_) => bump(shared, node.0, Met::CacheInvalidations),
+            None => bump(shared, node.0, Met::CacheMisses),
         }
     }
     // Batched remote invocation: a void-returning call on a `batch on`
@@ -1923,7 +2220,7 @@ fn failover(
         // proxy — the same logical object.
         cache_import(shared, node, nn, noid, recv);
     }
-    shared.stats.borrow_mut().failovers += 1;
+    bump(shared, node.0, Met::Failovers);
     Some((nn, noid))
 }
 
@@ -2031,12 +2328,14 @@ fn enqueue_outcall(
             .find(|q| matches!(**q, Request::ReplicaSync { object, .. } if object == target_oid))
         {
             *slot = op;
-            shared.stats.borrow_mut().batched_ops += 1;
+            drop(queues);
+            bump(shared, from.0, Met::BatchedOps);
             return;
         }
     }
     pending.ops.push(op);
-    shared.stats.borrow_mut().batched_ops += 1;
+    drop(queues);
+    bump(shared, from.0, Met::BatchedOps);
 }
 
 /// Drain every pending outcall queue, shipping each as one
@@ -2070,7 +2369,7 @@ pub(crate) fn flush_outqueues(shared: &Shared) -> Result<(), VmError> {
             let Some(pending) = shared.outqueues.borrow_mut().remove(&key) else {
                 continue;
             };
-            shared.stats.borrow_mut().flushes += 1;
+            bump(shared, key.0, Met::Flushes);
             let (from, to) = (NodeId(key.0), NodeId(key.1));
             let outcome = rpc(
                 shared,
@@ -2157,7 +2456,17 @@ pub(crate) fn rpc(
     // object state (migrate, pull, replica sync of batched classes) flush
     // or enqueue explicitly before snapshotting. With batching off the
     // queues are permanently empty and this is a single emptiness check.
+    //
+    // The time-series sample is taken first for the same reason in
+    // reverse: queue-depth readings must see the work this flush is about
+    // to drain.
+    maybe_sample(shared);
     flush_outqueues(shared)?;
+    // A promoted object's local mutations bypass the serve path entirely;
+    // the next exchange is the first chance to notice its backups are
+    // behind. No-op unless some class is replicated *and* some replicated
+    // state actually drifted.
+    sync_dirty_replicas(shared);
     let codec = shared
         .protocols
         .get(proto)
@@ -2281,7 +2590,7 @@ fn rpc_inner(
             // Back off on the simulated clock before retransmitting, so the
             // cost of fault tolerance is charged deterministically.
             shared.net.advance(policy.backoff_ns(attempt - 1));
-            shared.stats.borrow_mut().retries += 1;
+            bump(shared, from.0, Met::Retries);
         }
         // Each transmission attempt is a child span: retransmissions get
         // fresh span ids within the same trace and point at the attempt
@@ -2299,7 +2608,7 @@ fn rpc_inner(
         match attempt_exchange(shared, from, to, codec, msg_id, &bytes, attempt) {
             Ok((reply, obj_version)) => {
                 let end = shared.net.now().as_ns();
-                shared.stats.borrow_mut().record_attempts(attempt);
+                shared.obs.borrow_mut().record_attempts(from.0, attempt);
                 let outcome = reply_outcome(&reply);
                 let mut spans = shared.spans.borrow_mut();
                 spans.end_span(att, end, SpanOutcome::Ok);
@@ -2319,9 +2628,9 @@ fn rpc_inner(
             Err(kind) => {
                 let end = shared.net.now().as_ns();
                 {
-                    let mut stats = shared.stats.borrow_mut();
-                    stats.net_failures += 1;
-                    stats.record_attempts(attempt);
+                    let mut obs = shared.obs.borrow_mut();
+                    obs.inc(from.0, Met::NetFailures);
+                    obs.record_attempts(from.0, attempt);
                 }
                 let mut spans = shared.spans.borrow_mut();
                 spans.end_span(att, end, SpanOutcome::NetFailure);
@@ -2360,7 +2669,7 @@ fn attempt_exchange(
         .expect("own encoding must decode");
     debug_assert_eq!(header.msg_id, msg_id);
     if attempt > 1 {
-        shared.stats.borrow_mut().retransmits += 1;
+        bump(shared, to.0, Met::Retransmits);
     }
     let (reply, reply_ctx, obj_version) = serve_frame(shared, to, from, &header);
     let mut reply_bytes = shared.wire_bufs.borrow_mut().checkout(to, from);
@@ -2510,10 +2819,22 @@ fn serve_core(
         // the old value as if it were fresh — serving a stale read until
         // the next mutation. Note the request payload was never
         // materialised on this path — the decision used the header alone.
-        shared.stats.borrow_mut().dedup_hits += 1;
-        let mut spans = shared.spans.borrow_mut();
-        spans.set_attr(span, "cached", true);
-        spans.end_span(span, shared.net.now().as_ns(), reply_outcome(&reply));
+        bump(shared, node.0, Met::DedupHits);
+        {
+            let mut spans = shared.spans.borrow_mut();
+            spans.set_attr(span, "cached", true);
+            spans.end_span(span, shared.net.now().as_ns(), reply_outcome(&reply));
+        }
+        if monitors_on(shared) {
+            shared.obs.borrow_mut().emit(&MonitorEvent::Execution {
+                node: node.0,
+                caller: caller.0,
+                msg_id,
+                replay: true,
+                span_id: reply_ctx.span_id,
+                trace_id: reply_ctx.trace_id,
+            });
+        }
         return (reply, reply_ctx, obj_version);
     }
     let req = match materialise(shared) {
@@ -2523,7 +2844,7 @@ fn serve_core(
             // payload is malformed: answer a fault (not cached — a
             // retransmission carries the same bytes and faults the same
             // way, so caching would only occupy a dedup slot).
-            shared.stats.borrow_mut().faults += 1;
+            bump(shared, node.0, Met::Faults);
             let reply = Reply::Fault(m);
             shared.spans.borrow_mut().end_span(
                 span,
@@ -2546,6 +2867,16 @@ fn serve_core(
         |shared: &Shared| versioned_oid.map_or(0, |oid| version_of(shared, node.0, oid));
     let reply = handle_request(shared, node, caller, req);
     let obj_version = version_now(shared);
+    if monitors_on(shared) {
+        shared.obs.borrow_mut().emit(&MonitorEvent::Execution {
+            node: node.0,
+            caller: caller.0,
+            msg_id,
+            replay: false,
+            span_id: reply_ctx.span_id,
+            trace_id: reply_ctx.trace_id,
+        });
+    }
     {
         let mut nodes = shared.nodes.borrow_mut();
         let state = &mut nodes[node.0 as usize];
@@ -2593,7 +2924,7 @@ fn reply_outcome(reply: &Reply) -> SpanOutcome {
 pub(crate) fn handle_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request) -> Reply {
     let reply = dispatch_request(shared, node, caller, req);
     if matches!(reply, Reply::Fault(_)) {
-        shared.stats.borrow_mut().faults += 1;
+        bump(shared, node.0, Met::Faults);
     }
     reply
 }
@@ -2606,7 +2937,7 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             method,
             args,
         } => {
-            shared.stats.borrow_mut().rpc_calls += 1;
+            bump(shared, node.0, Met::RpcCalls);
             let Some(h) = lookup_export(shared, node, object) else {
                 return Reply::Fault(format!("unknown object {object} on {node}"));
             };
@@ -2661,7 +2992,7 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             reply
         }
         Request::Create { class, .. } => {
-            shared.stats.borrow_mut().rpc_creates += 1;
+            bump(shared, node.0, Met::RpcCreates);
             let Some(base) = shared.universe.by_name(&class) else {
                 return Reply::Fault(format!("unknown class {class}"));
             };
@@ -2685,7 +3016,7 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             })
         }
         Request::Discover { class } => {
-            shared.stats.borrow_mut().rpc_discovers += 1;
+            bump(shared, node.0, Met::RpcDiscovers);
             let Some(base) = shared.universe.by_name(&class) else {
                 return Reply::Fault(format!("unknown class {class}"));
             };
@@ -2706,7 +3037,7 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             }
         }
         Request::Fetch { object } => {
-            shared.stats.borrow_mut().rpc_fetches += 1;
+            bump(shared, node.0, Met::RpcFetches);
             let Some(h) = lookup_export(shared, node, object) else {
                 return Reply::Fault(format!("unknown object {object} on {node}"));
             };
@@ -2726,7 +3057,7 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             })
         }
         Request::Install { state, source } => {
-            shared.stats.borrow_mut().rpc_installs += 1;
+            bump(shared, node.0, Met::RpcInstalls);
             let WireValue::ObjectState { class, fields } = state else {
                 return Reply::Fault("install needs object state".into());
             };
@@ -2767,7 +3098,7 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             to_node,
             to_object,
         } => {
-            shared.stats.borrow_mut().rpc_forwards += 1;
+            bump(shared, node.0, Met::RpcForwards);
             let Some(h) = lookup_export(shared, node, object) else {
                 return Reply::Fault(format!("unknown object {object} on {node}"));
             };
@@ -2798,7 +3129,7 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             version,
             state,
         } => {
-            shared.stats.borrow_mut().replica_syncs += 1;
+            bump(shared, node.0, Met::ReplicaSyncs);
             let WireValue::ObjectState { class, fields } = state else {
                 return Reply::Fault("replica sync needs object state".into());
             };
@@ -2871,7 +3202,7 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             tombstone_version(shared, old_node, old_object);
             shared.homes.borrow_mut().insert(key, (node.0, oid));
             purge_call_counts(shared, &[key, (node.0, oid)]);
-            shared.stats.borrow_mut().promotions += 1;
+            bump(shared, node.0, Met::Promotions);
             // Re-establish the replication factor from the new home, so a
             // second crash before the next mutation still loses nothing.
             sync_replicas(shared, node, oid);
@@ -2918,6 +3249,302 @@ fn exception_reply(shared: &Shared, node: NodeId, exc: Handle) -> Reply {
         class: shared.universe.class(class).name.clone(),
         fields: wire_fields,
     }
+}
+
+// ----------------------------------------------------------------------
+// Observability plane
+// ----------------------------------------------------------------------
+
+/// Bump one runtime counter, charged to `node`. The single write path for
+/// every [`RuntimeStats`] counter.
+pub(crate) fn bump(shared: &Shared, node: u32, met: Met) {
+    shared.obs.borrow_mut().inc(node, met);
+}
+
+/// Whether the invariant monitors are enabled (events are only assembled
+/// when someone is listening).
+fn monitors_on(shared: &Shared) -> bool {
+    shared.obs.borrow().monitors.is_some()
+}
+
+/// This node's share of the wire-layer counters: signature interning
+/// refs/defs and encode-buffer reuses on links it is the sender of (the
+/// sender owns the encode state, so the work is charged to it).
+fn per_node_wire(shared: &Shared, node: u32) -> (u64, u64, u64) {
+    let tables = shared.sig_tables.borrow();
+    let (mut refs, mut defs) = (0, 0);
+    for ((from, _), table) in tables.iter() {
+        if *from == node {
+            refs += table.refs();
+            defs += table.defs();
+        }
+    }
+    let reuses = shared.wire_bufs.borrow().reuses_from(NodeId(node));
+    (refs, defs, reuses)
+}
+
+/// One node's [`RuntimeStats`] view: the registry snapshot plus its share
+/// of the wire-layer counters.
+pub(crate) fn node_stats_of(shared: &Shared, node: u32) -> RuntimeStats {
+    let mut stats = shared.obs.borrow().snapshot(node as usize);
+    let (refs, defs, reuses) = per_node_wire(shared, node);
+    stats.sig_refs = refs;
+    stats.sig_defs = defs;
+    stats.wire_buf_reuses = reuses;
+    stats
+}
+
+/// The cluster-wide view: every node's breakdown folded with
+/// [`RuntimeStats::merge`].
+pub(crate) fn merged_stats(shared: &Shared) -> RuntimeStats {
+    let mut total = RuntimeStats::default();
+    for node in 0..shared.vms.len() as u32 {
+        total.merge(&node_stats_of(shared, node));
+    }
+    total
+}
+
+/// The names of the wire-layer counters appended to both exports, in the
+/// order of the [`per_node_wire`] tuple.
+const WIRE_METRIC_NAMES: [&str; 3] = [
+    "rafda_sig_refs_total",
+    "rafda_sig_defs_total",
+    "rafda_wire_buf_reuses_total",
+];
+
+/// Prometheus text exposition of the registry plus the per-node wire
+/// counters.
+pub(crate) fn prometheus_text_of(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let mut out = shared.obs.borrow().reg.prometheus_text();
+    let wire: Vec<[u64; 3]> = (0..shared.vms.len() as u32)
+        .map(|n| {
+            let (refs, defs, reuses) = per_node_wire(shared, n);
+            [refs, defs, reuses]
+        })
+        .collect();
+    for (k, name) in WIRE_METRIC_NAMES.iter().enumerate() {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (node, row) in wire.iter().enumerate() {
+            let _ = writeln!(out, "{name}{{node=\"{node}\"}} {}", row[k]);
+        }
+    }
+    out
+}
+
+/// JSON-lines export: registry metrics, per-node wire counters and the
+/// time-series rings, one object per line.
+pub(crate) fn metrics_json_of(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let obs = shared.obs.borrow();
+    let mut out = obs.reg.json_lines();
+    let wire: Vec<[u64; 3]> = (0..shared.vms.len() as u32)
+        .map(|n| {
+            let (refs, defs, reuses) = per_node_wire(shared, n);
+            [refs, defs, reuses]
+        })
+        .collect();
+    for (k, name) in WIRE_METRIC_NAMES.iter().enumerate() {
+        for (node, row) in wire.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{{\"name\":\"{name}\",\"type\":\"counter\",\"labels\":{{\"node\":\"{node}\"}},\"value\":{}}}",
+                row[k]
+            );
+        }
+    }
+    out.push_str(&obs.recorder.json_lines());
+    out
+}
+
+/// Sample the time-series rings if the simulated clock has crossed a
+/// sampling grid point. Called at the head of every top-level exchange,
+/// *before* the outcall queues flush, so queue-depth readings see the
+/// pending work. Pure read of runtime state — never advances the clock or
+/// mutates anything the application can observe.
+pub(crate) fn maybe_sample(shared: &Shared) {
+    let now = shared.net.now().as_ns();
+    let Some(stamp) = shared.obs.borrow().recorder.due(now) else {
+        return;
+    };
+    let (depth, inflight) = {
+        let queues = shared.outqueues.borrow();
+        let ops: usize = queues.values().map(|p| p.ops.len()).sum();
+        (queues.len() as f64, ops as f64)
+    };
+    let lag = {
+        let nodes = shared.nodes.borrow();
+        let versions = shared.versions.borrow();
+        let mut lag = 0u64;
+        for (owner, state) in nodes.iter().enumerate() {
+            for (&oid, &(synced, _)) in &state.synced_versions {
+                let current = versions.get(&(owner as u32, oid)).copied().unwrap_or(0);
+                if current != VERSION_TOMBSTONE && current != synced {
+                    lag += 1;
+                }
+            }
+        }
+        lag as f64
+    };
+    let mut obs = shared.obs.borrow_mut();
+    let hits = obs.sum(Met::CacheHits);
+    let misses = obs.sum(Met::CacheMisses);
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    obs.recorder.advance(stamp);
+    let (q, i, c, r) = (
+        obs.ts_queue_depth,
+        obs.ts_inflight_ops,
+        obs.ts_cache_hit_rate,
+        obs.ts_replica_lag,
+    );
+    obs.recorder.record(q, stamp, depth);
+    obs.recorder.record(i, stamp, inflight);
+    obs.recorder.record(c, stamp, hit_rate);
+    obs.recorder.record(r, stamp, lag);
+}
+
+/// Compare every backup's stored replica against its primary's live state
+/// at a quiescent point, yielding one [`MonitorEvent::ReplicaProbe`] per
+/// comparable pair. Read-only: the probe never marshals (marshalling a
+/// reference would create exports) — reference-typed fields are skipped
+/// and only primitive state is deep-compared.
+fn collect_replica_probes(shared: &Shared) -> Vec<MonitorEvent> {
+    let mut probes = Vec::new();
+    let nodes = shared.nodes.borrow();
+    for (backup, state) in nodes.iter().enumerate() {
+        let mut keys: Vec<(u32, u64)> = state.replica_store.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let (backup_version, class_name, fields) = &state.replica_store[&key];
+            let (owner, oid) = key;
+            let owner_version = version_of(shared, owner, oid);
+            if owner_version == VERSION_TOMBSTONE {
+                // The object migrated away; the replica describes a dead
+                // location and will be superseded by the new home's syncs.
+                continue;
+            }
+            let Some(h) = nodes[owner as usize].exports.get(&oid).copied() else {
+                // Owner restarted with amnesia; nothing to compare until
+                // the next sync re-seeds the backup.
+                continue;
+            };
+            let vm = &shared.vms[owner as usize];
+            let Some((class, values)) = vm.read_object(h) else {
+                continue;
+            };
+            match shared.gen_info.get(&class) {
+                Some(info) if info.proto.is_none() => {}
+                // The export forwards (or is untransformed): the primary's
+                // authoritative copy lives elsewhere now.
+                _ => continue,
+            }
+            let state_matches = if *backup_version == owner_version {
+                *class_name == shared.universe.class(class).name
+                    && wire_state_matches(&values, fields)
+            } else {
+                // Different versions are never comparable — the version
+                // relation itself is judged by the monitor.
+                true
+            };
+            probes.push(MonitorEvent::ReplicaProbe {
+                owner,
+                oid,
+                backup: backup as u32,
+                owner_version,
+                backup_version: *backup_version,
+                state_matches,
+            });
+        }
+    }
+    probes
+}
+
+/// The policy table as served by `rafda.Introspection`: one line per
+/// substitutable class, sorted by name, with every policy decision the
+/// runtime consults for it.
+pub(crate) fn policy_table(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let mut names: Vec<&str> = shared
+        .plan
+        .families
+        .keys()
+        .map(|&b| shared.universe.class(b).name.as_str())
+        .collect();
+    names.sort_unstable();
+    let mut out = String::new();
+    for name in names {
+        let p = &shared.policy;
+        let _ = writeln!(
+            out,
+            "{name}: protocol={} statics=node{} cacheable={} replicas={} batched={}",
+            p.protocol(name),
+            p.statics_node(name).0,
+            p.cacheable(name),
+            p.replicas(name),
+            p.batched(name)
+        );
+    }
+    out
+}
+
+/// The placement map as served by `rafda.Introspection`: each node's
+/// exports (sorted by id) with the implementation class currently behind
+/// them — forwarding proxies included, so a migration's trail is visible.
+pub(crate) fn placement_table(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let nodes = shared.nodes.borrow();
+    for (i, state) in nodes.iter().enumerate() {
+        let mut oids: Vec<u64> = state.exports.keys().copied().collect();
+        oids.sort_unstable();
+        let entries: Vec<String> = oids
+            .iter()
+            .map(|oid| {
+                let class = shared.vms[i]
+                    .class_of(state.exports[oid])
+                    .map(|c| shared.universe.class(c).name.clone())
+                    .unwrap_or_else(|| "?".to_owned());
+                format!("{oid}:{class}")
+            })
+            .collect();
+        let _ = writeln!(out, "node{i}: [{}]", entries.join(", "));
+    }
+    out
+}
+
+/// The failover-homes map as served by `rafda.Introspection`: recorded
+/// promotions `(old home) -> (new home)`, sorted by old location.
+pub(crate) fn homes_table(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let homes = shared.homes.borrow();
+    let mut entries: Vec<((u32, u64), (u32, u64))> = homes.iter().map(|(&k, &v)| (k, v)).collect();
+    entries.sort_unstable();
+    let mut out = String::new();
+    for ((on, oo), (nn, no)) in entries {
+        let _ = writeln!(out, "node{on}#{oo} -> node{nn}#{no}");
+    }
+    out
+}
+
+/// Field-wise comparison of live values against marshalled replica state.
+/// Primitives compare exactly (floats bit-wise); reference-typed fields
+/// are not comparable without marshalling side effects and pass.
+fn wire_state_matches(values: &[Value], wire: &[WireValue]) -> bool {
+    values.len() == wire.len()
+        && values.iter().zip(wire).all(|(v, w)| match (v, w) {
+            (Value::Bool(a), WireValue::Bool(b)) => a == b,
+            (Value::Int(a), WireValue::Int(b)) => a == b,
+            (Value::Long(a), WireValue::Long(b)) => a == b,
+            (Value::Float(a), WireValue::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Double(a), WireValue::Double(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), WireValue::Str(b)) => a.as_ref() == b.as_str(),
+            (Value::Null, WireValue::Null) => true,
+            _ => true,
+        })
 }
 
 /// Methods travel as `name@sigid`; both sides share the interned signature
@@ -3101,5 +3728,134 @@ mod tests {
             stats.wire_buf_reuses > 0,
             "second exchange on a link must reuse its encode buffers"
         );
+    }
+
+    /// Regression for a lost-update hazard the replica-divergence monitor
+    /// exposed: when a caller promotes a backup *onto itself*, [`failover`]
+    /// materialises the object in the caller's own VM, and every later call
+    /// on it is a plain local invocation — no serve, no version bump, no
+    /// [`sync_replicas`]. Before the dirty-replica sweep, the backups froze
+    /// at the promotion-time state forever, so a second crash would have
+    /// resurrected stale state. The sweep at the next exchange must bump
+    /// the version and re-ship the drifted state.
+    #[test]
+    fn local_mutations_after_self_promotion_reach_the_backups() {
+        let mut u = ClassUniverse::new();
+        for name in ["CA", "CB"] {
+            let c = u.declare(name, ClassKind::Class);
+            let mut cb = ClassBuilder::new(&u, c);
+            let v = cb.field(Field::new("v", Ty::Int));
+            let mut mb = MethodBuilder::new(1);
+            mb.ret();
+            cb.ctor(&mut u, vec![], Some(mb.finish()));
+            let mut mb = MethodBuilder::new(2);
+            mb.load_this();
+            mb.load_this().get_field(c, v);
+            mb.load_local(1).add();
+            mb.put_field(c, v);
+            mb.load_this().get_field(c, v).ret_value();
+            cb.method(&mut u, "add", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+            cb.finish(&mut u);
+        }
+        let outcome = Transformer::new().protocols(&["RMI"]).run(&mut u).unwrap();
+        let policy = StaticPolicy::new()
+            .place("CA", Placement::Node(NodeId(1)))
+            .place("CB", Placement::Node(NodeId(2)))
+            .replicate("CA", 1)
+            .replicate("CB", 1);
+        let cluster = Cluster::new(u, outcome.plan, 3, 260, Box::new(policy));
+        cluster.enable_monitors();
+        let a = cluster.new_instance(NodeId(0), "CA", 0, vec![]).unwrap();
+        let b = cluster.new_instance(NodeId(0), "CB", 0, vec![]).unwrap();
+        // Crash CA's home: the next call from node 0 promotes node 0's own
+        // backup, so `a` becomes a local object of the caller.
+        cluster.crash(NodeId(1));
+        cluster.restart(NodeId(1));
+        for (obj, d, want) in [(&a, -4, -4), (&b, -9, -9), (&a, -3, -7)] {
+            assert_eq!(
+                cluster
+                    .call_method(NodeId(0), (*obj).clone(), "add", vec![Value::Int(d)])
+                    .unwrap(),
+                Value::Int(want)
+            );
+        }
+        // add(-3) ran locally on the promoted copy; the `b` exchange after
+        // it (and the quiescent point itself) must have re-shipped it.
+        assert_eq!(cluster.check_invariants(), vec![]);
+        let shared = cluster.shared();
+        let nodes = shared.nodes.borrow();
+        let backup = nodes
+            .iter()
+            .flat_map(|st| st.replica_store.get(&(0, 1)))
+            .next()
+            .expect("the promoted object keeps a backup");
+        assert_eq!(backup.2, vec![WireValue::Int(-7)], "backup holds -4-3");
+    }
+
+    /// The at-most-once canary. A retransmission served from the reply
+    /// cache is a legitimate replay; losing the cache entry and
+    /// re-executing the frame is the violation the monitor exists for.
+    /// Like the dedup test above, the scenario drives `serve_request`
+    /// directly — the single-threaded simulation cannot evict a reply
+    /// cache entry mid-exchange from the outside.
+    #[test]
+    fn at_most_once_monitor_flags_re_execution_after_cache_loss() {
+        let policy = StaticPolicy::new().place("C", Placement::Node(NodeId(1)));
+        let (cluster, base) = deployed(policy);
+        cluster.enable_monitors();
+        let obj = cluster.new_instance(NodeId(0), "C", 0, vec![]).unwrap();
+        let shared = cluster.shared();
+        let h = obj.as_ref_handle().unwrap();
+        let (_, oid) = read_proxy_state(&shared.vms[0], h).unwrap();
+        let add_sig = shared
+            .universe
+            .class(base)
+            .methods
+            .iter()
+            .find(|m| m.name == "add")
+            .unwrap()
+            .sig;
+        let call = Request::Call {
+            object: oid,
+            method: format!("add@{}", add_sig.0),
+            args: vec![WireValue::Int(5)],
+        };
+        // Serve once, then retransmit: the dedup cache replays — healthy.
+        let (r1, _, _) = serve_request(
+            shared,
+            NodeId(1),
+            NodeId(0),
+            900,
+            TraceContext::NONE,
+            call.clone(),
+        );
+        assert!(matches!(r1, Reply::Value(_)));
+        let (r2, _, _) = serve_request(
+            shared,
+            NodeId(1),
+            NodeId(0),
+            900,
+            TraceContext::NONE,
+            call.clone(),
+        );
+        assert_eq!(r2, r1);
+        assert_eq!(cluster.monitor_violations(), vec![]);
+
+        // Inject the bug: the server forgets its replies, so the next
+        // retransmission of 900 re-executes `add` — the object double-
+        // applies the mutation, which is exactly what at-most-once forbids.
+        {
+            let mut nodes = shared.nodes.borrow_mut();
+            nodes[1].reply_cache.clear();
+            nodes[1].reply_cache_order.clear();
+        }
+        let (r3, _, _) = serve_request(shared, NodeId(1), NodeId(0), 900, TraceContext::NONE, call);
+        assert!(matches!(r3, Reply::Value(_)));
+        assert_ne!(r3, r1, "re-execution double-applies the mutation");
+        let violations = cluster.monitor_violations();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].monitor, "at-most-once");
+        assert!(violations[0].message.contains("msg 900"));
+        assert_ne!(violations[0].span_id, 0);
     }
 }

@@ -48,11 +48,14 @@
 
 pub mod cluster;
 pub mod error;
+pub mod introspect;
 pub mod local;
 pub mod marshal;
+mod obs;
 pub mod persist;
 
 pub use cluster::{Cluster, MigrationEvent, NodeSummary, RemoteRef, RetryPolicy, RuntimeStats};
 pub use error::RuntimeError;
+pub use introspect::{declare_introspection, INTROSPECTION_CLASS};
 pub use local::LocalRuntime;
 pub use persist::{SnapObject, SnapSlot, Snapshot};

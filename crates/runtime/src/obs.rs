@@ -1,0 +1,240 @@
+//! The cluster's observability plane: one labeled metrics registry as the
+//! single write path for every runtime counter, a deterministic
+//! time-series recorder sampled on the **simulated** clock, and the
+//! optional live invariant monitors.
+//!
+//! [`RuntimeStats`](crate::cluster::RuntimeStats) is no longer a bag of
+//! counters that the runtime mutates directly — it is a *view* assembled
+//! from this registry ([`Obs::snapshot`] per node,
+//! [`Cluster::stats`](crate::Cluster::stats) as the documented merge).
+//! Every increment goes through a typed [`Counter`]/[`Histogram`] handle
+//! labeled with the node it is charged to, which is what makes the
+//! per-node breakdown, the Prometheus/JSON exporters and the
+//! `rafda.Introspection` getters all read the same numbers.
+
+use crate::cluster::RuntimeStats;
+use rafda_telemetry::{
+    Counter, Histogram, MetricsRegistry, Monitor, MonitorEvent, SeriesId, TimeSeriesRecorder,
+};
+
+/// How often the time-series recorder samples, in simulated ns. One
+/// sample per 100 µs keeps a multi-millisecond chaos run under the ring
+/// cap while still resolving individual retry storms (per-hop latencies
+/// are tens of µs).
+pub(crate) const SAMPLE_INTERVAL_NS: u64 = 100_000;
+
+/// Ring capacity per series; older points are dropped (and counted) so a
+/// long soak cannot grow memory without bound.
+pub(crate) const SERIES_CAP: usize = 4096;
+
+/// Upper bounds of the exchange-attempts histogram: attempts 1..=7 get a
+/// bucket each, the registry's overflow bucket catches 8-or-more —
+/// mirroring the 8-slot `RuntimeStats::attempts` array it reconstructs.
+const ATTEMPT_BOUNDS: [u64; 7] = [1, 2, 3, 4, 5, 6, 7];
+
+macro_rules! runtime_metrics {
+    ($($variant:ident => $field:ident, $pname:literal;)*) => {
+        /// A runtime event counter, one variant per [`RuntimeStats`]
+        /// counter field. The variant's discriminant indexes the per-node
+        /// handle table in [`Obs`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub(crate) enum Met {
+            $(
+                #[doc = concat!("`", $pname, "`")]
+                $variant,
+            )*
+        }
+
+        impl Met {
+            /// Every counter, in declaration (and registration) order.
+            pub(crate) const ALL: &'static [Met] = &[$(Met::$variant),*];
+
+            /// The Prometheus metric name.
+            pub(crate) fn name(self) -> &'static str {
+                match self {
+                    $(Met::$variant => $pname,)*
+                }
+            }
+        }
+
+        fn fill_stats(stats: &mut RuntimeStats, met: Met, value: u64) {
+            match met {
+                $(Met::$variant => stats.$field = value,)*
+            }
+        }
+    };
+}
+
+runtime_metrics! {
+    RpcCalls => rpc_calls, "rafda_rpc_calls_total";
+    RpcCreates => rpc_creates, "rafda_rpc_creates_total";
+    RpcDiscovers => rpc_discovers, "rafda_rpc_discovers_total";
+    RpcFetches => rpc_fetches, "rafda_rpc_fetches_total";
+    RpcInstalls => rpc_installs, "rafda_rpc_installs_total";
+    RpcForwards => rpc_forwards, "rafda_rpc_forwards_total";
+    Migrations => migrations, "rafda_migrations_total";
+    Pulls => pulls, "rafda_pulls_total";
+    Faults => faults, "rafda_faults_total";
+    Retries => retries, "rafda_retries_total";
+    Retransmits => retransmits, "rafda_retransmits_total";
+    DedupHits => dedup_hits, "rafda_dedup_hits_total";
+    NetFailures => net_failures, "rafda_net_failures_total";
+    CacheHits => cache_hits, "rafda_cache_hits_total";
+    CacheMisses => cache_misses, "rafda_cache_misses_total";
+    CacheInvalidations => cache_invalidations, "rafda_cache_invalidations_total";
+    ReplicaSyncs => replica_syncs, "rafda_replica_syncs_total";
+    Promotions => promotions, "rafda_promotions_total";
+    Failovers => failovers, "rafda_failovers_total";
+    BatchedOps => batched_ops, "rafda_batched_ops_total";
+    Flushes => flushes, "rafda_flushes_total";
+}
+
+/// The observability state hanging off [`Shared`](crate::cluster::Shared):
+/// registry + handles, recorder + series ids, and (when enabled) the
+/// monitor set.
+pub(crate) struct Obs {
+    /// The single write path for all runtime counters.
+    pub(crate) reg: MetricsRegistry,
+    /// `counters[node][met as usize]` — handle for counter `met` on `node`.
+    counters: Vec<Vec<Counter>>,
+    /// Per-node exchange-attempts histogram handle.
+    attempts: Vec<Histogram>,
+    /// Fixed-interval ring buffers sampled on the simulated clock.
+    pub(crate) recorder: TimeSeriesRecorder,
+    /// Series: number of non-empty outcall queues.
+    pub(crate) ts_queue_depth: SeriesId,
+    /// Series: total deferred operations across all outcall queues.
+    pub(crate) ts_inflight_ops: SeriesId,
+    /// Series: cumulative property-cache hit rate, `hits / (hits+misses)`.
+    pub(crate) ts_cache_hit_rate: SeriesId,
+    /// Series: replicated exports whose backups lag the owner's version.
+    pub(crate) ts_replica_lag: SeriesId,
+    /// Standing watchdogs; `None` until
+    /// [`Cluster::enable_monitors`](crate::Cluster::enable_monitors).
+    pub(crate) monitors: Option<Vec<Box<dyn Monitor>>>,
+}
+
+impl Obs {
+    /// Register every counter and histogram for `nodes` nodes, in a fixed
+    /// order so exports are byte-identical across same-seed runs.
+    pub(crate) fn new(nodes: u32) -> Obs {
+        let mut reg = MetricsRegistry::new();
+        let mut counters = Vec::with_capacity(nodes as usize);
+        let mut attempts = Vec::with_capacity(nodes as usize);
+        for n in 0..nodes {
+            let node = n.to_string();
+            let labels = [("node", node.as_str())];
+            counters.push(
+                Met::ALL
+                    .iter()
+                    .map(|m| reg.register_counter(m.name(), &labels))
+                    .collect(),
+            );
+            attempts.push(reg.register_histogram(
+                "rafda_exchange_attempts",
+                &labels,
+                ATTEMPT_BOUNDS.to_vec(),
+            ));
+        }
+        let mut recorder = TimeSeriesRecorder::new(SAMPLE_INTERVAL_NS, SERIES_CAP);
+        let ts_queue_depth = recorder.register("outqueue_depth");
+        let ts_inflight_ops = recorder.register("inflight_batch_ops");
+        let ts_cache_hit_rate = recorder.register("cache_hit_rate");
+        let ts_replica_lag = recorder.register("replica_lag");
+        Obs {
+            reg,
+            counters,
+            attempts,
+            recorder,
+            ts_queue_depth,
+            ts_inflight_ops,
+            ts_cache_hit_rate,
+            ts_replica_lag,
+            monitors: None,
+        }
+    }
+
+    /// Bump counter `met`, charged to `node`.
+    pub(crate) fn inc(&mut self, node: u32, met: Met) {
+        self.reg.inc(self.counters[node as usize][met as usize]);
+    }
+
+    /// Record a finished exchange that took `n` transmission attempts,
+    /// charged to the calling `node`. Values past 7 land in the overflow
+    /// bucket, exactly like the saturating last slot of
+    /// [`RuntimeStats::attempts`].
+    pub(crate) fn record_attempts(&mut self, node: u32, n: u32) {
+        self.reg.observe(self.attempts[node as usize], n as u64);
+    }
+
+    /// Sum of counter `met` across all nodes.
+    pub(crate) fn sum(&self, met: Met) -> u64 {
+        self.counters
+            .iter()
+            .map(|c| self.reg.counter_value(c[met as usize]))
+            .sum()
+    }
+
+    /// Rebuild the [`RuntimeStats`] view for one node from the registry.
+    /// The wire-layer counters (`sig_refs`/`sig_defs`/`wire_buf_reuses`)
+    /// live outside the registry and are filled in by the caller.
+    pub(crate) fn snapshot(&self, node: usize) -> RuntimeStats {
+        let mut stats = RuntimeStats::default();
+        for &met in Met::ALL {
+            let value = self.reg.counter_value(self.counters[node][met as usize]);
+            fill_stats(&mut stats, met, value);
+        }
+        let counts = self.reg.histogram_counts(self.attempts[node]);
+        for (slot, &c) in stats.attempts.iter_mut().zip(counts) {
+            *slot = c;
+        }
+        stats
+    }
+
+    /// Feed one live event to every enabled monitor (no-op when monitors
+    /// are off).
+    pub(crate) fn emit(&mut self, event: &MonitorEvent) {
+        if let Some(monitors) = self.monitors.as_mut() {
+            for m in monitors.iter_mut() {
+                m.on_event(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_every_counter() {
+        let mut obs = Obs::new(2);
+        for (i, &met) in Met::ALL.iter().enumerate() {
+            for _ in 0..=i {
+                obs.inc(1, met);
+            }
+        }
+        obs.record_attempts(1, 1);
+        obs.record_attempts(1, 3);
+        obs.record_attempts(1, 99); // overflow slot, like the saturating array
+        let s1 = obs.snapshot(1);
+        assert_eq!(s1.rpc_calls, 1);
+        assert_eq!(s1.flushes, Met::ALL.len() as u64);
+        assert_eq!(s1.attempts, [1, 0, 1, 0, 0, 0, 0, 1]);
+        assert_eq!(obs.snapshot(0), RuntimeStats::default());
+        assert_eq!(obs.sum(Met::RpcCalls), 1);
+    }
+
+    #[test]
+    fn registration_order_is_node_major() {
+        // The prometheus export groups by first-registration name order;
+        // node-major registration keeps that order independent of traffic.
+        let obs = Obs::new(2);
+        let text = obs.reg.prometheus_text();
+        let first = text.lines().next().unwrap();
+        assert_eq!(first, "# TYPE rafda_rpc_calls_total counter");
+        assert!(text.contains("rafda_rpc_calls_total{node=\"0\"} 0"));
+        assert!(text.contains("rafda_rpc_calls_total{node=\"1\"} 0"));
+        assert!(text.contains("# TYPE rafda_exchange_attempts histogram"));
+    }
+}

@@ -11,8 +11,9 @@ use crate::span::{Span, SpanLog};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
-/// Escape a string for inclusion in a JSON string literal.
-fn escape_json(s: &str) -> String {
+/// Escape a string for inclusion in a JSON string literal (quotes are
+/// the caller's job). Shared with the metrics/time-series exporters.
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -133,6 +134,32 @@ mod tests {
                 "{\"name\":\"rpc.attempt\",\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":1.500,\"dur\":0.500,",
                 "\"args\":{\"trace\":\"1\",\"span\":\"2\",\"parent\":\"1\",\"outcome\":\"net_failure\",",
                 "\"retry_of\":\"63\"}}",
+                "]}\n",
+            )
+        );
+    }
+
+    #[test]
+    fn golden_escaping_of_control_chars_and_non_bmp() {
+        // Control chars below 0x20 escape to \u00xx; DEL and non-BMP
+        // scalars (surrogate-pair territory in UTF-16 JSON readers) pass
+        // through as raw UTF-8, which JSON permits.
+        assert_eq!(escape_json("\u{0}\u{1f}\u{7f}"), "\\u0000\\u001f\u{7f}");
+        assert_eq!(escape_json("crab \u{1F980}!"), "crab \u{1F980}!");
+
+        let mut log = SpanLog::new();
+        let a = log.start_span("rpc.call", 0, 1_000);
+        log.set_attr(a, "method", "m\u{1F980}\t\u{2}(V)V");
+        log.end_span(a, 1_000, SpanOutcome::Ok);
+        let json = log.chrome_trace_json();
+        assert_eq!(
+            json,
+            concat!(
+                "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[",
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"node0\"}},",
+                "{\"name\":\"rpc.call\",\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":1.000,\"dur\":0.000,",
+                "\"args\":{\"trace\":\"1\",\"span\":\"1\",\"parent\":\"0\",\"outcome\":\"ok\",",
+                "\"method\":\"m\u{1F980}\\t\\u0002(V)V\"}}",
                 "]}\n",
             )
         );

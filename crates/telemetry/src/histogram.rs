@@ -156,6 +156,47 @@ mod tests {
     }
 
     #[test]
+    fn golden_bucket_edges_and_zero_duration_samples() {
+        // Every exact bucket boundary lands in its own bucket (bounds are
+        // inclusive), and boundary+1 spills into the next.
+        for (i, &bound) in BUCKET_BOUNDS_NS.iter().enumerate() {
+            let mut h = LatencyHistogram::new();
+            h.record(bound);
+            assert_eq!(h.counts[i], 1, "bound {bound} must fill bucket {i}");
+            h.record(bound + 1);
+            let next = (i + 1).min(BUCKET_BOUNDS_NS.len());
+            assert_eq!(h.counts[next], 1, "bound {bound}+1 must spill to {next}");
+        }
+        // A zero-duration sample — what a cached rpc.call span produces —
+        // lands in the first bucket and pins min to 0.
+        let mut z = LatencyHistogram::new();
+        z.record(0);
+        assert_eq!((z.counts[0], z.count, z.sum, z.min, z.max), (1, 1, 0, 0, 0));
+        assert_eq!(
+            z.percentile(50),
+            0,
+            "p50 of all-zero samples clamps to max 0"
+        );
+
+        // End-to-end: a cached span in a log is a 0 ns sample in the
+        // method histogram, not an omitted one.
+        let mut log = SpanLog::new();
+        let s = log.start_span("rpc.call", 0, 5_000);
+        log.set_attr(s, "class", "Y");
+        log.set_attr(s, "method", "get_v()I");
+        log.set_attr(s, "protocol", "RMI");
+        log.set_attr(s, "cached", true);
+        log.end_span(s, 5_000, SpanOutcome::Ok);
+        let hists = log.method_histograms();
+        let key = MethodKey {
+            class: "Y".into(),
+            method: "get_v()I".into(),
+            protocol: "RMI".into(),
+        };
+        assert_eq!((hists[&key].count, hists[&key].max), (1, 0));
+    }
+
+    #[test]
     fn percentiles_use_bucket_bounds_clamped_to_max() {
         let mut h = LatencyHistogram::new();
         for _ in 0..99 {

@@ -33,11 +33,20 @@
 
 pub mod chrome;
 pub mod histogram;
+pub mod metrics;
+pub mod monitor;
 pub mod report;
 pub mod span;
+pub mod timeseries;
 
 pub use histogram::{LatencyHistogram, MethodKey, BUCKET_BOUNDS_NS};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use monitor::{
+    standard_monitors, AtMostOnceMonitor, Monitor, MonitorEvent, ReplicaDivergenceMonitor,
+    SpanTreeMonitor, StaleReadMonitor, Violation,
+};
 pub use span::{AttrValue, LinkSummary, Span, SpanHandle, SpanLog, SpanOutcome};
+pub use timeseries::{SeriesId, TimeSeriesRecorder};
 
 use std::fmt;
 

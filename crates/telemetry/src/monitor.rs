@@ -1,0 +1,427 @@
+//! Live invariant monitors fed by runtime events.
+//!
+//! The oracle suites (`chaos_soak`, `equivalence_prop`) compare *end
+//! states*, so a safety violation mid-run — a stale cached read, a
+//! replayed execution — only surfaces later as an opaque value mismatch.
+//! Monitors watch the run as it happens: the runtime emits a
+//! [`MonitorEvent`] at each decision point (cache hit, frame execution,
+//! replica probe) and each [`Monitor`] accumulates [`Violation`]s that
+//! identify the offending span and exchange, so a broken invariant fails
+//! fast with context instead of as a downstream diff.
+//!
+//! The four standing watchdogs ([`standard_monitors`]):
+//!
+//! * [`StaleReadMonitor`] — a proxy cache hit whose authoritative object
+//!   has moved (the export now forwards, or a promotion re-homed it) is a
+//!   read the owner would no longer serve;
+//! * [`AtMostOnceMonitor`] — the same `(server, caller, msg id)` frame
+//!   executing twice without the dedup cache marking the second a replay;
+//! * [`SpanTreeMonitor`] — structural health of the span log (parents
+//!   exist in the same trace, children start no earlier than parents,
+//!   retry chains resolve, nothing left open at a quiescent point);
+//! * [`ReplicaDivergenceMonitor`] — a backup claiming the same version as
+//!   the primary but holding different state (or a version *ahead* of the
+//!   primary, which sync can never legitimately produce).
+//!
+//! Monitors are deliberately pure consumers: they never touch the cluster
+//! and emitting events does not perturb the simulated clock, so enabling
+//! them cannot change a run's observable behaviour.
+
+use crate::span::{SpanLog, SpanOutcome};
+use std::collections::BTreeSet;
+
+/// One observation point in the runtime, handed to every enabled monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorEvent {
+    /// A proxy served a property read from its cache (no exchange).
+    CacheHit {
+        /// Node whose proxy cache hit.
+        node: u32,
+        /// Owner node the cached value was originally fetched from.
+        owner: u32,
+        /// Export id of the object on the owner.
+        oid: u64,
+        /// Whether the authoritative location has moved since the value
+        /// was cached (export forwards, or a promotion re-homed it).
+        stale_location: bool,
+        /// The zero-duration `rpc.call` span recorded for the hit.
+        span_id: u64,
+        /// Trace the hit belongs to.
+        trace_id: u64,
+    },
+    /// A server executed (or replayed) a request frame.
+    Execution {
+        /// Serving node.
+        node: u32,
+        /// Calling node (as claimed by the frame).
+        caller: u32,
+        /// The frame's at-most-once message id.
+        msg_id: u64,
+        /// True when the dedup cache replayed a stored reply instead of
+        /// re-executing.
+        replay: bool,
+        /// The `serve.*` span for this frame.
+        span_id: u64,
+        /// Trace the serve belongs to.
+        trace_id: u64,
+    },
+    /// A quiescent-point comparison of one backup against its primary.
+    ReplicaProbe {
+        /// Primary (owner) node.
+        owner: u32,
+        /// Export id on the primary.
+        oid: u64,
+        /// Backup node holding the replica.
+        backup: u32,
+        /// The primary's current version of the object.
+        owner_version: u64,
+        /// The version the backup's replica claims.
+        backup_version: u64,
+        /// Whether the replica's state matches the primary's at equal
+        /// versions (true whenever versions differ — only the
+        /// same-version case is comparable).
+        state_matches: bool,
+    },
+}
+
+/// A broken invariant, with enough context to find the offending
+/// span/exchange in the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Name of the monitor that fired.
+    pub monitor: &'static str,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// The offending span (0 when the violation is not tied to one span).
+    pub span_id: u64,
+    /// The trace the offending span belongs to (0 when not tied to one).
+    pub trace_id: u64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} (trace {:x}, span {:x})",
+            self.monitor, self.message, self.trace_id, self.span_id
+        )
+    }
+}
+
+/// A pluggable invariant watchdog.
+///
+/// Implementations receive every [`MonitorEvent`] the runtime emits and
+/// may additionally inspect the whole [`SpanLog`] at quiescent points.
+/// They accumulate violations; they must not panic — failing fast is the
+/// *caller's* policy decision (tests assert the list is empty).
+pub trait Monitor {
+    /// Stable monitor name (used in [`Violation::monitor`]).
+    fn name(&self) -> &'static str;
+    /// Observe one runtime event.
+    fn on_event(&mut self, event: &MonitorEvent);
+    /// Inspect the span log at a quiescent point. Called repeatedly;
+    /// implementations re-derive rather than accumulate across calls.
+    fn check_span_log(&mut self, _log: &SpanLog) {}
+    /// Violations recorded so far.
+    fn violations(&self) -> &[Violation];
+}
+
+/// The four standing watchdogs, in a fixed deterministic order.
+pub fn standard_monitors() -> Vec<Box<dyn Monitor>> {
+    vec![
+        Box::new(StaleReadMonitor::default()),
+        Box::new(AtMostOnceMonitor::default()),
+        Box::new(SpanTreeMonitor::default()),
+        Box::new(ReplicaDivergenceMonitor::default()),
+    ]
+}
+
+/// Flags proxy cache hits whose authoritative object has moved.
+#[derive(Debug, Default)]
+pub struct StaleReadMonitor {
+    violations: Vec<Violation>,
+}
+
+impl Monitor for StaleReadMonitor {
+    fn name(&self) -> &'static str {
+        "stale-read"
+    }
+    fn on_event(&mut self, event: &MonitorEvent) {
+        if let MonitorEvent::CacheHit {
+            node,
+            owner,
+            oid,
+            stale_location: true,
+            span_id,
+            trace_id,
+        } = event
+        {
+            self.violations.push(Violation {
+                monitor: self.name(),
+                message: format!(
+                    "node {node} served a cached read of {owner}#{oid}, but the \
+                     object has moved away from node {owner} (missing tombstone)"
+                ),
+                span_id: *span_id,
+                trace_id: *trace_id,
+            });
+        }
+    }
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Flags a `(server, caller, msg id)` frame executing more than once.
+#[derive(Debug, Default)]
+pub struct AtMostOnceMonitor {
+    executed: BTreeSet<(u32, u32, u64)>,
+    violations: Vec<Violation>,
+}
+
+impl Monitor for AtMostOnceMonitor {
+    fn name(&self) -> &'static str {
+        "at-most-once"
+    }
+    fn on_event(&mut self, event: &MonitorEvent) {
+        if let MonitorEvent::Execution {
+            node,
+            caller,
+            msg_id,
+            replay: false,
+            span_id,
+            trace_id,
+        } = event
+        {
+            if !self.executed.insert((*node, *caller, *msg_id)) {
+                self.violations.push(Violation {
+                    monitor: self.name(),
+                    message: format!(
+                        "node {node} executed msg {msg_id} from caller \
+                         {caller} twice (dedup cache missed a replay)"
+                    ),
+                    span_id: *span_id,
+                    trace_id: *trace_id,
+                });
+            }
+        }
+    }
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Structural well-formedness of the span log at a quiescent point.
+#[derive(Debug, Default)]
+pub struct SpanTreeMonitor {
+    violations: Vec<Violation>,
+}
+
+impl Monitor for SpanTreeMonitor {
+    fn name(&self) -> &'static str {
+        "span-tree"
+    }
+    fn on_event(&mut self, _event: &MonitorEvent) {}
+    fn check_span_log(&mut self, log: &SpanLog) {
+        self.violations.clear();
+        let mut ids: BTreeSet<(u64, u64)> = BTreeSet::new();
+        for span in log.spans() {
+            if !ids.insert((span.trace_id, span.span_id)) {
+                self.violations.push(Violation {
+                    monitor: self.name(),
+                    message: "duplicate span id within trace".to_string(),
+                    span_id: span.span_id,
+                    trace_id: span.trace_id,
+                });
+            }
+        }
+        for span in log.spans() {
+            let mut fail = |message: String| {
+                self.violations.push(Violation {
+                    monitor: "span-tree",
+                    message,
+                    span_id: span.span_id,
+                    trace_id: span.trace_id,
+                });
+            };
+            if span.outcome == SpanOutcome::Open {
+                fail(format!("span {} left open at quiescent point", span.name));
+            }
+            if span.end_ns < span.start_ns {
+                fail(format!("span {} ends before it starts", span.name));
+            }
+            if span.parent_span_id != 0 {
+                match log
+                    .spans()
+                    .iter()
+                    .find(|p| p.trace_id == span.trace_id && p.span_id == span.parent_span_id)
+                {
+                    None => fail(format!(
+                        "span {} has parent {:x} missing from its trace",
+                        span.name, span.parent_span_id
+                    )),
+                    Some(parent) => {
+                        if span.start_ns < parent.start_ns {
+                            fail(format!(
+                                "span {} starts before its parent {}",
+                                span.name, parent.name
+                            ));
+                        }
+                    }
+                }
+            }
+            if let Some(prior) = span.retry_of {
+                // Searched log-wide, not per trace: a failover span chains
+                // to the failed exchange, which legitimately lives in the
+                // trace that died with the crashed owner.
+                if !log.spans().iter().any(|p| p.span_id == prior) {
+                    fail(format!(
+                        "span {} retries {:x}, which is missing from the log",
+                        span.name, prior
+                    ));
+                }
+            }
+        }
+    }
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Flags backups that disagree with their primary at equal versions, or
+/// run ahead of it.
+#[derive(Debug, Default)]
+pub struct ReplicaDivergenceMonitor {
+    violations: Vec<Violation>,
+}
+
+impl Monitor for ReplicaDivergenceMonitor {
+    fn name(&self) -> &'static str {
+        "replica-divergence"
+    }
+    fn on_event(&mut self, event: &MonitorEvent) {
+        if let MonitorEvent::ReplicaProbe {
+            owner,
+            oid,
+            backup,
+            owner_version,
+            backup_version,
+            state_matches,
+        } = event
+        {
+            if backup_version == owner_version && !state_matches {
+                self.violations.push(Violation {
+                    monitor: self.name(),
+                    message: format!(
+                        "backup {backup} of {owner}#{oid} diverges from the \
+                         primary at version {owner_version}"
+                    ),
+                    span_id: 0,
+                    trace_id: 0,
+                });
+            } else if backup_version > owner_version {
+                self.violations.push(Violation {
+                    monitor: self.name(),
+                    message: format!(
+                        "backup {backup} of {owner}#{oid} is at version \
+                         {backup_version}, ahead of the primary's {owner_version}"
+                    ),
+                    span_id: 0,
+                    trace_id: 0,
+                });
+            }
+        }
+    }
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_read_fires_only_on_stale_location() {
+        let mut m = StaleReadMonitor::default();
+        let mut hit = MonitorEvent::CacheHit {
+            node: 0,
+            owner: 1,
+            oid: 7,
+            stale_location: false,
+            span_id: 42,
+            trace_id: 9,
+        };
+        m.on_event(&hit);
+        assert!(m.violations().is_empty());
+        if let MonitorEvent::CacheHit { stale_location, .. } = &mut hit {
+            *stale_location = true;
+        }
+        m.on_event(&hit);
+        assert_eq!(m.violations().len(), 1);
+        assert_eq!(m.violations()[0].span_id, 42);
+        assert!(m.violations()[0].message.contains("1#7"));
+    }
+
+    #[test]
+    fn at_most_once_tolerates_replays_but_not_re_execution() {
+        let mut m = AtMostOnceMonitor::default();
+        let exec = |replay| MonitorEvent::Execution {
+            node: 1,
+            caller: 0,
+            msg_id: 5,
+            replay,
+            span_id: 3,
+            trace_id: 2,
+        };
+        m.on_event(&exec(false));
+        m.on_event(&exec(true)); // dedup replay: fine
+        assert!(m.violations().is_empty());
+        m.on_event(&exec(false)); // second real execution: violation
+        assert_eq!(m.violations().len(), 1);
+        assert!(m.violations()[0].message.contains("msg 5"));
+    }
+
+    #[test]
+    fn replica_divergence_flags_equal_version_mismatch_and_ahead_backups() {
+        let mut m = ReplicaDivergenceMonitor::default();
+        let probe = |owner_version, backup_version, state_matches| MonitorEvent::ReplicaProbe {
+            owner: 1,
+            oid: 4,
+            backup: 2,
+            owner_version,
+            backup_version,
+            state_matches,
+        };
+        m.on_event(&probe(3, 2, true)); // lagging backup: fine (best-effort sync)
+        m.on_event(&probe(3, 3, true)); // in sync: fine
+        assert!(m.violations().is_empty());
+        m.on_event(&probe(3, 3, false)); // same version, different state
+        m.on_event(&probe(3, 4, true)); // backup ahead of primary
+        assert_eq!(m.violations().len(), 2);
+    }
+
+    #[test]
+    fn span_tree_rechecks_from_scratch() {
+        let mut log = SpanLog::new();
+        let h = log.start_span("rpc.call", 0, 10);
+        let mut m = SpanTreeMonitor::default();
+        m.check_span_log(&log);
+        assert_eq!(m.violations().len(), 1, "open span is flagged");
+        log.end_span(h, 20, SpanOutcome::Ok);
+        m.check_span_log(&log);
+        assert!(m.violations().is_empty(), "re-check must not accumulate");
+    }
+
+    #[test]
+    fn span_tree_flags_missing_parent_and_missing_retry_target() {
+        let mut log = SpanLog::new();
+        let h = log.start_span("rpc.attempt", 0, 5);
+        log.set_retry_of(h, 0xdead);
+        log.end_span(h, 6, SpanOutcome::Ok);
+        let mut m = SpanTreeMonitor::default();
+        m.check_span_log(&log);
+        assert_eq!(m.violations().len(), 1);
+        assert!(m.violations()[0].message.contains("retries"));
+    }
+}

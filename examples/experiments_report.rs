@@ -11,8 +11,8 @@ use rafda::classmodel::{ClassKind, Field};
 use rafda::corpus::{generate_app, AppSpec, JdkProfile, ObserverHooks};
 use rafda::transform::analyze;
 use rafda::{
-    AffinityConfig, Application, ClassUniverse, LocalPolicy, NetFailureKind, NodeId, Placement,
-    StaticPolicy, Ty, Value, Vm,
+    declare_introspection, AffinityConfig, Application, ClassUniverse, LocalPolicy, NetFailureKind,
+    NodeId, Placement, StaticPolicy, Ty, Value, Vm, INTROSPECTION_CLASS,
 };
 
 fn chain_app(spec: &AppSpec) -> Application {
@@ -545,6 +545,156 @@ fn e13() {
     );
 }
 
+/// The E14 counter class: `C { int v; C(int); int bump(int) }`.
+fn e14_counter_app() -> Application {
+    let mut app = Application::new();
+    let u = app.universe_mut();
+    let c = u.declare("C", ClassKind::Class);
+    let mut cb = ClassBuilder::new(u, c);
+    let v = cb.field(Field::new("v", Ty::Int));
+    let mut mb = MethodBuilder::new(2);
+    mb.load_this().load_local(1).put_field(c, v).ret();
+    cb.ctor(u, vec![Ty::Int], Some(mb.finish()));
+    let mut mb = MethodBuilder::new(2);
+    mb.load_this();
+    mb.load_this().get_field(c, v);
+    mb.load_local(1).add();
+    mb.put_field(c, v);
+    mb.load_this().get_field(c, v).ret_value();
+    cb.method(u, "bump", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+    cb.finish(u);
+    app
+}
+
+fn e14() {
+    println!("== E14: reflective observability plane — metrics, monitors, introspection ==");
+    // A cached, replicated counter under live monitors: mutations, cached
+    // reads, then a crash-stop of the home node and a failover to its
+    // promoted backup. The introspection object is itself a distributed
+    // object — reading the cluster's stats goes over the normal RMI path.
+    let mut app = e14_counter_app();
+    declare_introspection(app.universe_mut());
+    let policy = StaticPolicy::new()
+        .place("C", Placement::Node(NodeId(1)))
+        .place(INTROSPECTION_CLASS, Placement::Node(NodeId(2)))
+        .default_statics(NodeId(0))
+        .cache("C", true)
+        .replicate("C", 1);
+    let cluster = app
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(3, 42, Box::new(policy));
+    cluster.enable_monitors();
+    let c = cluster
+        .new_instance(NodeId(0), "C", 0, vec![Value::Int(5)])
+        .unwrap();
+    cluster.pin(NodeId(0), &c);
+    for d in 0..4 {
+        cluster
+            .call_method(NodeId(0), c.clone(), "bump", vec![Value::Int(d)])
+            .unwrap();
+        for _ in 0..2 {
+            cluster
+                .call_method(NodeId(0), c.clone(), "get_v", vec![])
+                .unwrap();
+        }
+    }
+    cluster.crash(NodeId(1));
+    cluster
+        .call_method(NodeId(0), c.clone(), "bump", vec![Value::Int(1)])
+        .unwrap();
+    let after = cluster
+        .call_method(NodeId(0), c.clone(), "get_v", vec![])
+        .unwrap();
+    assert_eq!(after, Value::Int(12), "failover preserved the counter");
+
+    let violations = cluster.check_invariants();
+    assert!(violations.is_empty(), "watchdogs fired: {violations:?}");
+    println!("  monitors (stale-read, at-most-once, span-tree, replica-divergence): silent");
+    for n in 0..3 {
+        let s = cluster.node_stats(NodeId(n));
+        println!(
+            "  node{n}: {} calls served, {} cache hits, {} replica syncs, {} promotions",
+            s.rpc_calls, s.cache_hits, s.replica_syncs, s.promotions
+        );
+    }
+
+    // The same stats, read *through* the cluster: an introspection getter
+    // served over RMI (and counted by the metrics it reports).
+    let insp = cluster
+        .new_instance(NodeId(0), INTROSPECTION_CLASS, 0, vec![])
+        .unwrap();
+    cluster
+        .call_method(NodeId(0), insp.clone(), "refresh", vec![])
+        .unwrap();
+    let stats = cluster
+        .call_method(NodeId(0), insp, "get_stats", vec![])
+        .unwrap();
+    println!(
+        "  rafda.Introspection.get_stats() over RMI: {}",
+        stats.as_str().unwrap_or("<not a string>")
+    );
+
+    // Deterministic exports: ci.sh diffs both files across same-seed runs.
+    let prom = cluster.prometheus_text();
+    let json = cluster.metrics_json();
+    let prom_path = std::path::Path::new("target").join("e14_metrics.prom");
+    let json_path = std::path::Path::new("target").join("e14_metrics.jsonl");
+    if std::fs::write(&prom_path, &prom).is_ok() && std::fs::write(&json_path, &json).is_ok() {
+        println!(
+            "  exports: {} ({} lines), {} ({} lines)",
+            prom_path.display(),
+            prom.lines().count(),
+            json_path.display(),
+            json.lines().count()
+        );
+    }
+
+    // The canary, for contrast: skip one cache tombstone during a
+    // migration and the stale-read watchdog pins the offending exchange.
+    let policy = StaticPolicy::new()
+        .place("C", Placement::Node(NodeId(1)))
+        .default_statics(NodeId(0))
+        .cache("C", true);
+    let canary = e14_counter_app()
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(3, 42, Box::new(policy));
+    canary.enable_monitors();
+    let c = canary
+        .new_instance(NodeId(0), "C", 0, vec![Value::Int(5)])
+        .unwrap();
+    canary.pin(NodeId(0), &c);
+    for _ in 0..2 {
+        canary
+            .call_method(NodeId(0), c.clone(), "get_v", vec![])
+            .unwrap();
+    }
+    let mut home = None;
+    canary.vm(NodeId(1)).with_heap(|heap| {
+        for h in heap.handles() {
+            if let Some(class) = heap.class_of(h) {
+                if canary.universe().class(class).name == "C_O_Local" {
+                    home = Some(h);
+                }
+            }
+        }
+    });
+    canary.debug_skip_next_tombstone();
+    canary
+        .migrate(NodeId(1), home.expect("counter home"), NodeId(2))
+        .unwrap();
+    canary
+        .call_method(NodeId(0), c.clone(), "get_v", vec![])
+        .unwrap();
+    let caught = canary.monitor_violations();
+    assert_eq!(caught.len(), 1, "the canary must be caught: {caught:?}");
+    println!(
+        "  injected canary caught: [{}] {}\n",
+        caught[0].monitor, caught[0].message
+    );
+}
+
 fn main() {
     println!("RAFDA reproduction — consolidated experiment report\n");
     e1();
@@ -559,5 +709,6 @@ fn main() {
     e11();
     e12();
     e13();
+    e14();
     println!("full precision: cargo bench --workspace (see EXPERIMENTS.md)");
 }

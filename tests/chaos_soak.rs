@@ -148,8 +148,17 @@ fn replicated_counter_app() -> Application {
     app
 }
 
+/// Proptest case count, overridable so CI can run a quick smoke pass
+/// (`CHAOS_CASES=2`) with the invariant monitors enabled.
+fn cases() -> u32 {
+    std::env::var("CHAOS_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
 
     #[test]
     fn boundary_chaos_never_changes_observable_values(
@@ -160,6 +169,7 @@ proptest! {
             .transform(&["RMI"])
             .unwrap()
             .deploy(NODES, seed, Box::new(LocalPolicy::default()));
+        cluster.enable_monitors();
         // Counters created round-robin so they start on different nodes'
         // heaps (but all local to node 0's view via proxies).
         let counters: Vec<Value> = (0..POOL)
@@ -228,6 +238,7 @@ proptest! {
                 .unwrap();
             prop_assert_eq!(r, Value::Int(oracle[idx]), "final counter {}", idx);
         }
+        prop_assert_eq!(cluster.check_invariants(), vec![]);
     }
 
     /// Fault-tolerant chaos: the same op schedule run fault-free and under
@@ -251,6 +262,7 @@ proptest! {
                 ..rafda::RetryPolicy::default()
             });
             cluster.network().fault_plan(|f| f.drop_probability = drop);
+            cluster.enable_monitors();
             let counters: Vec<Value> = (0..POOL)
                 .map(|i| {
                     cluster
@@ -312,6 +324,7 @@ proptest! {
                     other => panic!("unexpected {other:?}"),
                 }
             }
+            assert_eq!(cluster.check_invariants(), vec![], "monitor violation");
             (results, cluster.stats())
         };
         let (clean, clean_stats) = run(0.0);
@@ -350,6 +363,7 @@ proptest! {
                 ..rafda::RetryPolicy::default()
             });
             cluster.network().fault_plan(|f| f.drop_probability = 0.10);
+            cluster.enable_monitors();
             let counters: Vec<Value> = (0..FO_POOL)
                 .map(|i| {
                     cluster
@@ -418,6 +432,7 @@ proptest! {
                     other => panic!("unexpected {other:?}"),
                 }
             }
+            assert_eq!(cluster.check_invariants(), vec![], "monitor violation");
             (results, cluster.stats(), cluster.network().now().as_ns())
         };
 
@@ -463,6 +478,7 @@ proptest! {
                 ..rafda::RetryPolicy::default()
             });
             cluster.network().fault_plan(|f| f.drop_probability = drop);
+            cluster.enable_monitors();
             let counters: Vec<Value> = (0..POOL)
                 .map(|i| {
                     cluster
@@ -538,6 +554,7 @@ proptest! {
                     other => panic!("unexpected {other:?}"),
                 }
             }
+            assert_eq!(cluster.check_invariants(), vec![], "monitor violation");
             (results, cluster.stats())
         };
 

@@ -62,7 +62,9 @@ fn distributed_trace_with(spec: &AppSpec, arg: i32, batch: bool) -> (Trace, u64,
         .transform(&["RMI", "SOAP", "CORBA"])
         .unwrap()
         .deploy(3, spec.seed, Box::new(policy));
+    cluster.enable_monitors();
     let trace = cluster.run_observed(NodeId(0), "Driver", "main", vec![Value::Int(arg)]);
+    assert_eq!(cluster.check_invariants(), vec![], "monitor violation");
     (
         trace,
         cluster.network().stats().messages,
@@ -205,6 +207,7 @@ proptest! {
                 .transform(&["RMI"])
                 .unwrap()
                 .deploy(3, seed, Box::new(policy));
+            cluster.enable_monitors();
             let a = cluster.new_instance(NodeId(0), "CA", 0, vec![]).unwrap();
             let b = cluster.new_instance(NodeId(0), "CB", 0, vec![]).unwrap();
             let mut out = Vec::new();
@@ -236,6 +239,7 @@ proptest! {
                         .unwrap(),
                 );
             }
+            assert_eq!(cluster.check_invariants(), vec![], "monitor violation");
             out
         };
         let clean = run(false);

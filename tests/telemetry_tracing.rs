@@ -2,10 +2,12 @@
 //! operation across all hops, retransmissions linked via `retry_of`, and
 //! byte-identical telemetry across same-seed runs.
 
-use rafda::classmodel::sample;
+use rafda::classmodel::builder::{ClassBuilder, MethodBuilder};
+use rafda::classmodel::{sample, ClassKind, Field};
 use rafda::telemetry::SpanOutcome;
 use rafda::{
-    Application, Cluster, NodeId, Placement, RetryPolicy, Span, SpanLog, StaticPolicy, Value,
+    Application, Cluster, NodeId, Placement, RetryPolicy, RuntimeStats, Span, SpanLog,
+    StaticPolicy, Ty, Value,
 };
 
 const N0: NodeId = NodeId(0);
@@ -214,6 +216,102 @@ fn telemetry_is_byte_identical_across_same_seed_runs() {
     // A different seed shifts the simulated timings.
     let c = scripted_scenario(43);
     assert_ne!(a.span_log(), c.span_log());
+
+    // The per-node breakdown is exhaustive: folding every node's stats
+    // through `merge` reproduces the cluster-wide view exactly.
+    let mut folded = RuntimeStats::default();
+    for n in 0..a.node_count() {
+        folded.merge(&a.node_stats(NodeId(n)));
+    }
+    assert_eq!(folded, a.stats(), "per-node sums equal the merged view");
+}
+
+/// A batched, replicated counter: deferred `inc` mutations ride the
+/// outcall queue, then the home crashes and the next read fails over to a
+/// promoted backup. Batching and failover had never been traced together.
+fn batched_failover_scenario(seed: u64) -> Cluster {
+    let mut app = Application::new();
+    let u = app.universe_mut();
+    let c = u.declare("C", ClassKind::Class);
+    let mut cb = ClassBuilder::new(u, c);
+    let v = cb.field(Field::new("v", Ty::Int));
+    let mut mb = MethodBuilder::new(2);
+    mb.load_this().load_local(1).put_field(c, v).ret();
+    cb.ctor(u, vec![Ty::Int], Some(mb.finish()));
+    // void inc(int d) { v += d; } — void, so batching can defer it.
+    let mut mb = MethodBuilder::new(2);
+    mb.load_this();
+    mb.load_this().get_field(c, v);
+    mb.load_local(1).add();
+    mb.put_field(c, v);
+    mb.ret();
+    cb.method(u, "inc", vec![Ty::Int], Ty::Void, Some(mb.finish()));
+    cb.finish(u);
+
+    let policy = StaticPolicy::new()
+        .place("C", Placement::Node(N1))
+        .default_statics(N0)
+        .batch("C", true)
+        .replicate("C", 1);
+    let cluster = app
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(3, seed, Box::new(policy));
+    cluster.enable_monitors();
+    let obj = cluster
+        .new_instance(N0, "C", 0, vec![Value::Int(0)])
+        .unwrap();
+    cluster.pin(N0, &obj);
+    let read = || {
+        cluster
+            .call_method(N0, obj.clone(), "get_v", vec![])
+            .unwrap()
+    };
+    for d in 1..4 {
+        cluster
+            .call_method(N0, obj.clone(), "inc", vec![Value::Int(d)])
+            .unwrap();
+    }
+    assert_eq!(read(), Value::Int(6), "flush drained the deferred incs");
+    cluster.crash(N1);
+    // The read fails over: the backup promotes and serves 6.
+    assert_eq!(read(), Value::Int(6));
+    for d in 1..3 {
+        cluster
+            .call_method(N0, obj.clone(), "inc", vec![Value::Int(d)])
+            .unwrap();
+    }
+    assert_eq!(read(), Value::Int(9));
+    assert_eq!(cluster.check_invariants(), vec![], "monitors stay silent");
+    cluster
+}
+
+#[test]
+fn batched_failover_telemetry_is_byte_identical_across_same_seed_runs() {
+    let a = batched_failover_scenario(17);
+    let b = batched_failover_scenario(17);
+    assert_eq!(a.span_log(), b.span_log(), "span logs diverged");
+    assert_eq!(
+        a.span_log().chrome_trace_json(),
+        b.span_log().chrome_trace_json(),
+        "chrome export diverged"
+    );
+    assert_eq!(
+        a.telemetry_report(10),
+        b.telemetry_report(10),
+        "report diverged"
+    );
+    assert_eq!(a.prometheus_text(), b.prometheus_text());
+    assert_eq!(a.metrics_json(), b.metrics_json());
+    // Both features genuinely engaged, in one trace history.
+    let stats = a.stats();
+    assert!(stats.batched_ops > 0, "batching never deferred: {stats}");
+    assert!(stats.failovers > 0, "no failover happened: {stats}");
+    assert!(a
+        .span_log()
+        .spans()
+        .iter()
+        .any(|s| s.name == "rpc.failover"));
 }
 
 #[test]
