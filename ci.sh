@@ -30,6 +30,14 @@ echo "== e13 wire fast-path bench (smoke) =="
 # the iteration count; the assertion is identical to the full run.
 E13_SMOKE=1 cargo bench -p rafda-bench --bench e13_wire_throughput --locked --offline --quiet
 
+echo "== e15 sharding + replica-read bench (smoke) =="
+# Runs the placement experiment end to end: the sharded + replica-read
+# policy must beat the single-owner baseline by >= 30% on wire messages
+# and on simulated p95 latency, with identical observable values and all
+# four invariant monitors silent. Smoke mode shrinks the Zipf stream; the
+# assertions are identical to the full run.
+E15_SMOKE=1 cargo bench -p rafda-bench --bench e15_sharding --locked --offline --quiet
+
 echo "== rustfmt =="
 cargo fmt --check
 

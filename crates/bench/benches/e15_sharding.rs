@@ -1,0 +1,276 @@
+//! **E15 — policy-driven sharding and replica reads**: what placement
+//! policy is worth under a skewed, read-mostly workload.
+//!
+//! A keyed store of [`KEYS`] instances takes a Zipf-distributed request
+//! stream (hot keys dominate, as in real caches and catalogues) from one
+//! client node. The same deterministic sequence is replayed against two
+//! policies:
+//!
+//! * **single-owner** — every instance placed on one server node, every
+//!   operation a remote exchange (the pre-E15 default);
+//! * **sharded + replica reads** — `shard S by get_k modulo 8` spreads
+//!   instances across the cluster by key hash, and `S reads from replicas`
+//!   serves property getters from the client's own backup whenever its
+//!   version matches the owner's (the E10 piggyback is the freshness
+//!   oracle), so only mutations cross the wire.
+//!
+//! Asserted: the sharded + replica-read run needs **at least 30% fewer
+//! wire messages** and a strictly lower simulated p95 op latency, returns
+//! the exact same values, is byte-identical across same-seed runs, and
+//! keeps all four E14 invariant monitors silent. A second section drives
+//! the `rebalance_shards` adaptation tick on a deterministic hot/warm
+//! skew and shows the resulting migration is stable across runs.
+//!
+//! `E15_SMOKE=1` shrinks the stream for CI.
+
+use rafda::corpus::workload::ZipfWorkload;
+use rafda::{AffinityConfig, Cluster, NodeId, Placement, StaticPolicy, Value};
+use rafda_bench::{keyed_store_app, ratio};
+
+const NODES: u32 = 4;
+const KEYS: usize = 16;
+const MODULO: u32 = 8;
+const CLIENT: NodeId = NodeId(0);
+const SEED: u64 = 42;
+/// One op in this many is a mutation; the rest are property reads.
+const WRITE_EVERY: usize = 32;
+
+/// Everything observable about one replay — compared for byte-identical
+/// determinism across same-seed runs.
+#[derive(Debug, PartialEq)]
+struct RunOutcome {
+    messages: u64,
+    p95_ns: u64,
+    clock_ns: u64,
+    replica_reads: u64,
+    shard_placements: u64,
+    finals: Vec<Value>,
+}
+
+fn deploy(policy: StaticPolicy) -> (Cluster, Vec<Value>) {
+    let cluster =
+        keyed_store_app()
+            .transform(&["RMI"])
+            .unwrap()
+            .deploy(NODES, SEED, Box::new(policy));
+    cluster.enable_monitors();
+    let objs: Vec<Value> = (0..KEYS)
+        .map(|i| {
+            let o = cluster
+                .new_instance(CLIENT, "S", 0, vec![Value::Int(i as i32)])
+                .unwrap();
+            cluster.pin(CLIENT, &o);
+            o
+        })
+        .collect();
+    (cluster, objs)
+}
+
+/// Replay `ops` (key indices) against a fresh deployment of `policy`.
+fn run(label: &str, policy: StaticPolicy, ops: &[usize]) -> RunOutcome {
+    let (cluster, objs) = deploy(policy);
+    // Warm-up write per key: every owner serves one mutation, so every
+    // backup is seeded before measurement starts (same cost in all runs).
+    for o in &objs {
+        cluster
+            .call_method(CLIENT, o.clone(), "put", vec![Value::Int(0)])
+            .unwrap();
+    }
+    let m0 = cluster.network().stats().messages;
+    let t0 = cluster.network().now().as_ns();
+    let mut latencies: Vec<u64> = Vec::with_capacity(ops.len());
+    for (i, &key) in ops.iter().enumerate() {
+        let s0 = cluster.network().now().as_ns();
+        if i % WRITE_EVERY == WRITE_EVERY - 1 {
+            cluster
+                .call_method(CLIENT, objs[key].clone(), "put", vec![Value::Int(1)])
+                .unwrap();
+        } else {
+            cluster
+                .call_method(CLIENT, objs[key].clone(), "get_v", vec![])
+                .unwrap();
+        }
+        latencies.push(cluster.network().now().as_ns() - s0);
+    }
+    let messages = cluster.network().stats().messages - m0;
+    let clock_ns = cluster.network().now().as_ns() - t0;
+    let finals: Vec<Value> = objs
+        .iter()
+        .map(|o| {
+            cluster
+                .call_method(CLIENT, o.clone(), "get_v", vec![])
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(
+        cluster.check_invariants(),
+        vec![],
+        "{label}: an E14 monitor fired"
+    );
+    latencies.sort_unstable();
+    let p95_ns = latencies[(latencies.len() * 95 / 100).min(latencies.len() - 1)];
+    let stats = cluster.stats();
+    RunOutcome {
+        messages,
+        p95_ns,
+        clock_ns,
+        replica_reads: stats.replica_reads,
+        shard_placements: stats.shard_placements,
+        finals,
+    }
+}
+
+/// The adaptation tick on a deterministic hot/warm skew: two shards on
+/// node 0, one hot and one warm traffic stream from another node, one
+/// `rebalance_shards` call. Exactly one shard — the warm one, the hottest
+/// that fits half the load gap — must move (one migration event per
+/// member instance), values must survive the move, and the tick must be
+/// identical across runs.
+fn tick_section() {
+    let run = || -> (Vec<String>, Vec<String>, u64, Value, Value) {
+        let policy = StaticPolicy::new().shard("S", "get_k", 4);
+        let cluster =
+            keyed_store_app()
+                .transform(&["RMI"])
+                .unwrap()
+                .deploy(2, SEED, Box::new(policy));
+        // Shard owners seed as `shard % nodes`, so half the key space
+        // lands on node 0; pick one resident of each of its two shards.
+        let driver = NodeId(1);
+        let mut on_zero = Vec::new();
+        for key in 0..KEYS as i32 {
+            let o = cluster
+                .new_instance(driver, "S", 0, vec![Value::Int(key)])
+                .unwrap();
+            cluster.pin(driver, &o);
+            if cluster.location_of(driver, &o) == Some(NodeId(0)) && on_zero.len() < 2 {
+                on_zero.push(o);
+            }
+        }
+        let [hot, warm] = &on_zero[..] else {
+            panic!("expected two instances on node 0");
+        };
+        for _ in 0..20 {
+            cluster
+                .call_method(driver, hot.clone(), "put", vec![Value::Int(1)])
+                .unwrap();
+        }
+        for _ in 0..4 {
+            cluster
+                .call_method(driver, warm.clone(), "put", vec![Value::Int(1)])
+                .unwrap();
+        }
+        let events: Vec<String> = cluster
+            .rebalance_shards(&AffinityConfig::default())
+            .iter()
+            .map(|e| e.to_string())
+            .collect();
+        let second: Vec<String> = cluster
+            .rebalance_shards(&AffinityConfig::default())
+            .iter()
+            .map(|e| e.to_string())
+            .collect();
+        // Forwarding keeps both streams correct through the move.
+        let hot_v = cluster
+            .call_method(driver, hot.clone(), "get_v", vec![])
+            .unwrap();
+        let warm_v = cluster
+            .call_method(driver, warm.clone(), "get_v", vec![])
+            .unwrap();
+        (
+            events,
+            second,
+            cluster.stats().shard_rebalances,
+            hot_v,
+            warm_v,
+        )
+    };
+    let (events, converged, shards_moved, hot_v, warm_v) = run();
+    println!("adaptation tick on 20-call hot / 4-call warm skew:");
+    for e in &events {
+        println!("  moved: {e}");
+    }
+    assert_eq!(shards_moved, 1, "exactly the warm shard moves: {events:?}");
+    assert!(!events.is_empty(), "the warm shard has members to move");
+    assert!(
+        events
+            .iter()
+            .all(|e| e.contains("node0") && e.contains("node1")),
+        "every move drains the hot node: {events:?}"
+    );
+    assert_eq!((hot_v, warm_v), (Value::Int(20), Value::Int(4)));
+    assert!(converged.is_empty(), "second tick must be a no-op");
+    let (again, _, _, _, _) = run();
+    assert_eq!(events, again, "rebalancing must be deterministic");
+    println!("  second tick: no-op (converged); repeat run: identical\n");
+}
+
+fn main() {
+    let smoke = std::env::var("E15_SMOKE").is_ok();
+    let ops_n: usize = if smoke { 256 } else { 2048 };
+    let ops = ZipfWorkload::new(SEED, KEYS, 1.1).sequence(ops_n);
+
+    println!(
+        "\n=== E15: sharding + replica reads vs single owner \
+         (Zipf 1.1, {KEYS} keys, {ops_n} ops, 1 write per {WRITE_EVERY}) ==="
+    );
+    let single = run(
+        "single-owner",
+        StaticPolicy::new()
+            .place("S", Placement::Node(NodeId(1)))
+            .replicate("S", 1),
+        &ops,
+    );
+    let sharded_policy = || {
+        StaticPolicy::new()
+            .shard("S", "get_k", MODULO)
+            .replicate("S", 1)
+            .replica_reads("S", true)
+    };
+    let sharded = run("sharded", sharded_policy(), &ops);
+
+    println!(
+        "{:<24} | {:>9} | {:>12} | {:>13}",
+        "policy", "messages", "sim p95", "replica reads"
+    );
+    for (name, o) in [
+        ("single-owner", &single),
+        ("sharded+replica-reads", &sharded),
+    ] {
+        println!(
+            "{:<24} | {:>9} | {:>9} ns | {:>13}",
+            name, o.messages, o.p95_ns, o.replica_reads
+        );
+    }
+    println!(
+        "message reduction: {} of baseline; placements routed: {}",
+        ratio(single.messages, sharded.messages),
+        sharded.shard_placements
+    );
+
+    assert_eq!(
+        single.finals, sharded.finals,
+        "placement must never change observable values"
+    );
+    assert!(
+        sharded.messages * 10 <= single.messages * 7,
+        "sharding + replica reads must cut remote exchanges by >= 30%: \
+         {} vs {}",
+        sharded.messages,
+        single.messages
+    );
+    assert!(
+        sharded.p95_ns < single.p95_ns,
+        "sharded p95 must beat single-owner: {} vs {} ns",
+        sharded.p95_ns,
+        single.p95_ns
+    );
+    assert!(sharded.replica_reads > 0, "getters must hit the backup");
+
+    // Byte-identical determinism: the same seed replays the same run.
+    let replay = run("sharded-replay", sharded_policy(), &ops);
+    assert_eq!(sharded, replay, "same seed must give an identical run");
+    println!("replay with same seed: identical (messages, clock, p95, values)\n");
+
+    tick_section();
+}

@@ -91,6 +91,33 @@ pub fn batched_counter_app() -> Application {
     app
 }
 
+/// Build the E15 keyed store: `S { int k; int v; S(int k); int put(int d) }`.
+/// `k` is the shard key (readable through the generated `get_k` getter),
+/// `put` is the mutator, and reads go through the generated `get_v`
+/// property getter — the shape `shard by` and `reads from replicas`
+/// policies are written for.
+pub fn keyed_store_app() -> Application {
+    let mut app = Application::new();
+    let u = app.universe_mut();
+    let s = u.declare("S", ClassKind::Class);
+    let mut cb = ClassBuilder::new(u, s);
+    let k = cb.field(Field::new("k", Ty::Int));
+    let v = cb.field(Field::new("v", Ty::Int));
+    let mut mb = MethodBuilder::new(2);
+    mb.load_this().load_local(1).put_field(s, k).ret();
+    cb.ctor(u, vec![Ty::Int], Some(mb.finish()));
+    // int put(int d) { v = v + d; return v; }
+    let mut mb = MethodBuilder::new(2);
+    mb.load_this();
+    mb.load_this().get_field(s, v);
+    mb.load_local(1).add();
+    mb.put_field(s, v);
+    mb.load_this().get_field(s, v).ret_value();
+    cb.method(u, "put", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+    cb.finish(u);
+    app
+}
+
 /// Format a ratio as `x.yz×`.
 pub fn ratio(base: u64, other: u64) -> String {
     format!("{:.2}x", other as f64 / base.max(1) as f64)

@@ -24,6 +24,7 @@ pub mod app;
 pub mod jdk;
 pub mod rng;
 pub mod scenarios;
+pub mod workload;
 
 pub use app::{generate_app, AppInfo, AppSpec, ObserverHooks};
 pub use jdk::{breakdown_by_package, generate_jdk, JdkProfile, JdkStats, PackageSpec};

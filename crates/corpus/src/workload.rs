@@ -1,0 +1,120 @@
+//! Deterministic access-pattern generators for placement experiments.
+//!
+//! Placement policies only earn their keep under *skew*: a uniform
+//! workload is indifferent to where instances live, while real request
+//! streams concentrate on a few hot keys (the classic Zipf shape of web
+//! caches, auction items and user sessions). The generator here produces
+//! the key sequence an experiment replays against a deployed cluster —
+//! the E15 sharding benchmark drives both its single-owner baseline and
+//! its sharded + replica-read contender from the *same* sequence, so the
+//! only variable is placement.
+//!
+//! Everything is a pure function of the seed (the corpus [`Rng`]); equal
+//! seeds give byte-identical workloads forever.
+
+use crate::rng::Rng;
+
+/// A Zipf-distributed stream of key indices in `[0, keys)`.
+///
+/// Rank `r` (0-based) is drawn with probability proportional to
+/// `1 / (r + 1)^exponent`. Rank 0 is the hottest key; `exponent = 0`
+/// degenerates to uniform, `exponent ≈ 1` is the canonical web-like skew,
+/// larger exponents concentrate harder.
+#[derive(Debug, Clone)]
+pub struct ZipfWorkload {
+    /// Cumulative distribution over ranks, normalised to `[0, 1]`.
+    cdf: Vec<f64>,
+    rng: Rng,
+}
+
+impl ZipfWorkload {
+    /// A generator over `keys` distinct keys with the given skew
+    /// `exponent`, seeded deterministically.
+    ///
+    /// # Panics
+    /// If `keys` is zero — an empty key space has no distribution.
+    pub fn new(seed: u64, keys: usize, exponent: f64) -> Self {
+        assert!(keys > 0, "a Zipf workload needs at least one key");
+        let mut cdf = Vec::with_capacity(keys);
+        let mut total = 0.0;
+        for r in 0..keys {
+            total += 1.0 / ((r + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfWorkload {
+            cdf,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn keys(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw the next key index.
+    pub fn next_key(&mut self) -> usize {
+        let u = self.rng.f64();
+        // First rank whose cumulative mass covers `u`.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Draw a full sequence of `ops` key indices.
+    pub fn sequence(mut self, ops: usize) -> Vec<usize> {
+        (0..ops).map(|_| self.next_key()).collect()
+    }
+}
+
+/// Per-key hit counts of `seq` over `keys` keys — the skew profile an
+/// experiment reports alongside its results.
+pub fn histogram(seq: &[usize], keys: usize) -> Vec<u64> {
+    let mut h = vec![0u64; keys];
+    for &k in seq {
+        h[k] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a = ZipfWorkload::new(42, 16, 1.1).sequence(500);
+        let b = ZipfWorkload::new(42, 16, 1.1).sequence(500);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&k| k < 16));
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let seq = ZipfWorkload::new(7, 8, 0.0).sequence(8000);
+        let h = histogram(&seq, 8);
+        for &c in &h {
+            assert!((800..1200).contains(&c), "uniform draw skewed: {h:?}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_the_lowest_ranks() {
+        let seq = ZipfWorkload::new(7, 8, 1.2).sequence(8000);
+        let h = histogram(&seq, 8);
+        assert!(
+            h[0] > 2 * h[3] && h[0] > 4 * h[7],
+            "rank 0 must dominate: {h:?}"
+        );
+        // More skew, more concentration.
+        let flatter = histogram(&ZipfWorkload::new(7, 8, 0.5).sequence(8000), 8);
+        assert!(h[0] > flatter[0], "{h:?} vs {flatter:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn empty_key_space_is_rejected() {
+        let _ = ZipfWorkload::new(1, 0, 1.0);
+    }
+}

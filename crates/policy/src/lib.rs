@@ -34,6 +34,22 @@ pub enum Placement {
     Node(NodeId),
 }
 
+/// A sharding directive: place instances of a class across the cluster by
+/// the deterministic hash of a key read through `key_getter`, split into
+/// `modulo` shards (`class C shard by get_k modulo N` in the text format).
+///
+/// The runtime maintains a shard→node map alongside the failover `homes`
+/// map; an instance is moved onto its shard's node once its key is
+/// readable (after construction) and the adaptation tick may rebalance
+/// whole shards between nodes when call counts show hot-key skew.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Name of the zero-argument getter whose result keys the shard hash.
+    pub key_getter: String,
+    /// Number of shards the key space is split into (always > 0).
+    pub modulo: u32,
+}
+
 /// The decision interface consulted by the runtime's `make`/`discover`
 /// hooks and proxy materialisation.
 pub trait DistributionPolicy {
@@ -85,6 +101,28 @@ pub trait DistributionPolicy {
     /// used for control flow via exceptions should stay unbatched; the
     /// default is off.
     fn batched(&self, _class: &str) -> bool {
+        false
+    }
+
+    /// The sharding directive for `class`, if any.
+    ///
+    /// With `Some(spec)` the runtime places each instance on the node that
+    /// owns shard `hash(key) % spec.modulo`, where the key is read through
+    /// `spec.key_getter` once the instance is constructed. `None` (the
+    /// default) leaves placement to [`DistributionPolicy::instance_node`].
+    fn shard_spec(&self, _class: &str) -> Option<ShardSpec> {
+        None
+    }
+
+    /// Whether getters on remote instances of `class` may be served from
+    /// the nearest live replica instead of the owner.
+    ///
+    /// Only meaningful when [`DistributionPolicy::replicas`] is positive.
+    /// A replica read is taken only when the replica's copy carries the
+    /// owner's current version, so it can never observe stale state; on
+    /// any version lag the call falls through to the owner. The default
+    /// is off.
+    fn reads_from_replicas(&self, _class: &str) -> bool {
         false
     }
 }
@@ -163,6 +201,8 @@ pub struct StaticPolicy {
     cache_rules: HashMap<String, bool>,
     replicate_rules: HashMap<String, u32>,
     batch_rules: HashMap<String, bool>,
+    shard_rules: HashMap<String, ShardSpec>,
+    replica_read_rules: HashMap<String, bool>,
 }
 
 impl Default for StaticPolicy {
@@ -180,6 +220,8 @@ impl Default for StaticPolicy {
             cache_rules: HashMap::new(),
             replicate_rules: HashMap::new(),
             batch_rules: HashMap::new(),
+            shard_rules: HashMap::new(),
+            replica_read_rules: HashMap::new(),
         }
     }
 }
@@ -281,6 +323,30 @@ impl StaticPolicy {
         self
     }
 
+    /// Shard instances of `class` by the key read through `key_getter`,
+    /// split into `modulo` shards.
+    ///
+    /// # Panics
+    /// When `modulo` is 0 (an empty shard space places nothing).
+    pub fn shard(mut self, class: &str, key_getter: &str, modulo: u32) -> Self {
+        assert!(modulo > 0, "shard modulo must be positive");
+        self.shard_rules.insert(
+            class.to_owned(),
+            ShardSpec {
+                key_getter: key_getter.to_owned(),
+                modulo,
+            },
+        );
+        self
+    }
+
+    /// Allow (or forbid) serving getters of `class` from the nearest live
+    /// replica instead of the owner.
+    pub fn replica_reads(mut self, class: &str, on: bool) -> Self {
+        self.replica_read_rules.insert(class.to_owned(), on);
+        self
+    }
+
     /// Parse the policy text format:
     ///
     /// ```text
@@ -297,6 +363,8 @@ impl StaticPolicy {
     /// class <Name> cache on|off
     /// class <Name> replicate <K>
     /// class <Name> batch on|off
+    /// class <Name> shard by <getter> modulo <N>
+    /// class <Name> reads from replicas
     /// ```
     ///
     /// # Errors
@@ -357,6 +425,22 @@ impl StaticPolicy {
                     let on = parse_switch(w).ok_or_else(|| err("bad switch"))?;
                     policy.batch_rules.insert((*name).to_owned(), on);
                 }
+                ["class", name, "shard", "by", getter, "modulo", m] => {
+                    let modulo: u32 = m.parse().map_err(|_| err("bad shard modulo"))?;
+                    if modulo == 0 {
+                        return Err(err("bad shard modulo"));
+                    }
+                    policy.shard_rules.insert(
+                        (*name).to_owned(),
+                        ShardSpec {
+                            key_getter: (*getter).to_owned(),
+                            modulo,
+                        },
+                    );
+                }
+                ["class", name, "reads", "from", "replicas"] => {
+                    policy.replica_read_rules.insert((*name).to_owned(), true);
+                }
                 _ => return Err(err("unrecognised directive")),
             }
         }
@@ -415,6 +499,20 @@ impl StaticPolicy {
                 "class {class} batch {}",
                 if on { "on" } else { "off" }
             ));
+        }
+        for (class, spec) in &self.shard_rules {
+            rules.push(format!(
+                "class {class} shard by {} modulo {}",
+                spec.key_getter, spec.modulo
+            ));
+        }
+        for (class, &on) in &self.replica_read_rules {
+            // `reads from replicas` is a flag with no off-form: a false
+            // rule is indistinguishable from no rule, so only true ones
+            // are rendered.
+            if on {
+                rules.push(format!("class {class} reads from replicas"));
+            }
         }
         rules.sort();
         for r in rules {
@@ -491,6 +589,14 @@ impl DistributionPolicy for StaticPolicy {
             .get(class)
             .copied()
             .unwrap_or(self.default_batch)
+    }
+
+    fn shard_spec(&self, class: &str) -> Option<ShardSpec> {
+        self.shard_rules.get(class).cloned()
+    }
+
+    fn reads_from_replicas(&self, class: &str) -> bool {
+        self.replica_read_rules.get(class).copied().unwrap_or(false)
     }
 }
 
@@ -763,6 +869,81 @@ mod tests {
         }
         let plain = StaticPolicy::new().to_text();
         assert!(!plain.contains("batch"), "default-off policy omits batch");
+    }
+
+    #[test]
+    fn shard_rules_parse_and_default_none() {
+        let p = StaticPolicy::parse(
+            "class Account shard by get_owner modulo 4\n\
+             class Session shard by get_id modulo 2\n",
+        )
+        .unwrap();
+        assert_eq!(
+            p.shard_spec("Account"),
+            Some(ShardSpec {
+                key_getter: "get_owner".to_owned(),
+                modulo: 4
+            })
+        );
+        assert_eq!(p.shard_spec("Session").unwrap().modulo, 2);
+        assert_eq!(p.shard_spec("Unlisted"), None, "sharding is opt-in");
+        assert_eq!(
+            LocalPolicy::default().shard_spec("Account"),
+            None,
+            "trait default is None"
+        );
+
+        let err = StaticPolicy::parse("class A shard by get_k modulo zero\n").unwrap_err();
+        assert_eq!(err.message, "bad shard modulo");
+        let err = StaticPolicy::parse("class A shard by get_k modulo 0\n").unwrap_err();
+        assert_eq!(err.message, "bad shard modulo");
+        let err = StaticPolicy::parse("ok\nclass A shard get_k modulo 2\n").unwrap_err();
+        assert_eq!(err.line, 1, "first bad line reported");
+    }
+
+    #[test]
+    fn replica_read_rules_parse_and_default_off() {
+        let p = StaticPolicy::parse(
+            "class Catalog replicate 2\n\
+             class Catalog reads from replicas\n",
+        )
+        .unwrap();
+        assert!(p.reads_from_replicas("Catalog"));
+        assert!(!p.reads_from_replicas("Unlisted"), "replica reads opt-in");
+        assert!(
+            !LocalPolicy::default().reads_from_replicas("Catalog"),
+            "trait default is off"
+        );
+
+        let q = StaticPolicy::new().replica_reads("Catalog", true);
+        assert!(q.reads_from_replicas("Catalog"));
+        let q = q.replica_reads("Catalog", false);
+        assert!(!q.reads_from_replicas("Catalog"));
+
+        let err = StaticPolicy::parse("class A reads from owner\n").unwrap_err();
+        assert_eq!(err.message, "unrecognised directive");
+    }
+
+    #[test]
+    fn shard_and_replica_read_rules_survive_to_text_roundtrip() {
+        let p = StaticPolicy::new()
+            .shard("Account", "get_owner", 4)
+            .replicate("Catalog", 2)
+            .replica_reads("Catalog", true)
+            .replica_reads("Mutable", false);
+        let text = p.to_text();
+        assert!(
+            text.contains("class Account shard by get_owner modulo 4"),
+            "{text}"
+        );
+        assert!(text.contains("class Catalog reads from replicas"), "{text}");
+        assert!(!text.contains("Mutable"), "false flag omitted: {text}");
+        let q = StaticPolicy::parse(&text).unwrap();
+        for class in ["Account", "Catalog", "Mutable", "Unlisted"] {
+            assert_eq!(p.shard_spec(class), q.shard_spec(class));
+            assert_eq!(p.reads_from_replicas(class), q.reads_from_replicas(class));
+            assert_eq!(p.replicas(class), q.replicas(class));
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use rafda_wire::{
     FrameHeader, Protocol, ProtocolKind, Reply, Request, RequestKind, SigTable, WireValue,
 };
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::rc::{Rc, Weak};
 use std::sync::Arc;
@@ -232,6 +232,15 @@ pub struct RuntimeStats {
     /// Outcall queues drained: each flush ships one queue as a single
     /// [`Request::Batch`] exchange at a synchronization point.
     pub flushes: u64,
+    /// Sharded instances placed onto their shard's node after construction
+    /// (a `shard by` policy rule routing a fresh object).
+    pub shard_placements: u64,
+    /// Whole shards moved between nodes by the rebalance tick reacting to
+    /// hot-key skew in the observed call counts.
+    pub shard_rebalances: u64,
+    /// Getter calls served from a same-version local replica copy instead
+    /// of an owner exchange (a `reads from replicas` policy rule).
+    pub replica_reads: u64,
     /// Histogram of attempts used per finished exchange: bucket `i` counts
     /// exchanges that took `i + 1` attempts (the last bucket saturates).
     pub attempts: [u64; 8],
@@ -272,6 +281,9 @@ impl RuntimeStats {
             failovers,
             batched_ops,
             flushes,
+            shard_placements,
+            shard_rebalances,
+            replica_reads,
             attempts,
             sig_refs,
             sig_defs,
@@ -298,6 +310,9 @@ impl RuntimeStats {
         self.failovers += failovers;
         self.batched_ops += batched_ops;
         self.flushes += flushes;
+        self.shard_placements += shard_placements;
+        self.shard_rebalances += shard_rebalances;
+        self.replica_reads += replica_reads;
         for (slot, c) in self.attempts.iter_mut().zip(attempts) {
             *slot += c;
         }
@@ -336,7 +351,8 @@ impl fmt::Display for RuntimeStats {
              {} retransmits, {} dedup hits, {} net failures, {} faults, \
              property cache {} hits / {} misses / {} invalidations, \
              {} replica syncs / {} promotions / {} failovers, \
-             {} batched ops / {} flushes",
+             {} batched ops / {} flushes, \
+             {} shard placements / {} shard rebalances / {} replica reads",
             self.exchanges(),
             self.mean_attempts(),
             self.retries,
@@ -351,7 +367,10 @@ impl fmt::Display for RuntimeStats {
             self.promotions,
             self.failovers,
             self.batched_ops,
-            self.flushes
+            self.flushes,
+            self.shard_placements,
+            self.shard_rebalances,
+            self.replica_reads
         )
     }
 }
@@ -424,6 +443,43 @@ impl fmt::Display for MigrationEvent {
     }
 }
 
+/// Shard placement state for classes with a `shard by <getter> modulo N`
+/// policy rule. Both maps iterate in sorted order wherever they feed a
+/// decision, so placement and rebalancing are deterministic per seed.
+#[derive(Debug, Default)]
+pub(crate) struct ShardState {
+    /// `(class name, shard index)` → owning node. Seeded lazily as
+    /// `shard % node_count` the first time an instance hashes into the
+    /// shard; rewritten by [`Cluster::rebalance_shards`].
+    pub owners: BTreeMap<(String, u32), u32>,
+    /// `(class name, shard index)` → the member instances currently routed
+    /// there, at their live `(node, export id)` locations.
+    pub members: BTreeMap<(String, u32), Vec<(u32, u64)>>,
+}
+
+/// Stable 64-bit hash of a shard key value (FNV-1a over the value's
+/// canonical bytes). Int/Long keys hash their two's-complement bits, so a
+/// key getter returning either width places identically.
+fn shard_hash(key: &Value) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    match key {
+        Value::Int(i) => eat(&(*i as i64).to_le_bytes()),
+        Value::Long(l) => eat(&l.to_le_bytes()),
+        Value::Bool(b) => eat(&[*b as u8]),
+        Value::Str(s) => eat(s.as_bytes()),
+        _ => eat(&[0]),
+    }
+    h
+}
+
 /// Maximum nested (re-entrant) RPC depth across the whole cluster — a
 /// distributed call chain deeper than this is almost certainly unbounded
 /// mutual recursion, and each level consumes host stack.
@@ -472,6 +528,20 @@ pub(crate) struct Shared {
     /// a second caller re-homes to the already-promoted copy instead of
     /// promoting a stale backup twice.
     pub homes: RefCell<HashMap<(u32, u64), (u32, u64)>>,
+    /// Canonical singleton exports: class name → the `(node, oid)` its
+    /// statics singleton was first exported under. Singleton resolution
+    /// follows the [`Shared::homes`] chain from here, so a statics owner
+    /// that crash-restarted after a promotion is never allowed to mint a
+    /// fresh, amnesiac singleton while the promoted copy lives on.
+    pub statics_exports: RefCell<HashMap<String, (u32, u64)>>,
+    /// Shard placement state for classes with a `shard by` policy rule: the
+    /// deterministic shard→node map (kept alongside the failover `homes`
+    /// map) and the live members routed to each shard.
+    pub shards: RefCell<ShardState>,
+    /// Whether the policy shards any transformed class — computed once at
+    /// deployment, like [`Shared::any_replication`], so unsharded
+    /// workloads pay one boolean test.
+    pub any_sharding: bool,
     /// Span id of the most recent exchange that ended in a network failure.
     /// A failover span chains to it via `retry_of`, linking the re-homed
     /// call to the exchange against the crashed owner it retries.
@@ -592,6 +662,10 @@ impl Cluster {
             .families
             .values()
             .any(|f| policy.replicas(&universe.class(f.base).name) > 0);
+        let any_sharding = plan
+            .families
+            .values()
+            .any(|f| policy.shard_spec(&universe.class(f.base).name).is_some());
         let shared = Rc::new(Shared {
             universe,
             plan,
@@ -610,6 +684,9 @@ impl Cluster {
             spans: RefCell::new(SpanLog::new()),
             versions: RefCell::new(HashMap::new()),
             homes: RefCell::new(HashMap::new()),
+            statics_exports: RefCell::new(HashMap::new()),
+            shards: RefCell::new(ShardState::default()),
+            any_sharding,
             last_exchange_span: Cell::new(0),
             outqueues: RefCell::new(HashMap::new()),
             in_flush: Cell::new(false),
@@ -989,6 +1066,13 @@ impl Cluster {
                 let mut all = vec![that.clone()];
                 all.extend(args);
                 vm.call_static(family.obj_factory, init_sig, all)?;
+                // Shard placement must run *after* init: the remote create
+                // path ships a default-constructed instance and applies the
+                // constructor through the reference, so the shard key is
+                // only readable once init has landed.
+                if shared.any_sharding {
+                    self.place_sharded(node, class, &that)?;
+                }
                 Ok(that)
             }
             None => Ok(vm.new_instance(id, ctor, args)?),
@@ -1403,13 +1487,289 @@ impl Cluster {
                 continue;
             };
             match shared.gen_info.get(&class) {
-                Some(info) if info.proto.is_none() => {}
+                Some(info) if info.proto.is_none() => {
+                    // Shard placement is policy-owned: the affinity loop
+                    // must not fight the shard map by dragging a sharded
+                    // instance toward its chattiest caller.
+                    if shared.any_sharding {
+                        let base = &shared.universe.class(info.base).name;
+                        if shared.policy.shard_spec(base).is_some() {
+                            continue;
+                        }
+                    }
+                }
                 _ => continue,
             }
             // migrate() purges the stale counts cluster-wide, so no
             // owner-local cleanup is needed here.
             if let Ok(event) = self.migrate(owner, handle, target) {
                 events.push(event);
+            }
+        }
+        events
+    }
+
+    // ------------------------------------------------------------------
+    // Policy-driven shard placement (E15)
+    // ------------------------------------------------------------------
+
+    /// Route a freshly constructed instance of a `shard by` class onto its
+    /// shard's node: read the key getter, hash the key, look up (or lazily
+    /// seed, as `shard % node_count`) the shard's owner in the shard map,
+    /// and migrate the instance there when it was created elsewhere. The
+    /// creator's reference keeps working either way — a local instance is
+    /// rewritten in place into a proxy by [`Cluster::migrate`], and an
+    /// existing proxy is re-pointed at the shard home directly.
+    fn place_sharded(&self, node: NodeId, class: &str, that: &Value) -> Result<(), RuntimeError> {
+        let shared = &self.shared;
+        let Some(spec) = shared.policy.shard_spec(class) else {
+            return Ok(());
+        };
+        let Value::Ref(h) = *that else {
+            return Ok(());
+        };
+        let vm = &shared.vms[node.0 as usize];
+        let key = vm.call_virtual_by_name(that.clone(), &spec.key_getter, vec![])?;
+        let shard = (shard_hash(&key) % u64::from(spec.modulo)) as u32;
+        let owner = *shared
+            .shards
+            .borrow_mut()
+            .owners
+            .entry((class.to_string(), shard))
+            .or_insert(shard % shared.vms.len() as u32);
+        let Some(info) = vm
+            .class_of(h)
+            .and_then(|c| shared.gen_info.get(&c))
+            .cloned()
+        else {
+            return Ok(());
+        };
+        let member = if info.proto.is_some() {
+            let (tn, toid) =
+                read_proxy_state(vm, h).ok_or_else(|| RuntimeError::Bad("stale proxy".into()))?;
+            if tn == owner {
+                (tn, toid)
+            } else {
+                let src = lookup_export(shared, NodeId(tn), toid)
+                    .ok_or_else(|| RuntimeError::Bad(format!("unknown object {tn}#{toid}")))?;
+                let event = self.migrate(NodeId(tn), src, NodeId(owner))?;
+                // Re-point the creator's proxy at the shard home directly,
+                // skipping the forwarding hop left at the old location.
+                vm.replace_object(
+                    h,
+                    vm.class_of(h).expect("live proxy"),
+                    vec![
+                        Value::Int(event.target.node.0 as i32),
+                        Value::Long(event.target.oid as i64),
+                    ],
+                );
+                cache_import(shared, node, event.target.node.0, event.target.oid, h);
+                (event.target.node.0, event.target.oid)
+            }
+        } else if node.0 == owner {
+            // Created straight onto its shard's node: export it so the
+            // membership list can reference (and later move) it.
+            (node.0, export(shared, node, h))
+        } else {
+            let event = self.migrate(node, h, NodeId(owner))?;
+            (event.target.node.0, event.target.oid)
+        };
+        record_shard_member(shared, class, shard, member);
+        bump(shared, node.0, Met::ShardPlacements);
+        Ok(())
+    }
+
+    /// One adaptation tick for policy-driven sharding. In order:
+    ///
+    /// 1. adopt exported sharded instances the creation hook never saw
+    ///    (objects that became visible through marshaling),
+    /// 2. prune members that moved away or whose node crashed,
+    /// 3. detect hot-key skew from the same `call_counts` the affinity
+    ///    loop reads and greedily reassign hot shards from the most- to the
+    ///    least-loaded node while that strictly narrows the spread,
+    /// 4. enforce the map: migrate every member not at its shard's owner.
+    ///
+    /// Deterministic by construction: shard maps are `BTreeMap`s iterated
+    /// in key order, load ties break toward the lowest node id (and the
+    /// lowest shard key), and every move ships state through the same
+    /// Install path migration uses — a synchronization point that drains
+    /// the E12 outcall queues first.
+    pub fn rebalance_shards(&self, config: &AffinityConfig) -> Vec<MigrationEvent> {
+        let shared = &self.shared;
+        if !shared.any_sharding {
+            return Vec::new();
+        }
+        let _ = flush_outqueues(shared);
+        self.adopt_sharded_exports();
+        prune_shard_members(shared);
+        // Per-shard load: calls served for its members at their current
+        // homes. Absent counters mean a quiet shard, not an error.
+        let mut loads: BTreeMap<(String, u32), u64> = BTreeMap::new();
+        {
+            let nodes = shared.nodes.borrow();
+            let shards = shared.shards.borrow();
+            for (key, members) in &shards.members {
+                let mut load = 0u64;
+                for &(n, oid) in members {
+                    if let Some(counts) = nodes[n as usize].call_counts.get(&oid) {
+                        load += counts.values().sum::<u64>();
+                    }
+                }
+                loads.insert(key.clone(), load);
+            }
+        }
+        if loads.values().sum::<u64>() >= config.min_calls {
+            let mut node_load = vec![0u64; shared.vms.len()];
+            {
+                let shards = shared.shards.borrow();
+                for (key, &owner) in &shards.owners {
+                    node_load[owner as usize] += loads.get(key).copied().unwrap_or(0);
+                }
+            }
+            // Greedy reassignment with synthetic load deltas (the physical
+            // moves below purge the underlying counters).
+            for _ in 0..loads.len() {
+                let (max_n, max_l) = node_load
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(n, &l)| (l, usize::MAX - n))
+                    .map(|(n, &l)| (n as u32, l))
+                    .expect("at least one node");
+                let (min_n, min_l) = node_load
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(n, &l)| (l, n))
+                    .map(|(n, &l)| (n as u32, l))
+                    .expect("at least one node");
+                let gap = max_l - min_l;
+                if max_n == min_n || gap < 2 {
+                    break;
+                }
+                // Hottest shard on the overloaded node that fits in half
+                // the gap (so neither endpoint overshoots); ties go to the
+                // lowest (class, shard) key because the map is sorted.
+                let mut best: Option<((String, u32), u64)> = None;
+                {
+                    let shards = shared.shards.borrow();
+                    for (key, &owner) in &shards.owners {
+                        if owner != max_n {
+                            continue;
+                        }
+                        let l = loads.get(key).copied().unwrap_or(0);
+                        if l == 0 || l > gap / 2 {
+                            continue;
+                        }
+                        if best.as_ref().is_none_or(|(_, bl)| l > *bl) {
+                            best = Some((key.clone(), l));
+                        }
+                    }
+                }
+                let Some((key, l)) = best else { break };
+                shared.shards.borrow_mut().owners.insert(key, min_n);
+                node_load[max_n as usize] -= l;
+                node_load[min_n as usize] += l;
+                bump(shared, max_n, Met::ShardRebalances);
+            }
+        }
+        self.enforce_shard_map()
+    }
+
+    /// Record exported instances of sharded classes that creation-time
+    /// placement never saw, reading their shard key at their current home.
+    /// Purely bookkeeping — physical moves happen in the enforcement pass.
+    fn adopt_sharded_exports(&self) {
+        let shared = &self.shared;
+        let known: std::collections::HashSet<(u32, u64)> = shared
+            .shards
+            .borrow()
+            .members
+            .values()
+            .flatten()
+            .copied()
+            .collect();
+        let mut found: Vec<(String, u32, (u32, u64))> = Vec::new();
+        let nodes = shared.nodes.borrow();
+        for (n, state) in nodes.iter().enumerate() {
+            let n = n as u32;
+            if shared.net.fault_plan(|f| f.is_crashed(NodeId(n))) {
+                continue;
+            }
+            let mut oids: Vec<u64> = state.exports.keys().copied().collect();
+            oids.sort_unstable();
+            for oid in oids {
+                if known.contains(&(n, oid)) {
+                    continue;
+                }
+                let h = state.exports[&oid];
+                let vm = &shared.vms[n as usize];
+                let Some(info) = vm.class_of(h).and_then(|c| shared.gen_info.get(&c)) else {
+                    continue;
+                };
+                if info.proto.is_some() || info.side != Side::Obj {
+                    continue;
+                }
+                let base = shared.universe.class(info.base).name.clone();
+                let Some(spec) = shared.policy.shard_spec(&base) else {
+                    continue;
+                };
+                let Ok(key) = vm.call_virtual_by_name(Value::Ref(h), &spec.key_getter, vec![])
+                else {
+                    continue;
+                };
+                let shard = (shard_hash(&key) % u64::from(spec.modulo)) as u32;
+                found.push((base, shard, (n, oid)));
+            }
+        }
+        drop(nodes);
+        for (class, shard, member) in found {
+            shared
+                .shards
+                .borrow_mut()
+                .owners
+                .entry((class.clone(), shard))
+                .or_insert(shard % shared.vms.len() as u32);
+            record_shard_member(shared, &class, shard, member);
+        }
+    }
+
+    /// Enforcement pass: migrate every shard member that is not at its
+    /// shard's owner. A member that cannot move right now (its node or the
+    /// owner is down) is left in place for the next tick.
+    fn enforce_shard_map(&self) -> Vec<MigrationEvent> {
+        let shared = &self.shared;
+        let plan: Vec<((String, u32), u32)> = shared
+            .shards
+            .borrow()
+            .owners
+            .iter()
+            .map(|(k, &o)| (k.clone(), o))
+            .collect();
+        let mut events = Vec::new();
+        for (key, owner) in plan {
+            if shared.net.fault_plan(|f| f.is_crashed(NodeId(owner))) {
+                continue;
+            }
+            let members = shared
+                .shards
+                .borrow()
+                .members
+                .get(&key)
+                .cloned()
+                .unwrap_or_default();
+            for (i, &(n, oid)) in members.iter().enumerate() {
+                if n == owner || shared.net.fault_plan(|f| f.is_crashed(NodeId(n))) {
+                    continue;
+                }
+                let Some(h) = lookup_export(shared, NodeId(n), oid) else {
+                    continue;
+                };
+                if let Ok(event) = self.migrate(NodeId(n), h, NodeId(owner)) {
+                    let moved = (event.target.node.0, event.target.oid);
+                    if let Some(ms) = shared.shards.borrow_mut().members.get_mut(&key) {
+                        ms[i] = moved;
+                    }
+                    events.push(event);
+                }
             }
         }
         events
@@ -1659,6 +2019,41 @@ pub(crate) fn purge_call_counts(shared: &Shared, locations: &[(u32, u64)]) {
     }
 }
 
+/// Add `member` to the shard membership list of `(class, shard)`, once.
+fn record_shard_member(shared: &Shared, class: &str, shard: u32, member: (u32, u64)) {
+    let mut shards = shared.shards.borrow_mut();
+    let members = shards
+        .members
+        .entry((class.to_string(), shard))
+        .or_default();
+    if !members.contains(&member) {
+        members.push(member);
+    }
+}
+
+/// Drop shard members that no longer resolve to a live, locally
+/// implemented object: crashed nodes, restarted registries, and exports
+/// rewritten into forwarding proxies (the instance will be re-adopted at
+/// its new home on the next tick).
+fn prune_shard_members(shared: &Shared) {
+    let mut shards = shared.shards.borrow_mut();
+    for members in shards.members.values_mut() {
+        members.retain(|&(n, oid)| {
+            if shared.net.fault_plan(|f| f.is_crashed(NodeId(n))) {
+                return false;
+            }
+            let Some(h) = lookup_export(shared, NodeId(n), oid) else {
+                return false;
+            };
+            shared.vms[n as usize]
+                .class_of(h)
+                .and_then(|c| shared.gen_info.get(&c))
+                .is_some_and(|info| info.proto.is_none())
+        });
+    }
+    shards.members.retain(|_, ms| !ms.is_empty());
+}
+
 pub(crate) fn read_proxy_state(vm: &Vm, h: Handle) -> Option<(u32, u64)> {
     let (_, fields) = vm.read_object(h)?;
     match (fields.first(), fields.get(1)) {
@@ -1881,6 +2276,51 @@ pub(crate) fn discover_value(
     let base_name = shared.universe.class(base).name.clone();
     let family = shared.plan.family(base).expect("substitutable").clone();
     let owner = shared.policy.statics_node(&base_name);
+    // Stale-promotion guard (bugfix): if this class's singleton was
+    // promoted after a crash, every resolution must follow the promoted
+    // copy — even (and especially) on the restarted pre-crash owner, whose
+    // wiped registry would otherwise mint a fresh singleton with default
+    // state, silently diverging from the copy the survivors still use.
+    let canonical = shared.statics_exports.borrow().get(&base_name).copied();
+    if let Some(start) = canonical {
+        let (tn, toid) = follow_homes(shared, start);
+        if (tn, toid) != start {
+            if let Some(h) = lookup_export(shared, NodeId(tn), toid) {
+                if tn == node.0 {
+                    // The promoted copy lives on this very node: adopt it
+                    // as the local singleton.
+                    shared.nodes.borrow_mut()[node.0 as usize]
+                        .singletons
+                        .insert(base, SingletonState::Ready(h));
+                    return Ok(Value::Ref(h));
+                }
+                let class_name = shared.vms[tn as usize]
+                    .class_of(h)
+                    .map(|c| shared.universe.class(c).name.clone());
+                if let Some(class) = class_name {
+                    let value = marshal::wire_to_value(
+                        shared,
+                        node,
+                        &WireValue::Remote {
+                            node: tn,
+                            object: toid,
+                            class,
+                        },
+                    )
+                    .map_err(VmError::Native)?;
+                    if let Value::Ref(h) = value {
+                        shared.nodes.borrow_mut()[node.0 as usize]
+                            .singletons
+                            .insert(base, SingletonState::Ready(h));
+                    }
+                    return Ok(value);
+                }
+            }
+            // The promoted copy vanished too (its node also restarted):
+            // fall through to policy resolution; the first proxy call will
+            // re-promote from the copy's own backups.
+        }
+    }
     if owner == node {
         let cls_local = family.cls_local.expect("has statics");
         let h = default_instance(shared, node, cls_local);
@@ -1979,6 +2419,23 @@ fn proxy_call(
             Side::Obj => f.getters.contains(&sig),
             Side::Cls => f.static_getters.contains(&sig),
         });
+    // Replica-read fast path (E15): getters of `reads from replicas`
+    // classes are served from this node's own replica copy when — and only
+    // when — the copy carries the owner's *current* property version. The
+    // tag check makes staleness impossible by construction (same argument
+    // as the property cache): any acknowledged mutation bumped the owner's
+    // version before its reply left, so a lagging copy simply fails the
+    // check and the read falls through to a normal owner exchange.
+    if is_getter
+        && shared.any_replication
+        && shared.policy.reads_from_replicas(&base_name)
+        && shared.policy.replicas(&base_name) > 0
+    {
+        if let Some(v) = replica_read(shared, node, &base_name, &proto, &method, sig, target, oid)?
+        {
+            return Ok(v);
+        }
+    }
     let cache_on = is_getter && shared.policy.cacheable(&base_name);
     let cache_key = (target, oid, sig);
     if cache_on {
@@ -2155,6 +2612,92 @@ fn proxy_call(
     }
 }
 
+/// Serve a getter from `node`'s own replica copy of `(owner, oid)`, iff
+/// the copy's version equals the owner's current property version (and the
+/// export has not been tombstoned by a move). `Ok(None)` means the node
+/// holds no copy or the copy lags — the caller falls through to a normal
+/// owner exchange, whose served reply restores the replica's currency.
+///
+/// In the simulated topology every inter-node link costs the same, so the
+/// nearest *profitable* replica is always the caller's own store: remote
+/// replicas would cost exactly what the owner does.
+#[allow(clippy::too_many_arguments)]
+fn replica_read(
+    shared: &Shared,
+    node: NodeId,
+    base_name: &str,
+    proto: &str,
+    method: &str,
+    sig: SigId,
+    owner: u32,
+    oid: u64,
+) -> Result<Option<Value>, VmError> {
+    if owner == node.0 {
+        return Ok(None);
+    }
+    let current = version_of(shared, owner, oid);
+    if current == VERSION_TOMBSTONE {
+        return Ok(None);
+    }
+    let copy = shared.nodes.borrow()[node.0 as usize]
+        .replica_store
+        .get(&(owner, oid))
+        .cloned();
+    let Some((version, class_name, fields)) = copy else {
+        return Ok(None);
+    };
+    if version != current {
+        return Ok(None);
+    }
+    let Some(local_class) = shared.universe.by_name(&class_name) else {
+        return Ok(None);
+    };
+    // Materialise a throwaway local instance from the replica's wire-form
+    // state and run the real getter bytecode against it — no field-layout
+    // knowledge needed here, and the temporary is unrooted garbage after
+    // the call returns.
+    let vm = &shared.vms[node.0 as usize];
+    let mut values = Vec::with_capacity(fields.len());
+    for f in &fields {
+        values.push(marshal::wire_to_value(shared, node, f).map_err(VmError::Native)?);
+    }
+    let h = vm.alloc_raw(local_class, values);
+    let result = vm.call_virtual(Value::Ref(h), sig, vec![])?;
+    bump(shared, node.0, Met::ReplicaReads);
+    // A zero-duration span keeps the read visible in traces; the CacheHit
+    // monitor event puts it under the E14 stale-read oracle like every
+    // other locally served read.
+    let now = shared.net.now().as_ns();
+    let ctx = {
+        let mut spans = shared.spans.borrow_mut();
+        let sh = spans.start_span("rpc.call", node.0, now);
+        spans.set_attr(sh, "class", base_name);
+        spans.set_attr(sh, "method", method.to_owned());
+        spans.set_attr(sh, "protocol", proto);
+        spans.set_attr(sh, "from", node.0);
+        spans.set_attr(sh, "to", owner);
+        spans.set_attr(sh, "replica_read", true);
+        spans.end_span(sh, now, SpanOutcome::Ok);
+        spans.context_of(sh)
+    };
+    if monitors_on(shared) {
+        let forwards = lookup_export(shared, NodeId(owner), oid)
+            .and_then(|h| shared.vms[owner as usize].class_of(h))
+            .and_then(|c| shared.gen_info.get(&c))
+            .is_some_and(|i| i.proto.is_some());
+        let promoted = shared.homes.borrow().contains_key(&(owner, oid));
+        shared.obs.borrow_mut().emit(&MonitorEvent::CacheHit {
+            node: node.0,
+            owner,
+            oid,
+            stale_location: forwards || promoted,
+            span_id: ctx.span_id,
+            trace_id: ctx.trace_id,
+        });
+    }
+    Ok(Some(result))
+}
+
 /// Client-side re-homing after the owner of `(target, oid)` turned out to
 /// be crashed, or restarted with amnesia. Follows the chain of recorded
 /// promotions first; only if it dead-ends on a dead (or amnesiac) location
@@ -2237,16 +2780,15 @@ fn locate_home(
     oid: u64,
 ) -> Option<(u32, u64)> {
     let crashed = |n: u32| shared.net.fault_plan(|f| f.is_crashed(NodeId(n)));
-    // Follow the promotion chain (bounded: every hop was a distinct
-    // promotion, each to a different location).
-    let (mut tn, mut toid) = (target, oid);
-    for _ in 0..=shared.vms.len() {
-        match shared.homes.borrow().get(&(tn, toid)) {
-            Some(&(n, o)) => (tn, toid) = (n, o),
-            None => break,
-        }
-    }
-    if (tn, toid) != (target, oid) && !crashed(tn) {
+    let (tn, toid) = follow_homes(shared, (target, oid));
+    // Only route to the chain's end while the promoted copy is actually
+    // there: a terminal node that crash-restarted has a wiped registry, and
+    // sending callers to it would loop through "unknown object" faults
+    // instead of promoting one of the copy's own backups below.
+    if (tn, toid) != (target, oid)
+        && !crashed(tn)
+        && lookup_export(shared, NodeId(tn), toid).is_some()
+    {
         return Some((tn, toid));
     }
     let k = shared.policy.replicas(base_name);
@@ -2278,6 +2820,20 @@ fn locate_home(
         }
     }
     None
+}
+
+/// Follow the chain of recorded promotions from `start` to its terminal
+/// location. Bounded: every hop was a distinct promotion, each to a
+/// different location.
+pub(crate) fn follow_homes(shared: &Shared, start: (u32, u64)) -> (u32, u64) {
+    let (mut tn, mut toid) = start;
+    for _ in 0..=shared.vms.len() {
+        match shared.homes.borrow().get(&(tn, toid)) {
+            Some(&(n, o)) => (tn, toid) = (n, o),
+            None => break,
+        }
+    }
+    (tn, toid)
 }
 
 // ----------------------------------------------------------------------
@@ -2941,7 +3497,15 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             let Some(h) = lookup_export(shared, node, object) else {
                 return Reply::Fault(format!("unknown object {object} on {node}"));
             };
-            {
+            // Affinity is only meaningful where the object actually lives.
+            // A forwarding proxy left behind by a migration serves nothing
+            // itself; counting its forwarded traffic would hand the
+            // adaptation loops a moved-away location to act on.
+            let locally_implemented = vm
+                .class_of(h)
+                .and_then(|c| shared.gen_info.get(&c))
+                .is_some_and(|info| info.proto.is_none());
+            if locally_implemented {
                 let mut nodes = shared.nodes.borrow_mut();
                 *nodes[node.0 as usize]
                     .call_counts
@@ -3022,9 +3586,41 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             };
             match discover_value(shared, node, base) {
                 Ok(Value::Ref(h)) => {
-                    let oid = export(shared, node, h);
-                    sync_replicas(shared, node, oid);
                     let rt_class = vm.class_of(h).expect("live singleton");
+                    // The stale-promotion guard may have resolved to a
+                    // *proxy* for a copy promoted onto another node. Reply
+                    // with the copy's real location instead of exporting
+                    // the proxy, which would add a pointless double hop
+                    // (and re-anchor the singleton to this node).
+                    let is_proxy = shared
+                        .gen_info
+                        .get(&rt_class)
+                        .is_some_and(|i| i.proto.is_some());
+                    if is_proxy {
+                        if let Some((tn, toid)) = read_proxy_state(vm, h) {
+                            let class = lookup_export(shared, NodeId(tn), toid)
+                                .and_then(|th| shared.vms[tn as usize].class_of(th))
+                                .map(|c| shared.universe.class(c).name.clone());
+                            if let Some(class) = class {
+                                return Reply::Value(WireValue::Remote {
+                                    node: tn,
+                                    object: toid,
+                                    class,
+                                });
+                            }
+                        }
+                        return Reply::Fault(format!("promoted singleton of {class} vanished"));
+                    }
+                    let oid = export(shared, node, h);
+                    // Record the canonical export the first time the
+                    // singleton becomes remotely visible; singleton
+                    // resolution follows the promotion chain from here.
+                    shared
+                        .statics_exports
+                        .borrow_mut()
+                        .entry(class.clone())
+                        .or_insert((node.0, oid));
+                    sync_replicas(shared, node, oid);
                     Reply::Value(WireValue::Remote {
                         node: node.0,
                         object: oid,
@@ -3386,6 +3982,25 @@ pub(crate) fn maybe_sample(shared: &Shared) {
         }
         lag as f64
     };
+    // Shard balance: max / mean recorded members per node over the shard
+    // map. 1.0 means perfectly even, growing with skew; 0 when no class is
+    // sharded (or nothing has been placed yet).
+    let balance = {
+        let shards = shared.shards.borrow();
+        let mut per_node = vec![0u64; shared.vms.len()];
+        for members in shards.members.values() {
+            for &(n, _) in members {
+                per_node[n as usize] += 1;
+            }
+        }
+        let total: u64 = per_node.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            let mean = total as f64 / per_node.len() as f64;
+            per_node.iter().max().copied().unwrap_or(0) as f64 / mean
+        }
+    };
     let mut obs = shared.obs.borrow_mut();
     let hits = obs.sum(Met::CacheHits);
     let misses = obs.sum(Met::CacheMisses);
@@ -3395,16 +4010,18 @@ pub(crate) fn maybe_sample(shared: &Shared) {
         hits as f64 / (hits + misses) as f64
     };
     obs.recorder.advance(stamp);
-    let (q, i, c, r) = (
+    let (q, i, c, r, s) = (
         obs.ts_queue_depth,
         obs.ts_inflight_ops,
         obs.ts_cache_hit_rate,
         obs.ts_replica_lag,
+        obs.ts_shard_balance,
     );
     obs.recorder.record(q, stamp, depth);
     obs.recorder.record(i, stamp, inflight);
     obs.recorder.record(c, stamp, hit_rate);
     obs.recorder.record(r, stamp, lag);
+    obs.recorder.record(s, stamp, balance);
 }
 
 /// Compare every backup's stored replica against its primary's live state
@@ -3478,14 +4095,20 @@ pub(crate) fn policy_table(shared: &Shared) -> String {
     let mut out = String::new();
     for name in names {
         let p = &shared.policy;
+        let shard = p
+            .shard_spec(name)
+            .map(|s| format!("{} mod {}", s.key_getter, s.modulo))
+            .unwrap_or_else(|| "-".into());
         let _ = writeln!(
             out,
-            "{name}: protocol={} statics=node{} cacheable={} replicas={} batched={}",
+            "{name}: protocol={} statics=node{} cacheable={} replicas={} batched={} shard={} replica_reads={}",
             p.protocol(name),
             p.statics_node(name).0,
             p.cacheable(name),
             p.replicas(name),
-            p.batched(name)
+            p.batched(name),
+            shard,
+            p.reads_from_replicas(name)
         );
     }
     out
@@ -3857,5 +4480,385 @@ mod tests {
         assert_eq!(violations[0].monitor, "at-most-once");
         assert!(violations[0].message.contains("msg 900"));
         assert_ne!(violations[0].span_id, 0);
+    }
+
+    /// A cluster running `class K { int k; int v; K(int k); int bump(int
+    /// d) }` under `shard K by get_k modulo ...` with no explicit
+    /// placement (instances are created locally, then routed).
+    fn deployed_sharded(nodes: u32, modulo: u32, seed: u64, k: u32) -> Cluster {
+        let mut u = ClassUniverse::new();
+        let c = u.declare("K", ClassKind::Class);
+        {
+            let mut cb = ClassBuilder::new(&u, c);
+            let kf = cb.field(Field::new("k", Ty::Int));
+            let vf = cb.field(Field::new("v", Ty::Int));
+            let mut mb = MethodBuilder::new(2);
+            mb.load_this().load_local(1).put_field(c, kf).ret();
+            cb.ctor(&mut u, vec![Ty::Int], Some(mb.finish()));
+            let mut mb = MethodBuilder::new(2);
+            mb.load_this();
+            mb.load_this().get_field(c, vf);
+            mb.load_local(1).add();
+            mb.put_field(c, vf);
+            mb.load_this().get_field(c, vf).ret_value();
+            cb.method(&mut u, "bump", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+            cb.finish(&mut u);
+        }
+        let outcome = Transformer::new().protocols(&["RMI"]).run(&mut u).unwrap();
+        let policy = StaticPolicy::new()
+            .shard("K", "get_k", modulo)
+            .replicate("K", k);
+        Cluster::new(u, outcome.plan, nodes, seed, Box::new(policy))
+    }
+
+    /// The smallest non-negative int key whose shard (mod `modulo`) is
+    /// `want` — lets tests pick keys by target shard without baking hash
+    /// values in.
+    fn key_for_shard(want: u32, modulo: u32) -> i32 {
+        (0..)
+            .find(|&k| (shard_hash(&Value::Int(k)) % u64::from(modulo)) as u32 == want)
+            .expect("some key hits every shard")
+    }
+
+    /// Creation-time shard placement: every instance of a `shard by` class
+    /// lands on the node its key hashes to — regardless of where it was
+    /// created — and instances sharing a shard are collocated.
+    #[test]
+    fn sharded_creates_land_on_their_keys_shard_node() {
+        let cluster = deployed_sharded(2, 4, 31, 0);
+        let mut homes: Vec<(u32, NodeId)> = Vec::new();
+        for key in 0..8 {
+            let creator = NodeId((key as u32) % 2);
+            let obj = cluster
+                .new_instance(creator, "K", 0, vec![Value::Int(key)])
+                .unwrap();
+            cluster.pin(creator, &obj);
+            let shard = (shard_hash(&Value::Int(key)) % 4) as u32;
+            let want = NodeId(shard % 2);
+            assert_eq!(cluster.location_of(creator, &obj), Some(want), "key {key}");
+            // The creator's reference works wherever the instance went.
+            assert_eq!(
+                cluster
+                    .call_method(creator, obj.clone(), "bump", vec![Value::Int(1)])
+                    .unwrap(),
+                Value::Int(1)
+            );
+            homes.push((shard, want));
+        }
+        for (s1, n1) in &homes {
+            for (s2, n2) in &homes {
+                if s1 == s2 {
+                    assert_eq!(n1, n2, "same shard must mean same node");
+                }
+            }
+        }
+        assert_eq!(cluster.stats().shard_placements, 8);
+    }
+
+    /// The rebalancing tick: hot-key skew read from the affinity
+    /// `call_counts` moves the hottest shard that fits half the gap off
+    /// the overloaded node, ships its members' state through the
+    /// migration path, and purges the counters that drove the move.
+    #[test]
+    fn rebalance_moves_a_warm_shard_off_the_hot_node() {
+        let cluster = deployed_sharded(2, 4, 32, 0);
+        let shared = cluster.shared();
+        // Shards 0 and 2 both seed onto node 0 (owner = shard % nodes).
+        let hot_key = key_for_shard(0, 4);
+        let warm_key = key_for_shard(2, 4);
+        let hot = cluster
+            .new_instance(NodeId(1), "K", 0, vec![Value::Int(hot_key)])
+            .unwrap();
+        let warm = cluster
+            .new_instance(NodeId(1), "K", 0, vec![Value::Int(warm_key)])
+            .unwrap();
+        cluster.pin(NodeId(1), &hot);
+        cluster.pin(NodeId(1), &warm);
+        assert_eq!(cluster.location_of(NodeId(1), &hot), Some(NodeId(0)));
+        assert_eq!(cluster.location_of(NodeId(1), &warm), Some(NodeId(0)));
+        let warm_old_oid = read_proxy_state(&shared.vms[1], warm.as_ref_handle().unwrap())
+            .expect("warm lives remotely")
+            .1;
+        for _ in 0..20 {
+            cluster
+                .call_method(NodeId(1), hot.clone(), "bump", vec![Value::Int(1)])
+                .unwrap();
+        }
+        for _ in 0..4 {
+            cluster
+                .call_method(NodeId(1), warm.clone(), "bump", vec![Value::Int(1)])
+                .unwrap();
+        }
+
+        let events = cluster.rebalance_shards(&AffinityConfig::default());
+        // 24 calls landed on node 0, none on node 1: the warm shard (4
+        // calls) fits in half the gap and moves; the hot one (20) would
+        // overshoot and stays put.
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!((events[0].from, events[0].to), (NodeId(0), NodeId(1)));
+        assert_eq!(events[0].class, "K");
+        let stats = cluster.stats();
+        assert_eq!(stats.shard_rebalances, 1, "{stats}");
+        // State moved with the shard and both references still resolve.
+        assert_eq!(
+            cluster
+                .call_method(NodeId(1), warm.clone(), "bump", vec![Value::Int(0)])
+                .unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(
+            cluster
+                .call_method(NodeId(1), hot.clone(), "bump", vec![Value::Int(0)])
+                .unwrap(),
+            Value::Int(20)
+        );
+        // The affinity counters for the moved-away export are purged with
+        // the move — a stale entry would keep feeding dead locations into
+        // the next tick.
+        assert!(
+            !shared.nodes.borrow()[0]
+                .call_counts
+                .contains_key(&warm_old_oid),
+            "stale counter for the moved object"
+        );
+        // With the skew resolved, the next tick converges to a no-op.
+        assert!(cluster
+            .rebalance_shards(&AffinityConfig::default())
+            .is_empty());
+    }
+
+    /// `reads from replicas`: a getter issued by a caller that holds a
+    /// backup of the object is served from that backup only while the
+    /// backup's version matches the owner's — fresh hits skip the
+    /// exchange entirely, a lagging backup falls through to the owner,
+    /// and the stale-read monitor stays silent throughout.
+    #[test]
+    fn replica_reads_serve_getters_from_the_local_backup() {
+        let policy = StaticPolicy::new()
+            .place("C", Placement::Node(NodeId(1)))
+            .replicate("C", 1)
+            .replica_reads("C", true);
+        let (cluster, _) = deployed(policy);
+        cluster.enable_monitors();
+        let obj = cluster.new_instance(NodeId(0), "C", 0, vec![]).unwrap();
+        let shared = cluster.shared();
+        let (owner, oid) = read_proxy_state(&shared.vms[0], obj.as_ref_handle().unwrap()).unwrap();
+        assert_eq!(owner, 1, "policy must place the object remotely");
+        // A mutation is served at the owner and ships the backup to node 0.
+        assert_eq!(
+            cluster
+                .call_method(NodeId(0), obj.clone(), "add", vec![Value::Int(5)])
+                .unwrap(),
+            Value::Int(5)
+        );
+        assert!(cluster.stats().replica_syncs >= 1);
+
+        let before = cluster.stats().rpc_calls;
+        assert_eq!(
+            cluster
+                .call_method(NodeId(0), obj.clone(), "get_v", vec![])
+                .unwrap(),
+            Value::Int(5)
+        );
+        let stats = cluster.stats();
+        assert_eq!(stats.rpc_calls, before, "a fresh backup serves locally");
+        assert_eq!(stats.replica_reads, 1, "{stats}");
+
+        // Age the stored version: the same getter must now fall through
+        // to the owner instead of serving what just became a stale copy.
+        shared.nodes.borrow_mut()[0]
+            .replica_store
+            .get_mut(&(owner, oid))
+            .expect("backup entry")
+            .0 -= 1;
+        assert_eq!(
+            cluster
+                .call_method(NodeId(0), obj.clone(), "get_v", vec![])
+                .unwrap(),
+            Value::Int(5)
+        );
+        let stats = cluster.stats();
+        assert_eq!(stats.rpc_calls, before + 1, "lagging backup: {stats}");
+        assert_eq!(stats.replica_reads, 1, "{stats}");
+
+        // Writes keep flowing through the owner; the re-shipped backup
+        // serves the next read with the new value.
+        assert_eq!(
+            cluster
+                .call_method(NodeId(0), obj.clone(), "add", vec![Value::Int(2)])
+                .unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            cluster
+                .call_method(NodeId(0), obj, "get_v", vec![])
+                .unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(cluster.monitor_violations(), vec![]);
+    }
+
+    // --- adaptation/crash chaos (proptest) ---
+
+    use proptest::prelude::*;
+
+    const CHAOS_POOL: usize = 6;
+
+    #[derive(Debug, Clone)]
+    enum ChaosOp {
+        /// Call instance `idx` with `delta` from the coordinator.
+        Call { idx: usize, delta: i8 },
+        /// One sharding adaptation tick.
+        Rebalance,
+        /// One affinity adaptation tick.
+        Adapt,
+        /// Crash `node` (0-2), first restarting whichever node is down.
+        Crash { node: u8 },
+        /// Restart the currently-down node, if any.
+        Heal,
+    }
+
+    fn arb_chaos_op() -> impl Strategy<Value = ChaosOp> {
+        prop_oneof![
+            6 => (0usize..CHAOS_POOL, -9i8..10)
+                .prop_map(|(idx, delta)| ChaosOp::Call { idx, delta }),
+            2 => Just(ChaosOp::Rebalance),
+            1 => Just(ChaosOp::Adapt),
+            2 => (0u8..3).prop_map(|node| ChaosOp::Crash { node }),
+            1 => Just(ChaosOp::Heal),
+        ]
+    }
+
+    /// The invariant [`purge_call_counts`] maintains: every affinity
+    /// counter on a live node references an export that is still locally
+    /// implemented there. A counter pointing at a forwarding proxy (the
+    /// object moved) or a wiped registry (the node died) would feed the
+    /// adaptation loops locations they must never act on.
+    fn assert_no_stale_affinity(cluster: &Cluster) -> Result<(), TestCaseError> {
+        let shared = cluster.shared();
+        let nodes = shared.nodes.borrow();
+        for (n, state) in nodes.iter().enumerate() {
+            if shared.net.fault_plan(|f| f.is_crashed(NodeId(n as u32))) {
+                continue;
+            }
+            let mut oids: Vec<u64> = state.call_counts.keys().copied().collect();
+            oids.sort_unstable();
+            for oid in oids {
+                let Some(&h) = state.exports.get(&oid) else {
+                    return Err(TestCaseError::fail(format!(
+                        "node {n}: affinity counter for vanished export {oid}"
+                    )));
+                };
+                let local = shared.vms[n]
+                    .class_of(h)
+                    .and_then(|c| shared.gen_info.get(&c))
+                    .is_some_and(|info| info.proto.is_none());
+                prop_assert!(
+                    local,
+                    "node {}: affinity counter references moved-away export {}",
+                    n,
+                    oid
+                );
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Random interleavings of calls, both adaptation loops and
+        /// crash/restart over a sharded, replicated pool: no call is ever
+        /// lost (the oracle stays exact), no affinity counter survives its
+        /// object's move or its node's death, and the four standing
+        /// monitors stay silent throughout.
+        #[test]
+        fn adaptation_chaos_leaves_no_stale_affinity(
+            ops in prop::collection::vec(arb_chaos_op(), 1..40),
+            seed in 0u64..200,
+        ) {
+            // The coordinator drives every call and never crashes; replica
+            // targets prefer low node ids, so it never holds a backup and
+            // every failover crosses the wire.
+            const COORD: NodeId = NodeId(3);
+            let cluster = deployed_sharded(4, 4, 500 + seed, 1);
+            cluster.enable_monitors();
+            let objs: Vec<Value> = (0..CHAOS_POOL)
+                .map(|i| {
+                    let obj = cluster
+                        .new_instance(COORD, "K", 0, vec![Value::Int(i as i32)])
+                        .unwrap();
+                    cluster.pin(COORD, &obj);
+                    obj
+                })
+                .collect();
+            // Restarted nodes rejoin the sync set at the next served
+            // mutation; touching every instance after a restart re-ships
+            // each backup before any further crash can lose the last copy
+            // (same discipline as the crash-stop chaos soak).
+            let touch_all = || {
+                for obj in &objs {
+                    cluster
+                        .call_method(COORD, obj.clone(), "bump", vec![Value::Int(0)])
+                        .unwrap();
+                }
+            };
+            let config = AffinityConfig {
+                min_calls: 4,
+                min_fraction: 0.5,
+            };
+            let mut oracle = [0i32; CHAOS_POOL];
+            let mut down: Option<NodeId> = None;
+            for op in &ops {
+                match *op {
+                    ChaosOp::Call { idx, delta } => {
+                        oracle[idx] += i32::from(delta);
+                        let r = cluster
+                            .call_method(
+                                COORD,
+                                objs[idx].clone(),
+                                "bump",
+                                vec![Value::Int(i32::from(delta))],
+                            )
+                            .unwrap();
+                        prop_assert_eq!(r, Value::Int(oracle[idx]), "{:?}", op);
+                    }
+                    ChaosOp::Rebalance => {
+                        cluster.rebalance_shards(&config);
+                    }
+                    ChaosOp::Adapt => {
+                        cluster.adapt(&config);
+                    }
+                    ChaosOp::Crash { node } => {
+                        if let Some(d) = down.take() {
+                            cluster.restart(d);
+                            touch_all();
+                        }
+                        cluster.crash(NodeId(u32::from(node)));
+                        down = Some(NodeId(u32::from(node)));
+                    }
+                    ChaosOp::Heal => {
+                        if let Some(d) = down.take() {
+                            cluster.restart(d);
+                            touch_all();
+                        }
+                    }
+                }
+                assert_no_stale_affinity(&cluster)?;
+            }
+            if let Some(d) = down.take() {
+                cluster.restart(d);
+            }
+            // Final sweep: every instance answers with the oracle value,
+            // the affinity map is clean, and the monitors saw nothing.
+            for (idx, obj) in objs.iter().enumerate() {
+                let r = cluster
+                    .call_method(COORD, obj.clone(), "bump", vec![Value::Int(0)])
+                    .unwrap();
+                prop_assert_eq!(r, Value::Int(oracle[idx]), "final instance {}", idx);
+            }
+            assert_no_stale_affinity(&cluster)?;
+            prop_assert_eq!(cluster.check_invariants(), vec![]);
+        }
     }
 }

@@ -87,6 +87,9 @@ runtime_metrics! {
     Failovers => failovers, "rafda_failovers_total";
     BatchedOps => batched_ops, "rafda_batched_ops_total";
     Flushes => flushes, "rafda_flushes_total";
+    ShardPlacements => shard_placements, "rafda_shard_placements_total";
+    ShardRebalances => shard_rebalances, "rafda_shard_rebalances_total";
+    ReplicaReads => replica_reads, "rafda_replica_reads_total";
 }
 
 /// The observability state hanging off [`Shared`](crate::cluster::Shared):
@@ -109,6 +112,9 @@ pub(crate) struct Obs {
     pub(crate) ts_cache_hit_rate: SeriesId,
     /// Series: replicated exports whose backups lag the owner's version.
     pub(crate) ts_replica_lag: SeriesId,
+    /// Series: shard balance, `max / mean` instances per node over the
+    /// shard map (1.0 = perfectly even, grows with skew; 0 when unsharded).
+    pub(crate) ts_shard_balance: SeriesId,
     /// Standing watchdogs; `None` until
     /// [`Cluster::enable_monitors`](crate::Cluster::enable_monitors).
     pub(crate) monitors: Option<Vec<Box<dyn Monitor>>>,
@@ -141,6 +147,7 @@ impl Obs {
         let ts_inflight_ops = recorder.register("inflight_batch_ops");
         let ts_cache_hit_rate = recorder.register("cache_hit_rate");
         let ts_replica_lag = recorder.register("replica_lag");
+        let ts_shard_balance = recorder.register("shard_balance");
         Obs {
             reg,
             counters,
@@ -150,6 +157,7 @@ impl Obs {
             ts_inflight_ops,
             ts_cache_hit_rate,
             ts_replica_lag,
+            ts_shard_balance,
             monitors: None,
         }
     }
@@ -219,7 +227,7 @@ mod tests {
         obs.record_attempts(1, 99); // overflow slot, like the saturating array
         let s1 = obs.snapshot(1);
         assert_eq!(s1.rpc_calls, 1);
-        assert_eq!(s1.flushes, Met::ALL.len() as u64);
+        assert_eq!(s1.replica_reads, Met::ALL.len() as u64);
         assert_eq!(s1.attempts, [1, 0, 1, 0, 0, 0, 0, 1]);
         assert_eq!(obs.snapshot(0), RuntimeStats::default());
         assert_eq!(obs.sum(Met::RpcCalls), 1);

@@ -38,7 +38,7 @@ pub use corba::CorbaCodec;
 pub use frame::{FrameHeader, RequestKind};
 pub use rafda_telemetry::TraceContext;
 pub use rmi::RmiCodec;
-pub use sig::{SigEnc, SigTable};
+pub use sig::{InternOutcome, SigEnc, SigTable};
 pub use soap::SoapCodec;
 
 use std::fmt;

@@ -32,6 +32,27 @@ pub enum SigEnc {
     Inline,
 }
 
+/// The result of a [`SigTable::intern`] attempt — typed, so a full table
+/// is an explicit, testable outcome instead of a silently skipped id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InternOutcome {
+    /// The string is interned (or already was) under this id.
+    Interned(u32),
+    /// The table sits at exactly [`SigTable::MAX_SIGS`]: no id was minted
+    /// and both ends carry this string inline forever.
+    TableFull,
+}
+
+impl InternOutcome {
+    /// The interned id, if one was (or already had been) assigned.
+    pub fn id(self) -> Option<u32> {
+        match self {
+            InternOutcome::Interned(id) => Some(id),
+            InternOutcome::TableFull => None,
+        }
+    }
+}
+
 /// A directed per-link signature dictionary (see module docs).
 #[derive(Debug, Clone, Default)]
 pub struct SigTable {
@@ -65,21 +86,22 @@ impl SigTable {
         self.ids.get(s).copied()
     }
 
-    /// Intern `s`, returning its id: the existing id if already present,
-    /// the next free id otherwise, or `None` when the table is full (both
-    /// ends then carry the string inline forever). Idempotent, so decoding
-    /// a retransmitted define frame cannot skew the numbering.
-    pub fn intern(&mut self, s: &str) -> Option<u32> {
+    /// Intern `s`: the existing id if already present, the next free id
+    /// otherwise, or [`InternOutcome::TableFull`] at exactly
+    /// [`SigTable::MAX_SIGS`] entries — allocation degrades to inline, it
+    /// never mints an id past the cap. Idempotent, so decoding a
+    /// retransmitted define frame cannot skew the numbering.
+    pub fn intern(&mut self, s: &str) -> InternOutcome {
         if let Some(id) = self.ids.get(s) {
-            return Some(*id);
+            return InternOutcome::Interned(*id);
         }
         if self.names.len() >= Self::MAX_SIGS {
-            return None;
+            return InternOutcome::TableFull;
         }
         let id = self.names.len() as u32;
         self.ids.insert(s.to_owned(), id);
         self.names.push(s.to_owned());
-        Some(id)
+        InternOutcome::Interned(id)
     }
 
     /// Resolve a wire reference back to its string.
@@ -102,7 +124,7 @@ impl SigTable {
                 SigEnc::Ref(id)
             }
             None => {
-                if self.intern(s).is_some() {
+                if let InternOutcome::Interned(_) = self.intern(s) {
                     self.defs += 1;
                 }
                 SigEnc::Inline
@@ -140,9 +162,13 @@ mod tests {
     #[test]
     fn intern_is_idempotent() {
         let mut t = SigTable::new();
-        assert_eq!(t.intern("a"), Some(0));
-        assert_eq!(t.intern("b"), Some(1));
-        assert_eq!(t.intern("a"), Some(0), "re-interning keeps the id");
+        assert_eq!(t.intern("a"), InternOutcome::Interned(0));
+        assert_eq!(t.intern("b"), InternOutcome::Interned(1));
+        assert_eq!(
+            t.intern("a"),
+            InternOutcome::Interned(0),
+            "re-interning keeps the id"
+        );
         assert_eq!(t.len(), 2);
     }
 
@@ -150,12 +176,35 @@ mod tests {
     fn full_table_degrades_to_inline() {
         let mut t = SigTable::new();
         for i in 0..SigTable::MAX_SIGS {
-            assert!(t.intern(&format!("sig{i}")).is_some());
+            assert!(t.intern(&format!("sig{i}")).id().is_some());
         }
-        assert_eq!(t.intern("overflow"), None);
+        assert_eq!(t.intern("overflow"), InternOutcome::TableFull);
         assert_eq!(t.encode_sig("overflow"), SigEnc::Inline);
         assert_eq!(t.encode_sig("overflow"), SigEnc::Inline, "never interned");
         // Existing entries still resolve by reference.
         assert_eq!(t.encode_sig("sig0"), SigEnc::Ref(0));
+    }
+
+    #[test]
+    fn intern_boundary_at_exact_cap() {
+        let cap = SigTable::MAX_SIGS;
+        let mut t = SigTable::new();
+        for i in 0..cap - 1 {
+            assert_eq!(
+                t.intern(&format!("sig{i}")),
+                InternOutcome::Interned(i as u32)
+            );
+        }
+        // cap−1 entries: the last free slot still mints an id.
+        assert_eq!(t.intern("last"), InternOutcome::Interned(cap as u32 - 1));
+        assert_eq!(t.len(), cap);
+        // cap: exactly full — allocation degrades, no id past the cap.
+        assert_eq!(t.intern("at-cap"), InternOutcome::TableFull);
+        assert_eq!(t.len(), cap);
+        // cap+1: still full; existing entries keep their ids, and no id
+        // beyond the cap ever resolves.
+        assert_eq!(t.intern("past-cap"), InternOutcome::TableFull);
+        assert_eq!(t.intern("last"), InternOutcome::Interned(cap as u32 - 1));
+        assert!(t.resolve(cap as u32).is_err());
     }
 }

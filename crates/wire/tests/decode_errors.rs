@@ -3,7 +3,7 @@
 //! silently-wrong value, and never an attacker-sized allocation.
 
 use rafda_wire::{
-    CorbaCodec, Protocol, Request, RmiCodec, SigTable, SoapCodec, TraceContext, WireValue,
+    CorbaCodec, Protocol, Reply, Request, RmiCodec, SigTable, SoapCodec, TraceContext, WireValue,
 };
 
 fn call_request() -> Request {
@@ -158,6 +158,135 @@ fn corrupt_request_frames_are_rejected_with_typed_errors() {
             "{}: error {err:?} does not mention {:?}",
             case.label,
             case.expect
+        );
+    }
+}
+
+/// Every untrusted `u32` length prefix in the RMI binary format, corrupted
+/// to claim ~4 billion elements. Each must decode to a typed error after a
+/// *clamped* preallocation — an unclamped `Vec::with_capacity` here would
+/// attempt a multi-gigabyte allocation and abort the process, which is the
+/// regression this table exists to catch. One row per decoder site:
+/// array items, object-state fields, call args, create args, batched ops,
+/// exception fields, and batched-reply ops.
+#[test]
+fn oversized_rmi_length_prefixes_are_clamped_at_every_site() {
+    let codec = RmiCodec::new();
+    let huge = u32::MAX.to_le_bytes();
+    let method = b"averylongmethodname@9";
+
+    // Request sites. Each entry: (label, frame, byte offset of the count).
+    let mut request_cases: Vec<(String, Vec<u8>, usize)> = Vec::new();
+
+    // Call arg count: follows the inline method string.
+    let frame = codec
+        .encode_request(9, TraceContext::NONE, &call_request())
+        .unwrap();
+    let at = find(&frame, method) + method.len();
+    request_cases.push(("rmi: call arg count".into(), frame, at));
+
+    // Create arg count: follows the class string and the u16 ctor index.
+    let frame = codec
+        .encode_request(
+            9,
+            TraceContext::NONE,
+            &Request::Create {
+                class: "WidgetClass".to_owned(),
+                ctor: 1,
+                args: vec![WireValue::Int(7)],
+            },
+        )
+        .unwrap();
+    let at = find(&frame, b"WidgetClass") + "WidgetClass".len() + 2;
+    request_cases.push(("rmi: create arg count".into(), frame, at));
+
+    // Array item count: first arg is an array — its count sits one tag
+    // byte after the (method string, arg count) prefix.
+    let frame = codec
+        .encode_request(
+            9,
+            TraceContext::NONE,
+            &Request::Call {
+                object: 5,
+                method: "averylongmethodname@9".to_owned(),
+                args: vec![WireValue::Array(vec![WireValue::Int(77)])],
+            },
+        )
+        .unwrap();
+    let at = find(&frame, method) + method.len() + 4 + 1;
+    request_cases.push(("rmi: array item count".into(), frame, at));
+
+    // Object-state field count: follows the state's class string.
+    let frame = codec
+        .encode_request(
+            9,
+            TraceContext::NONE,
+            &Request::Call {
+                object: 5,
+                method: "averylongmethodname@9".to_owned(),
+                args: vec![WireValue::ObjectState {
+                    class: "StateClass".to_owned(),
+                    fields: vec![WireValue::Int(5)],
+                }],
+            },
+        )
+        .unwrap();
+    let at = find(&frame, b"StateClass") + "StateClass".len();
+    request_cases.push(("rmi: object-state field count".into(), frame, at));
+
+    // Batch op count: sits before the first op — R_CALL tag (1) + object
+    // id (8) + the method string's own length prefix (4).
+    let frame = codec
+        .encode_request(9, TraceContext::NONE, &Request::Batch(vec![call_request()]))
+        .unwrap();
+    let at = find(&frame, method) - 4 - 8 - 1 - 4;
+    request_cases.push(("rmi: batch op count".into(), frame, at));
+
+    for (label, mut frame, at) in request_cases {
+        frame[at..at + 4].copy_from_slice(&huge);
+        assert!(
+            codec.decode_request(&frame).is_err(),
+            "{label}: decoded a frame claiming u32::MAX elements"
+        );
+    }
+
+    // Reply sites.
+    let mut reply_cases: Vec<(String, Vec<u8>, usize)> = Vec::new();
+
+    // Exception field count: follows the exception class string.
+    let frame = codec
+        .encode_reply(
+            9,
+            TraceContext::NONE,
+            0,
+            &Reply::Exception {
+                class: "BoomError".to_owned(),
+                fields: vec![WireValue::Int(1)],
+            },
+        )
+        .unwrap();
+    let at = find(&frame, b"BoomError") + "BoomError".len();
+    reply_cases.push(("rmi: exception field count".into(), frame, at));
+
+    // Batched-reply op count: sits before the first op's recognisable
+    // 8-byte version stamp.
+    let version = 0x0102_0304_0506_0708u64;
+    let frame = codec
+        .encode_reply(
+            9,
+            TraceContext::NONE,
+            0,
+            &Reply::Batch(vec![(version, Reply::Value(WireValue::Int(3)))]),
+        )
+        .unwrap();
+    let at = find(&frame, &version.to_le_bytes()) - 4;
+    reply_cases.push(("rmi: batched-reply op count".into(), frame, at));
+
+    for (label, mut frame, at) in reply_cases {
+        frame[at..at + 4].copy_from_slice(&huge);
+        assert!(
+            codec.decode_reply(&frame).is_err(),
+            "{label}: decoded a frame claiming u32::MAX elements"
         );
     }
 }

@@ -695,6 +695,150 @@ fn e14() {
     );
 }
 
+/// The E15 keyed store: `S { int k; int v; S(int k); int put(int d) }`.
+fn e15_store_app() -> Application {
+    let mut app = Application::new();
+    let u = app.universe_mut();
+    let s = u.declare("S", ClassKind::Class);
+    let mut cb = ClassBuilder::new(u, s);
+    let k = cb.field(Field::new("k", Ty::Int));
+    let v = cb.field(Field::new("v", Ty::Int));
+    let mut mb = MethodBuilder::new(2);
+    mb.load_this().load_local(1).put_field(s, k).ret();
+    cb.ctor(u, vec![Ty::Int], Some(mb.finish()));
+    let mut mb = MethodBuilder::new(2);
+    mb.load_this();
+    mb.load_this().get_field(s, v);
+    mb.load_local(1).add();
+    mb.put_field(s, v);
+    mb.load_this().get_field(s, v).ret_value();
+    cb.method(u, "put", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+    cb.finish(u);
+    app
+}
+
+fn e15() {
+    println!("== E15: policy-driven sharding & replica reads — placement under skew ==");
+    // A 16-key store takes the same Zipf-skewed, read-mostly stream under
+    // two placement policies; the only variable is where instances live
+    // and where getters are served. ci.sh diffs this whole section across
+    // same-seed runs, so a hash-order or wall-clock leak anywhere in the
+    // shard map, replica-read path or rebalance tick shows up as a diff.
+    const KEYS: usize = 16;
+    let ops = rafda::corpus::workload::ZipfWorkload::new(42, KEYS, 1.1).sequence(512);
+
+    let run = |policy: StaticPolicy| -> (u64, u64, u64, Vec<Value>) {
+        let cluster = e15_store_app()
+            .transform(&["RMI"])
+            .unwrap()
+            .deploy(4, 42, Box::new(policy));
+        cluster.enable_monitors();
+        let objs: Vec<Value> = (0..KEYS)
+            .map(|i| {
+                let o = cluster
+                    .new_instance(NodeId(0), "S", 0, vec![Value::Int(i as i32)])
+                    .unwrap();
+                cluster.pin(NodeId(0), &o);
+                cluster
+                    .call_method(NodeId(0), o.clone(), "put", vec![Value::Int(0)])
+                    .unwrap();
+                o
+            })
+            .collect();
+        let m0 = cluster.network().stats().messages;
+        let mut latencies: Vec<u64> = Vec::with_capacity(ops.len());
+        for (i, &key) in ops.iter().enumerate() {
+            let s0 = cluster.network().now().as_ns();
+            let (method, args) = if i % 32 == 31 {
+                ("put", vec![Value::Int(1)])
+            } else {
+                ("get_v", vec![])
+            };
+            cluster
+                .call_method(NodeId(0), objs[key].clone(), method, args)
+                .unwrap();
+            latencies.push(cluster.network().now().as_ns() - s0);
+        }
+        let messages = cluster.network().stats().messages - m0;
+        let finals: Vec<Value> = objs
+            .iter()
+            .map(|o| {
+                cluster
+                    .call_method(NodeId(0), o.clone(), "get_v", vec![])
+                    .unwrap()
+            })
+            .collect();
+        assert!(cluster.check_invariants().is_empty(), "a monitor fired");
+        latencies.sort_unstable();
+        let p95 = latencies[latencies.len() * 95 / 100];
+        (messages, p95, cluster.stats().replica_reads, finals)
+    };
+
+    let single = run(StaticPolicy::new()
+        .place("S", Placement::Node(NodeId(1)))
+        .replicate("S", 1));
+    let sharded = run(StaticPolicy::new()
+        .shard("S", "get_k", 8)
+        .replicate("S", 1)
+        .replica_reads("S", true));
+    for (name, o) in [
+        ("single-owner", &single),
+        ("sharded+replica-reads", &sharded),
+    ] {
+        println!(
+            "  {name:<22} {:>5} messages, p95 {:>7} ns, {:>4} replica reads",
+            o.0, o.1, o.2
+        );
+    }
+    assert_eq!(single.3, sharded.3, "placement changed observable values");
+    assert!(
+        sharded.0 * 10 <= single.0 * 7,
+        "sharding must cut messages >= 30%: {} vs {}",
+        sharded.0,
+        single.0
+    );
+
+    // The adaptation tick: skewed call counts move the warm shard off the
+    // hot node, deterministically, and converge in one step.
+    let cluster = e15_store_app().transform(&["RMI"]).unwrap().deploy(
+        2,
+        42,
+        Box::new(StaticPolicy::new().shard("S", "get_k", 4)),
+    );
+    let driver = NodeId(1);
+    let mut on_zero = Vec::new();
+    for key in 0..KEYS as i32 {
+        let o = cluster
+            .new_instance(driver, "S", 0, vec![Value::Int(key)])
+            .unwrap();
+        cluster.pin(driver, &o);
+        if cluster.location_of(driver, &o) == Some(NodeId(0)) && on_zero.len() < 2 {
+            on_zero.push(o);
+        }
+    }
+    for _ in 0..20 {
+        cluster
+            .call_method(driver, on_zero[0].clone(), "put", vec![Value::Int(1)])
+            .unwrap();
+    }
+    for _ in 0..4 {
+        cluster
+            .call_method(driver, on_zero[1].clone(), "put", vec![Value::Int(1)])
+            .unwrap();
+    }
+    for event in cluster.rebalance_shards(&AffinityConfig::default()) {
+        println!("  rebalance tick: {event}");
+    }
+    assert_eq!(cluster.stats().shard_rebalances, 1, "one shard moves");
+    assert!(
+        cluster
+            .rebalance_shards(&AffinityConfig::default())
+            .is_empty(),
+        "second tick must converge"
+    );
+    println!("  second tick: converged (no-op)\n");
+}
+
 fn main() {
     println!("RAFDA reproduction — consolidated experiment report\n");
     e1();
@@ -710,5 +854,6 @@ fn main() {
     e12();
     e13();
     e14();
+    e15();
     println!("full precision: cargo bench --workspace (see EXPERIMENTS.md)");
 }

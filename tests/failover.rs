@@ -381,3 +381,64 @@ fn same_seed_failover_runs_are_identical() {
     assert_eq!(a.1, b.1, "stats (incl. failover counters)");
     assert_eq!(a.2, b.2, "simulated clock");
 }
+
+#[test]
+fn restarted_statics_owner_follows_the_promotion_not_its_amnesia() {
+    // The stale-promotion bug: `shared.homes` records a promotion when a
+    // backup takes over, but nothing reconciled that record when the
+    // pre-crash owner restarted. A fresh caller (or the restarted owner
+    // itself) resolving the singleton through placement policy would reach
+    // the amnesiac node, which minted a brand-new default-state singleton —
+    // silently forking the object. The promoted copy is authoritative:
+    // every resolution path must follow the promotion chain to it.
+    let mut app = Application::new();
+    let u = app.universe_mut();
+    let s = u.declare("S", ClassKind::Class);
+    let mut cb = ClassBuilder::new(u, s);
+    let v = cb.static_field(Field::new("v", Ty::Int));
+    // static int bump(int d) { v = v + d; return v; }
+    let mut mb = MethodBuilder::new(1);
+    mb.get_static(s, v);
+    mb.load_local(0);
+    mb.add();
+    mb.put_static(s, v);
+    mb.get_static(s, v);
+    mb.ret_value();
+    cb.static_method(u, "bump", vec![Ty::Int], Ty::Int, Some(mb.finish()));
+    cb.finish(u);
+    let policy = StaticPolicy::new().default_statics(N1).replicate("S", 1);
+    let cluster = app
+        .transform(&["RMI"])
+        .unwrap()
+        .deploy(3, 23, Box::new(policy));
+
+    let call = |from: NodeId, d: i32| cluster.call_static(from, "S", "bump", vec![Value::Int(d)]);
+    // Establish the singleton on its policy home and ship a backup.
+    assert_eq!(call(N0, 2).unwrap(), Value::Int(2));
+
+    // Crash → the next call promotes the backup (node 0 holds the state).
+    cluster.crash(N1);
+    assert_eq!(call(N0, 3).unwrap(), Value::Int(5));
+
+    // The pre-crash owner comes back with a wiped registry.
+    cluster.restart(N1);
+
+    // A caller that never touched S resolves through the promotion record,
+    // not through the restarted policy owner's empty registry.
+    assert_eq!(
+        call(N2, 4).unwrap(),
+        Value::Int(9),
+        "a fresh caller must see the promoted total, not a fork at 4"
+    );
+    // The restarted owner itself must follow its own promoted-away copy.
+    assert_eq!(
+        call(N1, 1).unwrap(),
+        Value::Int(10),
+        "the amnesiac owner must not resurrect a default singleton"
+    );
+    // One object, one total, everywhere.
+    assert_eq!(call(N0, 0).unwrap(), Value::Int(10));
+
+    let stats = cluster.stats();
+    assert_eq!(stats.promotions, 1, "exactly one promotion: {stats}");
+}
