@@ -38,6 +38,23 @@ echo "== e15 sharding + replica-read bench (smoke) =="
 # assertions are identical to the full run.
 E15_SMOKE=1 cargo bench -p rafda-bench --bench e15_sharding --locked --offline --quiet
 
+echo "== e16 production-day soak (smoke, budget 60s) =="
+# The standing "does the whole system survive production traffic" gate:
+# a 10⁴-op slice of the seeded churn schedule — sharding, replica reads,
+# caching, batching, k=2 crash-stop replication, migrations, adaptation
+# and rebalance under a 5% drop rate — must match the single-address-space
+# oracle op-for-op with every invariant monitor silent, in under 60 s.
+# Full-depth multi-seed sweeps: SOAK_OPS=100000 SOAK_SEEDS=1,2,3 against
+# the same bench (or `cargo test --release --test soak`).
+soak_start=$(date +%s)
+SOAK_SMOKE=1 cargo bench -p rafda-bench --bench e16_soak --locked --offline --quiet
+soak_elapsed=$(( $(date +%s) - soak_start ))
+echo "soak smoke took ${soak_elapsed}s"
+if [ "$soak_elapsed" -gt 60 ]; then
+  echo "FAIL: soak smoke exceeded its 60s wall-clock budget" >&2
+  exit 1
+fi
+
 echo "== rustfmt =="
 cargo fmt --check
 
@@ -49,10 +66,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --locked --offline --quiet
 
 echo "== determinism (same-seed run-twice diff) =="
 # The full experiment report (covers RPC, retries, migration, adaptation,
-# caching, crash-stop failover, batched invocation and telemetry) must be
-# byte-identical across
-# two runs of the same build — any hash-order or wall-clock leak shows up
-# as a diff here.
+# caching, crash-stop failover, batched invocation, telemetry and the E16
+# SoakReport text) must be byte-identical across two runs of the same
+# build — any hash-order or wall-clock leak shows up as a diff here.
 run_report() {
   cargo run -q -p rafda --example experiments_report --release > "$1"
   cp target/e9_trace.json "$1.trace" 2>/dev/null || true

@@ -1,0 +1,83 @@
+//! **E16 — the production-day soak**: every distribution feature at once,
+//! checked op-by-op against the exact single-address-space oracle.
+//!
+//! One seeded churn schedule (warmup → steady → churn → quiesce, Zipf-
+//! popular auction items) drives a 6-node cluster through sharding with
+//! replica reads, property caching, invocation batching, k = 2 crash-stop
+//! replication, migrations, adaptation and rebalance ticks — under a 5%
+//! message-drop rate, with crashes and restarts interleaved throughout.
+//! Every value-returning op is compared to the oracle the moment it
+//! returns, and every E14 invariant monitor stays armed for the whole run.
+//!
+//! Reported per seed: the phased [`SoakReport`] (op counts, messages,
+//! simulated time, monitor verdicts) plus wall-clock throughput. A second
+//! section re-runs a smaller schedule twice and asserts the rendered
+//! report is byte-identical — the soak's whole account of the run is
+//! deterministic.
+//!
+//! Knobs (shared with `tests/soak.rs`): `SOAK_OPS=<n>` for an exact op
+//! count, `SOAK_SMOKE=1` for the quick CI pass (10⁴ ops), `SOAK_SEEDS=a,b`
+//! to sweep seeds. Default: 10⁵ ops, seed 42.
+//!
+//! [`SoakReport`]: rafda::runtime::SoakReport
+
+use rafda::corpus::ops::generate_churn;
+use rafda::corpus::ops::ChurnConfig;
+use rafda::soak::run_schedule;
+
+/// Op-count knob, shared with the soak gate: `SOAK_OPS` wins, then
+/// `SOAK_SMOKE`, then the full 10⁵ default.
+fn depth() -> usize {
+    if let Ok(v) = std::env::var("SOAK_OPS") {
+        return v.parse().expect("SOAK_OPS must be an op count");
+    }
+    if std::env::var_os("SOAK_SMOKE").is_some() {
+        return 10_000;
+    }
+    100_000
+}
+
+/// Seeds to sweep: `SOAK_SEEDS` as a comma list, default `42`.
+fn seeds() -> Vec<u64> {
+    match std::env::var("SOAK_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("SOAK_SEEDS must be seeds"))
+            .collect(),
+        Err(_) => vec![42],
+    }
+}
+
+fn main() {
+    let depth = depth();
+    println!("\n=== E16: production-day soak ({depth} ops per seed, drop 5%, k = 2) ===");
+    for seed in seeds() {
+        let cfg = ChurnConfig::production_day(seed, depth);
+        let schedule = generate_churn(&cfg);
+        let wall = std::time::Instant::now();
+        let report = run_schedule(&cfg, &schedule)
+            .unwrap_or_else(|msg| panic!("soak seed {seed} diverged from the oracle: {msg}"));
+        let secs = wall.elapsed().as_secs_f64();
+        println!("{report}");
+        assert!(report.clean(), "a monitor fired:\n{report}");
+        assert_eq!(report.total_ops() as usize, schedule.total_ops());
+        println!(
+            "  wall: {secs:.2} s ({:.0} ops/s)\n",
+            schedule.total_ops() as f64 / secs
+        );
+    }
+
+    // Determinism drill at a fixed small depth (independent of the knobs,
+    // so the check costs the same in smoke and full runs): same seed, same
+    // schedule, byte-identical report.
+    let render = || {
+        let cfg = ChurnConfig::production_day(7, 1_500);
+        let schedule = generate_churn(&cfg);
+        run_schedule(&cfg, &schedule)
+            .expect("the small soak is clean")
+            .to_string()
+    };
+    let a = render();
+    assert_eq!(a, render(), "same seed must render an identical report");
+    println!("determinism: seed-7 report byte-identical across two runs");
+}

@@ -52,6 +52,8 @@
 
 #![warn(missing_docs)]
 
+pub mod soak;
+
 pub use rafda_baseline as baseline;
 pub use rafda_classmodel as classmodel;
 pub use rafda_corpus as corpus;

@@ -14,18 +14,25 @@
 //! * [`app`] — a seeded generator producing small *executable* applications
 //!   (object chains with fields, methods, statics and observable output)
 //!   used by the semantic-equivalence property tests (E7) and the overhead
-//!   benchmarks (E4/E8).
+//!   benchmarks (E4/E8);
+//! * [`ops`] — the shared chaos/soak operation vocabulary: one op enum,
+//!   one weighted arbitrary-op strategy, one oracle-step function, and the
+//!   seeded production-day churn generator behind the E16 soak gate.
 //!
-//! Both generators are fully deterministic per seed.
+//! All generators are fully deterministic per seed.
 
 #![warn(missing_docs)]
 
 pub mod app;
 pub mod jdk;
+pub mod ops;
 pub mod rng;
 pub mod scenarios;
 pub mod workload;
 
 pub use app::{generate_app, AppInfo, AppSpec, ObserverHooks};
 pub use jdk::{breakdown_by_package, generate_jdk, JdkProfile, JdkStats, PackageSpec};
+pub use ops::{
+    generate_churn, ChurnConfig, ChurnPhase, ChurnSchedule, OpMix, Oracle, PoolClass, SoakOp,
+};
 pub use scenarios::{build_auction_house, AuctionIds};

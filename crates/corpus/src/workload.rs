@@ -55,6 +55,13 @@ impl ZipfWorkload {
         self.cdf.len()
     }
 
+    /// The cumulative distribution over ranks, normalised so the last
+    /// entry is exactly `1.0` — exposed for golden-vector tests and for
+    /// experiments that report the skew profile they replayed.
+    pub fn cdf(&self) -> &[f64] {
+        &self.cdf
+    }
+
     /// Draw the next key index.
     pub fn next_key(&mut self) -> usize {
         let u = self.rng.f64();
@@ -116,5 +123,43 @@ mod tests {
     #[should_panic(expected = "at least one key")]
     fn empty_key_space_is_rejected() {
         let _ = ZipfWorkload::new(1, 0, 1.0);
+    }
+
+    #[test]
+    fn histogram_is_deterministic_across_same_seed_runs() {
+        let h1 = histogram(&ZipfWorkload::new(99, 12, 1.1).sequence(4000), 12);
+        let h2 = histogram(&ZipfWorkload::new(99, 12, 1.1).sequence(4000), 12);
+        assert_eq!(h1, h2);
+        assert_eq!(h1.iter().sum::<u64>(), 4000);
+    }
+
+    #[test]
+    fn golden_cdf_vector_for_the_canonical_exponent() {
+        // keys = 4, exponent = 1.0: weights 1, 1/2, 1/3, 1/4 normalise to
+        // 12/25, 6/25, 4/25, 3/25 — cumulative 0.48, 0.72, 0.88, 1.0.
+        let z = ZipfWorkload::new(0, 4, 1.0);
+        let golden = [0.48, 0.72, 0.88, 1.0];
+        assert_eq!(z.cdf().len(), golden.len());
+        for (got, want) in z.cdf().iter().zip(golden) {
+            assert!((got - want).abs() < 1e-12, "{:?}", z.cdf());
+        }
+    }
+
+    #[test]
+    fn huge_exponent_degenerates_to_the_hottest_key() {
+        // At exponent 64 every rank past 0 has vanishing mass: the CDF is
+        // 1.0 everywhere (to f64 precision) and every draw is key 0.
+        let z = ZipfWorkload::new(3, 8, 64.0);
+        assert!(z.cdf().iter().all(|&c| (c - 1.0).abs() < 1e-12));
+        let seq = ZipfWorkload::new(3, 8, 64.0).sequence(2000);
+        assert!(seq.iter().all(|&k| k == 0), "{seq:?}");
+    }
+
+    #[test]
+    fn single_key_space_always_draws_key_zero() {
+        let z = ZipfWorkload::new(11, 1, 1.0);
+        assert_eq!(z.cdf(), &[1.0]);
+        let seq = ZipfWorkload::new(11, 1, 1.0).sequence(100);
+        assert_eq!(seq, vec![0; 100]);
     }
 }

@@ -8,8 +8,12 @@
 //! index, so failures reproduce exactly across runs and machines.
 //!
 //! Differences from real proptest, by design:
-//! - no shrinking — a failing case reports its inputs via the assertion
-//!   message instead of minimising them;
+//! - no integrated value-tree shrinking — a failing case reports its
+//!   inputs (with the derived seed and case index) via the failure
+//!   message instead of minimising them automatically. Suites whose
+//!   cases are *op sequences* can minimise explicitly with the
+//!   standalone [`shrink`] module (prefix truncation + op removal over a
+//!   re-runnable case closure);
 //! - no persisted regression files (`*.proptest-regressions` are ignored);
 //! - string "regex" strategies support the subset actually used here:
 //!   literals, `.`, `[a-z_]` classes, and `{m,n}` / `*` / `+` / `?`
@@ -60,6 +64,7 @@ pub mod test_runner {
     #[derive(Debug, Clone)]
     pub struct TestRng {
         state: u64,
+        seed: u64,
     }
 
     impl TestRng {
@@ -70,13 +75,19 @@ pub mod test_runner {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
-            let mut rng = TestRng {
-                state: h ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            };
+            let seed = h ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = TestRng { state: seed, seed };
             // Discard a couple of outputs so nearby seeds decorrelate.
             rng.next_u64();
             rng.next_u64();
             rng
+        }
+
+        /// The derived seed this stream started from — printed by the
+        /// `proptest!` runner when a case fails, so any case is
+        /// reproducible from its failure report alone.
+        pub fn seed(&self) -> u64 {
+            self.seed
         }
 
         /// Next 64 uniformly distributed bits (SplitMix64).
@@ -604,6 +615,137 @@ pub mod prelude {
     }
 }
 
+/// Minimal failing-case reduction for op-sequence properties.
+///
+/// The generation layer here has no value trees, so shrinking works the
+/// only way it can: re-run the case closure against candidate
+/// subsequences of the failing op list and keep every reduction that
+/// still fails. Two passes run to a fixpoint under a probe budget:
+///
+/// 1. **prefix truncation** — binary search for the shortest failing
+///    prefix (a failure usually only needs its own causal history);
+/// 2. **op removal** — delta-debugging style: try deleting chunks
+///    (halving the chunk size down to single ops), keeping any deletion
+///    that preserves the failure.
+///
+/// The result is locally minimal: removing any single remaining op makes
+/// the case pass (budget permitting). Order is always preserved.
+pub mod shrink {
+    /// Outcome of [`minimise`]: the reduced sequence plus accounting.
+    #[derive(Debug, Clone)]
+    pub struct Minimised<T> {
+        /// The minimal failing subsequence (original order preserved).
+        pub ops: Vec<T>,
+        /// Number of probe runs spent.
+        pub runs: usize,
+        /// Whether any op was removed from the input.
+        pub improved: bool,
+    }
+
+    /// Reduce `ops` to a locally minimal subsequence for which `fails`
+    /// still returns `true`, spending at most `budget` probe runs.
+    ///
+    /// `fails` must be deterministic for the reduction to mean anything
+    /// (re-running the returned trace must reproduce the failure). If the
+    /// full sequence does not fail, it is returned unchanged with
+    /// `improved = false`.
+    pub fn minimise<T: Clone>(
+        ops: &[T],
+        budget: usize,
+        mut fails: impl FnMut(&[T]) -> bool,
+    ) -> Minimised<T> {
+        let mut runs = 0usize;
+        let mut probe = |candidate: &[T], runs: &mut usize| -> bool {
+            *runs += 1;
+            fails(candidate)
+        };
+        if budget == 0 || !probe(ops, &mut runs) {
+            return Minimised {
+                ops: ops.to_vec(),
+                runs,
+                improved: false,
+            };
+        }
+
+        // Pass 1: shortest failing prefix. `hi` always fails; `lo` is the
+        // largest known-passing length. If even the empty prefix fails,
+        // the failure does not depend on the ops at all and the minimal
+        // trace is rightly empty.
+        let mut cur: Vec<T> = ops.to_vec();
+        let mut lo = 0usize;
+        let mut hi = cur.len();
+        if runs < budget {
+            if probe(&cur[..0], &mut runs) {
+                hi = 0;
+            } else {
+                while hi - lo > 1 && runs < budget {
+                    let mid = lo + (hi - lo) / 2;
+                    if probe(&cur[..mid], &mut runs) {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+            }
+        }
+        cur.truncate(hi);
+
+        // Pass 2: chunked op removal to a fixpoint. Invariant: `cur`
+        // fails at every step.
+        let mut chunk = (cur.len() / 2).max(1);
+        while !cur.is_empty() && runs < budget {
+            let mut removed_any = false;
+            let mut i = 0;
+            while i < cur.len() && runs < budget {
+                let end = (i + chunk).min(cur.len());
+                let mut candidate = Vec::with_capacity(cur.len() - (end - i));
+                candidate.extend_from_slice(&cur[..i]);
+                candidate.extend_from_slice(&cur[end..]);
+                // The empty sequence is known to pass (pass 1 checked it),
+                // so never probe it again.
+                if !candidate.is_empty() && probe(&candidate, &mut runs) {
+                    cur = candidate;
+                    removed_any = true;
+                    continue; // same i now addresses the next ops
+                }
+                i = end;
+            }
+            if chunk == 1 && !removed_any {
+                break; // locally minimal
+            }
+            if !removed_any {
+                chunk = (chunk / 2).max(1);
+            }
+        }
+
+        Minimised {
+            improved: cur.len() < ops.len(),
+            ops: cur,
+            runs,
+        }
+    }
+
+    /// Like [`minimise`], but for case closures that report failure by
+    /// returning `Err` **or by panicking** (an `unwrap` deep inside the
+    /// system under test). Panics during probe runs are caught, and the
+    /// global panic hook is silenced for the duration so hundreds of
+    /// shrink probes do not spam stderr with backtraces.
+    pub fn minimise_catching<T: Clone>(
+        ops: &[T],
+        budget: usize,
+        mut case: impl FnMut(&[T]) -> Result<(), String>,
+    ) -> Minimised<T> {
+        let quiet = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = minimise(ops, budget, |candidate| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(candidate)))
+                .map_or(true, |r| r.is_err())
+        });
+        std::panic::set_hook(quiet);
+        out
+    }
+}
+
 /// Declare property tests. Supports an optional leading
 /// `#![proptest_config(...)]` and any number of
 /// `#[test] fn name(arg in strategy, ...) { body }` items.
@@ -627,25 +769,45 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::test_runner::Config = $cfg;
+            let __test = concat!(module_path!(), "::", stringify!($name));
             for __case in 0..__config.cases {
-                let mut __rng = $crate::test_runner::TestRng::for_case(
-                    concat!(module_path!(), "::", stringify!($name)),
-                    __case,
-                );
+                let mut __rng = $crate::test_runner::TestRng::for_case(__test, __case);
+                let __seed = __rng.seed();
                 $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
-                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                if let ::std::result::Result::Err(e) = __result {
-                    panic!(
-                        "proptest {} failed at case {}/{}: {}",
-                        stringify!($name),
-                        __case + 1,
-                        __config.cases,
-                        e
-                    );
+                // Run the body under `catch_unwind` so even a raw panic
+                // (an `unwrap`, an `assert!` outside the prop_ macros) is
+                // attributed to the generated case that died before the
+                // panic propagates.
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __result {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                        panic!(
+                            "proptest {} failed at case {}/{} (seed {:#018x}): {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __seed,
+                            e
+                        );
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        eprintln!(
+                            "proptest {} panicked at case {}/{} (seed {:#018x})",
+                            __test,
+                            __case + 1,
+                            __config.cases,
+                            __seed
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
                 }
             }
         }
@@ -844,5 +1006,96 @@ mod tests {
             Tree::Leaf(_) => 1,
             Tree::Node(children) => 1 + children.iter().map(depth_of).max().unwrap_or(0),
         }
+    }
+
+    #[test]
+    fn rng_exposes_its_seed() {
+        let rng = crate::test_runner::TestRng::for_case("x::y", 3);
+        assert_eq!(
+            rng.seed(),
+            crate::test_runner::TestRng::for_case("x::y", 3).seed()
+        );
+        assert_ne!(
+            rng.seed(),
+            crate::test_runner::TestRng::for_case("x::y", 4).seed()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "seed 0x")]
+    fn failing_case_reports_its_seed_and_index() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            #[allow(dead_code)]
+            fn always_fails(_x in 0u32..10) {
+                prop_assert!(false, "doomed");
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    #[should_panic(expected = "raw panic inside the body")]
+    fn raw_panics_keep_their_payload() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            #[allow(dead_code)]
+            fn panics(x in 0u32..10) {
+                if x < 10 {
+                    panic!("raw panic inside the body");
+                }
+            }
+        }
+        panics();
+    }
+
+    #[test]
+    fn shrink_finds_the_minimal_pair() {
+        // Failure needs a 7 somewhere before a 13.
+        let ops: Vec<u32> = vec![4, 7, 2, 9, 13, 1, 7, 13, 5];
+        let fails = |s: &[u32]| {
+            let first7 = s.iter().position(|&x| x == 7);
+            first7.is_some_and(|i| s[i..].contains(&13))
+        };
+        let m = crate::shrink::minimise(&ops, 500, fails);
+        assert_eq!(m.ops, vec![7, 13], "order-preserving minimal trace");
+        assert!(m.improved);
+        assert!(m.runs <= 500);
+    }
+
+    #[test]
+    fn shrink_of_a_passing_sequence_is_a_no_op() {
+        let ops: Vec<u32> = vec![1, 2, 3];
+        let m = crate::shrink::minimise(&ops, 100, |_| false);
+        assert_eq!(m.ops, ops);
+        assert!(!m.improved);
+        assert_eq!(m.runs, 1, "one probe decides it");
+    }
+
+    #[test]
+    fn shrink_respects_its_probe_budget() {
+        let ops: Vec<u32> = (0..256).collect();
+        let m = crate::shrink::minimise(&ops, 10, |s| s.contains(&255));
+        assert!(m.runs <= 10, "{} probes", m.runs);
+        assert!(m.ops.contains(&255), "the result still fails");
+    }
+
+    #[test]
+    fn shrink_catches_panicking_cases() {
+        let ops: Vec<u32> = vec![3, 9, 5, 9, 2];
+        let m = crate::shrink::minimise_catching(&ops, 200, |s| {
+            if s.contains(&5) {
+                panic!("boom");
+            }
+            Ok(())
+        });
+        assert_eq!(m.ops, vec![5]);
+    }
+
+    #[test]
+    fn shrink_handles_failures_independent_of_the_ops() {
+        let ops: Vec<u32> = vec![1, 2, 3];
+        let m = crate::shrink::minimise(&ops, 100, |_| true);
+        assert!(m.ops.is_empty(), "empty trace reproduces: {:?}", m.ops);
     }
 }

@@ -321,6 +321,74 @@ impl RuntimeStats {
         self.wire_buf_reuses += wire_buf_reuses;
     }
 
+    /// Counter-wise difference `self − earlier` (saturating), for
+    /// reporting what a bounded run added on top of its setup — the soak
+    /// report's per-phase metric deltas are computed with this.
+    pub fn delta_from(&self, earlier: &RuntimeStats) -> RuntimeStats {
+        let mut d = *self;
+        let RuntimeStats {
+            rpc_calls,
+            rpc_creates,
+            rpc_discovers,
+            rpc_fetches,
+            rpc_installs,
+            rpc_forwards,
+            migrations,
+            pulls,
+            faults,
+            retries,
+            retransmits,
+            dedup_hits,
+            net_failures,
+            cache_hits,
+            cache_misses,
+            cache_invalidations,
+            replica_syncs,
+            promotions,
+            failovers,
+            batched_ops,
+            flushes,
+            shard_placements,
+            shard_rebalances,
+            replica_reads,
+            attempts,
+            sig_refs,
+            sig_defs,
+            wire_buf_reuses,
+        } = earlier;
+        d.rpc_calls = d.rpc_calls.saturating_sub(*rpc_calls);
+        d.rpc_creates = d.rpc_creates.saturating_sub(*rpc_creates);
+        d.rpc_discovers = d.rpc_discovers.saturating_sub(*rpc_discovers);
+        d.rpc_fetches = d.rpc_fetches.saturating_sub(*rpc_fetches);
+        d.rpc_installs = d.rpc_installs.saturating_sub(*rpc_installs);
+        d.rpc_forwards = d.rpc_forwards.saturating_sub(*rpc_forwards);
+        d.migrations = d.migrations.saturating_sub(*migrations);
+        d.pulls = d.pulls.saturating_sub(*pulls);
+        d.faults = d.faults.saturating_sub(*faults);
+        d.retries = d.retries.saturating_sub(*retries);
+        d.retransmits = d.retransmits.saturating_sub(*retransmits);
+        d.dedup_hits = d.dedup_hits.saturating_sub(*dedup_hits);
+        d.net_failures = d.net_failures.saturating_sub(*net_failures);
+        d.cache_hits = d.cache_hits.saturating_sub(*cache_hits);
+        d.cache_misses = d.cache_misses.saturating_sub(*cache_misses);
+        d.cache_invalidations = d.cache_invalidations.saturating_sub(*cache_invalidations);
+        d.replica_syncs = d.replica_syncs.saturating_sub(*replica_syncs);
+        d.promotions = d.promotions.saturating_sub(*promotions);
+        d.failovers = d.failovers.saturating_sub(*failovers);
+        d.batched_ops = d.batched_ops.saturating_sub(*batched_ops);
+        d.flushes = d.flushes.saturating_sub(*flushes);
+        d.shard_placements = d.shard_placements.saturating_sub(*shard_placements);
+        d.shard_rebalances = d.shard_rebalances.saturating_sub(*shard_rebalances);
+        d.replica_reads = d.replica_reads.saturating_sub(*replica_reads);
+        for (slot, c) in d.attempts.iter_mut().zip(attempts) {
+            *slot = slot.saturating_sub(*c);
+        }
+        d.sig_refs = d.sig_refs.saturating_sub(*sig_refs);
+        d.sig_defs = d.sig_defs.saturating_sub(*sig_defs);
+        d.wire_buf_reuses = d.wire_buf_reuses.saturating_sub(*wire_buf_reuses);
+        d
+    }
+
     /// Total finished exchanges recorded in the attempts histogram.
     pub fn exchanges(&self) -> u64 {
         self.attempts.iter().sum()
@@ -786,10 +854,11 @@ impl Cluster {
     /// Flushes pending batches and re-ships drifted replicas first (a
     /// quiescent point must not have deferred operations or unshipped
     /// replicated state in flight), then hands the span log to the
-    /// monitors' structural check and probes every replica against its
-    /// primary. A clean run returns an empty vector; tests assert exactly
-    /// that, and on failure each [`Violation`] identifies the offending
-    /// span and exchange.
+    /// monitors' structural check, probes every replica against its
+    /// primary, and sweeps the affinity counters for entries referencing
+    /// a moved or dead location (`stale-affinity`). A clean run returns
+    /// an empty vector; tests assert exactly that, and on failure each
+    /// [`Violation`] identifies the offending span and exchange.
     pub fn check_invariants(&self) -> Vec<Violation> {
         let shared = &self.shared;
         let _ = flush_outqueues(shared);
@@ -809,7 +878,55 @@ impl Cluster {
         for probe in collect_replica_probes(shared) {
             shared.obs.borrow_mut().emit(&probe);
         }
-        self.monitor_violations()
+        let mut violations = self.monitor_violations();
+        violations.extend(self.stale_affinity_violations());
+        violations
+    }
+
+    /// Structural quiescent-point sweep over the affinity counters: every
+    /// counter on a live node must reference an export that is still
+    /// locally implemented there. A counter pointing at a forwarding
+    /// proxy (the object moved) or a wiped registry (the node died) would
+    /// feed the adaptation loops locations they must never act on —
+    /// [`purge_call_counts`] maintains this invariant and the soak gate
+    /// checks it at every phase boundary.
+    fn stale_affinity_violations(&self) -> Vec<Violation> {
+        let shared = &self.shared;
+        let mut out = Vec::new();
+        let nodes = shared.nodes.borrow();
+        for (n, state) in nodes.iter().enumerate() {
+            if shared.net.fault_plan(|f| f.is_crashed(NodeId(n as u32))) {
+                continue;
+            }
+            let mut oids: Vec<u64> = state.call_counts.keys().copied().collect();
+            oids.sort_unstable();
+            for oid in oids {
+                let fail = |message: String| Violation {
+                    monitor: "stale-affinity",
+                    message,
+                    span_id: 0,
+                    trace_id: 0,
+                };
+                match state.exports.get(&oid) {
+                    None => out.push(fail(format!(
+                        "node {n}: affinity counter for vanished export {oid}"
+                    ))),
+                    Some(&h) => {
+                        let local = shared.vms[n]
+                            .class_of(h)
+                            .and_then(|c| shared.gen_info.get(&c))
+                            .is_some_and(|info| info.proto.is_none());
+                        if !local {
+                            out.push(fail(format!(
+                                "node {n}: affinity counter references \
+                                 moved-away export {oid}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Test-only fault injection: silently skip the next
@@ -1198,6 +1315,36 @@ impl Cluster {
         }
     }
 
+    /// Resolve a reference to the node that owns the live object *and* the
+    /// owner's local handle for it — the pair [`Cluster::migrate`] needs,
+    /// which lets a driver move an object between two other nodes without
+    /// first pulling it to itself. A reference that is already local
+    /// resolves to `(node, handle)` unchanged; a proxy is chased one hop
+    /// to its recorded owner. Returns `None` for non-references, stale
+    /// handles, or an owner that no longer exports the object (it died or
+    /// the export was forwarded on).
+    pub fn home_of(&self, node: NodeId, value: &Value) -> Option<(NodeId, Handle)> {
+        let h = value.as_ref_handle()?;
+        let vm = &self.shared.vms[node.0 as usize];
+        let class = vm.class_of(h)?;
+        match self.shared.gen_info.get(&class) {
+            Some(info) if info.proto.is_some() => {
+                let (owner, oid) = read_proxy_state(vm, h)?;
+                let nodes = self.shared.nodes.borrow();
+                let handle = *nodes[owner as usize].exports.get(&oid)?;
+                // The export may itself be a forwarding proxy (the object
+                // moved on); only a locally implemented object counts.
+                let owner_vm = &self.shared.vms[owner as usize];
+                let owner_class = owner_vm.class_of(handle)?;
+                match self.shared.gen_info.get(&owner_class) {
+                    Some(info) if info.proto.is_none() => Some((NodeId(owner), handle)),
+                    _ => None,
+                }
+            }
+            _ => Some((node, h)),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Boundary changes
     // ------------------------------------------------------------------
@@ -1316,8 +1463,10 @@ impl Cluster {
         }
         // The old export now forwards: no read through it may ever be
         // cached again, and affinity data about the old home is obsolete
-        // cluster-wide.
+        // cluster-wide. The move is also recorded cluster-wide — the
+        // forwarding proxy alone would be lost if this node restarts.
         tombstone_version(shared, from.0, source_oid);
+        record_home(shared, (from.0, source_oid), (target.node.0, target.oid));
         purge_call_counts(shared, &[(from.0, source_oid), (target.node.0, target.oid)]);
         bump(shared, from.0, Met::Migrations);
         Ok(MigrationEvent {
@@ -1421,8 +1570,11 @@ impl Cluster {
         }
         // The pulled copy is a fresh export with fresh state; the old home
         // has been tombstoned by the Forward handler. Affinity counts that
-        // referenced either location are stale now.
+        // referenced either location are stale now, and the move is
+        // recorded cluster-wide so failover can chase it even after the
+        // old owner's forwarding proxy is wiped by a restart.
         bump_version(shared, node.0, my_oid);
+        record_home(shared, (owner.0, oid), (node.0, my_oid));
         purge_call_counts(shared, &[(owner.0, oid), (node.0, my_oid)]);
         sync_replicas(shared, node, my_oid);
         bump(shared, node.0, Met::Pulls);
@@ -2822,9 +2974,22 @@ fn locate_home(
     None
 }
 
-/// Follow the chain of recorded promotions from `start` to its terminal
-/// location. Bounded: every hop was a distinct promotion, each to a
-/// different location.
+/// Record that the live copy of `old` now lives at `new`. Promotions
+/// *and* migrations both register here: the forwarding proxy a migration
+/// leaves behind lives only in the old node's heap and is lost when that
+/// node crash-restarts, so failover needs a cluster-level record to chase.
+/// The destination stops being a forwarding location the moment something
+/// lands on it, so any stale entry keyed there is dropped — keeping every
+/// chain acyclic and terminated at a live home.
+pub(crate) fn record_home(shared: &Shared, old: (u32, u64), new: (u32, u64)) {
+    let mut homes = shared.homes.borrow_mut();
+    homes.insert(old, new);
+    homes.remove(&new);
+}
+
+/// Follow the chain of recorded promotions and migrations from `start`
+/// to its terminal location. Bounded: every hop was a distinct move,
+/// each to a different location.
 pub(crate) fn follow_homes(shared: &Shared, start: (u32, u64)) -> (u32, u64) {
     let (mut tn, mut toid) = start;
     for _ in 0..=shared.vms.len() {
@@ -2933,9 +3098,62 @@ pub(crate) fn flush_outqueues(shared: &Shared) -> Result<(), VmError> {
                 to,
                 &pending.proto,
                 &pending.class,
-                &Request::Batch(pending.ops),
+                &Request::Batch(pending.ops.clone()),
             );
-            if first_err.is_none() {
+            // The owner died between the deferral and this flush (delivery
+            // refused, nothing applied). The accepted calls must not be
+            // lost: re-home each onto the object's promoted backup — the
+            // same failover a synchronous call would take — and re-defer
+            // it there; this drain loop ships the new queues. Replica
+            // shipments for the dead node are dropped: restart clears the
+            // synced-version marks, so the owner re-seeds it at its next
+            // sync anyway.
+            let node_crashed = matches!(
+                &outcome,
+                Err(e) if matches!(
+                    e.net_failure().map(|nf| nf.kind),
+                    Some(NetFailureKind::NodeCrashed(_))
+                )
+            );
+            if node_crashed {
+                for op in pending.ops {
+                    let Request::Call { object, .. } = &op else {
+                        continue;
+                    };
+                    match locate_home(shared, from, &pending.proto, &pending.class, to.0, *object) {
+                        Some((nn, noid)) => {
+                            let Request::Call { method, args, .. } = op else {
+                                unreachable!("matched above");
+                            };
+                            enqueue_outcall(
+                                shared,
+                                from,
+                                NodeId(nn),
+                                &pending.proto,
+                                &pending.class,
+                                Request::Call {
+                                    object: noid,
+                                    method,
+                                    args,
+                                },
+                            );
+                            bump(shared, from.0, Met::Failovers);
+                        }
+                        // Nobody can take over (unreplicated, or every
+                        // backup is gone): the deferred call is lost for
+                        // real — surface that at this synchronization
+                        // point like any other flush failure.
+                        None => {
+                            if first_err.is_none() {
+                                first_err =
+                                    outcome.as_ref().err().cloned().or_else(|| {
+                                        Some(VmError::Native("deferred call lost".into()))
+                                    });
+                            }
+                        }
+                    }
+                }
+            } else if first_err.is_none() {
                 first_err = flush_error(shared, from, outcome);
             }
         }
@@ -3796,7 +4014,7 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             // affinity data describing traffic the object received there.
             bump_version(shared, node.0, oid);
             tombstone_version(shared, old_node, old_object);
-            shared.homes.borrow_mut().insert(key, (node.0, oid));
+            record_home(shared, key, (node.0, oid));
             purge_call_counts(shared, &[key, (node.0, oid)]);
             bump(shared, node.0, Met::Promotions);
             // Re-establish the replication factor from the new home, so a
@@ -4701,65 +4919,22 @@ mod tests {
     // --- adaptation/crash chaos (proptest) ---
 
     use proptest::prelude::*;
+    use rafda_corpus::ops::{OpMix, SoakOp};
 
     const CHAOS_POOL: usize = 6;
 
-    #[derive(Debug, Clone)]
-    enum ChaosOp {
-        /// Call instance `idx` with `delta` from the coordinator.
-        Call { idx: usize, delta: i8 },
-        /// One sharding adaptation tick.
-        Rebalance,
-        /// One affinity adaptation tick.
-        Adapt,
-        /// Crash `node` (0-2), first restarting whichever node is down.
-        Crash { node: u8 },
-        /// Restart the currently-down node, if any.
-        Heal,
+    /// The shared adaptation-chaos mix (see [`rafda_corpus::ops`]): calls,
+    /// both adaptation loops and crash/restart over nodes 0–2.
+    fn arb_chaos_op() -> BoxedStrategy<SoakOp> {
+        OpMix::adaptation(CHAOS_POOL, 4, 3).strategy()
     }
 
-    fn arb_chaos_op() -> impl Strategy<Value = ChaosOp> {
-        prop_oneof![
-            6 => (0usize..CHAOS_POOL, -9i8..10)
-                .prop_map(|(idx, delta)| ChaosOp::Call { idx, delta }),
-            2 => Just(ChaosOp::Rebalance),
-            1 => Just(ChaosOp::Adapt),
-            2 => (0u8..3).prop_map(|node| ChaosOp::Crash { node }),
-            1 => Just(ChaosOp::Heal),
-        ]
-    }
-
-    /// The invariant [`purge_call_counts`] maintains: every affinity
-    /// counter on a live node references an export that is still locally
-    /// implemented there. A counter pointing at a forwarding proxy (the
-    /// object moved) or a wiped registry (the node died) would feed the
-    /// adaptation loops locations they must never act on.
+    /// The invariant [`purge_call_counts`] maintains, as a proptest
+    /// failure: delegates to the same structural sweep
+    /// [`Cluster::check_invariants`] runs at quiescent points.
     fn assert_no_stale_affinity(cluster: &Cluster) -> Result<(), TestCaseError> {
-        let shared = cluster.shared();
-        let nodes = shared.nodes.borrow();
-        for (n, state) in nodes.iter().enumerate() {
-            if shared.net.fault_plan(|f| f.is_crashed(NodeId(n as u32))) {
-                continue;
-            }
-            let mut oids: Vec<u64> = state.call_counts.keys().copied().collect();
-            oids.sort_unstable();
-            for oid in oids {
-                let Some(&h) = state.exports.get(&oid) else {
-                    return Err(TestCaseError::fail(format!(
-                        "node {n}: affinity counter for vanished export {oid}"
-                    )));
-                };
-                let local = shared.vms[n]
-                    .class_of(h)
-                    .and_then(|c| shared.gen_info.get(&c))
-                    .is_some_and(|info| info.proto.is_none());
-                prop_assert!(
-                    local,
-                    "node {}: affinity counter references moved-away export {}",
-                    n,
-                    oid
-                );
-            }
+        if let Some(first) = cluster.stale_affinity_violations().first() {
+            return Err(TestCaseError::fail(first.to_string()));
         }
         Ok(())
     }
@@ -4807,12 +4982,12 @@ mod tests {
                 min_calls: 4,
                 min_fraction: 0.5,
             };
-            let mut oracle = [0i32; CHAOS_POOL];
+            let mut oracle = rafda_corpus::ops::Oracle::new(CHAOS_POOL);
             let mut down: Option<NodeId> = None;
             for op in &ops {
                 match *op {
-                    ChaosOp::Call { idx, delta } => {
-                        oracle[idx] += i32::from(delta);
+                    SoakOp::Call { idx, delta } => {
+                        let expected = oracle.step(op).unwrap();
                         let r = cluster
                             .call_method(
                                 COORD,
@@ -4821,15 +4996,15 @@ mod tests {
                                 vec![Value::Int(i32::from(delta))],
                             )
                             .unwrap();
-                        prop_assert_eq!(r, Value::Int(oracle[idx]), "{:?}", op);
+                        prop_assert_eq!(r, Value::Int(expected), "{:?}", op);
                     }
-                    ChaosOp::Rebalance => {
+                    SoakOp::Rebalance => {
                         cluster.rebalance_shards(&config);
                     }
-                    ChaosOp::Adapt => {
+                    SoakOp::Adapt => {
                         cluster.adapt(&config);
                     }
-                    ChaosOp::Crash { node } => {
+                    SoakOp::Crash { node } => {
                         if let Some(d) = down.take() {
                             cluster.restart(d);
                             touch_all();
@@ -4837,12 +5012,13 @@ mod tests {
                         cluster.crash(NodeId(u32::from(node)));
                         down = Some(NodeId(u32::from(node)));
                     }
-                    ChaosOp::Heal => {
+                    SoakOp::Heal => {
                         if let Some(d) = down.take() {
                             cluster.restart(d);
                             touch_all();
                         }
                     }
+                    ref other => panic!("mix never generates {other}"),
                 }
                 assert_no_stale_affinity(&cluster)?;
             }
@@ -4855,7 +5031,12 @@ mod tests {
                 let r = cluster
                     .call_method(COORD, obj.clone(), "bump", vec![Value::Int(0)])
                     .unwrap();
-                prop_assert_eq!(r, Value::Int(oracle[idx]), "final instance {}", idx);
+                prop_assert_eq!(
+                    r,
+                    Value::Int(oracle.values()[idx]),
+                    "final instance {}",
+                    idx
+                );
             }
             assert_no_stale_affinity(&cluster)?;
             prop_assert_eq!(cluster.check_invariants(), vec![]);

@@ -53,9 +53,11 @@ pub mod local;
 pub mod marshal;
 mod obs;
 pub mod persist;
+pub mod soak;
 
 pub use cluster::{Cluster, MigrationEvent, NodeSummary, RemoteRef, RetryPolicy, RuntimeStats};
 pub use error::RuntimeError;
 pub use introspect::{declare_introspection, INTROSPECTION_CLASS};
 pub use local::LocalRuntime;
 pub use persist::{SnapObject, SnapSlot, Snapshot};
+pub use soak::{PhaseStats, SoakRecorder, SoakReport};

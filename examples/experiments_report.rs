@@ -839,6 +839,20 @@ fn e15() {
     println!("  second tick: converged (no-op)\n");
 }
 
+fn e16() {
+    use rafda::corpus::ops::{generate_churn, ChurnConfig};
+    use rafda::soak::run_schedule;
+    println!("== E16: production-day soak (all features, oracle-exact) ==");
+    let cfg = ChurnConfig::production_day(7, 1_500);
+    let schedule = generate_churn(&cfg);
+    let report = run_schedule(&cfg, &schedule).expect("the soak must match the oracle");
+    assert!(report.clean(), "{report}");
+    for line in report.to_string().lines() {
+        println!("  {line}");
+    }
+    println!("  gate depth: cargo test --test soak (SOAK_OPS / SOAK_SEEDS / SOAK_SMOKE)\n");
+}
+
 fn main() {
     println!("RAFDA reproduction — consolidated experiment report\n");
     e1();
@@ -855,5 +869,6 @@ fn main() {
     e13();
     e14();
     e15();
+    e16();
     println!("full precision: cargo bench --workspace (see EXPERIMENTS.md)");
 }

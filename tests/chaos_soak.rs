@@ -3,35 +3,20 @@
 //! exact oracle. Whatever the boundary history, every call must return
 //! exactly what a single-address-space run would have — the paper's
 //! interchangeability claim under adversarial schedules.
+//!
+//! All four properties generate their schedules from the shared op
+//! vocabulary in [`rafda::corpus::ops`] — the same [`SoakOp`] enum the
+//! production-day soak gate (E16, `tests/soak.rs`) churns with, here at
+//! per-feature mixes with proptest shrinking.
 
 use proptest::prelude::*;
 use rafda::classmodel::builder::{ClassBuilder, MethodBuilder};
 use rafda::classmodel::{ClassKind, Field};
+use rafda::corpus::ops::{OpMix, SoakOp};
 use rafda::{AffinityConfig, Application, LocalPolicy, NodeId, Placement, StaticPolicy, Ty, Value};
 
 const POOL: usize = 4;
 const NODES: u32 = 3;
-
-#[derive(Debug, Clone)]
-enum Op {
-    /// Call counter `idx` with `delta`.
-    Call { idx: usize, delta: i8 },
-    /// Migrate counter `idx` from its home to `node` (or pull it home).
-    Migrate { idx: usize, node: u8 },
-    /// Pull counter `idx` back to its home node.
-    Pull { idx: usize },
-    /// Run an adaptation pass.
-    Adapt,
-}
-
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => (0usize..POOL, -10i8..10).prop_map(|(idx, delta)| Op::Call { idx, delta }),
-        2 => (0usize..POOL, 0u8..NODES as u8).prop_map(|(idx, node)| Op::Migrate { idx, node }),
-        2 => (0usize..POOL).prop_map(|idx| Op::Pull { idx }),
-        1 => Just(Op::Adapt),
-    ]
-}
 
 fn counter_class(app: &mut Application, name: &str) {
     let u = app.universe_mut();
@@ -86,31 +71,6 @@ fn batched_counter_app() -> Application {
     app
 }
 
-/// One step of the batched-chaos schedule below.
-#[derive(Debug, Clone)]
-enum BatchOp {
-    /// Fire-and-forget increment — deferred when the counter is remote.
-    Inc { idx: usize, delta: i8 },
-    /// Read-modify-write returning the new value — flushes first.
-    Add { idx: usize, delta: i8 },
-    /// Migrate counter `idx` to `node` (or pull it home, as above).
-    Migrate { idx: usize, node: u8 },
-    /// Pull counter `idx` back to its home node.
-    Pull { idx: usize },
-    /// Run an adaptation pass.
-    Adapt,
-}
-
-fn arb_batch_op() -> impl Strategy<Value = BatchOp> {
-    prop_oneof![
-        5 => (0usize..POOL, -10i8..10).prop_map(|(idx, delta)| BatchOp::Inc { idx, delta }),
-        4 => (0usize..POOL, -10i8..10).prop_map(|(idx, delta)| BatchOp::Add { idx, delta }),
-        2 => (0usize..POOL, 0u8..NODES as u8).prop_map(|(idx, node)| BatchOp::Migrate { idx, node }),
-        1 => (0usize..POOL).prop_map(|idx| BatchOp::Pull { idx }),
-        1 => Just(BatchOp::Adapt),
-    ]
-}
-
 // --- crash-stop chaos (see the last property below) ---
 
 const FO_NODES: u32 = 4;
@@ -119,24 +79,6 @@ const FO_POOL: usize = 6;
 /// a replica target (backups prefer low node ids), so every failover really
 /// crosses the wire.
 const FO_COORD: NodeId = NodeId(3);
-
-#[derive(Debug, Clone)]
-enum CrashOp {
-    /// Call counter `idx` with `delta` from the coordinator.
-    Call { idx: usize, delta: i8 },
-    /// Crash `node` (0–2), first restarting whichever node is down.
-    Crash { node: u8 },
-    /// Restart the currently-down node, if any.
-    Heal,
-}
-
-fn arb_crash_op() -> impl Strategy<Value = CrashOp> {
-    prop_oneof![
-        6 => (0usize..FO_POOL, -9i8..10).prop_map(|(idx, delta)| CrashOp::Call { idx, delta }),
-        2 => (0u8..3).prop_map(|node| CrashOp::Crash { node }),
-        1 => Just(CrashOp::Heal),
-    ]
-}
 
 /// Three structurally identical counter classes, so each can get its own
 /// placement (`C0` on node 0, `C1` on node 1, `C2` on node 2).
@@ -162,7 +104,7 @@ proptest! {
 
     #[test]
     fn boundary_chaos_never_changes_observable_values(
-        ops in prop::collection::vec(arb_op(), 1..60),
+        ops in prop::collection::vec(OpMix::boundary(POOL, NODES as u8).strategy(), 1..60),
         seed in 0u64..1000,
     ) {
         let cluster = counter_app()
@@ -187,7 +129,7 @@ proptest! {
 
         for op in &ops {
             match *op {
-                Op::Call { idx, delta } => {
+                SoakOp::Call { idx, delta } => {
                     oracle[idx] += i32::from(delta);
                     let r = cluster
                         .call_method(
@@ -199,7 +141,7 @@ proptest! {
                         .unwrap();
                     prop_assert_eq!(r, Value::Int(oracle[idx]), "{:?}", op);
                 }
-                Op::Migrate { idx, node } => {
+                SoakOp::Migrate { idx, node } => {
                     let h = counters[idx].as_ref_handle().unwrap();
                     // Find where it currently lives as seen from its home.
                     let loc = cluster.location_of(home[idx], &counters[idx]).unwrap();
@@ -216,19 +158,20 @@ proptest! {
                         }
                     }
                 }
-                Op::Pull { idx } => {
+                SoakOp::Pull { idx } => {
                     let h = counters[idx].as_ref_handle().unwrap();
                     let loc = cluster.location_of(home[idx], &counters[idx]).unwrap();
                     if loc != home[idx] {
                         cluster.pull_local(home[idx], h).unwrap();
                     }
                 }
-                Op::Adapt => {
+                SoakOp::Adapt => {
                     cluster.adapt(&AffinityConfig {
                         min_calls: 4,
                         min_fraction: 0.5,
                     });
                 }
+                ref other => unreachable!("the boundary mix never generates {other}"),
             }
         }
         // Final sweep: every counter still reachable with the right value.
@@ -247,7 +190,7 @@ proptest! {
     /// without ever double-applying a mutation.
     #[test]
     fn drop_chaos_matches_fault_free_run_exactly(
-        ops in prop::collection::vec(arb_op(), 1..40),
+        ops in prop::collection::vec(OpMix::boundary(POOL, NODES as u8).strategy(), 1..40),
         seed in 0u64..500,
     ) {
         let run = |drop: f64| -> (Vec<i32>, rafda::RuntimeStats) {
@@ -275,7 +218,7 @@ proptest! {
             let mut results = Vec::new();
             for op in &ops {
                 match *op {
-                    Op::Call { idx, delta } => {
+                    SoakOp::Call { idx, delta } => {
                         let r = cluster
                             .call_method(
                                 home[idx],
@@ -289,7 +232,7 @@ proptest! {
                             other => panic!("unexpected {other:?}"),
                         }
                     }
-                    Op::Migrate { idx, node } => {
+                    SoakOp::Migrate { idx, node } => {
                         let h = counters[idx].as_ref_handle().unwrap();
                         let loc = cluster.location_of(home[idx], &counters[idx]).unwrap();
                         if loc != NodeId(u32::from(node)) {
@@ -300,19 +243,20 @@ proptest! {
                             }
                         }
                     }
-                    Op::Pull { idx } => {
+                    SoakOp::Pull { idx } => {
                         let h = counters[idx].as_ref_handle().unwrap();
                         let loc = cluster.location_of(home[idx], &counters[idx]).unwrap();
                         if loc != home[idx] {
                             cluster.pull_local(home[idx], h).unwrap();
                         }
                     }
-                    Op::Adapt => {
+                    SoakOp::Adapt => {
                         cluster.adapt(&AffinityConfig {
                             min_calls: 4,
                             min_fraction: 0.5,
                         });
                     }
+                    ref other => unreachable!("this mix never generates {other}"),
                 }
             }
             for idx in 0..POOL {
@@ -344,7 +288,7 @@ proptest! {
     /// included.
     #[test]
     fn crash_stop_chaos_loses_nothing_and_stays_deterministic(
-        ops in prop::collection::vec(arb_crash_op(), 1..50),
+        ops in prop::collection::vec(OpMix::crash_stop(FO_POOL, 3).strategy(), 1..50),
         seed in 0u64..500,
     ) {
         let run = || -> (Vec<i32>, rafda::RuntimeStats, u64) {
@@ -387,7 +331,7 @@ proptest! {
             };
             for op in &ops {
                 match *op {
-                    CrashOp::Call { idx, delta } => {
+                    SoakOp::Call { idx, delta } => {
                         let r = cluster
                             .call_method(
                                 FO_COORD,
@@ -401,7 +345,7 @@ proptest! {
                             other => panic!("unexpected {other:?}"),
                         }
                     }
-                    CrashOp::Crash { node } => {
+                    SoakOp::Crash { node } => {
                         // Keep at most one node down: with k = 2 and both
                         // backups live at every owner crash, some replica is
                         // always current (restarted nodes start empty but
@@ -413,12 +357,13 @@ proptest! {
                         cluster.crash(NodeId(u32::from(node)));
                         down = Some(u32::from(node));
                     }
-                    CrashOp::Heal => {
+                    SoakOp::Heal => {
                         if let Some(d) = down.take() {
                             cluster.restart(NodeId(d));
                             touch_all(&counters);
                         }
                     }
+                    ref other => unreachable!("the crash-stop mix never generates {other}"),
                 }
             }
             // Zero lost objects: every counter must still answer, even the
@@ -440,7 +385,7 @@ proptest! {
         let mut oracle = [0i32; FO_POOL];
         let mut expected = Vec::new();
         for op in &ops {
-            if let CrashOp::Call { idx, delta } = *op {
+            if let SoakOp::Call { idx, delta } = *op {
                 oracle[idx] += i32::from(delta);
                 expected.push(oracle[idx]);
             }
@@ -462,7 +407,7 @@ proptest! {
     /// dedup as a unit, never double-applying a deferred op.
     #[test]
     fn batched_boundary_chaos_matches_oracle(
-        ops in prop::collection::vec(arb_batch_op(), 1..50),
+        ops in prop::collection::vec(OpMix::batched(POOL, NODES as u8).strategy(), 1..50),
         seed in 0u64..500,
     ) {
         let run = |batch: bool, drop: f64| -> (Vec<i32>, rafda::RuntimeStats) {
@@ -491,7 +436,7 @@ proptest! {
             let mut results = Vec::new();
             for op in &ops {
                 match *op {
-                    BatchOp::Inc { idx, delta } => {
+                    SoakOp::Inc { idx, delta } => {
                         // Fire-and-forget: returns Null immediately when
                         // deferred, so nothing is recorded here — the next
                         // Add observes the accumulated effect.
@@ -504,7 +449,7 @@ proptest! {
                             )
                             .unwrap();
                     }
-                    BatchOp::Add { idx, delta } => {
+                    SoakOp::Call { idx, delta } => {
                         let r = cluster
                             .call_method(
                                 home[idx],
@@ -518,7 +463,7 @@ proptest! {
                             other => panic!("unexpected {other:?}"),
                         }
                     }
-                    BatchOp::Migrate { idx, node } => {
+                    SoakOp::Migrate { idx, node } => {
                         let h = counters[idx].as_ref_handle().unwrap();
                         let loc = cluster.location_of(home[idx], &counters[idx]).unwrap();
                         if loc != NodeId(u32::from(node)) {
@@ -529,19 +474,20 @@ proptest! {
                             }
                         }
                     }
-                    BatchOp::Pull { idx } => {
+                    SoakOp::Pull { idx } => {
                         let h = counters[idx].as_ref_handle().unwrap();
                         let loc = cluster.location_of(home[idx], &counters[idx]).unwrap();
                         if loc != home[idx] {
                             cluster.pull_local(home[idx], h).unwrap();
                         }
                     }
-                    BatchOp::Adapt => {
+                    SoakOp::Adapt => {
                         cluster.adapt(&AffinityConfig {
                             min_calls: 4,
                             min_fraction: 0.5,
                         });
                     }
+                    ref other => unreachable!("this mix never generates {other}"),
                 }
             }
             // Final sweep flushes every queue and checks every counter.
@@ -563,8 +509,8 @@ proptest! {
         let mut expected = Vec::new();
         for op in &ops {
             match *op {
-                BatchOp::Inc { idx, delta } => oracle[idx] += i32::from(delta),
-                BatchOp::Add { idx, delta } => {
+                SoakOp::Inc { idx, delta } => oracle[idx] += i32::from(delta),
+                SoakOp::Call { idx, delta } => {
                     oracle[idx] += i32::from(delta);
                     expected.push(oracle[idx]);
                 }

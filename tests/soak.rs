@@ -1,0 +1,159 @@
+//! The production-day soak gate (experiment **E16**).
+//!
+//! One seeded churn schedule drives every distribution feature at once —
+//! sharding with replica reads, property caching, invocation batching,
+//! k = 2 replication with crash-stop failover, migrations, adaptation and
+//! rebalance ticks, all under a 5 % message-drop rate — checked op-by-op
+//! against the exact single-address-space oracle with every invariant
+//! monitor armed.
+//!
+//! Knobs (see `ci.sh`):
+//!
+//! * `SOAK_OPS=<n>` — exact op count (highest precedence);
+//! * `SOAK_SMOKE=1` — force the 10⁴-op smoke depth explicitly;
+//! * `SOAK_SEEDS=1,2,3` — run the gate once per seed (default `42`).
+//!
+//! Plain `cargo test` runs at the smoke depth so the debug tier stays
+//! fast; the full production day is `SOAK_OPS=100000 cargo test --release
+//! --test soak` (or `cargo bench --bench e16_soak`, which defaults to
+//! 10⁵ ops under the same knobs).
+//!
+//! On failure the gate does not just panic: it hands the flattened op
+//! list to the delta-debugging shrinker (`proptest::shrink`) and prints a
+//! minimal failing trace together with the seed and an exact replay
+//! command line.
+
+use proptest::shrink::minimise;
+use rafda::corpus::ops::{generate_churn, ChurnConfig, SoakOp};
+use rafda::soak::{run_flat, run_schedule};
+
+/// Gate depth: `SOAK_OPS` wins; otherwise the 10⁴ smoke depth (which
+/// `SOAK_SMOKE=1` also selects explicitly, for parity with the bench).
+fn depth() -> usize {
+    if let Ok(v) = std::env::var("SOAK_OPS") {
+        return v.parse().expect("SOAK_OPS must be an op count");
+    }
+    10_000
+}
+
+/// Seeds to sweep: `SOAK_SEEDS` as a comma list, default `42`.
+fn seeds() -> Vec<u64> {
+    match std::env::var("SOAK_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("SOAK_SEEDS must be seeds"))
+            .collect(),
+        Err(_) => vec![42],
+    }
+}
+
+/// Render a shrunk trace, one op per line.
+fn render_trace(ops: &[SoakOp]) -> String {
+    ops.iter()
+        .enumerate()
+        .map(|(i, op)| format!("  {i:>3}: {op}\n"))
+        .collect()
+}
+
+/// The gate: the full churn schedule must match the oracle op-for-op and
+/// leave every monitor silent. On divergence, shrink and report.
+#[test]
+fn production_day_soak_matches_the_oracle() {
+    for seed in seeds() {
+        let cfg = ChurnConfig::production_day(seed, depth());
+        let schedule = generate_churn(&cfg);
+        match run_schedule(&cfg, &schedule) {
+            Ok(report) => {
+                println!("{report}");
+                assert_eq!(report.total_ops() as usize, schedule.total_ops());
+                assert!(report.clean(), "{report}");
+            }
+            Err(msg) => {
+                let ops = schedule.flatten();
+                let min = minimise(&ops, 600, |sub| run_flat(&cfg, sub, false).is_err());
+                panic!(
+                    "soak seed {seed} diverged: {msg}\n\
+                     minimal failing trace ({} of {} ops, {} probe runs):\n{}\
+                     replay: SOAK_SEEDS={seed} SOAK_OPS={} cargo test --test soak",
+                    min.ops.len(),
+                    ops.len(),
+                    min.runs,
+                    render_trace(&min.ops),
+                    depth(),
+                );
+            }
+        }
+    }
+}
+
+/// Same seed, same schedule, byte-identical report — the soak's whole
+/// account of the run (op counts, message totals, simulated time, monitor
+/// verdicts) is deterministic.
+#[test]
+fn the_soak_report_is_deterministic() {
+    let render = || {
+        let cfg = ChurnConfig::production_day(7, 1_500);
+        let schedule = generate_churn(&cfg);
+        run_schedule(&cfg, &schedule)
+            .expect("the small soak is clean")
+            .to_string()
+    };
+    let a = render();
+    assert_eq!(a, render(), "same seed must render an identical report");
+    assert!(a.contains("seed 7"), "{a}");
+}
+
+/// Failure-path drill: plant the E10 cache-coherence canary (the next
+/// migration "forgets" its tombstone) under a realistic op prefix, then
+/// shrink. The minimal trace must be tiny (≤ 10 ops) and still fail.
+#[test]
+fn a_planted_fault_shrinks_to_a_minimal_trace() {
+    let cfg = ChurnConfig::production_day(99, 120);
+    let schedule = generate_churn(&cfg);
+    // Keep only call/read/inc churn so the planted migration's tombstone
+    // is the single one the canary can skip, then append the trigger:
+    // warm the cache, migrate, read through the forwarding location.
+    let mut ops: Vec<SoakOp> = schedule
+        .flatten()
+        .into_iter()
+        .filter(|op| {
+            matches!(
+                op,
+                SoakOp::Call { .. } | SoakOp::Read { .. } | SoakOp::Inc { .. }
+            )
+        })
+        .collect();
+    let acct = cfg.items; // first Acct index
+    ops.push(SoakOp::Call {
+        idx: acct,
+        delta: 3,
+    });
+    ops.push(SoakOp::Read { idx: acct });
+    ops.push(SoakOp::Migrate { idx: acct, node: 3 });
+    ops.push(SoakOp::Read { idx: acct });
+
+    assert!(
+        run_flat(&cfg, &ops, true).is_err(),
+        "the planted fault must fail at full length"
+    );
+    let min = minimise(&ops, 300, |sub| run_flat(&cfg, sub, true).is_err());
+    println!(
+        "canary shrank {} ops to {} in {} probe runs (seed {}):\n{}",
+        ops.len(),
+        min.ops.len(),
+        min.runs,
+        cfg.seed,
+        render_trace(&min.ops),
+    );
+    assert!(min.improved, "shrinking must make progress");
+    assert!(
+        min.ops.len() <= 10,
+        "minimal trace should be tiny, got {} ops:\n{}",
+        min.ops.len(),
+        render_trace(&min.ops),
+    );
+    assert!(
+        run_flat(&cfg, &min.ops, true).is_err(),
+        "the minimal trace must still fail"
+    );
+}
