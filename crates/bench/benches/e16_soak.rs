@@ -16,14 +16,23 @@
 //! deterministic.
 //!
 //! Knobs (shared with `tests/soak.rs`): `SOAK_OPS=<n>` for an exact op
-//! count, `SOAK_SMOKE=1` for the quick CI pass (10⁴ ops), `SOAK_SEEDS=a,b`
-//! to sweep seeds. Default: 10⁵ ops, seed 42.
+//! count — `SOAK_OPS=1000000` is the mega tier the incremental
+//! dirty-replica sweep makes affordable (~31 s single-core) —
+//! `SOAK_SMOKE=1` for the quick CI pass (10⁴ ops),
+//! `SOAK_SEEDS=a,b` to sweep seeds. Default: 10⁵ ops, seed 42.
+//!
+//! Every run appends its wall-clock throughput to
+//! `target/BENCH_e16_soak.json` (one JSON object per line: tier, depth,
+//! seed, wall seconds, ops/s, messages, sweep probes), so the perf
+//! trajectory across the 10⁴/10⁵/10⁶ tiers lands in a machine-readable
+//! artifact next to the human report.
 //!
 //! [`SoakReport`]: rafda::runtime::SoakReport
 
 use rafda::corpus::ops::generate_churn;
 use rafda::corpus::ops::ChurnConfig;
 use rafda::soak::run_schedule;
+use std::io::Write as _;
 
 /// Op-count knob, shared with the soak gate: `SOAK_OPS` wins, then
 /// `SOAK_SMOKE`, then the full 10⁵ default.
@@ -35,6 +44,15 @@ fn depth() -> usize {
         return 10_000;
     }
     100_000
+}
+
+/// Tier label for the JSON artifact, by depth.
+fn tier(depth: usize) -> &'static str {
+    match depth {
+        d if d <= 10_000 => "smoke",
+        d if d <= 100_000 => "full",
+        _ => "mega",
+    }
 }
 
 /// Seeds to sweep: `SOAK_SEEDS` as a comma list, default `42`.
@@ -51,6 +69,7 @@ fn seeds() -> Vec<u64> {
 fn main() {
     let depth = depth();
     println!("\n=== E16: production-day soak ({depth} ops per seed, drop 5%, k = 2) ===");
+    let mut bench_lines = Vec::new();
     for seed in seeds() {
         let cfg = ChurnConfig::production_day(seed, depth);
         let schedule = generate_churn(&cfg);
@@ -61,10 +80,53 @@ fn main() {
         println!("{report}");
         assert!(report.clean(), "a monitor fired:\n{report}");
         assert_eq!(report.total_ops() as usize, schedule.total_ops());
+        let ops_per_s = schedule.total_ops() as f64 / secs;
+        println!("  wall: {secs:.2} s ({ops_per_s:.0} ops/s)\n");
+        // Per-phase sweep accounting, printed *outside* the report text
+        // (the report itself must stay byte-identical across the sweep
+        // rewrite): probes per phase show the O(dirty) behavior — heavy
+        // in churn, near-zero in the read-dominated quiesce tail.
+        let probe_summary: Vec<String> = report
+            .phases
+            .iter()
+            .map(|p| format!("{}={}", p.name, p.stats.replica_sweep_probes))
+            .collect();
         println!(
-            "  wall: {secs:.2} s ({:.0} ops/s)\n",
-            schedule.total_ops() as f64 / secs
+            "  sweep probes: {} total ({}), {} dirty marks",
+            report.stats.replica_sweep_probes,
+            probe_summary.join(" "),
+            report.stats.dirty_marks,
         );
+        bench_lines.push(format!(
+            "{{\"bench\":\"e16_soak\",\"tier\":\"{}\",\"ops\":{},\"seed\":{},\"wall_s\":{:.3},\
+             \"ops_per_s\":{:.0},\"messages\":{},\"sweep_probes\":{},\"dirty_marks\":{}}}",
+            tier(depth),
+            depth,
+            seed,
+            secs,
+            ops_per_s,
+            report.messages,
+            report.stats.replica_sweep_probes,
+            report.stats.dirty_marks,
+        ));
+    }
+    // The machine-readable perf trajectory: append-per-run so a
+    // 10⁴/10⁵/10⁶ tier sweep accumulates into one artifact. The bench
+    // binary's cwd is the package dir, so resolve the workspace target/
+    // from the manifest path.
+    let artifact = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/BENCH_e16_soak.json"
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(artifact)
+    {
+        for line in &bench_lines {
+            let _ = writeln!(f, "{line}");
+        }
+        println!("bench artifact: {artifact}");
     }
 
     // Determinism drill at a fixed small depth (independent of the knobs,

@@ -17,7 +17,7 @@ use rafda_wire::{
     FrameHeader, Protocol, ProtocolKind, Reply, Request, RequestKind, SigTable, WireValue,
 };
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::rc::{Rc, Weak};
 use std::sync::Arc;
@@ -76,6 +76,19 @@ const VERSION_TOMBSTONE: u64 = u64::MAX;
 pub(crate) struct NodeState {
     exports: HashMap<u64, Handle>,
     export_ids: HashMap<Handle, u64>,
+    /// Forwarding stubs left behind by a migration or pull: the export id
+    /// still resolves (through [`lookup_export`]) to the in-place-rewritten
+    /// proxy so transparent forwarding keeps working, but the entry is
+    /// *purged* from [`NodeState::exports`] — sweeps, affinity purges and
+    /// registry summaries see only live objects. The reverse
+    /// [`NodeState::export_ids`] mapping is kept so re-exporting the same
+    /// handle (the object migrating back home) reuses its original id.
+    forwards: HashMap<u64, Handle>,
+    /// Export ids on this node that are locally implemented *and* belong to
+    /// a replicated class — the only locations a dirty-set mark can ever
+    /// make shippable. A `BTreeSet` so node-level conservative marks insert
+    /// in ascending id order.
+    replicated: BTreeSet<u64>,
     next_oid: u64,
     imports: HashMap<(u32, u64), Handle>,
     singletons: HashMap<ClassId, SingletonState>,
@@ -241,6 +254,16 @@ pub struct RuntimeStats {
     /// Getter calls served from a same-version local replica copy instead
     /// of an owner exchange (a `reads from replicas` policy rule).
     pub replica_reads: u64,
+    /// Dirty-set entries the replica sweep offered to
+    /// [`sync_replicas`](crate::cluster) — each one a state comparison
+    /// against the last shipment, charged to the owner. The sweep's cost
+    /// measure: O(dirty) per synchronization point, not O(exports).
+    pub replica_sweep_probes: u64,
+    /// `(node, oid)` dirty-set insertions recorded (version bumps, served
+    /// mutations, fresh replicated exports, and conservative node-level
+    /// marks while application code runs locally). Marks bound probes:
+    /// every probe was a mark first.
+    pub dirty_marks: u64,
     /// Histogram of attempts used per finished exchange: bucket `i` counts
     /// exchanges that took `i + 1` attempts (the last bucket saturates).
     pub attempts: [u64; 8],
@@ -284,6 +307,8 @@ impl RuntimeStats {
             shard_placements,
             shard_rebalances,
             replica_reads,
+            replica_sweep_probes,
+            dirty_marks,
             attempts,
             sig_refs,
             sig_defs,
@@ -313,6 +338,8 @@ impl RuntimeStats {
         self.shard_placements += shard_placements;
         self.shard_rebalances += shard_rebalances;
         self.replica_reads += replica_reads;
+        self.replica_sweep_probes += replica_sweep_probes;
+        self.dirty_marks += dirty_marks;
         for (slot, c) in self.attempts.iter_mut().zip(attempts) {
             *slot += c;
         }
@@ -351,6 +378,8 @@ impl RuntimeStats {
             shard_placements,
             shard_rebalances,
             replica_reads,
+            replica_sweep_probes,
+            dirty_marks,
             attempts,
             sig_refs,
             sig_defs,
@@ -380,6 +409,8 @@ impl RuntimeStats {
         d.shard_placements = d.shard_placements.saturating_sub(*shard_placements);
         d.shard_rebalances = d.shard_rebalances.saturating_sub(*shard_rebalances);
         d.replica_reads = d.replica_reads.saturating_sub(*replica_reads);
+        d.replica_sweep_probes = d.replica_sweep_probes.saturating_sub(*replica_sweep_probes);
+        d.dirty_marks = d.dirty_marks.saturating_sub(*dirty_marks);
         for (slot, c) in d.attempts.iter_mut().zip(attempts) {
             *slot = slot.saturating_sub(*c);
         }
@@ -629,6 +660,25 @@ pub(crate) struct Shared {
     /// Re-entrancy guard for [`sync_dirty_replicas`]: the sweep's shipments
     /// are exchanges, and every exchange is a synchronization point.
     pub in_replica_sweep: Cell<bool>,
+    /// The dirty-replica set: `(owner node, export id)` locations whose
+    /// state may have moved past what [`NodeState::synced_versions`] last
+    /// shipped. Every version bump, served mutation, promotion and
+    /// post-pull local call inserts here; [`sync_dirty_replicas`] drains
+    /// *only* these entries — in sorted order, so the shipment sequence is
+    /// byte-identical to the full-table sweep it replaces — instead of
+    /// enumerating every export of every node. A `BTreeSet` keeps the
+    /// drain deterministic without a sort per sweep.
+    pub dirty: RefCell<BTreeSet<(u32, u64)>>,
+    /// Per-node application-frame nesting counters. A frame is open while
+    /// *non-getter* application code runs locally on that node (a served
+    /// `Call`, or a top-level entry like [`Cluster::call_method`]); any
+    /// synchronization point reached while a node's frame is open
+    /// conservatively marks that node's replicated exports dirty, because
+    /// the in-progress app code may have mutated local state bare — the
+    /// runtime never sees plain method calls on pulled, promoted or
+    /// installed-in-place objects. Getter-only traffic opens no frames, so
+    /// read-only phases sweep nothing.
+    pub app_frames: RefCell<Vec<u32>>,
     /// Reusable encode buffers, keyed by directed link. Checked out for
     /// the lifetime of one frame (request frames live across every
     /// retransmission of their exchange) and returned cleared. Never
@@ -760,6 +810,8 @@ impl Cluster {
             in_flush: Cell::new(false),
             any_replication,
             in_replica_sweep: Cell::new(false),
+            dirty: RefCell::new(BTreeSet::new()),
+            app_frames: RefCell::new(vec![0; nodes as usize]),
             wire_bufs: RefCell::new(BufPool::new()),
             sig_tables: RefCell::new(HashMap::new()),
         });
@@ -862,12 +914,24 @@ impl Cluster {
     pub fn check_invariants(&self) -> Vec<Violation> {
         let shared = &self.shared;
         let _ = flush_outqueues(shared);
+        // A quiescent check probes *every* replicated export, not just
+        // recently-marked ones — mark everything, then let the sweep's
+        // no-op settling clear the set again. This is the full-table
+        // behavior the incremental sweep otherwise avoids, and it is what
+        // keeps the invariant check independent of marking completeness.
+        for n in 0..shared.vms.len() as u32 {
+            mark_node_dirty(shared, n);
+        }
         sync_dirty_replicas(shared);
         if shared.obs.borrow().monitors.is_none() {
             return Vec::new();
         }
-        let log = shared.spans.borrow().clone();
         {
+            // Borrow, don't clone: the log holds the whole run's spans, and
+            // copying it at every quiescent point costs linear time and a
+            // 2x memory spike on deep soaks. `spans` and `obs` are separate
+            // cells, so the shared borrow is safe alongside the obs borrow.
+            let log = shared.spans.borrow();
             let mut obs = shared.obs.borrow_mut();
             if let Some(monitors) = obs.monitors.as_mut() {
                 for m in monitors.iter_mut() {
@@ -908,6 +972,13 @@ impl Cluster {
                     trace_id: 0,
                 };
                 match state.exports.get(&oid) {
+                    // A demoted entry (the object moved away) lives in the
+                    // forwards side-table now; report it exactly as the
+                    // forwarding proxy it is, not as a vanished export.
+                    None if state.forwards.contains_key(&oid) => out.push(fail(format!(
+                        "node {n}: affinity counter references \
+                         moved-away export {oid}"
+                    ))),
                     None => out.push(fail(format!(
                         "node {n}: affinity counter for vanished export {oid}"
                     ))),
@@ -1148,8 +1219,14 @@ impl Cluster {
         let vm = &shared.vms[node.0 as usize];
         if shared.plan.is_substitutable(id) {
             let singleton = discover_value(shared, node, id)?;
+            // The singleton may be local (statics owner, or an adopted
+            // promotion): a non-getter call on it is bare app code.
+            let _frame = (!entry_is_getter(shared, node, &singleton, method))
+                .then(|| AppFrame::enter(shared, node.0));
             Ok(vm.call_virtual_by_name(singleton, method, args)?)
         } else {
+            // Untransformed static app code always runs locally.
+            let _frame = AppFrame::enter(shared, node.0);
             Ok(vm.call_static_by_name(class, method, args)?)
         }
     }
@@ -1175,6 +1252,10 @@ impl Cluster {
         let vm = &shared.vms[node.0 as usize];
         match shared.plan.family(id) {
             Some(family) => {
+                // Factory `make` + `init$k` run app code (the constructor
+                // body) on this node whenever placement keeps the instance
+                // local.
+                let _frame = AppFrame::enter(shared, node.0);
                 let that = vm.call_static(family.obj_factory, family.make_sig, vec![])?;
                 let init_sig = *family
                     .init_sigs
@@ -1207,7 +1288,15 @@ impl Cluster {
         method: &str,
         args: Vec<Value>,
     ) -> Result<Value, RuntimeError> {
-        Ok(self.shared.vms[node.0 as usize].call_virtual_by_name(recv, method, args)?)
+        let shared = &self.shared;
+        // A local receiver (a pulled or promoted object living in this
+        // node's VM) takes the call bare — open an app frame unless the
+        // method is a pure property read, so the mutation is marked for
+        // the next sweep. Getter-only traffic stays frameless: read-only
+        // phases must not cause a single sweep probe.
+        let _frame = (!entry_is_getter(shared, node, &recv, method))
+            .then(|| AppFrame::enter(shared, node.0));
+        Ok(shared.vms[node.0 as usize].call_virtual_by_name(recv, method, args)?)
     }
 
     /// Bind the `Observer` built-in on every node to a **cluster-wide**
@@ -1466,6 +1555,11 @@ impl Cluster {
         // cluster-wide. The move is also recorded cluster-wide — the
         // forwarding proxy alone would be lost if this node restarts.
         tombstone_version(shared, from.0, source_oid);
+        // The moved-away export leaves the exports table for the forwards
+        // side-table: lookups still resolve the forwarding proxy, but the
+        // replica sweep and placement accounting stop treating the old
+        // home as a live export.
+        demote_export_to_forward(shared, from.0, source_oid);
         record_home(shared, (from.0, source_oid), (target.node.0, target.oid));
         purge_call_counts(shared, &[(from.0, source_oid), (target.node.0, target.oid)]);
         bump(shared, from.0, Met::Migrations);
@@ -1964,6 +2058,7 @@ impl Cluster {
                 state
                     .exports
                     .values()
+                    .chain(state.forwards.values())
                     .chain(state.imports.values())
                     .chain(state.pins.iter())
                     .copied()
@@ -2021,6 +2116,17 @@ impl Cluster {
         let next_oid = state.next_oid;
         *state = NodeState::default();
         state.next_oid = next_oid;
+        drop(nodes);
+        // The restarted node's pre-crash dirty entries describe state that
+        // no longer exists; shipping from them would resurrect stale
+        // backups. Purge them, then re-seed the sweep from every live
+        // node's replicated exports — the cleared `synced_versions` above
+        // means each owner owes the rejoined node a fresh shipment even at
+        // an unmoved version, and the sweep only probes marked locations.
+        self.shared.dirty.borrow_mut().retain(|&(n, _)| n != node.0);
+        for n in 0..self.shared.vms.len() as u32 {
+            mark_node_dirty(&self.shared, n);
+        }
     }
 
     /// Drain every pending batched outcall queue now — an explicit
@@ -2055,22 +2161,68 @@ fn upgrade(weak: &Weak<Shared>) -> Result<Rc<Shared>, VmError> {
 // ----------------------------------------------------------------------
 
 pub(crate) fn export(shared: &Shared, node: NodeId, h: Handle) -> u64 {
-    let mut nodes = shared.nodes.borrow_mut();
-    let state = &mut nodes[node.0 as usize];
-    if let Some(&oid) = state.export_ids.get(&h) {
-        return oid;
-    }
-    state.next_oid += 1;
-    let oid = state.next_oid;
-    state.exports.insert(oid, h);
-    state.export_ids.insert(h, oid);
+    let oid = {
+        let mut nodes = shared.nodes.borrow_mut();
+        let state = &mut nodes[node.0 as usize];
+        if let Some(&oid) = state.export_ids.get(&h) {
+            // The object migrated away and came back: its id was demoted to
+            // a forwarding stub, and re-exporting the (in-place-rewritten)
+            // handle promotes the entry back to a live export under the
+            // original id.
+            if state.forwards.remove(&oid).is_some() {
+                state.exports.insert(oid, h);
+            }
+            oid
+        } else {
+            state.next_oid += 1;
+            let oid = state.next_oid;
+            state.exports.insert(oid, h);
+            state.export_ids.insert(h, oid);
+            oid
+        }
+    };
+    classify_export(shared, node, oid, h);
     oid
 }
 
+/// (Re)classify the export `(node, oid)`: a locally implemented instance
+/// of a replicated class joins [`NodeState::replicated`] and is marked
+/// dirty — the old full-table sweep shipped a fresh replicated export's
+/// initial state at the next synchronization point, so the dirty set must
+/// contain it too. Runs on every [`export`] call (not just fresh inserts)
+/// because `Install` and `Promote` rewrite previously-exported proxies
+/// into local objects in place, changing the classification under an
+/// unchanged id.
+fn classify_export(shared: &Shared, node: NodeId, oid: u64, h: Handle) {
+    if !shared.any_replication {
+        return;
+    }
+    let replicated = shared.vms[node.0 as usize]
+        .class_of(h)
+        .and_then(|c| shared.gen_info.get(&c))
+        .filter(|info| info.proto.is_none())
+        .is_some_and(|info| {
+            let base_name = &shared.universe.class(info.base).name;
+            shared.policy.replicas(base_name) > 0
+        });
+    let mut nodes = shared.nodes.borrow_mut();
+    let state = &mut nodes[node.0 as usize];
+    if replicated {
+        state.replicated.insert(oid);
+        drop(nodes);
+        mark_dirty(shared, node.0, oid);
+    } else {
+        state.replicated.remove(&oid);
+    }
+}
+
 pub(crate) fn lookup_export(shared: &Shared, node: NodeId, oid: u64) -> Option<Handle> {
-    shared.nodes.borrow()[node.0 as usize]
+    let nodes = shared.nodes.borrow();
+    let state = &nodes[node.0 as usize];
+    state
         .exports
         .get(&oid)
+        .or_else(|| state.forwards.get(&oid))
         .copied()
 }
 
@@ -2116,11 +2268,16 @@ pub(crate) fn version_of(shared: &Shared, node: u32, oid: u64) -> u64 {
 /// property read tagged with an older version becomes stale. Tombstoned
 /// locations stay tombstoned.
 pub(crate) fn bump_version(shared: &Shared, node: u32, oid: u64) {
-    let mut versions = shared.versions.borrow_mut();
-    let v = versions.entry((node, oid)).or_insert(0);
-    if *v != VERSION_TOMBSTONE {
-        *v = v.saturating_add(1).min(VERSION_TOMBSTONE - 1);
+    {
+        let mut versions = shared.versions.borrow_mut();
+        let v = versions.entry((node, oid)).or_insert(0);
+        if *v != VERSION_TOMBSTONE {
+            *v = v.saturating_add(1).min(VERSION_TOMBSTONE - 1);
+        }
     }
+    // A version bump is a (possible) mutation: the backups are behind
+    // until the next sync, so the sweep must know to probe this location.
+    mark_dirty(shared, node, oid);
 }
 
 /// Mark the export `(node, oid)` permanently uncacheable — the object
@@ -2136,6 +2293,144 @@ pub(crate) fn tombstone_version(shared: &Shared, node: u32, oid: u64) {
         .versions
         .borrow_mut()
         .insert((node, oid), VERSION_TOMBSTONE);
+}
+
+// ----------------------------------------------------------------------
+// Dirty-replica marking
+// ----------------------------------------------------------------------
+//
+// The sweep ([`sync_dirty_replicas`]) probes exactly the locations marked
+// here since their last shipment. Marking must therefore cover every way
+// replicated state can drift: version bumps (served mutations, installs,
+// promotions), fresh replicated exports (whose initial state the old
+// full-table sweep shipped at the next synchronization point), and bare
+// local mutations — application code running outside the serve path, which
+// the per-node app frames track conservatively.
+
+/// Mark the export `(node, oid)` dirty: its next sweep probe will compare
+/// live state against the last shipment. A no-op for locations that are
+/// not locally implemented instances of a replicated class — only those
+/// can ever ship.
+pub(crate) fn mark_dirty(shared: &Shared, node: u32, oid: u64) {
+    if !shared.any_replication {
+        return;
+    }
+    if !shared.nodes.borrow()[node as usize]
+        .replicated
+        .contains(&oid)
+    {
+        return;
+    }
+    shared.dirty.borrow_mut().insert((node, oid));
+    bump(shared, node, Met::DirtyMarks);
+}
+
+/// Conservatively mark every replicated export of `node` dirty — used when
+/// application code ran locally on the node and may have mutated any of
+/// its objects bare (the runtime never sees plain local calls), and to
+/// re-seed the sweep after a restart cleared `synced_versions`.
+pub(crate) fn mark_node_dirty(shared: &Shared, node: u32) {
+    if !shared.any_replication {
+        return;
+    }
+    let marked = {
+        let nodes = shared.nodes.borrow();
+        let st = &nodes[node as usize];
+        if st.replicated.is_empty() {
+            return;
+        }
+        let mut dirty = shared.dirty.borrow_mut();
+        for &oid in &st.replicated {
+            dirty.insert((node, oid));
+        }
+        st.replicated.len() as u64
+    };
+    let mut obs = shared.obs.borrow_mut();
+    for _ in 0..marked {
+        obs.inc(node, Met::DirtyMarks);
+    }
+}
+
+/// Mark `node` dirty iff application code is currently executing on it (an
+/// open app frame). Called at every synchronization point, so state a
+/// frame mutated *before* a nested exchange is shipped at that exchange —
+/// exactly when the old full-table sweep would have shipped it.
+pub(crate) fn mark_if_framed(shared: &Shared, node: u32) {
+    if !shared.any_replication {
+        return;
+    }
+    if shared.app_frames.borrow()[node as usize] > 0 {
+        mark_node_dirty(shared, node);
+    }
+}
+
+/// RAII guard for one nested level of local application execution on a
+/// node. Entered around every non-getter app-code call site (served
+/// `Call`s, entry points, clinit); exiting conservatively marks the node
+/// dirty, so trailing bare mutations are shipped at the next
+/// synchronization point.
+pub(crate) struct AppFrame<'a> {
+    shared: &'a Shared,
+    node: u32,
+}
+
+impl<'a> AppFrame<'a> {
+    pub(crate) fn enter(shared: &'a Shared, node: u32) -> AppFrame<'a> {
+        if shared.any_replication {
+            shared.app_frames.borrow_mut()[node as usize] += 1;
+        }
+        AppFrame { shared, node }
+    }
+}
+
+impl Drop for AppFrame<'_> {
+    fn drop(&mut self) {
+        if self.shared.any_replication {
+            self.shared.app_frames.borrow_mut()[self.node as usize] -= 1;
+            mark_node_dirty(self.shared, self.node);
+        }
+    }
+}
+
+/// Whether invoking `method` on `recv` at an entry point is a pure
+/// property read — resolved against the receiver's family by accessor
+/// *name*, since entry points take human method names, not wire
+/// signatures. Getter calls open no app frame: they cannot mutate, so a
+/// read-only workload leaves the dirty set untouched and sweeps nothing.
+fn entry_is_getter(shared: &Shared, node: NodeId, recv: &Value, method: &str) -> bool {
+    let Some(h) = recv.as_ref_handle() else {
+        return false;
+    };
+    shared.vms[node.0 as usize]
+        .class_of(h)
+        .and_then(|c| shared.gen_info.get(&c))
+        .and_then(|info| shared.plan.family(info.base).map(|f| (f, info.side)))
+        .is_some_and(|(f, side)| {
+            let accessors = match side {
+                Side::Obj => &f.getters,
+                Side::Cls => &f.static_getters,
+            };
+            accessors
+                .iter()
+                .any(|&g| shared.universe.sig_info(g).name == method)
+        })
+}
+
+/// Demote the export `(node, oid)` to a forwarding stub: the object
+/// migrated (or was pulled) away and the in-place-rewritten proxy now only
+/// forwards. The entry leaves [`NodeState::exports`] — sweeps, affinity
+/// checks and registry summaries stop seeing it — but stays resolvable
+/// through [`lookup_export`], so transparent forwarding, liveness checks
+/// and the stale-location monitor behave exactly as before.
+pub(crate) fn demote_export_to_forward(shared: &Shared, node: u32, oid: u64) {
+    let mut nodes = shared.nodes.borrow_mut();
+    let st = &mut nodes[node as usize];
+    if let Some(h) = st.exports.remove(&oid) {
+        st.forwards.insert(oid, h);
+    }
+    st.replicated.remove(&oid);
+    drop(nodes);
+    shared.dirty.borrow_mut().remove(&(node, oid));
 }
 
 /// Drop call-count affinity data referring to a moved object, cluster-wide:
@@ -2285,7 +2580,12 @@ pub(crate) fn sync_replicas(shared: &Shared, owner: NodeId, oid: u64) {
         .get(&oid)
         .cloned();
     let version = match prior {
-        Some((v, ref shipped)) if v == version && *shipped == wire_fields => return,
+        Some((v, ref shipped)) if v == version && *shipped == wire_fields => {
+            // Nothing drifted: the probe settled this location, so a
+            // pending dirty mark for it is spent.
+            shared.dirty.borrow_mut().remove(&(owner.0, oid));
+            return;
+        }
         Some((v, _)) if v == version => {
             bump_version(shared, owner.0, oid);
             version_of(shared, owner.0, oid)
@@ -2302,6 +2602,9 @@ pub(crate) fn sync_replicas(shared: &Shared, owner: NodeId, oid: u64) {
     shared.nodes.borrow_mut()[owner.0 as usize]
         .synced_versions
         .insert(oid, (version, wire_fields.clone()));
+    // This shipment spends the dirty mark (including the re-mark the
+    // drift bump above just made): state and record agree again.
+    shared.dirty.borrow_mut().remove(&(owner.0, oid));
     for t in replica_targets(k, owner.0, shared.vms.len() as u32) {
         if shared.net.fault_plan(|f| f.is_crashed(NodeId(t))) {
             continue;
@@ -2325,39 +2628,51 @@ pub(crate) fn sync_replicas(shared: &Shared, owner: NodeId, oid: u64) {
     }
 }
 
-/// Re-ship every replicated export whose live state drifted from its last
-/// shipment — the dirty-replica sweep run at synchronization points.
+/// Re-ship every **dirty** replicated export whose live state drifted from
+/// its last shipment — the dirty-replica sweep run at synchronization
+/// points.
 ///
 /// Mutations served over the wire trigger [`sync_replicas`] inline, but a
 /// promoted (or pulled) object lives in its caller's VM and takes plain
 /// local calls the runtime never sees. The sweep closes that gap: at every
-/// top-level exchange and at quiescent points, each node's replicated
-/// exports are offered to [`sync_replicas`], which ships (and
-/// version-bumps) exactly those whose state moved and no-ops on the rest.
-/// Gated on `any_replication` so workloads without a `replicate` policy pay
-/// one boolean test, and guarded against re-entry because the shipments are
-/// themselves exchanges.
+/// top-level exchange and at quiescent points, the locations marked dirty
+/// since their last shipment are offered to [`sync_replicas`], which ships
+/// (and version-bumps) exactly those whose state moved and no-ops on the
+/// rest.
+///
+/// The sweep drains [`Shared::dirty`] instead of enumerating every export
+/// of every node — O(dirty) per synchronization point, not O(exports) —
+/// and iterates it in `(node, oid)` order, the exact order the old
+/// full-table sweep enumerated, so the shipment sequence (and with it
+/// every message id, clock reading and report byte) is unchanged for any
+/// run. Marking covers everything the full sweep could ship: version
+/// bumps, fresh replicated exports, restart re-seeds, and conservative
+/// app-frame marks for bare local mutations (see the marking helpers
+/// around [`mark_dirty`]). Gated on `any_replication` so workloads
+/// without a `replicate` policy pay one boolean test, and guarded against
+/// re-entry because the shipments are themselves exchanges.
 pub(crate) fn sync_dirty_replicas(shared: &Shared) {
     if !shared.any_replication || shared.in_replica_sweep.get() {
         return;
     }
+    if shared.dirty.borrow().is_empty() {
+        return;
+    }
     shared.in_replica_sweep.set(true);
-    let targets: Vec<(u32, u64)> = {
-        let nodes = shared.nodes.borrow();
-        let mut t: Vec<(u32, u64)> = nodes
-            .iter()
-            .enumerate()
-            .flat_map(|(n, st)| st.exports.keys().map(move |&oid| (n as u32, oid)))
-            .collect();
-        t.sort_unstable();
-        t
-    };
+    // Take the set whole: marks made *during* the sweep (nested exchanges
+    // re-marking an open app frame, the drift bump inside a shipment) are
+    // next sweep's work, exactly like mutations made during the old full
+    // enumeration.
+    let targets = std::mem::take(&mut *shared.dirty.borrow_mut());
     for (n, oid) in targets {
         // A crashed owner cannot ship; its backups are exactly what the
-        // failover machinery is for.
+        // failover machinery is for. The entry is dropped, not kept: a
+        // restart wipes the owner's state and re-seeds the sweep for every
+        // node, so nothing stale survives to ship.
         if shared.net.fault_plan(|f| f.is_crashed(NodeId(n))) {
             continue;
         }
+        bump(shared, n, Met::ReplicaSweepProbes);
         sync_replicas(shared, NodeId(n), oid);
     }
     shared.in_replica_sweep.set(false);
@@ -2480,6 +2795,8 @@ pub(crate) fn discover_value(
             .singletons
             .insert(base, SingletonState::InProgress(h));
         if let (Some(cls_factory), Some(clinit_sig)) = (family.cls_factory, family.clinit_sig) {
+            // The class initializer is app code running bare on this node.
+            let _frame = AppFrame::enter(shared, node.0);
             shared.vms[node.0 as usize].call_static(
                 cls_factory,
                 clinit_sig,
@@ -3238,8 +3555,11 @@ pub(crate) fn rpc(
     flush_outqueues(shared)?;
     // A promoted object's local mutations bypass the serve path entirely;
     // the next exchange is the first chance to notice its backups are
-    // behind. No-op unless some class is replicated *and* some replicated
-    // state actually drifted.
+    // behind. If application code is mid-flight on the calling node (an
+    // open app frame), anything it mutated bare so far must be probed by
+    // this very sweep — the old full-table sweep shipped such state here,
+    // and nested calls may observe it through their own replicas.
+    mark_if_framed(shared, from.0);
     sync_dirty_replicas(shared);
     let codec = shared
         .protocols
@@ -3757,13 +4077,21 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
                     Err(m) => return Reply::Fault(m),
                 }
             }
-            let reply = match vm.call_virtual(Value::Ref(h), sig, values) {
-                Ok(v) => match marshal::value_to_wire(shared, node, &v) {
-                    Ok(wv) => Reply::Value(wv),
-                    Err(m) => Reply::Fault(m),
-                },
-                Err(VmError::Exception(exc)) => exception_reply(shared, node, exc),
-                Err(other) => Reply::Fault(other.to_string()),
+            let reply = {
+                // Non-getter app code runs under an app frame: any nested
+                // exchange it makes probes this node's replicated state
+                // first, and the frame's exit mark covers trailing bare
+                // mutations (the method may touch local objects besides
+                // the receiver, which `bump_version` above already marked).
+                let _frame = (!is_getter).then(|| AppFrame::enter(shared, node.0));
+                match vm.call_virtual(Value::Ref(h), sig, values) {
+                    Ok(v) => match marshal::value_to_wire(shared, node, &v) {
+                        Ok(wv) => Reply::Value(wv),
+                        Err(m) => Reply::Fault(m),
+                    },
+                    Err(VmError::Exception(exc)) => exception_reply(shared, node, exc),
+                    Err(other) => Reply::Fault(other.to_string()),
+                }
             };
             // Anything that may have mutated the object re-ships it to its
             // backups before the reply leaves, so a replica promoted after
@@ -3934,8 +4262,10 @@ fn dispatch_request(shared: &Shared, node: NodeId, caller: NodeId, req: Request)
             );
             cache_import(shared, node, to_node, to_object, h);
             // The export now forwards; reads through this location must
-            // never be served from a cache again.
+            // never be served from a cache again, and the location moves
+            // to the forwards side-table so the sweep stops probing it.
             tombstone_version(shared, node.0, object);
+            demote_export_to_forward(shared, node.0, object);
             Reply::Value(WireValue::Null)
         }
         Request::ReplicaSync {
@@ -4219,6 +4549,7 @@ pub(crate) fn maybe_sample(shared: &Shared) {
             per_node.iter().max().copied().unwrap_or(0) as f64 / mean
         }
     };
+    let dirty_depth = shared.dirty.borrow().len() as f64;
     let mut obs = shared.obs.borrow_mut();
     let hits = obs.sum(Met::CacheHits);
     let misses = obs.sum(Met::CacheMisses);
@@ -4228,18 +4559,20 @@ pub(crate) fn maybe_sample(shared: &Shared) {
         hits as f64 / (hits + misses) as f64
     };
     obs.recorder.advance(stamp);
-    let (q, i, c, r, s) = (
+    let (q, i, c, r, s, d) = (
         obs.ts_queue_depth,
         obs.ts_inflight_ops,
         obs.ts_cache_hit_rate,
         obs.ts_replica_lag,
         obs.ts_shard_balance,
+        obs.ts_dirty_set_depth,
     );
     obs.recorder.record(q, stamp, depth);
     obs.recorder.record(i, stamp, inflight);
     obs.recorder.record(c, stamp, hit_rate);
     obs.recorder.record(r, stamp, lag);
     obs.recorder.record(s, stamp, balance);
+    obs.recorder.record(d, stamp, dirty_depth);
 }
 
 /// Compare every backup's stored replica against its primary's live state
@@ -4340,13 +4673,22 @@ pub(crate) fn placement_table(shared: &Shared) -> String {
     let mut out = String::new();
     let nodes = shared.nodes.borrow();
     for (i, state) in nodes.iter().enumerate() {
-        let mut oids: Vec<u64> = state.exports.keys().copied().collect();
+        // Live exports plus demoted forwarding stubs: demotion is a sweep
+        // optimisation, not a visibility change, so the table keeps
+        // showing a migration's trail at the old home.
+        let mut oids: Vec<u64> = state
+            .exports
+            .keys()
+            .chain(state.forwards.keys())
+            .copied()
+            .collect();
         oids.sort_unstable();
         let entries: Vec<String> = oids
             .iter()
             .map(|oid| {
-                let class = shared.vms[i]
-                    .class_of(state.exports[oid])
+                let h = state.exports.get(oid).or_else(|| state.forwards.get(oid));
+                let class = h
+                    .and_then(|&h| shared.vms[i].class_of(h))
                     .map(|c| shared.universe.class(c).name.clone())
                     .unwrap_or_else(|| "?".to_owned());
                 format!("{oid}:{class}")

@@ -90,6 +90,8 @@ runtime_metrics! {
     ShardPlacements => shard_placements, "rafda_shard_placements_total";
     ShardRebalances => shard_rebalances, "rafda_shard_rebalances_total";
     ReplicaReads => replica_reads, "rafda_replica_reads_total";
+    ReplicaSweepProbes => replica_sweep_probes, "rafda_replica_sweep_probes_total";
+    DirtyMarks => dirty_marks, "rafda_dirty_marks_total";
 }
 
 /// The observability state hanging off [`Shared`](crate::cluster::Shared):
@@ -115,6 +117,10 @@ pub(crate) struct Obs {
     /// Series: shard balance, `max / mean` instances per node over the
     /// shard map (1.0 = perfectly even, grows with skew; 0 when unsharded).
     pub(crate) ts_shard_balance: SeriesId,
+    /// Series: entries in the cluster-wide dirty-replica set — locations
+    /// the next sweep will probe. Stays near zero on healthy steady-state
+    /// traffic; a sustained climb means marks outpace shipments.
+    pub(crate) ts_dirty_set_depth: SeriesId,
     /// Standing watchdogs; `None` until
     /// [`Cluster::enable_monitors`](crate::Cluster::enable_monitors).
     pub(crate) monitors: Option<Vec<Box<dyn Monitor>>>,
@@ -148,6 +154,7 @@ impl Obs {
         let ts_cache_hit_rate = recorder.register("cache_hit_rate");
         let ts_replica_lag = recorder.register("replica_lag");
         let ts_shard_balance = recorder.register("shard_balance");
+        let ts_dirty_set_depth = recorder.register("dirty_set_depth");
         Obs {
             reg,
             counters,
@@ -158,6 +165,7 @@ impl Obs {
             ts_cache_hit_rate,
             ts_replica_lag,
             ts_shard_balance,
+            ts_dirty_set_depth,
             monitors: None,
         }
     }
@@ -227,7 +235,7 @@ mod tests {
         obs.record_attempts(1, 99); // overflow slot, like the saturating array
         let s1 = obs.snapshot(1);
         assert_eq!(s1.rpc_calls, 1);
-        assert_eq!(s1.replica_reads, Met::ALL.len() as u64);
+        assert_eq!(s1.dirty_marks, Met::ALL.len() as u64);
         assert_eq!(s1.attempts, [1, 0, 1, 0, 0, 0, 0, 1]);
         assert_eq!(obs.snapshot(0), RuntimeStats::default());
         assert_eq!(obs.sum(Met::RpcCalls), 1);

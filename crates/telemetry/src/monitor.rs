@@ -28,7 +28,7 @@
 //! them cannot change a run's observable behaviour.
 
 use crate::span::{SpanLog, SpanOutcome};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One observation point in the runtime, handed to every enabled monitor.
 #[derive(Debug, Clone, PartialEq)]
@@ -224,9 +224,21 @@ impl Monitor for SpanTreeMonitor {
     fn on_event(&mut self, _event: &MonitorEvent) {}
     fn check_span_log(&mut self, log: &SpanLog) {
         self.violations.clear();
-        let mut ids: BTreeSet<(u64, u64)> = BTreeSet::new();
-        for span in log.spans() {
-            if !ids.insert((span.trace_id, span.span_id)) {
+        // One indexing pass up front: the log grows with the run (a 10⁵-op
+        // soak leaves ~10⁶ spans), so the parent and retry lookups below
+        // must not rescan the vector per span — that turns every quiescent
+        // check quadratic and dominates long-soak wall clock.
+        let mut ids: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+        let mut span_ids: BTreeSet<u64> = BTreeSet::new();
+        for (idx, span) in log.spans().iter().enumerate() {
+            span_ids.insert(span.span_id);
+            // Keep the *first* occurrence in the index (matching the old
+            // linear `find`) and flag every later duplicate.
+            if let std::collections::btree_map::Entry::Vacant(e) =
+                ids.entry((span.trace_id, span.span_id))
+            {
+                e.insert(idx);
+            } else {
                 self.violations.push(Violation {
                     monitor: self.name(),
                     message: "duplicate span id within trace".to_string(),
@@ -251,10 +263,9 @@ impl Monitor for SpanTreeMonitor {
                 fail(format!("span {} ends before it starts", span.name));
             }
             if span.parent_span_id != 0 {
-                match log
-                    .spans()
-                    .iter()
-                    .find(|p| p.trace_id == span.trace_id && p.span_id == span.parent_span_id)
+                match ids
+                    .get(&(span.trace_id, span.parent_span_id))
+                    .map(|&i| &log.spans()[i])
                 {
                     None => fail(format!(
                         "span {} has parent {:x} missing from its trace",
@@ -274,7 +285,7 @@ impl Monitor for SpanTreeMonitor {
                 // Searched log-wide, not per trace: a failover span chains
                 // to the failed exchange, which legitimately lives in the
                 // trace that died with the crashed owner.
-                if !log.spans().iter().any(|p| p.span_id == prior) {
+                if !span_ids.contains(&prior) {
                     fail(format!(
                         "span {} retries {:x}, which is missing from the log",
                         span.name, prior

@@ -24,8 +24,9 @@
 //! command line.
 
 use proptest::shrink::minimise;
-use rafda::corpus::ops::{generate_churn, ChurnConfig, SoakOp};
-use rafda::soak::{run_flat, run_schedule};
+use rafda::corpus::ops::{generate_churn, ChurnConfig, Oracle, SoakOp};
+use rafda::soak::{run_flat, run_schedule, SoakHarness};
+use rafda::NodeId;
 
 /// Gate depth: `SOAK_OPS` wins; otherwise the 10⁴ smoke depth (which
 /// `SOAK_SMOKE=1` also selects explicitly, for parity with the bench).
@@ -101,6 +102,239 @@ fn the_soak_report_is_deterministic() {
     let a = render();
     assert_eq!(a, render(), "same seed must render an identical report");
     assert!(a.contains("seed 7"), "{a}");
+}
+
+/// The O(dirty) regression gate: a read-only steady phase must perform
+/// **zero** sweep probes. Getters never bump versions and never open app
+/// frames, so pure read traffic leaves the dirty set empty and the sweep
+/// at each exchange returns before probing anything — the property that
+/// makes the sweep cost proportional to activity, not deployment size.
+#[test]
+fn a_read_only_steady_phase_performs_zero_sweep_probes() {
+    let cfg = ChurnConfig::production_day(21, 0);
+    let mut harness = SoakHarness::deploy(&cfg);
+    let mut oracle = Oracle::new(cfg.pool());
+    // Mutate every pool object once so real replicated state exists —
+    // zero probes must mean "nothing was dirty", not "nothing was there".
+    for idx in 0..cfg.pool() {
+        harness
+            .apply(&SoakOp::Call { idx, delta: 1 }, &mut oracle)
+            .expect("warmup mutation");
+    }
+    // Quiescent settle: ship every backup and drain the dirty set.
+    assert_eq!(harness.cluster().check_invariants(), vec![]);
+    let before = harness.cluster().stats();
+    for _ in 0..5 {
+        for idx in 0..cfg.pool() {
+            harness
+                .apply(&SoakOp::Read { idx }, &mut oracle)
+                .expect("read-only phase");
+        }
+    }
+    let after = harness.cluster().stats();
+    assert_eq!(
+        after.replica_sweep_probes, before.replica_sweep_probes,
+        "read-only traffic must not probe a single replica"
+    );
+    assert_eq!(
+        after.dirty_marks, before.dirty_marks,
+        "getters must never mark a location dirty"
+    );
+}
+
+/// Dirty-marking completeness for the subtlest path: a pulled object's
+/// later mutations are plain VM calls on the coordinator — no serve, no
+/// exchange, no version bump at a server — exactly the shape of the PR 7
+/// lost-update bug. The entry-point app frame must mark the node, and the
+/// next remote exchange's sweep must probe and re-ship the drifted state.
+#[test]
+fn a_local_call_after_pull_marks_dirty_and_reships() {
+    let cfg = ChurnConfig::production_day(29, 0);
+    let mut harness = SoakHarness::deploy(&cfg);
+    let mut oracle = Oracle::new(cfg.pool());
+    let acct = cfg.items; // first Acct: cached, k = 2, home node 1
+    harness
+        .apply(
+            &SoakOp::Call {
+                idx: acct,
+                delta: 5,
+            },
+            &mut oracle,
+        )
+        .expect("warm the value");
+    harness
+        .apply(&SoakOp::Pull { idx: acct }, &mut oracle)
+        .expect("pull the acct local to the coordinator");
+    assert_eq!(harness.cluster().check_invariants(), vec![]);
+    let before = harness.cluster().stats();
+    harness
+        .apply(
+            &SoakOp::Call {
+                idx: acct,
+                delta: 3,
+            },
+            &mut oracle,
+        )
+        .expect("local mutation on the pulled object");
+    let marked = harness.cluster().stats();
+    assert!(
+        marked.dirty_marks > before.dirty_marks,
+        "the bare local mutation must mark its node dirty"
+    );
+    // A cold read of a *different* acct is guaranteed to go remote, and
+    // that exchange's sweep must probe the marked location and ship it.
+    harness
+        .apply(&SoakOp::Read { idx: acct + 1 }, &mut oracle)
+        .expect("unrelated remote traffic");
+    let swept = harness.cluster().stats();
+    assert!(
+        swept.replica_sweep_probes > marked.replica_sweep_probes,
+        "the next exchange must probe the marked location"
+    );
+    assert!(
+        swept.replica_syncs > marked.replica_syncs,
+        "the drifted state must re-ship to the backups"
+    );
+    harness.finale(&oracle).expect("oracle-exact finale");
+}
+
+/// Replay of the PR 7 self-promotion scenario at soak level: crash the
+/// `Acct` home so the next call failover-promotes a backup, keep mutating
+/// the promoted copy, then crash the *new* home. If post-promotion
+/// mutations ever stopped reaching the backups, the second failover would
+/// resurrect stale state and the oracle check would catch it. (The exact
+/// in-VM self-promotion replay lives in the runtime's
+/// `local_mutations_after_self_promotion_reach_the_backups` regression
+/// test; this trace drives the same hazard through the public soak path.)
+#[test]
+fn pr7_trace_promoted_state_survives_a_second_crash() {
+    let cfg = ChurnConfig::production_day(27, 0);
+    let acct = cfg.items;
+    let ops = vec![
+        SoakOp::Call {
+            idx: acct,
+            delta: -4,
+        },
+        SoakOp::Crash { node: 1 }, // the Acct home dies
+        SoakOp::Call {
+            idx: acct,
+            delta: -9,
+        }, // failover-promote, then mutate
+        SoakOp::Call {
+            idx: acct,
+            delta: -3,
+        },
+        SoakOp::Crash { node: 0 }, // heal node 1, then kill the promoted home
+        SoakOp::Read { idx: acct },
+    ];
+    run_flat(&cfg, &ops, false).expect("post-promotion mutations must reach the backups");
+}
+
+/// Replay of the PR 9 two-op shrunk trace: a void `inc` on a batched
+/// `Tally` is deferred while its destination is already crashed; the
+/// flush (at the heal's restart synchronization point) must re-home the
+/// deferred op through the recorded home instead of silently dropping it.
+#[test]
+fn pr9_trace_deferred_call_to_crashed_destination_is_not_lost() {
+    let cfg = ChurnConfig::production_day(23, 0);
+    let tally = cfg.items + cfg.accts; // first Tally: batched, home node 2
+    let ops = vec![
+        SoakOp::Crash { node: 2 },
+        SoakOp::Inc {
+            idx: tally,
+            delta: 7,
+        },
+    ];
+    run_flat(&cfg, &ops, false).expect("the deferred op must be re-homed, not lost");
+}
+
+/// Replay of the PR 9 five-op shrunk trace: mutate, migrate, mutate at
+/// the new home, crash the new home, read. Without a cluster-level home
+/// record for migrations, failover resurrected the stale pre-migration
+/// backup; the recorded home must route the promotion to current state.
+#[test]
+fn pr9_trace_migration_records_a_home_so_crash_cycling_stays_exact() {
+    let cfg = ChurnConfig::production_day(25, 0);
+    let acct = cfg.items;
+    let ops = vec![
+        SoakOp::Call {
+            idx: acct,
+            delta: 5,
+        },
+        SoakOp::Migrate { idx: acct, node: 0 },
+        SoakOp::Call {
+            idx: acct,
+            delta: 3,
+        },
+        SoakOp::Crash { node: 0 },
+        SoakOp::Read { idx: acct },
+    ];
+    run_flat(&cfg, &ops, false).expect("failover must follow the recorded home");
+}
+
+/// The satellite export-purge bugfix: a migrated-away entry leaves the
+/// source node's live `exports` table (the sweep stops re-probing it
+/// forever), the old location still forwards transparently, and pulling
+/// the object back through its own forwarding stub re-promotes the entry
+/// under its original id — the table returns to its original size.
+#[test]
+fn a_migrated_export_leaves_the_source_table_and_returns_on_round_trip() {
+    let cfg = ChurnConfig::production_day(31, 0);
+    let mut harness = SoakHarness::deploy(&cfg);
+    let mut oracle = Oracle::new(cfg.pool());
+    let acct = cfg.items;
+    harness
+        .apply(
+            &SoakOp::Call {
+                idx: acct,
+                delta: 2,
+            },
+            &mut oracle,
+        )
+        .expect("warm the value");
+    let coord = NodeId(u32::from(cfg.nodes) - 1);
+    let home = NodeId(1);
+    let before = harness.cluster().export_count(home);
+    let (owner, stub) = harness
+        .cluster()
+        .home_of(coord, harness.obj(acct))
+        .expect("the acct starts at its placed home");
+    assert_eq!(owner, home);
+    harness
+        .cluster()
+        .migrate(owner, stub, NodeId(3))
+        .expect("migrate away");
+    assert_eq!(
+        harness.cluster().export_count(home),
+        before - 1,
+        "the moved-away entry must leave the live export table"
+    );
+    // The old location still serves transparently via its forwarding stub.
+    harness
+        .apply(&SoakOp::Read { idx: acct }, &mut oracle)
+        .expect("read through the old location");
+    // `migrate` rewrote the source object in place, so `stub` is now node
+    // 1's forwarding proxy; pulling through it brings the object home and
+    // must re-promote the demoted entry under its original id.
+    harness
+        .cluster()
+        .pull_local(home, stub)
+        .expect("pull the object back home");
+    assert_eq!(
+        harness.cluster().export_count(home),
+        before,
+        "the round-tripped object re-promotes its original entry"
+    );
+    harness
+        .apply(
+            &SoakOp::Call {
+                idx: acct,
+                delta: 1,
+            },
+            &mut oracle,
+        )
+        .expect("mutate after the round trip");
+    harness.finale(&oracle).expect("oracle-exact finale");
 }
 
 /// Failure-path drill: plant the E10 cache-coherence canary (the next
